@@ -1,0 +1,63 @@
+// Ablation: network architecture under the fusion workload.
+//
+// The paper's testbed is a *switched* 100BaseT LAN. This ablation swaps the
+// transport model while holding everything else fixed: shared-bus Ethernet
+// (every transfer serializes on one wire — the pre-switch architecture),
+// the switched LAN, and the shared-memory hand-off transport, with and
+// without level-2 resiliency. Quantifies how much the paper's results owe
+// to switching, and what the SMP remark (§4) is worth.
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace rif;
+
+int main() {
+  std::printf("=== Ablation: network architecture ===\n");
+  std::printf("8 workers, 320x320x105 cube, sub-cubes = 2P\n\n");
+
+  struct Row {
+    const char* name;
+    core::NetworkKind kind;
+  };
+  const Row rows[] = {
+      {"shared bus (hub era)", core::NetworkKind::kSharedBus},
+      {"switched LAN (paper)", core::NetworkKind::kLan},
+      {"shared memory", core::NetworkKind::kSmp},
+  };
+
+  Table table({"transport", "t_plain(s)", "t_resilient_lvl2(s)", "ratio",
+               "net MB"});
+  for (const Row& row : rows) {
+    core::FusionJobConfig plain = bench::paper_testbed(8);
+    plain.network = row.kind;
+    const core::FusionReport rp = run_fusion_job(plain);
+
+    core::FusionJobConfig res = bench::paper_testbed(8);
+    res.network = row.kind;
+    res.resilient = true;
+    res.replication = 2;
+    const core::FusionReport rr = run_fusion_job(res);
+
+    if (!rp.completed || !rr.completed) {
+      std::printf("%s did not complete!\n", row.name);
+      return 1;
+    }
+    table.add_row({row.name, strf("%.1f", rp.elapsed_seconds),
+                   strf("%.1f", rr.elapsed_seconds),
+                   strf("%.2f", rr.elapsed_seconds / rp.elapsed_seconds),
+                   strf("%.0f", rp.network.bytes_sent / 1e6)});
+  }
+  table.print();
+
+  std::printf(
+      "\nfinding: the three transports are within a few percent of each\n"
+      "other, because the fusion workload's traffic is a star centred on\n"
+      "the manager — every bulk transfer serializes on the manager's\n"
+      "uplink (distribution) or downlink (collection) under ANY topology.\n"
+      "Switching would matter for peer-to-peer patterns; for this\n"
+      "manager/worker decomposition the communication architecture is not\n"
+      "the lever, which is consistent with the paper achieving its\n"
+      "results on commodity 100BaseT.\n");
+  return 0;
+}

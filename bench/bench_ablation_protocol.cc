@@ -1,0 +1,74 @@
+// Ablation: resiliency protocol parameters.
+//
+// Two sweeps on the paper testbed with a single mid-run host strike:
+//  1. replication level 1..4 — overhead vs. survivable simultaneous
+//     failures (level 1 with regeneration cannot survive at all: there is
+//     no surviving replica to clone);
+//  2. failure-detection timeout — recovery latency vs. false-positive
+//     safety margin (shorter timeouts find the failure sooner but cost
+//     heartbeat bandwidth and risk confusing slow hosts with dead ones).
+#include <cstdio>
+
+#include "bench/bench_util.h"
+
+using namespace rif;
+
+int main() {
+  std::printf("=== Ablation: resiliency protocol parameters ===\n");
+  std::printf("8 workers, 320x320x105 cube, strike on one worker host at "
+              "t=20s\n\n");
+
+  std::printf("--- replication level (failure timeout 1 s) ---\n");
+  Table rep_table({"level", "completed", "time(s)", "vs level 2",
+                   "heartbeats", "acks"});
+  double t2 = 0.0;
+  for (int level = 1; level <= 4; ++level) {
+    core::FusionJobConfig config = bench::paper_testbed(8);
+    config.resilient = true;
+    config.replication = level;
+    config.runtime.failure_timeout = from_seconds(1);
+    config.failures = {{from_seconds(20), 3, -1}};
+    config.deadline = from_seconds(4000);
+    const core::FusionReport r = run_fusion_job(config);
+    if (level == 2 && r.completed) t2 = r.elapsed_seconds;
+    rep_table.add_row(
+        {strf("%d", level), r.completed ? "yes" : "NO",
+         r.completed ? strf("%.1f", r.elapsed_seconds) : "-",
+         (r.completed && t2 > 0)
+             ? strf("%.2fx", r.elapsed_seconds / t2)
+             : "-",
+         strf("%llu",
+              static_cast<unsigned long long>(r.protocol.heartbeats)),
+         strf("%llu", static_cast<unsigned long long>(r.protocol.acks))});
+  }
+  rep_table.print();
+
+  std::printf("\n--- failure-detection timeout (replication 2) ---\n");
+  Table det_table({"timeout(ms)", "completed", "time(s)", "heartbeats",
+                   "retransmits"});
+  for (const double timeout_ms : {250.0, 500.0, 1000.0, 2000.0, 4000.0}) {
+    core::FusionJobConfig config = bench::paper_testbed(8);
+    config.resilient = true;
+    config.replication = 2;
+    config.runtime.failure_timeout = from_millis(timeout_ms);
+    config.runtime.heartbeat_period = from_millis(timeout_ms / 4.0);
+    config.failures = {{from_seconds(20), 3, -1}};
+    config.deadline = from_seconds(4000);
+    const core::FusionReport r = run_fusion_job(config);
+    det_table.add_row(
+        {strf("%.0f", timeout_ms), r.completed ? "yes" : "NO",
+         r.completed ? strf("%.1f", r.elapsed_seconds) : "-",
+         strf("%llu",
+              static_cast<unsigned long long>(r.protocol.heartbeats)),
+         strf("%llu",
+              static_cast<unsigned long long>(r.protocol.retransmits))});
+  }
+  det_table.print();
+
+  std::printf(
+      "\nexpected: level 1 cannot regenerate (no survivor) and fails; cost\n"
+      "grows with level while extra levels only pay off under heavier\n"
+      "attack; detection timeout trades heartbeat volume against recovery\n"
+      "promptness, with little total-time effect when strikes are rare.\n");
+  return 0;
+}

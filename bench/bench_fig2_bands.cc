@@ -1,0 +1,53 @@
+// Figure 2 reproduction: two raw band frames (400 nm and 1998 nm) of the
+// synthetic HYDICE scene, written as PGM images, plus the per-band
+// target-visibility numbers that motivate fusion: no single band shows the
+// camouflaged vehicle well, and different bands show different things.
+#include <cstdio>
+
+#include "hsi/image_io.h"
+#include "hsi/metrics.h"
+#include "hsi/scene.h"
+#include "support/table.h"
+
+using namespace rif;
+
+int main() {
+  std::printf("=== Figure 2: raw band frames (400 nm and 1998 nm) ===\n");
+  hsi::SceneConfig config;
+  config.width = 320;
+  config.height = 320;
+  config.bands = 210;
+  config.seed = 2000;
+  const hsi::Scene scene = hsi::generate_scene(config);
+
+  Table table({"wavelength(nm)", "band", "mean", "stddev",
+               "camo contrast", "open-vehicle contrast"});
+  for (const double wl : {400.0, 550.0, 700.0, 860.0, 1450.0, 1998.0, 2400.0}) {
+    const int band = scene.band_near(wl);
+    const auto plane = hsi::extract_band(scene.cube, band);
+    const auto stats = hsi::band_statistics(scene.cube)[band];
+    table.add_row(
+        {strf("%.0f", wl), strf("%d", band), strf("%.3f", stats.mean),
+         strf("%.3f", stats.stddev),
+         strf("%.2f", hsi::class_contrast(plane, scene.labels,
+                                          hsi::Material::kCamouflage)),
+         strf("%.2f", hsi::class_contrast(plane, scene.labels,
+                                          hsi::Material::kVehicle))});
+  }
+  table.print();
+
+  const int b400 = scene.band_near(400.0);
+  const int b1998 = scene.band_near(1998.0);
+  const bool ok1 = hsi::write_pgm("fig2_band_400nm.pgm",
+                                  hsi::extract_band(scene.cube, b400),
+                                  config.width, config.height);
+  const bool ok2 = hsi::write_pgm("fig2_band_1998nm.pgm",
+                                  hsi::extract_band(scene.cube, b1998),
+                                  config.width, config.height);
+  std::printf("\nwrote fig2_band_400nm.pgm (%s), fig2_band_1998nm.pgm (%s)\n",
+              ok1 ? "ok" : "FAILED", ok2 ? "ok" : "FAILED");
+  std::printf("paper: two frames of the 210-band HYDICE set; individual "
+              "bands carry\ncomplementary, individually insufficient "
+              "target information.\n");
+  return (ok1 && ok2) ? 0 : 1;
+}

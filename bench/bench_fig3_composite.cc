@@ -1,0 +1,78 @@
+// Figure 3 reproduction: the fused colour-composite image.
+//
+// Runs the real spectral-screening PCT pipeline (shared-memory parallel
+// implementation) on the synthetic 320x320x210 HYDICE scene and writes the
+// composite as PPM. The paper's qualitative claims are quantified:
+//   * the composite carries more target/background separation than the
+//     best single band (the camouflaged vehicle is "significantly
+//     enhanced against its background");
+//   * the first three principal components capture nearly all variance.
+#include <cstdio>
+
+#include "core/parallel/parallel_pct.h"
+#include "hsi/image_io.h"
+#include "hsi/metrics.h"
+#include "hsi/scene.h"
+#include "support/table.h"
+
+using namespace rif;
+
+int main() {
+  std::printf("=== Figure 3: fused colour composite ===\n");
+  hsi::SceneConfig config;
+  config.width = 320;
+  config.height = 320;
+  config.bands = 210;
+  config.seed = 2000;
+  const hsi::Scene scene = hsi::generate_scene(config);
+
+  core::ParallelPctConfig pct;
+  pct.threads = 8;
+  pct.tiles = 16;
+  const core::PctResult result = core::fuse_parallel(scene.cube, pct);
+
+  double total_var = 0.0;
+  double top3 = 0.0;
+  for (std::size_t i = 0; i < result.eigenvalues.size(); ++i) {
+    total_var += std::max(result.eigenvalues[i], 0.0);
+    if (i < 3) top3 += std::max(result.eigenvalues[i], 0.0);
+  }
+
+  std::printf("unique set size K = %zu (of %lld pixels)\n",
+              result.unique_set_size,
+              static_cast<long long>(scene.cube.pixel_count()));
+  std::printf("top-3 principal components carry %.1f%% of unique-set "
+              "variance\n\n",
+              100.0 * top3 / total_var);
+
+  // The paper's claim is enhancement of each target against the background
+  // it hides in: the camouflaged vehicle against the surrounding forest,
+  // the open vehicles against the field they are parked on.
+  Table table({"target vs its background", "best single band",
+               "fused composite", "gain"});
+  const std::pair<hsi::Material, hsi::Material> pairs[] = {
+      {hsi::Material::kCamouflage, hsi::Material::kForest},
+      {hsi::Material::kVehicle, hsi::Material::kGrass},
+  };
+  bool camo_enhanced = false;
+  for (const auto& [target, background] : pairs) {
+    const double best = hsi::best_band_pair_contrast(scene.cube, scene.labels,
+                                                     target, background);
+    const double fused = hsi::pair_contrast(result.composite, scene.labels,
+                                            target, background);
+    if (target == hsi::Material::kCamouflage) camo_enhanced = fused > best;
+    table.add_row({strf("%s vs %s", hsi::material_name(target),
+                        hsi::material_name(background)),
+                   strf("%.2f", best), strf("%.2f", fused),
+                   strf("%.2fx", fused / best)});
+  }
+  table.print();
+  std::printf("camouflaged vehicle enhanced beyond any single band: %s\n",
+              camo_enhanced ? "yes" : "NO");
+
+  const bool ok = hsi::write_ppm("fig3_composite.ppm", result.composite);
+  std::printf("\nwrote fig3_composite.ppm (%s)\n", ok ? "ok" : "FAILED");
+  std::printf("paper: improved contrast; camouflaged vehicle in the lower "
+              "left\nsignificantly enhanced against the foliage.\n");
+  return ok ? 0 : 1;
+}

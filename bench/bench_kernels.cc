@@ -1,0 +1,146 @@
+// Kernel microbenchmarks (google-benchmark).
+//
+// Real wall-clock scaling of the arithmetic kernels behind the pipeline.
+// These justify the flop formulas in core/cost_model.h: each kernel's
+// measured time should scale with the model's operation count.
+#include <benchmark/benchmark.h>
+
+#include "core/color_map.h"
+#include "core/pct.h"
+#include "core/spectral_angle.h"
+#include "hsi/scene.h"
+#include "linalg/jacobi_eig.h"
+#include "linalg/stats.h"
+#include "support/rng.h"
+
+namespace {
+
+using namespace rif;
+
+std::vector<float> random_pixel(int bands, std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<float> px(bands);
+  for (auto& v : px) v = static_cast<float>(rng.uniform(0.05, 0.9));
+  return px;
+}
+
+void BM_SpectralAngle(benchmark::State& state) {
+  const int bands = static_cast<int>(state.range(0));
+  const auto x = random_pixel(bands, 1);
+  const auto y = random_pixel(bands, 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::spectral_angle(x, y));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SpectralAngle)->Arg(32)->Arg(105)->Arg(210);
+
+void BM_UniqueSetScreen(benchmark::State& state) {
+  const int bands = 105;
+  const int set_size = static_cast<int>(state.range(0));
+  core::UniqueSet set(bands, 1e-6);  // tiny threshold: everything joins
+  Rng rng(3);
+  for (int i = 0; i < set_size; ++i) {
+    std::vector<float> px(bands);
+    for (auto& v : px) v = static_cast<float>(rng.uniform(0.05, 0.9));
+    set.screen(px);
+  }
+  const auto probe = random_pixel(bands, 99);
+  for (auto _ : state) {
+    // Probe never joins (screen against a full set): measures the scan.
+    core::UniqueSet copy = set;
+    benchmark::DoNotOptimize(copy.screen(probe));
+    state.PauseTiming();
+    state.ResumeTiming();
+  }
+}
+BENCHMARK(BM_UniqueSetScreen)->Arg(100)->Arg(500)->Arg(2000);
+
+void BM_CovarianceAdd(benchmark::State& state) {
+  const int bands = static_cast<int>(state.range(0));
+  std::vector<double> mean(bands, 0.4);
+  linalg::CovarianceAccumulator acc(bands, mean);
+  const auto px = random_pixel(bands, 5);
+  for (auto _ : state) {
+    acc.add(px);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_CovarianceAdd)->Arg(32)->Arg(105)->Arg(210);
+
+void BM_JacobiEigen(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  Rng rng(7);
+  linalg::Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j <= i; ++j) {
+      const double v = rng.uniform(-1.0, 1.0);
+      a(i, j) = v;
+      a(j, i) = v;
+    }
+    a(i, i) += n;
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(linalg::jacobi_eigen(a));
+  }
+}
+BENCHMARK(BM_JacobiEigen)->Arg(32)->Arg(64)->Arg(105)->Unit(benchmark::kMillisecond);
+
+void BM_TransformPixel(benchmark::State& state) {
+  const int bands = static_cast<int>(state.range(0));
+  const int comps = 3;
+  linalg::Matrix t(comps, bands);
+  Rng rng(11);
+  for (int c = 0; c < comps; ++c) {
+    for (int b = 0; b < bands; ++b) t(c, b) = rng.uniform(-1.0, 1.0);
+  }
+  std::vector<double> mean(bands, 0.4);
+  const auto px = random_pixel(bands, 13);
+  std::vector<float> out(comps);
+  for (auto _ : state) {
+    core::transform_pixel(t, mean, px, out);
+    benchmark::DoNotOptimize(out.data());
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_TransformPixel)->Arg(32)->Arg(105)->Arg(210);
+
+void BM_ColorMapPixel(benchmark::State& state) {
+  const std::array<core::ComponentScale, 3> scales{
+      core::ComponentScale{0.0, 10.0}, core::ComponentScale{0.0, 10.0},
+      core::ComponentScale{0.0, 10.0}};
+  double v = 0.0;
+  for (auto _ : state) {
+    v += 0.001;
+    benchmark::DoNotOptimize(core::map_pixel({v, -v, 2 * v}, scales));
+  }
+}
+BENCHMARK(BM_ColorMapPixel);
+
+void BM_SceneGeneration(benchmark::State& state) {
+  hsi::SceneConfig config;
+  config.width = 64;
+  config.height = 64;
+  config.bands = static_cast<int>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(hsi::generate_scene(config));
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_SceneGeneration)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_SequentialFuse(benchmark::State& state) {
+  hsi::SceneConfig config;
+  config.width = static_cast<int>(state.range(0));
+  config.height = static_cast<int>(state.range(0));
+  config.bands = 32;
+  const auto scene = hsi::generate_scene(config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fuse(scene.cube));
+  }
+}
+BENCHMARK(BM_SequentialFuse)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,120 @@
+// Recovery ablation (extension; quantifies the paper's §2 resiliency
+// argument, which the paper states but does not plot).
+//
+// Compares three fault-handling policies under information-warfare attack
+// scripts on the paper testbed:
+//   * none        — plain manager/worker (the paper's baseline);
+//   * replicate   — level-2 replication WITHOUT regeneration (the classic
+//                   primary/backup strawman of the paper's Figure 1);
+//   * resilient   — level-2 replication WITH dynamic regeneration (the
+//                   paper's contribution).
+// Attack scripts escalate from a single lost workstation to a rolling
+// attack that eventually revisits regenerated replicas.
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+
+using namespace rif;
+
+namespace {
+
+struct Policy {
+  const char* name;
+  bool resilient;
+  int replication;
+  bool regenerate;
+};
+
+struct Attack {
+  const char* name;
+  std::vector<cluster::FailureEvent> script;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Recovery under attack (extension ablation) ===\n");
+  std::printf("testbed: 8 workers, 320x320x105 cube, sub-cubes = 2P\n\n");
+
+  const Policy policies[] = {
+      {"none", false, 1, false},
+      {"replicate-only", true, 2, false},
+      {"resilient", true, 2, true},
+  };
+  // Node 0 is the manager ("the sensor itself was not replicated"); worker
+  // hosts are 1..8.
+  const Attack attacks[] = {
+      {"no attack", {}},
+      {"single strike (1 host)", {{from_seconds(20), 3, -1}}},
+      {"double strike, same worker's hosts",
+       {{from_seconds(20), 3, -1}, {from_seconds(60), 4, -1}}},
+      {"rolling attack (4 hosts)",
+       {{from_seconds(15), 1, -1},
+        {from_seconds(45), 5, -1},
+        {from_seconds(75), 7, -1},
+        {from_seconds(105), 2, -1}}},
+  };
+
+  Table table({"attack", "policy", "completed", "time(s)", "detected",
+               "regenerated", "migrated", "state moved(MB)"});
+  for (const Attack& attack : attacks) {
+    for (const Policy& policy : policies) {
+      core::FusionJobConfig config = bench::paper_testbed(8);
+      config.resilient = policy.resilient;
+      config.replication = policy.replication;
+      config.regenerate = policy.regenerate;
+      config.runtime.heartbeat_period = from_millis(250);
+      config.runtime.failure_timeout = from_seconds(1);
+      config.failures = attack.script;
+      config.deadline = from_seconds(2500);
+
+      const core::FusionReport r = run_fusion_job(config);
+      table.add_row(
+          {attack.name, policy.name, r.completed ? "yes" : "NO",
+           r.completed ? strf("%.1f", r.elapsed_seconds) : "-",
+           strf("%llu", static_cast<unsigned long long>(
+                            r.protocol.failures_detected)),
+           strf("%llu", static_cast<unsigned long long>(
+                            r.protocol.replicas_regenerated)),
+           strf("%llu", static_cast<unsigned long long>(
+                            r.protocol.replicas_migrated)),
+           strf("%.1f", r.protocol.state_transfer_bytes / 1e6)});
+    }
+
+    // Forewarned variant: attack assessment issues an evacuation order for
+    // each target 5 s before the strike — the paper's mobility response.
+    if (!attack.script.empty()) {
+      core::FusionJobConfig config = bench::paper_testbed(8);
+      config.resilient = true;
+      config.replication = 2;
+      config.runtime.heartbeat_period = from_millis(250);
+      config.runtime.failure_timeout = from_seconds(1);
+      config.failures = attack.script;
+      for (const auto& strike : attack.script) {
+        config.evacuations.push_back(
+            {strike.time - from_seconds(5), strike.node});
+      }
+      config.deadline = from_seconds(2500);
+      const core::FusionReport r = run_fusion_job(config);
+      table.add_row(
+          {attack.name, "forewarned (evacuate)", r.completed ? "yes" : "NO",
+           r.completed ? strf("%.1f", r.elapsed_seconds) : "-",
+           strf("%llu", static_cast<unsigned long long>(
+                            r.protocol.failures_detected)),
+           strf("%llu", static_cast<unsigned long long>(
+                            r.protocol.replicas_regenerated)),
+           strf("%llu", static_cast<unsigned long long>(
+                            r.protocol.replicas_migrated)),
+           strf("%.1f", r.protocol.state_transfer_bytes / 1e6)});
+    }
+  }
+  table.print();
+
+  std::printf(
+      "\nexpected: 'none' fails on any strike; 'replicate-only' survives a\n"
+      "single strike but dies when both hosts of one worker are hit;\n"
+      "'resilient' completes every scenario by regenerating replicas, at a\n"
+      "modest elapsed-time cost (detection timeout + state transfer).\n");
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Classification and target detection on fused imagery — the paper's §3
+// closing remark made concrete: "Postprocessing steps can subsequently be
+// applied to detect edges in the image and use structural information to
+// detect and classify the vehicles."
+//
+//   $ ./classify_scene [seed]
+//
+// Pipeline: synthetic scene -> spectral-screening PCT fusion -> RX anomaly
+// detection on the principal-component planes -> blob extraction ->
+// detection scoring; plus SAM classification of the raw cube against a
+// material library and its confusion summary. Also round-trips the cube
+// through the ENVI-style disk format to exercise cube I/O.
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "core/parallel/parallel_pct.h"
+#include "core/postprocess.h"
+#include "core/sam_classifier.h"
+#include "hsi/cube_io.h"
+#include "hsi/image_io.h"
+#include "hsi/scene.h"
+#include "support/table.h"
+
+using namespace rif;
+
+int main(int argc, char** argv) {
+  hsi::SceneConfig config;
+  config.width = 160;
+  config.height = 160;
+  config.bands = 48;
+  config.seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 77;
+  const hsi::Scene scene = hsi::generate_scene(config);
+  std::printf("scene: %dx%dx%d, seed %llu\n", config.width, config.height,
+              config.bands,
+              static_cast<unsigned long long>(config.seed));
+
+  // Cube I/O round trip (what a real deployment would ingest).
+  const std::string cube_path =
+      (std::filesystem::temp_directory_path() / "classify_scene.dat").string();
+  hsi::save_cube(cube_path, scene.cube, hsi::Interleave::kBil,
+                 scene.wavelengths);
+  const auto reloaded = hsi::load_cube(cube_path);
+  std::printf("cube I/O round trip: %s\n",
+              (reloaded && reloaded->raw() == scene.cube.raw()) ? "ok"
+                                                                : "FAILED");
+
+  // Fuse and detect.
+  core::ParallelPctConfig pcfg;
+  pcfg.threads = 8;
+  const core::PctResult fused = core::fuse_parallel(*reloaded, pcfg);
+  const auto rx = core::rx_anomaly(fused.component_planes, config.width,
+                                   config.height);
+  const auto mask = core::top_fraction_mask(rx, 0.02);
+  const auto blobs = core::find_blobs(mask, config.width, config.height, 4);
+  const auto score = core::score_detections(
+      blobs, scene.labels, config.width, config.height,
+      {hsi::Material::kVehicle, hsi::Material::kCamouflage});
+  std::printf(
+      "\nRX detection on PC planes: %zu blobs, %d/%d targets found, %d "
+      "false alarms (recall %.0f%%)\n",
+      blobs.size(), score.targets_detected, score.targets_present,
+      score.false_alarms, 100.0 * score.recall());
+
+  // Edge map of the composite (for the paper's "detect edges" remark).
+  const auto edges = core::sobel_magnitude(core::luminance(fused.composite),
+                                           config.width, config.height);
+  hsi::write_pgm("classify_edges.pgm", edges, config.width, config.height);
+
+  // SAM classification against the material library.
+  const std::vector<hsi::Material> mats = {
+      hsi::Material::kForest, hsi::Material::kGrass, hsi::Material::kSoil,
+      hsi::Material::kRoad,   hsi::Material::kVehicle,
+      hsi::Material::kShadow};
+  std::vector<core::LibrarySignature> library;
+  for (const auto m : mats) {
+    library.push_back(
+        {hsi::material_name(m), hsi::signature(m, scene.wavelengths)});
+  }
+  const core::SamResult sam = core::classify_sam(*reloaded, library);
+
+  Table table({"material", "classified px", "truth px"});
+  for (std::size_t s = 0; s < library.size(); ++s) {
+    table.add_row({library[s].name,
+                   strf("%lld", static_cast<long long>(sam.counts[s])),
+                   strf("%lld", static_cast<long long>(
+                                    scene.count_of(mats[s])))});
+  }
+  table.print();
+  std::vector<int> mapping;
+  for (const auto m : mats) mapping.push_back(static_cast<int>(m));
+  std::printf("SAM pixel accuracy: %.1f%% (unclassified: %lld px — mostly "
+              "the camouflage netting, which imitates foliage)\n",
+              100.0 * core::sam_accuracy(sam, scene.labels, mapping),
+              static_cast<long long>(sam.unclassified));
+
+  hsi::write_ppm("classify_composite.ppm", fused.composite);
+  std::printf("\nwrote classify_composite.ppm, classify_edges.pgm\n");
+  std::filesystem::remove(cube_path);
+  std::filesystem::remove(cube_path + ".hdr");
+  return 0;
+}

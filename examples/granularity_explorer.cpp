@@ -1,0 +1,56 @@
+// Granularity explorer: interactive version of the Figure 5 experiment.
+//
+//   $ ./granularity_explorer [workers] [max_multiplier]
+//
+// Sweeps the sub-cube count for a fixed worker count on the paper testbed
+// and prints where the compute/communication overlap stops paying off —
+// the knob the paper calls granularity control. Also prints the message
+// and byte volumes so the trade-off is visible, not just the total.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/distributed/fusion_job.h"
+#include "support/table.h"
+
+using namespace rif;
+
+int main(int argc, char** argv) {
+  const int workers = argc > 1 ? std::atoi(argv[1]) : 8;
+  const int max_multiplier = argc > 2 ? std::atoi(argv[2]) : 6;
+
+  std::printf("granularity sweep: %d workers, 320x320x105 cube\n\n", workers);
+
+  Table table({"sub-cubes", "multiplier", "time(s)", "vs m=1", "messages",
+               "data (MB)", "unique K"});
+  double t1 = 0.0;
+  for (int m = 1; m <= max_multiplier; ++m) {
+    core::FusionJobConfig config;
+    config.mode = core::ExecutionMode::kCostOnly;
+    config.shape = {320, 320, 105};
+    config.workers = workers;
+    config.tiles_per_worker = m;
+    config.deadline = from_seconds(500000);
+
+    const core::FusionReport r = run_fusion_job(config);
+    if (!r.completed) {
+      std::printf("m=%d did not complete\n", m);
+      return 1;
+    }
+    if (m == 1) t1 = r.elapsed_seconds;
+    table.add_row({strf("%d", workers * m), strf("%dx", m),
+                   strf("%.1f", r.elapsed_seconds),
+                   strf("%+.1f%%", 100.0 * (r.elapsed_seconds / t1 - 1.0)),
+                   strf("%llu", static_cast<unsigned long long>(
+                                    r.network.messages_sent)),
+                   strf("%.1f", r.network.bytes_sent / 1e6),
+                   strf("%zu", r.outcome.unique_set_size)});
+  }
+  table.print();
+
+  std::printf("\nfiner decomposition hides the distribution serialization "
+              "behind computation,\nbut every extra sub-cube returns "
+              "duplicate unique-set vectors for the manager's\nsequential "
+              "merge — the gains flatten out (the paper's tail-off beyond "
+              "~32\nsub-cubes at this problem size).\n");
+  return 0;
+}

@@ -1,0 +1,68 @@
+// Quickstart: fuse a synthetic hyper-spectral scene into a colour composite.
+//
+//   $ ./quickstart [width height bands]
+//
+// Generates a HYDICE-like foliated scene with vehicles (one camouflaged),
+// runs the sequential spectral-screening PCT pipeline, reports what the
+// fusion achieved, and writes quickstart_composite.ppm plus two raw band
+// frames for comparison.
+#include <cstdio>
+#include <cstdlib>
+
+#include "core/pct.h"
+#include "hsi/image_io.h"
+#include "hsi/metrics.h"
+#include "hsi/scene.h"
+
+using namespace rif;
+
+int main(int argc, char** argv) {
+  hsi::SceneConfig scene_config;
+  scene_config.width = argc > 1 ? std::atoi(argv[1]) : 160;
+  scene_config.height = argc > 2 ? std::atoi(argv[2]) : 160;
+  scene_config.bands = argc > 3 ? std::atoi(argv[3]) : 64;
+  scene_config.seed = 42;
+
+  std::printf("generating %dx%dx%d synthetic HYDICE scene...\n",
+              scene_config.width, scene_config.height, scene_config.bands);
+  const hsi::Scene scene = hsi::generate_scene(scene_config);
+  std::printf("  forest %lld px, grass %lld px, vehicles %lld px, "
+              "camouflaged %lld px\n",
+              static_cast<long long>(scene.count_of(hsi::Material::kForest)),
+              static_cast<long long>(scene.count_of(hsi::Material::kGrass)),
+              static_cast<long long>(scene.count_of(hsi::Material::kVehicle)),
+              static_cast<long long>(
+                  scene.count_of(hsi::Material::kCamouflage)));
+
+  std::printf("running spectral-screening PCT fusion...\n");
+  core::PctConfig config;
+  const core::PctResult result = core::fuse(scene.cube, config);
+
+  std::printf("  unique set: %zu spectrally distinct signatures "
+              "(threshold %.2f rad)\n",
+              result.unique_set_size, config.screening_threshold);
+  std::printf("  leading eigenvalues: %.4g, %.4g, %.4g\n",
+              result.eigenvalues[0], result.eigenvalues[1],
+              result.eigenvalues[2]);
+
+  const double camo_band = hsi::best_band_pair_contrast(
+      scene.cube, scene.labels, hsi::Material::kCamouflage,
+      hsi::Material::kForest);
+  const double camo_fused =
+      hsi::pair_contrast(result.composite, scene.labels,
+                         hsi::Material::kCamouflage, hsi::Material::kForest);
+  std::printf("  camouflage vs forest separability: best band %.2f -> "
+              "composite %.2f (%.1fx)\n",
+              camo_band, camo_fused, camo_fused / camo_band);
+
+  hsi::write_ppm("quickstart_composite.ppm", result.composite);
+  hsi::write_pgm("quickstart_band_visible.pgm",
+                 hsi::extract_band(scene.cube, scene.band_near(550.0)),
+                 scene.cube.width(), scene.cube.height());
+  hsi::write_pgm("quickstart_band_swir.pgm",
+                 hsi::extract_band(scene.cube, scene.band_near(1450.0)),
+                 scene.cube.width(), scene.cube.height());
+  std::printf("wrote quickstart_composite.ppm, quickstart_band_visible.pgm, "
+              "quickstart_band_swir.pgm\n");
+  return 0;
+}

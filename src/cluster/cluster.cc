@@ -1,0 +1,46 @@
+#include "cluster/cluster.h"
+
+namespace rif::cluster {
+
+NodeId Cluster::add_node(NodeConfig config) {
+  const auto id = static_cast<NodeId>(nodes_.size());
+  if (config.name.empty()) config.name = "node" + std::to_string(id);
+  nodes_.push_back(std::make_unique<Node>(sim_, id, std::move(config)));
+  return id;
+}
+
+void Cluster::add_nodes(int n, const NodeConfig& config) {
+  for (int i = 0; i < n; ++i) add_node(config);
+}
+
+std::vector<NodeId> Cluster::alive_nodes() const {
+  std::vector<NodeId> out;
+  for (const auto& n : nodes_) {
+    if (n->alive()) out.push_back(n->id());
+  }
+  return out;
+}
+
+int Cluster::alive_count() const {
+  int n = 0;
+  for (const auto& node : nodes_) {
+    if (node->alive()) ++n;
+  }
+  return n;
+}
+
+void Cluster::fail_node(NodeId id) {
+  Node& n = node(id);
+  if (!n.alive()) return;
+  n.fail();
+  trace_.record({sim_.now(), sim::TraceKind::kNodeFailed, id, -1, 0, {}});
+}
+
+void Cluster::restore_node(NodeId id) {
+  Node& n = node(id);
+  if (n.alive()) return;
+  n.restore();
+  trace_.record({sim_.now(), sim::TraceKind::kNodeRestored, id, -1, 0, {}});
+}
+
+}  // namespace rif::cluster

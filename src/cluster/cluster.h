@@ -1,0 +1,51 @@
+// The simulated machine room: a set of nodes plus the shared trace recorder.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/node.h"
+#include "sim/simulation.h"
+#include "sim/trace.h"
+#include "support/check.h"
+
+namespace rif::cluster {
+
+class Cluster {
+ public:
+  explicit Cluster(sim::Simulation& sim) : sim_(sim) {}
+
+  /// Add one node; returns its id (dense, starting at 0).
+  NodeId add_node(NodeConfig config = {});
+
+  /// Add `n` identical nodes.
+  void add_nodes(int n, const NodeConfig& config = {});
+
+  [[nodiscard]] Node& node(NodeId id) {
+    RIF_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+    return *nodes_[id];
+  }
+  [[nodiscard]] const Node& node(NodeId id) const {
+    RIF_CHECK(id >= 0 && static_cast<std::size_t>(id) < nodes_.size());
+    return *nodes_[id];
+  }
+
+  [[nodiscard]] int size() const { return static_cast<int>(nodes_.size()); }
+  [[nodiscard]] sim::Simulation& simulation() { return sim_; }
+  [[nodiscard]] sim::TraceRecorder& trace() { return trace_; }
+
+  [[nodiscard]] std::vector<NodeId> alive_nodes() const;
+  [[nodiscard]] int alive_count() const;
+
+  /// Crash a node now, recording a trace event.
+  void fail_node(NodeId id);
+  /// Restore a node now, recording a trace event.
+  void restore_node(NodeId id);
+
+ private:
+  sim::Simulation& sim_;
+  sim::TraceRecorder trace_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+};
+
+}  // namespace rif::cluster

@@ -1,0 +1,46 @@
+#include "cluster/failure_injector.h"
+
+#include <cmath>
+
+namespace rif::cluster {
+
+void FailureInjector::schedule_crash(SimTime t, NodeId node,
+                                     SimTime repair_after) {
+  cluster_.simulation().schedule_at(t, [this, node, repair_after] {
+    if (!cluster_.node(node).alive()) return;
+    cluster_.fail_node(node);
+    ++crashes_injected_;
+    if (repair_after >= 0) {
+      cluster_.simulation().schedule_after(
+          repair_after, [this, node] { cluster_.restore_node(node); });
+    }
+  });
+}
+
+void FailureInjector::schedule(const std::vector<FailureEvent>& script) {
+  for (const auto& ev : script) {
+    schedule_crash(ev.time, ev.node, ev.repair_after);
+  }
+}
+
+std::vector<FailureEvent> FailureInjector::schedule_poisson(
+    Rng& rng, SimTime start, SimTime end, SimTime mean_interarrival,
+    const std::vector<NodeId>& victims, SimTime repair_after) {
+  RIF_CHECK(mean_interarrival > 0);
+  RIF_CHECK(!victims.empty());
+  std::vector<FailureEvent> script;
+  SimTime t = start;
+  for (;;) {
+    const double gap =
+        -std::log(1.0 - rng.uniform()) * to_seconds(mean_interarrival);
+    t += from_seconds(gap);
+    if (t >= end) break;
+    const NodeId victim =
+        victims[rng.uniform_u64(victims.size())];
+    script.push_back({t, victim, repair_after});
+  }
+  schedule(script);
+  return script;
+}
+
+}  // namespace rif::cluster

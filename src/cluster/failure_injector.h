@@ -1,0 +1,52 @@
+// Failure / attack injection.
+//
+// The paper frames failures as information-warfare attacks on hosts. For
+// evaluation purposes an attack is the loss of a workstation at some point
+// in virtual time; this component schedules those losses, either from an
+// explicit script (deterministic experiments) or from a seeded Poisson
+// process (stress tests), and optionally restores nodes after a repair
+// delay.
+#pragma once
+
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "support/rng.h"
+#include "support/time.h"
+
+namespace rif::cluster {
+
+struct FailureEvent {
+  SimTime time = 0;
+  NodeId node = kNoNode;
+  /// If >= 0, the node is restored this long after the failure.
+  SimTime repair_after = -1;
+};
+
+class FailureInjector {
+ public:
+  explicit FailureInjector(Cluster& cluster) : cluster_(cluster) {}
+
+  /// Crash `node` at absolute virtual time `t`.
+  void schedule_crash(SimTime t, NodeId node, SimTime repair_after = -1);
+
+  /// Apply a whole script of failures.
+  void schedule(const std::vector<FailureEvent>& script);
+
+  /// Schedule crashes as a Poisson process with the given mean inter-arrival
+  /// time over [start, end); victims are drawn uniformly from `victims`.
+  /// Returns the generated script (for logging / reproduction).
+  std::vector<FailureEvent> schedule_poisson(Rng& rng, SimTime start,
+                                             SimTime end,
+                                             SimTime mean_interarrival,
+                                             const std::vector<NodeId>& victims,
+                                             SimTime repair_after = -1);
+
+  [[nodiscard]] int crashes_injected() const { return crashes_injected_; }
+
+ private:
+  Cluster& cluster_;
+  int crashes_injected_ = 0;
+};
+
+}  // namespace rif::cluster

@@ -1,0 +1,42 @@
+#include "cluster/node.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace rif::cluster {
+
+void Node::submit_compute(double flops, std::function<void()> done) {
+  RIF_CHECK_MSG(alive_, "compute submitted to dead node");
+  RIF_CHECK_MSG(flops >= 0, "negative flops");
+  flops_charged_ += flops;
+  const SimTime start = std::max(busy_until_, sim_.now());
+  busy_until_ = start + compute_time(flops);
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_at(busy_until_, [this, epoch, done = std::move(done)] {
+    if (alive_ && epoch_ == epoch) done();
+  });
+}
+
+void Node::run_after(SimTime delay, std::function<void()> fn) {
+  RIF_CHECK_MSG(alive_, "timer set on dead node");
+  const std::uint64_t epoch = epoch_;
+  sim_.schedule_after(delay, [this, epoch, fn = std::move(fn)] {
+    if (alive_ && epoch_ == epoch) fn();
+  });
+}
+
+void Node::fail() {
+  if (!alive_) return;
+  alive_ = false;
+  ++epoch_;
+  busy_until_ = sim_.now();
+}
+
+void Node::restore() {
+  if (alive_) return;
+  alive_ = true;
+  ++epoch_;
+  busy_until_ = sim_.now();
+}
+
+}  // namespace rif::cluster

@@ -1,0 +1,39 @@
+#include "cluster/placement.h"
+
+#include <algorithm>
+
+namespace rif::cluster {
+
+bool PlacementPolicy::eligible(NodeId id,
+                               const std::vector<NodeId>& excluded) const {
+  if (!cluster_.node(id).alive()) return false;
+  return std::find(excluded.begin(), excluded.end(), id) == excluded.end();
+}
+
+NodeId RoundRobinPlacement::pick(const std::vector<NodeId>& excluded) {
+  const int n = cluster_.size();
+  for (int i = 0; i < n; ++i) {
+    const NodeId candidate = static_cast<NodeId>((cursor_ + i) % n);
+    if (eligible(candidate, excluded)) {
+      cursor_ = static_cast<NodeId>((candidate + 1) % n);
+      return candidate;
+    }
+  }
+  return kNoNode;
+}
+
+NodeId LeastLoadedPlacement::pick(const std::vector<NodeId>& excluded) {
+  NodeId best = kNoNode;
+  int best_load = 0;
+  for (NodeId id = 0; id < cluster_.size(); ++id) {
+    if (!eligible(id, excluded)) continue;
+    const int l = load(id);
+    if (best == kNoNode || l < best_load) {
+      best = id;
+      best_load = l;
+    }
+  }
+  return best;
+}
+
+}  // namespace rif::cluster

@@ -1,0 +1,66 @@
+// Replica placement policies.
+//
+// When the resiliency layer regenerates a lost replica it must choose a
+// host "with sufficient resources" (paper §2, Resource Management). The
+// paper uses a simple manager/worker scheme; we provide the two policies it
+// implies — round-robin for initial placement and least-loaded for
+// regeneration — behind one interface so alternatives can be ablated.
+#pragma once
+
+#include <unordered_map>
+#include <vector>
+
+#include "cluster/cluster.h"
+
+namespace rif::cluster {
+
+/// Tracks how many logical processes each node hosts and answers placement
+/// queries. The scp runtime updates the load book-keeping as processes are
+/// spawned, killed and regenerated.
+class PlacementPolicy {
+ public:
+  explicit PlacementPolicy(Cluster& cluster) : cluster_(cluster) {}
+  virtual ~PlacementPolicy() = default;
+
+  void add_load(NodeId node) { ++load_[node]; }
+  void remove_load(NodeId node) {
+    auto it = load_.find(node);
+    if (it != load_.end() && it->second > 0) --it->second;
+  }
+  [[nodiscard]] int load(NodeId node) const {
+    auto it = load_.find(node);
+    return it == load_.end() ? 0 : it->second;
+  }
+
+  /// Pick an alive node not in `excluded`; kNoNode if none qualifies.
+  [[nodiscard]] virtual NodeId pick(
+      const std::vector<NodeId>& excluded) = 0;
+
+ protected:
+  [[nodiscard]] bool eligible(NodeId id,
+                              const std::vector<NodeId>& excluded) const;
+
+  Cluster& cluster_;
+  std::unordered_map<NodeId, int> load_;
+};
+
+/// Cycles through nodes in id order. Deterministic initial layout.
+class RoundRobinPlacement final : public PlacementPolicy {
+ public:
+  using PlacementPolicy::PlacementPolicy;
+  [[nodiscard]] NodeId pick(const std::vector<NodeId>& excluded) override;
+
+ private:
+  NodeId cursor_ = 0;
+};
+
+/// Picks the alive node with the fewest hosted processes (lowest id breaks
+/// ties). This is the regeneration policy: it spreads re-created replicas
+/// away from hot spots.
+class LeastLoadedPlacement final : public PlacementPolicy {
+ public:
+  using PlacementPolicy::PlacementPolicy;
+  [[nodiscard]] NodeId pick(const std::vector<NodeId>& excluded) override;
+};
+
+}  // namespace rif::cluster

@@ -1,0 +1,427 @@
+#include "core/distributed/fusion_actors.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "linalg/jacobi_eig.h"
+#include "support/check.h"
+#include "support/log.h"
+
+namespace rif::core {
+
+namespace {
+constexpr std::uint64_t kSmallMsgBytes = 32;
+}
+
+// ---------------------------------------------------------------------------
+// ManagerActor
+// ---------------------------------------------------------------------------
+
+ManagerActor::ManagerActor(FusionParams params, const hsi::ImageCube* cube,
+                           JobOutcome* outcome)
+    : params_(std::move(params)),
+      cube_(cube),
+      outcome_(outcome),
+      model_(params_.cost_model()) {
+  RIF_CHECK(outcome_ != nullptr);
+  if (params_.mode == ExecutionMode::kFull) {
+    RIF_CHECK_MSG(cube_ != nullptr, "Full mode requires a cube");
+    RIF_CHECK(cube_->width() == params_.shape.width &&
+              cube_->height() == params_.shape.height &&
+              cube_->bands() == params_.shape.bands);
+  }
+  RIF_CHECK(static_cast<int>(params_.worker_tids.size()) == params_.workers);
+}
+
+void ManagerActor::on_start(scp::ActorContext& /*ctx*/) {
+  tiles_ = hsi::partition_rows(params_.shape, params_.total_tiles);
+  if (params_.mode == ExecutionMode::kFull) {
+    global_unique_.emplace(params_.shape.bands, params_.screening_threshold);
+  }
+  if (params_.mode == ExecutionMode::kFull) {
+    outcome_->composite =
+        hsi::RgbImage(params_.shape.width, params_.shape.height);
+  }
+}
+
+void ManagerActor::on_message(scp::ActorContext& ctx, scp::ThreadId from,
+                              const scp::Message& msg) {
+  switch (msg.type) {
+    case kRequestWork:
+      on_request_work(ctx, from);
+      break;
+    case kScreenResult:
+      on_screen_result(ctx, msg);
+      break;
+    case kCovSum:
+      on_cov_sum(ctx, from, msg);
+      break;
+    case kColorTile:
+      on_color_tile(ctx, msg);
+      break;
+    default:
+      RIF_CHECK_MSG(false, "manager: unexpected message type");
+  }
+}
+
+void ManagerActor::on_request_work(scp::ActorContext& ctx,
+                                   scp::ThreadId from) {
+  if (next_tile_ >= static_cast<int>(tiles_.size())) {
+    ctx.send(from, scp::Message{kNoMoreTiles, {}, kSmallMsgBytes});
+    return;
+  }
+  const hsi::Tile tile = tiles_[next_tile_++];
+  ++outcome_->tiles_distributed;
+
+  TileAssignMsg assign;
+  assign.tile = WireTile::from(tile);
+  if (params_.mode == ExecutionMode::kFull) {
+    assign.data.reserve(tile.pixels() * tile.bands);
+    const std::int64_t first = tile.first_flat_index();
+    for (std::int64_t p = first; p < first + tile.pixels(); ++p) {
+      const auto px = cube_->pixel(p);
+      assign.data.insert(assign.data.end(), px.begin(), px.end());
+    }
+  }
+  ctx.send(from, assign.encode(model_.tile_bytes(tile.pixels())));
+}
+
+void ManagerActor::on_screen_result(scp::ActorContext& ctx,
+                                    const scp::Message& msg) {
+  ScreenResultMsg result = ScreenResultMsg::decode(msg);
+  outcome_->screen_comparisons += result.comparisons;
+  pending_results_.emplace(result.tile.index, std::move(result));
+
+  // Merge strictly in tile order (see header comment for why).
+  double merge_charge = 0.0;
+  while (true) {
+    auto it = pending_results_.find(merged_tiles_);
+    if (it == pending_results_.end()) break;
+    const ScreenResultMsg& r = it->second;
+    if (params_.mode == ExecutionMode::kFull) {
+      std::uint64_t comparisons = 0;
+      UniqueSet tile_set = UniqueSet::from_flat(
+          params_.shape.bands, params_.screening_threshold,
+          std::vector<float>(r.vectors));
+      global_unique_->merge(tile_set, &comparisons);
+      outcome_->merge_comparisons += comparisons;
+      merge_charge +=
+          static_cast<double>(comparisons) * model_.flops_per_comparison();
+    } else {
+      // Saturating growth of the merged set; the remainder are duplicates.
+      const double returned = static_cast<double>(r.unique_count);
+      const double room =
+          std::max(0.0, 1.0 - model_unique_count_ /
+                                  model_.params().global_unique_size);
+      model_unique_count_ += returned * room;
+      merge_charge += model_.merge_flops(returned);
+    }
+    pending_results_.erase(it);
+    ++merged_tiles_;
+  }
+
+  const bool screening_done =
+      merged_tiles_ == static_cast<int>(tiles_.size());
+  ctx.compute(merge_charge, [this, &ctx, screening_done] {
+    if (screening_done) start_covariance_phase(ctx);
+  });
+}
+
+void ManagerActor::start_covariance_phase(scp::ActorContext& ctx) {
+  // Step 3: mean vector over the unique set (sequential at the manager).
+  std::int64_t unique_count;
+  if (params_.mode == ExecutionMode::kFull) {
+    unique_count = static_cast<std::int64_t>(global_unique_->size());
+    linalg::MeanAccumulator acc(params_.shape.bands);
+    for (std::size_t i = 0; i < global_unique_->size(); ++i) {
+      acc.add(global_unique_->member(i));
+    }
+    mean_ = acc.mean();
+  } else {
+    unique_count = static_cast<std::int64_t>(model_unique_count_);
+    mean_.assign(params_.shape.bands, 0.0);
+  }
+  outcome_->unique_set_size = static_cast<std::size_t>(unique_count);
+  RIF_LOG_DEBUG("fusion", "screening done, unique set K=" << unique_count);
+
+  ctx.compute(model_.mean_flops(), [this, &ctx, unique_count] {
+    // Step 4 dispatch: shard the unique set across the workers.
+    const auto chunks =
+        hsi::partition_range(unique_count, params_.workers);
+    for (int w = 0; w < params_.workers; ++w) {
+      CovShardMsg shard;
+      shard.shard_count = static_cast<std::uint64_t>(chunks[w].size());
+      shard.mean = mean_;
+      if (params_.mode == ExecutionMode::kFull) {
+        shard.vectors.reserve(chunks[w].size() * params_.shape.bands);
+        for (std::int64_t i = chunks[w].begin; i < chunks[w].end; ++i) {
+          const auto m = global_unique_->member(static_cast<std::size_t>(i));
+          shard.vectors.insert(shard.vectors.end(), m.begin(), m.end());
+        }
+      }
+      const std::uint64_t declared =
+          model_.unique_vectors_bytes(
+              static_cast<double>(chunks[w].size())) +
+          params_.shape.bands * 8;
+      ctx.send(params_.worker_tids[w], shard.encode(declared));
+    }
+  });
+}
+
+void ManagerActor::on_cov_sum(scp::ActorContext& ctx, scp::ThreadId from,
+                              const scp::Message& msg) {
+  if (params_.mode == ExecutionMode::kFull) {
+    CovSumMsg sum = CovSumMsg::decode(msg);
+    cov_sums_.emplace(from, std::move(sum.accumulator));
+  }
+  if (++cov_received_ < params_.workers) return;
+
+  // Steps 5-6: average (charge) then eigen-decompose (charge + compute).
+  const double charge =
+      model_.cov_average_flops(params_.workers) + model_.eigen_flops();
+  ctx.compute(charge, [this, &ctx] { broadcast_transform(ctx); });
+}
+
+void ManagerActor::broadcast_transform(scp::ActorContext& ctx) {
+  TransformMsg tm;
+  tm.components = params_.output_components;
+  tm.bands = params_.shape.bands;
+
+  if (params_.mode == ExecutionMode::kFull) {
+    // Step 5: average the per-worker sums, merged in worker order (the map
+    // is keyed by thread id) for bit-reproducibility.
+    linalg::CovarianceAccumulator total(params_.shape.bands, mean_);
+    for (const auto& [tid, bytes] : cov_sums_) {
+      if (!bytes.empty()) {
+        total.merge(linalg::CovarianceAccumulator::decode(bytes));
+      }
+    }
+    const linalg::Matrix cov = total.covariance();
+    const linalg::EigenResult eig = linalg::jacobi_eigen(cov, params_.jacobi);
+    outcome_->eigenvalues = eig.values;
+    const linalg::Matrix t =
+        transform_matrix(eig.vectors, params_.output_components);
+    tm.matrix.assign(t.data(), t.data() + t.rows() * t.cols());
+    tm.mean = mean_;
+    const auto scales = scales_from_eigenvalues(eig.values);
+    for (const auto& s : scales) {
+      tm.scale_mean.push_back(s.mean);
+      tm.scale_gain.push_back(s.gain);
+    }
+  } else {
+    tm.mean = mean_;
+    tm.scale_mean.assign(3, 0.0);
+    tm.scale_gain.assign(3, 1.0);
+  }
+
+  for (const auto w : params_.worker_tids) {
+    ctx.send(w, tm.encode(model_.transform_bytes()));
+  }
+}
+
+void ManagerActor::on_color_tile(scp::ActorContext& ctx,
+                                 const scp::Message& msg) {
+  ColorTileMsg color = ColorTileMsg::decode(msg);
+  if (params_.mode == ExecutionMode::kFull) {
+    const hsi::Tile tile = color.tile.to_tile();
+    RIF_CHECK(color.rgb.size() ==
+              static_cast<std::size_t>(tile.pixels()) * 3);
+    const std::size_t dst_off =
+        static_cast<std::size_t>(tile.first_flat_index()) * 3;
+    std::copy(color.rgb.begin(), color.rgb.end(),
+              outcome_->composite.data.begin() + dst_off);
+  }
+  ++tiles_colored_;
+  outcome_->tiles_colored = tiles_colored_;
+  if (tiles_colored_ == static_cast<int>(tiles_.size())) {
+    outcome_->completed = true;
+    outcome_->completion_time = ctx.now();
+    RIF_LOG_INFO("fusion", "job complete at t=" << to_seconds(ctx.now())
+                                                << "s");
+    ctx.finish();
+    ctx.shutdown_runtime();
+  }
+}
+
+// ---------------------------------------------------------------------------
+// WorkerActor
+// ---------------------------------------------------------------------------
+
+WorkerActor::WorkerActor(FusionParams params)
+    : params_(std::move(params)), model_(params_.cost_model()) {}
+
+void WorkerActor::on_start(scp::ActorContext& ctx) {
+  ctx.send(params_.manager_tid,
+           scp::Message{kRequestWork, {}, kSmallMsgBytes});
+}
+
+void WorkerActor::on_message(scp::ActorContext& ctx, scp::ThreadId /*from*/,
+                             const scp::Message& msg) {
+  switch (msg.type) {
+    case kTileAssign:
+      on_tile(ctx, msg);
+      break;
+    case kNoMoreTiles:
+      break;  // idle until the covariance phase
+    case kCovShard:
+      on_cov_shard(ctx, msg);
+      break;
+    case kTransform:
+      on_transform(ctx, msg);
+      break;
+    default:
+      RIF_CHECK_MSG(false, "worker: unexpected message type");
+  }
+}
+
+void WorkerActor::on_tile(scp::ActorContext& ctx, const scp::Message& msg) {
+  TileAssignMsg assign = TileAssignMsg::decode(msg);
+  const std::int64_t pixels = assign.tile.pixels();
+  const int bands = assign.tile.bands;
+
+  // Overlap: request the next sub-problem before computing this one
+  // (paper §3: "a worker overlaps the request for its next sub-problem
+  // with the calculation associated with the current sub-problem").
+  ctx.send(params_.manager_tid,
+           scp::Message{kRequestWork, {}, kSmallMsgBytes});
+
+  tiles_.push_back(StoredTile{assign.tile, std::move(assign.data)});
+  const StoredTile& stored = tiles_.back();
+
+  if (params_.mode == ExecutionMode::kFull) {
+    // Step 1 for real: build the per-tile unique set.
+    UniqueSet set(bands, params_.screening_threshold);
+    std::uint64_t comparisons = 0;
+    for (std::int64_t p = 0; p < pixels; ++p) {
+      set.screen({stored.data.data() + p * bands,
+                  static_cast<std::size_t>(bands)},
+                 &comparisons);
+    }
+    ScreenResultMsg result;
+    result.tile = stored.tile;
+    result.unique_count = set.size();
+    result.comparisons = comparisons;
+    result.vectors = set.flat();
+    const double flops =
+        static_cast<double>(comparisons) * model_.flops_per_comparison();
+    const std::uint64_t declared =
+        model_.unique_vectors_bytes(static_cast<double>(set.size()));
+    ctx.compute(flops, [&ctx, this, result = std::move(result), declared] {
+      ctx.send(params_.manager_tid, result.encode(declared));
+    });
+  } else {
+    ScreenResultMsg result;
+    result.tile = stored.tile;
+    result.unique_count =
+        static_cast<std::uint64_t>(model_.tile_unique_size(pixels));
+    result.comparisons = static_cast<std::uint64_t>(
+        model_.screen_flops(pixels) / model_.flops_per_comparison());
+    const std::uint64_t declared = model_.unique_vectors_bytes(
+        static_cast<double>(result.unique_count));
+    ctx.compute(model_.screen_flops(pixels),
+                [&ctx, this, result = std::move(result), declared] {
+                  ctx.send(params_.manager_tid, result.encode(declared));
+                });
+  }
+}
+
+void WorkerActor::on_cov_shard(scp::ActorContext& ctx,
+                               const scp::Message& msg) {
+  CovShardMsg shard = CovShardMsg::decode(msg);
+  const double flops =
+      model_.cov_flops(static_cast<std::int64_t>(shard.shard_count));
+
+  CovSumMsg sum;
+  if (params_.mode == ExecutionMode::kFull) {
+    linalg::CovarianceAccumulator acc(params_.shape.bands, shard.mean);
+    const int bands = params_.shape.bands;
+    for (std::uint64_t i = 0; i < shard.shard_count; ++i) {
+      acc.add({shard.vectors.data() + i * bands,
+               static_cast<std::size_t>(bands)});
+    }
+    sum.accumulator = acc.encode();
+  }
+  ctx.compute(flops, [&ctx, this, sum = std::move(sum)] {
+    ctx.send(params_.manager_tid, sum.encode(model_.cov_sum_bytes()));
+  });
+}
+
+void WorkerActor::on_transform(scp::ActorContext& ctx,
+                               const scp::Message& msg) {
+  auto tm = std::make_shared<TransformMsg>(TransformMsg::decode(msg));
+  transform_next_tile(ctx, std::move(tm), 0);
+}
+
+void WorkerActor::transform_next_tile(scp::ActorContext& ctx,
+                                      std::shared_ptr<TransformMsg> tm,
+                                      std::size_t i) {
+  if (i >= tiles_.size()) return;
+  const StoredTile& stored = tiles_[i];
+  const std::int64_t pixels = stored.tile.pixels();
+  const double flops =
+      model_.transform_flops(pixels) + model_.colormap_flops(pixels);
+
+  ctx.compute(flops, [&ctx, this, tm = std::move(tm), i] {
+    const StoredTile& t = tiles_[i];
+    const std::int64_t px_count = t.tile.pixels();
+    ColorTileMsg color;
+    color.tile = t.tile;
+    if (params_.mode == ExecutionMode::kFull) {
+      // Steps 7-8 for real on this tile.
+      const int bands = tm->bands;
+      const int comps = tm->components;
+      linalg::Matrix transform(comps, bands);
+      std::copy(tm->matrix.begin(), tm->matrix.end(), transform.data());
+      std::array<ComponentScale, 3> scales{};
+      for (int c = 0; c < 3; ++c) {
+        scales[c] = ComponentScale{tm->scale_mean[c], tm->scale_gain[c]};
+      }
+      color.rgb.resize(static_cast<std::size_t>(px_count) * 3);
+      std::vector<float> comp(comps);
+      for (std::int64_t p = 0; p < px_count; ++p) {
+        transform_pixel(transform, tm->mean,
+                        {t.data.data() + p * bands,
+                         static_cast<std::size_t>(bands)},
+                        comp);
+        const auto rgb = map_pixel({comp[0], comp[1], comp[2]}, scales);
+        color.rgb[p * 3 + 0] = rgb[0];
+        color.rgb[p * 3 + 1] = rgb[1];
+        color.rgb[p * 3 + 2] = rgb[2];
+      }
+    }
+    ctx.send(params_.manager_tid,
+             color.encode(model_.color_tile_bytes(px_count)));
+    transform_next_tile(ctx, std::move(tm), i + 1);
+  });
+}
+
+std::vector<std::uint8_t> WorkerActor::snapshot_state() const {
+  Writer w;
+  w.put<std::uint64_t>(tiles_.size());
+  for (const auto& t : tiles_) {
+    w.put(t.tile);
+    w.put_vector(t.data);
+  }
+  return std::move(w).take();
+}
+
+void WorkerActor::restore_state(const std::vector<std::uint8_t>& state) {
+  Reader r(state);
+  const auto n = r.get<std::uint64_t>();
+  tiles_.clear();
+  tiles_.reserve(n);
+  for (std::uint64_t i = 0; i < n; ++i) {
+    StoredTile t;
+    t.tile = r.get<WireTile>();
+    t.data = r.get_vector<float>();
+    tiles_.push_back(std::move(t));
+  }
+}
+
+std::uint64_t WorkerActor::state_bytes() const {
+  std::uint64_t bytes = 1024;
+  for (const auto& t : tiles_) bytes += model_.tile_bytes(t.tile.pixels());
+  return bytes;
+}
+
+}  // namespace rif::core

@@ -1,0 +1,150 @@
+// Manager and worker actors of the distributed spectral-screening PCT.
+//
+// The manager (logical thread 0) runs the paper's manager/worker
+// decomposition: it owns the cube, hands out sub-cube tiles on request
+// (workers prefetch — they request the next tile *before* screening the
+// current one, the paper's communication/computation overlap), merges the
+// returned per-tile unique sets in tile order (step 2, sequential), computes
+// the mean (step 3), shards the unique set for the concurrent covariance
+// sums (step 4), averages and eigen-decomposes (steps 5-6), broadcasts the
+// transform, and assembles the colour tiles (steps 7-8 results).
+//
+// Merging strictly in tile-index order makes the distributed result a pure
+// function of the tile decomposition — independent of worker count, message
+// timing, replication level, and injected failures. The integration tests
+// exploit this: a run with crashes and regeneration must produce the exact
+// composite of an undisturbed run.
+#pragma once
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <vector>
+
+#include "core/cost_model.h"
+#include "core/distributed/messages.h"
+#include "core/pct.h"
+#include "core/spectral_angle.h"
+#include "hsi/image_cube.h"
+#include "hsi/image_io.h"
+#include "hsi/partition.h"
+#include "linalg/stats.h"
+#include "scp/actor.h"
+#include "support/time.h"
+
+namespace rif::core {
+
+enum class ExecutionMode {
+  kFull,     ///< real pixels, real arithmetic, real composite
+  kCostOnly  ///< dimensions only; CPUs charged from the cost model
+};
+
+/// Parameters shared by the manager and all workers.
+struct FusionParams {
+  ExecutionMode mode = ExecutionMode::kCostOnly;
+  hsi::CubeShape shape{320, 320, 105};
+  int workers = 4;
+  int total_tiles = 8;
+  double screening_threshold = 0.05;
+  int output_components = 3;
+  CostModelParams cost;
+  linalg::JacobiOptions jacobi;
+
+  scp::ThreadId manager_tid = 0;
+  /// Worker logical thread ids, in worker order (filled by the job runner).
+  std::vector<scp::ThreadId> worker_tids;
+
+  [[nodiscard]] CostModel cost_model() const {
+    return {cost, shape.bands, output_components};
+  }
+};
+
+/// Where the manager deposits results; owned by the job runner.
+struct JobOutcome {
+  bool completed = false;
+  SimTime completion_time = 0;
+  std::size_t unique_set_size = 0;
+  std::uint64_t screen_comparisons = 0;
+  std::uint64_t merge_comparisons = 0;
+  std::vector<double> eigenvalues;
+  hsi::RgbImage composite;  ///< valid in Full mode only
+  int tiles_distributed = 0;
+  int tiles_colored = 0;
+};
+
+class ManagerActor final : public scp::Actor {
+ public:
+  /// `cube` must outlive the run and is required in Full mode.
+  ManagerActor(FusionParams params, const hsi::ImageCube* cube,
+               JobOutcome* outcome);
+
+  void on_start(scp::ActorContext& ctx) override;
+  void on_message(scp::ActorContext& ctx, scp::ThreadId from,
+                  const scp::Message& msg) override;
+
+  // The manager represents the sensor and is not replicated in the paper;
+  // snapshot support is intentionally minimal.
+  std::uint64_t state_bytes() const override { return params_.shape.bytes(); }
+
+ private:
+  void on_request_work(scp::ActorContext& ctx, scp::ThreadId from);
+  void on_screen_result(scp::ActorContext& ctx, const scp::Message& msg);
+  void start_covariance_phase(scp::ActorContext& ctx);
+  void on_cov_sum(scp::ActorContext& ctx, scp::ThreadId from,
+                  const scp::Message& msg);
+  void broadcast_transform(scp::ActorContext& ctx);
+  void on_color_tile(scp::ActorContext& ctx, const scp::Message& msg);
+
+  FusionParams params_;
+  const hsi::ImageCube* cube_;
+  JobOutcome* outcome_;
+  CostModel model_;
+
+  std::vector<hsi::Tile> tiles_;
+  int next_tile_ = 0;
+
+  // Step-2 state: in-order merge of per-tile unique sets.
+  std::map<int, ScreenResultMsg> pending_results_;
+  int merged_tiles_ = 0;
+  std::optional<UniqueSet> global_unique_;   // Full mode
+  double model_unique_count_ = 0.0;          // CostOnly mode
+
+  // Steps 3-6 state. Covariance sums are buffered per worker and merged in
+  // worker order so the result is bit-identical across timings/failures.
+  std::vector<double> mean_;
+  std::map<scp::ThreadId, std::vector<std::uint8_t>> cov_sums_;
+  int cov_received_ = 0;
+
+  int tiles_colored_ = 0;
+};
+
+class WorkerActor final : public scp::Actor {
+ public:
+  explicit WorkerActor(FusionParams params);
+
+  void on_start(scp::ActorContext& ctx) override;
+  void on_message(scp::ActorContext& ctx, scp::ThreadId from,
+                  const scp::Message& msg) override;
+
+  std::vector<std::uint8_t> snapshot_state() const override;
+  void restore_state(const std::vector<std::uint8_t>& state) override;
+  std::uint64_t state_bytes() const override;
+
+ private:
+  struct StoredTile {
+    WireTile tile;
+    std::vector<float> data;  ///< empty in CostOnly mode
+  };
+
+  void on_tile(scp::ActorContext& ctx, const scp::Message& msg);
+  void on_cov_shard(scp::ActorContext& ctx, const scp::Message& msg);
+  void on_transform(scp::ActorContext& ctx, const scp::Message& msg);
+  void transform_next_tile(scp::ActorContext& ctx,
+                           std::shared_ptr<TransformMsg> tm, std::size_t i);
+
+  FusionParams params_;
+  CostModel model_;
+  std::vector<StoredTile> tiles_;
+};
+
+}  // namespace rif::core

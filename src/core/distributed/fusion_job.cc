@@ -1,0 +1,108 @@
+#include "core/distributed/fusion_job.h"
+
+#include <memory>
+
+#include "sim/simulation.h"
+#include "support/check.h"
+
+namespace rif::core {
+
+FusionReport run_fusion_job(const FusionJobConfig& config) {
+  RIF_CHECK(config.workers >= 1);
+  RIF_CHECK(config.tiles_per_worker >= 1);
+  RIF_CHECK(config.replication >= 1);
+  RIF_CHECK(config.mode == ExecutionMode::kCostOnly ||
+            config.cube != nullptr);
+
+  sim::Simulation sim;
+  cluster::Cluster cluster(sim);
+  // Node 0 hosts the manager (the "sensor"); nodes 1..P host workers.
+  cluster.add_nodes(config.workers + 1, config.node);
+
+  std::unique_ptr<net::Network> network;
+  switch (config.network) {
+    case NetworkKind::kLan:
+      network = std::make_unique<net::LanNetwork>(cluster, config.lan);
+      break;
+    case NetworkKind::kSharedBus:
+      network = std::make_unique<net::SharedBusNetwork>(cluster, config.lan);
+      break;
+    case NetworkKind::kSmp:
+      network = std::make_unique<net::SmpNetwork>(cluster, config.smp);
+      break;
+  }
+
+  scp::RuntimeConfig rt_config = config.runtime;
+  rt_config.resilient = config.resilient;
+  rt_config.regenerate = config.regenerate;
+  scp::Runtime runtime(cluster, *network, rt_config);
+
+  FusionParams params;
+  params.mode = config.mode;
+  params.shape = config.shape;
+  params.workers = config.workers;
+  params.total_tiles = config.workers * config.tiles_per_worker;
+  params.screening_threshold = config.screening_threshold;
+  params.output_components = config.output_components;
+  params.cost = config.cost;
+  params.jacobi = config.jacobi;
+
+  JobOutcome outcome;
+
+  // Spawn order fixes logical ids: manager = 0, workers = 1..P.
+  params.manager_tid = 0;
+  for (int w = 0; w < config.workers; ++w) {
+    params.worker_tids.push_back(static_cast<scp::ThreadId>(w + 1));
+  }
+
+  const auto mgr_tid = runtime.spawn(
+      "manager",
+      [&params, &config, &outcome] {
+        return std::make_unique<ManagerActor>(params, config.cube, &outcome);
+      },
+      /*replication=*/1, {0});
+  RIF_CHECK(mgr_tid == params.manager_tid);
+
+  for (int w = 0; w < config.workers; ++w) {
+    // Replica r of worker w lives on worker node 1 + (w + r) % P: replicas
+    // of one worker land on distinct nodes (when P > 1), and with
+    // replication 2 every worker node carries exactly two worker replicas —
+    // the paper's level-2 layout on the same machines.
+    std::vector<cluster::NodeId> placement;
+    for (int r = 0; r < config.replication; ++r) {
+      placement.push_back(1 + (w + r) % config.workers);
+    }
+    const auto tid = runtime.spawn(
+        "worker" + std::to_string(w),
+        [&params] { return std::make_unique<WorkerActor>(params); },
+        config.replication, placement);
+    RIF_CHECK(tid == params.worker_tids[w]);
+  }
+
+  cluster::FailureInjector injector(cluster);
+  injector.schedule(config.failures);
+  for (const auto& order : config.evacuations) {
+    RIF_CHECK_MSG(config.resilient, "evacuation requires resilient mode");
+    sim.schedule_at(order.time, [&runtime, node = order.node] {
+      runtime.evacuate_node(node);
+    });
+  }
+
+  runtime.start();
+  const bool finished = runtime.run(config.deadline);
+
+  FusionReport report;
+  report.completed = finished && outcome.completed;
+  report.elapsed_seconds = to_seconds(outcome.completion_time);
+  report.outcome = std::move(outcome);
+  report.protocol = runtime.stats();
+  report.network = network->stats();
+  report.crashes_injected = injector.crashes_injected();
+  report.sim_events = sim.events_executed();
+  for (cluster::NodeId n = 0; n < cluster.size(); ++n) {
+    report.total_flops_charged += cluster.node(n).flops_charged();
+  }
+  return report;
+}
+
+}  // namespace rif::core

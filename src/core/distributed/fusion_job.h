@@ -1,0 +1,81 @@
+// One-call runner for a distributed fusion experiment.
+//
+// Builds the virtual cluster (manager node + P worker nodes), the network
+// (LAN or SMP model), the scp runtime, the actor topology (manager
+// unreplicated — it represents the sensor, as in the paper's evaluation —
+// and P workers at the configured replication level, replicas co-resident
+// round-robin on the worker nodes exactly as the paper ran level-2
+// replication on its 16 workstations), optional failure injection, then
+// runs to completion and reports.
+#pragma once
+
+#include <vector>
+
+#include "cluster/failure_injector.h"
+#include "core/distributed/fusion_actors.h"
+#include "net/network.h"
+#include "scp/runtime.h"
+#include "support/time.h"
+
+namespace rif::core {
+
+enum class NetworkKind { kLan, kSharedBus, kSmp };
+
+struct FusionJobConfig {
+  int workers = 4;
+  /// Sub-cubes = workers * tiles_per_worker (the Fig. 5 granularity knob).
+  int tiles_per_worker = 2;
+  /// Worker replication level (1 = no replication).
+  int replication = 1;
+  /// Enable the resiliency protocol (acks, heartbeats, regeneration).
+  bool resilient = false;
+  /// When resilient: regenerate lost replicas (off = graceful degradation).
+  bool regenerate = true;
+
+  ExecutionMode mode = ExecutionMode::kCostOnly;
+  hsi::CubeShape shape{320, 320, 105};
+  /// Required in Full mode; must outlive the call.
+  const hsi::ImageCube* cube = nullptr;
+
+  double screening_threshold = 0.05;
+  int output_components = 3;
+  CostModelParams cost;
+  linalg::JacobiOptions jacobi;
+
+  NetworkKind network = NetworkKind::kLan;
+  net::LanConfig lan;
+  net::SmpConfig smp;
+  cluster::NodeConfig node;
+  scp::RuntimeConfig runtime;  ///< resilient/regenerate fields are overridden
+
+  /// Crash script on the virtual timeline (node ids: 0 = manager,
+  /// 1..workers = worker nodes).
+  std::vector<cluster::FailureEvent> failures;
+
+  /// Attack warnings: at each (time, node) the runtime evacuates the node's
+  /// replicas to safe hosts *before* any strike lands — the paper's
+  /// attack-assessment-driven mobility. Requires resilient mode.
+  struct EvacuationOrder {
+    SimTime time = 0;
+    cluster::NodeId node = cluster::kNoNode;
+  };
+  std::vector<EvacuationOrder> evacuations;
+
+  /// Abort the run if virtual time exceeds this (hang detector).
+  SimTime deadline = from_seconds(100000.0);
+};
+
+struct FusionReport {
+  bool completed = false;
+  double elapsed_seconds = 0.0;
+  JobOutcome outcome;
+  scp::ProtocolStats protocol;
+  net::NetworkStats network;
+  int crashes_injected = 0;
+  std::uint64_t sim_events = 0;
+  double total_flops_charged = 0.0;
+};
+
+FusionReport run_fusion_job(const FusionJobConfig& config);
+
+}  // namespace rif::core

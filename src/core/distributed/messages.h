@@ -1,0 +1,182 @@
+// Wire messages of the distributed fusion protocol.
+//
+// The eight algorithm steps map onto six message types flowing between the
+// manager (logical thread 0) and the workers. Every message has an encoded
+// form (Writer/Reader) so replica state transfer and CostOnly payload
+// substitution both work uniformly: in CostOnly mode the bulk arrays are
+// omitted and `declared_bytes` carries the size the real payload would
+// have had.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hsi/partition.h"
+#include "scp/types.h"
+#include "support/serialize.h"
+
+namespace rif::core {
+
+enum MsgType : std::uint32_t {
+  kRequestWork = 1,   ///< worker -> manager: give me the next sub-cube
+  kTileAssign = 2,    ///< manager -> worker: sub-cube descriptor (+ data)
+  kNoMoreTiles = 3,   ///< manager -> worker: screening pool exhausted
+  kScreenResult = 4,  ///< worker -> manager: per-tile unique set
+  kCovShard = 5,      ///< manager -> worker: unique-set shard + mean
+  kCovSum = 6,        ///< worker -> manager: partial covariance sum
+  kTransform = 7,     ///< manager -> worker: transform matrix + scales
+  kColorTile = 8,     ///< worker -> manager: colour-mapped tile
+};
+
+/// Tile descriptor shared by kTileAssign / kScreenResult / kColorTile.
+struct WireTile {
+  std::int32_t index = 0;
+  std::int32_t y0 = 0;
+  std::int32_t rows = 0;
+  std::int32_t width = 0;
+  std::int32_t bands = 0;
+
+  static WireTile from(const hsi::Tile& t) {
+    return {t.index, t.y0, t.rows, t.width, t.bands};
+  }
+  [[nodiscard]] hsi::Tile to_tile() const {
+    return {index, y0, rows, width, bands};
+  }
+  [[nodiscard]] std::int64_t pixels() const {
+    return static_cast<std::int64_t>(rows) * width;
+  }
+};
+
+struct TileAssignMsg {
+  WireTile tile;
+  std::vector<float> data;  ///< empty in CostOnly mode
+
+  [[nodiscard]] scp::Message encode(std::uint64_t declared) const {
+    Writer w;
+    w.put(tile);
+    w.put_vector(data);
+    return {kTileAssign, std::move(w).take(), declared};
+  }
+  static TileAssignMsg decode(const scp::Message& m) {
+    Reader r(m.payload);
+    TileAssignMsg out;
+    out.tile = r.get<WireTile>();
+    out.data = r.get_vector<float>();
+    return out;
+  }
+};
+
+struct ScreenResultMsg {
+  WireTile tile;
+  std::uint64_t unique_count = 0;   ///< vectors found (model value in CostOnly)
+  std::uint64_t comparisons = 0;    ///< screening comparisons performed
+  std::vector<float> vectors;       ///< unique vectors; empty in CostOnly
+
+  [[nodiscard]] scp::Message encode(std::uint64_t declared) const {
+    Writer w;
+    w.put(tile);
+    w.put<std::uint64_t>(unique_count);
+    w.put<std::uint64_t>(comparisons);
+    w.put_vector(vectors);
+    return {kScreenResult, std::move(w).take(), declared};
+  }
+  static ScreenResultMsg decode(const scp::Message& m) {
+    Reader r(m.payload);
+    ScreenResultMsg out;
+    out.tile = r.get<WireTile>();
+    out.unique_count = r.get<std::uint64_t>();
+    out.comparisons = r.get<std::uint64_t>();
+    out.vectors = r.get_vector<float>();
+    return out;
+  }
+};
+
+struct CovShardMsg {
+  std::uint64_t shard_count = 0;  ///< unique vectors in this shard
+  std::vector<float> vectors;     ///< empty in CostOnly
+  std::vector<double> mean;       ///< unique-set mean (step 3 output)
+
+  [[nodiscard]] scp::Message encode(std::uint64_t declared) const {
+    Writer w;
+    w.put<std::uint64_t>(shard_count);
+    w.put_vector(vectors);
+    w.put_vector(mean);
+    return {kCovShard, std::move(w).take(), declared};
+  }
+  static CovShardMsg decode(const scp::Message& m) {
+    Reader r(m.payload);
+    CovShardMsg out;
+    out.shard_count = r.get<std::uint64_t>();
+    out.vectors = r.get_vector<float>();
+    out.mean = r.get_vector<double>();
+    return out;
+  }
+};
+
+struct CovSumMsg {
+  std::vector<std::uint8_t> accumulator;  ///< CovarianceAccumulator::encode()
+
+  [[nodiscard]] scp::Message encode(std::uint64_t declared) const {
+    Writer w;
+    w.put_vector(accumulator);
+    return {kCovSum, std::move(w).take(), declared};
+  }
+  static CovSumMsg decode(const scp::Message& m) {
+    Reader r(m.payload);
+    CovSumMsg out;
+    out.accumulator = r.get_vector<std::uint8_t>();
+    return out;
+  }
+};
+
+struct TransformMsg {
+  std::int32_t components = 0;
+  std::int32_t bands = 0;
+  std::vector<double> matrix;      ///< components x bands, row-major
+  std::vector<double> mean;
+  std::vector<double> scale_mean;  ///< per-component colour scales
+  std::vector<double> scale_gain;
+
+  [[nodiscard]] scp::Message encode(std::uint64_t declared) const {
+    Writer w;
+    w.put(components);
+    w.put(bands);
+    w.put_vector(matrix);
+    w.put_vector(mean);
+    w.put_vector(scale_mean);
+    w.put_vector(scale_gain);
+    return {kTransform, std::move(w).take(), declared};
+  }
+  static TransformMsg decode(const scp::Message& m) {
+    Reader r(m.payload);
+    TransformMsg out;
+    out.components = r.get<std::int32_t>();
+    out.bands = r.get<std::int32_t>();
+    out.matrix = r.get_vector<double>();
+    out.mean = r.get_vector<double>();
+    out.scale_mean = r.get_vector<double>();
+    out.scale_gain = r.get_vector<double>();
+    return out;
+  }
+};
+
+struct ColorTileMsg {
+  WireTile tile;
+  std::vector<std::uint8_t> rgb;  ///< rows*width*3 bytes; empty in CostOnly
+
+  [[nodiscard]] scp::Message encode(std::uint64_t declared) const {
+    Writer w;
+    w.put(tile);
+    w.put_vector(rgb);
+    return {kColorTile, std::move(w).take(), declared};
+  }
+  static ColorTileMsg decode(const scp::Message& m) {
+    Reader r(m.payload);
+    ColorTileMsg out;
+    out.tile = r.get<WireTile>();
+    out.rgb = r.get_vector<std::uint8_t>();
+    return out;
+  }
+};
+
+}  // namespace rif::core

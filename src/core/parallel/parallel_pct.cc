@@ -1,0 +1,125 @@
+#include "core/parallel/parallel_pct.h"
+
+#include <atomic>
+
+#include "hsi/partition.h"
+#include "linalg/stats.h"
+#include "support/check.h"
+
+namespace rif::core {
+
+PctResult fuse_parallel(const hsi::ImageCube& cube, ThreadPool& pool,
+                        const ParallelPctConfig& config) {
+  RIF_CHECK(config.pct.output_components >= 3);
+  const int bands = cube.bands();
+  const int tiles = config.tiles > 0 ? config.tiles : pool.size();
+  PctResult result;
+
+  // Step 1 (concurrent): per-tile unique sets.
+  const hsi::CubeShape shape{cube.width(), cube.height(), bands};
+  const auto tile_list = hsi::partition_rows(shape, tiles);
+  std::vector<UniqueSet> tile_sets;
+  tile_sets.reserve(tile_list.size());
+  for (const auto& t : tile_list) {
+    (void)t;
+    tile_sets.emplace_back(bands, config.pct.screening_threshold);
+  }
+  std::atomic<std::uint64_t> comparisons{0};
+  pool.parallel_tasks(static_cast<int>(tile_list.size()), [&](int i) {
+    const auto& t = tile_list[i];
+    std::uint64_t local = 0;
+    const std::int64_t first = t.first_flat_index();
+    for (std::int64_t p = first; p < first + t.pixels(); ++p) {
+      tile_sets[i].screen(cube.pixel(p), &local);
+    }
+    comparisons += local;
+  });
+  result.screen_comparisons = comparisons.load();
+
+  // Step 2: merge the per-tile sets. Sequential left fold in tile order
+  // matches the distributed manager bit-for-bit; the parallel tree merge
+  // trades that for scalability on real multiprocessors.
+  UniqueSet unique(bands, config.pct.screening_threshold);
+  if (config.parallel_merge && tile_sets.size() > 1) {
+    std::vector<UniqueSet> level = std::move(tile_sets);
+    while (level.size() > 1) {
+      const int pairs = static_cast<int>(level.size() / 2);
+      pool.parallel_tasks(pairs, [&](int i) {
+        level[2 * i].merge(level[2 * i + 1]);
+      });
+      // Survivors are the even slots; an unpaired trailing set (odd count)
+      // is an even slot too and rides along to the next level.
+      std::vector<UniqueSet> next;
+      next.reserve((level.size() + 1) / 2);
+      for (std::size_t i = 0; i < level.size(); i += 2) {
+        next.push_back(std::move(level[i]));
+      }
+      level = std::move(next);
+    }
+    unique = std::move(level.front());
+  } else {
+    for (const auto& set : tile_sets) unique.merge(set);
+  }
+  result.unique_set_size = unique.size();
+  RIF_CHECK_MSG(unique.size() >= 3, "degenerate scene: unique set too small");
+
+  // Step 3: mean over the unique set.
+  linalg::MeanAccumulator mean_acc(bands);
+  for (std::size_t i = 0; i < unique.size(); ++i) mean_acc.add(unique.member(i));
+  result.mean = mean_acc.mean();
+
+  // Step 4 (concurrent): sharded covariance sums.
+  const int shards = config.cov_shards > 0 ? config.cov_shards : pool.size();
+  const auto chunks =
+      hsi::partition_range(static_cast<std::int64_t>(unique.size()), shards);
+  std::vector<linalg::CovarianceAccumulator> accs;
+  accs.reserve(shards);
+  for (int s = 0; s < shards; ++s) accs.emplace_back(bands, result.mean);
+  pool.parallel_tasks(shards, [&](int s) {
+    for (std::int64_t i = chunks[s].begin; i < chunks[s].end; ++i) {
+      accs[s].add(unique.member(static_cast<std::size_t>(i)));
+    }
+  });
+
+  // Step 5 (sequential): average.
+  linalg::CovarianceAccumulator total = std::move(accs.front());
+  for (int s = 1; s < shards; ++s) total.merge(accs[s]);
+  const linalg::Matrix cov = total.covariance();
+
+  // Step 6 (sequential): eigen-decomposition.
+  linalg::EigenResult eig = linalg::jacobi_eigen(cov, config.pct.jacobi);
+  result.eigenvalues = eig.values;
+  result.eigenvectors = eig.vectors;
+  result.jacobi_sweeps = eig.sweeps;
+
+  // Steps 7-8 (concurrent): transform + colour map.
+  const linalg::Matrix t =
+      transform_matrix(eig.vectors, config.pct.output_components);
+  const auto scales = scales_from_eigenvalues(eig.values);
+  const auto n = static_cast<std::size_t>(cube.pixel_count());
+  result.component_planes.assign(config.pct.output_components,
+                                 std::vector<float>(n));
+  result.composite = hsi::RgbImage(cube.width(), cube.height());
+  pool.parallel_for(cube.pixel_count(), [&](std::int64_t lo, std::int64_t hi) {
+    std::vector<float> comp(config.pct.output_components);
+    for (std::int64_t p = lo; p < hi; ++p) {
+      transform_pixel(t, result.mean, cube.pixel(p), comp);
+      for (int c = 0; c < config.pct.output_components; ++c) {
+        result.component_planes[c][p] = comp[c];
+      }
+      const auto rgb = map_pixel({comp[0], comp[1], comp[2]}, scales);
+      result.composite.data[p * 3 + 0] = rgb[0];
+      result.composite.data[p * 3 + 1] = rgb[1];
+      result.composite.data[p * 3 + 2] = rgb[2];
+    }
+  });
+  return result;
+}
+
+PctResult fuse_parallel(const hsi::ImageCube& cube,
+                        const ParallelPctConfig& config) {
+  ThreadPool pool(config.threads);
+  return fuse_parallel(cube, pool, config);
+}
+
+}  // namespace rif::core

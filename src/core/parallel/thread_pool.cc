@@ -1,0 +1,93 @@
+#include "core/parallel/thread_pool.h"
+
+#include <atomic>
+
+namespace rif::core {
+
+ThreadPool::ThreadPool(int threads) {
+  RIF_CHECK(threads >= 1);
+  threads_.reserve(threads);
+  for (int i = 0; i < threads; ++i) {
+    threads_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (auto& t : threads_) t.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      if (stopping_ && queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();
+  }
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  {
+    std::lock_guard lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+void ThreadPool::parallel_tasks(int count, const std::function<void(int)>& fn) {
+  RIF_CHECK(count >= 0);
+  if (count == 0) return;
+
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  int remaining = count;
+  std::exception_ptr first_error;
+
+  for (int i = 0; i < count; ++i) {
+    submit([&, i] {
+      try {
+        fn(i);
+      } catch (...) {
+        std::lock_guard lock(done_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      {
+        std::lock_guard lock(done_mutex);
+        --remaining;
+      }
+      done_cv.notify_one();
+    });
+  }
+  std::unique_lock lock(done_mutex);
+  done_cv.wait(lock, [&] { return remaining == 0; });
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+void ThreadPool::parallel_for(
+    std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn) {
+  RIF_CHECK(n >= 0);
+  if (n == 0) return;
+  const int chunks =
+      static_cast<int>(std::min<std::int64_t>(n, threads_.size()));
+  const std::int64_t base = n / chunks;
+  const std::int64_t extra = n % chunks;
+  std::vector<std::pair<std::int64_t, std::int64_t>> ranges;
+  std::int64_t pos = 0;
+  for (int c = 0; c < chunks; ++c) {
+    const std::int64_t len = base + (c < extra ? 1 : 0);
+    ranges.emplace_back(pos, pos + len);
+    pos += len;
+  }
+  parallel_tasks(chunks, [&](int c) { fn(ranges[c].first, ranges[c].second); });
+}
+
+}  // namespace rif::core

@@ -1,0 +1,51 @@
+// Minimal work-queue thread pool plus a blocking parallel_for.
+//
+// Used by the shared-memory variant of the fusion pipeline (the paper's §4
+// remark about multiprocessor operation). Kept deliberately simple: tasks
+// are std::function, parallel_for partitions an index range into contiguous
+// chunks, and exceptions in workers propagate to the caller.
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "support/check.h"
+
+namespace rif::core {
+
+class ThreadPool {
+ public:
+  explicit ThreadPool(int threads);
+  ~ThreadPool();
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
+
+  /// Run fn(chunk_begin, chunk_end) over [0, n) split into one contiguous
+  /// chunk per thread; blocks until every chunk completes. Rethrows the
+  /// first worker exception.
+  void parallel_for(std::int64_t n,
+                    const std::function<void(std::int64_t, std::int64_t)>& fn);
+
+  /// Run fn(i) for i in [0, count) as `count` independent tasks; blocks.
+  void parallel_tasks(int count, const std::function<void(int)>& fn);
+
+ private:
+  void worker_loop();
+  void submit(std::function<void()> task);
+
+  std::vector<std::thread> threads_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+};
+
+}  // namespace rif::core

@@ -1,0 +1,109 @@
+#include "core/pct.h"
+
+#include <cmath>
+
+#include "linalg/stats.h"
+#include "support/check.h"
+
+namespace rif::core {
+
+linalg::Matrix transform_matrix(const linalg::Matrix& eigenvectors,
+                                int output_components) {
+  RIF_CHECK(output_components >= 1 &&
+            output_components <= eigenvectors.cols());
+  linalg::Matrix t(output_components, eigenvectors.rows());
+  for (int c = 0; c < output_components; ++c) {
+    for (int b = 0; b < eigenvectors.rows(); ++b) {
+      t(c, b) = eigenvectors(b, c);
+    }
+  }
+  return t;
+}
+
+void transform_pixel(const linalg::Matrix& transform,
+                     const std::vector<double>& mean,
+                     std::span<const float> pixel, std::span<float> out) {
+  const int bands = transform.cols();
+  const int comps = transform.rows();
+  RIF_DCHECK(static_cast<int>(pixel.size()) == bands);
+  RIF_DCHECK(static_cast<int>(mean.size()) == bands);
+  RIF_DCHECK(static_cast<int>(out.size()) == comps);
+  for (int c = 0; c < comps; ++c) {
+    const double* row = transform.row(c);
+    double acc = 0.0;
+    for (int b = 0; b < bands; ++b) {
+      acc += row[b] * (static_cast<double>(pixel[b]) - mean[b]);
+    }
+    out[c] = static_cast<float>(acc);
+  }
+}
+
+std::array<ComponentScale, 3> scales_from_eigenvalues(
+    const std::vector<double>& eigenvalues) {
+  RIF_CHECK(eigenvalues.size() >= 3);
+  std::array<ComponentScale, 3> scales{};
+  for (int i = 0; i < 3; ++i) {
+    const double stddev = std::sqrt(std::max(eigenvalues[i], 1e-24));
+    scales[i] = make_scale(ComponentStats{0.0, stddev});
+  }
+  return scales;
+}
+
+PctResult fuse(const hsi::ImageCube& cube, const PctConfig& config) {
+  RIF_CHECK(config.output_components >= 3);
+  RIF_CHECK(config.output_components <= cube.bands());
+  PctResult result;
+
+  // Steps 1-2: screening. Sequentially the whole cube is one "part".
+  UniqueSet unique = screen_range(cube, 0, cube.pixel_count(),
+                                  config.screening_threshold,
+                                  &result.screen_comparisons);
+  result.unique_set_size = unique.size();
+  RIF_CHECK_MSG(unique.size() >= 3, "degenerate scene: unique set too small");
+
+  // Step 3: mean vector of the unique set.
+  linalg::MeanAccumulator mean_acc(cube.bands());
+  for (std::size_t i = 0; i < unique.size(); ++i) mean_acc.add(unique.member(i));
+  result.mean = mean_acc.mean();
+
+  // Steps 4-5: covariance of the unique set.
+  linalg::CovarianceAccumulator cov_acc(cube.bands(), result.mean);
+  for (std::size_t i = 0; i < unique.size(); ++i) cov_acc.add(unique.member(i));
+  const linalg::Matrix cov = cov_acc.covariance();
+
+  // Step 6: eigen-decomposition, sorted descending.
+  linalg::EigenResult eig = linalg::jacobi_eigen(cov, config.jacobi);
+  result.eigenvalues = eig.values;
+  result.eigenvectors = eig.vectors;
+  result.jacobi_sweeps = eig.sweeps;
+
+  // Step 7: transform every original pixel.
+  const linalg::Matrix t =
+      transform_matrix(eig.vectors, config.output_components);
+  const auto n = static_cast<std::size_t>(cube.pixel_count());
+  result.component_planes.assign(config.output_components,
+                                 std::vector<float>(n));
+  std::vector<float> comp(config.output_components);
+  for (std::int64_t p = 0; p < cube.pixel_count(); ++p) {
+    transform_pixel(t, result.mean, cube.pixel(p), comp);
+    for (int c = 0; c < config.output_components; ++c) {
+      result.component_planes[c][p] = comp[c];
+    }
+  }
+
+  // Step 8: colour mapping with eigenvalue-derived scales.
+  const auto scales = scales_from_eigenvalues(result.eigenvalues);
+  result.composite = hsi::RgbImage(cube.width(), cube.height());
+  for (std::size_t p = 0; p < n; ++p) {
+    const auto rgb = map_pixel({result.component_planes[0][p],
+                                result.component_planes[1][p],
+                                result.component_planes[2][p]},
+                               scales);
+    result.composite.data[p * 3 + 0] = rgb[0];
+    result.composite.data[p * 3 + 1] = rgb[1];
+    result.composite.data[p * 3 + 2] = rgb[2];
+  }
+  return result;
+}
+
+}  // namespace rif::core

@@ -1,0 +1,70 @@
+// Sequential spectral-screening PCT fusion pipeline (paper §3, steps 1-8).
+//
+// This is the reference implementation: the distributed manager/worker
+// version and the shared-memory version compute exactly the same function
+// (same screening order, same statistics, same transform, same mapping),
+// which the integration tests assert byte-for-byte on the composite.
+//
+// Component scaling: the transformed unique set has zero mean and variance
+// lambda_i along component i, so the colour-mapping scales are derived from
+// the eigenvalues. This makes the scaling a pure function of the statistics
+// the manager already owns — essential for the distributed version, where
+// no single thread ever holds a full component plane.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/color_map.h"
+#include "core/spectral_angle.h"
+#include "hsi/image_cube.h"
+#include "hsi/image_io.h"
+#include "linalg/jacobi_eig.h"
+#include "linalg/matrix.h"
+
+namespace rif::core {
+
+struct PctConfig {
+  /// Spectral-angle threshold (radians) for unique-set membership.
+  double screening_threshold = 0.05;
+  /// Number of leading principal components to compute (>= 3 for colour).
+  int output_components = 3;
+  linalg::JacobiOptions jacobi;
+};
+
+struct PctResult {
+  hsi::RgbImage composite;
+  /// output_components planes, each width*height floats.
+  std::vector<std::vector<float>> component_planes;
+  std::vector<double> eigenvalues;  ///< all bands, descending
+  linalg::Matrix eigenvectors;      ///< bands x bands, columns sorted
+  std::vector<double> mean;         ///< unique-set mean vector (step 3)
+  std::size_t unique_set_size = 0;  ///< K (step 2)
+  std::uint64_t screen_comparisons = 0;
+  int jacobi_sweeps = 0;
+};
+
+/// Run the full pipeline on a cube.
+PctResult fuse(const hsi::ImageCube& cube, const PctConfig& config = {});
+
+/// The truncated transform: rows = leading eigenvector transposes, so
+/// component c of pixel x is  row_c . (x - mean).
+linalg::Matrix transform_matrix(const linalg::Matrix& eigenvectors,
+                                int output_components);
+
+/// Transform one pixel into `out` (size = transform.rows()).
+void transform_pixel(const linalg::Matrix& transform,
+                     const std::vector<double>& mean,
+                     std::span<const float> pixel, std::span<float> out);
+
+/// Colour-mapping scales from the leading eigenvalues (see header comment).
+std::array<ComponentScale, 3> scales_from_eigenvalues(
+    const std::vector<double>& eigenvalues);
+
+/// Flops charged per transformed pixel for `bands` -> `components`.
+inline double transform_flops_per_pixel(int bands, int components) {
+  return static_cast<double>(components) * (2.0 * bands) + bands;
+}
+
+}  // namespace rif::core

@@ -1,0 +1,243 @@
+#include "core/postprocess.h"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+
+#include "support/check.h"
+
+namespace rif::core {
+
+std::vector<float> luminance(const hsi::RgbImage& image) {
+  const std::size_t n = static_cast<std::size_t>(image.width) * image.height;
+  std::vector<float> out(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    out[i] = static_cast<float>(0.299 * image.data[i * 3 + 0] +
+                                0.587 * image.data[i * 3 + 1] +
+                                0.114 * image.data[i * 3 + 2]);
+  }
+  return out;
+}
+
+std::vector<float> sobel_magnitude(const std::vector<float>& plane, int width,
+                                   int height) {
+  RIF_CHECK(plane.size() == static_cast<std::size_t>(width) * height);
+  std::vector<float> out(plane.size(), 0.0f);
+  auto at = [&](int x, int y) {
+    return plane[static_cast<std::size_t>(y) * width + x];
+  };
+  for (int y = 1; y + 1 < height; ++y) {
+    for (int x = 1; x + 1 < width; ++x) {
+      const double gx = -at(x - 1, y - 1) - 2 * at(x - 1, y) - at(x - 1, y + 1)
+                        + at(x + 1, y - 1) + 2 * at(x + 1, y) + at(x + 1, y + 1);
+      const double gy = -at(x - 1, y - 1) - 2 * at(x, y - 1) - at(x + 1, y - 1)
+                        + at(x - 1, y + 1) + 2 * at(x, y + 1) + at(x + 1, y + 1);
+      out[static_cast<std::size_t>(y) * width + x] =
+          static_cast<float>(std::sqrt(gx * gx + gy * gy));
+    }
+  }
+  return out;
+}
+
+std::vector<float> rx_anomaly(const std::vector<std::vector<float>>& channels,
+                              int width, int height) {
+  const int k = static_cast<int>(channels.size());
+  RIF_CHECK(k >= 1 && k <= 16);
+  const std::size_t n = static_cast<std::size_t>(width) * height;
+  for (const auto& c : channels) RIF_CHECK(c.size() == n);
+
+  // Global mean and covariance of the channel vectors.
+  std::vector<double> mean(k, 0.0);
+  for (int c = 0; c < k; ++c) {
+    double s = 0.0;
+    for (const float v : channels[c]) s += v;
+    mean[c] = s / static_cast<double>(n);
+  }
+  std::vector<double> cov(static_cast<std::size_t>(k) * k, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int a = 0; a < k; ++a) {
+      const double da = channels[a][i] - mean[a];
+      for (int b = a; b < k; ++b) {
+        cov[static_cast<std::size_t>(a) * k + b] +=
+            da * (channels[b][i] - mean[b]);
+      }
+    }
+  }
+  for (int a = 0; a < k; ++a) {
+    for (int b = a; b < k; ++b) {
+      const double v = cov[static_cast<std::size_t>(a) * k + b] /
+                       static_cast<double>(n);
+      cov[static_cast<std::size_t>(a) * k + b] = v;
+      cov[static_cast<std::size_t>(b) * k + a] = v;
+    }
+    cov[static_cast<std::size_t>(a) * k + a] += 1e-12;
+  }
+
+  // Invert by Gauss-Jordan with partial pivoting.
+  std::vector<double> inv(static_cast<std::size_t>(k) * k, 0.0);
+  std::vector<double> work = cov;
+  for (int i = 0; i < k; ++i) inv[static_cast<std::size_t>(i) * k + i] = 1.0;
+  for (int col = 0; col < k; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < k; ++r) {
+      if (std::abs(work[static_cast<std::size_t>(r) * k + col]) >
+          std::abs(work[static_cast<std::size_t>(pivot) * k + col])) {
+        pivot = r;
+      }
+    }
+    for (int c = 0; c < k; ++c) {
+      std::swap(work[static_cast<std::size_t>(col) * k + c],
+                work[static_cast<std::size_t>(pivot) * k + c]);
+      std::swap(inv[static_cast<std::size_t>(col) * k + c],
+                inv[static_cast<std::size_t>(pivot) * k + c]);
+    }
+    const double d = work[static_cast<std::size_t>(col) * k + col];
+    RIF_CHECK_MSG(std::abs(d) > 1e-300, "singular covariance in RX");
+    for (int c = 0; c < k; ++c) {
+      work[static_cast<std::size_t>(col) * k + c] /= d;
+      inv[static_cast<std::size_t>(col) * k + c] /= d;
+    }
+    for (int r = 0; r < k; ++r) {
+      if (r == col) continue;
+      const double f = work[static_cast<std::size_t>(r) * k + col];
+      for (int c = 0; c < k; ++c) {
+        work[static_cast<std::size_t>(r) * k + c] -=
+            f * work[static_cast<std::size_t>(col) * k + c];
+        inv[static_cast<std::size_t>(r) * k + c] -=
+            f * inv[static_cast<std::size_t>(col) * k + c];
+      }
+    }
+  }
+
+  std::vector<float> scores(n);
+  std::vector<double> d(k), id(k);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (int a = 0; a < k; ++a) d[a] = channels[a][i] - mean[a];
+    double q = 0.0;
+    for (int a = 0; a < k; ++a) {
+      double acc = 0.0;
+      for (int b = 0; b < k; ++b) {
+        acc += inv[static_cast<std::size_t>(a) * k + b] * d[b];
+      }
+      q += d[a] * acc;
+    }
+    scores[i] = static_cast<float>(q > 0.0 ? std::sqrt(q) : 0.0);
+  }
+  return scores;
+}
+
+std::vector<std::uint8_t> top_fraction_mask(const std::vector<float>& plane,
+                                            double fraction) {
+  RIF_CHECK(fraction > 0.0 && fraction <= 1.0);
+  std::vector<float> sorted = plane;
+  const auto cut_index =
+      static_cast<std::size_t>((1.0 - fraction) * (sorted.size() - 1));
+  std::nth_element(sorted.begin(), sorted.begin() + cut_index, sorted.end());
+  const float cut = sorted[cut_index];
+  std::vector<std::uint8_t> mask(plane.size(), 0);
+  for (std::size_t i = 0; i < plane.size(); ++i) {
+    mask[i] = plane[i] > cut ? 1 : 0;
+  }
+  return mask;
+}
+
+std::vector<Blob> find_blobs(const std::vector<std::uint8_t>& mask, int width,
+                             int height, std::int64_t min_pixels) {
+  RIF_CHECK(mask.size() == static_cast<std::size_t>(width) * height);
+  std::vector<std::uint8_t> seen(mask.size(), 0);
+  std::vector<Blob> blobs;
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const std::size_t start = static_cast<std::size_t>(y) * width + x;
+      if (mask[start] == 0 || seen[start] != 0) continue;
+
+      Blob blob;
+      blob.min_x = blob.max_x = x;
+      blob.min_y = blob.max_y = y;
+      double sx = 0.0, sy = 0.0;
+      std::deque<std::pair<int, int>> queue{{x, y}};
+      seen[start] = 1;
+      while (!queue.empty()) {
+        const auto [cx, cy] = queue.front();
+        queue.pop_front();
+        ++blob.pixels;
+        sx += cx;
+        sy += cy;
+        blob.min_x = std::min(blob.min_x, cx);
+        blob.max_x = std::max(blob.max_x, cx);
+        blob.min_y = std::min(blob.min_y, cy);
+        blob.max_y = std::max(blob.max_y, cy);
+        for (int dy = -1; dy <= 1; ++dy) {
+          for (int dx = -1; dx <= 1; ++dx) {
+            const int nx = cx + dx;
+            const int ny = cy + dy;
+            if (nx < 0 || nx >= width || ny < 0 || ny >= height) continue;
+            const std::size_t ni = static_cast<std::size_t>(ny) * width + nx;
+            if (mask[ni] != 0 && seen[ni] == 0) {
+              seen[ni] = 1;
+              queue.emplace_back(nx, ny);
+            }
+          }
+        }
+      }
+      blob.centroid_x = sx / static_cast<double>(blob.pixels);
+      blob.centroid_y = sy / static_cast<double>(blob.pixels);
+      if (blob.pixels >= min_pixels) blobs.push_back(blob);
+    }
+  }
+  return blobs;
+}
+
+DetectionScore score_detections(const std::vector<Blob>& blobs,
+                                const std::vector<std::uint8_t>& labels,
+                                int width, int height,
+                                const std::vector<hsi::Material>& targets) {
+  RIF_CHECK(labels.size() == static_cast<std::size_t>(width) * height);
+  auto is_target = [&](int x, int y) {
+    if (x < 0 || x >= width || y < 0 || y >= height) return false;
+    const auto l = labels[static_cast<std::size_t>(y) * width + x];
+    for (const auto t : targets) {
+      if (l == static_cast<std::uint8_t>(t)) return true;
+    }
+    return false;
+  };
+
+  // Ground-truth target regions = blobs of the target materials.
+  std::vector<std::uint8_t> target_mask(labels.size(), 0);
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    for (const auto t : targets) {
+      if (labels[i] == static_cast<std::uint8_t>(t)) target_mask[i] = 1;
+    }
+  }
+  const std::vector<Blob> truth = find_blobs(target_mask, width, height, 1);
+
+  DetectionScore score;
+  score.targets_present = static_cast<int>(truth.size());
+  std::vector<bool> hit(truth.size(), false);
+  for (const Blob& blob : blobs) {
+    const int cx = static_cast<int>(blob.centroid_x + 0.5);
+    const int cy = static_cast<int>(blob.centroid_y + 0.5);
+    bool near_target = false;
+    for (int dy = -2; dy <= 2 && !near_target; ++dy) {
+      for (int dx = -2; dx <= 2 && !near_target; ++dx) {
+        near_target = is_target(cx + dx, cy + dy);
+      }
+    }
+    if (!near_target) {
+      ++score.false_alarms;
+      continue;
+    }
+    for (std::size_t t = 0; t < truth.size(); ++t) {
+      if (cx >= truth[t].min_x - 2 && cx <= truth[t].max_x + 2 &&
+          cy >= truth[t].min_y - 2 && cy <= truth[t].max_y + 2) {
+        hit[t] = true;
+      }
+    }
+  }
+  for (const bool h : hit) {
+    if (h) ++score.targets_detected;
+  }
+  return score;
+}
+
+}  // namespace rif::core

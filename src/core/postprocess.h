@@ -1,0 +1,68 @@
+// Post-processing of fused imagery (the paper's closing remark for §3:
+// "Postprocessing steps can subsequently be applied to detect edges in the
+// image and use structural information to detect and classify the
+// vehicles").
+//
+// Provides the classic chain: luminance/edge extraction, RX anomaly
+// scoring over multi-channel planes, percentile thresholding, connected
+// components, and scoring of detections against ground truth.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hsi/image_io.h"
+#include "hsi/spectra.h"
+
+namespace rif::core {
+
+/// Rec.601 luminance plane of an RGB composite.
+std::vector<float> luminance(const hsi::RgbImage& image);
+
+/// Sobel gradient magnitude (border pixels are zero).
+std::vector<float> sobel_magnitude(const std::vector<float>& plane, int width,
+                                   int height);
+
+/// RX anomaly score: Mahalanobis distance of each pixel's channel vector
+/// from the global mean under the global channel covariance. Channels are
+/// equal-sized planes (e.g. the three principal-component planes).
+std::vector<float> rx_anomaly(const std::vector<std::vector<float>>& channels,
+                              int width, int height);
+
+/// Binary mask of the `fraction` highest-valued pixels of a plane.
+std::vector<std::uint8_t> top_fraction_mask(const std::vector<float>& plane,
+                                            double fraction);
+
+/// A connected region of a binary mask (8-connectivity).
+struct Blob {
+  int min_x = 0, min_y = 0, max_x = 0, max_y = 0;
+  std::int64_t pixels = 0;
+  double centroid_x = 0.0, centroid_y = 0.0;
+
+  [[nodiscard]] int width() const { return max_x - min_x + 1; }
+  [[nodiscard]] int height() const { return max_y - min_y + 1; }
+};
+
+/// Extract connected components with at least `min_pixels` pixels.
+std::vector<Blob> find_blobs(const std::vector<std::uint8_t>& mask, int width,
+                             int height, std::int64_t min_pixels = 4);
+
+/// Detection quality against ground-truth labels: a blob counts as a hit
+/// if its centroid lies on (or within 2 px of) a target-material pixel.
+struct DetectionScore {
+  int targets_present = 0;   ///< distinct ground-truth target regions
+  int targets_detected = 0;  ///< regions hit by at least one blob
+  int false_alarms = 0;      ///< blobs hitting no target material
+  [[nodiscard]] double recall() const {
+    return targets_present ? static_cast<double>(targets_detected) /
+                                 targets_present
+                           : 0.0;
+  }
+};
+
+DetectionScore score_detections(const std::vector<Blob>& blobs,
+                                const std::vector<std::uint8_t>& labels,
+                                int width, int height,
+                                const std::vector<hsi::Material>& targets);
+
+}  // namespace rif::core

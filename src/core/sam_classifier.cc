@@ -1,0 +1,122 @@
+#include "core/sam_classifier.h"
+
+#include <cmath>
+#include <limits>
+
+#include "core/spectral_angle.h"
+#include "support/check.h"
+
+namespace rif::core {
+
+SamResult classify_sam(const hsi::ImageCube& cube,
+                       const std::vector<LibrarySignature>& library,
+                       const SamConfig& config) {
+  RIF_CHECK(!library.empty());
+  RIF_CHECK(library.size() < 32000);
+  for (const auto& sig : library) {
+    RIF_CHECK_MSG(static_cast<int>(sig.spectrum.size()) == cube.bands(),
+                  "library signature band count mismatch");
+  }
+
+  SamResult result;
+  const auto n = static_cast<std::size_t>(cube.pixel_count());
+  result.classes.resize(n);
+  result.angles.resize(n);
+  result.counts.assign(library.size(), 0);
+
+  // Precompute inverse norms of the library spectra.
+  std::vector<double> inv_norm(library.size());
+  for (std::size_t s = 0; s < library.size(); ++s) {
+    double norm2 = 0.0;
+    for (const float v : library[s].spectrum) {
+      norm2 += static_cast<double>(v) * v;
+    }
+    RIF_CHECK_MSG(norm2 > 0.0, "zero library signature");
+    inv_norm[s] = 1.0 / std::sqrt(norm2);
+  }
+
+  const int bands = cube.bands();
+  for (std::int64_t p = 0; p < cube.pixel_count(); ++p) {
+    const auto px = cube.pixel(p);
+    double px_norm2 = 0.0;
+    for (const float v : px) px_norm2 += static_cast<double>(v) * v;
+    if (px_norm2 <= 0.0) {
+      result.classes[p] = kUnclassified;
+      result.angles[p] = std::numeric_limits<float>::infinity();
+      ++result.unclassified;
+      continue;
+    }
+    const double px_inv = 1.0 / std::sqrt(px_norm2);
+
+    double best_cos = -2.0;
+    std::int16_t best = kUnclassified;
+    for (std::size_t s = 0; s < library.size(); ++s) {
+      const auto& spec = library[s].spectrum;
+      double dot = 0.0;
+      for (int b = 0; b < bands; ++b) {
+        dot += static_cast<double>(spec[b]) * px[b];
+      }
+      const double cosine = dot * inv_norm[s] * px_inv;
+      if (cosine > best_cos) {
+        best_cos = cosine;
+        best = static_cast<std::int16_t>(s);
+      }
+    }
+    const double angle =
+        std::acos(std::min(1.0, std::max(-1.0, best_cos)));
+    result.angles[p] = static_cast<float>(angle);
+    if (angle <= config.rejection_threshold) {
+      result.classes[p] = best;
+      ++result.counts[best];
+    } else {
+      result.classes[p] = kUnclassified;
+      ++result.unclassified;
+    }
+  }
+  return result;
+}
+
+std::vector<ConfusionRow> confusion_by_label(
+    const SamResult& result, const std::vector<std::uint8_t>& labels) {
+  RIF_CHECK(labels.size() == result.classes.size());
+  std::vector<ConfusionRow> rows;
+  auto row_for = [&rows, &result](std::uint8_t label) -> ConfusionRow& {
+    for (auto& r : rows) {
+      if (r.truth_label == label) return r;
+    }
+    rows.push_back(ConfusionRow{label,
+                                std::vector<std::int64_t>(
+                                    result.counts.size(), 0),
+                                0, 0});
+    return rows.back();
+  };
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    ConfusionRow& row = row_for(labels[i]);
+    ++row.total;
+    if (result.classes[i] == kUnclassified) {
+      ++row.unclassified;
+    } else {
+      ++row.assigned[result.classes[i]];
+    }
+  }
+  return rows;
+}
+
+double sam_accuracy(const SamResult& result,
+                    const std::vector<std::uint8_t>& labels,
+                    const std::vector<int>& library_to_label) {
+  RIF_CHECK(labels.size() == result.classes.size());
+  RIF_CHECK(library_to_label.size() == result.counts.size());
+  std::int64_t correct = 0;
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    const auto cls = result.classes[i];
+    if (cls == kUnclassified) continue;
+    if (library_to_label[cls] >= 0 &&
+        library_to_label[cls] == static_cast<int>(labels[i])) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(labels.size());
+}
+
+}  // namespace rif::core

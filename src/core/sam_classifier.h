@@ -1,0 +1,62 @@
+// Spectral Angle Mapper (SAM) classification.
+//
+// The same spectral-angle machinery that drives the screening step (Kruse
+// et al. 1993, the paper's reference [10]) used as a classifier: each pixel
+// is assigned the library signature with the smallest spectral angle,
+// or "unclassified" if no signature is within the rejection threshold.
+// This supplies the paper's "classify the vehicles" post-processing step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "hsi/image_cube.h"
+
+namespace rif::core {
+
+struct LibrarySignature {
+  std::string name;
+  std::vector<float> spectrum;  ///< one value per band
+};
+
+inline constexpr std::int16_t kUnclassified = -1;
+
+struct SamResult {
+  /// Per-pixel index into the library (kUnclassified if rejected).
+  std::vector<std::int16_t> classes;
+  /// Per-pixel best spectral angle (radians).
+  std::vector<float> angles;
+  /// Pixels per class (library order), plus rejected count.
+  std::vector<std::int64_t> counts;
+  std::int64_t unclassified = 0;
+};
+
+struct SamConfig {
+  /// Reject pixels whose best angle exceeds this (radians).
+  double rejection_threshold = 0.25;
+};
+
+SamResult classify_sam(const hsi::ImageCube& cube,
+                       const std::vector<LibrarySignature>& library,
+                       const SamConfig& config = {});
+
+/// Confusion row: how the pixels of ground-truth label `truth_label` were
+/// classified (counts per library class + unclassified).
+struct ConfusionRow {
+  std::uint8_t truth_label = 0;
+  std::vector<std::int64_t> assigned;  ///< library order
+  std::int64_t unclassified = 0;
+  std::int64_t total = 0;
+};
+
+std::vector<ConfusionRow> confusion_by_label(
+    const SamResult& result, const std::vector<std::uint8_t>& labels);
+
+/// Overall accuracy given a mapping from library index -> ground-truth
+/// label value (entries of -1 mean "no corresponding truth label").
+double sam_accuracy(const SamResult& result,
+                    const std::vector<std::uint8_t>& labels,
+                    const std::vector<int>& library_to_label);
+
+}  // namespace rif::core

@@ -1,0 +1,122 @@
+#include "core/spectral_angle.h"
+
+#include <cmath>
+#include <limits>
+
+#include "support/check.h"
+
+namespace rif::core {
+
+namespace {
+
+/// Dot product and squared norms in one pass.
+struct DotNorm {
+  double dot = 0.0;
+  double nx2 = 0.0;
+  double ny2 = 0.0;
+};
+
+DotNorm dot_norm(std::span<const float> x, std::span<const float> y) {
+  DotNorm r;
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    const double xi = x[i];
+    const double yi = y[i];
+    r.dot += xi * yi;
+    r.nx2 += xi * xi;
+    r.ny2 += yi * yi;
+  }
+  return r;
+}
+
+double clamp_pm1(double v) { return v < -1.0 ? -1.0 : (v > 1.0 ? 1.0 : v); }
+
+}  // namespace
+
+double spectral_angle(std::span<const float> x, std::span<const float> y) {
+  RIF_CHECK(x.size() == y.size() && !x.empty());
+  const DotNorm r = dot_norm(x, y);
+  const double denom = std::sqrt(r.nx2 * r.ny2);
+  if (denom <= 0.0) return 0.0;  // zero vector: treat as identical
+  return std::acos(clamp_pm1(r.dot / denom));
+}
+
+UniqueSet::UniqueSet(int bands, double threshold_radians)
+    : bands_(bands), threshold_(threshold_radians),
+      cos_threshold_(std::cos(threshold_radians)) {
+  RIF_CHECK(bands > 0);
+  RIF_CHECK(threshold_radians > 0.0 && threshold_radians < 1.5707);
+}
+
+std::span<const float> UniqueSet::member(std::size_t i) const {
+  RIF_DCHECK(i < count_);
+  return {data_.data() + i * bands_, static_cast<std::size_t>(bands_)};
+}
+
+bool UniqueSet::screen(std::span<const float> pixel,
+                       std::uint64_t* comparisons) {
+  RIF_DCHECK(static_cast<int>(pixel.size()) == bands_);
+  double norm2 = 0.0;
+  for (const float v : pixel) norm2 += static_cast<double>(v) * v;
+  const double norm = std::sqrt(norm2);
+  if (norm <= 0.0) return false;  // degenerate pixel never joins
+
+  // Angle test via cosine: angle <= threshold  <=>  cos >= cos(threshold).
+  for (std::size_t m = 0; m < count_; ++m) {
+    if (comparisons != nullptr) ++*comparisons;
+    const float* mem = data_.data() + m * bands_;
+    double dot = 0.0;
+    for (int b = 0; b < bands_; ++b) dot += static_cast<double>(mem[b]) * pixel[b];
+    const double cosine = dot * inv_norms_[m] / norm;
+    if (cosine >= cos_threshold_) return false;  // close to a member
+  }
+  data_.insert(data_.end(), pixel.begin(), pixel.end());
+  inv_norms_.push_back(1.0 / norm);
+  ++count_;
+  return true;
+}
+
+void UniqueSet::merge(const UniqueSet& other, std::uint64_t* comparisons) {
+  RIF_CHECK(other.bands_ == bands_);
+  for (std::size_t i = 0; i < other.count_; ++i) {
+    screen(other.member(i), comparisons);
+  }
+}
+
+UniqueSet UniqueSet::from_flat(int bands, double threshold_radians,
+                               std::vector<float> flat) {
+  RIF_CHECK(flat.size() % static_cast<std::size_t>(bands) == 0);
+  UniqueSet set(bands, threshold_radians);
+  set.count_ = flat.size() / bands;
+  set.data_ = std::move(flat);
+  set.inv_norms_.resize(set.count_);
+  for (std::size_t m = 0; m < set.count_; ++m) {
+    double n2 = 0.0;
+    const float* mem = set.data_.data() + m * bands;
+    for (int b = 0; b < bands; ++b) n2 += static_cast<double>(mem[b]) * mem[b];
+    RIF_CHECK_MSG(n2 > 0.0, "zero vector in flat unique set");
+    set.inv_norms_[m] = 1.0 / std::sqrt(n2);
+  }
+  return set;
+}
+
+double UniqueSet::min_angle_to(std::span<const float> pixel) const {
+  double best = std::numeric_limits<double>::infinity();
+  for (std::size_t m = 0; m < count_; ++m) {
+    best = std::min(best, spectral_angle(member(m), pixel));
+  }
+  return best;
+}
+
+UniqueSet screen_range(const hsi::ImageCube& cube, std::int64_t first_flat,
+                       std::int64_t last_flat, double threshold_radians,
+                       std::uint64_t* comparisons) {
+  RIF_CHECK(first_flat >= 0 && last_flat <= cube.pixel_count() &&
+            first_flat <= last_flat);
+  UniqueSet set(cube.bands(), threshold_radians);
+  for (std::int64_t p = first_flat; p < last_flat; ++p) {
+    set.screen(cube.pixel(p), comparisons);
+  }
+  return set;
+}
+
+}  // namespace rif::core

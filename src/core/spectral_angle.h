@@ -1,0 +1,71 @@
+// Spectral-angle screening (step 1 of the paper's algorithm) and unique-set
+// merging (step 2).
+//
+// The spectral angle between two pixel vectors is
+//     alpha(x, y) = arccos( x.y / (|x| |y|) ),
+// which is invariant to illumination scale — the property that lets the
+// screen treat a shaded vehicle and a sunlit vehicle as the same signature.
+// A "unique set" holds one representative per signature: a pixel joins the
+// set iff its angle to every current member exceeds the threshold. The PCT
+// statistics are then computed over the unique set, so a vehicle covering
+// 40 pixels weighs as much as forest covering 40,000 (the paper's stated
+// motivation for screening before de-correlation).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "hsi/image_cube.h"
+
+namespace rif::core {
+
+/// Spectral angle in radians between two equal-length vectors.
+double spectral_angle(std::span<const float> x, std::span<const float> y);
+
+/// A set of spectrally distinct pixel vectors.
+class UniqueSet {
+ public:
+  UniqueSet(int bands, double threshold_radians);
+
+  /// Add `pixel` if no current member is within the angle threshold.
+  /// Returns true if the pixel was added. `comparisons` (if non-null) is
+  /// incremented by the number of angle evaluations performed, which feeds
+  /// both the Full-mode cost charging and the cost-model calibration.
+  bool screen(std::span<const float> pixel, std::uint64_t* comparisons = nullptr);
+
+  /// Merge another set member-by-member under this set's threshold
+  /// (the manager's step 2).
+  void merge(const UniqueSet& other, std::uint64_t* comparisons = nullptr);
+
+  [[nodiscard]] std::size_t size() const { return count_; }
+  [[nodiscard]] int bands() const { return bands_; }
+  [[nodiscard]] double threshold() const { return threshold_; }
+  [[nodiscard]] std::span<const float> member(std::size_t i) const;
+  /// Flat member storage (size() * bands floats), for shipping in messages.
+  [[nodiscard]] const std::vector<float>& flat() const { return data_; }
+
+  /// Rebuild a set from flat storage (received from a worker). Members are
+  /// taken as-is (already mutually distinct under the source's threshold).
+  static UniqueSet from_flat(int bands, double threshold_radians,
+                             std::vector<float> flat);
+
+  /// Minimal angle from `pixel` to any member (infinity if empty).
+  [[nodiscard]] double min_angle_to(std::span<const float> pixel) const;
+
+ private:
+  int bands_;
+  double threshold_;
+  double cos_threshold_;
+  std::size_t count_ = 0;
+  std::vector<float> data_;         // members, row-major
+  std::vector<double> inv_norms_;   // 1/|member| cache
+};
+
+/// Screen every pixel of a cube region [first_flat, last_flat) into a fresh
+/// unique set (a worker's per-tile step 1).
+UniqueSet screen_range(const hsi::ImageCube& cube, std::int64_t first_flat,
+                       std::int64_t last_flat, double threshold_radians,
+                       std::uint64_t* comparisons = nullptr);
+
+}  // namespace rif::core

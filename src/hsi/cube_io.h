@@ -1,0 +1,51 @@
+// Hyper-spectral cube file I/O in an ENVI-like format.
+//
+// A cube is stored as a raw little-endian float32 data file plus a text
+// header "<path>.hdr" with the classic ENVI keys (samples, lines, bands,
+// interleave, wavelength). All three standard interleaves are supported:
+//   BIP  band-interleaved-by-pixel  (the in-memory layout of ImageCube)
+//   BIL  band-interleaved-by-line
+//   BSQ  band-sequential (one plane per band)
+// Loading converts any interleave to the internal BIP layout.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hsi/image_cube.h"
+
+namespace rif::hsi {
+
+enum class Interleave { kBip, kBil, kBsq };
+
+const char* interleave_name(Interleave i);
+std::optional<Interleave> parse_interleave(const std::string& name);
+
+struct CubeHeader {
+  int samples = 0;  ///< width
+  int lines = 0;    ///< height
+  int bands = 0;
+  Interleave interleave = Interleave::kBip;
+  std::vector<double> wavelengths;  ///< optional band centres (nm)
+};
+
+/// Write `cube` to `<path>` (data) and `<path>.hdr` (header).
+bool save_cube(const std::string& path, const ImageCube& cube,
+               Interleave interleave = Interleave::kBip,
+               const std::vector<double>& wavelengths = {});
+
+/// Parse a header file; nullopt on malformed/missing keys.
+std::optional<CubeHeader> read_header(const std::string& hdr_path);
+
+/// Load `<path>` + `<path>.hdr`; nullopt on I/O or consistency errors.
+/// `header_out`, if non-null, receives the parsed header (wavelengths).
+std::optional<ImageCube> load_cube(const std::string& path,
+                                   CubeHeader* header_out = nullptr);
+
+/// In-memory interleave conversions (exposed for tests and tooling).
+std::vector<float> to_interleave(const ImageCube& cube, Interleave target);
+ImageCube from_interleave(const std::vector<float>& data, int width,
+                          int height, int bands, Interleave source);
+
+}  // namespace rif::hsi

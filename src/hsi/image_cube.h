@@ -1,0 +1,82 @@
+// Hyper-spectral image cube.
+//
+// Storage is band-interleaved-by-pixel (BIP): the B band samples of one
+// pixel are contiguous, which is the access pattern of every kernel in the
+// pipeline (spectral angles, covariance updates, per-pixel transforms).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "support/check.h"
+
+namespace rif::hsi {
+
+class ImageCube {
+ public:
+  ImageCube() = default;
+  ImageCube(int width, int height, int bands)
+      : width_(width), height_(height), bands_(bands),
+        data_(static_cast<std::size_t>(width) * height * bands, 0.0f) {
+    RIF_CHECK(width > 0 && height > 0 && bands > 0);
+  }
+
+  [[nodiscard]] int width() const { return width_; }
+  [[nodiscard]] int height() const { return height_; }
+  [[nodiscard]] int bands() const { return bands_; }
+  [[nodiscard]] std::int64_t pixel_count() const {
+    return static_cast<std::int64_t>(width_) * height_;
+  }
+  [[nodiscard]] std::uint64_t bytes() const {
+    return data_.size() * sizeof(float);
+  }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  [[nodiscard]] std::span<float> pixel(int x, int y) {
+    return {data_.data() + offset(x, y), static_cast<std::size_t>(bands_)};
+  }
+  [[nodiscard]] std::span<const float> pixel(int x, int y) const {
+    return {data_.data() + offset(x, y), static_cast<std::size_t>(bands_)};
+  }
+  /// Pixel by flat index (row-major), for partition-agnostic loops.
+  [[nodiscard]] std::span<const float> pixel(std::int64_t flat) const {
+    RIF_DCHECK(flat >= 0 && flat < pixel_count());
+    return {data_.data() + flat * bands_, static_cast<std::size_t>(bands_)};
+  }
+  [[nodiscard]] std::span<float> pixel(std::int64_t flat) {
+    RIF_DCHECK(flat >= 0 && flat < pixel_count());
+    return {data_.data() + flat * bands_, static_cast<std::size_t>(bands_)};
+  }
+
+  [[nodiscard]] const std::vector<float>& raw() const { return data_; }
+  [[nodiscard]] std::vector<float>& raw() { return data_; }
+
+ private:
+  [[nodiscard]] std::size_t offset(int x, int y) const {
+    RIF_DCHECK(x >= 0 && x < width_ && y >= 0 && y < height_);
+    return (static_cast<std::size_t>(y) * width_ + x) * bands_;
+  }
+
+  int width_ = 0;
+  int height_ = 0;
+  int bands_ = 0;
+  std::vector<float> data_;
+};
+
+/// Dimensions-only descriptor, used where the workload shape matters but
+/// pixel values do not (CostOnly distributed runs, cost models, tests).
+struct CubeShape {
+  int width = 0;
+  int height = 0;
+  int bands = 0;
+
+  [[nodiscard]] std::int64_t pixels() const {
+    return static_cast<std::int64_t>(width) * height;
+  }
+  [[nodiscard]] std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(pixels()) * bands * sizeof(float);
+  }
+};
+
+}  // namespace rif::hsi

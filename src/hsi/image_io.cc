@@ -1,0 +1,60 @@
+#include "hsi/image_io.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+
+namespace rif::hsi {
+
+std::vector<std::uint8_t> stretch_to_bytes(const std::vector<float>& plane,
+                                           double lo_percentile,
+                                           double hi_percentile) {
+  RIF_CHECK(!plane.empty());
+  RIF_CHECK(lo_percentile >= 0.0 && hi_percentile <= 1.0 &&
+            lo_percentile < hi_percentile);
+  std::vector<float> sorted = plane;
+  std::sort(sorted.begin(), sorted.end());
+  const auto idx = [&](double p) {
+    const auto i = static_cast<std::size_t>(p * (sorted.size() - 1));
+    return sorted[i];
+  };
+  const float lo = idx(lo_percentile);
+  const float hi = idx(hi_percentile);
+  const float range = hi > lo ? hi - lo : 1.0f;
+
+  std::vector<std::uint8_t> out(plane.size());
+  for (std::size_t i = 0; i < plane.size(); ++i) {
+    const float v = (plane[i] - lo) / range;
+    out[i] = static_cast<std::uint8_t>(
+        std::clamp(v * 255.0f, 0.0f, 255.0f));
+  }
+  return out;
+}
+
+bool write_pgm(const std::string& path, const std::vector<float>& plane,
+               int width, int height, double lo_percentile,
+               double hi_percentile) {
+  RIF_CHECK(static_cast<std::size_t>(width) * height == plane.size());
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "P5\n%d %d\n255\n", width, height);
+  const auto bytes = stretch_to_bytes(plane, lo_percentile, hi_percentile);
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  std::fclose(f);
+  return ok;
+}
+
+bool write_ppm(const std::string& path, const RgbImage& image) {
+  RIF_CHECK(image.data.size() ==
+            static_cast<std::size_t>(image.width) * image.height * 3);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  if (f == nullptr) return false;
+  std::fprintf(f, "P6\n%d %d\n255\n", image.width, image.height);
+  const bool ok =
+      std::fwrite(image.data.data(), 1, image.data.size(), f) ==
+      image.data.size();
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace rif::hsi

@@ -1,0 +1,48 @@
+// PGM/PPM writers for band frames (Figure 2) and colour composites
+// (Figure 3), plus a tiny RGB image holder used by the colour-mapping step.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/check.h"
+
+namespace rif::hsi {
+
+/// 8-bit RGB image, row-major, 3 bytes per pixel.
+struct RgbImage {
+  int width = 0;
+  int height = 0;
+  std::vector<std::uint8_t> data;
+
+  RgbImage() = default;
+  RgbImage(int w, int h)
+      : width(w), height(h),
+        data(static_cast<std::size_t>(w) * h * 3, 0) {}
+
+  std::uint8_t& at(int x, int y, int c) {
+    RIF_DCHECK(x >= 0 && x < width && y >= 0 && y < height && c >= 0 && c < 3);
+    return data[(static_cast<std::size_t>(y) * width + x) * 3 + c];
+  }
+  [[nodiscard]] std::uint8_t at(int x, int y, int c) const {
+    RIF_DCHECK(x >= 0 && x < width && y >= 0 && y < height && c >= 0 && c < 3);
+    return data[(static_cast<std::size_t>(y) * width + x) * 3 + c];
+  }
+};
+
+/// Write a single float plane as binary PGM, linearly stretched so that
+/// [lo_percentile, hi_percentile] maps to [0, 255] (robust to outliers).
+bool write_pgm(const std::string& path, const std::vector<float>& plane,
+               int width, int height, double lo_percentile = 0.02,
+               double hi_percentile = 0.98);
+
+/// Write an RGB image as binary PPM.
+bool write_ppm(const std::string& path, const RgbImage& image);
+
+/// Percentile-stretch a plane to bytes (exposed for tests).
+std::vector<std::uint8_t> stretch_to_bytes(const std::vector<float>& plane,
+                                           double lo_percentile,
+                                           double hi_percentile);
+
+}  // namespace rif::hsi

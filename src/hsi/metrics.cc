@@ -1,0 +1,236 @@
+#include "hsi/metrics.h"
+
+#include <cmath>
+#include <functional>
+
+namespace rif::hsi {
+
+namespace {
+
+struct TwoClass {
+  double sum_t = 0, sum2_t = 0, sum_b = 0, sum2_b = 0;
+  std::int64_t n_t = 0, n_b = 0;
+
+  void add(double v, bool is_target) {
+    if (is_target) {
+      sum_t += v;
+      sum2_t += v * v;
+      ++n_t;
+    } else {
+      sum_b += v;
+      sum2_b += v * v;
+      ++n_b;
+    }
+  }
+
+  [[nodiscard]] double contrast() const {
+    if (n_t == 0 || n_b == 0) return 0.0;
+    const double mu_t = sum_t / n_t;
+    const double mu_b = sum_b / n_b;
+    const double var_t = std::max(0.0, sum2_t / n_t - mu_t * mu_t);
+    const double var_b = std::max(0.0, sum2_b / n_b - mu_b * mu_b);
+    const double pooled = std::sqrt(0.5 * (var_t + var_b));
+    const double diff = std::abs(mu_t - mu_b);
+    if (diff <= 1e-12) return 0.0;
+    // Zero-variance but separated classes are perfectly distinguishable;
+    // bound the score instead of dividing by zero.
+    return diff / std::max(pooled, 1e-9 * diff);
+  }
+};
+
+}  // namespace
+
+std::vector<BandStats> band_statistics(const ImageCube& cube) {
+  const int B = cube.bands();
+  std::vector<double> sum(B, 0.0);
+  std::vector<double> sum2(B, 0.0);
+  std::vector<float> mn(B, 1e30f);
+  std::vector<float> mx(B, -1e30f);
+  for (std::int64_t p = 0; p < cube.pixel_count(); ++p) {
+    const auto px = cube.pixel(p);
+    for (int b = 0; b < B; ++b) {
+      const float v = px[b];
+      sum[b] += v;
+      sum2[b] += static_cast<double>(v) * v;
+      mn[b] = std::min(mn[b], v);
+      mx[b] = std::max(mx[b], v);
+    }
+  }
+  const auto n = static_cast<double>(cube.pixel_count());
+  std::vector<BandStats> out(B);
+  for (int b = 0; b < B; ++b) {
+    out[b].mean = sum[b] / n;
+    out[b].stddev = std::sqrt(std::max(0.0, sum2[b] / n - out[b].mean * out[b].mean));
+    out[b].min = mn[b];
+    out[b].max = mx[b];
+  }
+  return out;
+}
+
+std::vector<float> extract_band(const ImageCube& cube, int band) {
+  RIF_CHECK(band >= 0 && band < cube.bands());
+  std::vector<float> plane(cube.pixel_count());
+  for (std::int64_t p = 0; p < cube.pixel_count(); ++p) {
+    plane[p] = cube.pixel(p)[band];
+  }
+  return plane;
+}
+
+double class_contrast(const std::vector<float>& plane,
+                      const std::vector<std::uint8_t>& labels,
+                      Material target) {
+  RIF_CHECK(plane.size() == labels.size());
+  TwoClass tc;
+  for (std::size_t i = 0; i < plane.size(); ++i) {
+    tc.add(plane[i], labels[i] == static_cast<std::uint8_t>(target));
+  }
+  return tc.contrast();
+}
+
+namespace {
+
+/// Mahalanobis separability of two pixel classes in RGB space. `classify`
+/// returns 1 (target), 0 (background) or -1 (excluded pixel).
+double rgb_mahalanobis(const RgbImage& image,
+                       const std::function<int(std::size_t)>& classify) {
+  // Per-class first and second moments of the RGB vectors.
+  double n[2] = {0, 0};
+  double mean[2][3] = {};
+  double second[2][3][3] = {};
+  const std::size_t pixels =
+      static_cast<std::size_t>(image.width) * image.height;
+  for (std::size_t i = 0; i < pixels; ++i) {
+    const int cls = classify(i);
+    if (cls < 0) continue;
+    double v[3];
+    for (int c = 0; c < 3; ++c) v[c] = image.data[i * 3 + c];
+    n[cls] += 1.0;
+    for (int a = 0; a < 3; ++a) {
+      mean[cls][a] += v[a];
+      for (int b = 0; b < 3; ++b) second[cls][a][b] += v[a] * v[b];
+    }
+  }
+  if (n[0] == 0 || n[1] == 0) return 0.0;
+
+  double pooled[3][3];
+  for (int cls = 0; cls < 2; ++cls) {
+    for (int a = 0; a < 3; ++a) mean[cls][a] /= n[cls];
+  }
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) {
+      const double cov0 = second[0][a][b] / n[0] - mean[0][a] * mean[0][b];
+      const double cov1 = second[1][a][b] / n[1] - mean[1][a] * mean[1][b];
+      pooled[a][b] = 0.5 * (cov0 + cov1);
+    }
+    pooled[a][a] += 1e-6;  // ridge for degenerate channels
+  }
+
+  // Solve pooled * x = diff by Gaussian elimination (3x3).
+  double diff[3];
+  for (int a = 0; a < 3; ++a) diff[a] = mean[1][a] - mean[0][a];
+  double m[3][4];
+  for (int a = 0; a < 3; ++a) {
+    for (int b = 0; b < 3; ++b) m[a][b] = pooled[a][b];
+    m[a][3] = diff[a];
+  }
+  for (int col = 0; col < 3; ++col) {
+    int pivot = col;
+    for (int r = col + 1; r < 3; ++r) {
+      if (std::abs(m[r][col]) > std::abs(m[pivot][col])) pivot = r;
+    }
+    for (int c = 0; c < 4; ++c) std::swap(m[col][c], m[pivot][c]);
+    if (std::abs(m[col][col]) < 1e-30) return 0.0;
+    for (int r = 0; r < 3; ++r) {
+      if (r == col) continue;
+      const double f = m[r][col] / m[col][col];
+      for (int c = 0; c < 4; ++c) m[r][c] -= f * m[col][c];
+    }
+  }
+  double quad = 0.0;
+  for (int a = 0; a < 3; ++a) quad += diff[a] * (m[a][3] / m[a][a]);
+  return quad > 0.0 ? std::sqrt(quad) : 0.0;
+}
+
+}  // namespace
+
+double class_contrast(const RgbImage& image,
+                      const std::vector<std::uint8_t>& labels,
+                      Material target) {
+  RIF_CHECK(labels.size() ==
+            static_cast<std::size_t>(image.width) * image.height);
+  const auto t = static_cast<std::uint8_t>(target);
+  return rgb_mahalanobis(
+      image, [&labels, t](std::size_t i) { return labels[i] == t ? 1 : 0; });
+}
+
+double pair_contrast(const RgbImage& image,
+                     const std::vector<std::uint8_t>& labels, Material target,
+                     Material background) {
+  RIF_CHECK(labels.size() ==
+            static_cast<std::size_t>(image.width) * image.height);
+  const auto t = static_cast<std::uint8_t>(target);
+  const auto b = static_cast<std::uint8_t>(background);
+  return rgb_mahalanobis(image, [&labels, t, b](std::size_t i) {
+    return labels[i] == t ? 1 : (labels[i] == b ? 0 : -1);
+  });
+}
+
+double best_band_pair_contrast(const ImageCube& cube,
+                               const std::vector<std::uint8_t>& labels,
+                               Material target, Material background) {
+  double best = 0.0;
+  for (int b = 0; b < cube.bands(); ++b) {
+    best = std::max(best, pair_contrast(extract_band(cube, b), labels, target,
+                                        background));
+  }
+  return best;
+}
+
+double pair_contrast(const std::vector<float>& plane,
+                     const std::vector<std::uint8_t>& labels, Material target,
+                     Material background) {
+  RIF_CHECK(plane.size() == labels.size());
+  TwoClass tc;
+  for (std::size_t i = 0; i < plane.size(); ++i) {
+    if (labels[i] == static_cast<std::uint8_t>(target)) {
+      tc.add(plane[i], true);
+    } else if (labels[i] == static_cast<std::uint8_t>(background)) {
+      tc.add(plane[i], false);
+    }
+  }
+  return tc.contrast();
+}
+
+double best_band_contrast(const ImageCube& cube,
+                          const std::vector<std::uint8_t>& labels,
+                          Material target) {
+  double best = 0.0;
+  for (int b = 0; b < cube.bands(); ++b) {
+    best = std::max(best, class_contrast(extract_band(cube, b), labels, target));
+  }
+  return best;
+}
+
+double band_correlation(const ImageCube& cube, int band_a, int band_b) {
+  RIF_CHECK(band_a >= 0 && band_a < cube.bands());
+  RIF_CHECK(band_b >= 0 && band_b < cube.bands());
+  double sa = 0, sb = 0, saa = 0, sbb = 0, sab = 0;
+  const auto n = static_cast<double>(cube.pixel_count());
+  for (std::int64_t p = 0; p < cube.pixel_count(); ++p) {
+    const auto px = cube.pixel(p);
+    const double a = px[band_a];
+    const double b = px[band_b];
+    sa += a;
+    sb += b;
+    saa += a * a;
+    sbb += b * b;
+    sab += a * b;
+  }
+  const double cov = sab / n - (sa / n) * (sb / n);
+  const double va = saa / n - (sa / n) * (sa / n);
+  const double vb = sbb / n - (sb / n) * (sb / n);
+  const double denom = std::sqrt(std::max(va, 0.0) * std::max(vb, 0.0));
+  return denom > 1e-12 ? cov / denom : 0.0;
+}
+
+}  // namespace rif::hsi

@@ -1,0 +1,73 @@
+// Image-quality metrics for the qualitative claims of Figures 2-3.
+//
+// The paper argues the fused composite "significantly enhances" the
+// camouflaged vehicle against its background. We quantify that with a
+// standard two-class separability score so the claim becomes testable:
+// contrast(plane, labels, target) = |mu_t - mu_b| / sqrt((var_t+var_b)/2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hsi/image_cube.h"
+#include "hsi/image_io.h"
+#include "hsi/spectra.h"
+
+namespace rif::hsi {
+
+struct BandStats {
+  double mean = 0.0;
+  double stddev = 0.0;
+  float min = 0.0f;
+  float max = 0.0f;
+};
+
+/// Per-band statistics of a cube.
+std::vector<BandStats> band_statistics(const ImageCube& cube);
+
+/// Extract one band as a float plane.
+std::vector<float> extract_band(const ImageCube& cube, int band);
+
+/// Fisher-style separability of `target` pixels vs. all other pixels on a
+/// scalar plane. Higher = easier to see. Returns 0 if either class is empty.
+double class_contrast(const std::vector<float>& plane,
+                      const std::vector<std::uint8_t>& labels,
+                      Material target);
+
+/// Same for an RGB composite, but in full colour: the Mahalanobis distance
+/// between the target and background class means under the pooled 3x3
+/// channel covariance. A target that pops out in any colour direction —
+/// the paper's red-green / blue-yellow opponent channels included — scores
+/// high even when its luminance matches the background.
+double class_contrast(const RgbImage& image,
+                      const std::vector<std::uint8_t>& labels,
+                      Material target);
+
+/// Scalar contrast between two specific materials only (ignores all other
+/// pixels) — e.g. camouflage vs. the forest it hides in.
+double pair_contrast(const std::vector<float>& plane,
+                     const std::vector<std::uint8_t>& labels, Material target,
+                     Material background);
+
+/// Colour (Mahalanobis) contrast between two specific materials in an RGB
+/// composite.
+double pair_contrast(const RgbImage& image,
+                     const std::vector<std::uint8_t>& labels, Material target,
+                     Material background);
+
+/// Best single-band pair contrast over all bands — the baseline a fused
+/// composite must beat for the paper's "significantly enhanced" claim.
+double best_band_pair_contrast(const ImageCube& cube,
+                               const std::vector<std::uint8_t>& labels,
+                               Material target, Material background);
+
+/// Maximum single-band contrast over all bands of a cube — the best any
+/// one frame can do, the baseline the composite must beat.
+double best_band_contrast(const ImageCube& cube,
+                          const std::vector<std::uint8_t>& labels,
+                          Material target);
+
+/// Pearson correlation between two bands (PCT decorrelation checks).
+double band_correlation(const ImageCube& cube, int band_a, int band_b);
+
+}  // namespace rif::hsi

@@ -1,0 +1,43 @@
+#include "hsi/partition.h"
+
+namespace rif::hsi {
+
+std::vector<Tile> partition_rows(const CubeShape& shape, int count) {
+  RIF_CHECK(count > 0);
+  RIF_CHECK(shape.height > 0 && shape.width > 0);
+  std::vector<Tile> tiles;
+  const int base = shape.height / count;
+  const int extra = shape.height % count;
+  int y = 0;
+  for (int i = 0; i < count; ++i) {
+    const int rows = base + (i < extra ? 1 : 0);
+    if (rows == 0) continue;
+    Tile t;
+    t.index = static_cast<int>(tiles.size());
+    t.y0 = y;
+    t.rows = rows;
+    t.width = shape.width;
+    t.bands = shape.bands;
+    tiles.push_back(t);
+    y += rows;
+  }
+  RIF_CHECK(y == shape.height);
+  return tiles;
+}
+
+std::vector<Chunk> partition_range(std::int64_t n, int count) {
+  RIF_CHECK(count > 0 && n >= 0);
+  std::vector<Chunk> chunks;
+  const std::int64_t base = n / count;
+  const std::int64_t extra = n % count;
+  std::int64_t pos = 0;
+  for (int i = 0; i < count; ++i) {
+    const std::int64_t size = base + (i < extra ? 1 : 0);
+    chunks.push_back({pos, pos + size});
+    pos += size;
+  }
+  RIF_CHECK(pos == n);
+  return chunks;
+}
+
+}  // namespace rif::hsi

@@ -1,0 +1,47 @@
+// Sub-cube decomposition (the paper's unit of work distribution).
+//
+// The manager "divides an original hyper-spectral image cube into P parts"
+// for screening, and — for granularity control (Fig. 5) — into a multiple
+// of the worker count. Tiles are horizontal row bands: contiguous in
+// memory, equal-to-within-one-row in size.
+#pragma once
+
+#include <vector>
+
+#include "hsi/image_cube.h"
+
+namespace rif::hsi {
+
+struct Tile {
+  int index = 0;
+  int y0 = 0;      ///< first row
+  int rows = 0;    ///< number of rows
+  int width = 0;
+  int bands = 0;
+
+  [[nodiscard]] std::int64_t pixels() const {
+    return static_cast<std::int64_t>(rows) * width;
+  }
+  [[nodiscard]] std::uint64_t bytes() const {
+    return static_cast<std::uint64_t>(pixels()) * bands * sizeof(float);
+  }
+  [[nodiscard]] std::int64_t first_flat_index() const {
+    return static_cast<std::int64_t>(y0) * width;
+  }
+};
+
+/// Split `shape` into `count` row-band tiles. Rows are distributed as evenly
+/// as possible; tiles with zero rows are omitted, so the result may contain
+/// fewer than `count` tiles when count > height.
+std::vector<Tile> partition_rows(const CubeShape& shape, int count);
+
+/// Split a flat range [0, n) into `count` contiguous chunks (used to shard
+/// the unique set across workers for the covariance step).
+struct Chunk {
+  std::int64_t begin = 0;
+  std::int64_t end = 0;
+  [[nodiscard]] std::int64_t size() const { return end - begin; }
+};
+std::vector<Chunk> partition_range(std::int64_t n, int count);
+
+}  // namespace rif::hsi

@@ -1,0 +1,200 @@
+#include "hsi/scene.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "support/rng.h"
+
+namespace rif::hsi {
+
+namespace {
+
+struct Rect {
+  int x0, y0, w, h;
+  [[nodiscard]] bool contains(int x, int y) const {
+    return x >= x0 && x < x0 + w && y >= y0 && y < y0 + h;
+  }
+};
+
+void paint_rect(std::vector<std::uint8_t>& labels, int width, int height,
+                const Rect& r, Material m) {
+  for (int y = std::max(0, r.y0); y < std::min(height, r.y0 + r.h); ++y) {
+    for (int x = std::max(0, r.x0); x < std::min(width, r.x0 + r.w); ++x) {
+      labels[static_cast<std::size_t>(y) * width + x] =
+          static_cast<std::uint8_t>(m);
+    }
+  }
+}
+
+void paint_ellipse(std::vector<std::uint8_t>& labels, int width, int height,
+                   double cx, double cy, double rx, double ry, Material m) {
+  for (int y = 0; y < height; ++y) {
+    for (int x = 0; x < width; ++x) {
+      const double dx = (x - cx) / rx;
+      const double dy = (y - cy) / ry;
+      if (dx * dx + dy * dy <= 1.0) {
+        labels[static_cast<std::size_t>(y) * width + x] =
+            static_cast<std::uint8_t>(m);
+      }
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<float> value_noise(int width, int height, int cell,
+                               std::uint64_t seed, int octaves) {
+  RIF_CHECK(cell >= 2);
+  std::vector<float> out(static_cast<std::size_t>(width) * height, 0.0f);
+  float amplitude = 1.0f;
+  float total = 0.0f;
+  int c = cell;
+  for (int oct = 0; oct < octaves; ++oct) {
+    const int gw = width / c + 2;
+    const int gh = height / c + 2;
+    Rng rng(seed + 0x9e37u * static_cast<std::uint64_t>(oct + 1));
+    std::vector<float> grid(static_cast<std::size_t>(gw) * gh);
+    for (auto& g : grid) g = static_cast<float>(rng.uniform(-1.0, 1.0));
+    for (int y = 0; y < height; ++y) {
+      const int gy = y / c;
+      const float fy = static_cast<float>(y % c) / static_cast<float>(c);
+      for (int x = 0; x < width; ++x) {
+        const int gx = x / c;
+        const float fx = static_cast<float>(x % c) / static_cast<float>(c);
+        const float v00 = grid[static_cast<std::size_t>(gy) * gw + gx];
+        const float v10 = grid[static_cast<std::size_t>(gy) * gw + gx + 1];
+        const float v01 = grid[static_cast<std::size_t>(gy + 1) * gw + gx];
+        const float v11 = grid[static_cast<std::size_t>(gy + 1) * gw + gx + 1];
+        const float v = v00 * (1 - fx) * (1 - fy) + v10 * fx * (1 - fy) +
+                        v01 * (1 - fx) * fy + v11 * fx * fy;
+        out[static_cast<std::size_t>(y) * width + x] += amplitude * v;
+      }
+    }
+    total += amplitude;
+    amplitude *= 0.5f;
+    c = std::max(2, c / 2);
+  }
+  for (auto& v : out) v /= total;
+  return out;
+}
+
+std::int64_t Scene::count_of(Material m) const {
+  return std::count(labels.begin(), labels.end(),
+                    static_cast<std::uint8_t>(m));
+}
+
+int Scene::band_near(double wavelength_nm) const {
+  int best = 0;
+  double best_d = 1e30;
+  for (std::size_t i = 0; i < wavelengths.size(); ++i) {
+    const double d = std::abs(wavelengths[i] - wavelength_nm);
+    if (d < best_d) {
+      best_d = d;
+      best = static_cast<int>(i);
+    }
+  }
+  return best;
+}
+
+Scene generate_scene(const SceneConfig& config) {
+  const int W = config.width;
+  const int H = config.height;
+  const int B = config.bands;
+  Rng rng(config.seed);
+
+  Scene scene;
+  scene.config = config;
+  scene.wavelengths = band_wavelengths(B);
+  scene.cube = ImageCube(W, H, B);
+  scene.labels.assign(static_cast<std::size_t>(W) * H,
+                      static_cast<std::uint8_t>(Material::kForest));
+
+  // --- Layout ---------------------------------------------------------
+  // Open grass field on the right half, a soil clearing, a road, shadows.
+  paint_ellipse(scene.labels, W, H, 0.70 * W, 0.38 * H, 0.26 * W, 0.30 * H,
+                Material::kGrass);
+  paint_ellipse(scene.labels, W, H, 0.62 * W, 0.70 * H, 0.14 * W, 0.10 * H,
+                Material::kSoil);
+  // Road: a slightly slanted vertical strip.
+  for (int y = 0; y < H; ++y) {
+    const int xc = static_cast<int>(0.42 * W + 0.05 * W *
+                                    std::sin(3.0 * y / static_cast<double>(H)));
+    for (int x = std::max(0, xc - 3); x < std::min(W, xc + 3); ++x) {
+      scene.labels[static_cast<std::size_t>(y) * W + x] =
+          static_cast<std::uint8_t>(Material::kRoad);
+    }
+  }
+
+  // Vehicles in the open: parked near the field centre.
+  auto vehicle_rect = [&](double fx, double fy) {
+    const int vw = 9 + static_cast<int>(rng.uniform_u64(4));
+    const int vh = 5 + static_cast<int>(rng.uniform_u64(3));
+    return Rect{static_cast<int>(fx * W), static_cast<int>(fy * H), vw, vh};
+  };
+  std::vector<Rect> open_vehicles;
+  for (int i = 0; i < config.open_vehicle_count; ++i) {
+    const double fx = 0.58 + 0.18 * rng.uniform();
+    const double fy = 0.28 + 0.22 * rng.uniform();
+    Rect r = vehicle_rect(fx, fy);
+    open_vehicles.push_back(r);
+    paint_rect(scene.labels, W, H, r, Material::kVehicle);
+    // Cast shadow one pixel down-right.
+    paint_rect(scene.labels, W, H,
+               Rect{r.x0 + r.w, r.y0 + 1, 2, r.h}, Material::kShadow);
+  }
+
+  // Camouflaged vehicles: in the forest, lower-left quadrant (as in the
+  // paper's Figure 3 description).
+  std::vector<Rect> camo_vehicles;
+  for (int i = 0; i < config.camouflaged_count; ++i) {
+    const double fx = 0.10 + 0.15 * rng.uniform();
+    const double fy = 0.70 + 0.15 * rng.uniform();
+    Rect r = vehicle_rect(fx, fy);
+    camo_vehicles.push_back(r);
+    paint_rect(scene.labels, W, H, r, Material::kCamouflage);
+  }
+
+  // --- Radiometry -------------------------------------------------------
+  std::vector<std::vector<float>> sigs(kMaterialCount);
+  for (int m = 0; m < kMaterialCount; ++m) {
+    sigs[m] = signature(static_cast<Material>(m), scene.wavelengths);
+  }
+  const auto vehicle_sig = sigs[static_cast<int>(Material::kVehicle)];
+
+  const auto texture_field =
+      value_noise(W, H, 16, config.seed ^ 0xfeedfaceULL, 3);
+  const auto illum_field =
+      value_noise(W, H, 96, config.seed ^ 0xbeefcafeULL, 2);
+
+  Rng noise = rng.fork(17);
+  for (int y = 0; y < H; ++y) {
+    for (int x = 0; x < W; ++x) {
+      const std::size_t flat = static_cast<std::size_t>(y) * W + x;
+      const auto material = static_cast<Material>(scene.labels[flat]);
+      const auto& sig = sigs[static_cast<int>(material)];
+      const float gain =
+          (1.0f + static_cast<float>(config.texture) * texture_field[flat]) *
+          (1.0f + static_cast<float>(config.illumination) * illum_field[flat]);
+      auto px = scene.cube.pixel(x, y);
+      if (material == Material::kCamouflage) {
+        // Netting covers most of the hull; some paint shows through.
+        const float a = static_cast<float>(config.camo_mix);
+        for (int b = 0; b < B; ++b) {
+          const float v = a * sig[b] + (1.0f - a) * vehicle_sig[b];
+          px[b] = std::max(
+              0.0f, v * gain + static_cast<float>(
+                                   noise.normal(0.0, config.noise_sigma)));
+        }
+      } else {
+        for (int b = 0; b < B; ++b) {
+          px[b] = std::max(
+              0.0f, sig[b] * gain + static_cast<float>(
+                                        noise.normal(0.0, config.noise_sigma)));
+        }
+      }
+    }
+  }
+  return scene;
+}
+
+}  // namespace rif::hsi

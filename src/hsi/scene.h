@@ -1,0 +1,54 @@
+// Synthetic HYDICE-like scene generation.
+//
+// Produces the stand-in for the paper's airborne collect: a foliated scene
+// with open fields, a road, mechanized vehicles in the open and under
+// camouflage netting (the paper places a camouflaged vehicle in the lower
+// left of Figure 3 — so do we). Ground-truth labels are returned alongside
+// the cube so tests and benches can quantify target/background contrast.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "hsi/image_cube.h"
+#include "hsi/spectra.h"
+
+namespace rif::hsi {
+
+struct SceneConfig {
+  int width = 320;
+  int height = 320;
+  int bands = 210;
+  std::uint64_t seed = 1234;
+
+  int open_vehicle_count = 2;    ///< vehicles parked in open fields
+  int camouflaged_count = 1;     ///< vehicles under netting, in forest
+  double noise_sigma = 0.004;    ///< additive sensor noise (reflectance units)
+  double texture = 0.10;         ///< intra-material reflectance variability
+  double illumination = 0.12;    ///< low-frequency illumination gain range
+  double camo_mix = 0.65;        ///< netting fraction over camouflaged hulls
+};
+
+struct Scene {
+  ImageCube cube;
+  std::vector<std::uint8_t> labels;  ///< Material per pixel, row-major
+  std::vector<double> wavelengths;
+  SceneConfig config;
+
+  [[nodiscard]] Material label(int x, int y) const {
+    return static_cast<Material>(
+        labels[static_cast<std::size_t>(y) * cube.width() + x]);
+  }
+  [[nodiscard]] std::int64_t count_of(Material m) const;
+  /// Band index whose centre wavelength is nearest `wavelength_nm`.
+  [[nodiscard]] int band_near(double wavelength_nm) const;
+};
+
+Scene generate_scene(const SceneConfig& config);
+
+/// Smooth value-noise field in [-1, 1], deterministic in (seed, cell).
+/// Exposed for tests.
+std::vector<float> value_noise(int width, int height, int cell,
+                               std::uint64_t seed, int octaves = 2);
+
+}  // namespace rif::hsi

@@ -1,0 +1,119 @@
+#include "hsi/spectra.h"
+
+#include <cmath>
+
+#include "support/check.h"
+
+namespace rif::hsi {
+
+namespace {
+
+/// Gaussian bump centred at `mu` nm with width `sigma` nm.
+double bump(double wl, double mu, double sigma) {
+  const double d = (wl - mu) / sigma;
+  return std::exp(-0.5 * d * d);
+}
+
+/// Smooth step from 0 to 1 around `mu` with rise width `w`.
+double rise(double wl, double mu, double w) {
+  return 1.0 / (1.0 + std::exp(-(wl - mu) / w));
+}
+
+double clamp01(double v) { return v < 0.0 ? 0.0 : (v > 1.0 ? 1.0 : v); }
+
+/// Atmospheric/leaf water absorption applied to vegetation-like targets.
+double water_absorption(double wl, double depth) {
+  return 1.0 - depth * bump(wl, 1450.0, 60.0) - depth * bump(wl, 1940.0, 70.0) -
+         0.35 * depth * bump(wl, 1140.0, 50.0);
+}
+
+double vegetation(double wl, double red_edge_pos, double nir_level,
+                  double water_depth) {
+  // Chlorophyll: green peak at 550, absorption at 680, red edge, NIR plateau.
+  double r = 0.05 + 0.06 * bump(wl, 550.0, 40.0) - 0.03 * bump(wl, 680.0, 30.0);
+  r += (nir_level - 0.05) * rise(wl, red_edge_pos, 18.0);
+  // NIR shoulder decays slowly into the SWIR.
+  r -= 0.18 * rise(wl, 1350.0, 150.0);
+  r *= water_absorption(wl, water_depth);
+  return clamp01(r);
+}
+
+}  // namespace
+
+const char* material_name(Material m) {
+  switch (m) {
+    case Material::kForest: return "forest";
+    case Material::kGrass: return "grass";
+    case Material::kSoil: return "soil";
+    case Material::kRoad: return "road";
+    case Material::kVehicle: return "vehicle";
+    case Material::kCamouflage: return "camouflage";
+    case Material::kShadow: return "shadow";
+  }
+  return "unknown";
+}
+
+double reflectance(Material material, double wavelength_nm) {
+  const double wl = wavelength_nm;
+  switch (material) {
+    case Material::kForest:
+      return vegetation(wl, 715.0, 0.50, 0.55);
+    case Material::kGrass:
+      return vegetation(wl, 705.0, 0.62, 0.40);
+    case Material::kSoil: {
+      // Broad rise with iron-oxide curvature and clay feature at 2200 nm.
+      double r = 0.08 + 0.28 * rise(wl, 900.0, 350.0) +
+                 0.05 * bump(wl, 1700.0, 250.0) - 0.06 * bump(wl, 2200.0, 60.0);
+      return clamp01(r);
+    }
+    case Material::kRoad: {
+      // Asphalt: dark, nearly flat, gentle upward slope.
+      return clamp01(0.06 + 0.05 * rise(wl, 1200.0, 600.0));
+    }
+    case Material::kVehicle: {
+      // Olive-drab paint on metal: moderate, flat-ish, with a CH-resin
+      // absorption near 1730 nm and no red edge — the discriminant feature.
+      double r = 0.16 + 0.05 * bump(wl, 600.0, 120.0) +
+                 0.04 * rise(wl, 1000.0, 400.0) - 0.05 * bump(wl, 1730.0, 45.0) -
+                 0.04 * bump(wl, 2310.0, 50.0);
+      return clamp01(r);
+    }
+    case Material::kCamouflage: {
+      // Woodland netting: imitates vegetation in the VIS but the red edge is
+      // softer, the NIR plateau lower, and the water bands nearly absent
+      // (dry fabric), so it separates from true foliage in the SWIR.
+      double r = 0.06 + 0.05 * bump(wl, 555.0, 45.0) -
+                 0.02 * bump(wl, 680.0, 35.0);
+      r += 0.30 * rise(wl, 730.0, 40.0);
+      r -= 0.10 * rise(wl, 1400.0, 200.0);
+      r *= water_absorption(wl, 0.10);
+      r -= 0.04 * bump(wl, 1730.0, 45.0);  // resin, like the paint
+      return clamp01(r);
+    }
+    case Material::kShadow:
+      return clamp01(0.02 + 0.015 * rise(wl, 900.0, 400.0));
+  }
+  return 0.0;
+}
+
+std::vector<double> band_wavelengths(int bands) {
+  RIF_CHECK(bands >= 1);
+  std::vector<double> wl(bands);
+  const double lo = 400.0;
+  const double hi = 2500.0;
+  for (int i = 0; i < bands; ++i) {
+    wl[i] = bands == 1 ? lo : lo + (hi - lo) * i / (bands - 1);
+  }
+  return wl;
+}
+
+std::vector<float> signature(Material material,
+                             const std::vector<double>& wavelengths) {
+  std::vector<float> sig(wavelengths.size());
+  for (std::size_t i = 0; i < wavelengths.size(); ++i) {
+    sig[i] = static_cast<float>(reflectance(material, wavelengths[i]));
+  }
+  return sig;
+}
+
+}  // namespace rif::hsi

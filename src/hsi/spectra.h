@@ -1,0 +1,41 @@
+// Analytic reflectance spectra for the synthetic HYDICE-like scenes.
+//
+// The paper's data is a 210-band HYDICE collect over foliated terrain with
+// mechanized vehicles, some under camouflage, 400 nm - 2500 nm. We replace
+// it (see DESIGN.md substitutions) with physically-plausible analytic
+// spectra: vegetation shows the chlorophyll trough, red edge, NIR plateau
+// and the 1450/1940 nm water absorptions; soil rises smoothly; vehicle
+// paint is comparatively flat with a weak absorption signature; camouflage
+// netting imitates vegetation but with a softened red edge and shifted
+// water bands — spectrally close to foliage, which is precisely what makes
+// the screening step earn its keep.
+#pragma once
+
+#include <vector>
+
+namespace rif::hsi {
+
+enum class Material : int {
+  kForest = 0,
+  kGrass = 1,
+  kSoil = 2,
+  kRoad = 3,
+  kVehicle = 4,
+  kCamouflage = 5,
+  kShadow = 6,
+};
+inline constexpr int kMaterialCount = 7;
+
+const char* material_name(Material m);
+
+/// Reflectance in [0, 1] of `material` at `wavelength_nm`.
+double reflectance(Material material, double wavelength_nm);
+
+/// The HYDICE band grid: `bands` centre wavelengths spanning 400-2500 nm.
+std::vector<double> band_wavelengths(int bands);
+
+/// Sampled signature of a material on a band grid.
+std::vector<float> signature(Material material,
+                             const std::vector<double>& wavelengths);
+
+}  // namespace rif::hsi

@@ -1,0 +1,97 @@
+#include "linalg/jacobi_eig.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+namespace rif::linalg {
+
+EigenResult jacobi_eigen(const Matrix& input, const JacobiOptions& opts) {
+  RIF_CHECK_MSG(input.rows() == input.cols(), "jacobi needs a square matrix");
+  const int n = input.rows();
+
+  // Symmetrize defensively: covariance matrices assembled from distributed
+  // partial sums can carry rounding asymmetry.
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) a(i, j) = 0.5 * (input(i, j) + input(j, i));
+  }
+
+  Matrix v = Matrix::identity(n);
+  const double stop = opts.tolerance * std::max(a.frobenius_norm(), 1e-300);
+
+  int sweep = 0;
+  for (; sweep < opts.max_sweeps; ++sweep) {
+    if (a.max_off_diagonal() <= stop) break;
+    for (int p = 0; p < n - 1; ++p) {
+      for (int q = p + 1; q < n; ++q) {
+        const double apq = a(p, q);
+        if (std::abs(apq) <= stop * 1e-3) continue;
+        const double app = a(p, p);
+        const double aqq = a(q, q);
+        const double theta = (aqq - app) / (2.0 * apq);
+        // Stable tangent of the rotation angle.
+        const double t = (theta >= 0.0 ? 1.0 : -1.0) /
+                         (std::abs(theta) + std::sqrt(theta * theta + 1.0));
+        const double c = 1.0 / std::sqrt(t * t + 1.0);
+        const double s = t * c;
+
+        for (int k = 0; k < n; ++k) {
+          const double akp = a(k, p);
+          const double akq = a(k, q);
+          a(k, p) = c * akp - s * akq;
+          a(k, q) = s * akp + c * akq;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double apk = a(p, k);
+          const double aqk = a(q, k);
+          a(p, k) = c * apk - s * aqk;
+          a(q, k) = s * apk + c * aqk;
+        }
+        for (int k = 0; k < n; ++k) {
+          const double vkp = v(k, p);
+          const double vkq = v(k, q);
+          v(k, p) = c * vkp - s * vkq;
+          v(k, q) = s * vkp + c * vkq;
+        }
+      }
+    }
+  }
+
+  // Sort eigenpairs by descending eigenvalue so that "high spectral content
+  // is forced into the front components" (paper, step 6).
+  std::vector<int> order(n);
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(),
+            [&a](int i, int j) { return a(i, i) > a(j, j); });
+
+  EigenResult result;
+  result.values.resize(n);
+  result.vectors = Matrix(n, n);
+  result.sweeps = sweep;
+  for (int out = 0; out < n; ++out) {
+    const int src = order[out];
+    result.values[out] = a(src, src);
+    // Fix the sign convention: largest-magnitude element positive, so that
+    // results are deterministic across run orders.
+    double maxmag = 0.0;
+    double sign = 1.0;
+    for (int k = 0; k < n; ++k) {
+      if (std::abs(v(k, src)) > maxmag) {
+        maxmag = std::abs(v(k, src));
+        sign = v(k, src) >= 0.0 ? 1.0 : -1.0;
+      }
+    }
+    for (int k = 0; k < n; ++k) result.vectors(k, out) = sign * v(k, src);
+  }
+  return result;
+}
+
+double jacobi_flops(int n, int sweeps) {
+  // Each sweep rotates n(n-1)/2 pairs; each rotation touches 6n elements
+  // with a multiply-add each (~12n flops) plus constant work.
+  const double pairs = 0.5 * n * (n - 1);
+  return static_cast<double>(sweeps) * pairs * (12.0 * n + 30.0);
+}
+
+}  // namespace rif::linalg

@@ -1,0 +1,39 @@
+// Symmetric eigen-decomposition via the cyclic Jacobi method.
+//
+// Step 6 of the paper's algorithm: "the eigenvectors of the covariance
+// matrix are calculated and sorted according to their corresponding
+// eigenvalues". The paper notes the O(n^3) cost is acceptable because n is
+// the number of spectral bands (210), not the image size — the same holds
+// here, and Jacobi has the robustness and simplicity appropriate for a
+// dense symmetric positive semi-definite input.
+#pragma once
+
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rif::linalg {
+
+struct EigenResult {
+  /// Eigenvalues in descending order.
+  std::vector<double> values;
+  /// Column i of `vectors` is the unit eigenvector for values[i].
+  Matrix vectors;
+  /// Number of full Jacobi sweeps used.
+  int sweeps = 0;
+};
+
+struct JacobiOptions {
+  double tolerance = 1e-12;  ///< stop when max off-diagonal < tol * ||A||_F
+  int max_sweeps = 100;
+};
+
+/// Decompose a symmetric matrix. RIF_CHECKs on non-square input; symmetry
+/// is enforced by averaging a_ij and a_ji before iterating.
+EigenResult jacobi_eigen(const Matrix& a, const JacobiOptions& opts = {});
+
+/// Flop estimate for the decomposition of an n x n matrix, used by the
+/// distributed cost model for the sequential step-6 term.
+double jacobi_flops(int n, int sweeps = 8);
+
+}  // namespace rif::linalg

@@ -1,0 +1,115 @@
+#include "linalg/matrix.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace rif::linalg {
+
+Matrix::Matrix(std::initializer_list<std::initializer_list<double>> rows) {
+  rows_ = static_cast<int>(rows.size());
+  cols_ = rows_ > 0 ? static_cast<int>(rows.begin()->size()) : 0;
+  data_.reserve(static_cast<std::size_t>(rows_) * cols_);
+  for (const auto& r : rows) {
+    RIF_CHECK_MSG(static_cast<int>(r.size()) == cols_, "ragged initializer");
+    data_.insert(data_.end(), r.begin(), r.end());
+  }
+}
+
+Matrix Matrix::identity(int n) {
+  Matrix m(n, n);
+  for (int i = 0; i < n; ++i) m(i, i) = 1.0;
+  return m;
+}
+
+Matrix Matrix::transposed() const {
+  Matrix t(cols_, rows_);
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) t(c, r) = (*this)(r, c);
+  }
+  return t;
+}
+
+Matrix Matrix::operator*(const Matrix& rhs) const {
+  RIF_CHECK_MSG(cols_ == rhs.rows_, "dimension mismatch in matrix product");
+  Matrix out(rows_, rhs.cols_);
+  for (int i = 0; i < rows_; ++i) {
+    for (int k = 0; k < cols_; ++k) {
+      const double a = (*this)(i, k);
+      if (a == 0.0) continue;
+      const double* rrow = rhs.row(k);
+      double* orow = out.data() + static_cast<std::size_t>(i) * out.cols_;
+      for (int j = 0; j < rhs.cols_; ++j) orow[j] += a * rrow[j];
+    }
+  }
+  return out;
+}
+
+Matrix& Matrix::operator+=(const Matrix& rhs) {
+  RIF_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  for (std::size_t i = 0; i < data_.size(); ++i) data_[i] += rhs.data_[i];
+  return *this;
+}
+
+Matrix& Matrix::operator*=(double s) {
+  for (double& v : data_) v *= s;
+  return *this;
+}
+
+Matrix Matrix::operator-(const Matrix& rhs) const {
+  RIF_CHECK(rows_ == rhs.rows_ && cols_ == rhs.cols_);
+  Matrix out = *this;
+  for (std::size_t i = 0; i < data_.size(); ++i) out.data_[i] -= rhs.data_[i];
+  return out;
+}
+
+std::vector<double> Matrix::apply(const std::vector<double>& x) const {
+  RIF_CHECK(static_cast<int>(x.size()) == cols_);
+  std::vector<double> y(rows_, 0.0);
+  for (int r = 0; r < rows_; ++r) {
+    const double* rw = row(r);
+    double acc = 0.0;
+    for (int c = 0; c < cols_; ++c) acc += rw[c] * x[c];
+    y[r] = acc;
+  }
+  return y;
+}
+
+bool Matrix::symmetric(double tol) const {
+  if (rows_ != cols_) return false;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = r + 1; c < cols_; ++c) {
+      if (std::abs((*this)(r, c) - (*this)(c, r)) > tol) return false;
+    }
+  }
+  return true;
+}
+
+double Matrix::max_abs() const {
+  double m = 0.0;
+  for (double v : data_) m = std::max(m, std::abs(v));
+  return m;
+}
+
+double Matrix::frobenius_norm() const {
+  double s = 0.0;
+  for (double v : data_) s += v * v;
+  return std::sqrt(s);
+}
+
+double Matrix::max_off_diagonal() const {
+  double m = 0.0;
+  for (int r = 0; r < rows_; ++r) {
+    for (int c = 0; c < cols_; ++c) {
+      if (r != c) m = std::max(m, std::abs((*this)(r, c)));
+    }
+  }
+  return m;
+}
+
+double relative_difference(const Matrix& a, const Matrix& b) {
+  RIF_CHECK(a.rows() == b.rows() && a.cols() == b.cols());
+  const double denom = std::max(a.frobenius_norm(), 1e-30);
+  return (a - b).frobenius_norm() / denom;
+}
+
+}  // namespace rif::linalg

@@ -1,0 +1,74 @@
+// Dense row-major matrix of doubles.
+//
+// Sized for the paper's needs: covariance matrices of up to a few hundred
+// spectral bands and their eigen-decomposition. Not a general BLAS — the
+// hot per-pixel paths in rif_core use raw float kernels (kernels.h); this
+// class is for the statistics and eigenvector plumbing where clarity wins.
+#pragma once
+
+#include <initializer_list>
+#include <vector>
+
+#include "support/check.h"
+
+namespace rif::linalg {
+
+class Matrix {
+ public:
+  Matrix() = default;
+  Matrix(int rows, int cols, double fill = 0.0)
+      : rows_(rows), cols_(cols),
+        data_(static_cast<std::size_t>(rows) * cols, fill) {
+    RIF_CHECK(rows >= 0 && cols >= 0);
+  }
+
+  /// Row-major brace construction: Matrix({{1,2},{3,4}}).
+  Matrix(std::initializer_list<std::initializer_list<double>> rows);
+
+  static Matrix identity(int n);
+
+  [[nodiscard]] int rows() const { return rows_; }
+  [[nodiscard]] int cols() const { return cols_; }
+  [[nodiscard]] bool empty() const { return data_.empty(); }
+
+  double& operator()(int r, int c) {
+    RIF_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+  double operator()(int r, int c) const {
+    RIF_DCHECK(r >= 0 && r < rows_ && c >= 0 && c < cols_);
+    return data_[static_cast<std::size_t>(r) * cols_ + c];
+  }
+
+  [[nodiscard]] const double* data() const { return data_.data(); }
+  [[nodiscard]] double* data() { return data_.data(); }
+  [[nodiscard]] const double* row(int r) const {
+    RIF_DCHECK(r >= 0 && r < rows_);
+    return data_.data() + static_cast<std::size_t>(r) * cols_;
+  }
+
+  [[nodiscard]] Matrix transposed() const;
+  [[nodiscard]] Matrix operator*(const Matrix& rhs) const;
+  Matrix& operator+=(const Matrix& rhs);
+  Matrix& operator*=(double s);
+  [[nodiscard]] Matrix operator-(const Matrix& rhs) const;
+
+  /// y = M x for a dense vector.
+  [[nodiscard]] std::vector<double> apply(const std::vector<double>& x) const;
+
+  [[nodiscard]] bool symmetric(double tol = 1e-9) const;
+  [[nodiscard]] double max_abs() const;
+  [[nodiscard]] double frobenius_norm() const;
+  /// Largest |a_ij|, i != j — the Jacobi convergence measure.
+  [[nodiscard]] double max_off_diagonal() const;
+
+ private:
+  int rows_ = 0;
+  int cols_ = 0;
+  std::vector<double> data_;
+};
+
+/// Relative Frobenius distance, for approximate-equality tests.
+double relative_difference(const Matrix& a, const Matrix& b);
+
+}  // namespace rif::linalg

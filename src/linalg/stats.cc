@@ -1,0 +1,113 @@
+#include "linalg/stats.h"
+
+#include "support/serialize.h"
+
+namespace rif::linalg {
+
+void MeanAccumulator::add(std::span<const float> pixel) {
+  RIF_DCHECK(pixel.size() == sums_.size());
+  for (std::size_t i = 0; i < sums_.size(); ++i) sums_[i] += pixel[i];
+  ++count_;
+}
+
+void MeanAccumulator::merge(const MeanAccumulator& other) {
+  RIF_CHECK(other.sums_.size() == sums_.size());
+  for (std::size_t i = 0; i < sums_.size(); ++i) sums_[i] += other.sums_[i];
+  count_ += other.count_;
+}
+
+std::vector<double> MeanAccumulator::mean() const {
+  RIF_CHECK_MSG(count_ > 0, "mean of empty set");
+  std::vector<double> m(sums_.size());
+  for (std::size_t i = 0; i < sums_.size(); ++i) {
+    m[i] = sums_[i] / static_cast<double>(count_);
+  }
+  return m;
+}
+
+std::vector<std::uint8_t> MeanAccumulator::encode() const {
+  Writer w;
+  w.put<std::uint64_t>(count_);
+  w.put_vector(sums_);
+  return std::move(w).take();
+}
+
+MeanAccumulator MeanAccumulator::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  const auto count = r.get<std::uint64_t>();
+  auto sums = r.get_vector<double>();
+  MeanAccumulator acc(static_cast<int>(sums.size()));
+  acc.sums_ = std::move(sums);
+  acc.count_ = count;
+  return acc;
+}
+
+CovarianceAccumulator::CovarianceAccumulator(int dims,
+                                             std::vector<double> mean)
+    : dims_(dims), mean_(std::move(mean)) {
+  RIF_CHECK(static_cast<int>(mean_.size()) == dims);
+  upper_.assign(static_cast<std::size_t>(dims) * (dims + 1) / 2, 0.0);
+}
+
+void CovarianceAccumulator::add(std::span<const float> pixel) {
+  RIF_DCHECK(static_cast<int>(pixel.size()) == dims_);
+  // Centered copy once, then rank-1 update of the packed upper triangle.
+  static thread_local std::vector<double> centered;
+  centered.resize(dims_);
+  for (int i = 0; i < dims_; ++i) centered[i] = pixel[i] - mean_[i];
+  std::size_t idx = 0;
+  for (int i = 0; i < dims_; ++i) {
+    const double ci = centered[i];
+    for (int j = i; j < dims_; ++j) upper_[idx++] += ci * centered[j];
+  }
+  ++count_;
+}
+
+void CovarianceAccumulator::merge(const CovarianceAccumulator& other) {
+  RIF_CHECK(other.dims_ == dims_);
+  RIF_CHECK_MSG(other.mean_ == mean_,
+                "covariance sums computed against different means");
+  for (std::size_t i = 0; i < upper_.size(); ++i) upper_[i] += other.upper_[i];
+  count_ += other.count_;
+}
+
+Matrix CovarianceAccumulator::covariance() const {
+  RIF_CHECK_MSG(count_ > 0, "covariance of empty set");
+  Matrix cov(dims_, dims_);
+  const double inv = 1.0 / static_cast<double>(count_);
+  std::size_t idx = 0;
+  for (int i = 0; i < dims_; ++i) {
+    for (int j = i; j < dims_; ++j) {
+      const double v = upper_[idx++] * inv;
+      cov(i, j) = v;
+      cov(j, i) = v;
+    }
+  }
+  return cov;
+}
+
+std::vector<std::uint8_t> CovarianceAccumulator::encode() const {
+  Writer w;
+  w.put<std::int32_t>(dims_);
+  w.put<std::uint64_t>(count_);
+  w.put_vector(mean_);
+  w.put_vector(upper_);
+  return std::move(w).take();
+}
+
+CovarianceAccumulator CovarianceAccumulator::decode(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  const auto dims = r.get<std::int32_t>();
+  const auto count = r.get<std::uint64_t>();
+  auto mean = r.get_vector<double>();
+  auto upper = r.get_vector<double>();
+  CovarianceAccumulator acc(dims, std::move(mean));
+  RIF_CHECK(upper.size() == acc.upper_.size());
+  acc.upper_ = std::move(upper);
+  acc.count_ = count;
+  return acc;
+}
+
+}  // namespace rif::linalg

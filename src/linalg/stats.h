@@ -1,0 +1,66 @@
+// Distributed-friendly statistics accumulators.
+//
+// Steps 3-5 of the paper compute a mean vector and a covariance matrix of
+// the screened ("unique") pixel set, with the covariance *sums* computed
+// concurrently by workers and averaged sequentially by the manager. These
+// accumulators are the exact objects workers ship around: they merge by
+// addition, so any partition of the pixel set gives the same result.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "linalg/matrix.h"
+
+namespace rif::linalg {
+
+/// Accumulates per-band sums for the mean vector (paper step 3).
+class MeanAccumulator {
+ public:
+  explicit MeanAccumulator(int dims) : sums_(dims, 0.0) {}
+
+  void add(std::span<const float> pixel);
+  void merge(const MeanAccumulator& other);
+
+  [[nodiscard]] std::vector<double> mean() const;
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] int dims() const { return static_cast<int>(sums_.size()); }
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static MeanAccumulator decode(const std::vector<std::uint8_t>& bytes);
+
+ private:
+  std::vector<double> sums_;
+  std::uint64_t count_ = 0;
+};
+
+/// Accumulates the covariance sum  Σ (x−m)(x−m)ᵀ  (paper step 4).
+/// Only the upper triangle is stored; covariance() mirrors it.
+class CovarianceAccumulator {
+ public:
+  CovarianceAccumulator(int dims, std::vector<double> mean);
+
+  void add(std::span<const float> pixel);
+  void merge(const CovarianceAccumulator& other);
+
+  /// The averaged covariance matrix (paper step 5): sum / count.
+  [[nodiscard]] Matrix covariance() const;
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] const std::vector<double>& mean() const { return mean_; }
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static CovarianceAccumulator decode(const std::vector<std::uint8_t>& bytes);
+
+  /// Flops charged per added pixel of dimension n (upper triangle MACs).
+  static double flops_per_pixel(int n) { return 0.5 * n * (n + 3.0); }
+
+ private:
+  int dims_;
+  std::vector<double> mean_;
+  std::vector<double> upper_;  // packed upper triangle, row-major
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace rif::linalg

@@ -1,0 +1,108 @@
+#include "net/network.h"
+
+#include <algorithm>
+
+#include "sim/trace.h"
+
+namespace rif::net {
+
+SimTime Network::send(NodeId src, NodeId dst, std::uint64_t bytes,
+                      std::function<void()> deliver) {
+  auto& sim = cluster_.simulation();
+  ++stats_.messages_sent;
+  stats_.bytes_sent += bytes;
+  cluster_.trace().record(
+      {sim.now(), sim::TraceKind::kMessageSent, src, dst,
+       static_cast<std::int64_t>(bytes), {}});
+
+  SimTime deliver_at;
+  if (src == dst) {
+    // Loop-back: no NIC involvement, negligible fixed cost.
+    deliver_at = sim.now() + from_micros(1);
+  } else {
+    const auto [nic_time, latency] = cost(src, dst, bytes);
+    const bool control = bytes <= kControlLaneBytes;
+    SimTime& busy = control ? control_busy_until_[src] : uplink_slot(src);
+    const SimTime start = std::max(busy, sim.now());
+    busy = start + nic_time;
+    deliver_at = busy + latency;
+    if (!control) {
+      // Converging bulk flows serialize on the receiver's link.
+      const SimTime occupancy = downlink_time(bytes);
+      SimTime& down = downlink_busy_until_[dst];
+      deliver_at = std::max(deliver_at, down) + occupancy;
+      down = deliver_at;
+    }
+  }
+
+  const bool lost =
+      loss_probability_ > 0.0 && loss_rng_.uniform() < loss_probability_;
+  const bool cut = partitioned(src, dst);
+
+  sim.schedule_at(
+      deliver_at, [this, src, dst, bytes, lost, cut,
+                   deliver = std::move(deliver)] {
+        auto& s = cluster_.simulation();
+        if (lost || cut || !cluster_.node(dst).alive()) {
+          ++stats_.messages_dropped;
+          cluster_.trace().record({s.now(), sim::TraceKind::kMessageDropped,
+                                   src, dst,
+                                   static_cast<std::int64_t>(bytes),
+                                   lost   ? "lost"
+                                   : cut  ? "partitioned"
+                                          : "dst-dead"});
+          return;
+        }
+        ++stats_.messages_delivered;
+        cluster_.trace().record({s.now(), sim::TraceKind::kMessageDelivered,
+                                 src, dst,
+                                 static_cast<std::int64_t>(bytes), {}});
+        deliver();
+      });
+  return deliver_at;
+}
+
+void Network::set_partitioned(NodeId a, NodeId b, bool partitioned) {
+  const std::pair<NodeId, NodeId> key{a < b ? a : b, a < b ? b : a};
+  if (partitioned) {
+    partitions_.insert(key);
+  } else {
+    partitions_.erase(key);
+  }
+}
+
+void Network::set_loss_probability(double p, std::uint64_t seed) {
+  RIF_CHECK(p >= 0.0 && p < 1.0);
+  loss_probability_ = p;
+  loss_rng_ = Rng(seed);
+}
+
+std::pair<SimTime, SimTime> LanNetwork::cost(NodeId /*src*/, NodeId /*dst*/,
+                                             std::uint64_t bytes) {
+  const SimTime nic =
+      config_.per_message_overhead +
+      from_seconds(static_cast<double>(bytes) / config_.bandwidth_bytes_per_sec);
+  return {nic, config_.latency};
+}
+
+SimTime LanNetwork::downlink_time(std::uint64_t bytes) {
+  return from_seconds(static_cast<double>(bytes) /
+                      config_.bandwidth_bytes_per_sec);
+}
+
+std::pair<SimTime, SimTime> SharedBusNetwork::cost(NodeId /*src*/,
+                                                   NodeId /*dst*/,
+                                                   std::uint64_t bytes) {
+  const SimTime wire =
+      config_.per_message_overhead +
+      from_seconds(static_cast<double>(bytes) /
+                   config_.bandwidth_bytes_per_sec);
+  return {wire, config_.latency};
+}
+
+std::pair<SimTime, SimTime> SmpNetwork::cost(NodeId /*src*/, NodeId /*dst*/,
+                                             std::uint64_t /*bytes*/) {
+  return {config_.handoff, 0};
+}
+
+}  // namespace rif::net

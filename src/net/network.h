@@ -1,0 +1,178 @@
+// Network transport models.
+//
+// The network moves opaque deliveries between nodes and charges virtual
+// time for them. Two concrete models cover the paper's two platforms:
+//
+//  * LanNetwork — switched 100BaseT LAN: per-message software overhead that
+//    serializes on the sender's NIC, store-and-forward bandwidth, and wire
+//    latency. This is the model behind Figures 4 and 5: the manager's
+//    serialized sends and the per-message overhead produce both the
+//    deviation from linear speed-up and the granularity trade-off.
+//  * SmpNetwork — shared-memory "network": a fixed small hand-off cost and
+//    no bandwidth term, matching the paper's §4 remark that the SMP version
+//    has no communication overhead to speak of.
+//
+// Reliability is NOT provided here: if the destination is dead at delivery
+// time (or the link is partitioned, or the loss process fires) the payload
+// vanishes with a trace record. End-to-end reliability belongs to the scp
+// layer, as it does in the paper's protocols.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <set>
+#include <unordered_map>
+#include <utility>
+
+#include "cluster/cluster.h"
+#include "support/rng.h"
+#include "support/time.h"
+
+namespace rif::net {
+
+using cluster::NodeId;
+
+struct NetworkStats {
+  std::uint64_t messages_sent = 0;
+  std::uint64_t messages_delivered = 0;
+  std::uint64_t messages_dropped = 0;
+  std::uint64_t bytes_sent = 0;
+};
+
+class Network {
+ public:
+  explicit Network(cluster::Cluster& cluster) : cluster_(cluster) {}
+  virtual ~Network() = default;
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Transport `bytes` from `src` to `dst`; run `deliver` on arrival.
+  /// Local sends (src == dst) are delivered after a negligible fixed cost.
+  ///
+  /// Bulk payloads serialize on the sender's NIC; messages of at most
+  /// `kControlLaneBytes` ride a separate control lane (acknowledgements,
+  /// heartbeats, work requests) — they pay per-message overhead and latency
+  /// but do not queue behind multi-megabyte transfers, as in a real stack
+  /// where small control segments interleave with bulk streams at packet
+  /// granularity.
+  ///
+  /// Returns the scheduled arrival time. The sender-side protocol uses this
+  /// for retransmission timing: a message still sitting in the local send
+  /// queue is not "unacknowledged", it just has not left yet.
+  SimTime send(NodeId src, NodeId dst, std::uint64_t bytes,
+               std::function<void()> deliver);
+
+  static constexpr std::uint64_t kControlLaneBytes = 256;
+
+  /// Cut (or mend) the link between two nodes in both directions.
+  void set_partitioned(NodeId a, NodeId b, bool partitioned);
+
+  /// Probability that any given message is silently lost in transit.
+  void set_loss_probability(double p, std::uint64_t seed = 7);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+
+ protected:
+  /// Model hook: returns {time the sender's NIC is occupied,
+  /// additional in-flight latency after the NIC releases}.
+  virtual std::pair<SimTime, SimTime> cost(NodeId src, NodeId dst,
+                                           std::uint64_t bytes) = 0;
+
+  /// Model hook: occupancy of the receiver's downlink for a bulk payload
+  /// (0 = unmodelled). On a switched LAN every sender gets its own uplink,
+  /// but flows converging on one host — e.g. unique-set results streaming
+  /// into the manager — serialize on that host's single link.
+  virtual SimTime downlink_time(std::uint64_t bytes) {
+    (void)bytes;
+    return 0;
+  }
+
+  /// Model hook: the busy-until slot a bulk send from `src` serializes on.
+  /// Per-sender on a switched LAN; one shared slot on a bus topology.
+  virtual SimTime& uplink_slot(NodeId src) { return nic_busy_until_[src]; }
+
+  cluster::Cluster& cluster_;
+  std::unordered_map<NodeId, SimTime> nic_busy_until_;  ///< bulk uplinks
+
+ private:
+  [[nodiscard]] bool partitioned(NodeId a, NodeId b) const {
+    return partitions_.contains({a < b ? a : b, a < b ? b : a});
+  }
+
+  NetworkStats stats_;
+  std::set<std::pair<NodeId, NodeId>> partitions_;
+  std::unordered_map<NodeId, SimTime> downlink_busy_until_; ///< bulk downlink
+  std::unordered_map<NodeId, SimTime> control_busy_until_;  ///< control lane
+  double loss_probability_ = 0.0;
+  Rng loss_rng_{7};
+};
+
+struct LanConfig {
+  /// One-way wire + switch latency.
+  SimTime latency = from_micros(100);
+  /// Per-message software overhead (syscalls, protocol stack) occupying the
+  /// sender CPU-adjacent NIC path.
+  SimTime per_message_overhead = from_millis(1);
+  /// Effective 100BaseT payload bandwidth through a 1999-era user-space
+  /// messaging stack (raw wire is 12.5 MB/s; copies, XDR-style conversion
+  /// and the library layers cost the rest).
+  double bandwidth_bytes_per_sec = 3.0e6;
+};
+
+class LanNetwork final : public Network {
+ public:
+  LanNetwork(cluster::Cluster& cluster, LanConfig config = {})
+      : Network(cluster), config_(config) {}
+
+  [[nodiscard]] const LanConfig& config() const { return config_; }
+
+ protected:
+  std::pair<SimTime, SimTime> cost(NodeId src, NodeId dst,
+                                   std::uint64_t bytes) override;
+  SimTime downlink_time(std::uint64_t bytes) override;
+
+ private:
+  LanConfig config_;
+};
+
+/// A shared-medium Ethernet segment (hub / coax era): every bulk transfer,
+/// regardless of sender, serializes on the one wire. The network-topology
+/// ablation baseline against the switched LanNetwork.
+class SharedBusNetwork final : public Network {
+ public:
+  SharedBusNetwork(cluster::Cluster& cluster, LanConfig config = {})
+      : Network(cluster), config_(config) {}
+
+  [[nodiscard]] const LanConfig& config() const { return config_; }
+
+ protected:
+  std::pair<SimTime, SimTime> cost(NodeId src, NodeId dst,
+                                   std::uint64_t bytes) override;
+  SimTime& uplink_slot(NodeId /*src*/) override { return bus_busy_until_; }
+  // No separate downlink: the bus is the only medium.
+
+ private:
+  LanConfig config_;
+  SimTime bus_busy_until_ = 0;
+};
+
+struct SmpConfig {
+  /// Cost of handing a pointer between threads through a shared queue.
+  SimTime handoff = from_micros(2);
+};
+
+class SmpNetwork final : public Network {
+ public:
+  SmpNetwork(cluster::Cluster& cluster, SmpConfig config = {})
+      : Network(cluster), config_(config) {}
+
+ protected:
+  std::pair<SimTime, SimTime> cost(NodeId src, NodeId dst,
+                                   std::uint64_t bytes) override;
+
+ private:
+  SmpConfig config_;
+};
+
+}  // namespace rif::net

@@ -1,0 +1,81 @@
+// Actor programming interface.
+//
+// Following the paper (§2): "these systems are reactive ... the important
+// transitions between data states occur at the receipt of messages". An
+// Actor is therefore a state machine driven by on_message; long-running
+// computation is expressed through ActorContext::compute so that the
+// simulated CPU can charge for it, and every actor can externalize its
+// state (snapshot/restore) so the resiliency layer can regenerate replicas
+// on fresh nodes.
+//
+// Replication contract: all replicas of a logical thread receive the same
+// messages in the same per-sender order and must act deterministically on
+// them (same sends, same seeds). Use ActorContext::rng() — which is seeded
+// per *logical* thread, not per replica — for any randomness.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "scp/types.h"
+#include "support/time.h"
+
+namespace rif::scp {
+
+class ActorContext {
+ public:
+  virtual ~ActorContext() = default;
+
+  [[nodiscard]] virtual ThreadId self() const = 0;
+  /// Replica slot within the group; 0 for the initial primary.
+  [[nodiscard]] virtual int slot() const = 0;
+  [[nodiscard]] virtual SimTime now() const = 0;
+
+  /// Send `msg` to logical thread `dst`. Reliable and duplicate-free
+  /// end-to-end when the runtime is in resilient mode; direct (fate-shared
+  /// with the destination node) otherwise.
+  virtual void send(ThreadId dst, Message msg) = 0;
+
+  /// Charge `flops` of computation to this replica's CPU, then run `then`.
+  /// The continuation is dropped if the replica dies in the meantime.
+  virtual void compute(double flops, std::function<void()> then) = 0;
+
+  /// Mark this logical thread as finished: heartbeat monitoring stops and
+  /// the group will not be regenerated any more.
+  virtual void finish() = 0;
+
+  /// Ask the runtime to stop the whole computation (e.g. the manager saw
+  /// the final result). The run loop returns after the current event.
+  virtual void shutdown_runtime() = 0;
+};
+
+class Actor {
+ public:
+  virtual ~Actor() = default;
+
+  /// Invoked once when the replica becomes live (including regenerated
+  /// replicas, after restore_state).
+  virtual void on_start(ActorContext& ctx) { (void)ctx; }
+
+  /// Reactive transition on message receipt.
+  virtual void on_message(ActorContext& ctx, ThreadId from,
+                          const Message& msg) = 0;
+
+  /// Serialize the actor's application state for replica regeneration.
+  virtual std::vector<std::uint8_t> snapshot_state() const { return {}; }
+
+  /// Re-install state produced by snapshot_state on a peer replica.
+  virtual void restore_state(const std::vector<std::uint8_t>& state) {
+    (void)state;
+  }
+
+  /// Approximate in-memory state size, used to price state transfer when
+  /// snapshots are elided in CostOnly runs. Defaults to the snapshot size.
+  virtual std::uint64_t state_bytes() const { return 0; }
+};
+
+using ActorFactory = std::function<std::unique_ptr<Actor>()>;
+
+}  // namespace rif::scp

@@ -1,0 +1,65 @@
+#include "sim/simulation.h"
+
+#include <utility>
+
+namespace rif::sim {
+
+EventId Simulation::schedule_at(SimTime t, Callback cb) {
+  RIF_CHECK_MSG(t >= now_, "cannot schedule into the past");
+  const std::uint64_t seq = next_seq_++;
+  queue_.push(Entry{t, seq, std::move(cb)});
+  pending_.insert(seq);
+  return EventId{seq};
+}
+
+void Simulation::cancel(EventId id) {
+  if (pending_.contains(id.value)) {
+    cancelled_.insert(id.value);
+    pending_.erase(id.value);
+  }
+}
+
+void Simulation::skip_cancelled() {
+  while (!queue_.empty() && cancelled_.contains(queue_.top().seq)) {
+    cancelled_.erase(queue_.top().seq);
+    queue_.pop();
+  }
+}
+
+bool Simulation::step() {
+  skip_cancelled();
+  if (queue_.empty()) return false;
+  // priority_queue::top is const; the callback is moved out via const_cast,
+  // which is safe because the entry is popped immediately afterwards.
+  Entry& top = const_cast<Entry&>(queue_.top());
+  RIF_DCHECK(top.time >= now_);
+  now_ = top.time;
+  Callback cb = std::move(top.cb);
+  pending_.erase(top.seq);
+  queue_.pop();
+  ++executed_;
+  cb();
+  return true;
+}
+
+void Simulation::run() {
+  while (step()) {
+  }
+}
+
+bool Simulation::run_until(SimTime t) {
+  for (;;) {
+    skip_cancelled();
+    if (queue_.empty()) {
+      now_ = t;
+      return true;
+    }
+    if (queue_.top().time > t) {
+      now_ = t;
+      return false;
+    }
+    step();
+  }
+}
+
+}  // namespace rif::sim

@@ -1,0 +1,56 @@
+// Repeating timer built on Simulation events. Used by the heartbeat failure
+// detector and by periodic statistics sampling.
+#pragma once
+
+#include <functional>
+#include <utility>
+
+#include "sim/simulation.h"
+
+namespace rif::sim {
+
+/// Fires a callback every `period` of virtual time until stopped or
+/// destroyed. Restart-safe: start() on a running timer re-arms it.
+class PeriodicTimer {
+ public:
+  PeriodicTimer(Simulation& sim, SimTime period, std::function<void()> fn)
+      : sim_(sim), period_(period), fn_(std::move(fn)) {
+    RIF_CHECK_MSG(period > 0, "timer period must be positive");
+  }
+
+  ~PeriodicTimer() { stop(); }
+  PeriodicTimer(const PeriodicTimer&) = delete;
+  PeriodicTimer& operator=(const PeriodicTimer&) = delete;
+
+  void start() {
+    stop();
+    running_ = true;
+    arm();
+  }
+
+  void stop() {
+    if (running_) {
+      sim_.cancel(event_);
+      running_ = false;
+    }
+  }
+
+  [[nodiscard]] bool running() const { return running_; }
+
+ private:
+  void arm() {
+    event_ = sim_.schedule_after(period_, [this] {
+      if (!running_) return;
+      fn_();
+      if (running_) arm();  // fn_ may have stopped the timer
+    });
+  }
+
+  Simulation& sim_;
+  SimTime period_;
+  std::function<void()> fn_;
+  EventId event_{};
+  bool running_ = false;
+};
+
+}  // namespace rif::sim

@@ -1,0 +1,23 @@
+#include "sim/trace.h"
+
+namespace rif::sim {
+
+const char* trace_kind_name(TraceKind kind) {
+  switch (kind) {
+    case TraceKind::kMessageSent: return "message_sent";
+    case TraceKind::kMessageDelivered: return "message_delivered";
+    case TraceKind::kMessageDropped: return "message_dropped";
+    case TraceKind::kComputeStart: return "compute_start";
+    case TraceKind::kComputeEnd: return "compute_end";
+    case TraceKind::kNodeFailed: return "node_failed";
+    case TraceKind::kNodeRestored: return "node_restored";
+    case TraceKind::kFailureDetected: return "failure_detected";
+    case TraceKind::kReplicaSpawned: return "replica_spawned";
+    case TraceKind::kReplicaStateTransferred: return "replica_state_transferred";
+    case TraceKind::kGroupReconfigured: return "group_reconfigured";
+    case TraceKind::kCustom: return "custom";
+  }
+  return "unknown";
+}
+
+}  // namespace rif::sim

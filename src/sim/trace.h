@@ -1,0 +1,71 @@
+// Event trace recorder.
+//
+// Protocol components append typed records (message sent, failure detected,
+// replica regenerated, ...) which tests assert on and benches summarize.
+// Kept as plain structs rather than log strings so invariants ("no message
+// delivered to a dead node") are machine-checkable.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "support/time.h"
+
+namespace rif::sim {
+
+enum class TraceKind : std::uint8_t {
+  kMessageSent,
+  kMessageDelivered,
+  kMessageDropped,
+  kComputeStart,
+  kComputeEnd,
+  kNodeFailed,
+  kNodeRestored,
+  kFailureDetected,
+  kReplicaSpawned,
+  kReplicaStateTransferred,
+  kGroupReconfigured,
+  kCustom,
+};
+
+const char* trace_kind_name(TraceKind kind);
+
+struct TraceRecord {
+  SimTime time = 0;
+  TraceKind kind = TraceKind::kCustom;
+  std::int64_t a = -1;      ///< kind-specific (e.g. source node / thread id)
+  std::int64_t b = -1;      ///< kind-specific (e.g. destination)
+  std::int64_t value = 0;   ///< kind-specific (e.g. bytes)
+  std::string note;
+};
+
+class TraceRecorder {
+ public:
+  void set_enabled(bool on) { enabled_ = on; }
+  [[nodiscard]] bool enabled() const { return enabled_; }
+
+  void record(TraceRecord rec) {
+    if (enabled_) records_.push_back(std::move(rec));
+  }
+
+  [[nodiscard]] const std::vector<TraceRecord>& records() const {
+    return records_;
+  }
+
+  [[nodiscard]] std::size_t count(TraceKind kind) const {
+    std::size_t n = 0;
+    for (const auto& r : records_) {
+      if (r.kind == kind) ++n;
+    }
+    return n;
+  }
+
+  void clear() { records_.clear(); }
+
+ private:
+  bool enabled_ = false;
+  std::vector<TraceRecord> records_;
+};
+
+}  // namespace rif::sim

@@ -1,0 +1,72 @@
+#include "sim/trace_export.h"
+
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "support/time.h"
+
+namespace rif::sim {
+
+namespace {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+bool export_trace_jsonl(const TraceRecorder& trace, const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  for (const auto& rec : trace.records()) {
+    std::fprintf(f,
+                 "{\"t\":%.9f,\"kind\":\"%s\",\"a\":%lld,\"b\":%lld,"
+                 "\"value\":%lld,\"note\":\"%s\"}\n",
+                 to_seconds(rec.time), trace_kind_name(rec.kind),
+                 static_cast<long long>(rec.a), static_cast<long long>(rec.b),
+                 static_cast<long long>(rec.value),
+                 json_escape(rec.note).c_str());
+  }
+  const bool ok = std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+std::string summarize_trace(const TraceRecorder& trace) {
+  struct Agg {
+    std::size_t count = 0;
+    long long value_sum = 0;
+  };
+  std::map<TraceKind, Agg> by_kind;
+  for (const auto& rec : trace.records()) {
+    auto& agg = by_kind[rec.kind];
+    ++agg.count;
+    agg.value_sum += rec.value;
+  }
+  std::ostringstream os;
+  for (const auto& [kind, agg] : by_kind) {
+    os << trace_kind_name(kind) << ": " << agg.count;
+    if (agg.value_sum > 0) os << " (value sum " << agg.value_sum << ")";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace rif::sim

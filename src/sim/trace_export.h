@@ -1,0 +1,19 @@
+// Trace export: JSON-lines dump and per-kind summary of a TraceRecorder,
+// for offline analysis of protocol behaviour (timelines of attacks,
+// detections, transfers, regenerations).
+#pragma once
+
+#include <string>
+
+#include "sim/trace.h"
+
+namespace rif::sim {
+
+/// Write one JSON object per record: {"t":..., "kind":"...", "a":..,
+/// "b":.., "value":.., "note":".."}. Returns false on I/O error.
+bool export_trace_jsonl(const TraceRecorder& trace, const std::string& path);
+
+/// Human-readable per-kind counts and byte totals.
+std::string summarize_trace(const TraceRecorder& trace);
+
+}  // namespace rif::sim

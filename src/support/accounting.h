@@ -1,0 +1,23 @@
+// Cost accounting records shared by the cost model, the benches and
+// EXPERIMENTS.md reporting.
+#pragma once
+
+#include <cstdint>
+
+namespace rif {
+
+/// Aggregate resource usage of a (sub)computation on the virtual cluster.
+struct CostAccount {
+  double flops = 0.0;           ///< floating-point operations charged to CPUs
+  std::uint64_t messages = 0;   ///< messages handed to the network
+  std::uint64_t bytes = 0;      ///< payload bytes handed to the network
+
+  CostAccount& operator+=(const CostAccount& o) {
+    flops += o.flops;
+    messages += o.messages;
+    bytes += o.bytes;
+    return *this;
+  }
+};
+
+}  // namespace rif

@@ -1,0 +1,38 @@
+// Lightweight contract checking for the rif libraries.
+//
+// RIF_CHECK is always on (benchmarks included): violations indicate a bug in
+// the caller or in rif itself and abort with a location message.
+// RIF_DCHECK compiles away in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace rif {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "rif: CHECK failed: %s at %s:%d%s%s\n", expr, file,
+               line, msg[0] ? ": " : "", msg);
+  std::abort();
+}
+
+}  // namespace rif
+
+#define RIF_CHECK(expr)                                        \
+  do {                                                         \
+    if (!(expr)) ::rif::check_failed(#expr, __FILE__, __LINE__, ""); \
+  } while (0)
+
+#define RIF_CHECK_MSG(expr, msg)                                  \
+  do {                                                            \
+    if (!(expr)) ::rif::check_failed(#expr, __FILE__, __LINE__, msg); \
+  } while (0)
+
+#ifdef NDEBUG
+#define RIF_DCHECK(expr) \
+  do {                   \
+  } while (0)
+#else
+#define RIF_DCHECK(expr) RIF_CHECK(expr)
+#endif

@@ -1,0 +1,25 @@
+#include "support/log.h"
+
+#include <cstdio>
+
+namespace rif {
+
+Logger& Logger::instance() {
+  static Logger logger;
+  return logger;
+}
+
+void Logger::write(LogLevel level, const std::string& component,
+                   const std::string& message) {
+  static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
+  const char* name = kNames[static_cast<int>(level)];
+  if (clock_) {
+    std::fprintf(stderr, "[%12.6fs] %-5s %-12s %s\n", clock_(), name,
+                 component.c_str(), message.c_str());
+  } else {
+    std::fprintf(stderr, "%-5s %-12s %s\n", name, component.c_str(),
+                 message.c_str());
+  }
+}
+
+}  // namespace rif

@@ -1,0 +1,54 @@
+// Minimal leveled logger with a virtual-time hook.
+//
+// The simulation installs a clock callback so that log lines carry virtual
+// seconds rather than wall time, which makes protocol traces directly
+// comparable across runs.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace rif {
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+class Logger {
+ public:
+  static Logger& instance();
+
+  void set_level(LogLevel level) { level_ = level; }
+  [[nodiscard]] LogLevel level() const { return level_; }
+
+  /// Install a source for virtual timestamps (seconds). Pass nullptr to clear.
+  void set_clock(std::function<double()> clock) { clock_ = std::move(clock); }
+
+  void write(LogLevel level, const std::string& component,
+             const std::string& message);
+
+  [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
+
+ private:
+  LogLevel level_ = LogLevel::kWarn;
+  std::function<double()> clock_;
+};
+
+}  // namespace rif
+
+#define RIF_LOG(level, component, expr)                                  \
+  do {                                                                   \
+    if (::rif::Logger::instance().enabled(level)) {                      \
+      std::ostringstream rif_log_os_;                                    \
+      rif_log_os_ << expr;                                               \
+      ::rif::Logger::instance().write(level, component, rif_log_os_.str()); \
+    }                                                                    \
+  } while (0)
+
+#define RIF_LOG_DEBUG(component, expr) \
+  RIF_LOG(::rif::LogLevel::kDebug, component, expr)
+#define RIF_LOG_INFO(component, expr) \
+  RIF_LOG(::rif::LogLevel::kInfo, component, expr)
+#define RIF_LOG_WARN(component, expr) \
+  RIF_LOG(::rif::LogLevel::kWarn, component, expr)
+#define RIF_LOG_ERROR(component, expr) \
+  RIF_LOG(::rif::LogLevel::kError, component, expr)

@@ -1,0 +1,9 @@
+#include "support/rng.h"
+
+#include <cmath>
+
+namespace rif {
+
+double Rng::sqrt_neg2log(double s) { return std::sqrt(-2.0 * std::log(s) / s); }
+
+}  // namespace rif

@@ -1,0 +1,66 @@
+// Fixed-width ASCII table printer used by the figure-reproduction benches so
+// that every bench emits rows in the same shape the paper reports.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace rif {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers)
+      : headers_(std::move(headers)) {}
+
+  void add_row(std::vector<std::string> cells) {
+    rows_.push_back(std::move(cells));
+  }
+
+  void print(std::FILE* out = stdout) const {
+    std::vector<std::size_t> width(headers_.size(), 0);
+    for (std::size_t c = 0; c < headers_.size(); ++c) {
+      width[c] = headers_[c].size();
+    }
+    for (const auto& row : rows_) {
+      for (std::size_t c = 0; c < row.size() && c < width.size(); ++c) {
+        if (row[c].size() > width[c]) width[c] = row[c].size();
+      }
+    }
+    print_row(out, headers_, width);
+    std::string sep;
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      sep += std::string(width[c] + 2, '-');
+      if (c + 1 < width.size()) sep += "+";
+    }
+    std::fprintf(out, "%s\n", sep.c_str());
+    for (const auto& row : rows_) print_row(out, row, width);
+  }
+
+ private:
+  static void print_row(std::FILE* out, const std::vector<std::string>& row,
+                        const std::vector<std::size_t>& width) {
+    for (std::size_t c = 0; c < width.size(); ++c) {
+      const std::string& cell = c < row.size() ? row[c] : std::string();
+      std::fprintf(out, " %-*s ", static_cast<int>(width[c]), cell.c_str());
+      if (c + 1 < width.size()) std::fprintf(out, "|");
+    }
+    std::fprintf(out, "\n");
+  }
+
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// printf-style helper for table cells.
+inline std::string strf(const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  std::vsnprintf(buf, sizeof buf, fmt, args);
+  va_end(args);
+  return buf;
+}
+
+}  // namespace rif

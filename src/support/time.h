@@ -1,0 +1,30 @@
+// Virtual-time representation shared by the simulation, network and cluster
+// models.
+//
+// Simulated time is an integral nanosecond count so that event ordering is
+// exact and runs are bit-reproducible across platforms; helpers convert to
+// and from floating-point seconds at the API boundary only.
+#pragma once
+
+#include <cstdint>
+
+namespace rif {
+
+/// A point on (or span of) the virtual timeline, in nanoseconds.
+using SimTime = std::int64_t;
+
+inline constexpr SimTime kSimTimeNever = INT64_MAX;
+
+constexpr SimTime from_seconds(double s) {
+  return static_cast<SimTime>(s * 1e9);
+}
+constexpr SimTime from_millis(double ms) {
+  return static_cast<SimTime>(ms * 1e6);
+}
+constexpr SimTime from_micros(double us) {
+  return static_cast<SimTime>(us * 1e3);
+}
+constexpr double to_seconds(SimTime t) { return static_cast<double>(t) * 1e-9; }
+constexpr double to_millis(SimTime t) { return static_cast<double>(t) * 1e-6; }
+
+}  // namespace rif

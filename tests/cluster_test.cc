@@ -1,0 +1,231 @@
+#include <gtest/gtest.h>
+
+#include "cluster/cluster.h"
+#include "cluster/failure_injector.h"
+#include "cluster/placement.h"
+#include "sim/simulation.h"
+
+namespace rif::cluster {
+namespace {
+
+NodeConfig fast_node() {
+  NodeConfig c;
+  c.flops_per_second = 1e9;
+  c.dispatch_overhead = 0;
+  return c;
+}
+
+TEST(NodeTest, ComputeTakesFlopsOverSpeed) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(fast_node());
+  SimTime done_at = -1;
+  cluster.node(id).submit_compute(1e9, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done_at, from_seconds(1.0));
+}
+
+TEST(NodeTest, ComputeIsFifoSerialized) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(fast_node());
+  std::vector<int> order;
+  SimTime second_done = -1;
+  cluster.node(id).submit_compute(1e9, [&] { order.push_back(1); });
+  cluster.node(id).submit_compute(1e9, [&] {
+    order.push_back(2);
+    second_done = sim.now();
+  });
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  // Two 1-second tasks on one CPU: the second finishes at t=2 — this FIFO
+  // sharing is what makes co-located replicas cost 2x.
+  EXPECT_EQ(second_done, from_seconds(2.0));
+}
+
+TEST(NodeTest, DispatchOverheadCharged) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  NodeConfig cfg = fast_node();
+  cfg.dispatch_overhead = from_micros(10);
+  const NodeId id = cluster.add_node(cfg);
+  SimTime done_at = -1;
+  cluster.node(id).submit_compute(0, [&] { done_at = sim.now(); });
+  sim.run();
+  EXPECT_EQ(done_at, from_micros(10));
+}
+
+TEST(NodeTest, FailureDropsQueuedCompletions) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(fast_node());
+  bool fired = false;
+  cluster.node(id).submit_compute(1e9, [&] { fired = true; });
+  sim.schedule_at(from_millis(500), [&] { cluster.fail_node(id); });
+  sim.run();
+  EXPECT_FALSE(fired);
+  EXPECT_FALSE(cluster.node(id).alive());
+}
+
+TEST(NodeTest, TimersDieWithNode) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(fast_node());
+  bool fired = false;
+  cluster.node(id).run_after(from_seconds(1.0), [&] { fired = true; });
+  sim.schedule_at(from_millis(10), [&] { cluster.fail_node(id); });
+  sim.run();
+  EXPECT_FALSE(fired);
+}
+
+TEST(NodeTest, RestoreStartsFreshEpoch) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(fast_node());
+  bool old_fired = false;
+  bool new_fired = false;
+  cluster.node(id).run_after(from_seconds(2.0), [&] { old_fired = true; });
+  sim.schedule_at(from_millis(10), [&] { cluster.fail_node(id); });
+  sim.schedule_at(from_millis(20), [&] {
+    cluster.restore_node(id);
+    cluster.node(id).run_after(from_millis(1), [&] { new_fired = true; });
+  });
+  sim.run();
+  EXPECT_FALSE(old_fired);  // pre-failure timer must not survive restore
+  EXPECT_TRUE(new_fired);
+}
+
+TEST(NodeTest, FlopsAccounting) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  const NodeId id = cluster.add_node(fast_node());
+  cluster.node(id).submit_compute(100.0, [] {});
+  cluster.node(id).submit_compute(250.0, [] {});
+  sim.run();
+  EXPECT_DOUBLE_EQ(cluster.node(id).flops_charged(), 350.0);
+}
+
+TEST(ClusterTest, AliveBookkeeping) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  cluster.add_nodes(4);
+  EXPECT_EQ(cluster.alive_count(), 4);
+  cluster.fail_node(2);
+  EXPECT_EQ(cluster.alive_count(), 3);
+  const auto alive = cluster.alive_nodes();
+  EXPECT_EQ(alive, (std::vector<NodeId>{0, 1, 3}));
+  cluster.restore_node(2);
+  EXPECT_EQ(cluster.alive_count(), 4);
+}
+
+TEST(ClusterTest, FailureRecordsTrace) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  cluster.trace().set_enabled(true);
+  cluster.add_nodes(2);
+  cluster.fail_node(1);
+  cluster.fail_node(1);  // idempotent
+  EXPECT_EQ(cluster.trace().count(sim::TraceKind::kNodeFailed), 1u);
+}
+
+TEST(FailureInjectorTest, ScriptedCrashFires) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  cluster.add_nodes(3);
+  FailureInjector injector(cluster);
+  injector.schedule_crash(from_seconds(1.0), 1);
+  sim.run();
+  EXPECT_FALSE(cluster.node(1).alive());
+  EXPECT_EQ(injector.crashes_injected(), 1);
+}
+
+TEST(FailureInjectorTest, RepairRestoresNode) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  cluster.add_nodes(2);
+  FailureInjector injector(cluster);
+  injector.schedule_crash(from_seconds(1.0), 0, from_seconds(2.0));
+  sim.run_until(from_seconds(1.5));
+  EXPECT_FALSE(cluster.node(0).alive());
+  sim.run();
+  EXPECT_TRUE(cluster.node(0).alive());
+}
+
+TEST(FailureInjectorTest, PoissonScheduleIsDeterministic) {
+  sim::Simulation sim1, sim2;
+  Cluster c1(sim1), c2(sim2);
+  c1.add_nodes(4);
+  c2.add_nodes(4);
+  FailureInjector i1(c1), i2(c2);
+  Rng r1(99), r2(99);
+  const auto s1 = i1.schedule_poisson(r1, 0, from_seconds(100),
+                                      from_seconds(10), {1, 2, 3});
+  const auto s2 = i2.schedule_poisson(r2, 0, from_seconds(100),
+                                      from_seconds(10), {1, 2, 3});
+  ASSERT_EQ(s1.size(), s2.size());
+  for (std::size_t i = 0; i < s1.size(); ++i) {
+    EXPECT_EQ(s1[i].time, s2[i].time);
+    EXPECT_EQ(s1[i].node, s2[i].node);
+  }
+}
+
+TEST(PlacementTest, RoundRobinCycles) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  cluster.add_nodes(3);
+  RoundRobinPlacement rr(cluster);
+  EXPECT_EQ(rr.pick({}), 0);
+  EXPECT_EQ(rr.pick({}), 1);
+  EXPECT_EQ(rr.pick({}), 2);
+  EXPECT_EQ(rr.pick({}), 0);
+}
+
+TEST(PlacementTest, RoundRobinSkipsExcludedAndDead) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  cluster.add_nodes(3);
+  cluster.fail_node(1);
+  RoundRobinPlacement rr(cluster);
+  EXPECT_EQ(rr.pick({0}), 2);
+  EXPECT_EQ(rr.pick({0, 2}), kNoNode);
+}
+
+TEST(PlacementTest, LeastLoadedPrefersIdle) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  cluster.add_nodes(3);
+  LeastLoadedPlacement ll(cluster);
+  ll.add_load(0);
+  ll.add_load(0);
+  ll.add_load(1);
+  EXPECT_EQ(ll.pick({}), 2);
+  ll.add_load(2);
+  ll.add_load(2);
+  EXPECT_EQ(ll.pick({}), 1);
+}
+
+TEST(PlacementTest, LeastLoadedHonoursExclusions) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  cluster.add_nodes(2);
+  LeastLoadedPlacement ll(cluster);
+  ll.add_load(1);
+  EXPECT_EQ(ll.pick({0}), 1);
+  EXPECT_EQ(ll.pick({0, 1}), kNoNode);
+}
+
+TEST(PlacementTest, RemoveLoadNeverNegative) {
+  sim::Simulation sim;
+  Cluster cluster(sim);
+  cluster.add_nodes(1);
+  LeastLoadedPlacement ll(cluster);
+  ll.remove_load(0);
+  EXPECT_EQ(ll.load(0), 0);
+  ll.add_load(0);
+  ll.remove_load(0);
+  ll.remove_load(0);
+  EXPECT_EQ(ll.load(0), 0);
+}
+
+}  // namespace
+}  // namespace rif::cluster

@@ -1,0 +1,149 @@
+#include <gtest/gtest.h>
+
+#include <filesystem>
+#include <fstream>
+
+#include "hsi/cube_io.h"
+#include "hsi/scene.h"
+
+namespace rif::hsi {
+namespace {
+
+namespace fs = std::filesystem;
+
+ImageCube make_cube() {
+  ImageCube cube(5, 4, 3);
+  for (int y = 0; y < 4; ++y) {
+    for (int x = 0; x < 5; ++x) {
+      for (int b = 0; b < 3; ++b) {
+        cube.pixel(x, y)[b] = static_cast<float>(100 * b + 10 * y + x);
+      }
+    }
+  }
+  return cube;
+}
+
+std::string temp_path(const std::string& name) {
+  return (fs::temp_directory_path() / name).string();
+}
+
+class CubeIoInterleaveTest : public ::testing::TestWithParam<Interleave> {};
+
+TEST_P(CubeIoInterleaveTest, SaveLoadRoundTrip) {
+  const ImageCube cube = make_cube();
+  const std::string path = temp_path(
+      std::string("rif_cube_") + interleave_name(GetParam()) + ".dat");
+  ASSERT_TRUE(save_cube(path, cube, GetParam(), {400.0, 1000.0, 2500.0}));
+
+  CubeHeader header;
+  const auto loaded = load_cube(path, &header);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->width(), 5);
+  EXPECT_EQ(loaded->height(), 4);
+  EXPECT_EQ(loaded->bands(), 3);
+  EXPECT_EQ(loaded->raw(), cube.raw());  // exact, all interleaves
+  EXPECT_EQ(header.interleave, GetParam());
+  ASSERT_EQ(header.wavelengths.size(), 3u);
+  EXPECT_DOUBLE_EQ(header.wavelengths[1], 1000.0);
+
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
+INSTANTIATE_TEST_SUITE_P(Interleaves, CubeIoInterleaveTest,
+                         ::testing::Values(Interleave::kBip, Interleave::kBil,
+                                           Interleave::kBsq));
+
+TEST(CubeIoTest, InterleaveConversionsInvert) {
+  const ImageCube cube = make_cube();
+  for (const auto il :
+       {Interleave::kBip, Interleave::kBil, Interleave::kBsq}) {
+    const auto data = to_interleave(cube, il);
+    const ImageCube back = from_interleave(data, 5, 4, 3, il);
+    EXPECT_EQ(back.raw(), cube.raw()) << interleave_name(il);
+  }
+}
+
+TEST(CubeIoTest, BsqLayoutIsPlanar) {
+  const ImageCube cube = make_cube();
+  const auto bsq = to_interleave(cube, Interleave::kBsq);
+  // First plane (band 0) holds band-0 values of all pixels in row order.
+  EXPECT_FLOAT_EQ(bsq[0], cube.pixel(0, 0)[0]);
+  EXPECT_FLOAT_EQ(bsq[1], cube.pixel(1, 0)[0]);
+  EXPECT_FLOAT_EQ(bsq[5 * 4], cube.pixel(0, 0)[1]);  // start of band 1
+}
+
+TEST(CubeIoTest, BilLayoutIsLineMajor) {
+  const ImageCube cube = make_cube();
+  const auto bil = to_interleave(cube, Interleave::kBil);
+  // Line 0: band 0 samples, then band 1 samples...
+  EXPECT_FLOAT_EQ(bil[0], cube.pixel(0, 0)[0]);
+  EXPECT_FLOAT_EQ(bil[5], cube.pixel(0, 0)[1]);
+  EXPECT_FLOAT_EQ(bil[3 * 5], cube.pixel(0, 1)[0]);  // line 1 starts
+}
+
+TEST(CubeIoTest, ParseInterleaveNames) {
+  EXPECT_EQ(parse_interleave("bip"), Interleave::kBip);
+  EXPECT_EQ(parse_interleave(" BIL "), Interleave::kBil);
+  EXPECT_EQ(parse_interleave("BSQ"), Interleave::kBsq);
+  EXPECT_FALSE(parse_interleave("bogus").has_value());
+}
+
+TEST(CubeIoTest, MissingHeaderFails) {
+  EXPECT_FALSE(load_cube(temp_path("rif_no_such_cube.dat")).has_value());
+}
+
+TEST(CubeIoTest, MalformedHeaderFails) {
+  const std::string path = temp_path("rif_bad_cube.dat");
+  {
+    std::ofstream hdr(path + ".hdr");
+    hdr << "ENVI\nsamples = 4\nlines = 4\n";  // bands missing
+  }
+  {
+    std::ofstream data(path, std::ios::binary);
+    data << "xxxx";
+  }
+  EXPECT_FALSE(load_cube(path).has_value());
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
+TEST(CubeIoTest, TruncatedDataFails) {
+  const ImageCube cube = make_cube();
+  const std::string path = temp_path("rif_trunc_cube.dat");
+  ASSERT_TRUE(save_cube(path, cube));
+  fs::resize_file(path, 10);  // chop the data file
+  EXPECT_FALSE(load_cube(path).has_value());
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
+TEST(CubeIoTest, WavelengthCountMismatchFails) {
+  const std::string path = temp_path("rif_wl_cube.dat");
+  const ImageCube cube = make_cube();
+  ASSERT_TRUE(save_cube(path, cube, Interleave::kBip, {400.0}));  // 1 != 3
+  EXPECT_FALSE(load_cube(path).has_value());
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
+TEST(CubeIoTest, SceneSurvivesDiskRoundTrip) {
+  SceneConfig config;
+  config.width = 24;
+  config.height = 16;
+  config.bands = 12;
+  const Scene scene = generate_scene(config);
+  const std::string path = temp_path("rif_scene_cube.dat");
+  ASSERT_TRUE(
+      save_cube(path, scene.cube, Interleave::kBsq, scene.wavelengths));
+  CubeHeader header;
+  const auto loaded = load_cube(path, &header);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->raw(), scene.cube.raw());
+  EXPECT_EQ(header.wavelengths, scene.wavelengths);
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
+}  // namespace
+}  // namespace rif::hsi

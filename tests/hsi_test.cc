@@ -1,0 +1,299 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "hsi/image_cube.h"
+#include "hsi/image_io.h"
+#include "hsi/metrics.h"
+#include "hsi/partition.h"
+#include "hsi/scene.h"
+#include "hsi/spectra.h"
+
+namespace rif::hsi {
+namespace {
+
+// --- ImageCube ---------------------------------------------------------------
+
+TEST(ImageCubeTest, PixelAccessIsBandInterleaved) {
+  ImageCube cube(4, 3, 2);
+  cube.pixel(1, 2)[0] = 7.0f;
+  cube.pixel(1, 2)[1] = 9.0f;
+  const std::int64_t flat = 2 * 4 + 1;
+  EXPECT_EQ(cube.pixel(flat)[0], 7.0f);
+  EXPECT_EQ(cube.pixel(flat)[1], 9.0f);
+}
+
+TEST(ImageCubeTest, SizesAndBytes) {
+  ImageCube cube(10, 20, 5);
+  EXPECT_EQ(cube.pixel_count(), 200);
+  EXPECT_EQ(cube.bytes(), 200u * 5 * 4);
+}
+
+TEST(CubeShapeTest, BytesMatchCube) {
+  const CubeShape s{320, 320, 105};
+  EXPECT_EQ(s.pixels(), 320 * 320);
+  EXPECT_EQ(s.bytes(), ImageCube(320, 320, 105).bytes());
+}
+
+// --- Partitioning -------------------------------------------------------------
+
+TEST(PartitionTest, RowTilesCoverExactly) {
+  const CubeShape shape{17, 53, 4};
+  for (int count : {1, 2, 3, 7, 16, 53}) {
+    const auto tiles = partition_rows(shape, count);
+    int rows = 0;
+    std::int64_t pixels = 0;
+    int expect_y = 0;
+    for (const auto& t : tiles) {
+      EXPECT_EQ(t.y0, expect_y);
+      EXPECT_GT(t.rows, 0);
+      expect_y += t.rows;
+      rows += t.rows;
+      pixels += t.pixels();
+    }
+    EXPECT_EQ(rows, 53);
+    EXPECT_EQ(pixels, shape.pixels());
+  }
+}
+
+TEST(PartitionTest, TilesBalancedWithinOneRow) {
+  const auto tiles = partition_rows({100, 100, 1}, 7);
+  int mn = 1 << 30, mx = 0;
+  for (const auto& t : tiles) {
+    mn = std::min(mn, t.rows);
+    mx = std::max(mx, t.rows);
+  }
+  EXPECT_LE(mx - mn, 1);
+}
+
+TEST(PartitionTest, MoreTilesThanRowsDropsEmpties) {
+  const auto tiles = partition_rows({8, 3, 1}, 10);
+  EXPECT_EQ(tiles.size(), 3u);
+}
+
+TEST(PartitionTest, RangeChunksCover) {
+  const auto chunks = partition_range(100, 7);
+  ASSERT_EQ(chunks.size(), 7u);
+  std::int64_t pos = 0;
+  for (const auto& c : chunks) {
+    EXPECT_EQ(c.begin, pos);
+    pos = c.end;
+  }
+  EXPECT_EQ(pos, 100);
+}
+
+TEST(PartitionTest, RangeHandlesZeroAndSmall) {
+  const auto zero = partition_range(0, 3);
+  for (const auto& c : zero) EXPECT_EQ(c.size(), 0);
+  const auto small = partition_range(2, 5);
+  std::int64_t total = 0;
+  for (const auto& c : small) total += c.size();
+  EXPECT_EQ(total, 2);
+}
+
+// --- Spectra -------------------------------------------------------------------
+
+TEST(SpectraTest, ReflectanceInUnitRange) {
+  for (int m = 0; m < kMaterialCount; ++m) {
+    for (double wl = 400; wl <= 2500; wl += 10) {
+      const double r = reflectance(static_cast<Material>(m), wl);
+      ASSERT_GE(r, 0.0) << material_name(static_cast<Material>(m)) << " " << wl;
+      ASSERT_LE(r, 1.0);
+    }
+  }
+}
+
+TEST(SpectraTest, VegetationHasRedEdge) {
+  // NIR reflectance of forest must far exceed red-band reflectance.
+  const double red = reflectance(Material::kForest, 670);
+  const double nir = reflectance(Material::kForest, 860);
+  EXPECT_GT(nir, 3.0 * red);
+}
+
+TEST(SpectraTest, VehicleLacksRedEdge) {
+  const double red = reflectance(Material::kVehicle, 670);
+  const double nir = reflectance(Material::kVehicle, 860);
+  EXPECT_LT(nir, 2.0 * red);
+}
+
+TEST(SpectraTest, CamouflageImitatesVegetationInVisible) {
+  // In the visible band camo and forest are close...
+  const double camo_green = reflectance(Material::kCamouflage, 550);
+  const double veg_green = reflectance(Material::kForest, 550);
+  EXPECT_LT(std::abs(camo_green - veg_green), 0.06);
+  // ...but the SWIR water bands separate them.
+  const double camo_swir = reflectance(Material::kCamouflage, 1450);
+  const double veg_swir = reflectance(Material::kForest, 1450);
+  EXPECT_GT(camo_swir - veg_swir, 0.02);
+}
+
+TEST(SpectraTest, BandGridSpansSensorRange) {
+  const auto wl = band_wavelengths(210);
+  ASSERT_EQ(wl.size(), 210u);
+  EXPECT_DOUBLE_EQ(wl.front(), 400.0);
+  EXPECT_DOUBLE_EQ(wl.back(), 2500.0);
+  for (std::size_t i = 1; i < wl.size(); ++i) EXPECT_GT(wl[i], wl[i - 1]);
+}
+
+TEST(SpectraTest, SignatureSamplesGrid) {
+  const auto wl = band_wavelengths(50);
+  const auto sig = signature(Material::kSoil, wl);
+  ASSERT_EQ(sig.size(), 50u);
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    EXPECT_FLOAT_EQ(sig[i],
+                    static_cast<float>(reflectance(Material::kSoil, wl[i])));
+  }
+}
+
+// --- Scene generation -----------------------------------------------------------
+
+SceneConfig small_scene() {
+  SceneConfig cfg;
+  cfg.width = 64;
+  cfg.height = 64;
+  cfg.bands = 24;
+  cfg.seed = 99;
+  return cfg;
+}
+
+TEST(SceneTest, DeterministicForSeed) {
+  const Scene a = generate_scene(small_scene());
+  const Scene b = generate_scene(small_scene());
+  EXPECT_EQ(a.cube.raw(), b.cube.raw());
+  EXPECT_EQ(a.labels, b.labels);
+}
+
+TEST(SceneTest, DifferentSeedsDiffer) {
+  SceneConfig cfg = small_scene();
+  const Scene a = generate_scene(cfg);
+  cfg.seed = 100;
+  const Scene b = generate_scene(cfg);
+  EXPECT_NE(a.cube.raw(), b.cube.raw());
+}
+
+TEST(SceneTest, ContainsExpectedMaterials) {
+  const Scene s = generate_scene(small_scene());
+  EXPECT_GT(s.count_of(Material::kForest), 0);
+  EXPECT_GT(s.count_of(Material::kGrass), 0);
+  EXPECT_GT(s.count_of(Material::kVehicle), 0);
+  EXPECT_GT(s.count_of(Material::kCamouflage), 0);
+  // Forest dominates a foliated scene.
+  EXPECT_GT(s.count_of(Material::kForest), s.cube.pixel_count() / 4);
+  // Targets are rare.
+  EXPECT_LT(s.count_of(Material::kVehicle) + s.count_of(Material::kCamouflage),
+            s.cube.pixel_count() / 20);
+}
+
+TEST(SceneTest, CamouflagedVehicleInLowerLeft) {
+  SceneConfig cfg = small_scene();
+  cfg.width = 128;
+  cfg.height = 128;
+  const Scene s = generate_scene(cfg);
+  std::int64_t in_quadrant = 0, total = 0;
+  for (int y = 0; y < 128; ++y) {
+    for (int x = 0; x < 128; ++x) {
+      if (s.label(x, y) == Material::kCamouflage) {
+        ++total;
+        if (x < 64 && y >= 64) ++in_quadrant;
+      }
+    }
+  }
+  ASSERT_GT(total, 0);
+  EXPECT_EQ(in_quadrant, total);  // all camo pixels in the lower-left
+}
+
+TEST(SceneTest, PixelsNonNegative) {
+  const Scene s = generate_scene(small_scene());
+  for (const float v : s.cube.raw()) ASSERT_GE(v, 0.0f);
+}
+
+TEST(SceneTest, BandNearFindsNearest) {
+  const Scene s = generate_scene(small_scene());
+  EXPECT_EQ(s.band_near(400.0), 0);
+  EXPECT_EQ(s.band_near(2500.0), s.cube.bands() - 1);
+  EXPECT_EQ(s.band_near(100000.0), s.cube.bands() - 1);
+}
+
+TEST(SceneTest, ValueNoiseBoundedAndDeterministic) {
+  const auto a = value_noise(32, 32, 8, 5, 2);
+  const auto b = value_noise(32, 32, 8, 5, 2);
+  EXPECT_EQ(a, b);
+  for (const float v : a) {
+    ASSERT_GE(v, -1.0f);
+    ASSERT_LE(v, 1.0f);
+  }
+}
+
+// --- IO and metrics ---------------------------------------------------------------
+
+TEST(ImageIoTest, StretchMapsPercentiles) {
+  std::vector<float> plane(100);
+  for (int i = 0; i < 100; ++i) plane[i] = static_cast<float>(i);
+  const auto bytes = stretch_to_bytes(plane, 0.0, 1.0);
+  EXPECT_EQ(bytes.front(), 0);
+  EXPECT_EQ(bytes.back(), 255);
+}
+
+TEST(ImageIoTest, WritesPgmAndPpm) {
+  const auto dir = std::filesystem::temp_directory_path();
+  const auto pgm = (dir / "rif_test.pgm").string();
+  const auto ppm = (dir / "rif_test.ppm").string();
+  std::vector<float> plane(16 * 8, 0.5f);
+  plane[0] = 0.0f;
+  plane[1] = 1.0f;
+  EXPECT_TRUE(write_pgm(pgm, plane, 16, 8));
+  RgbImage img(4, 4);
+  img.at(0, 0, 0) = 255;
+  EXPECT_TRUE(write_ppm(ppm, img));
+  EXPECT_GT(std::filesystem::file_size(pgm), 100u);
+  EXPECT_GT(std::filesystem::file_size(ppm), 40u);
+  std::filesystem::remove(pgm);
+  std::filesystem::remove(ppm);
+}
+
+TEST(MetricsTest, BandStatisticsOfConstantCube) {
+  ImageCube cube(8, 8, 2);
+  for (std::int64_t p = 0; p < cube.pixel_count(); ++p) {
+    cube.pixel(p)[0] = 3.0f;
+    cube.pixel(p)[1] = 5.0f;
+  }
+  const auto stats = band_statistics(cube);
+  EXPECT_DOUBLE_EQ(stats[0].mean, 3.0);
+  EXPECT_DOUBLE_EQ(stats[1].mean, 5.0);
+  EXPECT_NEAR(stats[0].stddev, 0.0, 1e-9);
+}
+
+TEST(MetricsTest, ClassContrastSeparatesObviousTarget) {
+  std::vector<float> plane(100, 0.0f);
+  std::vector<std::uint8_t> labels(100,
+                                   static_cast<std::uint8_t>(Material::kForest));
+  for (int i = 0; i < 10; ++i) {
+    plane[i] = 10.0f;
+    labels[i] = static_cast<std::uint8_t>(Material::kVehicle);
+  }
+  EXPECT_GT(class_contrast(plane, labels, Material::kVehicle), 5.0);
+  // And near zero when the "target" looks like everything else.
+  std::vector<float> flat(100, 1.0f);
+  EXPECT_EQ(class_contrast(flat, labels, Material::kVehicle), 0.0);
+}
+
+TEST(MetricsTest, ContrastZeroWhenClassEmpty) {
+  std::vector<float> plane(10, 1.0f);
+  std::vector<std::uint8_t> labels(10, 0);
+  EXPECT_EQ(class_contrast(plane, labels, Material::kVehicle), 0.0);
+}
+
+TEST(MetricsTest, BandCorrelationBounds) {
+  const Scene s = generate_scene(small_scene());
+  // Adjacent bands of real-ish spectra are highly correlated (on the
+  // 24-band test grid "adjacent" is ~90 nm apart, so the bar is moderate).
+  const double adjacent = band_correlation(s.cube, 10, 11);
+  EXPECT_GT(adjacent, 0.7);
+  const double self = band_correlation(s.cube, 5, 5);
+  EXPECT_NEAR(self, 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace rif::hsi

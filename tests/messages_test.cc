@@ -1,0 +1,166 @@
+#include <gtest/gtest.h>
+
+#include "core/cost_model.h"
+#include "core/distributed/messages.h"
+
+namespace rif::core {
+namespace {
+
+// --- Wire codec round-trips ----------------------------------------------
+
+TEST(MessagesTest, TileAssignRoundTrip) {
+  TileAssignMsg msg;
+  msg.tile = {3, 40, 10, 320, 105};
+  msg.data = {1.0f, 2.0f, 3.0f};
+  const scp::Message wire = msg.encode(12345);
+  EXPECT_EQ(wire.type, kTileAssign);
+  EXPECT_EQ(wire.declared_bytes, 12345u);
+  const TileAssignMsg back = TileAssignMsg::decode(wire);
+  EXPECT_EQ(back.tile.index, 3);
+  EXPECT_EQ(back.tile.y0, 40);
+  EXPECT_EQ(back.tile.rows, 10);
+  EXPECT_EQ(back.data, msg.data);
+}
+
+TEST(MessagesTest, ScreenResultRoundTrip) {
+  ScreenResultMsg msg;
+  msg.tile = {1, 0, 5, 64, 16};
+  msg.unique_count = 321;
+  msg.comparisons = 99999;
+  msg.vectors = {0.5f, 0.25f};
+  const ScreenResultMsg back = ScreenResultMsg::decode(msg.encode(0));
+  EXPECT_EQ(back.unique_count, 321u);
+  EXPECT_EQ(back.comparisons, 99999u);
+  EXPECT_EQ(back.vectors, msg.vectors);
+}
+
+TEST(MessagesTest, CovShardRoundTrip) {
+  CovShardMsg msg;
+  msg.shard_count = 17;
+  msg.vectors = {1.0f};
+  msg.mean = {0.25, 0.75};
+  const CovShardMsg back = CovShardMsg::decode(msg.encode(64));
+  EXPECT_EQ(back.shard_count, 17u);
+  EXPECT_EQ(back.mean, msg.mean);
+}
+
+TEST(MessagesTest, CovSumRoundTrip) {
+  CovSumMsg msg;
+  msg.accumulator = {1, 2, 3, 255};
+  const CovSumMsg back = CovSumMsg::decode(msg.encode(0));
+  EXPECT_EQ(back.accumulator, msg.accumulator);
+}
+
+TEST(MessagesTest, TransformRoundTrip) {
+  TransformMsg msg;
+  msg.components = 3;
+  msg.bands = 4;
+  msg.matrix = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12};
+  msg.mean = {0.1, 0.2, 0.3, 0.4};
+  msg.scale_mean = {0, 0, 0};
+  msg.scale_gain = {1, 2, 3};
+  const TransformMsg back = TransformMsg::decode(msg.encode(0));
+  EXPECT_EQ(back.components, 3);
+  EXPECT_EQ(back.bands, 4);
+  EXPECT_EQ(back.matrix, msg.matrix);
+  EXPECT_EQ(back.scale_gain, msg.scale_gain);
+}
+
+TEST(MessagesTest, ColorTileRoundTrip) {
+  ColorTileMsg msg;
+  msg.tile = {7, 8, 2, 4, 16};
+  msg.rgb = {255, 0, 128, 1, 2, 3};
+  const ColorTileMsg back = ColorTileMsg::decode(msg.encode(0));
+  EXPECT_EQ(back.tile.index, 7);
+  EXPECT_EQ(back.rgb, msg.rgb);
+}
+
+TEST(MessagesTest, WireTileConversion) {
+  const hsi::Tile tile{5, 100, 20, 320, 105};
+  const WireTile wire = WireTile::from(tile);
+  const hsi::Tile back = wire.to_tile();
+  EXPECT_EQ(back.index, 5);
+  EXPECT_EQ(back.y0, 100);
+  EXPECT_EQ(back.rows, 20);
+  EXPECT_EQ(back.pixels(), tile.pixels());
+  EXPECT_EQ(wire.pixels(), tile.pixels());
+}
+
+TEST(MessagesTest, DeclaredBytesDefaultsToPayload) {
+  scp::Message m{kRequestWork, {1, 2, 3, 4}, 0};
+  EXPECT_EQ(m.wire_bytes(), 64u + 4u);  // header + payload
+  scp::Message big{kTileAssign, {1}, 1000000};
+  EXPECT_EQ(big.wire_bytes(), 64u + 1000000u);
+}
+
+// --- Cost model properties --------------------------------------------------
+
+class CostModelTest : public ::testing::Test {
+ protected:
+  CostModelParams params_;
+  CostModel model_{params_, 105, 3};
+};
+
+TEST_F(CostModelTest, TileUniqueSaturates) {
+  EXPECT_LT(model_.tile_unique_size(1), model_.tile_unique_size(100));
+  EXPECT_LT(model_.tile_unique_size(100), model_.tile_unique_size(10000));
+  EXPECT_LE(model_.tile_unique_size(1 << 26),
+            params_.tile_unique_saturation * 1.0001);
+  EXPECT_NEAR(model_.tile_unique_size(1 << 26),
+              params_.tile_unique_saturation,
+              1e-6 * params_.tile_unique_saturation);
+}
+
+TEST_F(CostModelTest, ScreenFlopsSuperlinearInPixelsUntilSaturation) {
+  // Below saturation, doubling pixels more than doubles work (the set is
+  // still growing); far above, it is linear.
+  const double small = model_.screen_flops(50);
+  const double twice = model_.screen_flops(100);
+  EXPECT_GT(twice, 2.0 * small);
+  const double big = model_.screen_flops(100000);
+  const double bigger = model_.screen_flops(200000);
+  EXPECT_NEAR(bigger / big, 2.0, 0.05);
+}
+
+TEST_F(CostModelTest, StepFlopsPositiveAndScaled) {
+  EXPECT_GT(model_.merge_flops(100), 0.0);
+  EXPECT_GT(model_.mean_flops(), 0.0);
+  EXPECT_GT(model_.cov_flops(10), 0.0);
+  EXPECT_GT(model_.eigen_flops(), 0.0);
+  EXPECT_DOUBLE_EQ(model_.transform_flops(10) / 10.0,
+                   model_.transform_flops(1));
+  EXPECT_DOUBLE_EQ(model_.cov_flops(20), 2.0 * model_.cov_flops(10));
+}
+
+TEST_F(CostModelTest, MergeScaleReducesCharge) {
+  CostModelParams scaled = params_;
+  scaled.merge_cost_scale = 0.25;
+  CostModel cheap(scaled, 105, 3);
+  EXPECT_DOUBLE_EQ(cheap.merge_flops(100), 0.25 * model_.merge_flops(100));
+}
+
+TEST_F(CostModelTest, WireSizesMatchShapes) {
+  EXPECT_EQ(model_.tile_bytes(100), 100u * 105 * 4);
+  EXPECT_EQ(model_.unique_vectors_bytes(10.0), 10u * 105 * 4);
+  EXPECT_EQ(model_.cov_sum_bytes(), 105u * 106 / 2 * 8 + 16);
+  EXPECT_EQ(model_.color_tile_bytes(100), 100u * 3 + 32);
+  EXPECT_GT(model_.transform_bytes(), 3u * 105 * 8);
+}
+
+TEST_F(CostModelTest, EigenFlopsCubicInBands) {
+  CostModel small(params_, 32, 3);
+  CostModel large(params_, 128, 3);
+  // 4x bands -> ~64x eigen work.
+  EXPECT_GT(large.eigen_flops() / small.eigen_flops(), 40.0);
+  EXPECT_LT(large.eigen_flops() / small.eigen_flops(), 90.0);
+}
+
+TEST_F(CostModelTest, FlopsPerComparisonTracksBands) {
+  CostModel narrow(params_, 10, 3);
+  CostModel wide(params_, 210, 3);
+  EXPECT_GT(wide.flops_per_comparison(), narrow.flops_per_comparison());
+  EXPECT_NEAR(wide.flops_per_comparison(), 2.0 * 210 + 10, 1e-12);
+}
+
+}  // namespace
+}  // namespace rif::core

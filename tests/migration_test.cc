@@ -1,0 +1,229 @@
+// Tests for proactive replica mobility (Runtime::migrate / evacuate_node).
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/failure_injector.h"
+#include "net/network.h"
+#include "scp/runtime.h"
+#include "sim/simulation.h"
+#include "support/serialize.h"
+
+namespace rif::scp {
+namespace {
+
+constexpr std::uint32_t kAdd = 1;
+constexpr std::uint32_t kReport = 2;
+constexpr std::uint32_t kSum = 3;
+
+RuntimeConfig fast_resilient() {
+  RuntimeConfig c;
+  c.resilient = true;
+  c.heartbeat_period = from_millis(20);
+  c.failure_timeout = from_millis(80);
+  c.retransmit_timeout = from_millis(60);
+  c.state_request_timeout = from_millis(150);
+  return c;
+}
+
+Message int_message(std::uint32_t type, std::int64_t value) {
+  Writer w;
+  w.put<std::int64_t>(value);
+  return Message{type, std::move(w).take(), 0};
+}
+
+std::int64_t int_payload(const Message& m) {
+  Reader r(m.payload);
+  return r.get<std::int64_t>();
+}
+
+class AccumulatorActor final : public Actor {
+ public:
+  explicit AccumulatorActor(double flops = 2e6) : flops_(flops) {}
+  void on_message(ActorContext& ctx, ThreadId from,
+                  const Message& msg) override {
+    if (msg.type == kAdd) {
+      const std::int64_t v = int_payload(msg);
+      ctx.compute(flops_, [this, v] { sum_ += v; });
+    } else if (msg.type == kReport) {
+      ctx.send(from, int_message(kSum, sum_));
+    }
+  }
+  std::vector<std::uint8_t> snapshot_state() const override {
+    Writer w;
+    w.put<std::int64_t>(sum_);
+    return std::move(w).take();
+  }
+  void restore_state(const std::vector<std::uint8_t>& state) override {
+    Reader r(state);
+    sum_ = r.get<std::int64_t>();
+  }
+
+ private:
+  double flops_;
+  std::int64_t sum_ = 0;
+};
+
+class StreamCoordinator final : public Actor {
+ public:
+  StreamCoordinator(ThreadId target, int count, std::int64_t* result)
+      : target_(target), count_(count), result_(result) {}
+  void on_start(ActorContext& ctx) override {
+    for (int i = 1; i <= count_; ++i) ctx.send(target_, int_message(kAdd, i));
+    ctx.send(target_, int_message(kReport, 0));
+  }
+  void on_message(ActorContext& ctx, ThreadId /*from*/,
+                  const Message& msg) override {
+    if (msg.type == kSum) {
+      *result_ = int_payload(msg);
+      ctx.finish();
+      ctx.shutdown_runtime();
+    }
+  }
+
+ private:
+  ThreadId target_;
+  int count_;
+  std::int64_t* result_;
+};
+
+struct Harness {
+  sim::Simulation sim;
+  cluster::Cluster cluster{sim};
+  std::unique_ptr<net::LanNetwork> net;
+  std::unique_ptr<Runtime> runtime;
+
+  explicit Harness(int nodes, RuntimeConfig config = fast_resilient()) {
+    cluster::NodeConfig nc;
+    nc.flops_per_second = 1e8;
+    cluster.add_nodes(nodes, nc);
+    net = std::make_unique<net::LanNetwork>(cluster);
+    runtime = std::make_unique<Runtime>(cluster, *net, config);
+  }
+};
+
+/// Coordinator(0)@node0, replicated accumulator(1)@{1,2}; streams `count`
+/// messages. Returns the runtime for inspection.
+struct Scenario {
+  Harness h;
+  std::int64_t result = -1;
+  static constexpr ThreadId kAcc = 1;
+
+  explicit Scenario(int nodes, int count = 40) : h(nodes) {
+    h.runtime->spawn("coord", [this, count] {
+      return std::make_unique<StreamCoordinator>(kAcc, count, &result);
+    }, 1, {0});
+    h.runtime->spawn("acc", [] { return std::make_unique<AccumulatorActor>(); },
+                     2, {1, 2});
+  }
+};
+
+TEST(MigrationTest, MidStreamMigrationPreservesResult) {
+  Scenario s(4);
+  s.h.runtime->start();
+  // Let the stream get going, then move slot 0 from node 1 to node 3.
+  s.h.sim.run_until(from_millis(200));
+  ASSERT_TRUE(s.h.runtime->migrate(Scenario::kAcc, 0, 3));
+  ASSERT_TRUE(s.h.runtime->run(from_seconds(120)));
+  EXPECT_EQ(s.result, 820);
+  EXPECT_EQ(s.h.runtime->stats().replicas_migrated, 1u);
+  EXPECT_EQ(s.h.runtime->stats().failures_detected, 0u);
+
+  const auto members = s.h.runtime->members_of(Scenario::kAcc);
+  EXPECT_TRUE((members[0].node == 3 && members[1].node == 2));
+  EXPECT_EQ(members[0].incarnation, 1u);
+}
+
+TEST(MigrationTest, EvacuationBeatsTheStrike) {
+  // Attack assessment senses node 1 is about to be hit; evacuate first.
+  Scenario s(4);
+  s.h.sim.schedule_at(from_millis(150), [&] {
+    EXPECT_EQ(s.h.runtime->evacuate_node(1), 1);
+  });
+  cluster::FailureInjector injector(s.h.cluster);
+  injector.schedule_crash(from_millis(900), 1);  // strike lands on an empty host
+  s.h.runtime->start();
+  ASSERT_TRUE(s.h.runtime->run(from_seconds(120)));
+  EXPECT_EQ(s.result, 820);
+  EXPECT_EQ(s.h.runtime->stats().replicas_migrated, 1u);
+  // The evacuated host died without taking any replica with it.
+  EXPECT_EQ(s.h.runtime->stats().replicas_regenerated, 0u);
+}
+
+TEST(MigrationTest, RejectsBadTargets) {
+  Scenario s(4);
+  s.h.runtime->start();
+  s.h.sim.run_until(from_millis(100));
+  // Same node.
+  EXPECT_FALSE(s.h.runtime->migrate(Scenario::kAcc, 0, 1));
+  // Node hosting the peer replica.
+  EXPECT_FALSE(s.h.runtime->migrate(Scenario::kAcc, 0, 2));
+  // The detector/manager host.
+  EXPECT_FALSE(s.h.runtime->migrate(Scenario::kAcc, 0, 0));
+  // Dead target.
+  s.h.cluster.fail_node(3);
+  EXPECT_FALSE(s.h.runtime->migrate(Scenario::kAcc, 0, 3));
+  // Bad slot / thread.
+  EXPECT_FALSE(s.h.runtime->migrate(Scenario::kAcc, 7, 3));
+  EXPECT_FALSE(s.h.runtime->migrate(99, 0, 3));
+}
+
+TEST(MigrationTest, NonResilientModeRefuses) {
+  RuntimeConfig plain;  // resilient = false
+  Harness h(3, plain);
+  std::int64_t result = -1;
+  h.runtime->spawn("coord", [&] {
+    return std::make_unique<StreamCoordinator>(1, 5, &result);
+  }, 1, {0});
+  h.runtime->spawn("acc", [] { return std::make_unique<AccumulatorActor>(); },
+                   1, {1});
+  h.runtime->start();
+  EXPECT_FALSE(h.runtime->migrate(1, 0, 2));
+}
+
+TEST(MigrationTest, ConcurrentMigrationBlocked) {
+  Scenario s(5);
+  s.h.runtime->start();
+  s.h.sim.run_until(from_millis(100));
+  EXPECT_TRUE(s.h.runtime->migrate(Scenario::kAcc, 0, 3));
+  // Slot is in transition: a second move must be refused.
+  EXPECT_FALSE(s.h.runtime->migrate(Scenario::kAcc, 0, 4));
+  ASSERT_TRUE(s.h.runtime->run(from_seconds(120)));
+  EXPECT_EQ(s.result, 820);
+}
+
+TEST(MigrationTest, MigrationThenCrashOfNewHostStillRecovers) {
+  Scenario s(5, /*count=*/120);  // long enough that the crash lands mid-run
+  cluster::FailureInjector injector(s.h.cluster);
+  s.h.sim.schedule_at(from_millis(150), [&] {
+    ASSERT_TRUE(s.h.runtime->migrate(Scenario::kAcc, 0, 3));
+  });
+  injector.schedule_crash(from_millis(800), 3);  // kill the migrated copy
+  s.h.runtime->start();
+  ASSERT_TRUE(s.h.runtime->run(from_seconds(240)));
+  EXPECT_EQ(s.result, 7260);  // 1 + ... + 120
+  EXPECT_EQ(s.h.runtime->stats().replicas_migrated, 1u);
+  EXPECT_GE(s.h.runtime->stats().replicas_regenerated, 1u);
+}
+
+TEST(MigrationTest, BusyReplicaMigratesFromCheckpoint) {
+  // Long per-message compute: the migration request lands mid-message and
+  // must ship the checkpoint without waiting for the message to finish.
+  Harness h(4);
+  std::int64_t result = -1;
+  h.runtime->spawn("coord", [&] {
+    return std::make_unique<StreamCoordinator>(1, 10, &result);
+  }, 1, {0});
+  h.runtime->spawn("acc", [] {
+    return std::make_unique<AccumulatorActor>(5e7);  // 0.5 s per message
+  }, 2, {1, 2});
+  h.runtime->start();
+  h.sim.run_until(from_millis(700));  // mid message-stream
+  ASSERT_TRUE(h.runtime->migrate(1, 0, 3));
+  ASSERT_TRUE(h.runtime->run(from_seconds(120)));
+  EXPECT_EQ(result, 55);
+  EXPECT_EQ(h.runtime->stats().replicas_migrated, 1u);
+}
+
+}  // namespace
+}  // namespace rif::scp

@@ -1,0 +1,208 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "sim/simulation.h"
+
+namespace rif::net {
+namespace {
+
+struct LanFixture : ::testing::Test {
+  sim::Simulation sim;
+  cluster::Cluster cluster{sim};
+  LanConfig config;
+
+  LanFixture() {
+    config.latency = from_micros(100);
+    config.per_message_overhead = from_millis(1);
+    config.bandwidth_bytes_per_sec = 1e6;  // 1 MB/s for round numbers
+    cluster.add_nodes(4);
+  }
+};
+
+TEST_F(LanFixture, TransferTimeIsOverheadPlusBytesPlusLatency) {
+  LanNetwork net(cluster, config);
+  SimTime arrival = -1;
+  net.send(0, 1, 1000000, [&] { arrival = sim.now(); });
+  sim.run();
+  // 1ms overhead + 1s uplink + 100us latency + 1s receiver downlink
+  // (store-and-forward through the switch).
+  EXPECT_EQ(arrival, from_millis(1) + from_seconds(1.0) + from_micros(100) +
+                         from_seconds(1.0));
+}
+
+TEST_F(LanFixture, ControlLaneBypassesBulkQueue) {
+  LanNetwork net(cluster, config);
+  SimTime bulk = -1, control = -1;
+  net.send(0, 1, 1000000, [&] { bulk = sim.now(); });
+  net.send(0, 1, 64, [&] { control = sim.now(); });  // ack-sized
+  sim.run();
+  // The small message does not wait for the 1 MB transfer.
+  EXPECT_LT(control, bulk);
+  EXPECT_LT(control, from_millis(5));
+}
+
+TEST_F(LanFixture, ConvergingBulkFlowsSerializeAtReceiver) {
+  LanNetwork net(cluster, config);
+  SimTime a = -1, b = -1;
+  // Different senders, same receiver: downlink serializes.
+  net.send(0, 3, 1000000, [&] { a = sim.now(); });
+  net.send(1, 3, 1000000, [&] { b = sim.now(); });
+  sim.run();
+  EXPECT_GE(std::max(a, b) - std::min(a, b), from_seconds(1.0));
+}
+
+TEST_F(LanFixture, SendReturnsArrivalTime) {
+  LanNetwork net(cluster, config);
+  SimTime observed = -1;
+  const SimTime predicted = net.send(0, 1, 500000, [&] { observed = sim.now(); });
+  sim.run();
+  EXPECT_EQ(predicted, observed);
+}
+
+TEST_F(LanFixture, SenderNicSerializesMessages) {
+  LanNetwork net(cluster, config);
+  SimTime first = -1, second = -1;
+  net.send(0, 1, 1000000, [&] { first = sim.now(); });
+  net.send(0, 2, 1000000, [&] { second = sim.now(); });
+  sim.run();
+  // The second message waits for the first to clear the sender's NIC.
+  EXPECT_EQ(second - first, from_millis(1) + from_seconds(1.0));
+}
+
+TEST_F(LanFixture, DistinctSendersDoNotSerialize) {
+  LanNetwork net(cluster, config);
+  SimTime a = -1, b = -1;
+  net.send(0, 2, 1000000, [&] { a = sim.now(); });
+  net.send(1, 3, 1000000, [&] { b = sim.now(); });
+  sim.run();
+  EXPECT_EQ(a, b);
+}
+
+TEST_F(LanFixture, LoopbackIsCheap) {
+  LanNetwork net(cluster, config);
+  SimTime arrival = -1;
+  net.send(2, 2, 1 << 20, [&] { arrival = sim.now(); });
+  sim.run();
+  EXPECT_LT(arrival, from_micros(10));
+}
+
+TEST_F(LanFixture, DeliveryToDeadNodeDropped) {
+  LanNetwork net(cluster, config);
+  bool delivered = false;
+  net.send(0, 1, 1000000, [&] { delivered = true; });
+  // Node 1 dies while the message is on the wire.
+  sim.schedule_at(from_millis(100), [&] { cluster.fail_node(1); });
+  sim.run();
+  EXPECT_FALSE(delivered);
+  EXPECT_EQ(net.stats().messages_dropped, 1u);
+  EXPECT_EQ(net.stats().messages_delivered, 0u);
+}
+
+TEST_F(LanFixture, PartitionCutsBothDirections) {
+  LanNetwork net(cluster, config);
+  net.set_partitioned(0, 1, true);
+  int delivered = 0;
+  net.send(0, 1, 10, [&] { ++delivered; });
+  net.send(1, 0, 10, [&] { ++delivered; });
+  net.send(0, 2, 10, [&] { ++delivered; });
+  sim.run();
+  EXPECT_EQ(delivered, 1);
+  EXPECT_EQ(net.stats().messages_dropped, 2u);
+}
+
+TEST_F(LanFixture, PartitionCanBeMended) {
+  LanNetwork net(cluster, config);
+  net.set_partitioned(0, 1, true);
+  net.set_partitioned(0, 1, false);
+  bool delivered = false;
+  net.send(0, 1, 10, [&] { delivered = true; });
+  sim.run();
+  EXPECT_TRUE(delivered);
+}
+
+TEST_F(LanFixture, LossProbabilityDropsSome) {
+  LanNetwork net(cluster, config);
+  net.set_loss_probability(0.5, 1234);
+  int delivered = 0;
+  for (int i = 0; i < 200; ++i) {
+    net.send(0, 1, 10, [&] { ++delivered; });
+  }
+  sim.run();
+  EXPECT_GT(delivered, 50);
+  EXPECT_LT(delivered, 150);
+  EXPECT_EQ(net.stats().messages_dropped + delivered, 200u);
+}
+
+TEST_F(LanFixture, StatsCountBytes) {
+  LanNetwork net(cluster, config);
+  net.send(0, 1, 123, [] {});
+  net.send(0, 1, 877, [] {});
+  sim.run();
+  EXPECT_EQ(net.stats().bytes_sent, 1000u);
+  EXPECT_EQ(net.stats().messages_sent, 2u);
+  EXPECT_EQ(net.stats().messages_delivered, 2u);
+}
+
+TEST(SharedBusTest, AllSendersSerializeOnOneWire) {
+  sim::Simulation sim;
+  cluster::Cluster cluster(sim);
+  cluster.add_nodes(4);
+  LanConfig cfg;
+  cfg.per_message_overhead = from_millis(1);
+  cfg.bandwidth_bytes_per_sec = 1e6;
+  cfg.latency = from_micros(100);
+  SharedBusNetwork net(cluster, cfg);
+  SimTime a = -1, b = -1;
+  // Different senders AND different receivers: still serialized on a bus.
+  net.send(0, 2, 1000000, [&] { a = sim.now(); });
+  net.send(1, 3, 1000000, [&] { b = sim.now(); });
+  sim.run();
+  EXPECT_GE(std::max(a, b) - std::min(a, b), from_seconds(1.0));
+}
+
+TEST(SharedBusTest, ControlLaneStillBypasses) {
+  sim::Simulation sim;
+  cluster::Cluster cluster(sim);
+  cluster.add_nodes(3);
+  LanConfig cfg;
+  cfg.bandwidth_bytes_per_sec = 1e6;
+  SharedBusNetwork net(cluster, cfg);
+  SimTime bulk = -1, control = -1;
+  net.send(0, 1, 1000000, [&] { bulk = sim.now(); });
+  net.send(2, 1, 64, [&] { control = sim.now(); });
+  sim.run();
+  EXPECT_LT(control, bulk);
+}
+
+TEST(SmpNetworkTest, HandoffIsFixedAndSizeIndependent) {
+  sim::Simulation sim;
+  cluster::Cluster cluster(sim);
+  cluster.add_nodes(2);
+  SmpConfig cfg;
+  cfg.handoff = from_micros(2);
+  SmpNetwork net(cluster, cfg);
+  SimTime small = -1, big = -1;
+  net.send(0, 1, 10, [&] { small = sim.now(); });
+  sim.run();
+  const SimTime first = small;
+  net.send(0, 1, 100 << 20, [&] { big = sim.now(); });
+  sim.run();
+  EXPECT_EQ(first, from_micros(2));
+  EXPECT_EQ(big - first, from_micros(2));
+}
+
+TEST(SmpNetworkTest, OrderPreservedPerSender) {
+  sim::Simulation sim;
+  cluster::Cluster cluster(sim);
+  cluster.add_nodes(2);
+  SmpNetwork net(cluster);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    net.send(0, 1, 10, [&order, i] { order.push_back(i); });
+  }
+  sim.run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+}  // namespace
+}  // namespace rif::net

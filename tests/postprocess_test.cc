@@ -1,0 +1,198 @@
+#include <gtest/gtest.h>
+
+#include "core/parallel/parallel_pct.h"
+#include "core/postprocess.h"
+#include "hsi/metrics.h"
+#include "hsi/scene.h"
+
+namespace rif::core {
+namespace {
+
+TEST(LuminanceTest, WeightsSumToOne) {
+  hsi::RgbImage img(2, 1);
+  for (int c = 0; c < 3; ++c) img.at(0, 0, c) = 100;
+  img.at(1, 0, 0) = 255;
+  const auto lum = luminance(img);
+  EXPECT_NEAR(lum[0], 100.0f, 0.5f);  // grey maps to itself
+  EXPECT_NEAR(lum[1], 0.299 * 255, 0.5);
+}
+
+TEST(SobelTest, FlatImageHasNoEdges) {
+  std::vector<float> plane(10 * 10, 3.0f);
+  const auto mag = sobel_magnitude(plane, 10, 10);
+  for (const float v : mag) EXPECT_EQ(v, 0.0f);
+}
+
+TEST(SobelTest, VerticalStepDetected) {
+  const int w = 10, h = 10;
+  std::vector<float> plane(w * h, 0.0f);
+  for (int y = 0; y < h; ++y) {
+    for (int x = 5; x < w; ++x) plane[y * w + x] = 1.0f;
+  }
+  const auto mag = sobel_magnitude(plane, w, h);
+  // Strongest response along the step columns (x in {4,5}).
+  EXPECT_GT(mag[5 * w + 5], 1.0f);
+  EXPECT_EQ(mag[5 * w + 1], 0.0f);  // far from the edge
+  // Border is zeroed by convention.
+  EXPECT_EQ(mag[0], 0.0f);
+}
+
+TEST(SobelTest, RotationSymmetry) {
+  const int n = 12;
+  std::vector<float> horizontal(n * n, 0.0f), vertical(n * n, 0.0f);
+  for (int y = 6; y < n; ++y) {
+    for (int x = 0; x < n; ++x) horizontal[y * n + x] = 2.0f;
+  }
+  for (int y = 0; y < n; ++y) {
+    for (int x = 6; x < n; ++x) vertical[y * n + x] = 2.0f;
+  }
+  const auto mh = sobel_magnitude(horizontal, n, n);
+  const auto mv = sobel_magnitude(vertical, n, n);
+  EXPECT_FLOAT_EQ(mh[6 * n + 6], mv[6 * n + 6]);
+}
+
+TEST(RxAnomalyTest, OutlierScoresHighest) {
+  const int w = 20, h = 20;
+  std::vector<std::vector<float>> channels(2,
+                                           std::vector<float>(w * h, 1.0f));
+  // Background with mild structure, one strong outlier pixel.
+  for (int i = 0; i < w * h; ++i) {
+    channels[0][i] = 1.0f + 0.01f * static_cast<float>(i % 7);
+    channels[1][i] = 2.0f - 0.01f * static_cast<float>(i % 5);
+  }
+  const int outlier = 7 * w + 7;
+  channels[0][outlier] = 5.0f;
+  channels[1][outlier] = -3.0f;
+  const auto scores = rx_anomaly(channels, w, h);
+  int argmax = 0;
+  for (int i = 0; i < w * h; ++i) {
+    if (scores[i] > scores[argmax]) argmax = i;
+  }
+  EXPECT_EQ(argmax, outlier);
+}
+
+TEST(RxAnomalyTest, ScoresNonNegative) {
+  const auto scene = hsi::generate_scene({.width = 16, .height = 16,
+                                          .bands = 8, .seed = 3});
+  std::vector<std::vector<float>> channels;
+  for (int b = 0; b < 3; ++b) {
+    channels.push_back(hsi::extract_band(scene.cube, b));
+  }
+  for (const float v : rx_anomaly(channels, 16, 16)) EXPECT_GE(v, 0.0f);
+}
+
+TEST(MaskTest, TopFractionSelectsApproximately) {
+  std::vector<float> plane(1000);
+  for (int i = 0; i < 1000; ++i) plane[i] = static_cast<float>(i);
+  const auto mask = top_fraction_mask(plane, 0.10);
+  int count = 0;
+  for (const auto m : mask) count += m;
+  EXPECT_NEAR(count, 100, 2);
+  EXPECT_EQ(mask[999], 1);  // highest value selected
+  EXPECT_EQ(mask[0], 0);    // lowest not
+}
+
+TEST(BlobTest, FindsSeparateComponents) {
+  const int w = 16, h = 8;
+  std::vector<std::uint8_t> mask(w * h, 0);
+  // Two 2x2 squares far apart.
+  for (int y = 1; y <= 2; ++y) {
+    for (int x = 1; x <= 2; ++x) mask[y * w + x] = 1;
+  }
+  for (int y = 5; y <= 6; ++y) {
+    for (int x = 12; x <= 13; ++x) mask[y * w + x] = 1;
+  }
+  const auto blobs = find_blobs(mask, w, h, 1);
+  ASSERT_EQ(blobs.size(), 2u);
+  EXPECT_EQ(blobs[0].pixels, 4);
+  EXPECT_NEAR(blobs[0].centroid_x, 1.5, 1e-9);
+  EXPECT_NEAR(blobs[1].centroid_x, 12.5, 1e-9);
+}
+
+TEST(BlobTest, DiagonalPixelsConnect) {
+  const int w = 6, h = 6;
+  std::vector<std::uint8_t> mask(w * h, 0);
+  mask[0 * w + 0] = 1;
+  mask[1 * w + 1] = 1;
+  mask[2 * w + 2] = 1;
+  const auto blobs = find_blobs(mask, w, h, 1);
+  ASSERT_EQ(blobs.size(), 1u);  // 8-connectivity
+  EXPECT_EQ(blobs[0].pixels, 3);
+}
+
+TEST(BlobTest, MinSizeFilters) {
+  const int w = 8, h = 8;
+  std::vector<std::uint8_t> mask(w * h, 0);
+  mask[0] = 1;  // singleton
+  for (int x = 3; x < 8; ++x) mask[4 * w + x] = 1;  // a 5-pixel run
+  const auto blobs = find_blobs(mask, w, h, 3);
+  ASSERT_EQ(blobs.size(), 1u);
+  EXPECT_EQ(blobs[0].pixels, 5);
+}
+
+TEST(DetectionTest, PerfectDetectionScoresFullRecall) {
+  const int w = 32, h = 32;
+  std::vector<std::uint8_t> labels(
+      w * h, static_cast<std::uint8_t>(hsi::Material::kForest));
+  for (int y = 10; y < 13; ++y) {
+    for (int x = 10; x < 14; ++x) {
+      labels[y * w + x] = static_cast<std::uint8_t>(hsi::Material::kVehicle);
+    }
+  }
+  Blob hit;
+  hit.min_x = 10;
+  hit.max_x = 13;
+  hit.min_y = 10;
+  hit.max_y = 12;
+  hit.pixels = 12;
+  hit.centroid_x = 11.5;
+  hit.centroid_y = 11.0;
+  const auto score = score_detections({hit}, labels, w, h,
+                                      {hsi::Material::kVehicle});
+  EXPECT_EQ(score.targets_present, 1);
+  EXPECT_EQ(score.targets_detected, 1);
+  EXPECT_EQ(score.false_alarms, 0);
+  EXPECT_DOUBLE_EQ(score.recall(), 1.0);
+}
+
+TEST(DetectionTest, BlobOffTargetIsFalseAlarm) {
+  const int w = 32, h = 32;
+  std::vector<std::uint8_t> labels(
+      w * h, static_cast<std::uint8_t>(hsi::Material::kForest));
+  Blob miss;
+  miss.centroid_x = 25;
+  miss.centroid_y = 25;
+  miss.pixels = 5;
+  const auto score =
+      score_detections({miss}, labels, w, h, {hsi::Material::kVehicle});
+  EXPECT_EQ(score.targets_present, 0);
+  EXPECT_EQ(score.false_alarms, 1);
+}
+
+TEST(PipelineDetectionTest, RxOnComponentsFindsVehicles) {
+  // End-to-end: fuse a scene, RX-score the component planes, threshold,
+  // blob, and check the vehicles are among the detections.
+  hsi::SceneConfig config;
+  config.width = 96;
+  config.height = 96;
+  config.bands = 32;
+  config.seed = 31;
+  const hsi::Scene scene = hsi::generate_scene(config);
+
+  ParallelPctConfig pcfg;
+  pcfg.threads = 4;
+  const PctResult fused = fuse_parallel(scene.cube, pcfg);
+
+  const auto scores = rx_anomaly(fused.component_planes, config.width,
+                                 config.height);
+  const auto mask = top_fraction_mask(scores, 0.02);
+  const auto blobs = find_blobs(mask, config.width, config.height, 4);
+  const auto score = score_detections(
+      blobs, scene.labels, config.width, config.height,
+      {hsi::Material::kVehicle, hsi::Material::kCamouflage});
+  EXPECT_GT(score.targets_present, 0);
+  EXPECT_GE(score.recall(), 0.5);
+}
+
+}  // namespace
+}  // namespace rif::core

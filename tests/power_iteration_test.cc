@@ -1,0 +1,105 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "linalg/jacobi_eig.h"
+#include "linalg/power_iteration.h"
+#include "support/rng.h"
+
+namespace rif::linalg {
+namespace {
+
+Matrix random_spd(int n, std::uint64_t seed) {
+  Rng rng(seed);
+  Matrix a(n, n);
+  for (int i = 0; i < n; ++i) {
+    for (int j = 0; j < n; ++j) a(i, j) = rng.uniform(-1.0, 1.0);
+  }
+  Matrix spd = a.transposed() * a;
+  for (int i = 0; i < n; ++i) spd(i, i) += 0.1;
+  return spd;
+}
+
+TEST(PowerIterationTest, DiagonalMatrix) {
+  Matrix d(3, 3);
+  d(0, 0) = 1.0;
+  d(1, 1) = 10.0;
+  d(2, 2) = 4.0;
+  const auto r = power_eigen(d, 2);
+  ASSERT_EQ(r.values.size(), 2u);
+  EXPECT_NEAR(r.values[0], 10.0, 1e-7);
+  EXPECT_NEAR(r.values[1], 4.0, 1e-6);
+  EXPECT_NEAR(std::abs(r.vectors(1, 0)), 1.0, 1e-6);
+}
+
+class PowerVsJacobi : public ::testing::TestWithParam<int> {};
+
+TEST_P(PowerVsJacobi, LeadingPairsAgree) {
+  const int n = GetParam();
+  const Matrix a = random_spd(n, 900 + n);
+  const EigenResult jac = jacobi_eigen(a);
+  const auto pow = power_eigen(a, 3);
+  for (int k = 0; k < 3; ++k) {
+    EXPECT_NEAR(pow.values[k], jac.values[k], 1e-5 * jac.values[0])
+        << "pair " << k;
+    // Vectors agree up to sign (sign convention should make them equal).
+    double dot = 0.0;
+    for (int i = 0; i < n; ++i) dot += pow.vectors(i, k) * jac.vectors(i, k);
+    EXPECT_GT(std::abs(dot), 0.9999) << "pair " << k;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, PowerVsJacobi,
+                         ::testing::Values(4, 8, 16, 32, 64));
+
+TEST(PowerIterationTest, EigenEquationHolds) {
+  const Matrix a = random_spd(20, 77);
+  const auto r = power_eigen(a, 3);
+  for (int k = 0; k < 3; ++k) {
+    std::vector<double> v(20);
+    for (int i = 0; i < 20; ++i) v[i] = r.vectors(i, k);
+    const auto av = a.apply(v);
+    for (int i = 0; i < 20; ++i) {
+      EXPECT_NEAR(av[i], r.values[k] * v[i], 1e-5 * a.frobenius_norm());
+    }
+  }
+}
+
+TEST(PowerIterationTest, VectorsOrthogonal) {
+  const Matrix a = random_spd(24, 33);
+  const auto r = power_eigen(a, 4);
+  for (int p = 0; p < 4; ++p) {
+    for (int q = p + 1; q < 4; ++q) {
+      double dot = 0.0;
+      for (int i = 0; i < 24; ++i) {
+        dot += r.vectors(i, p) * r.vectors(i, q);
+      }
+      EXPECT_NEAR(dot, 0.0, 1e-6);
+    }
+  }
+}
+
+TEST(PowerIterationTest, DeterministicForSeed) {
+  const Matrix a = random_spd(16, 55);
+  const auto r1 = power_eigen(a, 2);
+  const auto r2 = power_eigen(a, 2);
+  EXPECT_EQ(r1.values, r2.values);
+}
+
+TEST(PowerIterationTest, IterationCountsReported) {
+  const Matrix a = random_spd(16, 56);
+  const auto r = power_eigen(a, 2);
+  ASSERT_EQ(r.iterations.size(), 2u);
+  for (const int it : r.iterations) {
+    EXPECT_GT(it, 0);
+    EXPECT_LE(it, 500);
+  }
+}
+
+TEST(PowerIterationTest, FlopsEstimateQuadraticInBands) {
+  EXPECT_GT(power_eigen_flops(200, 3), 3.0 * power_eigen_flops(100, 3));
+  EXPECT_LT(power_eigen_flops(200, 3), 5.0 * power_eigen_flops(100, 3));
+}
+
+}  // namespace
+}  // namespace rif::linalg

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "core/sam_classifier.h"
+#include "hsi/scene.h"
+#include "hsi/spectra.h"
+
+namespace rif::core {
+namespace {
+
+std::vector<LibrarySignature> material_library(
+    const std::vector<double>& wavelengths,
+    const std::vector<hsi::Material>& materials) {
+  std::vector<LibrarySignature> lib;
+  for (const auto m : materials) {
+    lib.push_back({hsi::material_name(m), hsi::signature(m, wavelengths)});
+  }
+  return lib;
+}
+
+TEST(SamTest, PureSignaturesClassifyExactly) {
+  const auto wl = hsi::band_wavelengths(32);
+  const auto lib = material_library(
+      wl, {hsi::Material::kForest, hsi::Material::kSoil,
+           hsi::Material::kVehicle});
+  hsi::ImageCube cube(3, 1, 32);
+  for (int x = 0; x < 3; ++x) {
+    const auto sig = lib[x].spectrum;
+    std::copy(sig.begin(), sig.end(), cube.pixel(x, 0).begin());
+  }
+  const SamResult r = classify_sam(cube, lib);
+  EXPECT_EQ(r.classes[0], 0);
+  EXPECT_EQ(r.classes[1], 1);
+  EXPECT_EQ(r.classes[2], 2);
+  for (int x = 0; x < 3; ++x) EXPECT_NEAR(r.angles[x], 0.0, 1e-6);
+}
+
+TEST(SamTest, IlluminationScaleDoesNotChangeClass) {
+  const auto wl = hsi::band_wavelengths(24);
+  const auto lib = material_library(
+      wl, {hsi::Material::kForest, hsi::Material::kVehicle});
+  hsi::ImageCube cube(2, 1, 24);
+  const auto veh = lib[1].spectrum;
+  for (int b = 0; b < 24; ++b) {
+    cube.pixel(0, 0)[b] = veh[b] * 0.3f;  // shadowed vehicle
+    cube.pixel(1, 0)[b] = veh[b] * 1.7f;  // overexposed vehicle
+  }
+  const SamResult r = classify_sam(cube, lib);
+  EXPECT_EQ(r.classes[0], 1);
+  EXPECT_EQ(r.classes[1], 1);
+}
+
+TEST(SamTest, RejectionThresholdLeavesOddPixelsUnclassified) {
+  const auto wl = hsi::band_wavelengths(16);
+  const auto lib = material_library(wl, {hsi::Material::kForest});
+  hsi::ImageCube cube(1, 1, 16);
+  // A spectrally alien pixel: alternating spikes.
+  for (int b = 0; b < 16; ++b) {
+    cube.pixel(0, 0)[b] = (b % 2 == 0) ? 1.0f : 0.01f;
+  }
+  SamConfig config;
+  config.rejection_threshold = 0.1;
+  const SamResult r = classify_sam(cube, lib, config);
+  EXPECT_EQ(r.classes[0], kUnclassified);
+  EXPECT_EQ(r.unclassified, 1);
+}
+
+TEST(SamTest, CountsSumToPixels) {
+  const auto scene = hsi::generate_scene({.width = 32, .height = 32,
+                                          .bands = 24, .seed = 8});
+  const auto lib = material_library(
+      scene.wavelengths,
+      {hsi::Material::kForest, hsi::Material::kGrass, hsi::Material::kSoil,
+       hsi::Material::kRoad, hsi::Material::kVehicle});
+  const SamResult r = classify_sam(scene.cube, lib);
+  std::int64_t total = r.unclassified;
+  for (const auto c : r.counts) total += c;
+  EXPECT_EQ(total, scene.cube.pixel_count());
+}
+
+TEST(SamTest, SceneClassificationIsMostlyCorrect) {
+  hsi::SceneConfig config;
+  config.width = 64;
+  config.height = 64;
+  config.bands = 32;
+  config.seed = 19;
+  const auto scene = hsi::generate_scene(config);
+  const std::vector<hsi::Material> mats = {
+      hsi::Material::kForest, hsi::Material::kGrass, hsi::Material::kSoil,
+      hsi::Material::kRoad, hsi::Material::kVehicle,
+      hsi::Material::kShadow};
+  const auto lib = material_library(scene.wavelengths, mats);
+  const SamResult r = classify_sam(scene.cube, lib);
+  std::vector<int> mapping;
+  for (const auto m : mats) mapping.push_back(static_cast<int>(m));
+  const double accuracy = sam_accuracy(r, scene.labels, mapping);
+  // Camouflage is not in the library (it imitates forest) and mixes exist
+  // at region borders, so demand "most" not "all".
+  EXPECT_GT(accuracy, 0.80);
+}
+
+TEST(SamTest, ConfusionRowsCoverEveryPixel) {
+  const auto scene = hsi::generate_scene({.width = 24, .height = 24,
+                                          .bands = 16, .seed = 5});
+  const auto lib = material_library(scene.wavelengths,
+                                    {hsi::Material::kForest,
+                                     hsi::Material::kGrass});
+  const SamResult r = classify_sam(scene.cube, lib);
+  const auto rows = confusion_by_label(r, scene.labels);
+  std::int64_t total = 0;
+  for (const auto& row : rows) {
+    std::int64_t row_sum = row.unclassified;
+    for (const auto a : row.assigned) row_sum += a;
+    EXPECT_EQ(row_sum, row.total);
+    total += row.total;
+  }
+  EXPECT_EQ(total, scene.cube.pixel_count());
+}
+
+TEST(SamTest, BandMismatchAborts) {
+  const auto wl = hsi::band_wavelengths(16);
+  const auto lib = material_library(wl, {hsi::Material::kForest});
+  hsi::ImageCube cube(2, 2, 8);  // 8 bands vs library's 16
+  EXPECT_DEATH((void)classify_sam(cube, lib), "mismatch");
+}
+
+}  // namespace
+}  // namespace rif::core

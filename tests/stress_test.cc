@@ -1,0 +1,136 @@
+// Randomized stress sweep of the resiliency protocol: seeded random crash
+// schedules and message loss, with the invariant that a replicated,
+// regenerating computation always completes with the exact correct result
+// as long as strikes are spaced wider than the recovery window.
+#include <gtest/gtest.h>
+
+#include <memory>
+
+#include "cluster/failure_injector.h"
+#include "net/network.h"
+#include "scp/runtime.h"
+#include "sim/simulation.h"
+#include "support/rng.h"
+#include "support/serialize.h"
+
+namespace rif::scp {
+namespace {
+
+constexpr std::uint32_t kAdd = 1;
+constexpr std::uint32_t kReport = 2;
+constexpr std::uint32_t kSum = 3;
+
+Message int_message(std::uint32_t type, std::int64_t value) {
+  Writer w;
+  w.put<std::int64_t>(value);
+  return Message{type, std::move(w).take(), 0};
+}
+
+class Accumulator final : public Actor {
+ public:
+  void on_message(ActorContext& ctx, ThreadId from,
+                  const Message& msg) override {
+    if (msg.type == kAdd) {
+      Reader r(msg.payload);
+      const std::int64_t v = r.get<std::int64_t>();
+      ctx.compute(3e6, [this, v] { sum_ += v; });  // 30 ms/message
+    } else if (msg.type == kReport) {
+      ctx.send(from, int_message(kSum, sum_));
+    }
+  }
+  std::vector<std::uint8_t> snapshot_state() const override {
+    Writer w;
+    w.put<std::int64_t>(sum_);
+    return std::move(w).take();
+  }
+  void restore_state(const std::vector<std::uint8_t>& s) override {
+    Reader r(s);
+    sum_ = r.get<std::int64_t>();
+  }
+
+ private:
+  std::int64_t sum_ = 0;
+};
+
+class Streamer final : public Actor {
+ public:
+  Streamer(ThreadId target, int count, std::int64_t* out)
+      : target_(target), count_(count), out_(out) {}
+  void on_start(ActorContext& ctx) override {
+    for (int i = 1; i <= count_; ++i) ctx.send(target_, int_message(kAdd, i));
+    ctx.send(target_, int_message(kReport, 0));
+  }
+  void on_message(ActorContext& ctx, ThreadId /*from*/,
+                  const Message& msg) override {
+    if (msg.type == kSum) {
+      Reader r(msg.payload);
+      *out_ = r.get<std::int64_t>();
+      ctx.finish();
+      ctx.shutdown_runtime();
+    }
+  }
+
+ private:
+  ThreadId target_;
+  int count_;
+  std::int64_t* out_;
+};
+
+class ResilienceStressTest : public ::testing::TestWithParam<std::uint64_t> {
+};
+
+TEST_P(ResilienceStressTest, RandomSpacedCrashesAlwaysRecovered) {
+  const std::uint64_t seed = GetParam();
+  Rng rng(seed);
+
+  sim::Simulation sim;
+  cluster::Cluster cluster(sim);
+  cluster::NodeConfig nc;
+  nc.flops_per_second = 1e8;
+  cluster.add_nodes(6, nc);
+  net::LanNetwork net(cluster);
+  // Mild random message loss on top of the crashes.
+  net.set_loss_probability(0.05 * rng.uniform(), seed * 3 + 1);
+
+  RuntimeConfig rc;
+  rc.resilient = true;
+  rc.heartbeat_period = from_millis(20);
+  rc.failure_timeout = from_millis(80);
+  rc.retransmit_timeout = from_millis(60);
+  rc.state_request_timeout = from_millis(150);
+  Runtime runtime(cluster, net, rc);
+
+  const int count = 60;  // ~1.8 s of accumulate work per replica
+  std::int64_t result = -1;
+  runtime.spawn("streamer", [&] {
+    return std::make_unique<Streamer>(1, count, &result);
+  }, 1, {0});
+  runtime.spawn("acc", [] { return std::make_unique<Accumulator>(); }, 2,
+                {1, 2});
+
+  // 1-3 crashes on random worker-capable hosts, spaced at least 600 ms
+  // apart (well beyond detection timeout + state-transfer time).
+  cluster::FailureInjector injector(cluster);
+  const int crashes = 1 + static_cast<int>(rng.uniform_u64(3));
+  SimTime t = from_millis(200 + rng.uniform_u64(300));
+  for (int i = 0; i < crashes; ++i) {
+    // Victim: any node 1..5 (never the streamer/detector host 0).
+    const auto victim =
+        static_cast<cluster::NodeId>(1 + rng.uniform_u64(5));
+    injector.schedule_crash(t, victim);
+    t += from_millis(600 + rng.uniform_u64(400));
+  }
+
+  runtime.start();
+  ASSERT_TRUE(runtime.run(from_seconds(600)))
+      << "seed " << seed << " did not complete";
+  EXPECT_EQ(result, static_cast<std::int64_t>(count) * (count + 1) / 2)
+      << "seed " << seed;
+  EXPECT_TRUE(runtime.all_groups_alive()) << "seed " << seed;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ResilienceStressTest,
+                         ::testing::Range<std::uint64_t>(1, 21));
+
+}  // namespace
+}  // namespace rif::scp

@@ -1,0 +1,168 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <set>
+
+#include "support/rng.h"
+#include "support/serialize.h"
+#include "support/table.h"
+#include "support/time.h"
+
+namespace rif {
+namespace {
+
+// --- Rng -------------------------------------------------------------------
+
+TEST(RngTest, DeterministicForSameSeed) {
+  Rng a(123);
+  Rng b(123);
+  for (int i = 0; i < 1000; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1);
+  Rng b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  double sum = 0.0;
+  for (int i = 0; i < 100000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 100000.0, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformU64Bounded) {
+  Rng rng(9);
+  for (std::uint64_t n : {1ull, 2ull, 7ull, 1000ull}) {
+    for (int i = 0; i < 1000; ++i) {
+      ASSERT_LT(rng.uniform_u64(n), n);
+    }
+  }
+}
+
+TEST(RngTest, UniformU64CoversRange) {
+  Rng rng(11);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 200; ++i) seen.insert(rng.uniform_u64(10));
+  EXPECT_EQ(seen.size(), 10u);
+}
+
+TEST(RngTest, NormalMoments) {
+  Rng rng(13);
+  double sum = 0.0, sum2 = 0.0;
+  const int n = 200000;
+  for (int i = 0; i < n; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum2 += v * v;
+  }
+  EXPECT_NEAR(sum / n, 0.0, 0.02);
+  EXPECT_NEAR(sum2 / n, 1.0, 0.03);
+}
+
+TEST(RngTest, ForkedStreamsIndependent) {
+  Rng parent(42);
+  Rng c1 = parent.fork(1);
+  Rng c2 = parent.fork(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (c1.next() == c2.next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+// --- Serialization ---------------------------------------------------------
+
+TEST(SerializeTest, ScalarRoundTrip) {
+  Writer w;
+  w.put<std::int32_t>(-42);
+  w.put<double>(3.25);
+  w.put<std::uint64_t>(1ull << 60);
+  const auto buf = std::move(w).take();
+
+  Reader r(buf);
+  EXPECT_EQ(r.get<std::int32_t>(), -42);
+  EXPECT_EQ(r.get<double>(), 3.25);
+  EXPECT_EQ(r.get<std::uint64_t>(), 1ull << 60);
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerializeTest, StringAndVectorRoundTrip) {
+  Writer w;
+  w.put_string("hello fusion");
+  w.put_vector(std::vector<float>{1.5f, -2.5f, 0.0f});
+  w.put_string("");
+  const auto buf = std::move(w).take();
+
+  Reader r(buf);
+  EXPECT_EQ(r.get_string(), "hello fusion");
+  const auto v = r.get_vector<float>();
+  ASSERT_EQ(v.size(), 3u);
+  EXPECT_EQ(v[1], -2.5f);
+  EXPECT_EQ(r.get_string(), "");
+  EXPECT_TRUE(r.exhausted());
+}
+
+TEST(SerializeTest, TruncatedBufferAborts) {
+  Writer w;
+  w.put<std::uint64_t>(100);  // vector length without payload
+  const auto buf = std::move(w).take();
+  Reader r(buf);
+  EXPECT_DEATH((void)r.get_vector<double>(), "truncated");
+}
+
+TEST(SerializeTest, RemainingTracksPosition) {
+  Writer w;
+  w.put<std::uint32_t>(7);
+  w.put<std::uint32_t>(8);
+  const auto buf = std::move(w).take();
+  Reader r(buf);
+  EXPECT_EQ(r.remaining(), 8u);
+  (void)r.get<std::uint32_t>();
+  EXPECT_EQ(r.remaining(), 4u);
+}
+
+// --- Time ------------------------------------------------------------------
+
+TEST(TimeTest, ConversionsRoundTrip) {
+  EXPECT_EQ(from_seconds(1.0), 1000000000);
+  EXPECT_EQ(from_millis(1.0), 1000000);
+  EXPECT_EQ(from_micros(1.0), 1000);
+  EXPECT_DOUBLE_EQ(to_seconds(from_seconds(12.5)), 12.5);
+  EXPECT_DOUBLE_EQ(to_millis(from_millis(0.25)), 0.25);
+}
+
+// --- Table -----------------------------------------------------------------
+
+TEST(TableTest, PrintsAlignedRows) {
+  Table t({"P", "time"});
+  t.add_row({"1", "100.0"});
+  t.add_row({"16", "7.5"});
+  std::FILE* tmp = std::tmpfile();
+  ASSERT_NE(tmp, nullptr);
+  t.print(tmp);
+  std::rewind(tmp);
+  char buf[256];
+  ASSERT_NE(std::fgets(buf, sizeof buf, tmp), nullptr);
+  EXPECT_NE(std::string(buf).find("P"), std::string::npos);
+  std::fclose(tmp);
+}
+
+TEST(TableTest, StrfFormats) {
+  EXPECT_EQ(strf("%.2f", 3.14159), "3.14");
+  EXPECT_EQ(strf("%d/%d", 3, 4), "3/4");
+}
+
+}  // namespace
+}  // namespace rif
