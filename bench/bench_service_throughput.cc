@@ -1,0 +1,158 @@
+// Service throughput under offered load.
+//
+// One 16-worker cluster serves a Poisson stream of 4-worker cost-only
+// fusion jobs from two tenants. The cluster fits 4 such jobs concurrently,
+// so the saturation rate is mu = 4 / t_job; the sweep drives offered load
+// rho = lambda / mu from well below to past saturation and reports
+// throughput and tail latency. Past saturation the queue grows but
+// admission must keep draining — every job still completes (the
+// no-deadlock acceptance bar for the service).
+//
+// Machine-readable results go to BENCH_service.json so later PRs can track
+// the perf trajectory.
+#include <cmath>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "service/service.h"
+#include "support/rng.h"
+
+using namespace rif;
+
+namespace {
+
+constexpr int kClusterWorkers = 16;
+constexpr int kJobWorkers = 4;
+constexpr int kJobsPerLoad = 80;
+
+core::FusionJobConfig job_config() {
+  core::FusionJobConfig cfg;
+  cfg.mode = core::ExecutionMode::kCostOnly;
+  cfg.shape = {320, 320, 105};
+  cfg.workers = kJobWorkers;
+  cfg.tiles_per_worker = 2;
+  return cfg;
+}
+
+service::ServiceConfig service_config() {
+  service::ServiceConfig cfg;
+  cfg.worker_nodes = kClusterWorkers;
+  cfg.deadline = from_seconds(5.0e6);
+  return cfg;
+}
+
+struct LoadPoint {
+  double rho = 0.0;
+  double lambda = 0.0;
+  service::ServiceReport report;
+};
+
+}  // namespace
+
+int main() {
+  std::printf("=== Service throughput vs offered load ===\n");
+  std::printf("cluster: %d workers; jobs: %d workers each (4 concurrent at "
+              "full packing), 2 tenants, Poisson arrivals\n\n",
+              kClusterWorkers, kJobWorkers);
+
+  // Reference: one job alone on the service gives the base service time.
+  double t_job = 0.0;
+  {
+    service::FusionService service(service_config());
+    service::JobRequest r;
+    r.tenant = "ref";
+    r.config = job_config();
+    service.submit(std::move(r));
+    const auto report = service.run();
+    if (!report.all_completed) {
+      std::printf("reference job did not complete!\n");
+      return 1;
+    }
+    t_job = report.jobs[0].service_seconds;
+  }
+  const double mu = static_cast<double>(kClusterWorkers / kJobWorkers) / t_job;
+  std::printf("base service time %.1fs -> saturation rate %.4f jobs/s\n\n",
+              t_job, mu);
+
+  std::vector<LoadPoint> points;
+  for (const double rho : {0.25, 0.5, 0.75, 0.9, 1.1, 1.5}) {
+    LoadPoint point;
+    point.rho = rho;
+    point.lambda = rho * mu;
+
+    service::FusionService service(service_config());
+    Rng rng(/*seed=*/1234);
+    double t = 0.0;
+    for (int i = 0; i < kJobsPerLoad; ++i) {
+      t += -std::log(1.0 - rng.uniform()) / point.lambda;
+      service::JobRequest r;
+      r.tenant = (i % 2 == 0) ? "tenant-a" : "tenant-b";
+      r.config = job_config();
+      r.priority =
+          (i % 2 == 0) ? service::Priority::kNormal : service::Priority::kBatch;
+      r.arrival = from_seconds(t);
+      service.submit(std::move(r));
+    }
+    point.report = service.run();
+    if (!point.report.all_completed) {
+      std::printf("rho=%.2f: %d/%d jobs stranded — admission deadlock!\n",
+                  rho, kJobsPerLoad - point.report.jobs_completed,
+                  kJobsPerLoad);
+      return 1;
+    }
+    points.push_back(std::move(point));
+  }
+
+  Table table({"rho", "lambda(j/s)", "throughput(j/s)", "wait_p50(s)",
+               "wait_p95(s)", "wait_p99(s)", "svc_p50(s)", "lat_p99(s)",
+               "peak_conc"});
+  for (const auto& p : points) {
+    table.add_row({strf("%.2f", p.rho), strf("%.4f", p.lambda),
+                   strf("%.4f", p.report.throughput_jobs_per_sec),
+                   strf("%.1f", p.report.wait_p50),
+                   strf("%.1f", p.report.wait_p95),
+                   strf("%.1f", p.report.wait_p99),
+                   strf("%.1f", p.report.service_p50),
+                   strf("%.1f", p.report.latency_p99),
+                   strf("%d", p.report.max_concurrent_jobs)});
+  }
+  table.print();
+  std::printf("\nexpect: throughput tracks lambda below saturation, "
+              "plateaus near %.4f jobs/s above it;\n"
+              "        wait tails explode past rho=1 while every job still "
+              "completes (queue keeps draining).\n", mu);
+
+  // Machine-readable trajectory record.
+  std::FILE* out = std::fopen("BENCH_service.json", "w");
+  if (out == nullptr) {
+    std::printf("cannot write BENCH_service.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"service_throughput\",\n");
+  std::fprintf(out, "  \"cluster_workers\": %d,\n", kClusterWorkers);
+  std::fprintf(out, "  \"job_workers\": %d,\n", kJobWorkers);
+  std::fprintf(out, "  \"jobs_per_load\": %d,\n", kJobsPerLoad);
+  std::fprintf(out, "  \"reference_service_seconds\": %.6f,\n", t_job);
+  std::fprintf(out, "  \"saturation_jobs_per_sec\": %.6f,\n", mu);
+  std::fprintf(out, "  \"rows\": [\n");
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const auto& p = points[i];
+    std::fprintf(
+        out,
+        "    {\"offered_load\": %.2f, \"lambda_jobs_per_sec\": %.6f, "
+        "\"throughput_jobs_per_sec\": %.6f, \"wait_p50_s\": %.3f, "
+        "\"wait_p95_s\": %.3f, \"wait_p99_s\": %.3f, \"service_p50_s\": "
+        "%.3f, \"latency_p99_s\": %.3f, \"max_concurrent\": %d, "
+        "\"completed\": %d}%s\n",
+        p.rho, p.lambda, p.report.throughput_jobs_per_sec, p.report.wait_p50,
+        p.report.wait_p95, p.report.wait_p99, p.report.service_p50,
+        p.report.latency_p99, p.report.max_concurrent_jobs,
+        p.report.jobs_completed, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]\n}\n");
+  std::fclose(out);
+  std::printf("\nwrote BENCH_service.json\n");
+  return 0;
+}

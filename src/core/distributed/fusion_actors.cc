@@ -18,10 +18,12 @@ constexpr std::uint64_t kSmallMsgBytes = 32;
 // ---------------------------------------------------------------------------
 
 ManagerActor::ManagerActor(FusionParams params, const hsi::ImageCube* cube,
-                           JobOutcome* outcome)
+                           JobOutcome* outcome,
+                           std::function<void()> on_complete)
     : params_(std::move(params)),
       cube_(cube),
       outcome_(outcome),
+      on_complete_(std::move(on_complete)),
       model_(params_.cost_model()) {
   RIF_CHECK(outcome_ != nullptr);
   if (params_.mode == ExecutionMode::kFull) {
@@ -239,7 +241,13 @@ void ManagerActor::on_color_tile(scp::ActorContext& ctx,
     RIF_LOG_INFO("fusion", "job complete at t=" << to_seconds(ctx.now())
                                                 << "s");
     ctx.finish();
-    ctx.shutdown_runtime();
+    if (on_complete_) {
+      // Service mode: the shared runtime outlives the job. The service's
+      // completion handler retires the job's (now quiescent) actors.
+      on_complete_();
+    } else {
+      ctx.shutdown_runtime();
+    }
   }
 }
 

@@ -16,6 +16,7 @@
 // composite of an undisturbed run.
 #pragma once
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <optional>
@@ -75,8 +76,15 @@ struct JobOutcome {
 class ManagerActor final : public scp::Actor {
  public:
   /// `cube` must outlive the run and is required in Full mode.
+  ///
+  /// When `on_complete` is set the manager runs in *service mode*: on the
+  /// final colour tile it invokes the callback and the shared runtime keeps
+  /// running other jobs — the caller is then responsible for tearing down
+  /// the job's actors (see scp::Runtime::retire_job; until then the idle
+  /// workers keep heartbeating). Without it (the paper's single-job world)
+  /// it shuts the runtime down.
   ManagerActor(FusionParams params, const hsi::ImageCube* cube,
-               JobOutcome* outcome);
+               JobOutcome* outcome, std::function<void()> on_complete = {});
 
   void on_start(scp::ActorContext& ctx) override;
   void on_message(scp::ActorContext& ctx, scp::ThreadId from,
@@ -98,6 +106,7 @@ class ManagerActor final : public scp::Actor {
   FusionParams params_;
   const hsi::ImageCube* cube_;
   JobOutcome* outcome_;
+  std::function<void()> on_complete_;
   CostModel model_;
 
   std::vector<hsi::Tile> tiles_;

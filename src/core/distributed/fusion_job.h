@@ -9,6 +9,8 @@
 // runs to completion and reports.
 #pragma once
 
+#include <functional>
+#include <memory>
 #include <vector>
 
 #include "cluster/failure_injector.h"
@@ -77,5 +79,53 @@ struct FusionReport {
 };
 
 FusionReport run_fusion_job(const FusionJobConfig& config);
+
+/// Build the network model a FusionJobConfig asks for over `cluster`.
+std::unique_ptr<net::Network> make_network(cluster::Cluster& cluster,
+                                           NetworkKind kind,
+                                           const net::LanConfig& lan,
+                                           const net::SmpConfig& smp);
+
+/// Logical thread ids of one spawned fusion topology.
+struct FusionTopology {
+  scp::ThreadId manager = scp::kNoThread;
+  std::vector<scp::ThreadId> workers;
+};
+
+/// One fusion job instantiated against an *existing* cluster + runtime —
+/// the unit a multi-tenant service schedules. Owns the per-job state the
+/// actors reference (parameters, outcome), so it must outlive the runtime
+/// activity of the job; run_fusion_job() and FusionService both build on it.
+class FusionJobInstance {
+ public:
+  explicit FusionJobInstance(const FusionJobConfig& config);
+  FusionJobInstance(const FusionJobInstance&) = delete;
+  FusionJobInstance& operator=(const FusionJobInstance&) = delete;
+
+  /// Spawn the manager on `manager_node` and `config.workers` worker groups
+  /// on `worker_nodes` (one worker per node; replicas co-resident
+  /// round-robin, confined to `worker_nodes` for regeneration). When
+  /// `on_complete` is given the job runs in service mode: the runtime
+  /// survives the job and the callback fires at virtual completion time.
+  /// Callable before or after Runtime::start() (dynamic spawn).
+  FusionTopology spawn(scp::Runtime& runtime, cluster::NodeId manager_node,
+                       const std::vector<cluster::NodeId>& worker_nodes,
+                       scp::JobId job = scp::kNoJob,
+                       std::function<void()> on_complete = {});
+
+  [[nodiscard]] const FusionJobConfig& config() const { return config_; }
+  [[nodiscard]] const JobOutcome& outcome() const { return outcome_; }
+  /// Move the outcome out (e.g. into a report) once the job is finished —
+  /// in Full mode it carries the composite image, which is worth not
+  /// copying. The instance must be done producing into it.
+  [[nodiscard]] JobOutcome take_outcome() { return std::move(outcome_); }
+  [[nodiscard]] const FusionTopology& topology() const { return topology_; }
+
+ private:
+  FusionJobConfig config_;
+  FusionParams params_;
+  JobOutcome outcome_;
+  FusionTopology topology_;
+};
 
 }  // namespace rif::core

@@ -38,6 +38,9 @@ struct Group {
   std::uint64_t epoch = 0;
   bool finished = false;
   bool lost = false;
+  JobId job = kNoJob;
+  /// Non-empty: the only nodes this group's replicas may ever occupy.
+  std::vector<cluster::NodeId> domain;
   std::vector<Member> members;     // index == slot
   std::vector<bool> regenerating;  // per slot
 };
@@ -49,7 +52,10 @@ struct Runtime::Impl {
   RuntimeConfig& config;
   ProtocolStats& stats;
 
-  std::vector<Group> groups;
+  // Deque: Group references stay valid while a dynamic spawn (triggered from
+  // inside an event handler, e.g. a service admitting the next queued job
+  // from a completion callback) appends new groups.
+  std::deque<Group> groups;
   std::vector<std::unique_ptr<Shell>> shells;  // graveyard included
   std::unique_ptr<cluster::LeastLoadedPlacement> placement;
   std::unique_ptr<cluster::RoundRobinPlacement> spawn_rr;
@@ -88,6 +94,18 @@ struct Runtime::Impl {
       if (m.alive) out.push_back(&m);
     }
     return out;
+  }
+
+  /// Append the complement of the group's domain to `excluded`, so that a
+  /// placement pick can never leave the nodes the group is confined to.
+  void exclude_outside_domain(const Group& g,
+                              std::vector<cluster::NodeId>& excluded) {
+    if (g.domain.empty()) return;
+    for (cluster::NodeId n = 0; n < cluster.size(); ++n) {
+      if (std::find(g.domain.begin(), g.domain.end(), n) == g.domain.end()) {
+        excluded.push_back(n);
+      }
+    }
   }
 
   Shell* make_shell(ThreadId tid, int slot, std::uint64_t inc,
@@ -576,7 +594,11 @@ void Runtime::Impl::start_detector() {
 
 void Runtime::Impl::detector_check() {
   const SimTime now = sim().now();
-  for (Group& g : groups) {
+  // Index loop: declaring a group dead can re-enter the service's
+  // scheduler (on_group_lost -> admit next job -> dynamic spawn), which
+  // appends groups and would invalidate range-for iterators.
+  for (std::size_t gi = 0; gi < groups.size(); ++gi) {
+    Group& g = groups[gi];
     if (g.finished || g.lost) continue;
     for (Member& m : g.members) {
       if (!m.alive) continue;
@@ -649,11 +671,13 @@ void Runtime::Impl::try_regenerate(ThreadId tid, int slot) {
 
   // Choose a host carrying no member of this group. The detector node is
   // also excluded: it hosts the manager/sensor, which the paper keeps off
-  // the worker pool.
+  // the worker pool. A group with a placement domain (a service job's
+  // leased nodes) never regenerates outside it.
   std::vector<cluster::NodeId> excluded{detector_node};
   for (const Member& m : g.members) {
     if (m.alive) excluded.push_back(m.node);
   }
+  exclude_outside_domain(g, excluded);
   const cluster::NodeId target = placement->pick(excluded);
   if (target == cluster::kNoNode) {
     RIF_LOG_WARN("scp", "no node available to regenerate thread "
@@ -794,9 +818,16 @@ Runtime::~Runtime() = default;
 ThreadId Runtime::spawn(const std::string& name, ActorFactory factory,
                         int replication,
                         const std::vector<cluster::NodeId>& placement) {
-  RIF_CHECK_MSG(!impl_->started, "spawn after start");
-  RIF_CHECK(replication >= 1);
-  RIF_CHECK_MSG(config_.resilient || replication == 1,
+  SpawnOptions options;
+  options.replication = replication;
+  options.placement = placement;
+  return spawn(name, std::move(factory), std::move(options));
+}
+
+ThreadId Runtime::spawn(const std::string& name, ActorFactory factory,
+                        SpawnOptions options) {
+  RIF_CHECK(options.replication >= 1);
+  RIF_CHECK_MSG(config_.resilient || options.replication == 1,
                 "replication requires resilient mode");
 
   const auto tid = static_cast<ThreadId>(impl_->groups.size());
@@ -804,24 +835,71 @@ ThreadId Runtime::spawn(const std::string& name, ActorFactory factory,
   g.tid = tid;
   g.name = name;
   g.factory = std::move(factory);
-  g.replication = replication;
-  g.regenerating.assign(replication, false);
+  g.replication = options.replication;
+  g.job = options.job;
+  g.domain = options.domain;
+  g.regenerating.assign(options.replication, false);
 
-  std::vector<cluster::NodeId> hosts = placement;
+  std::vector<cluster::NodeId> hosts = options.placement;
   std::vector<cluster::NodeId> used = hosts;
-  while (static_cast<int>(hosts.size()) < replication) {
+  impl_->exclude_outside_domain(g, used);
+  while (static_cast<int>(hosts.size()) < options.replication) {
     const cluster::NodeId n = impl_->spawn_rr->pick(used);
     RIF_CHECK_MSG(n != cluster::kNoNode, "not enough nodes for replication");
     hosts.push_back(n);
     used.push_back(n);
   }
-  RIF_CHECK(static_cast<int>(hosts.size()) == replication);
-  for (int slot = 0; slot < replication; ++slot) {
+  RIF_CHECK(static_cast<int>(hosts.size()) == options.replication);
+  for (int slot = 0; slot < options.replication; ++slot) {
     Shell* shell = impl_->make_shell(tid, slot, 0, hosts[slot], g.factory());
     g.members.push_back(Member{slot, 0, hosts[slot], shell, true});
   }
   impl_->groups.push_back(std::move(g));
+
+  if (impl_->started) {
+    // Dynamic spawn into a running cluster: seed the failure detector with a
+    // fresh grace period (a full timeout "from t=0" would declare any thread
+    // spawned later than failure_timeout dead before its first heartbeat),
+    // then activate the replicas immediately.
+    Group& live = impl_->groups.back();
+    for (Member& m : live.members) {
+      impl_->on_heartbeat(tid, m.slot, m.incarnation);
+    }
+    for (Member& m : live.members) {
+      m.shell->start(/*run_on_start=*/true);
+    }
+  }
   return tid;
+}
+
+ThreadId Runtime::next_thread_id() const {
+  return static_cast<ThreadId>(impl_->groups.size());
+}
+
+JobId Runtime::job_of(ThreadId tid) const { return impl_->group(tid).job; }
+
+std::vector<ThreadId> Runtime::threads_of_job(JobId job) const {
+  std::vector<ThreadId> out;
+  for (const Group& g : impl_->groups) {
+    if (g.job == job) out.push_back(g.tid);
+  }
+  return out;
+}
+
+int Runtime::retire_job(JobId job) {
+  int killed = 0;
+  for (Group& g : impl_->groups) {
+    if (g.job != job) continue;
+    g.finished = true;
+    for (Member& m : g.members) {
+      if (!m.alive) continue;
+      m.alive = false;
+      m.shell->kill();
+      impl_->placement->remove_load(m.node);
+      ++killed;
+    }
+  }
+  return killed;
 }
 
 void Runtime::start() {
@@ -868,6 +946,10 @@ bool Runtime::migrate(ThreadId tid, int slot, cluster::NodeId target) {
   if (!m.alive || g.regenerating[slot]) return false;
   if (target == m.node || !cluster_.node(target).alive()) return false;
   if (target == impl.detector_node) return false;
+  if (!g.domain.empty() &&
+      std::find(g.domain.begin(), g.domain.end(), target) == g.domain.end()) {
+    return false;  // outside the group's placement domain
+  }
   for (const Member& other : g.members) {
     if (other.alive && other.node == target) return false;
   }
@@ -931,6 +1013,7 @@ int Runtime::evacuate_node(cluster::NodeId node) {
       for (const Member& other : g.members) {
         if (other.alive) excluded.push_back(other.node);
       }
+      impl.exclude_outside_domain(g, excluded);
       const cluster::NodeId target = impl.placement->pick(excluded);
       if (target == cluster::kNoNode) continue;
       if (migrate(g.tid, m.slot, target)) ++initiated;

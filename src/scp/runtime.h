@@ -99,6 +99,23 @@ struct ReplicaInfo {
   bool alive = false;
 };
 
+/// Placement and grouping options for spawn(). The defaults reproduce the
+/// historical behaviour: one replica, round-robin placement over the whole
+/// cluster, no job association.
+struct SpawnOptions {
+  int replication = 1;
+  /// Explicit initial placement (one node per replica); round-robin fills
+  /// any remainder.
+  std::vector<cluster::NodeId> placement;
+  /// When non-empty, the group is confined to these nodes: round-robin
+  /// fill, regeneration and evacuation never place a replica outside the
+  /// set. This is how a multi-tenant service pins a job's actors to the
+  /// worker nodes leased to that job.
+  std::vector<cluster::NodeId> domain;
+  /// Job this thread belongs to (kNoJob = standalone).
+  JobId job = kNoJob;
+};
+
 class Runtime {
  public:
   Runtime(cluster::Cluster& cluster, net::Network& network,
@@ -109,10 +126,35 @@ class Runtime {
 
   /// Create a logical thread backed by `replication` replicas. Replicas are
   /// placed on distinct nodes via `placement` if given, else round-robin
-  /// over the cluster. Must be called before start().
+  /// over the cluster. Before start() the replicas are activated by start();
+  /// after start() they are activated immediately (dynamic spawn — how a
+  /// long-lived service adds a new job's topology to a running cluster).
   ThreadId spawn(const std::string& name, ActorFactory factory,
                  int replication = 1,
                  const std::vector<cluster::NodeId>& placement = {});
+
+  /// Spawn with full options (replication, placement, domain, job id).
+  ThreadId spawn(const std::string& name, ActorFactory factory,
+                 SpawnOptions options);
+
+  /// Thread id the next spawn() will return. Lets a job runner precompute
+  /// the ids of a topology it is about to spawn (actors need the manager's
+  /// id before the manager exists).
+  [[nodiscard]] ThreadId next_thread_id() const;
+
+  /// Job a logical thread was spawned under (kNoJob if standalone).
+  [[nodiscard]] JobId job_of(ThreadId tid) const;
+
+  /// Logical threads spawned under `job`, in spawn order.
+  [[nodiscard]] std::vector<ThreadId> threads_of_job(JobId job) const;
+
+  /// Forcibly retire every group of `job`: mark the groups finished and
+  /// kill all live replicas. The service control plane calls this when a
+  /// job completes (its actors are quiescent) or is abandoned after a
+  /// group loss, so a job never leaves actors heartbeating — or replicas
+  /// regenerating — on nodes that have been re-leased to another tenant.
+  /// Returns the number of replicas killed.
+  int retire_job(JobId job);
 
   /// Deliver on_start to every replica and start protocol timers.
   void start();

@@ -17,6 +17,13 @@ namespace rif::scp {
 using ThreadId = std::int32_t;
 inline constexpr ThreadId kNoThread = -1;
 
+/// Identity of a job: a set of logical threads spawned together on behalf of
+/// one service request. The runtime can host many concurrent jobs, each with
+/// its own actor topology; kNoJob marks threads outside any job (the
+/// single-job world of the paper's evaluation).
+using JobId = std::int64_t;
+inline constexpr JobId kNoJob = -1;
+
 /// An application message. `declared_bytes` lets CostOnly workloads carry a
 /// tiny descriptor while charging the network for the size the real payload
 /// would have had; 0 means "charge the encoded payload size".

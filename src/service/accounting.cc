@@ -1,0 +1,43 @@
+#include "service/accounting.h"
+
+namespace rif::service {
+
+TenantAccount& Ledger::account(const std::string& tenant) {
+  auto [it, inserted] = accounts_.try_emplace(tenant);
+  if (inserted) it->second.tenant = tenant;
+  return it->second;
+}
+
+void Ledger::record_submitted(const std::string& tenant) {
+  ++account(tenant).jobs_submitted;
+}
+
+void Ledger::record_rejected(const std::string& tenant) {
+  ++account(tenant).jobs_rejected;
+}
+
+void Ledger::record_failed(const JobRecord& record) {
+  ++account(record.tenant).jobs_failed;
+}
+
+void Ledger::record_completed(const JobRecord& record) {
+  TenantAccount& acc = account(record.tenant);
+  ++acc.jobs_completed;
+  acc.flops_charged += record.flops_charged;
+  acc.queue_wait.record(record.wait_seconds);
+  acc.service_time.record(record.service_seconds);
+}
+
+const TenantAccount* Ledger::find(const std::string& tenant) const {
+  auto it = accounts_.find(tenant);
+  return it == accounts_.end() ? nullptr : &it->second;
+}
+
+std::vector<TenantAccount> Ledger::snapshot() const {
+  std::vector<TenantAccount> out;
+  out.reserve(accounts_.size());
+  for (const auto& [name, acc] : accounts_) out.push_back(acc);
+  return out;
+}
+
+}  // namespace rif::service

@@ -1,0 +1,36 @@
+// Per-tenant ledger of the fusion service, built on the TenantAccount /
+// LatencyStats records in support/accounting.h. Every submitted job lands
+// in exactly one terminal bucket (completed, rejected, failed), and the
+// tenant's charged flops are the sum of its jobs' charged flops — the
+// invariant the service tests assert against the per-job records.
+#pragma once
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "service/job.h"
+#include "support/accounting.h"
+
+namespace rif::service {
+
+class Ledger {
+ public:
+  void record_submitted(const std::string& tenant);
+  void record_rejected(const std::string& tenant);
+  void record_failed(const JobRecord& record);
+  void record_completed(const JobRecord& record);
+
+  /// Account for `tenant`, or nullptr if it never submitted.
+  [[nodiscard]] const TenantAccount* find(const std::string& tenant) const;
+
+  /// All accounts, sorted by tenant name.
+  [[nodiscard]] std::vector<TenantAccount> snapshot() const;
+
+ private:
+  TenantAccount& account(const std::string& tenant);
+
+  std::map<std::string, TenantAccount> accounts_;
+};
+
+}  // namespace rif::service

@@ -1,0 +1,101 @@
+// Job-level types of the multi-tenant fusion service.
+//
+// A tenant submits JobRequests (a FusionJobConfig plus identity, priority
+// and a virtual arrival time); the service answers with a SubmitResult
+// (typed rejection instead of hanging on impossible requests) and, after the
+// run, a JobRecord per job — the service-side analog of the single-job
+// world's FusionReport.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "core/distributed/fusion_job.h"
+#include "scp/types.h"
+#include "support/time.h"
+
+namespace rif::service {
+
+using JobId = scp::JobId;
+inline constexpr JobId kNoJob = scp::kNoJob;
+
+/// Priority classes, strongest first. Queueing is FIFO within a class.
+enum class Priority : int { kHigh = 0, kNormal = 1, kBatch = 2 };
+inline constexpr int kPriorityClasses = 3;
+
+inline const char* to_string(Priority p) {
+  switch (p) {
+    case Priority::kHigh: return "high";
+    case Priority::kNormal: return "normal";
+    case Priority::kBatch: return "batch";
+  }
+  return "?";
+}
+
+/// Why a job was refused. kNone means accepted.
+enum class RejectReason {
+  kNone = 0,
+  /// Malformed request (non-positive workers/tiles, Full mode without a
+  /// cube, replication without a resilient service runtime, replication
+  /// exceeding workers so replicas could not get distinct nodes, ...).
+  kBadConfig,
+  /// The job asks for more workers than the cluster will ever have free —
+  /// admitting it would queue it forever.
+  kTooManyWorkers,
+  /// The bounded queue was full when the job arrived.
+  kQueueFull,
+};
+
+inline const char* to_string(RejectReason r) {
+  switch (r) {
+    case RejectReason::kNone: return "accepted";
+    case RejectReason::kBadConfig: return "bad-config";
+    case RejectReason::kTooManyWorkers: return "too-many-workers";
+    case RejectReason::kQueueFull: return "queue-full";
+  }
+  return "?";
+}
+
+struct JobRequest {
+  std::string tenant;
+  core::FusionJobConfig config;
+  Priority priority = Priority::kNormal;
+  /// Virtual time at which the request reaches the service.
+  SimTime arrival = 0;
+};
+
+struct SubmitResult {
+  JobId id = kNoJob;
+  RejectReason rejected = RejectReason::kNone;
+  [[nodiscard]] bool accepted() const {
+    return rejected == RejectReason::kNone;
+  }
+};
+
+/// Everything the service knows about one job after the run.
+struct JobRecord {
+  JobId id = kNoJob;
+  std::string tenant;
+  Priority priority = Priority::kNormal;
+  int workers = 0;
+  RejectReason rejected = RejectReason::kNone;
+  bool completed = false;
+  /// Accepted and started, but lost to failures before completing.
+  bool failed = false;
+
+  SimTime submit_time = -1;
+  SimTime start_time = -1;   ///< admission (lease granted); -1 = never ran
+  SimTime finish_time = -1;  ///< completion or failure; -1 = never finished
+  double wait_seconds = 0.0;     ///< submit -> start
+  double service_seconds = 0.0;  ///< start -> finish (the per-job analog of
+                                 ///< FusionReport::elapsed_seconds)
+  /// Worker nodes leased exclusively to this job while it ran.
+  std::vector<cluster::NodeId> leased_nodes;
+  /// Flops charged to the leased nodes during the job's tenure.
+  double flops_charged = 0.0;
+  core::JobOutcome outcome;
+};
+
+}  // namespace rif::service

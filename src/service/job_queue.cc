@@ -1,0 +1,45 @@
+#include "service/job_queue.h"
+
+#include "support/check.h"
+
+namespace rif::service {
+
+void JobQueue::push(JobId id, Priority priority, int workers) {
+  const int cls = static_cast<int>(priority);
+  RIF_CHECK(cls >= 0 && cls < kPriorityClasses);
+  RIF_CHECK(workers >= 1);
+  classes_[cls].push_back(Entry{id, priority, next_seq_++, workers});
+}
+
+bool JobQueue::remove(JobId id) {
+  for (auto& cls : classes_) {
+    for (auto it = cls.begin(); it != cls.end(); ++it) {
+      if (it->id == id) {
+        cls.erase(it);
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+std::size_t JobQueue::size() const {
+  std::size_t n = 0;
+  for (const auto& cls : classes_) n += cls.size();
+  return n;
+}
+
+std::size_t JobQueue::size(Priority priority) const {
+  return classes_[static_cast<int>(priority)].size();
+}
+
+std::vector<JobQueue::Entry> JobQueue::in_order() const {
+  std::vector<Entry> out;
+  out.reserve(size());
+  for (const auto& cls : classes_) {
+    out.insert(out.end(), cls.begin(), cls.end());
+  }
+  return out;
+}
+
+}  // namespace rif::service

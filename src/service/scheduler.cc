@@ -1,0 +1,34 @@
+#include "service/scheduler.h"
+
+namespace rif::service {
+
+JobId Scheduler::pick(const JobQueue& queue, int free_workers) const {
+  if (free_workers <= 0) return kNoJob;
+  const std::vector<JobQueue::Entry> entries = queue.in_order();
+
+  switch (policy_) {
+    case AdmissionPolicy::kFirstFit:
+      for (const auto& e : entries) {
+        if (e.workers <= free_workers) return e.id;
+      }
+      return kNoJob;
+
+    case AdmissionPolicy::kSmallestFirst: {
+      JobId best = kNoJob;
+      int best_workers = 0;
+      // entries are already in priority-then-FIFO order, so a strict `<`
+      // keeps the earliest candidate among equal demands.
+      for (const auto& e : entries) {
+        if (e.workers > free_workers) continue;
+        if (best == kNoJob || e.workers < best_workers) {
+          best = e.id;
+          best_workers = e.workers;
+        }
+      }
+      return best;
+    }
+  }
+  return kNoJob;
+}
+
+}  // namespace rif::service

@@ -1,0 +1,45 @@
+// Admission scheduling of the fusion service.
+//
+// The scheduler decides which queued job to admit next against the free
+// worker capacity tracked by the LeaseBook. Both policies backfill — a job
+// too large for the current free set never blocks smaller jobs behind it —
+// so the queue keeps draining at saturation; they differ in *which* fitting
+// job goes first:
+//
+//  * kFirstFit       — the first fitting job in priority-then-FIFO order.
+//                      Preserves arrival fairness within a priority class.
+//  * kSmallestFirst  — the fitting job with the smallest worker demand
+//                      (ties broken priority-then-FIFO). Packs more
+//                      concurrent jobs onto the cluster, trading fairness
+//                      for throughput; big jobs run when the cluster drains.
+#pragma once
+
+#include "service/job_queue.h"
+
+namespace rif::service {
+
+enum class AdmissionPolicy { kFirstFit, kSmallestFirst };
+
+inline const char* to_string(AdmissionPolicy p) {
+  switch (p) {
+    case AdmissionPolicy::kFirstFit: return "first-fit";
+    case AdmissionPolicy::kSmallestFirst: return "smallest-first";
+  }
+  return "?";
+}
+
+class Scheduler {
+ public:
+  explicit Scheduler(AdmissionPolicy policy) : policy_(policy) {}
+
+  [[nodiscard]] AdmissionPolicy policy() const { return policy_; }
+
+  /// The job to admit with `free_workers` nodes available, or kNoJob when
+  /// nothing queued fits. Does not mutate the queue.
+  [[nodiscard]] JobId pick(const JobQueue& queue, int free_workers) const;
+
+ private:
+  AdmissionPolicy policy_;
+};
+
+}  // namespace rif::service

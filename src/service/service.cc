@@ -1,0 +1,285 @@
+#include "service/service.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "support/check.h"
+#include "support/log.h"
+
+namespace rif::service {
+
+namespace {
+
+/// Node 0 hosts the service head: every job's manager plus the failure
+/// detector. Worker nodes are 1..N and form the leasable pool.
+constexpr cluster::NodeId kHeadNode = 0;
+
+std::vector<cluster::NodeId> worker_pool(int worker_nodes) {
+  std::vector<cluster::NodeId> pool;
+  pool.reserve(static_cast<std::size_t>(worker_nodes));
+  for (int n = 0; n < worker_nodes; ++n) {
+    pool.push_back(static_cast<cluster::NodeId>(n + 1));
+  }
+  return pool;
+}
+
+}  // namespace
+
+FusionService::FusionService(ServiceConfig config)
+    : config_(std::move(config)),
+      cluster_(sim_),
+      injector_(cluster_),
+      leases_(worker_pool(config_.worker_nodes)),
+      scheduler_(config_.admission) {
+  RIF_CHECK(config_.worker_nodes >= 1);
+  cluster_.add_nodes(config_.worker_nodes + 1, config_.node);
+  network_ =
+      core::make_network(cluster_, config_.network, config_.lan, config_.smp);
+  runtime_ =
+      std::make_unique<scp::Runtime>(cluster_, *network_, config_.runtime);
+  runtime_->set_on_group_lost([this](scp::ThreadId tid) {
+    const JobId id = runtime_->job_of(tid);
+    if (id != kNoJob) fail_job(id);
+  });
+}
+
+RejectReason FusionService::validate(const JobRequest& request) const {
+  const core::FusionJobConfig& cfg = request.config;
+  if (cfg.workers < 1 || cfg.tiles_per_worker < 1 || cfg.replication < 1 ||
+      request.arrival < 0) {
+    return RejectReason::kBadConfig;
+  }
+  if (cfg.mode == core::ExecutionMode::kFull && cfg.cube == nullptr) {
+    return RejectReason::kBadConfig;
+  }
+  if (cfg.replication > 1 && !config_.runtime.resilient) {
+    return RejectReason::kBadConfig;
+  }
+  // Replicas of one worker must land on distinct leased nodes, or a single
+  // crash wipes a whole group and the redundancy the tenant asked for is
+  // fiction.
+  if (cfg.replication > cfg.workers) {
+    return RejectReason::kBadConfig;
+  }
+  if (cfg.workers > config_.worker_nodes) {
+    return RejectReason::kTooManyWorkers;
+  }
+  return RejectReason::kNone;
+}
+
+SubmitResult FusionService::submit(JobRequest request) {
+  RIF_CHECK_MSG(!ran_, "submit after run()");
+  const JobId id = static_cast<JobId>(jobs_.size());
+
+  auto job = std::make_unique<PendingJob>();
+  job->record.id = id;
+  job->record.tenant = request.tenant;
+  job->record.priority = request.priority;
+  job->record.workers = request.config.workers;
+  job->record.submit_time = request.arrival;
+  ledger_.record_submitted(request.tenant);
+
+  const RejectReason reason = validate(request);
+  if (reason != RejectReason::kNone) {
+    job->record.rejected = reason;
+    ledger_.record_rejected(request.tenant);
+    jobs_.push_back(std::move(job));
+    return SubmitResult{id, reason};
+  }
+
+  ++outstanding_;
+  sim_.schedule_at(request.arrival, [this, id] { on_arrival(id); });
+  job->request = std::move(request);
+  jobs_.push_back(std::move(job));
+  return SubmitResult{id, RejectReason::kNone};
+}
+
+void FusionService::on_arrival(JobId id) {
+  PendingJob& job = *jobs_[static_cast<std::size_t>(id)];
+  if (config_.max_queue_length != 0 &&
+      queue_.size() >= config_.max_queue_length) {
+    job.record.rejected = RejectReason::kQueueFull;
+    ledger_.record_rejected(job.record.tenant);
+    --outstanding_;
+    RIF_LOG_WARN("service", "job " << id << " rejected: queue full");
+    return;
+  }
+  queue_.push(id, job.record.priority, job.record.workers);
+  dispatch();
+}
+
+void FusionService::dispatch() {
+  // Leases are only granted on live nodes: a crashed-and-unrepaired worker
+  // returns to the free pool when its lease ends but is skipped over until
+  // restored, so capacity loss delays jobs instead of dooming them.
+  const cluster::NodeFilter alive = [this](cluster::NodeId n) {
+    return cluster_.node(n).alive();
+  };
+  while (true) {
+    const JobId id = scheduler_.pick(queue_, leases_.free_nodes(alive));
+    if (id == kNoJob) break;
+    const bool removed = queue_.remove(id);
+    RIF_CHECK(removed);
+    start_job(id, alive);
+  }
+}
+
+void FusionService::start_job(JobId id, const cluster::NodeFilter& alive) {
+  PendingJob& job = *jobs_[static_cast<std::size_t>(id)];
+  job.record.start_time = sim_.now();
+  job.record.leased_nodes = leases_.acquire(id, job.record.workers, alive);
+  RIF_CHECK_MSG(!job.record.leased_nodes.empty(),
+                "scheduler admitted a job that does not fit");
+  job.flops_at_start.clear();
+  for (const cluster::NodeId n : job.record.leased_nodes) {
+    job.flops_at_start.push_back(cluster_.node(n).flops_charged());
+  }
+
+  job.instance = std::make_unique<core::FusionJobInstance>(job.request.config);
+  job.instance->spawn(*runtime_, kHeadNode, job.record.leased_nodes, id,
+                      [this, id] { on_job_complete(id); });
+
+  ++running_;
+  max_concurrent_ = std::max(max_concurrent_, running_);
+  RIF_LOG_DEBUG("service", "job " << id << " admitted on "
+                                  << job.record.workers << " nodes at t="
+                                  << to_seconds(sim_.now()) << "s");
+}
+
+void FusionService::on_job_complete(JobId id) {
+  PendingJob& job = *jobs_[static_cast<std::size_t>(id)];
+  RIF_CHECK(!job.record.completed && !job.record.failed);
+  job.record.completed = true;
+  job.record.finish_time = sim_.now();
+  job.record.wait_seconds =
+      to_seconds(job.record.start_time - job.record.submit_time);
+  job.record.service_seconds =
+      to_seconds(job.record.finish_time - job.record.start_time);
+  for (std::size_t i = 0; i < job.record.leased_nodes.size(); ++i) {
+    job.record.flops_charged +=
+        cluster_.node(job.record.leased_nodes[i]).flops_charged() -
+        job.flops_at_start[i];
+  }
+  job.record.outcome = job.instance->take_outcome();
+
+  // Tear down the job's (quiescent) actors before the nodes change hands:
+  // a retired worker must not heartbeat — or be billed — on a node leased
+  // to the next tenant.
+  runtime_->retire_job(id);
+  leases_.release(id);
+  ledger_.record_completed(job.record);
+  --running_;
+  --outstanding_;
+  dispatch();
+}
+
+void FusionService::on_node_failed(cluster::NodeId node) {
+  // With a resilient runtime the failure detector owns recovery (replicas
+  // regenerate inside the lease; an unrecoverable group reaches fail_job
+  // via on_group_lost). Without it actors are fate-shared with their node
+  // and nothing would ever report the loss — fail the leaseholder now so
+  // its lease is reclaimed instead of wedging the cluster.
+  if (config_.runtime.resilient) return;
+  const cluster::LeaseOwner owner = leases_.owner_of(node);
+  if (owner == cluster::kNoOwner) return;
+  fail_job(static_cast<JobId>(owner));
+}
+
+void FusionService::fail_job(JobId id) {
+  PendingJob& job = *jobs_[static_cast<std::size_t>(id)];
+  if (job.record.completed || job.record.failed) return;
+  job.record.failed = true;
+  job.record.finish_time = sim_.now();
+  job.record.wait_seconds =
+      to_seconds(job.record.start_time - job.record.submit_time);
+  job.record.service_seconds =
+      to_seconds(job.record.finish_time - job.record.start_time);
+
+  // Abandon whatever survives of the job (manager, sibling worker groups)
+  // so nothing keeps running inside a lease about to be reclaimed.
+  runtime_->retire_job(id);
+  leases_.release(id);
+  ledger_.record_failed(job.record);
+  --running_;
+  --outstanding_;
+  RIF_LOG_WARN("service", "job " << id << " failed (replica group lost)");
+  dispatch();
+}
+
+ServiceReport FusionService::run() {
+  RIF_CHECK_MSG(!ran_, "run() called twice");
+  ran_ = true;
+
+  injector_.schedule(config_.failures);
+  // A repair returns capacity the scheduler may be waiting on; re-dispatch
+  // just after each restore. The injector schedules the restore lazily
+  // when the crash fires, so an event at the exact repair timestamp would
+  // precede it — nudge one tick later. The crash itself is scheduled by
+  // the injector above, so an event at the same timestamp here runs after
+  // it — on_node_failed sees the node already down.
+  for (const auto& f : config_.failures) {
+    sim_.schedule_at(f.time, [this, node = f.node] { on_node_failed(node); });
+    if (f.repair_after >= 0) {
+      sim_.schedule_at(f.time + f.repair_after + 1, [this] { dispatch(); });
+    }
+  }
+  runtime_->start();
+  while (outstanding_ > 0 && sim_.now() < config_.deadline) {
+    if (!sim_.step()) break;
+  }
+  return build_report();
+}
+
+ServiceReport FusionService::build_report() {
+  ServiceReport report;
+  report.jobs_submitted = static_cast<int>(jobs_.size());
+  report.max_concurrent_jobs = max_concurrent_;
+
+  LatencyStats wait;
+  LatencyStats service_time;
+  LatencyStats latency;
+  SimTime last_finish = 0;
+  for (auto& job : jobs_) {
+    const JobRecord& r = job->record;
+    if (r.rejected != RejectReason::kNone) {
+      ++report.jobs_rejected;
+    } else if (r.failed) {
+      ++report.jobs_failed;
+    } else if (r.completed) {
+      ++report.jobs_completed;
+      wait.record(r.wait_seconds);
+      service_time.record(r.service_seconds);
+      latency.record(r.wait_seconds + r.service_seconds);
+      last_finish = std::max(last_finish, r.finish_time);
+    }
+    // run() is terminal: hand the records (Full-mode outcomes carry whole
+    // composite images) to the report rather than duplicating them.
+    report.jobs.push_back(std::move(job->record));
+  }
+  report.all_completed =
+      report.jobs_completed ==
+      report.jobs_submitted - report.jobs_rejected;
+
+  report.makespan_seconds = to_seconds(last_finish);
+  if (report.makespan_seconds > 0.0) {
+    report.throughput_jobs_per_sec =
+        static_cast<double>(report.jobs_completed) / report.makespan_seconds;
+  }
+  report.wait_p50 = wait.quantile(0.50);
+  report.wait_p95 = wait.quantile(0.95);
+  report.wait_p99 = wait.quantile(0.99);
+  report.service_p50 = service_time.quantile(0.50);
+  report.service_p95 = service_time.quantile(0.95);
+  report.service_p99 = service_time.quantile(0.99);
+  report.latency_p50 = latency.quantile(0.50);
+  report.latency_p95 = latency.quantile(0.95);
+  report.latency_p99 = latency.quantile(0.99);
+
+  report.tenants = ledger_.snapshot();
+  report.protocol = runtime_->stats();
+  report.network = network_->stats();
+  report.sim_events = sim_.events_executed();
+  return report;
+}
+
+}  // namespace rif::service

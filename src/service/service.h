@@ -1,0 +1,199 @@
+// FusionService — the multi-tenant fusion service.
+//
+// ## Architecture
+//
+// The seed reproduces the paper's single-job world: one sensor, one
+// manager, one distributed spectral-screening PCT run, one virtual cluster
+// built per call. FusionService inverts that: it owns ONE long-lived
+// virtual cluster (node 0 = service head / "sensor", nodes 1..N = worker
+// pool), ONE network model and ONE scp runtime, and executes a *stream* of
+// fusion jobs submitted by multiple tenants against that shared substrate —
+// the shape of ICPP's remote-execution servers, where many independent jobs
+// share one runtime.
+//
+// The pipeline per job:
+//
+//   submit()  -> structural validation. Impossible requests (more workers
+//                than the pool will ever have, malformed configs) are
+//                refused with a typed RejectReason instead of queuing
+//                forever.
+//   arrival   -> the request enters the JobQueue at its virtual arrival
+//                time: strict priority classes (high / normal / batch),
+//                FIFO within a class; a bounded queue rejects overflow
+//                with RejectReason::kQueueFull.
+//   admission -> the Scheduler picks the next queued job that fits the
+//                free worker capacity (AdmissionPolicy::kFirstFit or
+//                kSmallestFirst — see scheduler.h); the LeaseBook grants
+//                the job an exclusive lease on `workers` nodes, so
+//                concurrent jobs always run on disjoint worker sets.
+//   execution -> a FusionJobInstance spawns the job's actor topology on the
+//                leased nodes (manager on the head node), keyed by job id
+//                in the shared runtime; regeneration of failed replicas is
+//                confined to the job's leased nodes.
+//   completion-> the manager's completion callback fires at virtual
+//                completion time: the lease is released, the per-tenant
+//                ledger is charged (flops on leased nodes, queue-wait and
+//                service-time histograms), and the scheduler immediately
+//                tries to admit more queued work.
+//
+// ## Report mapping
+//
+// The paper's single-job FusionReport maps onto the service as follows:
+// per job, JobRecord::service_seconds is FusionReport::elapsed_seconds and
+// JobRecord::outcome is FusionReport::outcome; protocol/network counters,
+// which are properties of the shared substrate, appear once, service-wide,
+// in ServiceReport. On top, ServiceReport adds what only exists with many
+// jobs: throughput (completed jobs per second of virtual time) and queue
+// wait / service time / total latency tails (p50/p95/p99).
+//
+// ## Semantics notes
+//
+// * The protocol mode (resilient / regenerate) is a property of the shared
+//   runtime (ServiceConfig::runtime), not of individual jobs; a job asking
+//   for replication > 1 on a non-resilient service is rejected kBadConfig.
+// * All submissions are declared before run(); arrivals then play out on
+//   the virtual timeline. This keeps runs bit-reproducible.
+// * A job that loses a whole replica group (all replicas dead, regeneration
+//   off or impossible) is recorded failed, its lease is reclaimed, and the
+//   service keeps going — one tenant's lost job never wedges the cluster.
+//   On a non-resilient runtime there is no failure detector, so a crash of
+//   a leased node fails the leaseholder immediately (actors are
+//   fate-shared with their node).
+// * On completion or failure the service retires the job's actors
+//   synchronously (Runtime::retire_job) before releasing the lease, so no
+//   zombie heartbeats or regenerations land on re-leased nodes and the
+//   per-job flops attribution stays exact.
+// * Leases are granted on live nodes only; a crashed worker node rejoins
+//   the grantable pool when (if) it is repaired.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "cluster/failure_injector.h"
+#include "cluster/lease.h"
+#include "core/distributed/fusion_job.h"
+#include "net/network.h"
+#include "scp/runtime.h"
+#include "service/accounting.h"
+#include "service/job.h"
+#include "service/job_queue.h"
+#include "service/scheduler.h"
+#include "sim/simulation.h"
+#include "support/accounting.h"
+#include "support/time.h"
+
+namespace rif::service {
+
+struct ServiceConfig {
+  /// Size of the leasable worker pool (cluster is this + 1 head node).
+  int worker_nodes = 16;
+
+  core::NetworkKind network = core::NetworkKind::kLan;
+  net::LanConfig lan;
+  net::SmpConfig smp;
+  cluster::NodeConfig node;
+  /// Shared runtime protocol configuration; `resilient` / `regenerate`
+  /// here govern every job.
+  scp::RuntimeConfig runtime;
+
+  AdmissionPolicy admission = AdmissionPolicy::kFirstFit;
+  /// Queued-job bound; arrivals beyond it are rejected. 0 = unbounded.
+  std::size_t max_queue_length = 0;
+
+  /// Attack script against the shared cluster (virtual timeline).
+  std::vector<cluster::FailureEvent> failures;
+
+  /// Hard stop for the whole service run (virtual time).
+  SimTime deadline = from_seconds(1.0e7);
+};
+
+struct ServiceReport {
+  /// Every accepted job completed (none failed, none stranded at deadline).
+  bool all_completed = false;
+  int jobs_submitted = 0;
+  int jobs_completed = 0;
+  int jobs_rejected = 0;
+  int jobs_failed = 0;
+  /// High-water mark of jobs simultaneously holding leases.
+  int max_concurrent_jobs = 0;
+
+  double makespan_seconds = 0.0;  ///< virtual time of the last completion
+  double throughput_jobs_per_sec = 0.0;
+
+  // Tail latency over completed jobs (virtual seconds).
+  double wait_p50 = 0.0, wait_p95 = 0.0, wait_p99 = 0.0;
+  double service_p50 = 0.0, service_p95 = 0.0, service_p99 = 0.0;
+  double latency_p50 = 0.0, latency_p95 = 0.0, latency_p99 = 0.0;
+
+  std::vector<JobRecord> jobs;         ///< by job id (includes rejects)
+  std::vector<TenantAccount> tenants;  ///< sorted by tenant name
+
+  scp::ProtocolStats protocol;  ///< service-wide (shared substrate)
+  net::NetworkStats network;
+  std::uint64_t sim_events = 0;
+};
+
+class FusionService {
+ public:
+  explicit FusionService(ServiceConfig config = {});
+  FusionService(const FusionService&) = delete;
+  FusionService& operator=(const FusionService&) = delete;
+
+  /// Register a request arriving at `request.arrival` on the virtual
+  /// timeline. Must be called before run(). Structurally impossible
+  /// requests are rejected synchronously with a typed reason.
+  SubmitResult submit(JobRequest request);
+
+  /// Play the submitted stream to completion (or deadline) and report.
+  ServiceReport run();
+
+  // --- introspection (tests, benches) --------------------------------------
+  [[nodiscard]] int worker_nodes() const { return config_.worker_nodes; }
+  [[nodiscard]] std::size_t queued_jobs() const { return queue_.size(); }
+  [[nodiscard]] int running_jobs() const { return running_; }
+  [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
+  [[nodiscard]] scp::Runtime& runtime() { return *runtime_; }
+  [[nodiscard]] const cluster::LeaseBook& leases() const { return leases_; }
+
+ private:
+  struct PendingJob {
+    JobRequest request;
+    JobRecord record;
+    std::unique_ptr<core::FusionJobInstance> instance;
+    /// flops_charged() of each leased node at admission, for per-job
+    /// attribution (leases are exclusive, so the delta is exact).
+    std::vector<double> flops_at_start;
+  };
+
+  [[nodiscard]] RejectReason validate(const JobRequest& request) const;
+  void on_arrival(JobId id);
+  void on_node_failed(cluster::NodeId node);
+  void dispatch();
+  void start_job(JobId id, const cluster::NodeFilter& alive);
+  void on_job_complete(JobId id);
+  void fail_job(JobId id);
+  [[nodiscard]] ServiceReport build_report();
+
+  ServiceConfig config_;
+  sim::Simulation sim_;
+  cluster::Cluster cluster_;
+  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<scp::Runtime> runtime_;
+  cluster::FailureInjector injector_;
+  cluster::LeaseBook leases_;
+  JobQueue queue_;
+  Scheduler scheduler_;
+  Ledger ledger_;
+  std::vector<std::unique_ptr<PendingJob>> jobs_;
+
+  int running_ = 0;        ///< jobs currently holding leases
+  int outstanding_ = 0;    ///< accepted jobs not yet completed/failed
+  int max_concurrent_ = 0;
+  bool ran_ = false;
+};
+
+}  // namespace rif::service

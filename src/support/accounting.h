@@ -1,8 +1,11 @@
-// Cost accounting records shared by the cost model, the benches and
-// EXPERIMENTS.md reporting.
+// Cost accounting records shared by the cost model, the benches, the
+// multi-tenant fusion service and EXPERIMENTS.md reporting.
 #pragma once
 
+#include <algorithm>
 #include <cstdint>
+#include <string>
+#include <vector>
 
 namespace rif {
 
@@ -18,6 +21,72 @@ struct CostAccount {
     bytes += o.bytes;
     return *this;
   }
+};
+
+/// Sample-exact latency record with quantile extraction; used by the fusion
+/// service for queue-wait and service-time SLO reporting. Samples are kept
+/// verbatim (service runs are thousands of jobs, not millions), so the
+/// quantiles are exact rather than bucketed.
+class LatencyStats {
+ public:
+  void record(double seconds) {
+    samples_.push_back(seconds);
+    sorted_ = false;
+  }
+
+  void merge(const LatencyStats& o) {
+    samples_.insert(samples_.end(), o.samples_.begin(), o.samples_.end());
+    sorted_ = false;
+  }
+
+  [[nodiscard]] std::size_t count() const { return samples_.size(); }
+
+  [[nodiscard]] double total() const {
+    double sum = 0.0;
+    for (const double s : samples_) sum += s;
+    return sum;
+  }
+
+  [[nodiscard]] double mean() const {
+    return samples_.empty() ? 0.0 : total() / static_cast<double>(count());
+  }
+
+  [[nodiscard]] double max() const {
+    return samples_.empty()
+               ? 0.0
+               : *std::max_element(samples_.begin(), samples_.end());
+  }
+
+  /// Nearest-rank quantile, q in [0, 1]; 0 when empty.
+  [[nodiscard]] double quantile(double q) const {
+    if (samples_.empty()) return 0.0;
+    if (!sorted_) {
+      std::sort(samples_.begin(), samples_.end());
+      sorted_ = true;
+    }
+    const double clamped = std::min(1.0, std::max(0.0, q));
+    const auto rank = static_cast<std::size_t>(
+        clamped * static_cast<double>(samples_.size() - 1) + 0.5);
+    return samples_[rank];
+  }
+
+ private:
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+/// Per-tenant resource ledger of the fusion service: what a tenant asked
+/// for, what it received, and what it was charged.
+struct TenantAccount {
+  std::string tenant;
+  std::uint64_t jobs_submitted = 0;
+  std::uint64_t jobs_completed = 0;
+  std::uint64_t jobs_rejected = 0;
+  std::uint64_t jobs_failed = 0;  ///< accepted but lost (group death)
+  /// Flops charged to the worker nodes leased to this tenant's jobs.
+  double flops_charged = 0.0;
+  LatencyStats queue_wait;    ///< arrival -> admission, seconds
+  LatencyStats service_time;  ///< admission -> completion, seconds
 };
 
 }  // namespace rif

@@ -1,0 +1,420 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <set>
+#include <tuple>
+
+#include "core/distributed/fusion_job.h"
+#include "service/service.h"
+
+namespace rif::service {
+namespace {
+
+core::FusionJobConfig cost_only_job(int workers, int tiles_per_worker = 2) {
+  core::FusionJobConfig cfg;
+  cfg.mode = core::ExecutionMode::kCostOnly;
+  cfg.shape = {320, 320, 105};
+  cfg.workers = workers;
+  cfg.tiles_per_worker = tiles_per_worker;
+  return cfg;
+}
+
+JobRequest request(const std::string& tenant, int workers,
+                   Priority priority = Priority::kNormal, SimTime arrival = 0) {
+  JobRequest r;
+  r.tenant = tenant;
+  r.config = cost_only_job(workers);
+  r.priority = priority;
+  r.arrival = arrival;
+  return r;
+}
+
+const JobRecord& record_of(const ServiceReport& report, JobId id) {
+  return report.jobs[static_cast<std::size_t>(id)];
+}
+
+// --- Acceptance-criteria scenario -------------------------------------------
+
+TEST(ServiceTest, TwoTenantsManyJobsShareOneCluster) {
+  ServiceConfig cfg;
+  cfg.worker_nodes = 8;
+  FusionService service(cfg);
+
+  // Two tenants, ten jobs, all arriving together: small jobs must pack
+  // concurrently onto disjoint worker sets.
+  std::vector<JobId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ids.push_back(service.submit(request("alice", 4)).id);
+    ids.push_back(service.submit(request("bob", 2)).id);
+  }
+  const ServiceReport report = service.run();
+
+  ASSERT_TRUE(report.all_completed);
+  EXPECT_EQ(report.jobs_submitted, 10);
+  EXPECT_EQ(report.jobs_completed, 10);
+  EXPECT_EQ(report.jobs_rejected, 0);
+  EXPECT_GE(report.max_concurrent_jobs, 2);
+  EXPECT_GT(report.throughput_jobs_per_sec, 0.0);
+  EXPECT_GE(report.latency_p99, report.latency_p50);
+
+  // Concurrent jobs always ran on disjoint worker sets.
+  for (std::size_t a = 0; a < report.jobs.size(); ++a) {
+    for (std::size_t b = a + 1; b < report.jobs.size(); ++b) {
+      const JobRecord& ra = report.jobs[a];
+      const JobRecord& rb = report.jobs[b];
+      const bool overlap = ra.start_time < rb.finish_time &&
+                           rb.start_time < ra.finish_time;
+      if (!overlap) continue;
+      std::set<cluster::NodeId> nodes(ra.leased_nodes.begin(),
+                                      ra.leased_nodes.end());
+      for (const cluster::NodeId n : rb.leased_nodes) {
+        EXPECT_FALSE(nodes.contains(n))
+            << "jobs " << ra.id << " and " << rb.id
+            << " shared node " << n << " while overlapping";
+      }
+    }
+  }
+
+  // Per-tenant accounting equals the sum of the per-job records.
+  ASSERT_EQ(report.tenants.size(), 2u);
+  for (const TenantAccount& acc : report.tenants) {
+    std::uint64_t completed = 0;
+    double flops = 0.0;
+    double wait = 0.0;
+    double service_time = 0.0;
+    for (const JobRecord& r : report.jobs) {
+      if (r.tenant != acc.tenant || !r.completed) continue;
+      ++completed;
+      flops += r.flops_charged;
+      wait += r.wait_seconds;
+      service_time += r.service_seconds;
+    }
+    EXPECT_EQ(acc.jobs_submitted, 5u);
+    EXPECT_EQ(acc.jobs_completed, completed);
+    EXPECT_DOUBLE_EQ(acc.flops_charged, flops);
+    EXPECT_DOUBLE_EQ(acc.queue_wait.total(), wait);
+    EXPECT_DOUBLE_EQ(acc.service_time.total(), service_time);
+    EXPECT_GT(acc.flops_charged, 0.0);
+  }
+}
+
+// --- Consistency with the single-job runner ---------------------------------
+
+TEST(ServiceTest, LoneJobMatchesStandaloneRunner) {
+  const core::FusionReport standalone =
+      core::run_fusion_job(cost_only_job(4));
+  ASSERT_TRUE(standalone.completed);
+
+  ServiceConfig cfg;
+  cfg.worker_nodes = 4;
+  FusionService service(cfg);
+  service.submit(request("solo", 4));
+  const ServiceReport report = service.run();
+
+  ASSERT_TRUE(report.all_completed);
+  // Same cluster layout (head + 4 workers), same arrival at t=0: the service
+  // run must reproduce the paper-world elapsed time exactly.
+  EXPECT_DOUBLE_EQ(record_of(report, 0).service_seconds,
+                   standalone.elapsed_seconds);
+}
+
+TEST(ServiceTest, DeterministicAcrossRuns) {
+  auto play = [] {
+    ServiceConfig cfg;
+    cfg.worker_nodes = 6;
+    FusionService service(cfg);
+    service.submit(request("a", 4, Priority::kNormal, 0));
+    service.submit(request("b", 2, Priority::kHigh, from_millis(5)));
+    service.submit(request("a", 6, Priority::kBatch, from_millis(10)));
+    return service.run();
+  };
+  const ServiceReport r1 = play();
+  const ServiceReport r2 = play();
+  EXPECT_DOUBLE_EQ(r1.makespan_seconds, r2.makespan_seconds);
+  EXPECT_EQ(r1.sim_events, r2.sim_events);
+}
+
+// --- Typed rejection (no hangs) ---------------------------------------------
+
+TEST(ServiceTest, RejectsJobLargerThanClusterWithTypedError) {
+  ServiceConfig cfg;
+  cfg.worker_nodes = 4;
+  FusionService service(cfg);
+
+  const SubmitResult too_big = service.submit(request("greedy", 8));
+  EXPECT_FALSE(too_big.accepted());
+  EXPECT_EQ(too_big.rejected, RejectReason::kTooManyWorkers);
+
+  JobRequest replicated = request("greedy", 2);
+  replicated.config.replication = 2;  // service runtime is not resilient
+  const SubmitResult bad = service.submit(replicated);
+  EXPECT_EQ(bad.rejected, RejectReason::kBadConfig);
+
+  JobRequest zero = request("greedy", 2);
+  zero.config.workers = 0;
+  EXPECT_EQ(service.submit(zero).rejected, RejectReason::kBadConfig);
+
+  // The run must terminate immediately — rejected jobs never queue.
+  const ServiceReport report = service.run();
+  EXPECT_EQ(report.jobs_submitted, 3);
+  EXPECT_EQ(report.jobs_rejected, 3);
+  EXPECT_EQ(report.jobs_completed, 0);
+  EXPECT_TRUE(report.all_completed);
+  ASSERT_EQ(report.tenants.size(), 1u);
+  EXPECT_EQ(report.tenants[0].jobs_rejected, 3u);
+}
+
+TEST(ServiceTest, EmptyQueueDrainsImmediately) {
+  FusionService service(ServiceConfig{});
+  const ServiceReport report = service.run();
+  EXPECT_TRUE(report.all_completed);
+  EXPECT_EQ(report.jobs_submitted, 0);
+  EXPECT_DOUBLE_EQ(report.makespan_seconds, 0.0);
+  EXPECT_DOUBLE_EQ(report.throughput_jobs_per_sec, 0.0);
+}
+
+TEST(ServiceTest, BoundedQueueRejectsOverflowAtArrival) {
+  ServiceConfig cfg;
+  cfg.worker_nodes = 2;
+  cfg.max_queue_length = 1;
+  FusionService service(cfg);
+
+  service.submit(request("t", 2, Priority::kNormal, 0));  // runs immediately
+  service.submit(request("t", 2, Priority::kNormal, from_millis(1)));  // queued
+  const SubmitResult spilled =
+      service.submit(request("t", 2, Priority::kNormal, from_millis(2)));
+  ASSERT_TRUE(spilled.accepted());  // structurally fine; rejected at arrival
+
+  const ServiceReport report = service.run();
+  EXPECT_EQ(report.jobs_completed, 2);
+  EXPECT_EQ(report.jobs_rejected, 1);
+  EXPECT_EQ(record_of(report, spilled.id).rejected, RejectReason::kQueueFull);
+  EXPECT_TRUE(report.all_completed);
+}
+
+// --- Scheduling policies ----------------------------------------------------
+
+TEST(ServiceTest, InterleavedPrioritiesFromTwoTenantsRespectClasses) {
+  ServiceConfig cfg;
+  cfg.worker_nodes = 4;
+  FusionService service(cfg);
+
+  // A blocker occupies the whole pool; the rest arrive while it runs and
+  // every one needs the full pool, so admission order is pure queue order.
+  const JobId blocker = service.submit(request("a", 4, Priority::kNormal, 0)).id;
+  const JobId batch1 =
+      service.submit(request("a", 4, Priority::kBatch, from_millis(1))).id;
+  const JobId high1 =
+      service.submit(request("b", 4, Priority::kHigh, from_millis(2))).id;
+  const JobId batch2 =
+      service.submit(request("b", 4, Priority::kBatch, from_millis(3))).id;
+  const JobId normal1 =
+      service.submit(request("a", 4, Priority::kNormal, from_millis(4))).id;
+  const JobId high2 =
+      service.submit(request("a", 4, Priority::kHigh, from_millis(5))).id;
+
+  const ServiceReport report = service.run();
+  ASSERT_TRUE(report.all_completed);
+
+  const auto start = [&](JobId id) { return record_of(report, id).start_time; };
+  // high before normal before batch; FIFO within a class.
+  EXPECT_LT(start(blocker), start(high1));
+  EXPECT_LT(start(high1), start(high2));
+  EXPECT_LT(start(high2), start(normal1));
+  EXPECT_LT(start(normal1), start(batch1));
+  EXPECT_LT(start(batch1), start(batch2));
+}
+
+TEST(ServiceTest, FirstFitBackfillsPastTooLargeHead) {
+  ServiceConfig cfg;
+  cfg.worker_nodes = 6;
+  FusionService service(cfg);
+
+  const JobId blocker = service.submit(request("t", 4, Priority::kNormal, 0)).id;
+  // big doesn't fit the 2 free nodes; small arrives later but does.
+  const JobId big =
+      service.submit(request("t", 4, Priority::kNormal, from_millis(1))).id;
+  const JobId small =
+      service.submit(request("t", 2, Priority::kNormal, from_millis(2))).id;
+
+  const ServiceReport report = service.run();
+  ASSERT_TRUE(report.all_completed);
+  EXPECT_LT(record_of(report, small).start_time,
+            record_of(report, big).start_time);
+  EXPECT_EQ(record_of(report, small).start_time,
+            record_of(report, blocker).start_time + from_millis(2));
+}
+
+TEST(ServiceTest, SmallestFirstPacksSmallJobsBeforeBigOnes) {
+  const auto play = [](AdmissionPolicy policy) {
+    ServiceConfig cfg;
+    cfg.worker_nodes = 4;
+    cfg.admission = policy;
+    FusionService service(cfg);
+    const JobId blocker =
+        service.submit(request("t", 4, Priority::kNormal, 0)).id;
+    (void)blocker;
+    const JobId big =
+        service.submit(request("t", 4, Priority::kNormal, from_millis(1))).id;
+    const JobId small1 =
+        service.submit(request("t", 2, Priority::kNormal, from_millis(2))).id;
+    const JobId small2 =
+        service.submit(request("t", 2, Priority::kNormal, from_millis(3))).id;
+    const ServiceReport report = service.run();
+    return std::tuple{record_of(report, big).start_time,
+                      record_of(report, small1).start_time,
+                      record_of(report, small2).start_time,
+                      report.all_completed};
+  };
+
+  // First-fit honors FIFO: the big job (queued first) runs before the
+  // small ones once the blocker's nodes free up.
+  const auto [ff_big, ff_s1, ff_s2, ff_ok] =
+      play(AdmissionPolicy::kFirstFit);
+  ASSERT_TRUE(ff_ok);
+  EXPECT_LT(ff_big, ff_s1);
+  EXPECT_LT(ff_big, ff_s2);
+
+  // Smallest-first packs the two 2-node jobs concurrently before the big one.
+  const auto [sf_big, sf_s1, sf_s2, sf_ok] =
+      play(AdmissionPolicy::kSmallestFirst);
+  ASSERT_TRUE(sf_ok);
+  EXPECT_LT(sf_s1, sf_big);
+  EXPECT_LT(sf_s2, sf_big);
+  EXPECT_EQ(sf_s1, sf_s2);  // they run side by side
+}
+
+// --- Resiliency on the shared cluster ---------------------------------------
+
+TEST(ServiceTest, ResilientJobRegeneratesWithinItsLease) {
+  ServiceConfig cfg;
+  cfg.worker_nodes = 6;
+  cfg.runtime.resilient = true;
+  cfg.runtime.regenerate = true;
+  cfg.runtime.heartbeat_period = from_millis(250);
+  cfg.runtime.failure_timeout = from_seconds(1);
+  // Kill a node the first job will lease (deterministically nodes 1..4).
+  cfg.failures = {{from_seconds(20), 2, -1}};
+  FusionService service(cfg);
+
+  // Replication that cannot get distinct nodes within the lease is refused:
+  // a single crash would void the redundancy the tenant paid for.
+  JobRequest squeezed = request("resilient-tenant", 1);
+  squeezed.config.replication = 2;
+  EXPECT_EQ(service.submit(squeezed).rejected, RejectReason::kBadConfig);
+
+  JobRequest r = request("resilient-tenant", 4);
+  r.config.replication = 2;
+  const JobId id = service.submit(r).id;
+
+  const ServiceReport report = service.run();
+  ASSERT_TRUE(report.all_completed);
+  EXPECT_GE(report.protocol.failures_detected, 1u);
+  EXPECT_GE(report.protocol.replicas_regenerated, 1u);
+
+  // Regeneration never left the job's leased nodes. (The replicas are
+  // retired after completion, but each member's final placement survives.)
+  const JobRecord& rec = record_of(report, id);
+  const std::set<cluster::NodeId> lease(rec.leased_nodes.begin(),
+                                        rec.leased_nodes.end());
+  const auto threads = service.runtime().threads_of_job(id);
+  for (const scp::ThreadId tid : threads) {
+    if (tid == threads.front()) continue;  // the manager lives on the head
+    for (const scp::ReplicaInfo& m : service.runtime().members_of(tid)) {
+      EXPECT_TRUE(lease.contains(m.node))
+          << "replica of thread " << tid << " regenerated onto node "
+          << m.node << " outside the lease";
+    }
+  }
+}
+
+TEST(ServiceTest, NonResilientJobFailsFastWhenLeasedNodeDies) {
+  ServiceConfig cfg;  // default runtime: not resilient, no detector
+  cfg.worker_nodes = 2;
+  cfg.failures = {{from_seconds(20), 1, -1}};
+  FusionService service(cfg);
+
+  const JobId doomed = service.submit(request("t", 2, Priority::kNormal, 0)).id;
+  const JobId later =
+      service.submit(request("t", 1, Priority::kNormal, from_seconds(30))).id;
+  const ServiceReport report = service.run();
+
+  // The crash fails the leaseholder at the crash instant — no wedged lease,
+  // no silent "neither completed nor failed" job.
+  const JobRecord& rec = record_of(report, doomed);
+  EXPECT_TRUE(rec.failed);
+  EXPECT_EQ(rec.finish_time, from_seconds(20));
+  EXPECT_EQ(report.jobs_failed, 1);
+  // The surviving node is re-leasable; the later small job completes on it.
+  EXPECT_TRUE(record_of(report, later).completed);
+  EXPECT_EQ(record_of(report, later).leased_nodes,
+            (std::vector<cluster::NodeId>{2}));
+  EXPECT_FALSE(report.all_completed);
+}
+
+TEST(ServiceTest, RepairedNodeUnblocksQueuedJobs) {
+  ServiceConfig cfg;
+  cfg.worker_nodes = 1;
+  // The only worker dies before the job arrives and comes back 10s later;
+  // the repair must wake the scheduler, not strand the queued job.
+  cfg.failures = {{from_seconds(1), 1, from_seconds(10)}};
+  FusionService service(cfg);
+
+  const JobId id =
+      service.submit(request("t", 1, Priority::kNormal, from_seconds(2))).id;
+  const ServiceReport report = service.run();
+
+  ASSERT_TRUE(report.all_completed);
+  EXPECT_EQ(record_of(report, id).start_time, from_seconds(11) + 1);
+}
+
+TEST(ServiceTest, DeadNodesAreNeverLeased) {
+  ServiceConfig cfg;
+  cfg.worker_nodes = 3;
+  // Node 1 (lowest id, first pick otherwise) dies before any job arrives
+  // and is never repaired.
+  cfg.failures = {{from_millis(1), 1, -1}};
+  FusionService service(cfg);
+
+  const JobId id =
+      service.submit(request("t", 2, Priority::kNormal, from_millis(10))).id;
+  const ServiceReport report = service.run();
+
+  ASSERT_TRUE(report.all_completed);
+  const JobRecord& rec = record_of(report, id);
+  EXPECT_EQ(rec.leased_nodes, (std::vector<cluster::NodeId>{2, 3}))
+      << "job must be placed around the dead node, not on it";
+}
+
+TEST(ServiceTest, LostJobIsFailedAndServiceKeepsServing) {
+  ServiceConfig cfg;
+  cfg.worker_nodes = 2;
+  cfg.runtime.resilient = true;
+  cfg.runtime.regenerate = true;
+  cfg.runtime.heartbeat_period = from_millis(250);
+  cfg.runtime.failure_timeout = from_seconds(1);
+  // Both worker nodes die (repaired after 5s): the unreplicated job running
+  // on them is unrecoverable — regeneration is confined to its lease, which
+  // is entirely dead — but the pool comes back for later arrivals.
+  cfg.failures = {{from_seconds(20), 1, from_seconds(5)},
+                  {from_seconds(20), 2, from_seconds(5)}};
+  FusionService service(cfg);
+
+  const JobId doomed = service.submit(request("t", 2, Priority::kNormal, 0)).id;
+  // Arrives after the repair; the failed job's lease must have been
+  // reclaimed so this one can run to completion.
+  const JobId survivor =
+      service.submit(request("t", 2, Priority::kNormal, from_seconds(30))).id;
+
+  const ServiceReport report = service.run();
+  EXPECT_TRUE(record_of(report, doomed).failed);
+  EXPECT_EQ(report.jobs_failed, 1);
+  EXPECT_FALSE(report.all_completed);
+  EXPECT_TRUE(record_of(report, survivor).completed);
+  ASSERT_EQ(report.tenants.size(), 1u);
+  EXPECT_EQ(report.tenants[0].jobs_failed, 1u);
+  EXPECT_EQ(report.tenants[0].jobs_completed, 1u);
+}
+
+}  // namespace
+}  // namespace rif::service
