@@ -8,22 +8,32 @@
 //     protocol overhead, uniformly across processor counts.
 #include <cmath>
 #include <cstdio>
+#include <cstring>
+#include <vector>
 
 #include "bench/bench_util.h"
 
 using namespace rif;
 
-int main() {
+int main(int argc, char** argv) {
+  // --smoke: tiny scene, fewest processor counts — a CI-sized run that
+  // still exercises the full manager/worker pipeline end to end.
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+
   std::printf("=== Figure 4: speed-up with and without resiliency ===\n");
-  std::printf("problem: 320x320x105 HYDICE cube, sub-cubes = 2P, "
-              "replication level 2 when resilient\n\n");
+  std::printf("problem: %s cube, sub-cubes = 2P, "
+              "replication level 2 when resilient\n\n",
+              smoke ? "64x64x16 (smoke)" : "320x320x105 HYDICE");
 
   Table table({"P", "t_plain(s)", "log2(t)", "speedup", "eff(%)",
                "t_resilient(s)", "ratio", "overhead_beyond_2x(%)"});
 
+  const std::vector<int> procs = smoke ? std::vector<int>{1, 2}
+                                       : std::vector<int>{1, 2, 4, 8, 16};
   double t1_plain = 0.0;
-  for (const int p : {1, 2, 4, 8, 16}) {
+  for (const int p : procs) {
     core::FusionJobConfig plain = bench::paper_testbed(p);
+    if (smoke) plain.shape = {64, 64, 16};
     const core::FusionReport rp = run_fusion_job(plain);
     if (!rp.completed) {
       std::printf("P=%d plain run did not complete!\n", p);
@@ -31,6 +41,7 @@ int main() {
     }
 
     core::FusionJobConfig resilient = bench::paper_testbed(p);
+    if (smoke) resilient.shape = {64, 64, 16};
     resilient.resilient = true;
     resilient.replication = 2;
     const core::FusionReport rr = run_fusion_job(resilient);

@@ -6,6 +6,7 @@
 #include <benchmark/benchmark.h>
 
 #include "core/color_map.h"
+#include "core/parallel/parallel_pct.h"
 #include "core/pct.h"
 #include "core/spectral_angle.h"
 #include "hsi/scene.h"
@@ -140,6 +141,81 @@ void BM_SequentialFuse(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_SequentialFuse)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
+
+void BM_MomentAddScalar(benchmark::State& state) {
+  const int bands = static_cast<int>(state.range(0));
+  std::vector<double> origin(bands, 0.4);
+  linalg::MomentAccumulator acc(bands, origin);
+  const auto px = random_pixel(bands, 5);
+  for (auto _ : state) {
+    acc.add(px);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_MomentAddScalar)->Arg(32)->Arg(105)->Arg(210);
+
+void BM_MomentAddBlocked(benchmark::State& state) {
+  // Same per-pixel work as BM_MomentAddScalar / BM_CovarianceAdd, but fed
+  // through the cache-blocked packed-triangle kernel 32 pixels at a time.
+  const int bands = static_cast<int>(state.range(0));
+  constexpr int kBlock = 32;
+  std::vector<double> origin(bands, 0.4);
+  linalg::MomentAccumulator acc(bands, origin);
+  Rng rng(5);
+  std::vector<float> block(static_cast<std::size_t>(kBlock) * bands);
+  for (auto& v : block) v = static_cast<float>(rng.uniform(0.05, 0.9));
+  for (auto _ : state) {
+    acc.add_block(block.data(), kBlock);
+  }
+  state.SetItemsProcessed(state.iterations() * kBlock);
+}
+BENCHMARK(BM_MomentAddBlocked)->Arg(32)->Arg(105)->Arg(210);
+
+// --- Shared-memory engine comparison: two-pass vs fused single-pass --------
+//
+// The acceptance scenario of the fused engine: a spectrally rich scene
+// (sizeable unique set, wide bands) at 4 threads. BM_FuseTwoPass walks the
+// cube, then the unique set twice more (mean, covariance);
+// BM_FuseSinglePassFused folds moment accumulation into the screening
+// sweep and corrects against the final mean.
+
+core::ParallelPctConfig engine_config() {
+  core::ParallelPctConfig config;
+  config.threads = 4;
+  config.tiles = 8;
+  config.pct.screening_threshold = 0.012;  // rich unique set
+  return config;
+}
+
+hsi::Scene engine_scene() {
+  hsi::SceneConfig config;
+  config.width = 48;
+  config.height = 48;
+  config.bands = 105;  // HYDICE-like band count
+  config.noise_sigma = 0.02;
+  return hsi::generate_scene(config);
+}
+
+void BM_FuseTwoPass(benchmark::State& state) {
+  const auto scene = engine_scene();
+  const auto config = engine_config();
+  core::ThreadPool pool(config.threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::fuse_parallel(scene.cube, pool, config));
+  }
+}
+BENCHMARK(BM_FuseTwoPass)->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_FuseSinglePassFused(benchmark::State& state) {
+  const auto scene = engine_scene();
+  const auto config = engine_config();
+  core::ThreadPool pool(config.threads);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        core::fuse_parallel_fused(scene.cube, pool, config));
+  }
+}
+BENCHMARK(BM_FuseSinglePassFused)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 

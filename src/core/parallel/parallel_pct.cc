@@ -1,12 +1,127 @@
 #include "core/parallel/parallel_pct.h"
 
 #include <atomic>
+#include <cmath>
 
 #include "hsi/partition.h"
 #include "linalg/stats.h"
 #include "support/check.h"
 
 namespace rif::core {
+
+namespace {
+
+/// Same cosine test as UniqueSet::any_within, but with the dot product's
+/// dependency chain split across eight accumulators — on one core this is
+/// nearly 2x the canonical kernel, which is latency-bound on its single
+/// running sum. The summation order (and so the last-bit rounding) differs
+/// from the canonical kernel; the fused engine's tolerance contract
+/// permits that, while the two-pass engine keeps UniqueSet::screen to stay
+/// bit-exact with the distributed manager.
+bool any_within_fast(const UniqueSet& set, double cos_threshold,
+                     std::span<const float> pixel, double pixel_inv_norm,
+                     std::size_t begin_member, std::size_t end_member,
+                     std::uint64_t* comparisons) {
+  const int bands = set.bands();
+  const float* base = set.flat().data();
+  std::size_t scanned = 0;
+  for (std::size_t m = begin_member; m < end_member; ++m) {
+    ++scanned;
+    const float* mem = base + m * static_cast<std::size_t>(bands);
+    double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
+    double d4 = 0.0, d5 = 0.0, d6 = 0.0, d7 = 0.0;
+    int b = 0;
+    for (; b + 7 < bands; b += 8) {
+      d0 += static_cast<double>(mem[b]) * pixel[b];
+      d1 += static_cast<double>(mem[b + 1]) * pixel[b + 1];
+      d2 += static_cast<double>(mem[b + 2]) * pixel[b + 2];
+      d3 += static_cast<double>(mem[b + 3]) * pixel[b + 3];
+      d4 += static_cast<double>(mem[b + 4]) * pixel[b + 4];
+      d5 += static_cast<double>(mem[b + 5]) * pixel[b + 5];
+      d6 += static_cast<double>(mem[b + 6]) * pixel[b + 6];
+      d7 += static_cast<double>(mem[b + 7]) * pixel[b + 7];
+    }
+    for (; b < bands; ++b) d0 += static_cast<double>(mem[b]) * pixel[b];
+    const double dot = ((d0 + d1) + (d2 + d3)) + ((d4 + d5) + (d6 + d7));
+    if (dot * set.inv_norm(m) * pixel_inv_norm >= cos_threshold) {
+      if (comparisons != nullptr) *comparisons += scanned;
+      return true;
+    }
+  }
+  if (comparisons != nullptr) *comparisons += scanned;
+  return false;
+}
+
+/// UniqueSet::screen with the fast kernel (fused-engine paths only).
+bool screen_fast(UniqueSet& set, double cos_threshold,
+                 std::span<const float> pixel, std::uint64_t* comparisons) {
+  double norm2 = 0.0;
+  for (const float v : pixel) norm2 += static_cast<double>(v) * v;
+  const double norm = std::sqrt(norm2);
+  if (norm <= 0.0) return false;  // degenerate pixel never joins
+  const double inv = 1.0 / norm;
+  if (any_within_fast(set, cos_threshold, pixel, inv, 0, set.size(),
+                      comparisons)) {
+    return false;
+  }
+  set.admit(pixel, inv);
+  return true;
+}
+
+/// Blocked-concurrent unique-set fold: merges `other` into `unique` with
+/// the admission decisions (and member order) of the sequential left fold,
+/// but screens each block of candidates against the frozen member prefix
+/// concurrently; only the comparisons against members admitted after the
+/// freeze — at most a block's worth — run in fold order. The dominant cost
+/// (candidate x full-set comparisons) thus parallelizes while the
+/// data-dependent tail stays tiny, lifting the two-pass engine's main
+/// Amdahl bottleneck. Results are independent of the pool's thread count.
+/// `dropped[i]` is set for each rejected member.
+void merge_blocked(UniqueSet& unique, const UniqueSet& other,
+                   ThreadPool& pool, std::vector<std::uint8_t>& dropped,
+                   std::uint64_t* comparisons) {
+  const std::size_t n = other.size();
+  const double cos_threshold = std::cos(unique.threshold());
+  dropped.assign(n, 0);
+  constexpr std::size_t kBlock = 64;
+  std::vector<std::uint8_t> hit(std::min(kBlock, n));
+  std::uint64_t comps = 0;
+  std::atomic<std::uint64_t> scan_comps{0};
+  for (std::size_t b0 = 0; b0 < n; b0 += kBlock) {
+    const std::size_t count = std::min(kBlock, n - b0);
+    const std::size_t frozen = unique.size();
+    if (frozen > 0) {
+      pool.parallel_for(
+          static_cast<std::int64_t>(count),
+          [&](std::int64_t lo, std::int64_t hi) {
+            std::uint64_t local = 0;
+            for (std::int64_t c = lo; c < hi; ++c) {
+              const std::size_t i = b0 + static_cast<std::size_t>(c);
+              hit[c] = any_within_fast(unique, cos_threshold, other.member(i),
+                                       other.inv_norm(i), 0, frozen, &local)
+                           ? 1
+                           : 0;
+            }
+            scan_comps += local;
+          });
+    } else {
+      std::fill_n(hit.begin(), count, 0);
+    }
+    for (std::size_t c = 0; c < count; ++c) {
+      const std::size_t i = b0 + c;
+      if (hit[c] != 0 ||
+          any_within_fast(unique, cos_threshold, other.member(i),
+                          other.inv_norm(i), frozen, unique.size(), &comps)) {
+        dropped[i] = 1;
+        continue;
+      }
+      unique.admit(other.member(i), other.inv_norm(i));
+    }
+  }
+  if (comparisons != nullptr) *comparisons += comps + scan_comps.load();
+}
+
+}  // namespace
 
 PctResult fuse_parallel(const hsi::ImageCube& cube, ThreadPool& pool,
                         const ParallelPctConfig& config) {
@@ -40,12 +155,15 @@ PctResult fuse_parallel(const hsi::ImageCube& cube, ThreadPool& pool,
   // matches the distributed manager bit-for-bit; the parallel tree merge
   // trades that for scalability on real multiprocessors.
   UniqueSet unique(bands, config.pct.screening_threshold);
+  std::atomic<std::uint64_t> merge_comparisons{0};
   if (config.parallel_merge && tile_sets.size() > 1) {
     std::vector<UniqueSet> level = std::move(tile_sets);
     while (level.size() > 1) {
       const int pairs = static_cast<int>(level.size() / 2);
       pool.parallel_tasks(pairs, [&](int i) {
-        level[2 * i].merge(level[2 * i + 1]);
+        std::uint64_t local = 0;
+        level[2 * i].merge(level[2 * i + 1], &local);
+        merge_comparisons += local;
       });
       // Survivors are the even slots; an unpaired trailing set (odd count)
       // is an even slot too and rides along to the next level.
@@ -58,8 +176,11 @@ PctResult fuse_parallel(const hsi::ImageCube& cube, ThreadPool& pool,
     }
     unique = std::move(level.front());
   } else {
-    for (const auto& set : tile_sets) unique.merge(set);
+    std::uint64_t local = 0;
+    for (const auto& set : tile_sets) unique.merge(set, &local);
+    merge_comparisons += local;
   }
+  result.merge_comparisons = merge_comparisons.load();
   result.unique_set_size = unique.size();
   RIF_CHECK_MSG(unique.size() >= 3, "degenerate scene: unique set too small");
 
@@ -101,17 +222,8 @@ PctResult fuse_parallel(const hsi::ImageCube& cube, ThreadPool& pool,
                                  std::vector<float>(n));
   result.composite = hsi::RgbImage(cube.width(), cube.height());
   pool.parallel_for(cube.pixel_count(), [&](std::int64_t lo, std::int64_t hi) {
-    std::vector<float> comp(config.pct.output_components);
-    for (std::int64_t p = lo; p < hi; ++p) {
-      transform_pixel(t, result.mean, cube.pixel(p), comp);
-      for (int c = 0; c < config.pct.output_components; ++c) {
-        result.component_planes[c][p] = comp[c];
-      }
-      const auto rgb = map_pixel({comp[0], comp[1], comp[2]}, scales);
-      result.composite.data[p * 3 + 0] = rgb[0];
-      result.composite.data[p * 3 + 1] = rgb[1];
-      result.composite.data[p * 3 + 2] = rgb[2];
-    }
+    transform_and_map_range(cube, t, result.mean, scales,
+                            result.component_planes, result.composite, lo, hi);
   });
   return result;
 }
@@ -120,6 +232,129 @@ PctResult fuse_parallel(const hsi::ImageCube& cube,
                         const ParallelPctConfig& config) {
   ThreadPool pool(config.threads);
   return fuse_parallel(cube, pool, config);
+}
+
+PctResult fuse_parallel_fused(const hsi::ImageCube& cube, ThreadPool& pool,
+                              const ParallelPctConfig& config) {
+  RIF_CHECK(config.pct.output_components >= 3);
+  const int bands = cube.bands();
+  const int tiles = config.tiles > 0 ? config.tiles : pool.size();
+  PctResult result;
+
+  const hsi::CubeShape shape{cube.width(), cube.height(), bands};
+  const auto tile_list = hsi::partition_rows(shape, tiles);
+  const int tile_count = static_cast<int>(tile_list.size());
+
+  // Common provisional origin for every tile's moment sums: the cube's
+  // first pixel. Any shared vector works; a representative pixel keeps the
+  // sums small so the final mean correction is well-conditioned.
+  std::vector<double> origin(bands);
+  {
+    const auto p0 = cube.pixel(0);
+    for (int b = 0; b < bands; ++b) origin[b] = static_cast<double>(p0[b]);
+  }
+
+  // Single fused pass (concurrent): screen each tile's pixels and, as
+  // members are admitted into the tile's unique set, fold them into the
+  // tile's moment sums straight from the set's flat storage — cache-hot,
+  // in blocks sized for the packed-triangle kernel.
+  std::vector<UniqueSet> tile_sets;
+  std::vector<linalg::MomentAccumulator> tile_moments;
+  tile_sets.reserve(tile_count);
+  tile_moments.reserve(tile_count);
+  for (int i = 0; i < tile_count; ++i) {
+    tile_sets.emplace_back(bands, config.pct.screening_threshold);
+    tile_moments.emplace_back(bands, origin);
+  }
+  constexpr std::size_t kMomentBlock = 32;
+  const double cos_threshold = std::cos(config.pct.screening_threshold);
+  std::atomic<std::uint64_t> comparisons{0};
+  pool.parallel_tasks(tile_count, [&](int i) {
+    const auto& t = tile_list[i];
+    UniqueSet& set = tile_sets[i];
+    linalg::MomentAccumulator& mom = tile_moments[i];
+    std::uint64_t local = 0;
+    std::size_t flushed = 0;
+    for (std::int64_t p = t.first_flat_index(); p < t.end_flat_index(); ++p) {
+      screen_fast(set, cos_threshold, cube.pixel(p), &local);
+      if (set.size() - flushed >= kMomentBlock) {
+        mom.add_block(set.flat().data() + flushed * bands,
+                      static_cast<int>(set.size() - flushed));
+        flushed = set.size();
+      }
+    }
+    if (set.size() > flushed) {
+      mom.add_block(set.flat().data() + flushed * bands,
+                    static_cast<int>(set.size() - flushed));
+    }
+    comparisons += local;
+  });
+  result.screen_comparisons = comparisons.load();
+
+  // Merge with the blocked-concurrent fold. The first tile is admitted
+  // wholesale: its members are mutually distinct under the same threshold,
+  // so the fold would accept every one. For later tiles the moment sums
+  // follow the cheaper of two exact bookkeeping paths: retract the dropped
+  // members from the tile's sums, or rebuild the tile's contribution from
+  // the admitted members (contiguous in the merged set's flat storage, so
+  // the blocked kernel applies). Either way the surviving sums are exactly
+  // those of the merged unique set, and `parallel_merge` is moot — this
+  // merge parallelizes while preserving the sequential fold's order.
+  UniqueSet unique = std::move(tile_sets.front());
+  linalg::MomentAccumulator total = std::move(tile_moments.front());
+  std::vector<std::uint8_t> dropped;
+  for (int i = 1; i < tile_count; ++i) {
+    const UniqueSet& tile_set = tile_sets[static_cast<std::size_t>(i)];
+    const std::size_t admit_start = unique.size();
+    merge_blocked(unique, tile_set, pool, dropped, &result.merge_comparisons);
+    const std::size_t admits = unique.size() - admit_start;
+    const std::size_t drops = tile_set.size() - admits;
+    if (drops <= admits) {
+      total.merge(tile_moments[static_cast<std::size_t>(i)]);
+      for (std::size_t j = 0; j < tile_set.size(); ++j) {
+        if (dropped[j] != 0) total.remove(tile_set.member(j));
+      }
+    } else if (admits > 0) {
+      total.add_block(unique.flat().data() + admit_start * bands,
+                      static_cast<int>(admits));
+    }
+  }
+  result.unique_set_size = unique.size();
+  RIF_CHECK_MSG(unique.size() >= 3, "degenerate scene: unique set too small");
+  RIF_CHECK(total.count() == unique.size());
+
+  // Mean and covariance fall out of the moment sums — corrected against the
+  // final global mean instead of recomputed in extra passes.
+  result.mean = total.mean();
+  const linalg::Matrix cov = total.covariance();
+
+  // Eigen-decomposition (sequential, as in every engine).
+  linalg::EigenResult eig = linalg::jacobi_eigen(cov, config.pct.jacobi);
+  result.eigenvalues = eig.values;
+  result.eigenvectors = eig.vectors;
+  result.jacobi_sweeps = eig.sweeps;
+
+  // Transform + colour map, reusing the same row tiling as the fused pass.
+  const linalg::Matrix t =
+      transform_matrix(eig.vectors, config.pct.output_components);
+  const auto scales = scales_from_eigenvalues(eig.values);
+  const auto n = static_cast<std::size_t>(cube.pixel_count());
+  result.component_planes.assign(config.pct.output_components,
+                                 std::vector<float>(n));
+  result.composite = hsi::RgbImage(cube.width(), cube.height());
+  pool.parallel_tasks(tile_count, [&](int i) {
+    transform_and_map_range(cube, t, result.mean, scales,
+                            result.component_planes, result.composite,
+                            tile_list[i].first_flat_index(),
+                            tile_list[i].end_flat_index());
+  });
+  return result;
+}
+
+PctResult fuse_parallel_fused(const hsi::ImageCube& cube,
+                              const ParallelPctConfig& config) {
+  ThreadPool pool(config.threads);
+  return fuse_parallel_fused(cube, pool, config);
 }
 
 }  // namespace rif::core

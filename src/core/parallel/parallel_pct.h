@@ -39,4 +39,31 @@ PctResult fuse_parallel(const hsi::ImageCube& cube, ThreadPool& pool,
 PctResult fuse_parallel(const hsi::ImageCube& cube,
                         const ParallelPctConfig& config);
 
+/// Fused single-pass engine: each tile worker screens its pixels AND
+/// accumulates the tile's moment sums (mean + covariance about a common
+/// provisional origin, cache-blocked) in ONE sweep, so the unique set is
+/// never re-read after screening. The merge is a blocked-concurrent fold —
+/// candidates screen against the frozen member prefix in parallel while
+/// admission stays in fold order — and keeps the moment sums exact by
+/// either retracting dropped members or rebuilding from admitted ones,
+/// whichever is cheaper. The covariance is then corrected against the
+/// final global mean (see linalg::MomentAccumulator), and the
+/// transform/colour-map stage reuses the same row tiling.
+///
+/// With the same tile count this follows the same screening order and
+/// admission rule as fuse_parallel — the unique sets agree unless a
+/// cosine lands within rounding of the threshold (the fast kernel sums in
+/// a different order) — and computes the same composite up to
+/// floating-point rounding of the moment correction (per-pixel tolerance,
+/// not bit-for-bit). `cov_shards` is ignored (covariance sharding is
+/// replaced by per-tile accumulation); `parallel_merge` is ignored (the
+/// blocked fold already parallelizes the merge without reordering
+/// members).
+PctResult fuse_parallel_fused(const hsi::ImageCube& cube, ThreadPool& pool,
+                              const ParallelPctConfig& config);
+
+/// Convenience overload owning a transient pool.
+PctResult fuse_parallel_fused(const hsi::ImageCube& cube,
+                              const ParallelPctConfig& config);
+
 }  // namespace rif::core

@@ -1,6 +1,6 @@
 #include "core/parallel/thread_pool.h"
 
-#include <atomic>
+#include <utility>
 
 namespace rif::core {
 
@@ -21,63 +21,78 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::worker_loop() {
-  for (;;) {
-    std::function<void()> task;
-    {
-      std::unique_lock lock(mutex_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
-      if (stopping_ && queue_.empty()) return;
-      task = std::move(queue_.front());
-      queue_.pop_front();
-    }
-    task();
-  }
+void ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
+  std::function<void()> task = std::move(queue_.front());
+  queue_.pop_front();
+  lock.unlock();
+  task();  // task wrappers never throw; errors land in their TaskGroup
+  lock.lock();
 }
 
-void ThreadPool::submit(std::function<void()> task) {
-  {
-    std::lock_guard lock(mutex_);
-    queue_.push_back(std::move(task));
+void ThreadPool::worker_loop() {
+  std::unique_lock lock(mutex_);
+  for (;;) {
+    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (stopping_ && queue_.empty()) return;
+    run_one(lock);
   }
-  cv_.notify_one();
 }
 
 void ThreadPool::parallel_tasks(int count, const std::function<void(int)>& fn) {
   RIF_CHECK(count >= 0);
   if (count == 0) return;
 
-  std::mutex done_mutex;
-  std::condition_variable done_cv;
-  int remaining = count;
-  std::exception_ptr first_error;
-
-  for (int i = 0; i < count; ++i) {
-    submit([&, i] {
-      try {
-        fn(i);
-      } catch (...) {
-        std::lock_guard lock(done_mutex);
-        if (!first_error) first_error = std::current_exception();
-      }
-      {
-        std::lock_guard lock(done_mutex);
-        --remaining;
-      }
-      done_cv.notify_one();
-    });
+  // The group and `fn` are captured by reference: tasks only touch them
+  // before decrementing `remaining`, and this frame outlives the decrement
+  // to zero (see the wait loop below).
+  TaskGroup group;
+  group.remaining = count;
+  {
+    std::lock_guard lock(mutex_);
+    RIF_CHECK_MSG(!stopping_, "parallel_tasks on a stopping pool");
+    for (int i = 0; i < count; ++i) {
+      queue_.push_back([this, &group, &fn, i] {
+        try {
+          fn(i);
+        } catch (...) {
+          std::lock_guard lk(mutex_);
+          if (!group.first_error) group.first_error = std::current_exception();
+        }
+        std::lock_guard lk(mutex_);
+        if (--group.remaining == 0) group.done.notify_all();
+      });
+    }
   }
-  std::unique_lock lock(done_mutex);
-  done_cv.wait(lock, [&] { return remaining == 0; });
-  if (first_error) std::rethrow_exception(first_error);
+  cv_.notify_all();
+
+  // Help-while-waiting: drain the queue (our own tasks or anyone else's —
+  // nested groups submitted by our tasks included) instead of parking a
+  // thread. Sleeping is safe only when the queue is empty: our unfinished
+  // tasks are then running on other threads, each helping the same way, so
+  // some thread always makes progress and nesting cannot deadlock.
+  std::unique_lock lock(mutex_);
+  while (group.remaining > 0) {
+    if (!queue_.empty()) {
+      run_one(lock);
+    } else {
+      // The queue clause matters only at wait entry: it closes the race
+      // where a task was enqueued between our empty-check and the wait's
+      // predicate evaluation. Once parked, nothing notifies this CV until
+      // the group completes — a mid-sleep enqueue does not wake us, which
+      // is safe because every enqueuer helps drain its own work.
+      group.done.wait(lock,
+                      [&] { return group.remaining == 0 || !queue_.empty(); });
+    }
+  }
+  if (group.first_error) std::rethrow_exception(group.first_error);
 }
 
 void ThreadPool::parallel_for(
     std::int64_t n, const std::function<void(std::int64_t, std::int64_t)>& fn) {
   RIF_CHECK(n >= 0);
   if (n == 0) return;
-  const int chunks =
-      static_cast<int>(std::min<std::int64_t>(n, threads_.size()));
+  const int chunks = static_cast<int>(
+      std::min<std::int64_t>(n, static_cast<std::int64_t>(threads_.size())));
   const std::int64_t base = n / chunks;
   const std::int64_t extra = n % chunks;
   std::vector<std::pair<std::int64_t, std::int64_t>> ranges;

@@ -1,9 +1,24 @@
-// Minimal work-queue thread pool plus a blocking parallel_for.
+// Work-queue thread pool with help-while-waiting blocking helpers.
 //
 // Used by the shared-memory variant of the fusion pipeline (the paper's §4
-// remark about multiprocessor operation). Kept deliberately simple: tasks
-// are std::function, parallel_for partitions an index range into contiguous
-// chunks, and exceptions in workers propagate to the caller.
+// remark about multiprocessor operation) and by FusionService, which runs
+// many concurrent jobs — each internally parallel — on ONE shared pool.
+//
+// That sharing is what shapes the design: the blocking helpers
+// (parallel_for / parallel_tasks) do not sleep on a condition variable
+// while their tasks run. A caller *helps*: it pops and executes queued
+// tasks until its own task group completes, and only sleeps when the queue
+// is empty (its remaining tasks are then in flight on other threads, each
+// of which helps in the same way). This makes nested parallelism — a task
+// that itself calls parallel_for on the same pool — deadlock-free even on
+// a 1-thread pool: the caller occupies no worker slot while blocked,
+// because it IS a worker while blocked.
+//
+// The flip side of helping: a blocked caller may execute arbitrary
+// UNRELATED queued tasks on its own stack. Do not hold a non-reentrant
+// lock across parallel_for/parallel_tasks — a helped task that takes the
+// same lock self-deadlocks, even though the old park-on-CV pool would
+// have been fine.
 #pragma once
 
 #include <condition_variable>
@@ -29,17 +44,31 @@ class ThreadPool {
   [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
 
   /// Run fn(chunk_begin, chunk_end) over [0, n) split into one contiguous
-  /// chunk per thread; blocks until every chunk completes. Rethrows the
-  /// first worker exception.
+  /// chunk per thread; blocks until every chunk completes, executing queued
+  /// tasks while it waits. Rethrows the first worker exception. Safe to
+  /// call from inside a pool task (nested parallelism).
   void parallel_for(std::int64_t n,
                     const std::function<void(std::int64_t, std::int64_t)>& fn);
 
-  /// Run fn(i) for i in [0, count) as `count` independent tasks; blocks.
+  /// Run fn(i) for i in [0, count) as `count` independent tasks; blocks,
+  /// helping execute queued tasks while waiting. Safe to call from inside a
+  /// pool task (nested parallelism) and concurrently from many threads.
   void parallel_tasks(int count, const std::function<void(int)>& fn);
 
  private:
+  /// Completion state of one parallel_tasks call, guarded by the pool
+  /// mutex. Lives on the caller's stack: the caller cannot return before
+  /// remaining hits zero, which is also the last touch by any task.
+  struct TaskGroup {
+    int remaining = 0;
+    std::exception_ptr first_error;
+    std::condition_variable done;
+  };
+
   void worker_loop();
-  void submit(std::function<void()> task);
+  /// Pop and run the front task. `lock` is held on entry and exit,
+  /// released around the task body.
+  void run_one(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> threads_;
   std::mutex mutex_;

@@ -49,6 +49,27 @@ std::array<ComponentScale, 3> scales_from_eigenvalues(
   return scales;
 }
 
+void transform_and_map_range(const hsi::ImageCube& cube,
+                             const linalg::Matrix& transform,
+                             const std::vector<double>& mean,
+                             const std::array<ComponentScale, 3>& scales,
+                             std::vector<std::vector<float>>& planes,
+                             hsi::RgbImage& composite, std::int64_t lo,
+                             std::int64_t hi) {
+  const int comps = transform.rows();
+  std::vector<float> comp(comps);
+  for (std::int64_t p = lo; p < hi; ++p) {
+    transform_pixel(transform, mean, cube.pixel(p), comp);
+    for (int c = 0; c < comps; ++c) {
+      planes[c][static_cast<std::size_t>(p)] = comp[c];
+    }
+    const auto rgb = map_pixel({comp[0], comp[1], comp[2]}, scales);
+    composite.data[p * 3 + 0] = rgb[0];
+    composite.data[p * 3 + 1] = rgb[1];
+    composite.data[p * 3 + 2] = rgb[2];
+  }
+}
+
 PctResult fuse(const hsi::ImageCube& cube, const PctConfig& config) {
   RIF_CHECK(config.output_components >= 3);
   RIF_CHECK(config.output_components <= cube.bands());
@@ -77,32 +98,17 @@ PctResult fuse(const hsi::ImageCube& cube, const PctConfig& config) {
   result.eigenvectors = eig.vectors;
   result.jacobi_sweeps = eig.sweeps;
 
-  // Step 7: transform every original pixel.
+  // Steps 7-8: transform every original pixel and colour-map it.
   const linalg::Matrix t =
       transform_matrix(eig.vectors, config.output_components);
   const auto n = static_cast<std::size_t>(cube.pixel_count());
   result.component_planes.assign(config.output_components,
                                  std::vector<float>(n));
-  std::vector<float> comp(config.output_components);
-  for (std::int64_t p = 0; p < cube.pixel_count(); ++p) {
-    transform_pixel(t, result.mean, cube.pixel(p), comp);
-    for (int c = 0; c < config.output_components; ++c) {
-      result.component_planes[c][p] = comp[c];
-    }
-  }
-
-  // Step 8: colour mapping with eigenvalue-derived scales.
   const auto scales = scales_from_eigenvalues(result.eigenvalues);
   result.composite = hsi::RgbImage(cube.width(), cube.height());
-  for (std::size_t p = 0; p < n; ++p) {
-    const auto rgb = map_pixel({result.component_planes[0][p],
-                                result.component_planes[1][p],
-                                result.component_planes[2][p]},
-                               scales);
-    result.composite.data[p * 3 + 0] = rgb[0];
-    result.composite.data[p * 3 + 1] = rgb[1];
-    result.composite.data[p * 3 + 2] = rgb[2];
-  }
+  transform_and_map_range(cube, t, result.mean, scales,
+                          result.component_planes, result.composite, 0,
+                          cube.pixel_count());
   return result;
 }
 

@@ -42,6 +42,9 @@ struct PctResult {
   std::vector<double> mean;         ///< unique-set mean vector (step 3)
   std::size_t unique_set_size = 0;  ///< K (step 2)
   std::uint64_t screen_comparisons = 0;
+  /// Angle tests spent merging per-tile sets (0 when nothing was merged,
+  /// e.g. the sequential pipeline's single part).
+  std::uint64_t merge_comparisons = 0;
   int jacobi_sweeps = 0;
 };
 
@@ -61,6 +64,19 @@ void transform_pixel(const linalg::Matrix& transform,
 /// Colour-mapping scales from the leading eigenvalues (see header comment).
 std::array<ComponentScale, 3> scales_from_eigenvalues(
     const std::vector<double>& eigenvalues);
+
+/// Steps 7-8 over the flat pixel range [lo, hi): transform each pixel into
+/// `planes` (one plane per transform row) and colour-map the leading three
+/// components into `composite`. The shared kernel behind the sequential
+/// pipeline and both shared-memory engines — ranges are disjoint, so
+/// parallel callers need no synchronisation.
+void transform_and_map_range(const hsi::ImageCube& cube,
+                             const linalg::Matrix& transform,
+                             const std::vector<double>& mean,
+                             const std::array<ComponentScale, 3>& scales,
+                             std::vector<std::vector<float>>& planes,
+                             hsi::RgbImage& composite, std::int64_t lo,
+                             std::int64_t hi);
 
 /// Flops charged per transformed pixel for `bands` -> `components`.
 inline double transform_flops_per_pixel(int bands, int components) {

@@ -52,6 +52,33 @@ std::span<const float> UniqueSet::member(std::size_t i) const {
   return {data_.data() + i * bands_, static_cast<std::size_t>(bands_)};
 }
 
+bool UniqueSet::any_within(std::span<const float> pixel,
+                           double pixel_inv_norm, std::size_t begin_member,
+                           std::size_t end_member,
+                           std::uint64_t* comparisons) const {
+  RIF_DCHECK(static_cast<int>(pixel.size()) == bands_);
+  RIF_DCHECK(end_member <= count_);
+  // Angle test via cosine: angle <= threshold  <=>  cos >= cos(threshold).
+  for (std::size_t m = begin_member; m < end_member; ++m) {
+    if (comparisons != nullptr) ++*comparisons;
+    const float* mem = data_.data() + m * bands_;
+    double dot = 0.0;
+    for (int b = 0; b < bands_; ++b) {
+      dot += static_cast<double>(mem[b]) * pixel[b];
+    }
+    const double cosine = dot * inv_norms_[m] * pixel_inv_norm;
+    if (cosine >= cos_threshold_) return true;  // close to a member
+  }
+  return false;
+}
+
+void UniqueSet::admit(std::span<const float> pixel, double inv_norm) {
+  RIF_DCHECK(static_cast<int>(pixel.size()) == bands_);
+  data_.insert(data_.end(), pixel.begin(), pixel.end());
+  inv_norms_.push_back(inv_norm);
+  ++count_;
+}
+
 bool UniqueSet::screen(std::span<const float> pixel,
                        std::uint64_t* comparisons) {
   RIF_DCHECK(static_cast<int>(pixel.size()) == bands_);
@@ -60,18 +87,9 @@ bool UniqueSet::screen(std::span<const float> pixel,
   const double norm = std::sqrt(norm2);
   if (norm <= 0.0) return false;  // degenerate pixel never joins
 
-  // Angle test via cosine: angle <= threshold  <=>  cos >= cos(threshold).
-  for (std::size_t m = 0; m < count_; ++m) {
-    if (comparisons != nullptr) ++*comparisons;
-    const float* mem = data_.data() + m * bands_;
-    double dot = 0.0;
-    for (int b = 0; b < bands_; ++b) dot += static_cast<double>(mem[b]) * pixel[b];
-    const double cosine = dot * inv_norms_[m] / norm;
-    if (cosine >= cos_threshold_) return false;  // close to a member
-  }
-  data_.insert(data_.end(), pixel.begin(), pixel.end());
-  inv_norms_.push_back(1.0 / norm);
-  ++count_;
+  const double inv = 1.0 / norm;
+  if (any_within(pixel, inv, 0, count_, comparisons)) return false;
+  admit(pixel, inv);
   return true;
 }
 

@@ -38,6 +38,24 @@ class UniqueSet {
   /// (the manager's step 2).
   void merge(const UniqueSet& other, std::uint64_t* comparisons = nullptr);
 
+  /// True if any member in [begin_member, end_member) lies within the
+  /// threshold angle of `pixel` (`pixel_inv_norm` = 1/|pixel|). The
+  /// screening primitive, exposed so callers can split one candidate's
+  /// membership test across member ranges (e.g. a frozen prefix scanned
+  /// concurrently and a small tail scanned in fold order).
+  [[nodiscard]] bool any_within(std::span<const float> pixel,
+                                double pixel_inv_norm,
+                                std::size_t begin_member,
+                                std::size_t end_member,
+                                std::uint64_t* comparisons = nullptr) const;
+
+  /// Append a member WITHOUT screening. The caller vouches that `pixel`
+  /// exceeds the threshold angle to every current member.
+  void admit(std::span<const float> pixel, double inv_norm);
+
+  /// Cached 1/|member(i)|.
+  [[nodiscard]] double inv_norm(std::size_t i) const { return inv_norms_[i]; }
+
   [[nodiscard]] std::size_t size() const { return count_; }
   [[nodiscard]] int bands() const { return bands_; }
   [[nodiscard]] double threshold() const { return threshold_; }

@@ -28,6 +28,9 @@ struct Tile {
   [[nodiscard]] std::int64_t first_flat_index() const {
     return static_cast<std::int64_t>(y0) * width;
   }
+  [[nodiscard]] std::int64_t end_flat_index() const {
+    return first_flat_index() + pixels();
+  }
 };
 
 /// Split `shape` into `count` row-band tiles. Rows are distributed as evenly

@@ -4,6 +4,93 @@
 
 namespace rif::linalg {
 
+MomentAccumulator::MomentAccumulator(int dims, std::vector<double> origin)
+    : dims_(dims), origin_(std::move(origin)) {
+  RIF_CHECK(dims > 0);
+  RIF_CHECK(static_cast<int>(origin_.size()) == dims);
+  s1_.assign(static_cast<std::size_t>(dims), 0.0);
+  upper_.assign(static_cast<std::size_t>(dims) * (dims + 1) / 2, 0.0);
+}
+
+void MomentAccumulator::add_block(const float* pixels, int rows) {
+  RIF_CHECK(rows >= 0);
+  if (rows == 0) return;
+  // Center the block once into column-major scratch (dims x rows): entry
+  // (i, j) of the triangle then accumulates a dot product of two CONTIGUOUS
+  // length-`rows` columns, so the packed triangle — the large, written-to
+  // operand — is streamed through exactly once per block instead of once per
+  // pixel, and the inner loop vectorizes over the block.
+  static thread_local std::vector<double> scratch;
+  scratch.resize(static_cast<std::size_t>(dims_) * rows);
+  for (int r = 0; r < rows; ++r) {
+    const float* px = pixels + static_cast<std::size_t>(r) * dims_;
+    for (int b = 0; b < dims_; ++b) {
+      const double c = static_cast<double>(px[b]) - origin_[b];
+      scratch[static_cast<std::size_t>(b) * rows + r] = c;
+      s1_[b] += c;
+    }
+  }
+  double* dst = upper_.data();
+  for (int i = 0; i < dims_; ++i) {
+    const double* ci = scratch.data() + static_cast<std::size_t>(i) * rows;
+    for (int j = i; j < dims_; ++j) {
+      const double* cj = scratch.data() + static_cast<std::size_t>(j) * rows;
+      double acc = 0.0;
+      for (int r = 0; r < rows; ++r) acc += ci[r] * cj[r];
+      *dst++ += acc;
+    }
+  }
+  count_ += static_cast<std::uint64_t>(rows);
+}
+
+void MomentAccumulator::remove(std::span<const float> pixel) {
+  RIF_CHECK(static_cast<int>(pixel.size()) == dims_);
+  RIF_CHECK_MSG(count_ > 0, "remove from empty moment accumulator");
+  static thread_local std::vector<double> centered;
+  centered.resize(dims_);
+  for (int b = 0; b < dims_; ++b) {
+    centered[b] = static_cast<double>(pixel[b]) - origin_[b];
+    s1_[b] -= centered[b];
+  }
+  std::size_t idx = 0;
+  for (int i = 0; i < dims_; ++i) {
+    const double ci = centered[i];
+    for (int j = i; j < dims_; ++j) upper_[idx++] -= ci * centered[j];
+  }
+  --count_;
+}
+
+void MomentAccumulator::merge(const MomentAccumulator& other) {
+  RIF_CHECK(other.dims_ == dims_);
+  RIF_CHECK_MSG(other.origin_ == origin_,
+                "moment sums accumulated about different origins");
+  for (std::size_t i = 0; i < s1_.size(); ++i) s1_[i] += other.s1_[i];
+  for (std::size_t i = 0; i < upper_.size(); ++i) upper_[i] += other.upper_[i];
+  count_ += other.count_;
+}
+
+std::vector<double> MomentAccumulator::mean() const {
+  RIF_CHECK_MSG(count_ > 0, "mean of empty set");
+  std::vector<double> m(origin_);
+  for (int b = 0; b < dims_; ++b) m[b] += s1_[b] / static_cast<double>(count_);
+  return m;
+}
+
+Matrix MomentAccumulator::covariance() const {
+  RIF_CHECK_MSG(count_ > 0, "covariance of empty set");
+  Matrix cov(dims_, dims_);
+  const double inv = 1.0 / static_cast<double>(count_);
+  std::size_t idx = 0;
+  for (int i = 0; i < dims_; ++i) {
+    for (int j = i; j < dims_; ++j) {
+      const double v = (upper_[idx++] - s1_[i] * s1_[j] * inv) * inv;
+      cov(i, j) = v;
+      cov(j, i) = v;
+    }
+  }
+  return cov;
+}
+
 void MeanAccumulator::add(std::span<const float> pixel) {
   RIF_DCHECK(pixel.size() == sums_.size());
   for (std::size_t i = 0; i < sums_.size(); ++i) sums_[i] += pixel[i];
@@ -37,6 +124,7 @@ MeanAccumulator MeanAccumulator::decode(
   Reader r(bytes);
   const auto count = r.get<std::uint64_t>();
   auto sums = r.get_vector<double>();
+  RIF_CHECK_MSG(!sums.empty(), "mean accumulator with zero dims");
   MeanAccumulator acc(static_cast<int>(sums.size()));
   acc.sums_ = std::move(sums);
   acc.count_ = count;
@@ -103,8 +191,14 @@ CovarianceAccumulator CovarianceAccumulator::decode(
   const auto count = r.get<std::uint64_t>();
   auto mean = r.get_vector<double>();
   auto upper = r.get_vector<double>();
+  // Validate the wire payload BEFORE trusting it: a negative or mismatched
+  // dims field must trip a clean check, not size arithmetic on garbage.
+  RIF_CHECK_MSG(dims > 0, "covariance accumulator with non-positive dims");
+  RIF_CHECK_MSG(static_cast<std::size_t>(dims) == mean.size(),
+                "covariance accumulator dims/mean mismatch");
   CovarianceAccumulator acc(dims, std::move(mean));
-  RIF_CHECK(upper.size() == acc.upper_.size());
+  RIF_CHECK_MSG(upper.size() == acc.upper_.size(),
+                "covariance accumulator dims/triangle mismatch");
   acc.upper_ = std::move(upper);
   acc.count_ = count;
   return acc;

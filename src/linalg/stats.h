@@ -35,6 +35,50 @@ class MeanAccumulator {
   std::uint64_t count_ = 0;
 };
 
+/// Single-pass moment accumulator about a fixed provisional origin `m₀`:
+///
+///     S1 = Σ (x − m₀)          S2 = Σ (x − m₀)(x − m₀)ᵀ
+///
+/// Unlike CovarianceAccumulator (which needs the final mean up front and
+/// therefore forces a second pass over the pixel set), this accumulates both
+/// moments in ONE sweep and corrects against the true mean afterwards:
+///
+///     μ = m₀ + S1/K,   Σ (x−μ)(x−μ)ᵀ = S2 − S1·S1ᵀ/K.
+///
+/// All accumulators that will be merged must share the same origin; any
+/// representative pixel (e.g. the cube's first) keeps the shift small, so the
+/// correction stays well-conditioned in doubles. This is the engine behind
+/// the fused screen+moments pass of `fuse_parallel_fused`.
+class MomentAccumulator {
+ public:
+  MomentAccumulator(int dims, std::vector<double> origin);
+
+  void add(std::span<const float> pixel) { add_block(pixel.data(), 1); }
+  /// Cache-blocked bulk add of `rows` contiguous dims-length vectors: the
+  /// packed triangle is walked once per *block* instead of once per pixel
+  /// (see the kernel in stats.cc).
+  void add_block(const float* pixels, int rows);
+  /// Retract one previously added vector (used when a tile member is dropped
+  /// during the unique-set merge).
+  void remove(std::span<const float> pixel);
+  /// Sum another accumulator in; both must share the same origin.
+  void merge(const MomentAccumulator& other);
+
+  [[nodiscard]] std::vector<double> mean() const;
+  /// The mean-corrected, averaged covariance matrix (see class comment).
+  [[nodiscard]] Matrix covariance() const;
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] int dims() const { return dims_; }
+  [[nodiscard]] const std::vector<double>& origin() const { return origin_; }
+
+ private:
+  int dims_;
+  std::vector<double> origin_;
+  std::vector<double> s1_;     // Σ (x − m₀)
+  std::vector<double> upper_;  // Σ (x − m₀)(x − m₀)ᵀ, packed upper, row-major
+  std::uint64_t count_ = 0;
+};
+
 /// Accumulates the covariance sum  Σ (x−m)(x−m)ᵀ  (paper step 4).
 /// Only the upper triangle is stored; covariance() mirrors it.
 class CovarianceAccumulator {

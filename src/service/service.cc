@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "core/parallel/parallel_pct.h"
 #include "support/check.h"
 #include "support/log.h"
 
@@ -32,6 +33,10 @@ FusionService::FusionService(ServiceConfig config)
       leases_(worker_pool(config_.worker_nodes)),
       scheduler_(config_.admission) {
   RIF_CHECK(config_.worker_nodes >= 1);
+  RIF_CHECK(config_.execution_threads >= 0);
+  if (config_.execution_threads > 0) {
+    exec_pool_ = std::make_unique<core::ThreadPool>(config_.execution_threads);
+  }
   cluster_.add_nodes(config_.worker_nodes + 1, config_.node);
   network_ =
       core::make_network(cluster_, config_.network, config_.lan, config_.smp);
@@ -135,7 +140,21 @@ void FusionService::start_job(JobId id, const cluster::NodeFilter& alive) {
     job.flops_at_start.push_back(cluster_.node(n).flops_charged());
   }
 
-  job.instance = std::make_unique<core::FusionJobInstance>(job.request.config);
+  // With a host execution pool, a Full-mode job's pixels are fused on the
+  // shared pool (execute_host_jobs, after the virtual run decides timing)
+  // and the simulated actors run CostOnly. Placement, leases and message
+  // flow are unchanged, but virtual time and flops then follow the cost
+  // model's estimates rather than the data-dependent counts a Full-mode
+  // actor run would charge — the host pool trades that fidelity for
+  // running the arithmetic once instead of twice.
+  core::FusionJobConfig sim_config = job.request.config;
+  if (exec_pool_ != nullptr &&
+      sim_config.mode == core::ExecutionMode::kFull) {
+    job.host_execute = true;
+    sim_config.mode = core::ExecutionMode::kCostOnly;
+    sim_config.cube = nullptr;
+  }
+  job.instance = std::make_unique<core::FusionJobInstance>(sim_config);
   job.instance->spawn(*runtime_, kHeadNode, job.record.leased_nodes, id,
                       [this, id] { on_job_complete(id); });
 
@@ -227,7 +246,40 @@ ServiceReport FusionService::run() {
   while (outstanding_ > 0 && sim_.now() < config_.deadline) {
     if (!sim_.step()) break;
   }
+  execute_host_jobs();
   return build_report();
+}
+
+void FusionService::execute_host_jobs() {
+  if (exec_pool_ == nullptr) return;
+  std::vector<PendingJob*> ready;
+  for (auto& job : jobs_) {
+    if (job->host_execute && job->record.completed) ready.push_back(job.get());
+  }
+  if (ready.empty()) return;
+
+  // All jobs fan out onto the ONE shared pool at once; each job's fused
+  // engine nests its own parallel stages inside its task. The per-job
+  // budget (tiles it can occupy the pool with) is derived from what the
+  // Scheduler admitted: leased workers x tiles_per_worker.
+  exec_pool_->parallel_tasks(
+      static_cast<int>(ready.size()), [&](int k) {
+        PendingJob& job = *ready[static_cast<std::size_t>(k)];
+        const core::FusionJobConfig& req = job.request.config;
+        core::ParallelPctConfig cfg;
+        cfg.pct.screening_threshold = req.screening_threshold;
+        cfg.pct.output_components = req.output_components;
+        cfg.pct.jacobi = req.jacobi;
+        cfg.tiles = job.record.workers * req.tiles_per_worker;
+        core::PctResult r =
+            core::fuse_parallel_fused(*req.cube, *exec_pool_, cfg);
+        core::JobOutcome& out = job.record.outcome;
+        out.composite = std::move(r.composite);
+        out.eigenvalues = std::move(r.eigenvalues);
+        out.unique_set_size = r.unique_set_size;
+        out.screen_comparisons = r.screen_comparisons;
+        out.merge_comparisons = r.merge_comparisons;
+      });
 }
 
 ServiceReport FusionService::build_report() {

@@ -76,6 +76,7 @@
 #include "cluster/failure_injector.h"
 #include "cluster/lease.h"
 #include "core/distributed/fusion_job.h"
+#include "core/parallel/thread_pool.h"
 #include "net/network.h"
 #include "scp/runtime.h"
 #include "service/accounting.h"
@@ -103,6 +104,17 @@ struct ServiceConfig {
   AdmissionPolicy admission = AdmissionPolicy::kFirstFit;
   /// Queued-job bound; arrivals beyond it are rejected. 0 = unbounded.
   std::size_t max_queue_length = 0;
+
+  /// Host threads for REAL execution of admitted Full-mode jobs on one
+  /// shared ThreadPool (0 = off: Full-mode pixels flow through the
+  /// simulated actors instead). When on, each admitted Full-mode job's
+  /// cube is fused with the single-pass shared-memory engine
+  /// (core::fuse_parallel_fused); its parallelism budget — the number of
+  /// tiles it may occupy the pool with — is workers * tiles_per_worker,
+  /// where `workers` is what the Scheduler actually admitted. Jobs execute
+  /// concurrently as nested parallel work on the one pool, which the
+  /// help-while-waiting ThreadPool makes deadlock-free.
+  int execution_threads = 0;
 
   /// Attack script against the shared cluster (virtual timeline).
   std::vector<cluster::FailureEvent> failures;
@@ -167,6 +179,9 @@ class FusionService {
     /// flops_charged() of each leased node at admission, for per-job
     /// attribution (leases are exclusive, so the delta is exact).
     std::vector<double> flops_at_start;
+    /// Full-mode job whose composite is computed on the shared host pool
+    /// (the simulated actors then run CostOnly for timing/placement).
+    bool host_execute = false;
   };
 
   [[nodiscard]] RejectReason validate(const JobRequest& request) const;
@@ -176,6 +191,9 @@ class FusionService {
   void start_job(JobId id, const cluster::NodeFilter& alive);
   void on_job_complete(JobId id);
   void fail_job(JobId id);
+  /// Fuse every completed host_execute job's cube on the shared pool (all
+  /// jobs concurrently, each within its admitted worker budget).
+  void execute_host_jobs();
   [[nodiscard]] ServiceReport build_report();
 
   ServiceConfig config_;
@@ -188,6 +206,7 @@ class FusionService {
   JobQueue queue_;
   Scheduler scheduler_;
   Ledger ledger_;
+  std::unique_ptr<core::ThreadPool> exec_pool_;  ///< when execution_threads>0
   std::vector<std::unique_ptr<PendingJob>> jobs_;
 
   int running_ = 0;        ///< jobs currently holding leases

@@ -56,7 +56,7 @@ class Reader {
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   T get() {
-    RIF_CHECK_MSG(pos_ + sizeof(T) <= buf_.size(), "truncated message");
+    RIF_CHECK_MSG(sizeof(T) <= remaining(), "truncated message");
     T v;
     std::memcpy(&v, buf_.data() + pos_, sizeof(T));
     pos_ += sizeof(T);
@@ -64,21 +64,26 @@ class Reader {
   }
 
   std::string get_string() {
+    // Length first, then bound it by what is actually left: a hostile or
+    // corrupt length must not index (or allocate) past the buffer.
     const auto n = get<std::uint64_t>();
-    RIF_CHECK_MSG(pos_ + n <= buf_.size(), "truncated string");
-    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_), n);
-    pos_ += n;
+    RIF_CHECK_MSG(n <= remaining(), "truncated string");
+    std::string s(reinterpret_cast<const char*>(buf_.data() + pos_),
+                  static_cast<std::size_t>(n));
+    pos_ += static_cast<std::size_t>(n);
     return s;
   }
 
   template <typename T>
     requires std::is_trivially_copyable_v<T>
   std::vector<T> get_vector() {
+    // Divide instead of multiplying: `n * sizeof(T)` on an attacker-chosen
+    // 64-bit count wraps around and would pass a naive bound check.
     const auto n = get<std::uint64_t>();
-    RIF_CHECK_MSG(pos_ + n * sizeof(T) <= buf_.size(), "truncated vector");
-    std::vector<T> v(n);
-    std::memcpy(v.data(), buf_.data() + pos_, n * sizeof(T));
-    pos_ += n * sizeof(T);
+    RIF_CHECK_MSG(n <= remaining() / sizeof(T), "truncated vector");
+    std::vector<T> v(static_cast<std::size_t>(n));
+    std::memcpy(v.data(), buf_.data() + pos_, v.size() * sizeof(T));
+    pos_ += v.size() * sizeof(T);
     return v;
   }
 

@@ -283,5 +283,110 @@ TEST(CovarianceTest, SymmetricOutput) {
   EXPECT_TRUE(acc.covariance().symmetric(1e-12));
 }
 
+// --- MomentAccumulator -------------------------------------------------------
+
+std::vector<std::vector<float>> random_pixels(int n, int dims,
+                                              std::uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::vector<float>> pixels(n);
+  for (auto& px : pixels) {
+    px.resize(dims);
+    for (auto& v : px) v = static_cast<float>(rng.uniform(0.05, 0.9));
+  }
+  return pixels;
+}
+
+/// The two-pass reference: exact mean first, then centered covariance.
+Matrix two_pass_covariance(const std::vector<std::vector<float>>& pixels,
+                           std::vector<double>* mean_out) {
+  const int dims = static_cast<int>(pixels.front().size());
+  MeanAccumulator mean_acc(dims);
+  for (const auto& px : pixels) mean_acc.add(px);
+  *mean_out = mean_acc.mean();
+  CovarianceAccumulator cov(dims, *mean_out);
+  for (const auto& px : pixels) cov.add(px);
+  return cov.covariance();
+}
+
+TEST(MomentAccumulatorTest, MatchesTwoPassReference) {
+  const auto pixels = random_pixels(200, 7, 23);
+  std::vector<double> ref_mean;
+  const Matrix ref_cov = two_pass_covariance(pixels, &ref_mean);
+
+  // Origin = first pixel, as the fused engine uses.
+  std::vector<double> origin(pixels[0].begin(), pixels[0].end());
+  MomentAccumulator mom(7, origin);
+  for (const auto& px : pixels) mom.add(px);
+  const auto mean = mom.mean();
+  for (int i = 0; i < 7; ++i) EXPECT_NEAR(mean[i], ref_mean[i], 1e-12);
+  EXPECT_LT(relative_difference(mom.covariance(), ref_cov), 1e-10);
+}
+
+TEST(MomentAccumulatorTest, BlockedAddMatchesScalarAdd) {
+  const int dims = 11;
+  const auto pixels = random_pixels(100, dims, 5);
+  std::vector<float> flat;
+  for (const auto& px : pixels) flat.insert(flat.end(), px.begin(), px.end());
+
+  std::vector<double> origin(dims, 0.3);
+  MomentAccumulator scalar(dims, origin);
+  for (const auto& px : pixels) scalar.add(px);
+  MomentAccumulator blocked(dims, origin);
+  blocked.add_block(flat.data(), 60);  // two uneven blocks
+  blocked.add_block(flat.data() + 60 * dims, 40);
+
+  EXPECT_EQ(blocked.count(), scalar.count());
+  EXPECT_LT(relative_difference(blocked.covariance(), scalar.covariance()),
+            1e-13);
+}
+
+TEST(MomentAccumulatorTest, RemoveRetractsExactly) {
+  const int dims = 6;
+  const auto pixels = random_pixels(50, dims, 9);
+  std::vector<double> origin(dims, 0.4);
+
+  MomentAccumulator with_all(dims, origin);
+  for (const auto& px : pixels) with_all.add(px);
+  for (int i = 40; i < 50; ++i) with_all.remove(pixels[i]);
+
+  MomentAccumulator without(dims, origin);
+  for (int i = 0; i < 40; ++i) without.add(pixels[i]);
+
+  EXPECT_EQ(with_all.count(), without.count());
+  const auto m1 = with_all.mean();
+  const auto m2 = without.mean();
+  for (int i = 0; i < dims; ++i) EXPECT_NEAR(m1[i], m2[i], 1e-12);
+  EXPECT_LT(relative_difference(with_all.covariance(), without.covariance()),
+            1e-9);
+}
+
+TEST(MomentAccumulatorTest, MergeEqualsSequential) {
+  const int dims = 5;
+  const auto pixels = random_pixels(120, dims, 31);
+  std::vector<double> origin(dims, 0.5);
+  MomentAccumulator whole(dims, origin);
+  MomentAccumulator a(dims, origin), b(dims, origin);
+  for (int i = 0; i < 120; ++i) {
+    whole.add(pixels[i]);
+    (i < 50 ? a : b).add(pixels[i]);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), whole.count());
+  EXPECT_LT(relative_difference(whole.covariance(), a.covariance()), 1e-12);
+}
+
+TEST(MomentAccumulatorTest, MismatchedOriginsAbortOnMerge) {
+  MomentAccumulator a(2, {0.0, 0.0});
+  MomentAccumulator b(2, {1.0, 0.0});
+  EXPECT_DEATH(a.merge(b), "different origins");
+}
+
+TEST(MomentAccumulatorTest, EmptyStatisticsAbort) {
+  MomentAccumulator acc(2, {0.0, 0.0});
+  EXPECT_DEATH((void)acc.mean(), "empty");
+  EXPECT_DEATH((void)acc.covariance(), "empty");
+  EXPECT_DEATH(acc.remove(std::vector<float>{1.0f, 2.0f}), "empty");
+}
+
 }  // namespace
 }  // namespace rif::linalg

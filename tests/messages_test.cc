@@ -2,6 +2,8 @@
 
 #include "core/cost_model.h"
 #include "core/distributed/messages.h"
+#include "linalg/stats.h"
+#include "support/serialize.h"
 
 namespace rif::core {
 namespace {
@@ -84,6 +86,81 @@ TEST(MessagesTest, WireTileConversion) {
   EXPECT_EQ(back.rows, 20);
   EXPECT_EQ(back.pixels(), tile.pixels());
   EXPECT_EQ(wire.pixels(), tile.pixels());
+}
+
+// --- Malformed wire payloads ---------------------------------------------
+//
+// Accumulator decode() runs on bytes received from other nodes; a hostile
+// or corrupt payload must die on a clean bounds check, never read out of
+// bounds or size containers from garbage.
+
+TEST(MalformedPayloadTest, TruncatedMeanAccumulatorDies) {
+  auto bytes = [] {
+    linalg::MeanAccumulator acc(3);
+    acc.add(std::vector<float>{1.0f, 2.0f, 3.0f});
+    return acc.encode();
+  }();
+  bytes.resize(bytes.size() - 5);  // cut into the sums vector
+  EXPECT_DEATH((void)linalg::MeanAccumulator::decode(bytes), "truncated");
+}
+
+TEST(MalformedPayloadTest, OverstatedVectorLengthDies) {
+  // Claimed element count far beyond the buffer: the length sanity check
+  // must fire even when count * sizeof(T) wraps 64-bit arithmetic.
+  Writer w;
+  w.put<std::uint64_t>(7);  // count
+  w.put<std::uint64_t>(0xFFFFFFFFFFFFFFF0ull);  // sums length (wraps * 8)
+  auto bytes = std::move(w).take();
+  EXPECT_DEATH((void)linalg::MeanAccumulator::decode(bytes), "truncated");
+}
+
+TEST(MalformedPayloadTest, ZeroDimsMeanAccumulatorDies) {
+  Writer w;
+  w.put<std::uint64_t>(1);               // count
+  w.put_vector(std::vector<double>{});   // zero dims
+  auto bytes = std::move(w).take();
+  EXPECT_DEATH((void)linalg::MeanAccumulator::decode(bytes), "zero dims");
+}
+
+TEST(MalformedPayloadTest, NegativeCovarianceDimsDies) {
+  Writer w;
+  w.put<std::int32_t>(-3);
+  w.put<std::uint64_t>(1);
+  w.put_vector(std::vector<double>{1.0, 2.0, 3.0});
+  w.put_vector(std::vector<double>{0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
+  auto bytes = std::move(w).take();
+  EXPECT_DEATH((void)linalg::CovarianceAccumulator::decode(bytes),
+               "non-positive dims");
+}
+
+TEST(MalformedPayloadTest, MismatchedCovarianceDimsDies) {
+  Writer w;
+  w.put<std::int32_t>(4);  // dims disagrees with the 3-long mean below
+  w.put<std::uint64_t>(1);
+  w.put_vector(std::vector<double>{1.0, 2.0, 3.0});
+  w.put_vector(std::vector<double>(10, 0.0));
+  auto bytes = std::move(w).take();
+  EXPECT_DEATH((void)linalg::CovarianceAccumulator::decode(bytes),
+               "dims/mean mismatch");
+}
+
+TEST(MalformedPayloadTest, ShortCovarianceTriangleDies) {
+  Writer w;
+  w.put<std::int32_t>(3);
+  w.put<std::uint64_t>(2);
+  w.put_vector(std::vector<double>{1.0, 2.0, 3.0});
+  w.put_vector(std::vector<double>{0.0, 0.0});  // triangle needs 6
+  auto bytes = std::move(w).take();
+  EXPECT_DEATH((void)linalg::CovarianceAccumulator::decode(bytes),
+               "dims/triangle mismatch");
+}
+
+TEST(MalformedPayloadTest, TruncatedStringDies) {
+  Writer w;
+  w.put<std::uint64_t>(100);  // string length beyond the buffer
+  auto bytes = std::move(w).take();
+  Reader r(bytes);
+  EXPECT_DEATH((void)r.get_string(), "truncated");
 }
 
 TEST(MessagesTest, DeclaredBytesDefaultsToPayload) {

@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <thread>
 
 #include "core/parallel/parallel_pct.h"
 #include "core/parallel/thread_pool.h"
@@ -58,6 +59,65 @@ TEST(ThreadPoolTest, ReusableAcrossCalls) {
     pool.parallel_tasks(8, [&](int) { ++count; });
   }
   EXPECT_EQ(count.load(), 40);
+}
+
+// Regression: parallel_tasks used to deadlock when called from a worker
+// thread — the caller slept on a condition variable while occupying the
+// only worker slot. The help-while-waiting pool must run this to
+// completion even when every level of nesting goes through the single
+// worker.
+TEST(ThreadPoolTest, NestedParallelismOnSingleThreadPool) {
+  ThreadPool pool(1);
+  std::atomic<int> leaf{0};
+  pool.parallel_tasks(3, [&](int) {
+    pool.parallel_for(50, [&](std::int64_t lo, std::int64_t hi) {
+      for (std::int64_t i = lo; i < hi; ++i) ++leaf;
+    });
+  });
+  EXPECT_EQ(leaf.load(), 150);
+}
+
+TEST(ThreadPoolTest, DeeplyNestedTasksComplete) {
+  ThreadPool pool(2);
+  std::atomic<int> leaf{0};
+  pool.parallel_tasks(4, [&](int) {
+    pool.parallel_tasks(3, [&](int) {
+      pool.parallel_tasks(2, [&](int) { ++leaf; });
+    });
+  });
+  EXPECT_EQ(leaf.load(), 24);
+}
+
+TEST(ThreadPoolTest, NestedExceptionPropagatesThroughOuterGroup) {
+  ThreadPool pool(1);
+  EXPECT_THROW(pool.parallel_tasks(
+                   2,
+                   [&](int i) {
+                     pool.parallel_tasks(2, [&](int j) {
+                       if (i == 1 && j == 1) throw std::runtime_error("deep");
+                     });
+                   }),
+               std::runtime_error);
+}
+
+// Concurrent callers from non-pool threads (the FusionService pattern:
+// many jobs sharing one pool) must all complete.
+TEST(ThreadPoolTest, ConcurrentExternalCallersShareOnePool) {
+  ThreadPool pool(2);
+  std::atomic<int> leaf{0};
+  std::vector<std::thread> callers;
+  callers.reserve(4);
+  for (int c = 0; c < 4; ++c) {
+    callers.emplace_back([&] {
+      pool.parallel_tasks(8, [&](int) {
+        pool.parallel_for(10, [&](std::int64_t lo, std::int64_t hi) {
+          leaf += static_cast<int>(hi - lo);
+        });
+      });
+    });
+  }
+  for (auto& t : callers) t.join();
+  EXPECT_EQ(leaf.load(), 4 * 8 * 10);
 }
 
 // --- fuse_parallel ------------------------------------------------------------
@@ -121,6 +181,58 @@ TEST(ParallelPctTest, SharedPoolReuse) {
   EXPECT_EQ(a.composite.data, b.composite.data);
 }
 
+TEST(ParallelPctTest, OddTileCountIsThreadCountInvariant) {
+  const auto scene = test_scene();
+  ParallelPctConfig config;
+  config.tiles = 7;  // odd: exercises the unpaired trailing set in merges
+  config.cov_shards = 3;
+  config.threads = 1;
+  const PctResult one = fuse_parallel(scene.cube, config);
+  config.threads = 8;
+  const PctResult eight = fuse_parallel(scene.cube, config);
+  EXPECT_EQ(one.composite.data, eight.composite.data);
+  EXPECT_EQ(one.unique_set_size, eight.unique_set_size);
+  EXPECT_EQ(one.eigenvalues, eight.eigenvalues);
+}
+
+TEST(ParallelPctTest, MoreTilesThanRowsClampsToRowCount) {
+  // 12 rows, 40 tiles requested: partition_rows emits 12 one-row tiles and
+  // the engine must still produce a full-size, valid composite.
+  const auto scene = test_scene(12, 16, 5);
+  ParallelPctConfig config;
+  config.threads = 4;
+  config.tiles = 40;
+  const PctResult r = fuse_parallel(scene.cube, config);
+  EXPECT_GE(r.unique_set_size, 3u);
+  EXPECT_EQ(r.composite.data.size(),
+            static_cast<std::size_t>(scene.cube.pixel_count()) * 3);
+  const PctResult fused = fuse_parallel_fused(scene.cube, config);
+  EXPECT_EQ(fused.composite.data.size(), r.composite.data.size());
+}
+
+TEST(ParallelPctTest, ParallelMergeMatchesSequentialFoldStatistics) {
+  // The pairwise tree visits members in a different order than the left
+  // fold, so the unique set may differ slightly — but the fused statistics
+  // must stay close and the output valid.
+  const auto scene = test_scene(48, 20, 77);
+  ParallelPctConfig config;
+  config.threads = 4;
+  config.tiles = 8;
+  config.parallel_merge = false;
+  const PctResult fold = fuse_parallel(scene.cube, config);
+  config.parallel_merge = true;
+  const PctResult tree = fuse_parallel(scene.cube, config);
+  ASSERT_EQ(tree.eigenvalues.size(), fold.eigenvalues.size());
+  EXPECT_NEAR(tree.eigenvalues[0], fold.eigenvalues[0],
+              0.15 * fold.eigenvalues[0]);
+  EXPECT_EQ(tree.composite.data.size(), fold.composite.data.size());
+  // Tree-merge membership is a valid unique set of the same scene: sizes
+  // agree to within a few members.
+  EXPECT_NEAR(static_cast<double>(tree.unique_set_size),
+              static_cast<double>(fold.unique_set_size),
+              0.2 * static_cast<double>(fold.unique_set_size) + 3.0);
+}
+
 class ParallelTileSweep : public ::testing::TestWithParam<int> {};
 
 TEST_P(ParallelTileSweep, AllGranularitiesProduceValidOutput) {
@@ -136,6 +248,106 @@ TEST_P(ParallelTileSweep, AllGranularitiesProduceValidOutput) {
 
 INSTANTIATE_TEST_SUITE_P(Tiles, ParallelTileSweep,
                          ::testing::Values(1, 2, 3, 5, 8, 16, 40));
+
+// --- fuse_parallel_fused ------------------------------------------------------
+
+TEST(FusedPctTest, SingleTileMatchesSequentialWithinTolerance) {
+  // One tile: identical unique set and screening order, so the only
+  // difference from fuse() is rounding in the moment correction. Composite
+  // bytes may shift by at most one quantisation level.
+  const auto scene = test_scene();
+  const PctResult seq = fuse(scene.cube);
+  ParallelPctConfig config;
+  config.threads = 4;
+  config.tiles = 1;
+  const PctResult fused = fuse_parallel_fused(scene.cube, config);
+  EXPECT_EQ(fused.unique_set_size, seq.unique_set_size);
+  ASSERT_EQ(fused.eigenvalues.size(), seq.eigenvalues.size());
+  for (std::size_t i = 0; i < seq.eigenvalues.size(); ++i) {
+    EXPECT_NEAR(fused.eigenvalues[i], seq.eigenvalues[i],
+                1e-9 * std::max(1.0, std::abs(seq.eigenvalues[i])));
+  }
+  ASSERT_EQ(fused.composite.data.size(), seq.composite.data.size());
+  for (std::size_t i = 0; i < seq.composite.data.size(); ++i) {
+    ASSERT_LE(std::abs(int(fused.composite.data[i]) -
+                       int(seq.composite.data[i])),
+              1)
+        << "pixel byte " << i;
+  }
+}
+
+TEST(FusedPctTest, MatchesTwoPassEngineTileForTile) {
+  // Same tile count => same screening order and same merged unique set as
+  // the two-pass engine; statistics agree to rounding.
+  const auto scene = test_scene(64, 24, 33);
+  for (const int tiles : {3, 8}) {
+    ParallelPctConfig config;
+    config.threads = 4;
+    config.tiles = tiles;
+    const PctResult two_pass = fuse_parallel(scene.cube, config);
+    const PctResult fused = fuse_parallel_fused(scene.cube, config);
+    EXPECT_EQ(fused.unique_set_size, two_pass.unique_set_size) << tiles;
+    EXPECT_GT(two_pass.merge_comparisons, 0u);
+    EXPECT_GT(fused.merge_comparisons, 0u);
+    ASSERT_EQ(fused.composite.data.size(), two_pass.composite.data.size());
+    for (std::size_t i = 0; i < two_pass.composite.data.size(); ++i) {
+      ASSERT_LE(std::abs(int(fused.composite.data[i]) -
+                         int(two_pass.composite.data[i])),
+                1)
+          << "tiles=" << tiles << " byte " << i;
+    }
+  }
+}
+
+TEST(FusedPctTest, ThreadCountDoesNotChangeResult) {
+  const auto scene = test_scene();
+  ParallelPctConfig config;
+  config.tiles = 6;
+  config.threads = 1;
+  const PctResult one = fuse_parallel_fused(scene.cube, config);
+  config.threads = 8;
+  const PctResult eight = fuse_parallel_fused(scene.cube, config);
+  EXPECT_EQ(one.composite.data, eight.composite.data);
+  EXPECT_EQ(one.eigenvalues, eight.eigenvalues);
+  EXPECT_EQ(one.unique_set_size, eight.unique_set_size);
+}
+
+TEST(FusedPctTest, ParallelMergeFlagIsMootForFusedEngine) {
+  // The blocked fold already parallelizes the merge while preserving the
+  // sequential fold's member order, so the tree-merge flag changes nothing.
+  const auto scene = test_scene(48, 20, 77);
+  ParallelPctConfig config;
+  config.threads = 4;
+  config.tiles = 8;
+  config.parallel_merge = false;
+  const PctResult off = fuse_parallel_fused(scene.cube, config);
+  config.parallel_merge = true;
+  const PctResult on = fuse_parallel_fused(scene.cube, config);
+  EXPECT_EQ(on.composite.data, off.composite.data);
+  EXPECT_EQ(on.unique_set_size, off.unique_set_size);
+  EXPECT_GE(off.unique_set_size, 3u);
+  // Eigenvalues of a covariance matrix are non-negative (to rounding).
+  for (const double ev : off.eigenvalues) EXPECT_GT(ev, -1e-9);
+}
+
+TEST(FusedPctTest, SharedPoolNestedJobsProduceIdenticalResults) {
+  // Two fused jobs running CONCURRENTLY as tasks of the same pool they fuse
+  // on — the FusionService execution pattern. Requires the deadlock-free
+  // help-while-waiting pool.
+  const auto scene = test_scene(32);
+  ParallelPctConfig config;
+  config.tiles = 4;
+  const PctResult reference = fuse_parallel_fused(scene.cube, config);
+  ThreadPool pool(2);
+  std::vector<PctResult> results(2);
+  pool.parallel_tasks(2, [&](int i) {
+    results[i] = fuse_parallel_fused(scene.cube, pool, config);
+  });
+  for (const auto& r : results) {
+    EXPECT_EQ(r.composite.data, reference.composite.data);
+    EXPECT_EQ(r.unique_set_size, reference.unique_set_size);
+  }
+}
 
 }  // namespace
 }  // namespace rif::core

@@ -5,6 +5,8 @@
 #include <tuple>
 
 #include "core/distributed/fusion_job.h"
+#include "core/parallel/parallel_pct.h"
+#include "hsi/scene.h"
 #include "service/service.h"
 
 namespace rif::service {
@@ -282,6 +284,107 @@ TEST(ServiceTest, SmallestFirstPacksSmallJobsBeforeBigOnes) {
   EXPECT_LT(sf_s1, sf_big);
   EXPECT_LT(sf_s2, sf_big);
   EXPECT_EQ(sf_s1, sf_s2);  // they run side by side
+}
+
+TEST(ServiceTest, SmallestFirstBreaksDemandTiesFifo) {
+  // Documented behaviour pinned: among EQUAL worker demands, kSmallestFirst
+  // admits the earliest-queued job (priority-then-FIFO tie-break), not an
+  // arbitrary one.
+  ServiceConfig cfg;
+  cfg.worker_nodes = 2;
+  cfg.admission = AdmissionPolicy::kSmallestFirst;
+  FusionService service(cfg);
+  // A blocker owns the whole cluster so the three equal-demand jobs queue
+  // up behind it in arrival order; only one can run at a time afterwards.
+  (void)service.submit(request("t", 2, Priority::kNormal, 0));
+  const JobId first =
+      service.submit(request("t", 2, Priority::kNormal, from_millis(1))).id;
+  const JobId second =
+      service.submit(request("t", 2, Priority::kNormal, from_millis(2))).id;
+  const JobId third =
+      service.submit(request("t", 2, Priority::kNormal, from_millis(3))).id;
+  const ServiceReport report = service.run();
+  ASSERT_TRUE(report.all_completed);
+  EXPECT_LT(record_of(report, first).start_time,
+            record_of(report, second).start_time);
+  EXPECT_LT(record_of(report, second).start_time,
+            record_of(report, third).start_time);
+}
+
+// --- Host execution pool -----------------------------------------------------
+
+TEST(ServiceTest, FullModeJobsExecuteOnSharedHostPool) {
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = 32;
+  scene_cfg.height = 32;
+  scene_cfg.bands = 12;
+  scene_cfg.seed = 21;
+  const hsi::Scene scene = hsi::generate_scene(scene_cfg);
+
+  ServiceConfig cfg;
+  cfg.worker_nodes = 8;
+  cfg.execution_threads = 4;
+  FusionService service(cfg);
+
+  // Three Full-mode jobs from two tenants over the same cube; they fuse
+  // concurrently on the one shared 4-thread pool, each within its admitted
+  // worker budget.
+  const auto full_request = [&](const std::string& tenant, int workers,
+                                SimTime arrival) {
+    JobRequest r;
+    r.tenant = tenant;
+    r.config = cost_only_job(workers);
+    r.config.mode = core::ExecutionMode::kFull;
+    r.config.shape = {scene_cfg.width, scene_cfg.height, scene_cfg.bands};
+    r.config.cube = &scene.cube;
+    r.arrival = arrival;
+    return r;
+  };
+  const JobId a = service.submit(full_request("alice", 4, 0)).id;
+  const JobId b = service.submit(full_request("bob", 2, 0)).id;
+  const JobId c = service.submit(full_request("alice", 2, from_millis(5))).id;
+  const ServiceReport report = service.run();
+  ASSERT_TRUE(report.all_completed);
+
+  // Every job's composite matches the fused shared-memory engine run with
+  // the same per-job tiling budget (workers * tiles_per_worker).
+  for (const JobId id : {a, b, c}) {
+    const JobRecord& rec = record_of(report, id);
+    ASSERT_TRUE(rec.completed);
+    core::ParallelPctConfig expect_cfg;
+    expect_cfg.threads = 2;
+    expect_cfg.tiles = rec.workers * 2;  // tiles_per_worker = 2
+    const core::PctResult expected =
+        core::fuse_parallel_fused(scene.cube, expect_cfg);
+    EXPECT_EQ(rec.outcome.composite.data, expected.composite.data)
+        << "job " << id;
+    EXPECT_EQ(rec.outcome.unique_set_size, expected.unique_set_size);
+    EXPECT_EQ(rec.outcome.eigenvalues, expected.eigenvalues);
+  }
+}
+
+TEST(ServiceTest, HostPoolOffKeepsActorExecution) {
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = 16;
+  scene_cfg.height = 16;
+  scene_cfg.bands = 8;
+  const hsi::Scene scene = hsi::generate_scene(scene_cfg);
+
+  ServiceConfig cfg;
+  cfg.worker_nodes = 4;  // execution_threads stays 0
+  FusionService service(cfg);
+  JobRequest r;
+  r.tenant = "t";
+  r.config = cost_only_job(2);
+  r.config.mode = core::ExecutionMode::kFull;
+  r.config.shape = {scene_cfg.width, scene_cfg.height, scene_cfg.bands};
+  r.config.cube = &scene.cube;
+  const JobId id = service.submit(r).id;
+  const ServiceReport report = service.run();
+  ASSERT_TRUE(report.all_completed);
+  // The simulated actors computed the composite, exactly as before.
+  EXPECT_EQ(record_of(report, id).outcome.composite.data.size(),
+            static_cast<std::size_t>(scene.cube.pixel_count()) * 3);
 }
 
 // --- Resiliency on the shared cluster ---------------------------------------
