@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/attack_scenario.dir/examples/attack_scenario.cpp.o"
+  "CMakeFiles/attack_scenario.dir/examples/attack_scenario.cpp.o.d"
+  "attack_scenario"
+  "attack_scenario.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/attack_scenario.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

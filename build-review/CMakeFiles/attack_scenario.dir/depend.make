@@ -1,0 +1,2 @@
+# Empty dependencies file for attack_scenario.
+# This may be replaced when dependencies are built.

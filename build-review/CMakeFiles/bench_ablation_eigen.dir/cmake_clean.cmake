@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_eigen.dir/bench/bench_ablation_eigen.cc.o"
+  "CMakeFiles/bench_ablation_eigen.dir/bench/bench_ablation_eigen.cc.o.d"
+  "bench_ablation_eigen"
+  "bench_ablation_eigen.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_eigen.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

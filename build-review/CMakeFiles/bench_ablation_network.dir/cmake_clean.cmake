@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_network.dir/bench/bench_ablation_network.cc.o"
+  "CMakeFiles/bench_ablation_network.dir/bench/bench_ablation_network.cc.o.d"
+  "bench_ablation_network"
+  "bench_ablation_network.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_network.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_protocol.dir/bench/bench_ablation_protocol.cc.o"
+  "CMakeFiles/bench_ablation_protocol.dir/bench/bench_ablation_protocol.cc.o.d"
+  "bench_ablation_protocol"
+  "bench_ablation_protocol.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_protocol.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

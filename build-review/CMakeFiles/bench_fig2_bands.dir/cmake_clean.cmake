@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig2_bands.dir/bench/bench_fig2_bands.cc.o"
+  "CMakeFiles/bench_fig2_bands.dir/bench/bench_fig2_bands.cc.o.d"
+  "bench_fig2_bands"
+  "bench_fig2_bands.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig2_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig3_composite.dir/bench/bench_fig3_composite.cc.o"
+  "CMakeFiles/bench_fig3_composite.dir/bench/bench_fig3_composite.cc.o.d"
+  "bench_fig3_composite"
+  "bench_fig3_composite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig3_composite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

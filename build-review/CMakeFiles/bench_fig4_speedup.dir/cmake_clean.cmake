@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_speedup.dir/bench/bench_fig4_speedup.cc.o"
+  "CMakeFiles/bench_fig4_speedup.dir/bench/bench_fig4_speedup.cc.o.d"
+  "bench_fig4_speedup"
+  "bench_fig4_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

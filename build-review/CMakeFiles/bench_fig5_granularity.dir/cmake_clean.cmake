@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_granularity.dir/bench/bench_fig5_granularity.cc.o"
+  "CMakeFiles/bench_fig5_granularity.dir/bench/bench_fig5_granularity.cc.o.d"
+  "bench_fig5_granularity"
+  "bench_fig5_granularity.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_granularity.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_recovery.dir/bench/bench_recovery.cc.o"
+  "CMakeFiles/bench_recovery.dir/bench/bench_recovery.cc.o.d"
+  "bench_recovery"
+  "bench_recovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_recovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

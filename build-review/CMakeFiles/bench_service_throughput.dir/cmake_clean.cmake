@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_service_throughput.dir/bench/bench_service_throughput.cc.o"
+  "CMakeFiles/bench_service_throughput.dir/bench/bench_service_throughput.cc.o.d"
+  "bench_service_throughput"
+  "bench_service_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_service_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_smp_speedup.dir/bench/bench_smp_speedup.cc.o"
+  "CMakeFiles/bench_smp_speedup.dir/bench/bench_smp_speedup.cc.o.d"
+  "bench_smp_speedup"
+  "bench_smp_speedup.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_smp_speedup.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

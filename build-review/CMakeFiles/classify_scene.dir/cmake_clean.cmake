@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/classify_scene.dir/examples/classify_scene.cpp.o"
+  "CMakeFiles/classify_scene.dir/examples/classify_scene.cpp.o.d"
+  "classify_scene"
+  "classify_scene.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/classify_scene.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for classify_scene.
+# This may be replaced when dependencies are built.

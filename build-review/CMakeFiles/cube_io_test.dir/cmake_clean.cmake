@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cube_io_test.dir/tests/cube_io_test.cc.o"
+  "CMakeFiles/cube_io_test.dir/tests/cube_io_test.cc.o.d"
+  "cube_io_test"
+  "cube_io_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cube_io_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_fusion.dir/examples/distributed_fusion.cpp.o"
+  "CMakeFiles/distributed_fusion.dir/examples/distributed_fusion.cpp.o.d"
+  "distributed_fusion"
+  "distributed_fusion.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_fusion.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

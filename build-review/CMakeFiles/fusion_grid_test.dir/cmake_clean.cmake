@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_grid_test.dir/tests/fusion_grid_test.cc.o"
+  "CMakeFiles/fusion_grid_test.dir/tests/fusion_grid_test.cc.o.d"
+  "fusion_grid_test"
+  "fusion_grid_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_grid_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

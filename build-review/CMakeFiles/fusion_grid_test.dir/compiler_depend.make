@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for fusion_grid_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fusion_service.dir/examples/fusion_service.cpp.o"
+  "CMakeFiles/fusion_service.dir/examples/fusion_service.cpp.o.d"
+  "fusion_service"
+  "fusion_service.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fusion_service.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/granularity_explorer.dir/examples/granularity_explorer.cpp.o"
+  "CMakeFiles/granularity_explorer.dir/examples/granularity_explorer.cpp.o.d"
+  "granularity_explorer"
+  "granularity_explorer.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/granularity_explorer.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hsi_test.dir/tests/hsi_test.cc.o"
+  "CMakeFiles/hsi_test.dir/tests/hsi_test.cc.o.d"
+  "hsi_test"
+  "hsi_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hsi_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

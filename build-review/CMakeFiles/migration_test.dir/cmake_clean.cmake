@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/migration_test.dir/tests/migration_test.cc.o"
+  "CMakeFiles/migration_test.dir/tests/migration_test.cc.o.d"
+  "migration_test"
+  "migration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/migration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

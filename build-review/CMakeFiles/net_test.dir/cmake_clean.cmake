@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/net_test.dir/tests/net_test.cc.o"
+  "CMakeFiles/net_test.dir/tests/net_test.cc.o.d"
+  "net_test"
+  "net_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/net_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_pct_test.dir/tests/parallel_pct_test.cc.o"
+  "CMakeFiles/parallel_pct_test.dir/tests/parallel_pct_test.cc.o.d"
+  "parallel_pct_test"
+  "parallel_pct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_pct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

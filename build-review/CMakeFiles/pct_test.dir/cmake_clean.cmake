@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pct_test.dir/tests/pct_test.cc.o"
+  "CMakeFiles/pct_test.dir/tests/pct_test.cc.o.d"
+  "pct_test"
+  "pct_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pct_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

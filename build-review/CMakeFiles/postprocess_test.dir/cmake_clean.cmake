@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/postprocess_test.dir/tests/postprocess_test.cc.o"
+  "CMakeFiles/postprocess_test.dir/tests/postprocess_test.cc.o.d"
+  "postprocess_test"
+  "postprocess_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/postprocess_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

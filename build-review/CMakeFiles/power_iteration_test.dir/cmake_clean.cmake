@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/power_iteration_test.dir/tests/power_iteration_test.cc.o"
+  "CMakeFiles/power_iteration_test.dir/tests/power_iteration_test.cc.o.d"
+  "power_iteration_test"
+  "power_iteration_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/power_iteration_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for power_iteration_test.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,53 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/cluster.cc" "CMakeFiles/rif.dir/src/cluster/cluster.cc.o" "gcc" "CMakeFiles/rif.dir/src/cluster/cluster.cc.o.d"
+  "/root/repo/src/cluster/failure_injector.cc" "CMakeFiles/rif.dir/src/cluster/failure_injector.cc.o" "gcc" "CMakeFiles/rif.dir/src/cluster/failure_injector.cc.o.d"
+  "/root/repo/src/cluster/lease.cc" "CMakeFiles/rif.dir/src/cluster/lease.cc.o" "gcc" "CMakeFiles/rif.dir/src/cluster/lease.cc.o.d"
+  "/root/repo/src/cluster/node.cc" "CMakeFiles/rif.dir/src/cluster/node.cc.o" "gcc" "CMakeFiles/rif.dir/src/cluster/node.cc.o.d"
+  "/root/repo/src/cluster/placement.cc" "CMakeFiles/rif.dir/src/cluster/placement.cc.o" "gcc" "CMakeFiles/rif.dir/src/cluster/placement.cc.o.d"
+  "/root/repo/src/core/color_map.cc" "CMakeFiles/rif.dir/src/core/color_map.cc.o" "gcc" "CMakeFiles/rif.dir/src/core/color_map.cc.o.d"
+  "/root/repo/src/core/distributed/fusion_actors.cc" "CMakeFiles/rif.dir/src/core/distributed/fusion_actors.cc.o" "gcc" "CMakeFiles/rif.dir/src/core/distributed/fusion_actors.cc.o.d"
+  "/root/repo/src/core/distributed/fusion_job.cc" "CMakeFiles/rif.dir/src/core/distributed/fusion_job.cc.o" "gcc" "CMakeFiles/rif.dir/src/core/distributed/fusion_job.cc.o.d"
+  "/root/repo/src/core/parallel/parallel_pct.cc" "CMakeFiles/rif.dir/src/core/parallel/parallel_pct.cc.o" "gcc" "CMakeFiles/rif.dir/src/core/parallel/parallel_pct.cc.o.d"
+  "/root/repo/src/core/parallel/thread_pool.cc" "CMakeFiles/rif.dir/src/core/parallel/thread_pool.cc.o" "gcc" "CMakeFiles/rif.dir/src/core/parallel/thread_pool.cc.o.d"
+  "/root/repo/src/core/pct.cc" "CMakeFiles/rif.dir/src/core/pct.cc.o" "gcc" "CMakeFiles/rif.dir/src/core/pct.cc.o.d"
+  "/root/repo/src/core/postprocess.cc" "CMakeFiles/rif.dir/src/core/postprocess.cc.o" "gcc" "CMakeFiles/rif.dir/src/core/postprocess.cc.o.d"
+  "/root/repo/src/core/sam_classifier.cc" "CMakeFiles/rif.dir/src/core/sam_classifier.cc.o" "gcc" "CMakeFiles/rif.dir/src/core/sam_classifier.cc.o.d"
+  "/root/repo/src/core/spectral_angle.cc" "CMakeFiles/rif.dir/src/core/spectral_angle.cc.o" "gcc" "CMakeFiles/rif.dir/src/core/spectral_angle.cc.o.d"
+  "/root/repo/src/hsi/cube_io.cc" "CMakeFiles/rif.dir/src/hsi/cube_io.cc.o" "gcc" "CMakeFiles/rif.dir/src/hsi/cube_io.cc.o.d"
+  "/root/repo/src/hsi/image_io.cc" "CMakeFiles/rif.dir/src/hsi/image_io.cc.o" "gcc" "CMakeFiles/rif.dir/src/hsi/image_io.cc.o.d"
+  "/root/repo/src/hsi/metrics.cc" "CMakeFiles/rif.dir/src/hsi/metrics.cc.o" "gcc" "CMakeFiles/rif.dir/src/hsi/metrics.cc.o.d"
+  "/root/repo/src/hsi/partition.cc" "CMakeFiles/rif.dir/src/hsi/partition.cc.o" "gcc" "CMakeFiles/rif.dir/src/hsi/partition.cc.o.d"
+  "/root/repo/src/hsi/scene.cc" "CMakeFiles/rif.dir/src/hsi/scene.cc.o" "gcc" "CMakeFiles/rif.dir/src/hsi/scene.cc.o.d"
+  "/root/repo/src/hsi/spectra.cc" "CMakeFiles/rif.dir/src/hsi/spectra.cc.o" "gcc" "CMakeFiles/rif.dir/src/hsi/spectra.cc.o.d"
+  "/root/repo/src/linalg/jacobi_eig.cc" "CMakeFiles/rif.dir/src/linalg/jacobi_eig.cc.o" "gcc" "CMakeFiles/rif.dir/src/linalg/jacobi_eig.cc.o.d"
+  "/root/repo/src/linalg/matrix.cc" "CMakeFiles/rif.dir/src/linalg/matrix.cc.o" "gcc" "CMakeFiles/rif.dir/src/linalg/matrix.cc.o.d"
+  "/root/repo/src/linalg/power_iteration.cc" "CMakeFiles/rif.dir/src/linalg/power_iteration.cc.o" "gcc" "CMakeFiles/rif.dir/src/linalg/power_iteration.cc.o.d"
+  "/root/repo/src/linalg/stats.cc" "CMakeFiles/rif.dir/src/linalg/stats.cc.o" "gcc" "CMakeFiles/rif.dir/src/linalg/stats.cc.o.d"
+  "/root/repo/src/net/network.cc" "CMakeFiles/rif.dir/src/net/network.cc.o" "gcc" "CMakeFiles/rif.dir/src/net/network.cc.o.d"
+  "/root/repo/src/scp/runtime.cc" "CMakeFiles/rif.dir/src/scp/runtime.cc.o" "gcc" "CMakeFiles/rif.dir/src/scp/runtime.cc.o.d"
+  "/root/repo/src/service/accounting.cc" "CMakeFiles/rif.dir/src/service/accounting.cc.o" "gcc" "CMakeFiles/rif.dir/src/service/accounting.cc.o.d"
+  "/root/repo/src/service/job_queue.cc" "CMakeFiles/rif.dir/src/service/job_queue.cc.o" "gcc" "CMakeFiles/rif.dir/src/service/job_queue.cc.o.d"
+  "/root/repo/src/service/scheduler.cc" "CMakeFiles/rif.dir/src/service/scheduler.cc.o" "gcc" "CMakeFiles/rif.dir/src/service/scheduler.cc.o.d"
+  "/root/repo/src/service/service.cc" "CMakeFiles/rif.dir/src/service/service.cc.o" "gcc" "CMakeFiles/rif.dir/src/service/service.cc.o.d"
+  "/root/repo/src/sim/simulation.cc" "CMakeFiles/rif.dir/src/sim/simulation.cc.o" "gcc" "CMakeFiles/rif.dir/src/sim/simulation.cc.o.d"
+  "/root/repo/src/sim/trace.cc" "CMakeFiles/rif.dir/src/sim/trace.cc.o" "gcc" "CMakeFiles/rif.dir/src/sim/trace.cc.o.d"
+  "/root/repo/src/sim/trace_export.cc" "CMakeFiles/rif.dir/src/sim/trace_export.cc.o" "gcc" "CMakeFiles/rif.dir/src/sim/trace_export.cc.o.d"
+  "/root/repo/src/support/log.cc" "CMakeFiles/rif.dir/src/support/log.cc.o" "gcc" "CMakeFiles/rif.dir/src/support/log.cc.o.d"
+  "/root/repo/src/support/rng.cc" "CMakeFiles/rif.dir/src/support/rng.cc.o" "gcc" "CMakeFiles/rif.dir/src/support/rng.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

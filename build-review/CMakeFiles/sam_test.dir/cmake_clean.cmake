@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sam_test.dir/tests/sam_test.cc.o"
+  "CMakeFiles/sam_test.dir/tests/sam_test.cc.o.d"
+  "sam_test"
+  "sam_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sam_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

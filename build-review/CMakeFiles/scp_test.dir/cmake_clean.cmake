@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scp_test.dir/tests/scp_test.cc.o"
+  "CMakeFiles/scp_test.dir/tests/scp_test.cc.o.d"
+  "scp_test"
+  "scp_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scp_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

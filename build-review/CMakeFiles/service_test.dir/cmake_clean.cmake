@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/service_test.dir/tests/service_test.cc.o"
+  "CMakeFiles/service_test.dir/tests/service_test.cc.o.d"
+  "service_test"
+  "service_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/service_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
