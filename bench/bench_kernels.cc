@@ -1,222 +1,334 @@
-// Kernel microbenchmarks (google-benchmark).
+// Kernel microbenchmarks: scalar reference vs dispatched SIMD.
 //
-// Real wall-clock scaling of the arithmetic kernels behind the pipeline.
-// These justify the flop formulas in core/cost_model.h: each kernel's
-// measured time should scale with the model's operation count.
-#include <benchmark/benchmark.h>
+// Times the fusion hot-path kernels (screening dots, packed-triangle
+// moment updates, spectral-angle dot+norms, truncated projection) in both
+// forms the kernel layer ships — `kernels::scalar::*` (the seed's scalar
+// arithmetic) and the dispatched `kernels::*` (AVX2/SSE2/NEON when the
+// build targets them) — plus end-to-end wall time of the two shared-memory
+// engines. The acceptance bar for the SIMD layer is >=2x single-thread on
+// the screening and moment kernels at >=32 bands.
+//
+// Machine-readable results go to BENCH_kernels.json so later PRs can track
+// the perf trajectory. `--smoke` shrinks the timing budget for CI.
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <functional>
+#include <string>
+#include <vector>
 
-#include "core/color_map.h"
 #include "core/parallel/parallel_pct.h"
 #include "core/pct.h"
-#include "core/spectral_angle.h"
 #include "hsi/scene.h"
-#include "linalg/jacobi_eig.h"
-#include "linalg/stats.h"
+#include "linalg/kernels.h"
+#include "linalg/matrix.h"
 #include "support/rng.h"
+#include "support/table.h"
+
+using namespace rif;
+namespace kernels = linalg::kernels;
 
 namespace {
 
-using namespace rif;
+/// Consumed results land here so the optimizer cannot delete a timed loop.
+volatile double g_sink = 0.0;
 
-std::vector<float> random_pixel(int bands, std::uint64_t seed) {
+double seconds_since(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+/// Nanoseconds per call: repeat `fn` until `budget_s` of wall time.
+double time_ns(double budget_s, const std::function<void()>& fn) {
+  fn();  // warm up (first-touch, caches)
+  std::uint64_t iters = 0;
+  const auto t0 = std::chrono::steady_clock::now();
+  double elapsed = 0.0;
+  do {
+    for (int k = 0; k < 32; ++k) fn();
+    iters += 32;
+    elapsed = seconds_since(t0);
+  } while (elapsed < budget_s);
+  return elapsed * 1e9 / static_cast<double>(iters);
+}
+
+std::vector<float> random_floats(std::size_t n, std::uint64_t seed) {
   Rng rng(seed);
-  std::vector<float> px(bands);
-  for (auto& v : px) v = static_cast<float>(rng.uniform(0.05, 0.9));
-  return px;
+  std::vector<float> v(n);
+  for (auto& x : v) x = static_cast<float>(rng.uniform(0.05, 0.9));
+  return v;
 }
 
-void BM_SpectralAngle(benchmark::State& state) {
-  const int bands = static_cast<int>(state.range(0));
-  const auto x = random_pixel(bands, 1);
-  const auto y = random_pixel(bands, 2);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::spectral_angle(x, y));
+struct KernelRow {
+  std::string name;
+  int bands = 0;
+  double scalar_ns = 0.0;
+  double simd_ns = 0.0;
+  [[nodiscard]] double speedup() const {
+    return simd_ns > 0.0 ? scalar_ns / simd_ns : 0.0;
   }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SpectralAngle)->Arg(32)->Arg(105)->Arg(210);
+};
 
-void BM_UniqueSetScreen(benchmark::State& state) {
-  const int bands = 105;
-  const int set_size = static_cast<int>(state.range(0));
-  core::UniqueSet set(bands, 1e-6);  // tiny threshold: everything joins
-  Rng rng(3);
-  for (int i = 0; i < set_size; ++i) {
-    std::vector<float> px(bands);
-    for (auto& v : px) v = static_cast<float>(rng.uniform(0.05, 0.9));
-    set.screen(px);
+/// One candidate against kMembers set members: the any_within scan. The
+/// scalar form is the seed's member-at-a-time AoS dot; the SIMD form is
+/// the 8-member band-major pack kernel.
+KernelRow bench_screen(int bands, double budget_s) {
+  constexpr int kMembers = 512;
+  const auto members =
+      random_floats(static_cast<std::size_t>(kMembers) * bands, 11);
+  const auto pixel = random_floats(static_cast<std::size_t>(bands), 12);
+  std::vector<double> inv_norms(kMembers);
+  for (int m = 0; m < kMembers; ++m) {
+    const float* mem = members.data() + static_cast<std::size_t>(m) * bands;
+    inv_norms[m] = 1.0 / std::sqrt(kernels::scalar::dot(mem, mem, bands));
   }
-  const auto probe = random_pixel(bands, 99);
-  for (auto _ : state) {
-    // Probe never joins (screen against a full set): measures the scan.
-    core::UniqueSet copy = set;
-    benchmark::DoNotOptimize(copy.screen(probe));
-    state.PauseTiming();
-    state.ResumeTiming();
-  }
-}
-BENCHMARK(BM_UniqueSetScreen)->Arg(100)->Arg(500)->Arg(2000);
-
-void BM_CovarianceAdd(benchmark::State& state) {
-  const int bands = static_cast<int>(state.range(0));
-  std::vector<double> mean(bands, 0.4);
-  linalg::CovarianceAccumulator acc(bands, mean);
-  const auto px = random_pixel(bands, 5);
-  for (auto _ : state) {
-    acc.add(px);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_CovarianceAdd)->Arg(32)->Arg(105)->Arg(210);
-
-void BM_JacobiEigen(benchmark::State& state) {
-  const int n = static_cast<int>(state.range(0));
-  Rng rng(7);
-  linalg::Matrix a(n, n);
-  for (int i = 0; i < n; ++i) {
-    for (int j = 0; j <= i; ++j) {
-      const double v = rng.uniform(-1.0, 1.0);
-      a(i, j) = v;
-      a(j, i) = v;
+  // Band-major 8-member blocks (the UniqueSet pack layout).
+  constexpr int kLanes = kernels::kScreenLanes;
+  std::vector<float> pack(members.size());
+  for (int m = 0; m < kMembers; ++m) {
+    for (int b = 0; b < bands; ++b) {
+      pack[(static_cast<std::size_t>(m / kLanes) * bands + b) * kLanes +
+           m % kLanes] = members[static_cast<std::size_t>(m) * bands + b];
     }
-    a(i, i) += n;
   }
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(linalg::jacobi_eigen(a));
-  }
-}
-BENCHMARK(BM_JacobiEigen)->Arg(32)->Arg(64)->Arg(105)->Unit(benchmark::kMillisecond);
+  const double pixel_inv =
+      1.0 / std::sqrt(kernels::scalar::dot(pixel.data(), pixel.data(), bands));
+  const double threshold = 2.0;  // cosines are <= 1: scans the whole set
 
-void BM_TransformPixel(benchmark::State& state) {
-  const int bands = static_cast<int>(state.range(0));
-  const int comps = 3;
-  linalg::Matrix t(comps, bands);
-  Rng rng(11);
-  for (int c = 0; c < comps; ++c) {
+  KernelRow row{"screen", bands, 0.0, 0.0};
+  row.scalar_ns = time_ns(budget_s, [&] {
+    double sum = 0.0;
+    for (int m = 0; m < kMembers; ++m) {
+      const double dot = kernels::scalar::dot(
+          members.data() + static_cast<std::size_t>(m) * bands,
+          pixel.data(), bands);
+      const double cosine = dot * inv_norms[m] * pixel_inv;
+      if (cosine >= threshold) break;
+      sum += cosine;
+    }
+    g_sink = g_sink + sum;
+  });
+  row.simd_ns = time_ns(budget_s, [&] {
+    double sum = 0.0;
+    double dots[kLanes];
+    for (int m = 0; m < kMembers; m += kLanes) {
+      kernels::dot8(pack.data() +
+                        static_cast<std::size_t>(m / kLanes) * bands * kLanes,
+                    pixel.data(), bands, dots);
+      bool hit = false;
+      for (int k = 0; k < kLanes; ++k) {
+        const double cosine = dots[k] * inv_norms[m + k] * pixel_inv;
+        if (cosine >= threshold) {
+          hit = true;
+          break;
+        }
+        sum += cosine;
+      }
+      if (hit) break;
+    }
+    g_sink = g_sink + sum;
+  });
+  return row;
+}
+
+/// One packed-triangle moment sweep over a centered 32-pixel block (the
+/// MomentAccumulator::add_block / CovarianceAccumulator::add_block core).
+KernelRow bench_moment(int bands, double budget_s) {
+  constexpr int kRows = 32;
+  Rng rng(21);
+  std::vector<double> cols(static_cast<std::size_t>(bands) * kRows);
+  for (auto& v : cols) v = rng.uniform(-0.5, 0.5);
+  std::vector<double> upper(
+      static_cast<std::size_t>(bands) * (bands + 1) / 2, 0.0);
+
+  KernelRow row{"moment", bands, 0.0, 0.0};
+  row.scalar_ns = time_ns(budget_s, [&] {
+    kernels::scalar::rank_k_update(upper.data(), cols.data(), bands, kRows);
+    g_sink = g_sink + upper[0];
+  });
+  std::fill(upper.begin(), upper.end(), 0.0);
+  row.simd_ns = time_ns(budget_s, [&] {
+    kernels::rank_k_update(upper.data(), cols.data(), bands, kRows);
+    g_sink = g_sink + upper[0];
+  });
+  return row;
+}
+
+/// Spectral-angle dot + squared norms (the screening norm pass).
+KernelRow bench_dot_norm(int bands, double budget_s) {
+  const auto x = random_floats(static_cast<std::size_t>(bands), 31);
+  const auto y = random_floats(static_cast<std::size_t>(bands), 32);
+  KernelRow row{"dot_norm", bands, 0.0, 0.0};
+  row.scalar_ns = time_ns(budget_s, [&] {
+    double d, nx, ny;
+    kernels::scalar::dot_norm(x.data(), y.data(), bands, &d, &nx, &ny);
+    g_sink = g_sink + d + nx + ny;
+  });
+  row.simd_ns = time_ns(budget_s, [&] {
+    double d, nx, ny;
+    kernels::dot_norm(x.data(), y.data(), bands, &d, &nx, &ny);
+    g_sink = g_sink + d + nx + ny;
+  });
+  return row;
+}
+
+/// Truncated PCT projection of a 64-pixel block into 3 components.
+KernelRow bench_project(int bands, double budget_s) {
+  constexpr int kComps = 3;
+  constexpr int kPixels = 64;
+  Rng rng(41);
+  linalg::Matrix t(kComps, bands);
+  for (int c = 0; c < kComps; ++c) {
     for (int b = 0; b < bands; ++b) t(c, b) = rng.uniform(-1.0, 1.0);
   }
-  std::vector<double> mean(bands, 0.4);
-  const auto px = random_pixel(bands, 13);
-  std::vector<float> out(comps);
-  for (auto _ : state) {
-    core::transform_pixel(t, mean, px, out);
-    benchmark::DoNotOptimize(out.data());
-  }
-  state.SetItemsProcessed(state.iterations());
+  const std::vector<double> bias(kComps, 0.4);
+  const auto pixels =
+      random_floats(static_cast<std::size_t>(kPixels) * bands, 42);
+  std::vector<float> out(static_cast<std::size_t>(kPixels) * kComps);
+
+  KernelRow row{"project", bands, 0.0, 0.0};
+  row.scalar_ns = time_ns(budget_s, [&] {
+    for (int p = 0; p < kPixels; ++p) {
+      kernels::scalar::project(t.data(), kComps, bands, bias.data(),
+                               pixels.data() + static_cast<std::size_t>(p) *
+                                                   bands,
+                               out.data() + static_cast<std::size_t>(p) *
+                                                kComps);
+    }
+    g_sink = g_sink + out[0];
+  });
+  row.simd_ns = time_ns(budget_s, [&] {
+    for (int p = 0; p < kPixels; ++p) {
+      kernels::project(t.data(), kComps, bands, bias.data(),
+                       pixels.data() + static_cast<std::size_t>(p) * bands,
+                       out.data() + static_cast<std::size_t>(p) * kComps);
+    }
+    g_sink = g_sink + out[0];
+  });
+  return row;
 }
-BENCHMARK(BM_TransformPixel)->Arg(32)->Arg(105)->Arg(210);
 
-void BM_ColorMapPixel(benchmark::State& state) {
-  const std::array<core::ComponentScale, 3> scales{
-      core::ComponentScale{0.0, 10.0}, core::ComponentScale{0.0, 10.0},
-      core::ComponentScale{0.0, 10.0}};
-  double v = 0.0;
-  for (auto _ : state) {
-    v += 0.001;
-    benchmark::DoNotOptimize(core::map_pixel({v, -v, 2 * v}, scales));
-  }
-}
-BENCHMARK(BM_ColorMapPixel);
+/// End-to-end single-thread wall time of the two shared-memory engines on
+/// a spectrally rich scene — the carried-through effect of the kernels.
+struct EngineTimes {
+  int width = 0, height = 0, bands = 0, tiles = 0;
+  double two_pass_ms = 0.0;
+  double fused_ms = 0.0;
+};
 
-void BM_SceneGeneration(benchmark::State& state) {
-  hsi::SceneConfig config;
-  config.width = 64;
-  config.height = 64;
-  config.bands = static_cast<int>(state.range(0));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(hsi::generate_scene(config));
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_SceneGeneration)->Arg(16)->Arg(64)->Unit(benchmark::kMillisecond);
+EngineTimes bench_engines(bool smoke) {
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = smoke ? 32 : 48;
+  scene_cfg.height = smoke ? 32 : 48;
+  scene_cfg.bands = smoke ? 32 : 105;
+  scene_cfg.noise_sigma = 0.02;
+  const auto scene = hsi::generate_scene(scene_cfg);
 
-void BM_SequentialFuse(benchmark::State& state) {
-  hsi::SceneConfig config;
-  config.width = static_cast<int>(state.range(0));
-  config.height = static_cast<int>(state.range(0));
-  config.bands = 32;
-  const auto scene = hsi::generate_scene(config);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::fuse(scene.cube));
-  }
-}
-BENCHMARK(BM_SequentialFuse)->Arg(32)->Arg(64)->Unit(benchmark::kMillisecond);
-
-void BM_MomentAddScalar(benchmark::State& state) {
-  const int bands = static_cast<int>(state.range(0));
-  std::vector<double> origin(bands, 0.4);
-  linalg::MomentAccumulator acc(bands, origin);
-  const auto px = random_pixel(bands, 5);
-  for (auto _ : state) {
-    acc.add(px);
-  }
-  state.SetItemsProcessed(state.iterations());
-}
-BENCHMARK(BM_MomentAddScalar)->Arg(32)->Arg(105)->Arg(210);
-
-void BM_MomentAddBlocked(benchmark::State& state) {
-  // Same per-pixel work as BM_MomentAddScalar / BM_CovarianceAdd, but fed
-  // through the cache-blocked packed-triangle kernel 32 pixels at a time.
-  const int bands = static_cast<int>(state.range(0));
-  constexpr int kBlock = 32;
-  std::vector<double> origin(bands, 0.4);
-  linalg::MomentAccumulator acc(bands, origin);
-  Rng rng(5);
-  std::vector<float> block(static_cast<std::size_t>(kBlock) * bands);
-  for (auto& v : block) v = static_cast<float>(rng.uniform(0.05, 0.9));
-  for (auto _ : state) {
-    acc.add_block(block.data(), kBlock);
-  }
-  state.SetItemsProcessed(state.iterations() * kBlock);
-}
-BENCHMARK(BM_MomentAddBlocked)->Arg(32)->Arg(105)->Arg(210);
-
-// --- Shared-memory engine comparison: two-pass vs fused single-pass --------
-//
-// The acceptance scenario of the fused engine: a spectrally rich scene
-// (sizeable unique set, wide bands) at 4 threads. BM_FuseTwoPass walks the
-// cube, then the unique set twice more (mean, covariance);
-// BM_FuseSinglePassFused folds moment accumulation into the screening
-// sweep and corrects against the final mean.
-
-core::ParallelPctConfig engine_config() {
   core::ParallelPctConfig config;
-  config.threads = 4;
+  config.threads = 1;  // single-thread: isolates kernel speed
   config.tiles = 8;
-  config.pct.screening_threshold = 0.012;  // rich unique set
-  return config;
-}
+  config.pct.screening_threshold = 0.012;
 
-hsi::Scene engine_scene() {
-  hsi::SceneConfig config;
-  config.width = 48;
-  config.height = 48;
-  config.bands = 105;  // HYDICE-like band count
-  config.noise_sigma = 0.02;
-  return hsi::generate_scene(config);
-}
-
-void BM_FuseTwoPass(benchmark::State& state) {
-  const auto scene = engine_scene();
-  const auto config = engine_config();
+  EngineTimes times;
+  times.width = scene_cfg.width;
+  times.height = scene_cfg.height;
+  times.bands = scene_cfg.bands;
+  times.tiles = config.tiles;
   core::ThreadPool pool(config.threads);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(core::fuse_parallel(scene.cube, pool, config));
+  const int reps = smoke ? 1 : 3;
+  double best_two = 1e300, best_fused = 1e300;
+  for (int r = 0; r < reps; ++r) {
+    auto t0 = std::chrono::steady_clock::now();
+    const auto a = core::fuse_parallel(scene.cube, pool, config);
+    best_two = std::min(best_two, seconds_since(t0) * 1e3);
+    g_sink = g_sink + static_cast<double>(a.unique_set_size);
+    t0 = std::chrono::steady_clock::now();
+    const auto b = core::fuse_parallel_fused(scene.cube, pool, config);
+    best_fused = std::min(best_fused, seconds_since(t0) * 1e3);
+    g_sink = g_sink + static_cast<double>(b.unique_set_size);
   }
+  times.two_pass_ms = best_two;
+  times.fused_ms = best_fused;
+  return times;
 }
-BENCHMARK(BM_FuseTwoPass)->Unit(benchmark::kMillisecond)->UseRealTime();
-
-void BM_FuseSinglePassFused(benchmark::State& state) {
-  const auto scene = engine_scene();
-  const auto config = engine_config();
-  core::ThreadPool pool(config.threads);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        core::fuse_parallel_fused(scene.cube, pool, config));
-  }
-}
-BENCHMARK(BM_FuseSinglePassFused)->Unit(benchmark::kMillisecond)->UseRealTime();
 
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  const double budget_s = smoke ? 0.01 : 0.2;
+
+  std::printf("=== Fusion kernel microbenchmarks ===\n");
+  std::printf("backend: %s (dispatched) vs scalar reference%s\n\n",
+              kernels::backend(),
+              kernels::simd_enabled()
+                  ? ""
+                  : "  [RIF_DISABLE_SIMD or no vector ISA: expect ~1x]");
+
+  std::vector<KernelRow> rows;
+  for (const int bands : {32, 105, 210}) {
+    rows.push_back(bench_screen(bands, budget_s));
+    rows.push_back(bench_moment(bands, budget_s));
+    rows.push_back(bench_dot_norm(bands, budget_s));
+    rows.push_back(bench_project(bands, budget_s));
+  }
+
+  Table table({"kernel", "bands", "scalar(ns)", "simd(ns)", "speedup"});
+  for (const auto& r : rows) {
+    table.add_row({r.name, strf("%d", r.bands), strf("%.1f", r.scalar_ns),
+                   strf("%.1f", r.simd_ns), strf("%.2fx", r.speedup())});
+  }
+  table.print();
+
+  const EngineTimes engines = bench_engines(smoke);
+  std::printf("\nend-to-end (1 thread, %dx%dx%d, %d tiles): "
+              "two-pass %.1f ms, fused %.1f ms\n",
+              engines.width, engines.height, engines.bands, engines.tiles,
+              engines.two_pass_ms, engines.fused_ms);
+
+  // The acceptance bar: screening and moment kernels >=2x at >=32 bands.
+  if (kernels::simd_enabled() && !smoke) {
+    bool met = true;
+    for (const auto& r : rows) {
+      if ((r.name == "screen" || r.name == "moment") && r.speedup() < 2.0) {
+        std::printf("NOTE: %s @%d bands below 2x (%.2fx)\n", r.name.c_str(),
+                    r.bands, r.speedup());
+        met = false;
+      }
+    }
+    std::printf("acceptance (screen+moment >=2x): %s\n",
+                met ? "MET" : "NOT MET");
+  }
+
+  std::FILE* out = std::fopen("BENCH_kernels.json", "w");
+  if (out == nullptr) {
+    std::printf("cannot write BENCH_kernels.json\n");
+    return 1;
+  }
+  std::fprintf(out, "{\n  \"bench\": \"kernels\",\n");
+  std::fprintf(out, "  \"backend\": \"%s\",\n", kernels::backend());
+  std::fprintf(out, "  \"simd\": %s,\n",
+               kernels::simd_enabled() ? "true" : "false");
+  std::fprintf(out, "  \"smoke\": %s,\n", smoke ? "true" : "false");
+  std::fprintf(out, "  \"kernels\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& r = rows[i];
+    std::fprintf(out,
+                 "    {\"name\": \"%s\", \"bands\": %d, \"scalar_ns\": %.2f, "
+                 "\"simd_ns\": %.2f, \"speedup\": %.3f}%s\n",
+                 r.name.c_str(), r.bands, r.scalar_ns, r.simd_ns, r.speedup(),
+                 i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ],\n");
+  std::fprintf(out,
+               "  \"engines\": {\"scene\": \"%dx%dx%d\", \"threads\": 1, "
+               "\"tiles\": %d, \"two_pass_ms\": %.3f, \"fused_ms\": %.3f}\n",
+               engines.width, engines.height, engines.bands, engines.tiles,
+               engines.two_pass_ms, engines.fused_ms);
+  std::fprintf(out, "}\n");
+  std::fclose(out);
+  std::printf("wrote BENCH_kernels.json\n");
+  return 0;
+}

@@ -343,9 +343,10 @@ void WorkerActor::on_cov_shard(scp::ActorContext& ctx,
   if (params_.mode == ExecutionMode::kFull) {
     linalg::CovarianceAccumulator acc(params_.shape.bands, shard.mean);
     const int bands = params_.shape.bands;
-    for (std::uint64_t i = 0; i < shard.shard_count; ++i) {
-      acc.add({shard.vectors.data() + i * bands,
-               static_cast<std::size_t>(bands)});
+    constexpr std::uint64_t kRows = linalg::CovarianceAccumulator::kBlockRows;
+    for (std::uint64_t i = 0; i < shard.shard_count; i += kRows) {
+      acc.add_block(shard.vectors.data() + i * bands,
+                    static_cast<int>(std::min(kRows, shard.shard_count - i)));
     }
     sum.accumulator = acc.encode();
   }
@@ -385,13 +386,15 @@ void WorkerActor::transform_next_tile(scp::ActorContext& ctx,
         scales[c] = ComponentScale{tm->scale_mean[c], tm->scale_gain[c]};
       }
       color.rgb.resize(static_cast<std::size_t>(px_count) * 3);
-      std::vector<float> comp(comps);
+      // Same blocked SIMD projection as the shared-memory engines — the
+      // shared kernel keeps worker composites bit-identical to the
+      // sequential reference.
+      const std::vector<double> bias = projection_bias(transform, tm->mean);
+      std::vector<float> comp(static_cast<std::size_t>(px_count) * comps);
+      project_pixels(transform, bias, t.data.data(), px_count, comp.data());
       for (std::int64_t p = 0; p < px_count; ++p) {
-        transform_pixel(transform, tm->mean,
-                        {t.data.data() + p * bands,
-                         static_cast<std::size_t>(bands)},
-                        comp);
-        const auto rgb = map_pixel({comp[0], comp[1], comp[2]}, scales);
+        const float* cp = comp.data() + p * comps;
+        const auto rgb = map_pixel({cp[0], cp[1], cp[2]}, scales);
         color.rgb[p * 3 + 0] = rgb[0];
         color.rgb[p * 3 + 1] = rgb[1];
         color.rgb[p * 3 + 2] = rgb[2];

@@ -1,7 +1,6 @@
 #include "core/parallel/parallel_pct.h"
 
 #include <atomic>
-#include <cmath>
 
 #include "hsi/partition.h"
 #include "linalg/stats.h"
@@ -10,63 +9,6 @@
 namespace rif::core {
 
 namespace {
-
-/// Same cosine test as UniqueSet::any_within, but with the dot product's
-/// dependency chain split across eight accumulators — on one core this is
-/// nearly 2x the canonical kernel, which is latency-bound on its single
-/// running sum. The summation order (and so the last-bit rounding) differs
-/// from the canonical kernel; the fused engine's tolerance contract
-/// permits that, while the two-pass engine keeps UniqueSet::screen to stay
-/// bit-exact with the distributed manager.
-bool any_within_fast(const UniqueSet& set, double cos_threshold,
-                     std::span<const float> pixel, double pixel_inv_norm,
-                     std::size_t begin_member, std::size_t end_member,
-                     std::uint64_t* comparisons) {
-  const int bands = set.bands();
-  const float* base = set.flat().data();
-  std::size_t scanned = 0;
-  for (std::size_t m = begin_member; m < end_member; ++m) {
-    ++scanned;
-    const float* mem = base + m * static_cast<std::size_t>(bands);
-    double d0 = 0.0, d1 = 0.0, d2 = 0.0, d3 = 0.0;
-    double d4 = 0.0, d5 = 0.0, d6 = 0.0, d7 = 0.0;
-    int b = 0;
-    for (; b + 7 < bands; b += 8) {
-      d0 += static_cast<double>(mem[b]) * pixel[b];
-      d1 += static_cast<double>(mem[b + 1]) * pixel[b + 1];
-      d2 += static_cast<double>(mem[b + 2]) * pixel[b + 2];
-      d3 += static_cast<double>(mem[b + 3]) * pixel[b + 3];
-      d4 += static_cast<double>(mem[b + 4]) * pixel[b + 4];
-      d5 += static_cast<double>(mem[b + 5]) * pixel[b + 5];
-      d6 += static_cast<double>(mem[b + 6]) * pixel[b + 6];
-      d7 += static_cast<double>(mem[b + 7]) * pixel[b + 7];
-    }
-    for (; b < bands; ++b) d0 += static_cast<double>(mem[b]) * pixel[b];
-    const double dot = ((d0 + d1) + (d2 + d3)) + ((d4 + d5) + (d6 + d7));
-    if (dot * set.inv_norm(m) * pixel_inv_norm >= cos_threshold) {
-      if (comparisons != nullptr) *comparisons += scanned;
-      return true;
-    }
-  }
-  if (comparisons != nullptr) *comparisons += scanned;
-  return false;
-}
-
-/// UniqueSet::screen with the fast kernel (fused-engine paths only).
-bool screen_fast(UniqueSet& set, double cos_threshold,
-                 std::span<const float> pixel, std::uint64_t* comparisons) {
-  double norm2 = 0.0;
-  for (const float v : pixel) norm2 += static_cast<double>(v) * v;
-  const double norm = std::sqrt(norm2);
-  if (norm <= 0.0) return false;  // degenerate pixel never joins
-  const double inv = 1.0 / norm;
-  if (any_within_fast(set, cos_threshold, pixel, inv, 0, set.size(),
-                      comparisons)) {
-    return false;
-  }
-  set.admit(pixel, inv);
-  return true;
-}
 
 /// Blocked-concurrent unique-set fold: merges `other` into `unique` with
 /// the admission decisions (and member order) of the sequential left fold,
@@ -81,7 +23,6 @@ void merge_blocked(UniqueSet& unique, const UniqueSet& other,
                    ThreadPool& pool, std::vector<std::uint8_t>& dropped,
                    std::uint64_t* comparisons) {
   const std::size_t n = other.size();
-  const double cos_threshold = std::cos(unique.threshold());
   dropped.assign(n, 0);
   constexpr std::size_t kBlock = 64;
   std::vector<std::uint8_t> hit(std::min(kBlock, n));
@@ -97,8 +38,8 @@ void merge_blocked(UniqueSet& unique, const UniqueSet& other,
             std::uint64_t local = 0;
             for (std::int64_t c = lo; c < hi; ++c) {
               const std::size_t i = b0 + static_cast<std::size_t>(c);
-              hit[c] = any_within_fast(unique, cos_threshold, other.member(i),
-                                       other.inv_norm(i), 0, frozen, &local)
+              hit[c] = unique.any_within(other.member(i), other.inv_norm(i),
+                                         0, frozen, &local)
                            ? 1
                            : 0;
             }
@@ -110,8 +51,8 @@ void merge_blocked(UniqueSet& unique, const UniqueSet& other,
     for (std::size_t c = 0; c < count; ++c) {
       const std::size_t i = b0 + c;
       if (hit[c] != 0 ||
-          any_within_fast(unique, cos_threshold, other.member(i),
-                          other.inv_norm(i), frozen, unique.size(), &comps)) {
+          unique.any_within(other.member(i), other.inv_norm(i), frozen,
+                            unique.size(), &comps)) {
         dropped[i] = 1;
         continue;
       }
@@ -197,8 +138,10 @@ PctResult fuse_parallel(const hsi::ImageCube& cube, ThreadPool& pool,
   accs.reserve(shards);
   for (int s = 0; s < shards; ++s) accs.emplace_back(bands, result.mean);
   pool.parallel_tasks(shards, [&](int s) {
-    for (std::int64_t i = chunks[s].begin; i < chunks[s].end; ++i) {
-      accs[s].add(unique.member(static_cast<std::size_t>(i)));
+    constexpr std::int64_t kRows = linalg::CovarianceAccumulator::kBlockRows;
+    for (std::int64_t i = chunks[s].begin; i < chunks[s].end; i += kRows) {
+      accs[s].add_block(unique.flat().data() + i * bands,
+                        static_cast<int>(std::min(kRows, chunks[s].end - i)));
     }
   });
 
@@ -267,7 +210,6 @@ PctResult fuse_parallel_fused(const hsi::ImageCube& cube, ThreadPool& pool,
     tile_moments.emplace_back(bands, origin);
   }
   constexpr std::size_t kMomentBlock = 32;
-  const double cos_threshold = std::cos(config.pct.screening_threshold);
   std::atomic<std::uint64_t> comparisons{0};
   pool.parallel_tasks(tile_count, [&](int i) {
     const auto& t = tile_list[i];
@@ -276,7 +218,7 @@ PctResult fuse_parallel_fused(const hsi::ImageCube& cube, ThreadPool& pool,
     std::uint64_t local = 0;
     std::size_t flushed = 0;
     for (std::int64_t p = t.first_flat_index(); p < t.end_flat_index(); ++p) {
-      screen_fast(set, cos_threshold, cube.pixel(p), &local);
+      set.screen(cube.pixel(p), &local);
       if (set.size() - flushed >= kMomentBlock) {
         mom.add_block(set.flat().data() + flushed * bands,
                       static_cast<int>(set.size() - flushed));

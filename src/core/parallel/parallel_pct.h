@@ -51,11 +51,11 @@ PctResult fuse_parallel(const hsi::ImageCube& cube,
 /// transform/colour-map stage reuses the same row tiling.
 ///
 /// With the same tile count this follows the same screening order and
-/// admission rule as fuse_parallel — the unique sets agree unless a
-/// cosine lands within rounding of the threshold (the fast kernel sums in
-/// a different order) — and computes the same composite up to
-/// floating-point rounding of the moment correction (per-pixel tolerance,
-/// not bit-for-bit). `cov_shards` is ignored (covariance sharding is
+/// admission rule as fuse_parallel — both engines screen through the one
+/// shared SIMD kernel in UniqueSet, so the merged unique sets are
+/// identical — and computes the same composite up to floating-point
+/// rounding of the moment correction (per-pixel tolerance, not
+/// bit-for-bit). `cov_shards` is ignored (covariance sharding is
 /// replaced by per-tile accumulation); `parallel_merge` is ignored (the
 /// blocked fold already parallelizes the merge without reordering
 /// members).

@@ -1,8 +1,26 @@
 #include "core/parallel/thread_pool.h"
 
+#include <chrono>
 #include <utility>
 
 namespace rif::core {
+
+namespace {
+
+/// The pool (if any) whose worker_loop owns this thread. Distinguishes a
+/// pool's own execution threads from external callers — including workers
+/// of a DIFFERENT pool — when attributing idle time in the blocking
+/// helpers. (A thread parked inside another pool's helper is attributed
+/// to neither pool.)
+thread_local const void* t_owner_pool = nullptr;
+
+std::int64_t now_nanos() {
+  return std::chrono::duration_cast<std::chrono::nanoseconds>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace
 
 ThreadPool::ThreadPool(int threads) {
   RIF_CHECK(threads >= 1);
@@ -29,10 +47,28 @@ void ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
   lock.lock();
 }
 
+double ThreadPool::idle_seconds() const {
+  std::lock_guard lock(mutex_);
+  std::int64_t total = idle_nanos_;
+  if (parked_threads_ > 0) {
+    total += parked_threads_ * now_nanos() - park_start_sum_nanos_;
+  }
+  return static_cast<double>(total) * 1e-9;
+}
+
 void ThreadPool::worker_loop() {
+  t_owner_pool = this;
   std::unique_lock lock(mutex_);
   for (;;) {
-    cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+    if (!stopping_ && queue_.empty()) {
+      const std::int64_t t0 = now_nanos();
+      ++parked_threads_;
+      park_start_sum_nanos_ += t0;
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      --parked_threads_;
+      park_start_sum_nanos_ -= t0;
+      idle_nanos_ += now_nanos() - t0;
+    }
     if (stopping_ && queue_.empty()) return;
     run_one(lock);
   }
@@ -80,8 +116,22 @@ void ThreadPool::parallel_tasks(int count, const std::function<void(int)>& fn) {
       // predicate evaluation. Once parked, nothing notifies this CV until
       // the group completes — a mid-sleep enqueue does not wake us, which
       // is safe because every enqueuer helps drain its own work.
+      // A parked execution thread of THIS pool (nested helper out of
+      // work) is idle capacity; a parked external caller — including a
+      // worker of some other pool — is not.
+      const bool own_thread = t_owner_pool == this;
+      const std::int64_t t0 = own_thread ? now_nanos() : 0;
+      if (own_thread) {
+        ++parked_threads_;
+        park_start_sum_nanos_ += t0;
+      }
       group.done.wait(lock,
                       [&] { return group.remaining == 0 || !queue_.empty(); });
+      if (own_thread) {
+        --parked_threads_;
+        park_start_sum_nanos_ -= t0;
+        idle_nanos_ += now_nanos() - t0;
+      }
     }
   }
   if (group.first_error) std::rethrow_exception(group.first_error);

@@ -43,6 +43,17 @@ class ThreadPool {
 
   [[nodiscard]] int size() const { return static_cast<int>(threads_.size()); }
 
+  /// Cumulative seconds the pool's execution threads have spent PARKED
+  /// (waiting for work, either in the worker loop or while blocked inside
+  /// a nested parallel_* call with an empty queue) since construction.
+  /// Parks in progress are included pro-rata at read time, so deltas over
+  /// an interval are exact even when a park spans the interval boundary.
+  /// Monotone; busy time over an interval is
+  ///   threads * wall_interval - (idle_end - idle_start).
+  /// External callers blocked in parallel_* are not execution threads and
+  /// do not count. Feeds the FusionService host-pool utilisation report.
+  [[nodiscard]] double idle_seconds() const;
+
   /// Run fn(chunk_begin, chunk_end) over [0, n) split into one contiguous
   /// chunk per thread; blocks until every chunk completes, executing queued
   /// tasks while it waits. Rethrows the first worker exception. Safe to
@@ -71,10 +82,18 @@ class ThreadPool {
   void run_one(std::unique_lock<std::mutex>& lock);
 
   std::vector<std::thread> threads_;
-  std::mutex mutex_;
+  mutable std::mutex mutex_;
   std::condition_variable cv_;
   std::deque<std::function<void()>> queue_;
   bool stopping_ = false;
+
+  // Idle bookkeeping (guarded by mutex_, which every park holds at entry
+  // and exit): completed parks accumulate into idle_nanos_; in-progress
+  // parks are reconstructed at read time from their count and the sum of
+  // their start stamps (see idle_seconds()).
+  std::int64_t idle_nanos_ = 0;
+  int parked_threads_ = 0;
+  std::int64_t park_start_sum_nanos_ = 0;
 };
 
 }  // namespace rif::core

@@ -1,11 +1,29 @@
 #include "core/pct.h"
 
+#include <algorithm>
 #include <cmath>
 
+#include "linalg/kernels.h"
 #include "linalg/stats.h"
 #include "support/check.h"
 
 namespace rif::core {
+
+namespace {
+
+/// One bias entry per transform row: bias[c] = row_c . mean. The single
+/// definition keeps the projection arithmetic identical everywhere.
+void bias_into(const linalg::Matrix& transform,
+               const std::vector<double>& mean, double* bias) {
+  for (int c = 0; c < transform.rows(); ++c) {
+    const double* row = transform.row(c);
+    double acc = 0.0;
+    for (int b = 0; b < transform.cols(); ++b) acc += row[b] * mean[b];
+    bias[c] = acc;
+  }
+}
+
+}  // namespace
 
 linalg::Matrix transform_matrix(const linalg::Matrix& eigenvectors,
                                 int output_components) {
@@ -20,6 +38,26 @@ linalg::Matrix transform_matrix(const linalg::Matrix& eigenvectors,
   return t;
 }
 
+std::vector<double> projection_bias(const linalg::Matrix& transform,
+                                    const std::vector<double>& mean) {
+  RIF_CHECK(static_cast<int>(mean.size()) == transform.cols());
+  std::vector<double> bias(static_cast<std::size_t>(transform.rows()));
+  bias_into(transform, mean, bias.data());
+  return bias;
+}
+
+void project_pixels(const linalg::Matrix& transform,
+                    const std::vector<double>& bias, const float* pixels,
+                    std::int64_t count, float* out) {
+  const int bands = transform.cols();
+  const int comps = transform.rows();
+  RIF_DCHECK(static_cast<int>(bias.size()) == comps);
+  for (std::int64_t p = 0; p < count; ++p) {
+    linalg::kernels::project(transform.data(), comps, bands, bias.data(),
+                             pixels + p * bands, out + p * comps);
+  }
+}
+
 void transform_pixel(const linalg::Matrix& transform,
                      const std::vector<double>& mean,
                      std::span<const float> pixel, std::span<float> out) {
@@ -28,14 +66,11 @@ void transform_pixel(const linalg::Matrix& transform,
   RIF_DCHECK(static_cast<int>(pixel.size()) == bands);
   RIF_DCHECK(static_cast<int>(mean.size()) == bands);
   RIF_DCHECK(static_cast<int>(out.size()) == comps);
-  for (int c = 0; c < comps; ++c) {
-    const double* row = transform.row(c);
-    double acc = 0.0;
-    for (int b = 0; b < bands; ++b) {
-      acc += row[b] * (static_cast<double>(pixel[b]) - mean[b]);
-    }
-    out[c] = static_cast<float>(acc);
-  }
+  static thread_local std::vector<double> bias;
+  bias.resize(static_cast<std::size_t>(comps));
+  bias_into(transform, mean, bias.data());
+  linalg::kernels::project(transform.data(), comps, bands, bias.data(),
+                           pixel.data(), out.data());
 }
 
 std::array<ComponentScale, 3> scales_from_eigenvalues(
@@ -57,16 +92,24 @@ void transform_and_map_range(const hsi::ImageCube& cube,
                              hsi::RgbImage& composite, std::int64_t lo,
                              std::int64_t hi) {
   const int comps = transform.rows();
-  std::vector<float> comp(comps);
-  for (std::int64_t p = lo; p < hi; ++p) {
-    transform_pixel(transform, mean, cube.pixel(p), comp);
-    for (int c = 0; c < comps; ++c) {
-      planes[c][static_cast<std::size_t>(p)] = comp[c];
+  const std::vector<double> bias = projection_bias(transform, mean);
+  // Blocked multi-pixel projection: a whole run of BIP pixels goes through
+  // the SIMD projection kernel at once, then the block's components are
+  // scattered to the planes and colour-mapped while still cache-hot.
+  constexpr std::int64_t kBlock = 128;
+  std::vector<float> comp(static_cast<std::size_t>(comps) * kBlock);
+  for (std::int64_t p0 = lo; p0 < hi; p0 += kBlock) {
+    const std::int64_t n = std::min(kBlock, hi - p0);
+    project_pixels(transform, bias, cube.pixel(p0).data(), n, comp.data());
+    for (std::int64_t k = 0; k < n; ++k) {
+      const float* px = comp.data() + k * comps;
+      const auto p = static_cast<std::size_t>(p0 + k);
+      for (int c = 0; c < comps; ++c) planes[c][p] = px[c];
+      const auto rgb = map_pixel({px[0], px[1], px[2]}, scales);
+      composite.data[p * 3 + 0] = rgb[0];
+      composite.data[p * 3 + 1] = rgb[1];
+      composite.data[p * 3 + 2] = rgb[2];
     }
-    const auto rgb = map_pixel({comp[0], comp[1], comp[2]}, scales);
-    composite.data[p * 3 + 0] = rgb[0];
-    composite.data[p * 3 + 1] = rgb[1];
-    composite.data[p * 3 + 2] = rgb[2];
   }
 }
 
@@ -87,9 +130,14 @@ PctResult fuse(const hsi::ImageCube& cube, const PctConfig& config) {
   for (std::size_t i = 0; i < unique.size(); ++i) mean_acc.add(unique.member(i));
   result.mean = mean_acc.mean();
 
-  // Steps 4-5: covariance of the unique set.
+  // Steps 4-5: covariance of the unique set, fed from the set's flat
+  // storage in blocks so the rank-k triangle kernel does the work.
   linalg::CovarianceAccumulator cov_acc(cube.bands(), result.mean);
-  for (std::size_t i = 0; i < unique.size(); ++i) cov_acc.add(unique.member(i));
+  constexpr std::size_t kRows = linalg::CovarianceAccumulator::kBlockRows;
+  for (std::size_t i = 0; i < unique.size(); i += kRows) {
+    cov_acc.add_block(unique.flat().data() + i * cube.bands(),
+                      static_cast<int>(std::min(kRows, unique.size() - i)));
+  }
   const linalg::Matrix cov = cov_acc.covariance();
 
   // Step 6: eigen-decomposition, sorted descending.

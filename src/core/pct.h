@@ -56,10 +56,29 @@ PctResult fuse(const hsi::ImageCube& cube, const PctConfig& config = {});
 linalg::Matrix transform_matrix(const linalg::Matrix& eigenvectors,
                                 int output_components);
 
-/// Transform one pixel into `out` (size = transform.rows()).
+/// Transform one pixel into `out` (size = transform.rows()). Recomputes
+/// the projection bias on every call — fine for one-off probes; loops
+/// should hoist it via projection_bias() + project_pixels().
 void transform_pixel(const linalg::Matrix& transform,
                      const std::vector<double>& mean,
                      std::span<const float> pixel, std::span<float> out);
+
+/// Per-component mean offsets for the bias-form projection
+///   component c = row_c . x − (row_c . mean),
+/// hoisted out of the per-pixel loop. Every engine (sequential, shared
+/// memory, distributed workers) derives its bias through this one function
+/// so the projection arithmetic — and thus the composite bytes — stay
+/// identical across engines.
+std::vector<double> projection_bias(const linalg::Matrix& transform,
+                                    const std::vector<double>& mean);
+
+/// Project `count` contiguous BIP pixels through the truncated transform
+/// into `out` (row-major count x transform.rows()) with the blocked SIMD
+/// kernel. The shared projection primitive behind transform_and_map_range
+/// and the distributed workers' transform stage.
+void project_pixels(const linalg::Matrix& transform,
+                    const std::vector<double>& bias, const float* pixels,
+                    std::int64_t count, float* out);
 
 /// Colour-mapping scales from the leading eigenvalues (see header comment).
 std::array<ComponentScale, 3> scales_from_eigenvalues(

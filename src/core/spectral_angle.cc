@@ -1,32 +1,19 @@
 #include "core/spectral_angle.h"
 
+#include <algorithm>
 #include <cmath>
 #include <limits>
 
+#include "linalg/kernels.h"
 #include "support/check.h"
 
 namespace rif::core {
 
 namespace {
 
-/// Dot product and squared norms in one pass.
-struct DotNorm {
-  double dot = 0.0;
-  double nx2 = 0.0;
-  double ny2 = 0.0;
-};
+namespace kernels = linalg::kernels;
 
-DotNorm dot_norm(std::span<const float> x, std::span<const float> y) {
-  DotNorm r;
-  for (std::size_t i = 0; i < x.size(); ++i) {
-    const double xi = x[i];
-    const double yi = y[i];
-    r.dot += xi * yi;
-    r.nx2 += xi * xi;
-    r.ny2 += yi * yi;
-  }
-  return r;
-}
+constexpr std::size_t kLanes = kernels::kScreenLanes;
 
 double clamp_pm1(double v) { return v < -1.0 ? -1.0 : (v > 1.0 ? 1.0 : v); }
 
@@ -34,10 +21,12 @@ double clamp_pm1(double v) { return v < -1.0 ? -1.0 : (v > 1.0 ? 1.0 : v); }
 
 double spectral_angle(std::span<const float> x, std::span<const float> y) {
   RIF_CHECK(x.size() == y.size() && !x.empty());
-  const DotNorm r = dot_norm(x, y);
-  const double denom = std::sqrt(r.nx2 * r.ny2);
+  double dot = 0.0, nx2 = 0.0, ny2 = 0.0;
+  kernels::dot_norm(x.data(), y.data(), static_cast<int>(x.size()), &dot,
+                    &nx2, &ny2);
+  const double denom = std::sqrt(nx2 * ny2);
   if (denom <= 0.0) return 0.0;  // zero vector: treat as identical
-  return std::acos(clamp_pm1(r.dot / denom));
+  return std::acos(clamp_pm1(dot / denom));
 }
 
 UniqueSet::UniqueSet(int bands, double threshold_radians)
@@ -52,6 +41,21 @@ std::span<const float> UniqueSet::member(std::size_t i) const {
   return {data_.data() + i * bands_, static_cast<std::size_t>(bands_)};
 }
 
+void UniqueSet::pack_member(std::span<const float> pixel) {
+  const std::size_t lane = count_ % kLanes;
+  if (lane == 0) {
+    // Open a fresh zero-filled block; zero lanes keep the 8-wide kernel
+    // valid on partially filled blocks.
+    pack_.resize(pack_.size() + static_cast<std::size_t>(bands_) * kLanes,
+                 0.0f);
+  }
+  float* block = pack_.data() +
+                 (count_ / kLanes) * static_cast<std::size_t>(bands_) * kLanes;
+  for (int b = 0; b < bands_; ++b) {
+    block[static_cast<std::size_t>(b) * kLanes + lane] = pixel[b];
+  }
+}
+
 bool UniqueSet::any_within(std::span<const float> pixel,
                            double pixel_inv_norm, std::size_t begin_member,
                            std::size_t end_member,
@@ -59,21 +63,39 @@ bool UniqueSet::any_within(std::span<const float> pixel,
   RIF_DCHECK(static_cast<int>(pixel.size()) == bands_);
   RIF_DCHECK(end_member <= count_);
   // Angle test via cosine: angle <= threshold  <=>  cos >= cos(threshold).
-  for (std::size_t m = begin_member; m < end_member; ++m) {
-    if (comparisons != nullptr) ++*comparisons;
-    const float* mem = data_.data() + m * bands_;
-    double dot = 0.0;
-    for (int b = 0; b < bands_; ++b) {
-      dot += static_cast<double>(mem[b]) * pixel[b];
+  // Each SoA block yields 8 member dot products in one fused kernel call;
+  // lanes outside [begin_member, end_member) are computed (they are free)
+  // but never examined, so results and comparison counts match the
+  // member-at-a-time scan exactly.
+  std::uint64_t scanned = 0;
+  std::size_t m = begin_member;
+  while (m < end_member) {
+    const std::size_t block = m / kLanes;
+    const std::size_t block_begin = block * kLanes;
+    const std::size_t lane_end =
+        std::min(block_begin + kLanes, end_member) - block_begin;
+    double dots[kLanes];
+    kernels::dot8(pack_.data() +
+                      block * static_cast<std::size_t>(bands_) * kLanes,
+                  pixel.data(), bands_, dots);
+    for (std::size_t lane = m - block_begin; lane < lane_end; ++lane) {
+      ++scanned;
+      const double cosine =
+          dots[lane] * inv_norms_[block_begin + lane] * pixel_inv_norm;
+      if (cosine >= cos_threshold_) {  // close to a member
+        if (comparisons != nullptr) *comparisons += scanned;
+        return true;
+      }
     }
-    const double cosine = dot * inv_norms_[m] * pixel_inv_norm;
-    if (cosine >= cos_threshold_) return true;  // close to a member
+    m = block_begin + lane_end;
   }
+  if (comparisons != nullptr) *comparisons += scanned;
   return false;
 }
 
 void UniqueSet::admit(std::span<const float> pixel, double inv_norm) {
   RIF_DCHECK(static_cast<int>(pixel.size()) == bands_);
+  pack_member(pixel);
   data_.insert(data_.end(), pixel.begin(), pixel.end());
   inv_norms_.push_back(inv_norm);
   ++count_;
@@ -82,11 +104,10 @@ void UniqueSet::admit(std::span<const float> pixel, double inv_norm) {
 bool UniqueSet::screen(std::span<const float> pixel,
                        std::uint64_t* comparisons) {
   RIF_DCHECK(static_cast<int>(pixel.size()) == bands_);
-  double norm2 = 0.0;
-  for (const float v : pixel) norm2 += static_cast<double>(v) * v;
+  const double norm2 =
+      kernels::dot(pixel.data(), pixel.data(), bands_);
   const double norm = std::sqrt(norm2);
   if (norm <= 0.0) return false;  // degenerate pixel never joins
-
   const double inv = 1.0 / norm;
   if (any_within(pixel, inv, 0, count_, comparisons)) return false;
   admit(pixel, inv);
@@ -104,15 +125,16 @@ UniqueSet UniqueSet::from_flat(int bands, double threshold_radians,
                                std::vector<float> flat) {
   RIF_CHECK(flat.size() % static_cast<std::size_t>(bands) == 0);
   UniqueSet set(bands, threshold_radians);
-  set.count_ = flat.size() / bands;
+  const std::size_t count = flat.size() / bands;
   set.data_ = std::move(flat);
-  set.inv_norms_.resize(set.count_);
-  for (std::size_t m = 0; m < set.count_; ++m) {
-    double n2 = 0.0;
+  set.inv_norms_.resize(count);
+  for (std::size_t m = 0; m < count; ++m) {
     const float* mem = set.data_.data() + m * bands;
-    for (int b = 0; b < bands; ++b) n2 += static_cast<double>(mem[b]) * mem[b];
+    const double n2 = linalg::kernels::dot(mem, mem, bands);
     RIF_CHECK_MSG(n2 > 0.0, "zero vector in flat unique set");
     set.inv_norms_[m] = 1.0 / std::sqrt(n2);
+    set.pack_member({mem, static_cast<std::size_t>(bands)});
+    ++set.count_;
   }
   return set;
 }

@@ -72,12 +72,21 @@ class UniqueSet {
   [[nodiscard]] double min_angle_to(std::span<const float> pixel) const;
 
  private:
+  /// Mirror `pixel` into lane `count_ % 8` of the SoA pack (see pack_).
+  void pack_member(std::span<const float> pixel);
+
   int bands_;
   double threshold_;
   double cos_threshold_;
   std::size_t count_ = 0;
-  std::vector<float> data_;         // members, row-major
+  std::vector<float> data_;         // members, row-major (AoS: flat()/member())
   std::vector<double> inv_norms_;   // 1/|member| cache
+  /// SoA member-block pack for the SIMD screening kernel: members grouped
+  /// in blocks of 8, each block band-major — pack_[(blk * bands + b) * 8 +
+  /// lane] is band b of member blk*8+lane. Unused lanes of the last block
+  /// are zero, so `any_within` runs the same 8-wide fused-dot kernel on
+  /// every block and just ignores out-of-range lanes.
+  std::vector<float> pack_;
 };
 
 /// Screen every pixel of a cube region [first_flat, last_flat) into a fresh

@@ -1,0 +1,89 @@
+// Portable SIMD kernel layer for the fusion hot paths.
+//
+// Every arithmetic inner loop of the pipeline — spectral-angle dot
+// products, the one-candidate-vs-8-members screening kernel, the packed
+// upper-triangle moment updates, and the truncated PCT projection — lives
+// here, in exactly two forms:
+//
+//   * `kernels::scalar::*` — plain reference implementations, always
+//     compiled. These are the oracle for the equivalence tests and the
+//     code the dispatched entry points fall back to.
+//   * `kernels::*` — the dispatched entry points. At compile time they
+//     bind to AVX2, SSE2 or NEON variants depending on the target
+//     (`-march=...`), or to the scalar reference when no vector ISA is
+//     available or the build sets `RIF_DISABLE_SIMD`.
+//
+// Numerical contract: all kernels accumulate in double, like the seed
+// scalar code, but SIMD variants reassociate the summation (lane-parallel
+// partial sums, possibly FMA-contracted). Within ONE build every engine —
+// sequential, two-pass parallel, fused, distributed — calls the same
+// kernels, so cross-engine bit-exactness guarantees (the `fuse_parallel`
+// oracle contract) are preserved; between a SIMD and a RIF_DISABLE_SIMD
+// build, results agree within the documented tolerance contract (composite
+// bytes within one quantisation level — see tests/kernels_test.cc).
+#pragma once
+
+#include <cstddef>
+
+namespace rif::linalg::kernels {
+
+/// Members per SoA screening block (see UniqueSet's member-block pack):
+/// blocks hold 8 members band-major — pack[band * 8 + lane] — so one
+/// candidate screens against 8 members with simultaneous fused dot
+/// products.
+inline constexpr int kScreenLanes = 8;
+
+/// Compile-time backend of the dispatched kernels:
+/// "avx2" | "sse2" | "neon" | "scalar".
+const char* backend();
+
+/// True when the dispatched kernels are vectorized (backend != "scalar").
+bool simd_enabled();
+
+// --- scalar reference implementations (always available) --------------------
+
+namespace scalar {
+
+/// Dot product of two float vectors, accumulated in double.
+double dot(const float* x, const float* y, int n);
+
+/// Dot product of a double vector with a float vector (projection rows).
+double dot_df(const double* x, const float* y, int n);
+
+/// Dot product plus both squared norms in one pass (spectral_angle).
+void dot_norm(const float* x, const float* y, int n, double* dot, double* nx2,
+              double* ny2);
+
+/// One candidate against one band-major 8-member block:
+/// out[k] = sum_b pack[b * 8 + k] * pixel[b] for k in [0, 8).
+void dot8(const float* pack, const float* pixel, int bands, double out[8]);
+
+/// Rank-1 update of a packed upper triangle (row-major, dims rows):
+/// upper[i, j] += sign * c[i] * c[j] for j >= i.
+void rank1_update(double* upper, const double* c, int dims, double sign);
+
+/// Rank-k update of a packed upper triangle from a column-major centered
+/// block `cols` (dims columns of length `rows` each, column i at
+/// cols + i * rows): upper[i, j] += sum_r cols[i][r] * cols[j][r].
+void rank_k_update(double* upper, const double* cols, int dims, int rows);
+
+/// Truncated projection of one pixel: out[c] = t[c] . pixel - bias[c],
+/// where t is row-major comps x bands (doubles) and bias[c] = t[c] . mean.
+void project(const double* t, int comps, int bands, const double* bias,
+             const float* pixel, float* out);
+
+}  // namespace scalar
+
+// --- dispatched entry points -------------------------------------------------
+
+double dot(const float* x, const float* y, int n);
+double dot_df(const double* x, const float* y, int n);
+void dot_norm(const float* x, const float* y, int n, double* dot, double* nx2,
+              double* ny2);
+void dot8(const float* pack, const float* pixel, int bands, double out[8]);
+void rank1_update(double* upper, const double* c, int dims, double sign);
+void rank_k_update(double* upper, const double* cols, int dims, int rows);
+void project(const double* t, int comps, int bands, const double* bias,
+             const float* pixel, float* out);
+
+}  // namespace rif::linalg::kernels

@@ -1,8 +1,42 @@
 #include "linalg/stats.h"
 
+#include "linalg/kernels.h"
 #include "support/serialize.h"
 
 namespace rif::linalg {
+
+namespace {
+
+/// Center `rows` contiguous dims-length float vectors about `shift` into
+/// column-major scratch (dims columns of length rows: entry (b, r) at
+/// b * rows + r), accumulating per-band sums into `s1` when non-null. The
+/// layout feeds the rank-k triangle kernel: each triangle entry is then a
+/// dot of two CONTIGUOUS length-`rows` columns.
+void center_block(const float* pixels, int rows, int dims,
+                  const double* shift, double* scratch, double* s1) {
+  for (int r = 0; r < rows; ++r) {
+    const float* px = pixels + static_cast<std::size_t>(r) * dims;
+    for (int b = 0; b < dims; ++b) {
+      const double c = static_cast<double>(px[b]) - shift[b];
+      scratch[static_cast<std::size_t>(b) * rows + r] = c;
+      if (s1 != nullptr) s1[b] += c;
+    }
+  }
+}
+
+/// One packed-triangle sweep over a centered column-major block: rank-1
+/// update for single pixels (contiguous writes), register-blocked rank-k
+/// otherwise.
+void triangle_update(double* upper, const double* scratch, int dims,
+                     int rows) {
+  if (rows == 1) {
+    kernels::rank1_update(upper, scratch, dims, 1.0);
+  } else {
+    kernels::rank_k_update(upper, scratch, dims, rows);
+  }
+}
+
+}  // namespace
 
 MomentAccumulator::MomentAccumulator(int dims, std::vector<double> origin)
     : dims_(dims), origin_(std::move(origin)) {
@@ -15,31 +49,15 @@ MomentAccumulator::MomentAccumulator(int dims, std::vector<double> origin)
 void MomentAccumulator::add_block(const float* pixels, int rows) {
   RIF_CHECK(rows >= 0);
   if (rows == 0) return;
-  // Center the block once into column-major scratch (dims x rows): entry
-  // (i, j) of the triangle then accumulates a dot product of two CONTIGUOUS
-  // length-`rows` columns, so the packed triangle — the large, written-to
-  // operand — is streamed through exactly once per block instead of once per
-  // pixel, and the inner loop vectorizes over the block.
+  // Center the block once into column-major scratch, then one rank-k sweep
+  // of the packed triangle — the large, written-to operand is streamed
+  // through once per block instead of once per pixel, and the vector
+  // kernel covers 4 pixels per step.
   static thread_local std::vector<double> scratch;
   scratch.resize(static_cast<std::size_t>(dims_) * rows);
-  for (int r = 0; r < rows; ++r) {
-    const float* px = pixels + static_cast<std::size_t>(r) * dims_;
-    for (int b = 0; b < dims_; ++b) {
-      const double c = static_cast<double>(px[b]) - origin_[b];
-      scratch[static_cast<std::size_t>(b) * rows + r] = c;
-      s1_[b] += c;
-    }
-  }
-  double* dst = upper_.data();
-  for (int i = 0; i < dims_; ++i) {
-    const double* ci = scratch.data() + static_cast<std::size_t>(i) * rows;
-    for (int j = i; j < dims_; ++j) {
-      const double* cj = scratch.data() + static_cast<std::size_t>(j) * rows;
-      double acc = 0.0;
-      for (int r = 0; r < rows; ++r) acc += ci[r] * cj[r];
-      *dst++ += acc;
-    }
-  }
+  center_block(pixels, rows, dims_, origin_.data(), scratch.data(),
+               s1_.data());
+  triangle_update(upper_.data(), scratch.data(), dims_, rows);
   count_ += static_cast<std::uint64_t>(rows);
 }
 
@@ -52,11 +70,7 @@ void MomentAccumulator::remove(std::span<const float> pixel) {
     centered[b] = static_cast<double>(pixel[b]) - origin_[b];
     s1_[b] -= centered[b];
   }
-  std::size_t idx = 0;
-  for (int i = 0; i < dims_; ++i) {
-    const double ci = centered[i];
-    for (int j = i; j < dims_; ++j) upper_[idx++] -= ci * centered[j];
-  }
+  kernels::rank1_update(upper_.data(), centered.data(), dims_, -1.0);
   --count_;
 }
 
@@ -138,18 +152,14 @@ CovarianceAccumulator::CovarianceAccumulator(int dims,
   upper_.assign(static_cast<std::size_t>(dims) * (dims + 1) / 2, 0.0);
 }
 
-void CovarianceAccumulator::add(std::span<const float> pixel) {
-  RIF_DCHECK(static_cast<int>(pixel.size()) == dims_);
-  // Centered copy once, then rank-1 update of the packed upper triangle.
-  static thread_local std::vector<double> centered;
-  centered.resize(dims_);
-  for (int i = 0; i < dims_; ++i) centered[i] = pixel[i] - mean_[i];
-  std::size_t idx = 0;
-  for (int i = 0; i < dims_; ++i) {
-    const double ci = centered[i];
-    for (int j = i; j < dims_; ++j) upper_[idx++] += ci * centered[j];
-  }
-  ++count_;
+void CovarianceAccumulator::add_block(const float* pixels, int rows) {
+  RIF_CHECK(rows >= 0);
+  if (rows == 0) return;
+  static thread_local std::vector<double> scratch;
+  scratch.resize(static_cast<std::size_t>(dims_) * rows);
+  center_block(pixels, rows, dims_, mean_.data(), scratch.data(), nullptr);
+  triangle_update(upper_.data(), scratch.data(), dims_, rows);
+  count_ += static_cast<std::uint64_t>(rows);
 }
 
 void CovarianceAccumulator::merge(const CovarianceAccumulator& other) {

@@ -83,9 +83,18 @@ class MomentAccumulator {
 /// Only the upper triangle is stored; covariance() mirrors it.
 class CovarianceAccumulator {
  public:
+  /// Rows per add_block chunk when an engine walks a contiguous member
+  /// range. Shared by the sequential, shared-memory and distributed paths
+  /// so identical ranges produce bit-identical partial sums.
+  static constexpr int kBlockRows = 32;
+
   CovarianceAccumulator(int dims, std::vector<double> mean);
 
-  void add(std::span<const float> pixel);
+  void add(std::span<const float> pixel) { add_block(pixel.data(), 1); }
+  /// Bulk add of `rows` contiguous dims-length vectors through the
+  /// register-blocked rank-k kernel (one packed-triangle sweep per block,
+  /// 4 pixels per vector step) — the hot path of the two-pass engines.
+  void add_block(const float* pixels, int rows);
   void merge(const CovarianceAccumulator& other);
 
   /// The averaged covariance matrix (paper step 5): sum / count.

@@ -95,6 +95,11 @@ struct JobRecord {
   std::vector<cluster::NodeId> leased_nodes;
   /// Flops charged to the leased nodes during the job's tenure.
   double flops_charged = 0.0;
+  /// Wall-clock seconds of this job's fused run on the shared host
+  /// execution pool (0 when the job did not host-execute). Jobs run
+  /// concurrently on one pool, so these overlap and may sum past the
+  /// phase's wall time.
+  double host_seconds = 0.0;
   core::JobOutcome outcome;
 };
 

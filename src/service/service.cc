@@ -1,6 +1,7 @@
 #include "service/service.h"
 
 #include <algorithm>
+#include <chrono>
 #include <utility>
 
 #include "core/parallel/parallel_pct.h"
@@ -262,9 +263,16 @@ void FusionService::execute_host_jobs() {
   // engine nests its own parallel stages inside its task. The per-job
   // budget (tiles it can occupy the pool with) is derived from what the
   // Scheduler admitted: leased workers x tiles_per_worker.
+  using clock = std::chrono::steady_clock;
+  const auto seconds_between = [](clock::time_point a, clock::time_point b) {
+    return std::chrono::duration<double>(b - a).count();
+  };
+  const double idle_before = exec_pool_->idle_seconds();
+  const auto phase_start = clock::now();
   exec_pool_->parallel_tasks(
       static_cast<int>(ready.size()), [&](int k) {
         PendingJob& job = *ready[static_cast<std::size_t>(k)];
+        const auto job_start = clock::now();
         const core::FusionJobConfig& req = job.request.config;
         core::ParallelPctConfig cfg;
         cfg.pct.screening_threshold = req.screening_threshold;
@@ -279,7 +287,20 @@ void FusionService::execute_host_jobs() {
         out.unique_set_size = r.unique_set_size;
         out.screen_comparisons = r.screen_comparisons;
         out.merge_comparisons = r.merge_comparisons;
+        job.record.host_seconds = seconds_between(job_start, clock::now());
       });
+
+  // Busy/idle accounting over the phase: pool capacity is threads * wall,
+  // and the pool reports parked (idle) execution-thread time directly.
+  host_stats_.threads = exec_pool_->size();
+  host_stats_.wall_seconds = seconds_between(phase_start, clock::now());
+  const double capacity =
+      host_stats_.wall_seconds * static_cast<double>(host_stats_.threads);
+  host_stats_.idle_seconds = std::min(
+      capacity, std::max(0.0, exec_pool_->idle_seconds() - idle_before));
+  host_stats_.busy_seconds = capacity - host_stats_.idle_seconds;
+  host_stats_.utilization =
+      capacity > 0.0 ? host_stats_.busy_seconds / capacity : 0.0;
 }
 
 ServiceReport FusionService::build_report() {
@@ -328,6 +349,7 @@ ServiceReport FusionService::build_report() {
   report.latency_p99 = latency.quantile(0.99);
 
   report.tenants = ledger_.snapshot();
+  report.host_pool = host_stats_;
   report.protocol = runtime_->stats();
   report.network = network_->stats();
   report.sim_events = sim_.events_executed();

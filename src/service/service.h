@@ -123,6 +123,19 @@ struct ServiceConfig {
   SimTime deadline = from_seconds(1.0e7);
 };
 
+/// Usage of the shared host execution pool over the host-execution phase
+/// (populated only when ServiceConfig::execution_threads > 0 and at least
+/// one Full-mode job host-executed). Busy/idle split execution-thread
+/// time: a thread is idle while parked waiting for work — including a
+/// nested helper that ran out of queued tiles — and busy otherwise.
+struct HostPoolStats {
+  int threads = 0;
+  double wall_seconds = 0.0;  ///< wall span of the host-execution phase
+  double busy_seconds = 0.0;  ///< threads * wall - idle
+  double idle_seconds = 0.0;  ///< execution-thread time parked in-phase
+  double utilization = 0.0;   ///< busy / (threads * wall); 0 when unused
+};
+
 struct ServiceReport {
   /// Every accepted job completed (none failed, none stranded at deadline).
   bool all_completed = false;
@@ -146,6 +159,8 @@ struct ServiceReport {
 
   scp::ProtocolStats protocol;  ///< service-wide (shared substrate)
   net::NetworkStats network;
+  /// Host-pool busy/idle accounting (ROADMAP: host-pool utilisation).
+  HostPoolStats host_pool;
   std::uint64_t sim_events = 0;
 };
 
@@ -207,6 +222,7 @@ class FusionService {
   Scheduler scheduler_;
   Ledger ledger_;
   std::unique_ptr<core::ThreadPool> exec_pool_;  ///< when execution_threads>0
+  HostPoolStats host_stats_;  ///< filled by execute_host_jobs()
   std::vector<std::unique_ptr<PendingJob>> jobs_;
 
   int running_ = 0;        ///< jobs currently holding leases

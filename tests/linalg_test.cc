@@ -340,6 +340,46 @@ TEST(MomentAccumulatorTest, BlockedAddMatchesScalarAdd) {
             1e-13);
 }
 
+TEST(MomentAccumulatorTest, SubBlockTailsMatchScalarAdd) {
+  // 1..5-row blocks (the SIMD rank-k kernel's tail shapes) at an odd dims.
+  const int dims = 9;
+  const auto pixels = random_pixels(15, dims, 51);
+  std::vector<float> flat;
+  for (const auto& px : pixels) flat.insert(flat.end(), px.begin(), px.end());
+  std::vector<double> origin(dims, 0.2);
+
+  MomentAccumulator scalar(dims, origin);
+  for (const auto& px : pixels) scalar.add(px);
+  MomentAccumulator blocked(dims, origin);
+  std::size_t off = 0;
+  for (int rows = 1; rows <= 5; ++rows) {  // 1+2+3+4+5 = 15 pixels
+    blocked.add_block(flat.data() + off * dims, rows);
+    off += static_cast<std::size_t>(rows);
+  }
+  EXPECT_EQ(blocked.count(), scalar.count());
+  EXPECT_LT(relative_difference(blocked.covariance(), scalar.covariance()),
+            1e-12);
+}
+
+TEST(CovarianceAccumulatorTest, BlockedAddMatchesScalarAdd) {
+  const int dims = 13;
+  const auto pixels = random_pixels(70, dims, 61);
+  std::vector<float> flat;
+  for (const auto& px : pixels) flat.insert(flat.end(), px.begin(), px.end());
+  std::vector<double> mean(dims, 0.45);
+
+  CovarianceAccumulator scalar(dims, mean);
+  for (const auto& px : pixels) scalar.add(px);
+  CovarianceAccumulator blocked(dims, mean);
+  blocked.add_block(flat.data(), 33);  // uneven blocks with ragged tails
+  blocked.add_block(flat.data() + 33 * dims, 32);
+  blocked.add_block(flat.data() + 65 * dims, 5);
+
+  EXPECT_EQ(blocked.count(), scalar.count());
+  EXPECT_LT(relative_difference(blocked.covariance(), scalar.covariance()),
+            1e-12);
+}
+
 TEST(MomentAccumulatorTest, RemoveRetractsExactly) {
   const int dims = 6;
   const auto pixels = random_pixels(50, dims, 9);

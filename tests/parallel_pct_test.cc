@@ -1,6 +1,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <chrono>
 #include <thread>
 
 #include "core/parallel/parallel_pct.h"
@@ -98,6 +99,30 @@ TEST(ThreadPoolTest, NestedExceptionPropagatesThroughOuterGroup) {
                      });
                    }),
                std::runtime_error);
+}
+
+TEST(ThreadPoolTest, IdleSecondsTracksParkedWorkers) {
+  ThreadPool pool(2);
+  // Workers park immediately: idle grows while the pool sits unused, and
+  // in-progress parks are visible at read time (no wake-up needed) — this
+  // is what makes interval deltas exact across park boundaries.
+  const double idle0 = pool.idle_seconds();
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  const double idle1 = pool.idle_seconds();
+  EXPECT_GE(idle1 - idle0, 0.1);  // 2 parked workers x 100 ms, minus slop
+
+  // Saturating work: 3 spin tasks feed both workers AND the helping
+  // caller (which always drains the queue too, but is external and never
+  // counted), so worker idle accrues at most scheduling slop.
+  const double idle2 = pool.idle_seconds();
+  pool.parallel_tasks(3, [](int) {
+    const auto until =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(60);
+    while (std::chrono::steady_clock::now() < until) {
+    }
+  });
+  const double idle3 = pool.idle_seconds();
+  EXPECT_LE(idle3 - idle2, 0.05);
 }
 
 // Concurrent callers from non-pool threads (the FusionService pattern:

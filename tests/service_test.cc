@@ -360,6 +360,23 @@ TEST(ServiceTest, FullModeJobsExecuteOnSharedHostPool) {
         << "job " << id;
     EXPECT_EQ(rec.outcome.unique_set_size, expected.unique_set_size);
     EXPECT_EQ(rec.outcome.eigenvalues, expected.eigenvalues);
+    // Each host-executed job reports its wall time on the shared pool.
+    EXPECT_GT(rec.host_seconds, 0.0) << "job " << id;
+  }
+
+  // Host-pool utilisation. (busy is capacity - idle by construction, so
+  // assert the independently measured quantities instead.)
+  const HostPoolStats& pool = report.host_pool;
+  EXPECT_EQ(pool.threads, cfg.execution_threads);
+  EXPECT_GT(pool.wall_seconds, 0.0);
+  EXPECT_GT(pool.busy_seconds, 0.0);
+  EXPECT_GE(pool.idle_seconds, 0.0);
+  EXPECT_LE(pool.idle_seconds, pool.wall_seconds * pool.threads);
+  EXPECT_GT(pool.utilization, 0.0);
+  EXPECT_LE(pool.utilization, 1.0);
+  // Every job's fused run happened inside the host-execution phase.
+  for (const JobId id : {a, b, c}) {
+    EXPECT_LE(record_of(report, id).host_seconds, pool.wall_seconds + 1e-6);
   }
 }
 
@@ -385,6 +402,11 @@ TEST(ServiceTest, HostPoolOffKeepsActorExecution) {
   // The simulated actors computed the composite, exactly as before.
   EXPECT_EQ(record_of(report, id).outcome.composite.data.size(),
             static_cast<std::size_t>(scene.cube.pixel_count()) * 3);
+  // No host pool: utilisation report stays empty.
+  EXPECT_EQ(report.host_pool.threads, 0);
+  EXPECT_EQ(report.host_pool.wall_seconds, 0.0);
+  EXPECT_EQ(report.host_pool.utilization, 0.0);
+  EXPECT_EQ(record_of(report, id).host_seconds, 0.0);
 }
 
 // --- Resiliency on the shared cluster ---------------------------------------
