@@ -64,6 +64,27 @@ void merge_blocked(UniqueSet& unique, const UniqueSet& other,
 
 }  // namespace
 
+void fold_unique_moments(UniqueSet& unique, linalg::MomentAccumulator& total,
+                         const UniqueSet& tile_set,
+                         const linalg::MomentAccumulator& tile_moments,
+                         ThreadPool& pool, std::vector<std::uint8_t>& dropped,
+                         std::uint64_t* merge_comparisons) {
+  const int bands = unique.bands();
+  const std::size_t admit_start = unique.size();
+  merge_blocked(unique, tile_set, pool, dropped, merge_comparisons);
+  const std::size_t admits = unique.size() - admit_start;
+  const std::size_t drops = tile_set.size() - admits;
+  if (drops <= admits) {
+    total.merge(tile_moments);
+    for (std::size_t j = 0; j < tile_set.size(); ++j) {
+      if (dropped[j] != 0) total.remove(tile_set.member(j));
+    }
+  } else if (admits > 0) {
+    total.add_block(unique.flat().data() + admit_start * bands,
+                    static_cast<int>(admits));
+  }
+}
+
 PctResult fuse_parallel(const hsi::ImageCube& cube, ThreadPool& pool,
                         const ParallelPctConfig& config) {
   RIF_CHECK(config.pct.output_components >= 3);
@@ -246,20 +267,9 @@ PctResult fuse_parallel_fused(const hsi::ImageCube& cube, ThreadPool& pool,
   linalg::MomentAccumulator total = std::move(tile_moments.front());
   std::vector<std::uint8_t> dropped;
   for (int i = 1; i < tile_count; ++i) {
-    const UniqueSet& tile_set = tile_sets[static_cast<std::size_t>(i)];
-    const std::size_t admit_start = unique.size();
-    merge_blocked(unique, tile_set, pool, dropped, &result.merge_comparisons);
-    const std::size_t admits = unique.size() - admit_start;
-    const std::size_t drops = tile_set.size() - admits;
-    if (drops <= admits) {
-      total.merge(tile_moments[static_cast<std::size_t>(i)]);
-      for (std::size_t j = 0; j < tile_set.size(); ++j) {
-        if (dropped[j] != 0) total.remove(tile_set.member(j));
-      }
-    } else if (admits > 0) {
-      total.add_block(unique.flat().data() + admit_start * bands,
-                      static_cast<int>(admits));
-    }
+    fold_unique_moments(unique, total, tile_sets[static_cast<std::size_t>(i)],
+                        tile_moments[static_cast<std::size_t>(i)], pool,
+                        dropped, &result.merge_comparisons);
   }
   result.unique_set_size = unique.size();
   RIF_CHECK_MSG(unique.size() >= 3, "degenerate scene: unique set too small");

@@ -8,8 +8,13 @@
 // step, parallel transform + colour mapping.
 #pragma once
 
+#include <cstdint>
+#include <vector>
+
 #include "core/parallel/thread_pool.h"
 #include "core/pct.h"
+#include "core/spectral_angle.h"
+#include "linalg/stats.h"
 
 namespace rif::core {
 
@@ -65,5 +70,24 @@ PctResult fuse_parallel_fused(const hsi::ImageCube& cube, ThreadPool& pool,
 /// Convenience overload owning a transient pool.
 PctResult fuse_parallel_fused(const hsi::ImageCube& cube,
                               const ParallelPctConfig& config);
+
+/// The fused engine's merge step, exposed as the shared primitive behind
+/// fuse_parallel_fused and the out-of-core StreamingFusionEngine: fold one
+/// tile's unique set AND its moment sums into the running global pair.
+///
+/// The set fold is the blocked-concurrent variant — candidates screen
+/// against the frozen member prefix in parallel on `pool`, admissions stay
+/// in sequential fold order, so the merged set is identical to a
+/// sequential left fold (and independent of the pool's thread count). The
+/// surviving moment sums are kept exact by the cheaper of two paths:
+/// retract the dropped members from the tile's sums, or rebuild the tile's
+/// contribution from the admitted members. Both accumulators must share
+/// the same origin. `dropped` is caller-owned scratch (reused across
+/// calls); `merge_comparisons`, if non-null, accrues angle evaluations.
+void fold_unique_moments(UniqueSet& unique, linalg::MomentAccumulator& total,
+                         const UniqueSet& tile_set,
+                         const linalg::MomentAccumulator& tile_moments,
+                         ThreadPool& pool, std::vector<std::uint8_t>& dropped,
+                         std::uint64_t* merge_comparisons);
 
 }  // namespace rif::core

@@ -113,6 +113,34 @@ void transform_and_map_range(const hsi::ImageCube& cube,
   }
 }
 
+void transform_and_map_chunk(const float* pixels, std::int64_t count,
+                             const linalg::Matrix& transform,
+                             const std::vector<double>& bias,
+                             const std::array<ComponentScale, 3>& scales,
+                             float* plane_chunk, hsi::RgbImage& composite,
+                             std::int64_t out_offset) {
+  const int comps = transform.rows();
+  const int bands = transform.cols();
+  constexpr std::int64_t kBlock = 128;
+  std::vector<float> comp(static_cast<std::size_t>(comps) * kBlock);
+  for (std::int64_t p0 = 0; p0 < count; p0 += kBlock) {
+    const std::int64_t n = std::min(kBlock, count - p0);
+    project_pixels(transform, bias, pixels + p0 * bands, n, comp.data());
+    if (plane_chunk != nullptr) {
+      std::copy_n(comp.data(), static_cast<std::size_t>(n) * comps,
+                  plane_chunk + p0 * comps);
+    }
+    for (std::int64_t k = 0; k < n; ++k) {
+      const float* px = comp.data() + k * comps;
+      const auto p = static_cast<std::size_t>(out_offset + p0 + k);
+      const auto rgb = map_pixel({px[0], px[1], px[2]}, scales);
+      composite.data[p * 3 + 0] = rgb[0];
+      composite.data[p * 3 + 1] = rgb[1];
+      composite.data[p * 3 + 2] = rgb[2];
+    }
+  }
+}
+
 PctResult fuse(const hsi::ImageCube& cube, const PctConfig& config) {
   RIF_CHECK(config.output_components >= 3);
   RIF_CHECK(config.output_components <= cube.bands());

@@ -97,6 +97,23 @@ void transform_and_map_range(const hsi::ImageCube& cube,
                              hsi::RgbImage& composite, std::int64_t lo,
                              std::int64_t hi);
 
+/// Steps 7-8 over `count` contiguous BIP pixels held in a caller buffer —
+/// the out-of-core sibling of transform_and_map_range for engines that
+/// never hold a whole ImageCube (the streaming pipeline's transform
+/// stage). `pixels` is count x transform.cols() floats; the colour-mapped
+/// bytes land at flat pixel offset `out_offset` of `composite`. When
+/// `plane_chunk` is non-null it receives the raw components pixel-major
+/// (count x transform.rows(), the project_pixels layout) so callers can
+/// sink component planes chunk-by-chunk instead of materializing them.
+/// Same blocked projection kernel and per-pixel arithmetic as
+/// transform_and_map_range, so composites agree byte-for-byte.
+void transform_and_map_chunk(const float* pixels, std::int64_t count,
+                             const linalg::Matrix& transform,
+                             const std::vector<double>& bias,
+                             const std::array<ComponentScale, 3>& scales,
+                             float* plane_chunk, hsi::RgbImage& composite,
+                             std::int64_t out_offset);
+
 /// Flops charged per transformed pixel for `bands` -> `components`.
 inline double transform_flops_per_pixel(int bands, int components) {
   return static_cast<double>(components) * (2.0 * bands) + bands;

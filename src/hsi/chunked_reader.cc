@@ -1,0 +1,132 @@
+#include "hsi/chunked_reader.h"
+
+#include <utility>
+
+#include "support/check.h"
+#include "support/log.h"
+
+namespace rif::hsi {
+
+namespace {
+
+/// 64-bit-clean seek: std::fseek takes a long, which is 32 bits on
+/// Windows and 32-bit targets — it would truncate offsets in exactly the
+/// >= 2 GiB cubes this reader exists for.
+bool seek_to(std::FILE* f, std::uint64_t byte_offset) {
+#if defined(_WIN32)
+  return _fseeki64(f, static_cast<long long>(byte_offset), SEEK_SET) == 0;
+#else
+  return fseeko(f, static_cast<off_t>(byte_offset), SEEK_SET) == 0;
+#endif
+}
+
+bool read_at(std::FILE* f, std::uint64_t byte_offset, float* dst,
+             std::size_t count) {
+  if (!seek_to(f, byte_offset)) return false;
+  return std::fread(dst, sizeof(float), count, f) == count;
+}
+
+}  // namespace
+
+std::optional<ChunkedCubeReader> ChunkedCubeReader::open(
+    const std::string& path) {
+  auto header = read_header(path + ".hdr");
+  if (!header) {
+    RIF_LOG_WARN("chunked_reader", "bad or missing header for " << path);
+    return std::nullopt;
+  }
+  if (!validate_data_size(path, *header)) return std::nullopt;
+  std::FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    RIF_LOG_WARN("chunked_reader", "cannot open data file " << path);
+    return std::nullopt;
+  }
+  return ChunkedCubeReader(path, *header, f);
+}
+
+ChunkedCubeReader::ChunkedCubeReader(ChunkedCubeReader&& other) noexcept
+    : path_(std::move(other.path_)),
+      header_(other.header_),
+      file_(std::exchange(other.file_, nullptr)),
+      scratch_(std::move(other.scratch_)) {}
+
+ChunkedCubeReader& ChunkedCubeReader::operator=(
+    ChunkedCubeReader&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    path_ = std::move(other.path_);
+    header_ = other.header_;
+    file_ = std::exchange(other.file_, nullptr);
+    scratch_ = std::move(other.scratch_);
+  }
+  return *this;
+}
+
+ChunkedCubeReader::~ChunkedCubeReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+bool ChunkedCubeReader::read_lines(int line0, int count,
+                                   std::vector<float>& out) {
+  RIF_CHECK(file_ != nullptr);
+  RIF_CHECK(line0 >= 0 && count > 0 && line0 + count <= header_.lines);
+  const int W = header_.samples;
+  const int B = header_.bands;
+  const std::size_t line_floats = static_cast<std::size_t>(W) * B;
+  const std::size_t chunk_floats = line_floats * count;
+  out.resize(chunk_floats);
+
+  switch (header_.interleave) {
+    case Interleave::kBip:
+      // Lines are contiguous pixels, pixels are contiguous bands: the
+      // chunk IS one byte range of the file.
+      return read_at(file_, static_cast<std::uint64_t>(line0) * line_floats *
+                                sizeof(float),
+                     out.data(), chunk_floats);
+
+    case Interleave::kBil: {
+      // A BIL line is its bands back-to-back (W samples per band), so a
+      // run of lines is still one byte range; permute each line to BIP.
+      scratch_.resize(chunk_floats);
+      if (!read_at(file_, static_cast<std::uint64_t>(line0) * line_floats *
+                              sizeof(float),
+                   scratch_.data(), chunk_floats)) {
+        return false;
+      }
+      for (int y = 0; y < count; ++y) {
+        const float* line = scratch_.data() + static_cast<std::size_t>(y) *
+                                                  line_floats;
+        float* dst = out.data() + static_cast<std::size_t>(y) * line_floats;
+        for (int b = 0; b < B; ++b) {
+          for (int x = 0; x < W; ++x) {
+            dst[static_cast<std::size_t>(x) * B + b] =
+                line[static_cast<std::size_t>(b) * W + x];
+          }
+        }
+      }
+      return true;
+    }
+
+    case Interleave::kBsq: {
+      // The chunk's rows live in every band plane: one seek + read per
+      // band, gathered into the BIP buffer.
+      const std::size_t rows_floats = static_cast<std::size_t>(W) * count;
+      scratch_.resize(rows_floats);
+      const std::uint64_t plane_bytes =
+          static_cast<std::uint64_t>(W) * header_.lines * sizeof(float);
+      for (int b = 0; b < B; ++b) {
+        const std::uint64_t off =
+            static_cast<std::uint64_t>(b) * plane_bytes +
+            static_cast<std::uint64_t>(line0) * W * sizeof(float);
+        if (!read_at(file_, off, scratch_.data(), rows_floats)) return false;
+        for (std::size_t p = 0; p < rows_floats; ++p) {
+          out[p * B + b] = scratch_[p];
+        }
+      }
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace rif::hsi

@@ -1,0 +1,76 @@
+// Windowed (out-of-core) cube reads: N image lines at a time, delivered in
+// the internal BIP layout, without ever materializing the whole cube.
+//
+// This is the ingest side of the streaming fusion pipeline: where load_cube
+// caps scene size at RAM and serializes the whole load in front of the
+// first screened pixel, a ChunkedCubeReader walks the data file in
+// line-band windows whose footprint the caller chooses. All three standard
+// interleaves are supported:
+//
+//   BIP  a run of whole lines is one contiguous byte range — one read.
+//   BIL  likewise contiguous (a line is its bands back-to-back), read in
+//        one go and permuted to BIP in-memory.
+//   BSQ  the chunk's rows are strided across the band planes — one seek +
+//        read per band, gathered into BIP.
+//
+// Header parsing and data-file validation are shared with load_cube
+// (read_header / validate_data_size), so both loaders accept and reject
+// exactly the same files.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "hsi/cube_io.h"
+
+namespace rif::hsi {
+
+class ChunkedCubeReader {
+ public:
+  /// Open `<path>` + `<path>.hdr`. nullopt on a bad header, an unopenable
+  /// data file, or a data file whose byte length does not match the header
+  /// (validate_data_size — truncated and oversized files are both refused
+  /// up front, before any chunk is read).
+  static std::optional<ChunkedCubeReader> open(const std::string& path);
+
+  ChunkedCubeReader(ChunkedCubeReader&& other) noexcept;
+  ChunkedCubeReader& operator=(ChunkedCubeReader&& other) noexcept;
+  ChunkedCubeReader(const ChunkedCubeReader&) = delete;
+  ChunkedCubeReader& operator=(const ChunkedCubeReader&) = delete;
+  ~ChunkedCubeReader();
+
+  [[nodiscard]] const CubeHeader& header() const { return header_; }
+  [[nodiscard]] int samples() const { return header_.samples; }
+  [[nodiscard]] int lines() const { return header_.lines; }
+  [[nodiscard]] int bands() const { return header_.bands; }
+  [[nodiscard]] const std::string& path() const { return path_; }
+
+  /// Bytes of one BIP chunk buffer holding `chunk_lines` lines.
+  [[nodiscard]] std::uint64_t chunk_bytes(int chunk_lines) const {
+    return static_cast<std::uint64_t>(chunk_lines) * header_.samples *
+           header_.bands * sizeof(float);
+  }
+
+  /// Read `count` lines starting at image line `line0` into `out`, resized
+  /// to count * samples * bands floats in BIP order. Seeks first, so chunks
+  /// may be read in any order and the file traversed any number of times
+  /// (the fusion pipeline makes one pass for statistics and a second for
+  /// the transform). Returns false on an I/O error. Not thread-safe: one
+  /// reader, one thread (the streaming engine gives the reader stage a
+  /// dedicated thread).
+  bool read_lines(int line0, int count, std::vector<float>& out);
+
+ private:
+  ChunkedCubeReader(std::string path, CubeHeader header, std::FILE* file)
+      : path_(std::move(path)), header_(header), file_(file) {}
+
+  std::string path_;
+  CubeHeader header_;
+  std::FILE* file_ = nullptr;
+  std::vector<float> scratch_;  ///< interleave staging (BIL/BSQ)
+};
+
+}  // namespace rif::hsi

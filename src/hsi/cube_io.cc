@@ -4,8 +4,10 @@
 #include <cctype>
 #include <cstdio>
 #include <cstring>
+#include <filesystem>
 #include <fstream>
 #include <sstream>
+#include <system_error>
 
 #include "support/check.h"
 #include "support/log.h"
@@ -26,6 +28,23 @@ std::string lower(std::string s) {
   std::transform(s.begin(), s.end(), s.begin(),
                  [](unsigned char c) { return std::tolower(c); });
   return s;
+}
+
+/// getline accepting LF, CRLF and lone-CR terminators. Real-world ENVI
+/// headers are often Windows-authored; a CR-only file would otherwise come
+/// back from std::getline as ONE line and lose every key after the first.
+bool getline_any(std::istream& in, std::string& line) {
+  line.clear();
+  int c;
+  while ((c = in.get()) != EOF) {
+    if (c == '\n') return true;
+    if (c == '\r') {
+      if (in.peek() == '\n') in.get();
+      return true;
+    }
+    line.push_back(static_cast<char>(c));
+  }
+  return !line.empty();
 }
 
 }  // namespace
@@ -144,7 +163,13 @@ std::optional<CubeHeader> read_header(const std::string& hdr_path) {
   CubeHeader header;
   bool has_samples = false, has_lines = false, has_bands = false;
   std::string line;
-  while (std::getline(in, line)) {
+  bool first_line = true;
+  while (getline_any(in, line)) {
+    if (first_line) {
+      // Strip a UTF-8 BOM some Windows editors prepend.
+      if (line.rfind("\xEF\xBB\xBF", 0) == 0) line.erase(0, 3);
+      first_line = false;
+    }
     const auto eq = line.find('=');
     if (eq == std::string::npos) continue;
     const std::string key = lower(trim(line.substr(0, eq)));
@@ -168,7 +193,8 @@ std::optional<CubeHeader> read_header(const std::string& hdr_path) {
     } else if (key == "wavelength") {
       // Multi-line { a, b, ... } list.
       std::string list = value;
-      while (list.find('}') == std::string::npos && std::getline(in, line)) {
+      while (list.find('}') == std::string::npos && getline_any(in, line)) {
+        list += ' ';
         list += line;
       }
       std::string nums;
@@ -191,6 +217,33 @@ std::optional<CubeHeader> read_header(const std::string& hdr_path) {
   return header;
 }
 
+std::uint64_t expected_data_bytes(const CubeHeader& header) {
+  return static_cast<std::uint64_t>(header.samples) * header.lines *
+         header.bands * sizeof(float);
+}
+
+bool validate_data_size(const std::string& path, const CubeHeader& header) {
+  std::error_code ec;
+  const std::uintmax_t actual = std::filesystem::file_size(path, ec);
+  if (ec) {
+    RIF_LOG_WARN("cube_io", "cannot stat data file " << path << ": "
+                                                     << ec.message());
+    return false;
+  }
+  const std::uint64_t expected = expected_data_bytes(header);
+  if (actual != expected) {
+    RIF_LOG_WARN("cube_io",
+                 "data file " << path << " is " << actual << " bytes but "
+                              << header.samples << "x" << header.lines << "x"
+                              << header.bands << " float32 needs " << expected
+                              << " (" << (actual < expected ? "truncated"
+                                                            : "oversized")
+                              << " file?)");
+    return false;
+  }
+  return true;
+}
+
 std::optional<ImageCube> load_cube(const std::string& path,
                                    CubeHeader* header_out) {
   const auto header = read_header(path + ".hdr");
@@ -198,6 +251,7 @@ std::optional<ImageCube> load_cube(const std::string& path,
     RIF_LOG_WARN("cube_io", "bad or missing header for " << path);
     return std::nullopt;
   }
+  if (!validate_data_size(path, *header)) return std::nullopt;
   const std::size_t count = static_cast<std::size_t>(header->samples) *
                             header->lines * header->bands;
   std::vector<float> data(count);

@@ -9,6 +9,7 @@
 // Loading converts any interleave to the internal BIP layout.
 #pragma once
 
+#include <cstdint>
 #include <optional>
 #include <string>
 #include <vector>
@@ -35,8 +36,20 @@ bool save_cube(const std::string& path, const ImageCube& cube,
                Interleave interleave = Interleave::kBip,
                const std::vector<double>& wavelengths = {});
 
-/// Parse a header file; nullopt on malformed/missing keys.
+/// Parse a header file; nullopt on malformed/missing keys. Tolerates
+/// Windows-authored files: CRLF (and CR-only) line endings, a UTF-8 BOM,
+/// and stray whitespace/tabs around the `=` of each key.
 std::optional<CubeHeader> read_header(const std::string& hdr_path);
+
+/// Byte length the data file must have for `header`:
+/// samples * lines * bands * sizeof(float).
+std::uint64_t expected_data_bytes(const CubeHeader& header);
+
+/// True iff the data file at `path` exists and its byte length matches
+/// `header` exactly. Truncated AND oversized files are rejected, with a log
+/// line naming both sizes. The single validation path shared by the
+/// in-memory loader (load_cube) and the out-of-core ChunkedCubeReader.
+bool validate_data_size(const std::string& path, const CubeHeader& header);
 
 /// Load `<path>` + `<path>.hdr`; nullopt on I/O or consistency errors.
 /// `header_out`, if non-null, receives the parsed header (wavelengths).

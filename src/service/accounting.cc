@@ -1,5 +1,7 @@
 #include "service/accounting.h"
 
+#include "support/check.h"
+
 namespace rif::service {
 
 TenantAccount& Ledger::account(const std::string& tenant) {
@@ -26,6 +28,13 @@ void Ledger::record_completed(const JobRecord& record) {
   acc.flops_charged += record.flops_charged;
   acc.queue_wait.record(record.wait_seconds);
   acc.service_time.record(record.service_seconds);
+}
+
+void Ledger::reclassify_completed_as_failed(const JobRecord& record) {
+  TenantAccount& acc = account(record.tenant);
+  RIF_CHECK(acc.jobs_completed > 0);
+  --acc.jobs_completed;
+  ++acc.jobs_failed;
 }
 
 const TenantAccount* Ledger::find(const std::string& tenant) const {

@@ -21,6 +21,14 @@ class Ledger {
   void record_failed(const JobRecord& record);
   void record_completed(const JobRecord& record);
 
+  /// Move a job previously record_completed() into the failed bucket — a
+  /// host-execution failure discovered after its virtual completion (e.g.
+  /// a streaming job whose cube file died mid-read). Flops stay charged
+  /// (the leased nodes did run) and the wait/service histogram samples
+  /// stay (the job really did queue and hold its lease); only the
+  /// terminal bucket moves, preserving the one-bucket-per-job invariant.
+  void reclassify_completed_as_failed(const JobRecord& record);
+
   /// Account for `tenant`, or nullptr if it never submitted.
   [[nodiscard]] const TenantAccount* find(const std::string& tenant) const;
 

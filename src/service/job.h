@@ -14,12 +14,34 @@
 #include "cluster/node.h"
 #include "core/distributed/fusion_job.h"
 #include "scp/types.h"
+#include "stream/streaming_engine.h"
 #include "support/time.h"
 
 namespace rif::service {
 
 using JobId = scp::JobId;
 inline constexpr JobId kNoJob = scp::kNoJob;
+
+/// How an admitted job's pixels reach the host execution pool.
+///
+///  * kFull      — the tenant hands the service an in-memory cube
+///                 (FusionJobConfig::cube); host execution runs the fused
+///                 shared-memory engine over it. Peak memory: the cube.
+///  * kStreaming — the tenant hands the service a cube FILE (cube_path);
+///                 host execution streams it out-of-core through the
+///                 StreamingFusionEngine in bounded memory. Peak memory:
+///                 queue_depth chunk buffers, which is what the Scheduler
+///                 budgets instead of the whole-cube footprint — scenes
+///                 larger than RAM become admissible.
+enum class JobMode { kFull = 0, kStreaming = 1 };
+
+inline const char* to_string(JobMode m) {
+  switch (m) {
+    case JobMode::kFull: return "full";
+    case JobMode::kStreaming: return "streaming";
+  }
+  return "?";
+}
 
 /// Priority classes, strongest first. Queueing is FIFO within a class.
 enum class Priority : int { kHigh = 0, kNormal = 1, kBatch = 2 };
@@ -46,6 +68,10 @@ enum class RejectReason {
   kTooManyWorkers,
   /// The bounded queue was full when the job arrived.
   kQueueFull,
+  /// The job's peak-memory demand (whole cube for Full mode, queue_depth
+  /// chunk buffers for Streaming) exceeds the service's host-memory budget
+  /// outright — admitting it would queue it forever.
+  kOverMemoryBudget,
 };
 
 inline const char* to_string(RejectReason r) {
@@ -54,6 +80,7 @@ inline const char* to_string(RejectReason r) {
     case RejectReason::kBadConfig: return "bad-config";
     case RejectReason::kTooManyWorkers: return "too-many-workers";
     case RejectReason::kQueueFull: return "queue-full";
+    case RejectReason::kOverMemoryBudget: return "over-memory-budget";
   }
   return "?";
 }
@@ -64,6 +91,17 @@ struct JobRequest {
   Priority priority = Priority::kNormal;
   /// Virtual time at which the request reaches the service.
   SimTime arrival = 0;
+
+  JobMode mode = JobMode::kFull;
+  /// Streaming mode: the cube file (`<path>` + `<path>.hdr`) to fuse
+  /// out-of-core. `config.cube` stays null; the job's shape is read from
+  /// the header at submission. Requires ServiceConfig::execution_threads.
+  std::string cube_path;
+  /// Streaming mode: image lines per chunk (the I/O and fold unit).
+  int chunk_lines = 64;
+  /// Streaming mode: chunk buffers in flight (>= 3); with chunk_lines this
+  /// IS the job's budgeted peak memory.
+  int queue_depth = 4;
 };
 
 struct SubmitResult {
@@ -79,7 +117,11 @@ struct JobRecord {
   JobId id = kNoJob;
   std::string tenant;
   Priority priority = Priority::kNormal;
+  JobMode mode = JobMode::kFull;
   int workers = 0;
+  /// Peak host memory the Scheduler budgeted for this job (0 when the job
+  /// carries no host working set, e.g. CostOnly simulations).
+  std::uint64_t memory_demand = 0;
   RejectReason rejected = RejectReason::kNone;
   bool completed = false;
   /// Accepted and started, but lost to failures before completing.
@@ -100,6 +142,11 @@ struct JobRecord {
   /// concurrently on one pool, so these overlap and may sum past the
   /// phase's wall time.
   double host_seconds = 0.0;
+  /// Streaming-mode pipeline counters (zeros for every other job): chunk
+  /// count, bytes streamed, per-stage times and stall seconds, peak buffer
+  /// footprint. The per-job view of the pipeline's health — reader stall
+  /// means backpressure (compute-bound), compute stall means starvation.
+  stream::StreamingStats stream;
   core::JobOutcome outcome;
 };
 

@@ -20,9 +20,14 @@ class JobQueue {
     Priority priority = Priority::kNormal;
     std::uint64_t seq = 0;  ///< global arrival order (FIFO tie-break)
     int workers = 0;        ///< worker-node demand
+    /// Peak host-memory demand (bytes): the whole cube for Full-mode host
+    /// execution, queue_depth chunk buffers for Streaming, 0 for jobs with
+    /// no host working set.
+    std::uint64_t memory = 0;
   };
 
-  void push(JobId id, Priority priority, int workers);
+  void push(JobId id, Priority priority, int workers,
+            std::uint64_t memory = 0);
 
   /// Remove a queued job (it was admitted or abandoned). Returns false if
   /// the id is not queued.

@@ -2,14 +2,18 @@
 
 namespace rif::service {
 
-JobId Scheduler::pick(const JobQueue& queue, int free_workers) const {
+JobId Scheduler::pick(const JobQueue& queue, int free_workers,
+                      std::uint64_t free_memory) const {
   if (free_workers <= 0) return kNoJob;
   const std::vector<JobQueue::Entry> entries = queue.in_order();
+  const auto fits = [&](const JobQueue::Entry& e) {
+    return e.workers <= free_workers && e.memory <= free_memory;
+  };
 
   switch (policy_) {
     case AdmissionPolicy::kFirstFit:
       for (const auto& e : entries) {
-        if (e.workers <= free_workers) return e.id;
+        if (fits(e)) return e.id;
       }
       return kNoJob;
 
@@ -19,7 +23,7 @@ JobId Scheduler::pick(const JobQueue& queue, int free_workers) const {
       // entries are already in priority-then-FIFO order, so a strict `<`
       // keeps the earliest candidate among equal demands.
       for (const auto& e : entries) {
-        if (e.workers > free_workers) continue;
+        if (!fits(e)) continue;
         if (best == kNoJob || e.workers < best_workers) {
           best = e.id;
           best_workers = e.workers;

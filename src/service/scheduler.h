@@ -1,10 +1,14 @@
 // Admission scheduling of the fusion service.
 //
 // The scheduler decides which queued job to admit next against the free
-// worker capacity tracked by the LeaseBook. Both policies backfill — a job
-// too large for the current free set never blocks smaller jobs behind it —
-// so the queue keeps draining at saturation; they differ in *which* fitting
-// job goes first:
+// worker capacity tracked by the LeaseBook AND the free host-memory budget
+// (a job "fits" only when both its worker demand and its peak-memory
+// demand fit — the memory demand being the whole cube for a Full-mode host
+// job but only queue_depth chunk buffers for a Streaming one, which is how
+// larger-than-budget scenes stay admissible). Both policies backfill — a
+// job too large for the current free set never blocks smaller jobs behind
+// it — so the queue keeps draining at saturation; they differ in *which*
+// fitting job goes first:
 //
 //  * kFirstFit       — the first fitting job in priority-then-FIFO order.
 //                      Preserves arrival fairness within a priority class.
@@ -14,9 +18,16 @@
 //                      for throughput; big jobs run when the cluster drains.
 #pragma once
 
+#include <cstdint>
+#include <limits>
+
 #include "service/job_queue.h"
 
 namespace rif::service {
+
+/// `free_memory` value meaning "no memory budgeting".
+inline constexpr std::uint64_t kUnlimitedMemory =
+    std::numeric_limits<std::uint64_t>::max();
 
 enum class AdmissionPolicy { kFirstFit, kSmallestFirst };
 
@@ -34,9 +45,12 @@ class Scheduler {
 
   [[nodiscard]] AdmissionPolicy policy() const { return policy_; }
 
-  /// The job to admit with `free_workers` nodes available, or kNoJob when
-  /// nothing queued fits. Does not mutate the queue.
-  [[nodiscard]] JobId pick(const JobQueue& queue, int free_workers) const;
+  /// The job to admit with `free_workers` nodes and `free_memory` bytes of
+  /// host budget available, or kNoJob when nothing queued fits both. Does
+  /// not mutate the queue.
+  [[nodiscard]] JobId pick(const JobQueue& queue, int free_workers,
+                           std::uint64_t free_memory = kUnlimitedMemory)
+      const;
 
  private:
   AdmissionPolicy policy_;

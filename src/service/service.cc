@@ -5,6 +5,9 @@
 #include <utility>
 
 #include "core/parallel/parallel_pct.h"
+#include "hsi/chunked_reader.h"
+#include "linalg/kernels.h"
+#include "stream/streaming_engine.h"
 #include "support/check.h"
 #include "support/log.h"
 
@@ -58,6 +61,17 @@ RejectReason FusionService::validate(const JobRequest& request) const {
   if (cfg.mode == core::ExecutionMode::kFull && cfg.cube == nullptr) {
     return RejectReason::kBadConfig;
   }
+  if (request.mode == JobMode::kStreaming) {
+    // Streaming jobs fuse a FILE on the host pool; the simulated actors
+    // only play out timing/placement, so an in-memory cube (or Full-mode
+    // actor execution) alongside is a contradiction.
+    if (request.cube_path.empty() || cfg.cube != nullptr ||
+        cfg.mode == core::ExecutionMode::kFull ||
+        config_.execution_threads <= 0 || request.chunk_lines < 1 ||
+        request.queue_depth < 3) {
+      return RejectReason::kBadConfig;
+    }
+  }
   if (cfg.replication > 1 && !config_.runtime.resilient) {
     return RejectReason::kBadConfig;
   }
@@ -81,11 +95,40 @@ SubmitResult FusionService::submit(JobRequest request) {
   job->record.id = id;
   job->record.tenant = request.tenant;
   job->record.priority = request.priority;
+  job->record.mode = request.mode;
   job->record.workers = request.config.workers;
   job->record.submit_time = request.arrival;
   ledger_.record_submitted(request.tenant);
 
-  const RejectReason reason = validate(request);
+  RejectReason reason = validate(request);
+  if (reason == RejectReason::kNone &&
+      request.mode == JobMode::kStreaming) {
+    // Structural validation of the file itself: parseable header, data
+    // length matching the dims (the shared cube_io validation path). The
+    // header also gives the job its shape — for the cost-model actors —
+    // and its budgeted peak memory: queue_depth chunk buffers, NOT the
+    // cube. That is the admission-control point of Streaming mode.
+    const auto reader = hsi::ChunkedCubeReader::open(request.cube_path);
+    if (!reader) {
+      reason = RejectReason::kBadConfig;
+    } else {
+      request.config.shape = {reader->samples(), reader->lines(),
+                              reader->bands()};
+      job->record.memory_demand =
+          static_cast<std::uint64_t>(request.queue_depth) *
+          reader->chunk_bytes(std::min(request.chunk_lines,
+                                       reader->lines()));
+    }
+  } else if (reason == RejectReason::kNone &&
+             request.config.cube != nullptr) {
+    // A resident cube is the job's host working set, whole.
+    job->record.memory_demand = request.config.cube->bytes();
+  }
+  if (reason == RejectReason::kNone && config_.host_memory_budget > 0 &&
+      job->record.memory_demand > config_.host_memory_budget) {
+    reason = RejectReason::kOverMemoryBudget;
+  }
+
   if (reason != RejectReason::kNone) {
     job->record.rejected = reason;
     ledger_.record_rejected(request.tenant);
@@ -110,7 +153,8 @@ void FusionService::on_arrival(JobId id) {
     RIF_LOG_WARN("service", "job " << id << " rejected: queue full");
     return;
   }
-  queue_.push(id, job.record.priority, job.record.workers);
+  queue_.push(id, job.record.priority, job.record.workers,
+              job.record.memory_demand);
   dispatch();
 }
 
@@ -122,7 +166,13 @@ void FusionService::dispatch() {
     return cluster_.node(n).alive();
   };
   while (true) {
-    const JobId id = scheduler_.pick(queue_, leases_.free_nodes(alive));
+    // Recomputed per admission: start_job below spends budget.
+    const std::uint64_t free_memory =
+        config_.host_memory_budget == 0
+            ? kUnlimitedMemory
+            : config_.host_memory_budget - memory_in_use_;
+    const JobId id =
+        scheduler_.pick(queue_, leases_.free_nodes(alive), free_memory);
     if (id == kNoJob) break;
     const bool removed = queue_.remove(id);
     RIF_CHECK(removed);
@@ -155,6 +205,11 @@ void FusionService::start_job(JobId id, const cluster::NodeFilter& alive) {
     sim_config.mode = core::ExecutionMode::kCostOnly;
     sim_config.cube = nullptr;
   }
+  // A Streaming job's actors always run CostOnly (validate guarantees it):
+  // placement, leases and message flow play out on the virtual timeline
+  // while the pixels stream from disk on the host pool afterwards.
+  if (job.request.mode == JobMode::kStreaming) job.stream_execute = true;
+  memory_in_use_ += job.record.memory_demand;
   job.instance = std::make_unique<core::FusionJobInstance>(sim_config);
   job.instance->spawn(*runtime_, kHeadNode, job.record.leased_nodes, id,
                       [this, id] { on_job_complete(id); });
@@ -187,6 +242,7 @@ void FusionService::on_job_complete(JobId id) {
   // to the next tenant.
   runtime_->retire_job(id);
   leases_.release(id);
+  memory_in_use_ -= job.record.memory_demand;
   ledger_.record_completed(job.record);
   --running_;
   --outstanding_;
@@ -219,6 +275,7 @@ void FusionService::fail_job(JobId id) {
   // so nothing keeps running inside a lease about to be reclaimed.
   runtime_->retire_job(id);
   leases_.release(id);
+  memory_in_use_ -= job.record.memory_demand;
   ledger_.record_failed(job.record);
   --running_;
   --outstanding_;
@@ -255,40 +312,120 @@ void FusionService::execute_host_jobs() {
   if (exec_pool_ == nullptr) return;
   std::vector<PendingJob*> ready;
   for (auto& job : jobs_) {
-    if (job->host_execute && job->record.completed) ready.push_back(job.get());
+    if ((job->host_execute || job->stream_execute) && job->record.completed) {
+      ready.push_back(job.get());
+    }
   }
   if (ready.empty()) return;
 
-  // All jobs fan out onto the ONE shared pool at once; each job's fused
-  // engine nests its own parallel stages inside its task. The per-job
-  // budget (tiles it can occupy the pool with) is derived from what the
-  // Scheduler admitted: leased workers x tiles_per_worker.
+  // Jobs fan out onto the ONE shared pool; each job's engine nests its
+  // own parallel stages inside its task. The per-job budget (tiles it can
+  // occupy the pool with) is derived from what the Scheduler admitted:
+  // leased workers x tiles_per_worker.
+  //
+  // The host-memory budget must hold HERE, not just on the virtual
+  // timeline: admission serializes virtual concurrency, but host
+  // execution happens after the whole virtual run, so two jobs that never
+  // overlapped virtually would still have their working sets live at the
+  // same wall-clock moment. Partition the ready jobs into waves whose
+  // summed demand fits the budget (first-fit in job order; every single
+  // job fits alone — over-budget demands were rejected at submit) and run
+  // the waves back to back.
+  std::vector<std::vector<PendingJob*>> waves;
+  if (config_.host_memory_budget == 0) {
+    waves.push_back(std::move(ready));
+  } else {
+    std::vector<std::uint64_t> wave_demand;
+    for (PendingJob* job : ready) {
+      const std::uint64_t demand = job->record.memory_demand;
+      std::size_t w = 0;
+      while (w < waves.size() &&
+             wave_demand[w] + demand > config_.host_memory_budget) {
+        ++w;
+      }
+      if (w == waves.size()) {
+        waves.emplace_back();
+        wave_demand.push_back(0);
+      }
+      waves[w].push_back(job);
+      wave_demand[w] += demand;
+    }
+  }
+
   using clock = std::chrono::steady_clock;
   const auto seconds_between = [](clock::time_point a, clock::time_point b) {
     return std::chrono::duration<double>(b - a).count();
   };
   const double idle_before = exec_pool_->idle_seconds();
   const auto phase_start = clock::now();
-  exec_pool_->parallel_tasks(
-      static_cast<int>(ready.size()), [&](int k) {
-        PendingJob& job = *ready[static_cast<std::size_t>(k)];
-        const auto job_start = clock::now();
-        const core::FusionJobConfig& req = job.request.config;
-        core::ParallelPctConfig cfg;
-        cfg.pct.screening_threshold = req.screening_threshold;
-        cfg.pct.output_components = req.output_components;
-        cfg.pct.jacobi = req.jacobi;
-        cfg.tiles = job.record.workers * req.tiles_per_worker;
-        core::PctResult r =
-            core::fuse_parallel_fused(*req.cube, *exec_pool_, cfg);
-        core::JobOutcome& out = job.record.outcome;
-        out.composite = std::move(r.composite);
-        out.eigenvalues = std::move(r.eigenvalues);
-        out.unique_set_size = r.unique_set_size;
-        out.screen_comparisons = r.screen_comparisons;
-        out.merge_comparisons = r.merge_comparisons;
-        job.record.host_seconds = seconds_between(job_start, clock::now());
-      });
+  for (const auto& wave : waves) {
+    exec_pool_->parallel_tasks(
+        static_cast<int>(wave.size()), [&](int k) {
+          PendingJob& job = *wave[static_cast<std::size_t>(k)];
+          const auto job_start = clock::now();
+          const core::FusionJobConfig& req = job.request.config;
+          core::JobOutcome& out = job.record.outcome;
+          if (job.stream_execute) {
+            // Out-of-core: the job's cube streams from disk in bounded
+            // memory; its pool budget (sub-tiles screened at once) is the
+            // same workers x tiles_per_worker the Scheduler admitted.
+            stream::StreamingConfig cfg;
+            cfg.pct.screening_threshold = req.screening_threshold;
+            cfg.pct.output_components = req.output_components;
+            cfg.pct.jacobi = req.jacobi;
+            cfg.chunk_lines = job.request.chunk_lines;
+            cfg.queue_depth = job.request.queue_depth;
+            cfg.tiles_per_chunk = job.record.workers * req.tiles_per_worker;
+            auto r = stream::fuse_streaming(job.request.cube_path, *exec_pool_,
+                                            cfg);
+            if (!r) {
+              // Validated at submit, so this is a mid-run I/O failure (file
+              // vanished, disk error). The virtual run is already over:
+              // record the job failed and keep the service report honest.
+              RIF_LOG_WARN("service", "streaming job "
+                                          << job.record.id << " lost "
+                                          << job.request.cube_path);
+              job.record.completed = false;
+              job.record.failed = true;
+              job.record.host_seconds =
+                  seconds_between(job_start, clock::now());
+              return;  // ledger reclassified after the waves (single thread)
+            }
+            out.composite = std::move(r->composite);
+            out.eigenvalues = std::move(r->eigenvalues);
+            out.unique_set_size = r->unique_set_size;
+            out.screen_comparisons = r->screen_comparisons;
+            out.merge_comparisons = r->merge_comparisons;
+            job.record.stream = r->stats;
+          } else {
+            core::ParallelPctConfig cfg;
+            cfg.pct.screening_threshold = req.screening_threshold;
+            cfg.pct.output_components = req.output_components;
+            cfg.pct.jacobi = req.jacobi;
+            cfg.tiles = job.record.workers * req.tiles_per_worker;
+            core::PctResult r =
+                core::fuse_parallel_fused(*req.cube, *exec_pool_, cfg);
+            out.composite = std::move(r.composite);
+            out.eigenvalues = std::move(r.eigenvalues);
+            out.unique_set_size = r.unique_set_size;
+            out.screen_comparisons = r.screen_comparisons;
+            out.merge_comparisons = r.merge_comparisons;
+          }
+          job.record.host_seconds = seconds_between(job_start, clock::now());
+        });
+  }
+
+  // A host-execution failure (streaming I/O lost mid-run) was discovered
+  // after the job's virtual completion: move it from the tenant's
+  // completed bucket to failed so the per-tenant ledger agrees with the
+  // job records in the same report.
+  for (const auto& wave : waves) {
+    for (PendingJob* job : wave) {
+      if (job->record.failed) {
+        ledger_.reclassify_completed_as_failed(job->record);
+      }
+    }
+  }
 
   // Busy/idle accounting over the phase: pool capacity is threads * wall,
   // and the pool reports parked (idle) execution-thread time directly.
@@ -324,6 +461,17 @@ ServiceReport FusionService::build_report() {
       service_time.record(r.service_seconds);
       latency.record(r.wait_seconds + r.service_seconds);
       last_finish = std::max(last_finish, r.finish_time);
+      if (r.mode == JobMode::kStreaming) {
+        ++report.streaming.jobs;
+        report.streaming.bytes_read += r.stream.bytes_read;
+        report.streaming.max_peak_buffer_bytes =
+            std::max(report.streaming.max_peak_buffer_bytes,
+                     r.stream.peak_buffer_bytes);
+        report.streaming.reader_stall_seconds +=
+            r.stream.reader_stall_seconds;
+        report.streaming.compute_stall_seconds +=
+            r.stream.compute_stall_seconds;
+      }
     }
     // run() is terminal: hand the records (Full-mode outcomes carry whole
     // composite images) to the report rather than duplicating them.
@@ -350,6 +498,7 @@ ServiceReport FusionService::build_report() {
 
   report.tenants = ledger_.snapshot();
   report.host_pool = host_stats_;
+  report.simd_backend = linalg::kernels::backend();
   report.protocol = runtime_->stats();
   report.network = network_->stats();
   report.sim_events = sim_.events_executed();

@@ -116,6 +116,15 @@ struct ServiceConfig {
   /// help-while-waiting ThreadPool makes deadlock-free.
   int execution_threads = 0;
 
+  /// Host-memory budget (bytes) for the peak working sets of concurrently
+  /// admitted jobs. The Scheduler admits a job only when its demand — the
+  /// whole cube for a Full-mode host job, queue_depth chunk buffers for a
+  /// Streaming job — fits the unspent budget, so co-tenants cannot
+  /// collectively blow the host's RAM; a job whose demand exceeds the
+  /// budget outright is rejected kOverMemoryBudget at submission.
+  /// 0 = unbudgeted (memory is not part of admission).
+  std::uint64_t host_memory_budget = 0;
+
   /// Attack script against the shared cluster (virtual timeline).
   std::vector<cluster::FailureEvent> failures;
 
@@ -134,6 +143,18 @@ struct HostPoolStats {
   double busy_seconds = 0.0;  ///< threads * wall - idle
   double idle_seconds = 0.0;  ///< execution-thread time parked in-phase
   double utilization = 0.0;   ///< busy / (threads * wall); 0 when unused
+};
+
+/// Aggregated streaming-pipeline counters over the service's completed
+/// Streaming-mode jobs (see stream::StreamingStats for the per-job view).
+struct StreamingTotals {
+  int jobs = 0;                   ///< streaming jobs host-executed
+  std::uint64_t bytes_read = 0;   ///< file bytes streamed, all jobs
+  /// Largest single-job chunk-buffer high-water — the number that shows
+  /// bounded-memory ingest actually held (vs whole-cube footprints).
+  std::uint64_t max_peak_buffer_bytes = 0;
+  double reader_stall_seconds = 0.0;   ///< backpressure (compute-bound)
+  double compute_stall_seconds = 0.0;  ///< starvation (I/O-bound)
 };
 
 struct ServiceReport {
@@ -161,6 +182,12 @@ struct ServiceReport {
   net::NetworkStats network;
   /// Host-pool busy/idle accounting (ROADMAP: host-pool utilisation).
   HostPoolStats host_pool;
+  /// Streaming-pipeline totals (zeros when no Streaming job ran).
+  StreamingTotals streaming;
+  /// Compile-time SIMD tier of the kernel layer this service executes with
+  /// ("avx2" | "sse2" | "neon" | "scalar") — attributes every perf number
+  /// in this report to the ISA that produced it.
+  std::string simd_backend;
   std::uint64_t sim_events = 0;
 };
 
@@ -197,6 +224,9 @@ class FusionService {
     /// Full-mode job whose composite is computed on the shared host pool
     /// (the simulated actors then run CostOnly for timing/placement).
     bool host_execute = false;
+    /// Streaming-mode job: host execution fuses request.cube_path
+    /// out-of-core through the StreamingFusionEngine.
+    bool stream_execute = false;
   };
 
   [[nodiscard]] RejectReason validate(const JobRequest& request) const;
@@ -228,6 +258,9 @@ class FusionService {
   int running_ = 0;        ///< jobs currently holding leases
   int outstanding_ = 0;    ///< accepted jobs not yet completed/failed
   int max_concurrent_ = 0;
+  /// Budgeted memory of jobs currently holding leases (admission debits,
+  /// completion/failure credits; see ServiceConfig::host_memory_budget).
+  std::uint64_t memory_in_use_ = 0;
   bool ran_ = false;
 };
 

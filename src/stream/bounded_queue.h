@@ -1,0 +1,137 @@
+// Blocking MPMC queue with capacity-based backpressure — the coupling
+// element of the streaming fusion pipeline (reader stage -> compute stage).
+//
+// Semantics:
+//   * push() blocks while the queue is at capacity. That IS the pipeline's
+//     backpressure: a fast producer (disk read-ahead) is throttled to the
+//     consumer's pace, so in-flight memory stays bounded at `capacity`
+//     items no matter how large the input file is.
+//   * pop() blocks while the queue is empty, and drains remaining items
+//     after close() before reporting end-of-stream (nullopt).
+//   * close() wakes every blocked producer and consumer: subsequent and
+//     in-progress pushes return false (the item is NOT enqueued), pops
+//     return queued items until empty, then nullopt. This doubles as the
+//     poison-pill: the producer closes after its last item, or an aborting
+//     consumer closes to release a producer stuck mid-push.
+//
+// Interaction with the help-while-waiting core::ThreadPool: a thread
+// blocked in push()/pop() parks on a condition variable — it does NOT
+// execute queued pool tasks while waiting. That is safe as long as the
+// stage on the other end of the queue makes progress without needing the
+// blocked thread's pool slot. The streaming engine guarantees this by
+// giving the producer (file reader) a dedicated std::thread that never
+// touches the pool: a pool-borrowed consumer can block on pop() at worst
+// until the reader's next chunk lands, never forever. Do NOT run both ends
+// of one BoundedQueue as tasks of the same pool — on a 1-thread pool the
+// consumer task would wait for a producer task that can never be scheduled
+// (regression-tested in tests/stream_test.cc).
+//
+// The time producers spend blocked on a full queue and consumers on an
+// empty one is accumulated (push_stall_seconds / pop_stall_seconds); the
+// streaming engine surfaces both per stage, which is how "are we I/O-bound
+// or compute-bound?" is answered without a profiler.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <utility>
+
+#include "support/check.h"
+
+namespace rif::stream {
+
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(std::size_t capacity) : capacity_(capacity) {
+    RIF_CHECK(capacity >= 1);
+  }
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Block until there is room (or the queue closes), then enqueue.
+  /// Returns false — and drops `item` — iff the queue was closed.
+  bool push(T item) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.size() >= capacity_ && !closed_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      not_full_.wait(lock,
+                     [this] { return items_.size() < capacity_ || closed_; });
+      push_stall_ += std::chrono::duration<double>(
+                         std::chrono::steady_clock::now() - t0)
+                         .count();
+    }
+    if (closed_) return false;
+    items_.push_back(std::move(item));
+    lock.unlock();
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Block until an item is available (or the queue closes and drains),
+  /// then dequeue it. nullopt means end-of-stream: closed and empty.
+  std::optional<T> pop() {
+    std::unique_lock<std::mutex> lock(mutex_);
+    if (items_.empty() && !closed_) {
+      const auto t0 = std::chrono::steady_clock::now();
+      not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
+      pop_stall_ += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - t0)
+                        .count();
+    }
+    if (items_.empty()) return std::nullopt;  // closed and drained
+    std::optional<T> out(std::move(items_.front()));
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return out;
+  }
+
+  /// End the stream: wake every waiter; pushes fail from here on, pops
+  /// drain what is queued then return nullopt. Idempotent.
+  void close() {
+    {
+      const std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_full_.notify_all();
+    not_empty_.notify_all();
+  }
+
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+  [[nodiscard]] std::size_t size() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  [[nodiscard]] bool closed() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+  /// Cumulative seconds producers spent blocked on a full queue
+  /// (backpressure applied) / consumers on an empty one (starvation).
+  [[nodiscard]] double push_stall_seconds() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return push_stall_;
+  }
+  [[nodiscard]] double pop_stall_seconds() const {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    return pop_stall_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_full_;
+  std::condition_variable not_empty_;
+  std::deque<T> items_;
+  bool closed_ = false;
+  double push_stall_ = 0.0;
+  double pop_stall_ = 0.0;
+};
+
+}  // namespace rif::stream

@@ -1,0 +1,307 @@
+#include "stream/streaming_engine.h"
+
+#include <atomic>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "core/parallel/parallel_pct.h"
+#include "hsi/chunked_reader.h"
+#include "hsi/partition.h"
+#include "linalg/jacobi_eig.h"
+#include "linalg/stats.h"
+#include "stream/bounded_queue.h"
+#include "support/check.h"
+#include "support/log.h"
+
+namespace rif::stream {
+
+namespace {
+
+using clock = std::chrono::steady_clock;
+
+double seconds_since(clock::time_point t0) {
+  return std::chrono::duration<double>(clock::now() - t0).count();
+}
+
+/// One recycled chunk buffer. The engine owns a fixed set of these
+/// (queue_depth of them); indices circulate reader -> full queue ->
+/// compute -> free queue -> reader, so allocation is bounded for the whole
+/// run regardless of file size.
+struct ChunkBuffer {
+  int line0 = 0;
+  int rows = 0;
+  std::vector<float> data;         // rows * samples * bands, BIP
+  std::uint64_t alloc_bytes = 0;   // capacity high-water (peak tracking)
+};
+
+/// Shared state of one reader pass. The reader is a dedicated std::thread:
+/// it must never borrow the compute pool, or a pool blocked in pop() could
+/// starve the very stage that would refill it (see bounded_queue.h).
+struct ReaderPass {
+  hsi::ChunkedCubeReader* reader = nullptr;
+  std::vector<ChunkBuffer>* buffers = nullptr;
+  BoundedQueue<int>* free_q = nullptr;
+  BoundedQueue<int>* full_q = nullptr;
+  int chunk_lines = 0;
+  std::atomic<bool> io_error{false};
+  // Written by the reader thread only; read after join().
+  double read_seconds = 0.0;
+  std::uint64_t bytes_read = 0;
+  std::uint64_t live_buffer_bytes = 0;
+  std::uint64_t peak_buffer_bytes = 0;
+
+  void run() {
+    const int lines = reader->lines();
+    for (int line0 = 0; line0 < lines; line0 += chunk_lines) {
+      const auto idx = free_q->pop();
+      if (!idx) return;  // aborted by the consumer
+      ChunkBuffer& buf = (*buffers)[static_cast<std::size_t>(*idx)];
+      buf.line0 = line0;
+      buf.rows = std::min(chunk_lines, lines - line0);
+      const auto t0 = clock::now();
+      const bool ok = reader->read_lines(line0, buf.rows, buf.data);
+      read_seconds += seconds_since(t0);
+      if (!ok) {
+        io_error.store(true);
+        free_q->push(*idx);
+        break;
+      }
+      bytes_read += reader->chunk_bytes(buf.rows);
+      const auto cap_bytes =
+          static_cast<std::uint64_t>(buf.data.capacity()) * sizeof(float);
+      if (cap_bytes > buf.alloc_bytes) {
+        live_buffer_bytes += cap_bytes - buf.alloc_bytes;
+        buf.alloc_bytes = cap_bytes;
+        peak_buffer_bytes = std::max(peak_buffer_bytes, live_buffer_bytes);
+      }
+      if (!full_q->push(*idx)) return;  // aborted by the consumer
+    }
+    full_q->close();  // end-of-stream (or I/O error): drain and stop
+  }
+};
+
+/// Join-on-destruction wrapper so an early return (I/O error, degenerate
+/// scene CHECK) can never leave the reader thread running against queues
+/// about to be destroyed.
+class ReaderThread {
+ public:
+  explicit ReaderThread(ReaderPass& pass)
+      : pass_(pass), thread_([&pass] { pass.run(); }) {}
+  ~ReaderThread() { join(); }
+
+  /// Unblock the reader if necessary and wait for it; the pass counters
+  /// are stable (and safely readable) once this returns.
+  void join() {
+    if (!thread_.joinable()) return;
+    pass_.free_q->close();  // releases a reader blocked on a free buffer
+    pass_.full_q->close();
+    thread_.join();
+  }
+
+ private:
+  ReaderPass& pass_;
+  std::thread thread_;
+};
+
+/// One full reader pass over the file: owns the queue pair, feeds every
+/// chunk through `consume` (in ascending chunk order, on the calling
+/// thread), joins the reader and merges the pass's counters into `stats`.
+/// Returns false on a mid-pass I/O error. Shared by both pipeline passes
+/// so stall attribution and the error path cannot diverge between them.
+bool run_reader_pass(hsi::ChunkedCubeReader& reader,
+                     std::vector<ChunkBuffer>& buffers, int chunk_lines,
+                     StreamingStats& stats,
+                     const std::function<void(const ChunkBuffer&)>& consume) {
+  // The free queue holds every buffer; the full queue's capacity is what
+  // is left after the slot the reader is filling and the one the compute
+  // stage is draining — with queue_depth buffers total, in-flight memory
+  // can never exceed queue_depth chunks.
+  BoundedQueue<int> free_q(buffers.size());
+  BoundedQueue<int> full_q(buffers.size() - 2);
+  for (int i = 0; i < static_cast<int>(buffers.size()); ++i) free_q.push(i);
+
+  ReaderPass pass;
+  pass.reader = &reader;
+  pass.buffers = &buffers;
+  pass.free_q = &free_q;
+  pass.full_q = &full_q;
+  pass.chunk_lines = chunk_lines;
+  ReaderThread reader_thread(pass);
+
+  while (const auto idx = full_q.pop()) {
+    consume(buffers[static_cast<std::size_t>(*idx)]);
+    free_q.push(*idx);
+  }
+  reader_thread.join();
+  stats.compute_stall_seconds += full_q.pop_stall_seconds();
+  stats.reader_stall_seconds +=
+      free_q.pop_stall_seconds() + full_q.push_stall_seconds();
+  stats.read_seconds += pass.read_seconds;
+  stats.bytes_read += pass.bytes_read;
+  stats.peak_buffer_bytes =
+      std::max(stats.peak_buffer_bytes, pass.peak_buffer_bytes);
+  return !pass.io_error.load();
+}
+
+}  // namespace
+
+std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
+                                              core::ThreadPool& pool,
+                                              const StreamingConfig& config) {
+  RIF_CHECK(config.pct.output_components >= 3);
+  RIF_CHECK(config.chunk_lines >= 1);
+  RIF_CHECK_MSG(config.queue_depth >= 3,
+                "queue_depth must cover one filling + one draining + one "
+                "queued chunk buffer");
+  auto reader = hsi::ChunkedCubeReader::open(cube_path);
+  if (!reader) return std::nullopt;
+
+  const int W = reader->samples();
+  const int H = reader->lines();
+  const int B = reader->bands();
+  const int chunk_lines = std::min(config.chunk_lines, H);
+  const int tiles_per_chunk =
+      config.tiles_per_chunk > 0 ? config.tiles_per_chunk : pool.size();
+
+  StreamingResult result;
+  result.stats.chunk_bytes = reader->chunk_bytes(chunk_lines);
+  result.stats.chunks = (H + chunk_lines - 1) / chunk_lines;
+
+  std::vector<ChunkBuffer> buffers(
+      static_cast<std::size_t>(config.queue_depth));
+
+  // --- pass 1: screen + moment sums, folded in chunk order ------------------
+  core::UniqueSet unique(B, config.pct.screening_threshold);
+  std::optional<linalg::MomentAccumulator> total;
+  std::vector<double> origin;  // first pixel of the cube (first chunk)
+  std::uint64_t screen_comparisons = 0;
+  {
+    std::vector<core::UniqueSet> tile_sets;
+    std::vector<linalg::MomentAccumulator> tile_moments;
+    std::vector<std::uint8_t> dropped;
+    bool first_tile = true;
+    const auto screen_chunk = [&](const ChunkBuffer& buf) {
+      const auto t0 = clock::now();
+      if (origin.empty()) {
+        origin.assign(buf.data.begin(), buf.data.begin() + B);
+      }
+      // Sub-tile the chunk exactly as the in-memory engines tile the cube:
+      // per-tile unique set + moment sums in one fused sweep (the same
+      // 32-row flush cadence as fuse_parallel_fused), then fold tiles in
+      // order into the global pair.
+      const auto tiles =
+          hsi::partition_rows({W, buf.rows, B}, tiles_per_chunk);
+      const int tile_count = static_cast<int>(tiles.size());
+      tile_sets.clear();
+      tile_moments.clear();
+      for (int i = 0; i < tile_count; ++i) {
+        tile_sets.emplace_back(B, config.pct.screening_threshold);
+        tile_moments.emplace_back(B, origin);
+      }
+      std::atomic<std::uint64_t> comparisons{0};
+      pool.parallel_tasks(tile_count, [&](int i) {
+        constexpr std::size_t kMomentBlock = 32;
+        core::UniqueSet& set = tile_sets[static_cast<std::size_t>(i)];
+        linalg::MomentAccumulator& mom =
+            tile_moments[static_cast<std::size_t>(i)];
+        std::uint64_t local = 0;
+        std::size_t flushed = 0;
+        const std::int64_t first = tiles[i].first_flat_index();
+        const std::int64_t last = tiles[i].end_flat_index();
+        for (std::int64_t p = first; p < last; ++p) {
+          set.screen({buf.data.data() + p * B, static_cast<std::size_t>(B)},
+                     &local);
+          if (set.size() - flushed >= kMomentBlock) {
+            mom.add_block(set.flat().data() + flushed * B,
+                          static_cast<int>(set.size() - flushed));
+            flushed = set.size();
+          }
+        }
+        if (set.size() > flushed) {
+          mom.add_block(set.flat().data() + flushed * B,
+                        static_cast<int>(set.size() - flushed));
+        }
+        comparisons += local;
+      });
+      screen_comparisons += comparisons.load();
+      for (int i = 0; i < tile_count; ++i) {
+        if (first_tile) {
+          unique = std::move(tile_sets[static_cast<std::size_t>(i)]);
+          total = std::move(tile_moments[static_cast<std::size_t>(i)]);
+          first_tile = false;
+          continue;
+        }
+        core::fold_unique_moments(unique, *total,
+                                  tile_sets[static_cast<std::size_t>(i)],
+                                  tile_moments[static_cast<std::size_t>(i)],
+                                  pool, dropped, &result.merge_comparisons);
+      }
+      result.stats.screen_seconds += seconds_since(t0);
+    };
+    if (!run_reader_pass(*reader, buffers, chunk_lines, result.stats,
+                         screen_chunk)) {
+      RIF_LOG_WARN("stream", "I/O error streaming " << cube_path);
+      return std::nullopt;
+    }
+  }
+  result.screen_comparisons = screen_comparisons;
+  result.unique_set_size = unique.size();
+  RIF_CHECK_MSG(unique.size() >= 3, "degenerate scene: unique set too small");
+  RIF_CHECK(total.has_value() && total->count() == unique.size());
+
+  // --- barrier: statistics + eigen-solve -------------------------------------
+  result.mean = total->mean();
+  const linalg::Matrix cov = total->covariance();
+  linalg::EigenResult eig = linalg::jacobi_eigen(cov, config.pct.jacobi);
+  result.eigenvalues = eig.values;
+  result.eigenvectors = eig.vectors;
+  result.jacobi_sweeps = eig.sweeps;
+
+  // --- pass 2: streamed blocked transform + colour map -----------------------
+  const linalg::Matrix t =
+      core::transform_matrix(eig.vectors, config.pct.output_components);
+  const std::vector<double> bias = core::projection_bias(t, result.mean);
+  const auto scales = core::scales_from_eigenvalues(eig.values);
+  const int comps = t.rows();
+  result.composite = hsi::RgbImage(W, H);
+  std::vector<float> plane_chunk;  // one chunk of components, when sunk
+  {
+    const auto transform_chunk = [&](const ChunkBuffer& buf) {
+      const auto t0 = clock::now();
+      const std::int64_t count = static_cast<std::int64_t>(buf.rows) * W;
+      const std::int64_t first_flat =
+          static_cast<std::int64_t>(buf.line0) * W;
+      float* planes = nullptr;
+      if (config.plane_sink) {
+        plane_chunk.resize(static_cast<std::size_t>(count) * comps);
+        planes = plane_chunk.data();
+      }
+      pool.parallel_for(count, [&](std::int64_t lo, std::int64_t hi) {
+        core::transform_and_map_chunk(
+            buf.data.data() + lo * B, hi - lo, t, bias, scales,
+            planes != nullptr ? planes + lo * comps : nullptr,
+            result.composite, first_flat + lo);
+      });
+      if (config.plane_sink) {
+        config.plane_sink(first_flat, count, comps, planes);
+      }
+      result.stats.transform_seconds += seconds_since(t0);
+    };
+    if (!run_reader_pass(*reader, buffers, chunk_lines, result.stats,
+                         transform_chunk)) {
+      RIF_LOG_WARN("stream", "I/O error streaming " << cube_path);
+      return std::nullopt;
+    }
+  }
+  return result;
+}
+
+std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
+                                              int threads,
+                                              const StreamingConfig& config) {
+  core::ThreadPool pool(threads);
+  return fuse_streaming(cube_path, pool, config);
+}
+
+}  // namespace rif::stream

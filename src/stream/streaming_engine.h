@@ -1,0 +1,133 @@
+// Out-of-core streaming fusion: fuse a cube straight from disk in bounded
+// memory, overlapping I/O with compute.
+//
+// Every other engine in the repo (sequential fuse, the two shared-memory
+// engines, the distributed actors) needs the whole hyper-spectral cube
+// resident before the first pixel is screened — scene size is capped at
+// RAM and load time serializes in front of compute. This engine is the
+// pipelined data-flow answer: a dedicated reader thread pulls chunks of
+// `chunk_lines` image lines through a ChunkedCubeReader into a fixed pool
+// of recycled buffers and hands them to the compute stage over a
+// BoundedQueue, whose capacity is the backpressure that keeps in-flight
+// memory at `queue_depth` chunk buffers — never the cube — while read-
+// ahead (double-buffered prefetch at queue_depth >= 3) hides disk latency
+// behind screening.
+//
+// The algorithm is the fused single-pass engine's, restructured around the
+// statistics barrier that out-of-core PCA cannot avoid (eigenvectors need
+// the full covariance before any pixel can be transformed):
+//
+//   pass 1  reader -> [BoundedQueue] -> per-chunk screen + moment sums
+//           (SIMD kernels via core::UniqueSet / linalg::MomentAccumulator,
+//           sub-tiled across the pool) folded in chunk order through
+//           core::fold_unique_moments — the same blocked-concurrent fold
+//           as fuse_parallel_fused, so the unique set is identical to an
+//           in-memory run with the same tile boundaries;
+//   barrier mean + covariance out of the moment sums, Jacobi eigen-solve;
+//   pass 2  reader (re-streams the file) -> blocked SIMD transform +
+//           colour map per chunk, writing output chunks: composite bytes
+//           land in place, component planes go to an optional per-chunk
+//           sink instead of ever materializing whole planes.
+//
+// Contract: with tile boundaries matching an in-memory run
+// (chunk_lines x tiles_per_chunk aligned with ParallelPctConfig::tiles),
+// the streamed composite agrees with fuse_parallel_fused within the
+// existing cross-engine tolerance (composite bytes within one quantisation
+// level; identical unique set) — asserted in tests/stream_test.cc.
+//
+// Deadlock safety with the help-while-waiting ThreadPool: the reader runs
+// on its own std::thread and never touches the pool, so the compute stage
+// may block on the queue (it parks, it does not help) yet always gets its
+// next chunk; nested parallel_for/parallel_tasks inside compute stay
+// deadlock-free on any pool size, including 1 (regression-tested).
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/parallel/thread_pool.h"
+#include "core/pct.h"
+#include "hsi/image_io.h"
+#include "linalg/matrix.h"
+
+namespace rif::stream {
+
+struct StreamingConfig {
+  core::PctConfig pct;
+
+  /// Image lines per chunk. The unit of I/O, of screening-fold granularity
+  /// and of memory budgeting: peak buffer memory is
+  /// queue_depth x chunk_lines x samples x bands x 4 bytes.
+  int chunk_lines = 64;
+
+  /// Total chunk buffers in flight (>= 3): one filling at the reader, one
+  /// draining at the compute stage, the rest queued between them as
+  /// read-ahead. This bounds the engine's buffer footprint — backpressure
+  /// from the full queue throttles the reader when compute falls behind.
+  int queue_depth = 4;
+
+  /// Screening sub-tiles per chunk (the compute stage's parallelism);
+  /// 0 = pool size. Chunk x sub-tile boundaries define the screening fold
+  /// order, exactly like ParallelPctConfig::tiles: choose
+  /// chunks * tiles_per_chunk boundaries that match an in-memory engine's
+  /// row partition when comparing outputs.
+  int tiles_per_chunk = 0;
+
+  /// Optional sink for the raw component planes, called once per chunk in
+  /// ascending chunk order from the compute thread:
+  /// (first_flat_pixel, pixel_count, comps, planes) with `planes`
+  /// pixel-major (pixel_count x comps, valid only during the call). When
+  /// unset, component planes are simply not produced — the engine never
+  /// holds plane storage for more than one chunk either way.
+  std::function<void(std::int64_t first_flat, std::int64_t count, int comps,
+                     const float* planes)>
+      plane_sink;
+};
+
+/// Per-stage observability of one streamed run. Stall seconds tell the
+/// bottleneck story without a profiler: reader_stall ~ backpressure
+/// (compute-bound), compute_stall ~ starvation (I/O-bound).
+struct StreamingStats {
+  int chunks = 0;                 ///< chunks per pass
+  std::uint64_t bytes_read = 0;   ///< file bytes read (both passes)
+  std::uint64_t chunk_bytes = 0;  ///< one full-size BIP chunk buffer
+  /// High-water of live chunk-buffer bytes — the engine's whole variable
+  /// footprint besides the unique set and the output image. Bounded by
+  /// queue_depth x chunk_bytes by construction.
+  std::uint64_t peak_buffer_bytes = 0;
+  double read_seconds = 0.0;     ///< reader thread inside read_lines
+  double reader_stall_seconds = 0.0;   ///< reader blocked (backpressure)
+  double compute_stall_seconds = 0.0;  ///< compute blocked (starved)
+  double screen_seconds = 0.0;     ///< compute stage, pass 1 (excl. stalls)
+  double transform_seconds = 0.0;  ///< compute stage, pass 2 (excl. stalls)
+};
+
+/// What fuse() returns, minus whole-cube artifacts: component planes are
+/// streamed to StreamingConfig::plane_sink instead of stored.
+struct StreamingResult {
+  hsi::RgbImage composite;
+  std::vector<double> eigenvalues;
+  linalg::Matrix eigenvectors;
+  std::vector<double> mean;
+  std::size_t unique_set_size = 0;
+  std::uint64_t screen_comparisons = 0;
+  std::uint64_t merge_comparisons = 0;
+  int jacobi_sweeps = 0;
+  StreamingStats stats;
+};
+
+/// Fuse the cube at `<cube_path>` (+ `.hdr`) straight from disk on
+/// `pool`. nullopt on open/validation failure or an I/O error mid-stream.
+std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
+                                              core::ThreadPool& pool,
+                                              const StreamingConfig& config);
+
+/// Convenience overload owning a transient pool of `threads`.
+std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
+                                              int threads,
+                                              const StreamingConfig& config);
+
+}  // namespace rif::stream

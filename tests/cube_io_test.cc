@@ -108,6 +108,91 @@ TEST(CubeIoTest, MalformedHeaderFails) {
   fs::remove(path + ".hdr");
 }
 
+TEST(CubeIoTest, CrlfHeaderWithStrayWhitespaceParses) {
+  // Real-world ENVI headers are often Windows-authored: CRLF line endings,
+  // a UTF-8 BOM, tabs and stray spaces around the '='. All of it must
+  // parse identically to the clean Unix form.
+  const std::string hdr_path = temp_path("rif_crlf.hdr");
+  {
+    std::ofstream hdr(hdr_path, std::ios::binary);
+    hdr << "\xEF\xBB\xBF" << "ENVI\r\n"
+        << "samples\t=  5\r\n"
+        << "lines =4\r\n"
+        << "bands= 3\r\n"
+        << "data type = 4\r\n"
+        << "interleave =\tBIL\r\n"
+        << "wavelength = { 400.0,\r\n"
+        << "  1000.0, 2500.0 }\r\n";
+  }
+  const auto header = read_header(hdr_path);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->samples, 5);
+  EXPECT_EQ(header->lines, 4);
+  EXPECT_EQ(header->bands, 3);
+  EXPECT_EQ(header->interleave, Interleave::kBil);
+  ASSERT_EQ(header->wavelengths.size(), 3u);
+  EXPECT_DOUBLE_EQ(header->wavelengths[2], 2500.0);
+  fs::remove(hdr_path);
+}
+
+TEST(CubeIoTest, CrOnlyHeaderParses) {
+  // Lone-CR terminators turn the whole file into one std::getline "line";
+  // the tolerant reader must still see every key.
+  const std::string hdr_path = temp_path("rif_cr.hdr");
+  {
+    std::ofstream hdr(hdr_path, std::ios::binary);
+    hdr << "ENVI\rsamples = 7\rlines = 2\rbands = 4\rdata type = 4\r"
+        << "interleave = bsq\r";
+  }
+  const auto header = read_header(hdr_path);
+  ASSERT_TRUE(header.has_value());
+  EXPECT_EQ(header->samples, 7);
+  EXPECT_EQ(header->lines, 2);
+  EXPECT_EQ(header->bands, 4);
+  EXPECT_EQ(header->interleave, Interleave::kBsq);
+  fs::remove(hdr_path);
+}
+
+TEST(CubeIoTest, CrlfCubeRoundTrips) {
+  // End-to-end: a CRLF-converted header still loads the data file.
+  const ImageCube cube = make_cube();
+  const std::string path = temp_path("rif_crlf_cube.dat");
+  ASSERT_TRUE(save_cube(path, cube));
+  {
+    std::ifstream in(path + ".hdr");
+    std::string text((std::istreambuf_iterator<char>(in)),
+                     std::istreambuf_iterator<char>());
+    std::string crlf;
+    for (const char c : text) {
+      if (c == '\n') crlf += '\r';
+      crlf += c;
+    }
+    std::ofstream out(path + ".hdr", std::ios::binary);
+    out << crlf;
+  }
+  const auto loaded = load_cube(path);
+  ASSERT_TRUE(loaded.has_value());
+  EXPECT_EQ(loaded->raw(), cube.raw());
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
+TEST(CubeIoTest, OversizedDataFails) {
+  // An extra tail means the dims or interleave are wrong; loading it
+  // "successfully" would fuse garbage. Same validation path as truncation.
+  const ImageCube cube = make_cube();
+  const std::string path = temp_path("rif_oversized_cube.dat");
+  ASSERT_TRUE(save_cube(path, cube));
+  const auto header = read_header(path + ".hdr");
+  ASSERT_TRUE(header.has_value());
+  EXPECT_TRUE(validate_data_size(path, *header));
+  fs::resize_file(path, expected_data_bytes(*header) + sizeof(float));
+  EXPECT_FALSE(validate_data_size(path, *header));
+  EXPECT_FALSE(load_cube(path).has_value());
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
 TEST(CubeIoTest, TruncatedDataFails) {
   const ImageCube cube = make_cube();
   const std::string path = temp_path("rif_trunc_cube.dat");
