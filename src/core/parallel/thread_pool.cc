@@ -39,12 +39,34 @@ ThreadPool::~ThreadPool() {
   for (auto& t : threads_) t.join();
 }
 
-void ThreadPool::run_one(std::unique_lock<std::mutex>& lock) {
+void ThreadPool::run_one(std::unique_lock<std::mutex>& lock, bool helping) {
   std::function<void()> task = std::move(queue_.front());
   queue_.pop_front();
   lock.unlock();
   task();  // task wrappers never throw; errors land in their TaskGroup
   lock.lock();
+  // Metric pointer reads stay under the pool mutex (like every other
+  // site), so bind_metrics can publish them race-free at any time.
+  if (tasks_metric_ != nullptr) tasks_metric_->add(1);
+  if (helping && helped_metric_ != nullptr) helped_metric_->add(1);
+}
+
+void ThreadPool::bind_metrics(runtime::MetricsRegistry& registry,
+                              const std::string& prefix) {
+  // Series creation first (takes the registry's own lock), then one
+  // atomic publish under the pool mutex: workers park — and read these
+  // pointers — the moment the constructor returns, so even a bind right
+  // after construction races without this.
+  runtime::Counter& tasks = registry.counter(prefix + "tasks_executed");
+  runtime::Counter& helped = registry.counter(prefix + "helped_tasks");
+  runtime::Counter& parks = registry.counter(prefix + "parks");
+  runtime::Gauge& idle =
+      registry.gauge(prefix + "idle_seconds", runtime::GaugeKind::kSum);
+  const std::lock_guard<std::mutex> lock(mutex_);
+  tasks_metric_ = &tasks;
+  helped_metric_ = &helped;
+  parks_metric_ = &parks;
+  idle_metric_ = &idle;
 }
 
 double ThreadPool::idle_seconds() const {
@@ -64,10 +86,15 @@ void ThreadPool::worker_loop() {
       const std::int64_t t0 = now_nanos();
       ++parked_threads_;
       park_start_sum_nanos_ += t0;
+      if (parks_metric_ != nullptr) parks_metric_->add(1);
       cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
       --parked_threads_;
       park_start_sum_nanos_ -= t0;
-      idle_nanos_ += now_nanos() - t0;
+      const std::int64_t parked = now_nanos() - t0;
+      idle_nanos_ += parked;
+      if (idle_metric_ != nullptr) {
+        idle_metric_->record(static_cast<double>(parked) * 1e-9);
+      }
     }
     if (stopping_ && queue_.empty()) return;
     run_one(lock);
@@ -109,7 +136,7 @@ void ThreadPool::parallel_tasks(int count, const std::function<void(int)>& fn) {
   std::unique_lock lock(mutex_);
   while (group.remaining > 0) {
     if (!queue_.empty()) {
-      run_one(lock);
+      run_one(lock, /*helping=*/true);
     } else {
       // The queue clause matters only at wait entry: it closes the race
       // where a task was enqueued between our empty-check and the wait's
@@ -124,13 +151,18 @@ void ThreadPool::parallel_tasks(int count, const std::function<void(int)>& fn) {
       if (own_thread) {
         ++parked_threads_;
         park_start_sum_nanos_ += t0;
+        if (parks_metric_ != nullptr) parks_metric_->add(1);
       }
       group.done.wait(lock,
                       [&] { return group.remaining == 0 || !queue_.empty(); });
       if (own_thread) {
         --parked_threads_;
         park_start_sum_nanos_ -= t0;
-        idle_nanos_ += now_nanos() - t0;
+        const std::int64_t parked = now_nanos() - t0;
+        idle_nanos_ += parked;
+        if (idle_metric_ != nullptr) {
+          idle_metric_->record(static_cast<double>(parked) * 1e-9);
+        }
       }
     }
   }

@@ -27,9 +27,11 @@
 #include <exception>
 #include <functional>
 #include <mutex>
+#include <string>
 #include <thread>
 #include <vector>
 
+#include "runtime/metrics.h"
 #include "support/check.h"
 
 namespace rif::core {
@@ -66,6 +68,21 @@ class ThreadPool {
   /// pool task (nested parallelism) and concurrently from many threads.
   void parallel_tasks(int count, const std::function<void(int)>& fn);
 
+  /// Wire the pool into a metrics registry. Creates, under `prefix`:
+  ///   <prefix>tasks_executed  counter — every task run to completion
+  ///   <prefix>helped_tasks    counter — the subset executed by a BLOCKED
+  ///                           caller inside parallel_* (the
+  ///                           help-while-waiting steals)
+  ///   <prefix>parks           counter — times a thread went to sleep for
+  ///                           lack of work
+  ///   <prefix>idle_seconds    gauge (sum) — completed park time
+  /// Publication is synchronized with the pool mutex (workers read the
+  /// series pointers under it), so binding is safe at any point; activity
+  /// before the bind is simply not counted. The registry must outlive the
+  /// pool.
+  void bind_metrics(runtime::MetricsRegistry& registry,
+                    const std::string& prefix);
+
  private:
   /// Completion state of one parallel_tasks call, guarded by the pool
   /// mutex. Lives on the caller's stack: the caller cannot return before
@@ -78,8 +95,9 @@ class ThreadPool {
 
   void worker_loop();
   /// Pop and run the front task. `lock` is held on entry and exit,
-  /// released around the task body.
-  void run_one(std::unique_lock<std::mutex>& lock);
+  /// released around the task body. `helping` marks execution by a
+  /// blocked parallel_* caller rather than the worker loop.
+  void run_one(std::unique_lock<std::mutex>& lock, bool helping = false);
 
   std::vector<std::thread> threads_;
   mutable std::mutex mutex_;
@@ -94,6 +112,13 @@ class ThreadPool {
   std::int64_t idle_nanos_ = 0;
   int parked_threads_ = 0;
   std::int64_t park_start_sum_nanos_ = 0;
+
+  // Optional metrics series (bind_metrics); null = unwired. Updates are
+  // single relaxed atomic ops, cheap enough for the task path.
+  runtime::Counter* tasks_metric_ = nullptr;
+  runtime::Counter* helped_metric_ = nullptr;
+  runtime::Counter* parks_metric_ = nullptr;
+  runtime::Gauge* idle_metric_ = nullptr;
 };
 
 }  // namespace rif::core

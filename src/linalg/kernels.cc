@@ -1,22 +1,34 @@
 #include "linalg/kernels.h"
 
-// Backend selection. RIF_DISABLE_SIMD (a CMake option) forces the scalar
-// reference implementations; otherwise the widest ISA the compiler was
-// asked to target wins. SSE2 is the x86-64 baseline, so x86 builds are
-// always vectorized unless explicitly disabled; 64-bit ARM gets NEON
-// (32-bit NEON has no double lanes, so it stays scalar — accumulation is
-// in double everywhere, matching the seed's numerics).
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "linalg/kernels_table.h"
+#include "support/log.h"
+
+// Compile-time fallback tier. RIF_DISABLE_SIMD (a CMake option) forces the
+// scalar reference implementations everywhere; otherwise the widest ISA
+// the compiler was asked to target is compiled INTO THIS TU as the
+// fallback the runtime dispatcher uses when no dedicated tier TU matches
+// the host (runtime dispatch normally wins — see the tier selection
+// below). SSE2 is the x86-64 baseline; 64-bit ARM gets NEON (32-bit NEON
+// has no double lanes, so it stays scalar — accumulation is in double
+// everywhere, matching the seed's numerics).
 #if !defined(RIF_DISABLE_SIMD) && defined(__AVX2__)
 #define RIF_KERNELS_AVX2 1
 #define RIF_KERNELS_SIMD 1
+#define RIF_KERNELS_TIER_NAME "avx2"
 #elif !defined(RIF_DISABLE_SIMD) && \
     (defined(__SSE2__) || defined(__x86_64__) || defined(_M_X64))
 #define RIF_KERNELS_SSE2 1
 #define RIF_KERNELS_SIMD 1
+#define RIF_KERNELS_TIER_NAME "sse2"
 #elif !defined(RIF_DISABLE_SIMD) && defined(__aarch64__) && \
     defined(__ARM_NEON)
 #define RIF_KERNELS_NEON 1
 #define RIF_KERNELS_SIMD 1
+#define RIF_KERNELS_TIER_NAME "neon"
 #endif
 
 #if defined(RIF_KERNELS_AVX2) || defined(RIF_KERNELS_SSE2)
@@ -25,27 +37,14 @@
 #include <arm_neon.h>
 #endif
 
+#if defined(__aarch64__) && defined(__linux__)
+#include <sys/auxv.h>
+#if __has_include(<asm/hwcap.h>)
+#include <asm/hwcap.h>
+#endif
+#endif
+
 namespace rif::linalg::kernels {
-
-const char* backend() {
-#if defined(RIF_KERNELS_AVX2)
-  return "avx2";
-#elif defined(RIF_KERNELS_SSE2)
-  return "sse2";
-#elif defined(RIF_KERNELS_NEON)
-  return "neon";
-#else
-  return "scalar";
-#endif
-}
-
-bool simd_enabled() {
-#if defined(RIF_KERNELS_SIMD)
-  return true;
-#else
-  return false;
-#endif
-}
 
 // --- scalar reference implementations ----------------------------------------
 
@@ -124,378 +123,191 @@ void project(const double* t, int comps, int bands, const double* bias,
 
 }  // namespace scalar
 
-// --- SIMD backends -----------------------------------------------------------
-//
-// One set of kernels is written against a tiny vector-of-doubles
-// abstraction (`vd`, kLanes doubles wide) so AVX2 (4 lanes), SSE2 (2) and
-// NEON (2) share the identical loop structure; only the primitive ops
-// differ per ISA.
+// --- compile-time fallback tier ----------------------------------------------
 
 #if defined(RIF_KERNELS_SIMD)
+namespace {
+namespace compiled_impl {
+#include "linalg/kernels_simd.inc"
+}  // namespace compiled_impl
+}  // namespace
+#endif
+
+// --- runtime tier selection --------------------------------------------------
 
 namespace {
 
-#if defined(RIF_KERNELS_AVX2)
-
-using vd = __m256d;
-constexpr int kLanes = 4;
-
-inline vd vd_zero() { return _mm256_setzero_pd(); }
-inline vd vd_set1(double v) { return _mm256_set1_pd(v); }
-inline vd vd_loadu(const double* p) { return _mm256_loadu_pd(p); }
-inline void vd_storeu(double* p, vd v) { _mm256_storeu_pd(p, v); }
-/// Load kLanes floats and widen to doubles.
-inline vd vd_load_f(const float* p) {
-  return _mm256_cvtps_pd(_mm_loadu_ps(p));
+const KernelTable& scalar_tbl() {
+  static const KernelTable table = {
+      "scalar",          &scalar::dot,           &scalar::dot_df,
+      &scalar::dot_norm, &scalar::dot8,          &scalar::rank1_update,
+      &scalar::rank_k_update,                    &scalar::project};
+  return table;
 }
-inline vd vd_add(vd a, vd b) { return _mm256_add_pd(a, b); }
-inline vd vd_mul(vd a, vd b) { return _mm256_mul_pd(a, b); }
-inline vd vd_fmadd(vd a, vd b, vd acc) {
-#if defined(__FMA__)
-  return _mm256_fmadd_pd(a, b, acc);
+
+/// The tier this TU's compile flags selected (scalar when none).
+const KernelTable& compiled_tbl() {
+#if defined(RIF_KERNELS_SIMD)
+  return compiled_impl::kTierTable;
 #else
-  return _mm256_add_pd(_mm256_mul_pd(a, b), acc);
+  return scalar_tbl();
 #endif
 }
-inline double vd_hsum(vd v) {
-  const __m128d lo = _mm256_castpd256_pd128(v);
-  const __m128d hi = _mm256_extractf128_pd(v, 1);
-  const __m128d s = _mm_add_pd(lo, hi);
-  return _mm_cvtsd_f64(_mm_add_sd(s, _mm_unpackhi_pd(s, s)));
-}
 
-#elif defined(RIF_KERNELS_SSE2)
-
-using vd = __m128d;
-constexpr int kLanes = 2;
-
-inline vd vd_zero() { return _mm_setzero_pd(); }
-inline vd vd_set1(double v) { return _mm_set1_pd(v); }
-inline vd vd_loadu(const double* p) { return _mm_loadu_pd(p); }
-inline void vd_storeu(double* p, vd v) { _mm_storeu_pd(p, v); }
-inline vd vd_load_f(const float* p) {
-  // Exactly two floats via the may_alias integer load: no over-read at
-  // tails and no TBAA violation on float-typed data.
-  return _mm_cvtps_pd(_mm_castsi128_ps(
-      _mm_loadl_epi64(reinterpret_cast<const __m128i*>(p))));
-}
-inline vd vd_add(vd a, vd b) { return _mm_add_pd(a, b); }
-inline vd vd_mul(vd a, vd b) { return _mm_mul_pd(a, b); }
-inline vd vd_fmadd(vd a, vd b, vd acc) {
-  return _mm_add_pd(_mm_mul_pd(a, b), acc);
-}
-inline double vd_hsum(vd v) {
-  return _mm_cvtsd_f64(_mm_add_sd(v, _mm_unpackhi_pd(v, v)));
-}
-
-#elif defined(RIF_KERNELS_NEON)
-
-using vd = float64x2_t;
-constexpr int kLanes = 2;
-
-inline vd vd_zero() { return vdupq_n_f64(0.0); }
-inline vd vd_set1(double v) { return vdupq_n_f64(v); }
-inline vd vd_loadu(const double* p) { return vld1q_f64(p); }
-inline void vd_storeu(double* p, vd v) { vst1q_f64(p, v); }
-inline vd vd_load_f(const float* p) { return vcvt_f64_f32(vld1_f32(p)); }
-inline vd vd_add(vd a, vd b) { return vaddq_f64(a, b); }
-inline vd vd_mul(vd a, vd b) { return vmulq_f64(a, b); }
-inline vd vd_fmadd(vd a, vd b, vd acc) { return vfmaq_f64(acc, a, b); }
-inline double vd_hsum(vd v) { return vaddvq_f64(v); }
-
+/// Does THIS host's CPU support the named tier's ISA? cpuid on x86 (via
+/// the compiler's cached cpu model), HWCAP on Linux/aarch64 (Advanced
+/// SIMD is architecturally mandatory there, so the auxval check is a
+/// formality that also covers exotic kernels).
+bool cpu_supports(const char* name) {
+  if (std::strcmp(name, "scalar") == 0) return true;
+#if (defined(__x86_64__) || defined(_M_X64)) && \
+    (defined(__GNUC__) || defined(__clang__))
+  if (std::strcmp(name, "avx2") == 0) {
+    __builtin_cpu_init();
+    return __builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma");
+  }
+  if (std::strcmp(name, "sse2") == 0) return true;  // x86-64 baseline
 #endif
-
-/// Accumulator vectors per dot kernel: 4 independent chains hide FMA
-/// latency on every backend (16 floats/iter on AVX2, 8 on SSE2/NEON).
-constexpr int kDotChains = 4;
-
-double simd_dot(const float* x, const float* y, int n) {
-  vd acc[kDotChains] = {vd_zero(), vd_zero(), vd_zero(), vd_zero()};
-  int i = 0;
-  for (; i + kDotChains * kLanes <= n; i += kDotChains * kLanes) {
-    for (int k = 0; k < kDotChains; ++k) {
-      acc[k] = vd_fmadd(vd_load_f(x + i + k * kLanes),
-                        vd_load_f(y + i + k * kLanes), acc[k]);
-    }
+#if defined(__aarch64__)
+  if (std::strcmp(name, "neon") == 0) {
+#if defined(__linux__) && defined(HWCAP_ASIMD)
+    return (getauxval(AT_HWCAP) & HWCAP_ASIMD) != 0;
+#else
+    return true;  // Advanced SIMD is mandatory on AArch64
+#endif
   }
-  for (; i + kLanes <= n; i += kLanes) {
-    acc[0] = vd_fmadd(vd_load_f(x + i), vd_load_f(y + i), acc[0]);
-  }
-  double sum =
-      vd_hsum(vd_add(vd_add(acc[0], acc[1]), vd_add(acc[2], acc[3])));
-  for (; i < n; ++i) {
-    sum += static_cast<double>(x[i]) * static_cast<double>(y[i]);
-  }
-  return sum;
+#endif
+  return false;
 }
 
-double simd_dot_df(const double* x, const float* y, int n) {
-  vd acc[kDotChains] = {vd_zero(), vd_zero(), vd_zero(), vd_zero()};
-  int i = 0;
-  for (; i + kDotChains * kLanes <= n; i += kDotChains * kLanes) {
-    for (int k = 0; k < kDotChains; ++k) {
-      acc[k] = vd_fmadd(vd_loadu(x + i + k * kLanes),
-                        vd_load_f(y + i + k * kLanes), acc[k]);
-    }
+struct TierDef {
+  const char* name;
+  const KernelTable* (*get)();
+};
+
+/// Dedicated tier TUs, widest first.
+constexpr TierDef kTiers[] = {
+    {"avx2", &avx2_table},
+    {"sse2", &sse2_table},
+    {"neon", &neon_table},
+};
+
+/// Resolve a tier name to a runnable table, or nullptr. Checks the
+/// dedicated TUs first, then the compile-time fallback (which covers both
+/// "scalar" and any exotic compiled tier), so every name available_
+/// backends() lists resolves here.
+const KernelTable* find_tier(const char* name) {
+  for (const TierDef& tier : kTiers) {
+    if (std::strcmp(name, tier.name) != 0) continue;
+    const KernelTable* table = tier.get();
+    if (table != nullptr && cpu_supports(tier.name)) return table;
+    return nullptr;  // tier known but absent/unsupported here
   }
-  for (; i + kLanes <= n; i += kLanes) {
-    acc[0] = vd_fmadd(vd_loadu(x + i), vd_load_f(y + i), acc[0]);
-  }
-  double sum =
-      vd_hsum(vd_add(vd_add(acc[0], acc[1]), vd_add(acc[2], acc[3])));
-  for (; i < n; ++i) sum += x[i] * static_cast<double>(y[i]);
-  return sum;
+  if (std::strcmp(name, "scalar") == 0) return &scalar_tbl();
+  if (std::strcmp(name, compiled_tbl().name) == 0) return &compiled_tbl();
+  return nullptr;
 }
 
-void simd_dot_norm(const float* x, const float* y, int n, double* dot,
-                   double* nx2, double* ny2) {
-  vd d0 = vd_zero(), d1 = vd_zero();
-  vd x0 = vd_zero(), x1 = vd_zero();
-  vd y0 = vd_zero(), y1 = vd_zero();
-  int i = 0;
-  for (; i + 2 * kLanes <= n; i += 2 * kLanes) {
-    const vd xa = vd_load_f(x + i);
-    const vd xb = vd_load_f(x + i + kLanes);
-    const vd ya = vd_load_f(y + i);
-    const vd yb = vd_load_f(y + i + kLanes);
-    d0 = vd_fmadd(xa, ya, d0);
-    d1 = vd_fmadd(xb, yb, d1);
-    x0 = vd_fmadd(xa, xa, x0);
-    x1 = vd_fmadd(xb, xb, x1);
-    y0 = vd_fmadd(ya, ya, y0);
-    y1 = vd_fmadd(yb, yb, y1);
+/// Startup selection: RIF_SIMD override, else widest supported dedicated
+/// tier, else the compile-time fallback.
+const KernelTable* select_default() {
+  if (const char* env = std::getenv("RIF_SIMD"); env != nullptr && *env) {
+    if (const KernelTable* table = find_tier(env)) return table;
+    RIF_LOG_WARN("kernels", "RIF_SIMD=" << env
+                                        << " is not available in this "
+                                           "binary on this CPU; falling "
+                                           "back to runtime detection");
   }
-  double d = vd_hsum(vd_add(d0, d1));
-  double nx = vd_hsum(vd_add(x0, x1));
-  double ny = vd_hsum(vd_add(y0, y1));
-  for (; i < n; ++i) {
-    const double xi = x[i];
-    const double yi = y[i];
-    d += xi * yi;
-    nx += xi * xi;
-    ny += yi * yi;
+  for (const TierDef& tier : kTiers) {
+    const KernelTable* table = tier.get();
+    if (table != nullptr && cpu_supports(tier.name)) return table;
   }
-  *dot = d;
-  *nx2 = nx;
-  *ny2 = ny;
+  return &compiled_tbl();
 }
 
-void simd_dot8(const float* pack, const float* pixel, int bands,
-               double out[8]) {
-  // The pack gives one band of all 8 members as 8 contiguous floats, so a
-  // broadcast candidate value feeds 8 fused dot products at once. Two
-  // accumulator sets (even/odd bands) hide the FMA latency chain.
-  constexpr int kVecs = kScreenLanes / kLanes;
-  vd acc0[kVecs];
-  vd acc1[kVecs];
-  for (int k = 0; k < kVecs; ++k) {
-    acc0[k] = vd_zero();
-    acc1[k] = vd_zero();
-  }
-  int b = 0;
-  for (; b + 2 <= bands; b += 2) {
-    const float* row0 = pack + static_cast<std::size_t>(b) * kScreenLanes;
-    const float* row1 = row0 + kScreenLanes;
-    const vd p0 = vd_set1(static_cast<double>(pixel[b]));
-    const vd p1 = vd_set1(static_cast<double>(pixel[b + 1]));
-    for (int k = 0; k < kVecs; ++k) {
-      acc0[k] = vd_fmadd(vd_load_f(row0 + k * kLanes), p0, acc0[k]);
-      acc1[k] = vd_fmadd(vd_load_f(row1 + k * kLanes), p1, acc1[k]);
-    }
-  }
-  for (; b < bands; ++b) {
-    const float* row = pack + static_cast<std::size_t>(b) * kScreenLanes;
-    const vd p = vd_set1(static_cast<double>(pixel[b]));
-    for (int k = 0; k < kVecs; ++k) {
-      acc0[k] = vd_fmadd(vd_load_f(row + k * kLanes), p, acc0[k]);
-    }
-  }
-  for (int k = 0; k < kVecs; ++k) {
-    vd_storeu(out + k * kLanes, vd_add(acc0[k], acc1[k]));
-  }
-}
+/// Active table. Lazily initialized on first kernel call; the benign
+/// initialization race is harmless because every thread computes the same
+/// answer (selection is a pure function of env + cpu + binary).
+std::atomic<const KernelTable*> g_active{nullptr};
 
-void simd_rank1_update(double* upper, const double* c, int dims,
-                       double sign) {
-  std::size_t idx = 0;
-  for (int i = 0; i < dims; ++i) {
-    double* row = upper + idx;
-    const double* cj = c + i;
-    const int len = dims - i;
-    const vd ci = vd_set1(sign * c[i]);
-    int k = 0;
-    for (; k + kLanes <= len; k += kLanes) {
-      vd_storeu(row + k,
-                vd_fmadd(ci, vd_loadu(cj + k), vd_loadu(row + k)));
-    }
-    const double cis = sign * c[i];
-    for (; k < len; ++k) row[k] += cis * cj[k];
-    idx += static_cast<std::size_t>(len);
+const KernelTable* active() {
+  const KernelTable* table = g_active.load(std::memory_order_acquire);
+  if (table == nullptr) {
+    table = select_default();
+    g_active.store(table, std::memory_order_release);
   }
-}
-
-void simd_rank_k_update(double* upper, const double* cols, int dims,
-                        int rows) {
-  // Register-blocked: each vector step covers kLanes pixels of the centered
-  // block, and four triangle columns share every load of column i — the
-  // written-to packed triangle is touched once per (i, j) entry while the
-  // block data streams from L1.
-  const auto col = [cols, rows](int j) {
-    return cols + static_cast<std::size_t>(j) * rows;
-  };
-  std::size_t idx = 0;
-  for (int i = 0; i < dims; ++i) {
-    const double* ci = col(i);
-    int j = i;
-    for (; j + 4 <= dims; j += 4) {
-      const double* c0 = col(j);
-      const double* c1 = col(j + 1);
-      const double* c2 = col(j + 2);
-      const double* c3 = col(j + 3);
-      vd a0 = vd_zero(), a1 = vd_zero(), a2 = vd_zero(), a3 = vd_zero();
-      int r = 0;
-      for (; r + kLanes <= rows; r += kLanes) {
-        const vd v = vd_loadu(ci + r);
-        a0 = vd_fmadd(v, vd_loadu(c0 + r), a0);
-        a1 = vd_fmadd(v, vd_loadu(c1 + r), a1);
-        a2 = vd_fmadd(v, vd_loadu(c2 + r), a2);
-        a3 = vd_fmadd(v, vd_loadu(c3 + r), a3);
-      }
-      double t0 = vd_hsum(a0), t1 = vd_hsum(a1);
-      double t2 = vd_hsum(a2), t3 = vd_hsum(a3);
-      for (; r < rows; ++r) {
-        const double v = ci[r];
-        t0 += v * c0[r];
-        t1 += v * c1[r];
-        t2 += v * c2[r];
-        t3 += v * c3[r];
-      }
-      upper[idx] += t0;
-      upper[idx + 1] += t1;
-      upper[idx + 2] += t2;
-      upper[idx + 3] += t3;
-      idx += 4;
-    }
-    for (; j < dims; ++j) {
-      const double* cj = col(j);
-      vd a = vd_zero();
-      int r = 0;
-      for (; r + kLanes <= rows; r += kLanes) {
-        a = vd_fmadd(vd_loadu(ci + r), vd_loadu(cj + r), a);
-      }
-      double t = vd_hsum(a);
-      for (; r < rows; ++r) t += ci[r] * cj[r];
-      upper[idx++] += t;
-    }
-  }
-}
-
-/// R transform rows share one widening of the pixel per vector step.
-template <int R>
-void project_rows(const double* t, int bands, const double* bias,
-                  const float* pixel, float* out) {
-  vd acc[R];
-  for (int c = 0; c < R; ++c) acc[c] = vd_zero();
-  const double* rows[R];
-  for (int c = 0; c < R; ++c) {
-    rows[c] = t + static_cast<std::size_t>(c) * bands;
-  }
-  int b = 0;
-  for (; b + kLanes <= bands; b += kLanes) {
-    const vd px = vd_load_f(pixel + b);
-    for (int c = 0; c < R; ++c) {
-      acc[c] = vd_fmadd(vd_loadu(rows[c] + b), px, acc[c]);
-    }
-  }
-  double sums[R];
-  for (int c = 0; c < R; ++c) sums[c] = vd_hsum(acc[c]);
-  for (; b < bands; ++b) {
-    const double px = pixel[b];
-    for (int c = 0; c < R; ++c) sums[c] += rows[c][b] * px;
-  }
-  for (int c = 0; c < R; ++c) {
-    out[c] = static_cast<float>(sums[c] - bias[c]);
-  }
-}
-
-void simd_project(const double* t, int comps, int bands, const double* bias,
-                  const float* pixel, float* out) {
-  int c = 0;
-  for (; c + 3 <= comps; c += 3) {
-    project_rows<3>(t + static_cast<std::size_t>(c) * bands, bands, bias + c,
-                    pixel, out + c);
-  }
-  if (comps - c == 2) {
-    project_rows<2>(t + static_cast<std::size_t>(c) * bands, bands, bias + c,
-                    pixel, out + c);
-  } else if (comps - c == 1) {
-    project_rows<1>(t + static_cast<std::size_t>(c) * bands, bands, bias + c,
-                    pixel, out + c);
-  }
+  return table;
 }
 
 }  // namespace
 
-#endif  // RIF_KERNELS_SIMD
+const KernelTable& compiled_table() { return compiled_tbl(); }
+
+const char* backend() { return active()->name; }
+
+const char* compiled_backend() { return compiled_tbl().name; }
+
+bool simd_enabled() { return std::strcmp(active()->name, "scalar") != 0; }
+
+std::vector<std::string> available_backends() {
+  std::vector<std::string> out;
+  for (const TierDef& tier : kTiers) {
+    if (tier.get() != nullptr && cpu_supports(tier.name)) {
+      out.emplace_back(tier.name);
+    }
+  }
+  const char* compiled = compiled_tbl().name;
+  bool have_compiled = std::strcmp(compiled, "scalar") == 0;
+  for (const std::string& name : out) have_compiled |= name == compiled;
+  if (!have_compiled) out.emplace_back(compiled);
+  out.emplace_back("scalar");
+  return out;
+}
+
+bool set_backend(const char* name) {
+  if (name == nullptr) return false;
+  const KernelTable* table = find_tier(name);
+  if (table == nullptr) return false;
+  g_active.store(table, std::memory_order_release);
+  return true;
+}
+
+const char* reset_backend() {
+  const KernelTable* table = select_default();
+  g_active.store(table, std::memory_order_release);
+  return table->name;
+}
 
 // --- dispatched entry points -------------------------------------------------
 
 double dot(const float* x, const float* y, int n) {
-#if defined(RIF_KERNELS_SIMD)
-  return simd_dot(x, y, n);
-#else
-  return scalar::dot(x, y, n);
-#endif
+  return active()->dot(x, y, n);
 }
 
 double dot_df(const double* x, const float* y, int n) {
-#if defined(RIF_KERNELS_SIMD)
-  return simd_dot_df(x, y, n);
-#else
-  return scalar::dot_df(x, y, n);
-#endif
+  return active()->dot_df(x, y, n);
 }
 
 void dot_norm(const float* x, const float* y, int n, double* dot, double* nx2,
               double* ny2) {
-#if defined(RIF_KERNELS_SIMD)
-  simd_dot_norm(x, y, n, dot, nx2, ny2);
-#else
-  scalar::dot_norm(x, y, n, dot, nx2, ny2);
-#endif
+  active()->dot_norm(x, y, n, dot, nx2, ny2);
 }
 
 void dot8(const float* pack, const float* pixel, int bands, double out[8]) {
-#if defined(RIF_KERNELS_SIMD)
-  simd_dot8(pack, pixel, bands, out);
-#else
-  scalar::dot8(pack, pixel, bands, out);
-#endif
+  active()->dot8(pack, pixel, bands, out);
 }
 
 void rank1_update(double* upper, const double* c, int dims, double sign) {
-#if defined(RIF_KERNELS_SIMD)
-  simd_rank1_update(upper, c, dims, sign);
-#else
-  scalar::rank1_update(upper, c, dims, sign);
-#endif
+  active()->rank1_update(upper, c, dims, sign);
 }
 
 void rank_k_update(double* upper, const double* cols, int dims, int rows) {
-#if defined(RIF_KERNELS_SIMD)
-  simd_rank_k_update(upper, cols, dims, rows);
-#else
-  scalar::rank_k_update(upper, cols, dims, rows);
-#endif
+  active()->rank_k_update(upper, cols, dims, rows);
 }
 
 void project(const double* t, int comps, int bands, const double* bias,
              const float* pixel, float* out) {
-#if defined(RIF_KERNELS_SIMD)
-  simd_project(t, comps, bands, bias, pixel, out);
-#else
-  scalar::project(t, comps, bands, bias, pixel, out);
-#endif
+  active()->project(t, comps, bands, bias, pixel, out);
 }
 
 }  // namespace rif::linalg::kernels

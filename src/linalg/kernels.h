@@ -8,22 +8,36 @@
 //   * `kernels::scalar::*` — plain reference implementations, always
 //     compiled. These are the oracle for the equivalence tests and the
 //     code the dispatched entry points fall back to.
-//   * `kernels::*` — the dispatched entry points. At compile time they
-//     bind to AVX2, SSE2 or NEON variants depending on the target
-//     (`-march=...`), or to the scalar reference when no vector ISA is
-//     available or the build sets `RIF_DISABLE_SIMD`.
+//   * `kernels::*` — the dispatched entry points. They indirect through a
+//     per-tier function table selected at RUNTIME: each SIMD tier (AVX2 /
+//     SSE2 / NEON) is compiled into its own translation unit with pinned
+//     ISA flags, and startup picks the widest tier the host CPU supports
+//     via cpuid (x86) / HWCAP (aarch64) — so a portable
+//     (RIF_NATIVE_ARCH=OFF) binary still hits the AVX2 fast path on an
+//     AVX2 host. Selection order: the `RIF_SIMD` environment override
+//     (`scalar|sse2|avx2|neon`; ignored with a warning when the named tier
+//     is absent or unsupported), then CPU detection best-first, then the
+//     compile-time tier this TU was built for (the pre-runtime-dispatch
+//     behavior, kept as the fallback for architectures with no dedicated
+//     tier TU). `RIF_DISABLE_SIMD` builds compile no tier TUs at all and
+//     always run scalar.
 //
 // Numerical contract: all kernels accumulate in double, like the seed
 // scalar code, but SIMD variants reassociate the summation (lane-parallel
-// partial sums, possibly FMA-contracted). Within ONE build every engine —
-// sequential, two-pass parallel, fused, distributed — calls the same
-// kernels, so cross-engine bit-exactness guarantees (the `fuse_parallel`
-// oracle contract) are preserved; between a SIMD and a RIF_DISABLE_SIMD
-// build, results agree within the documented tolerance contract (composite
-// bytes within one quantisation level — see tests/kernels_test.cc).
+// partial sums, possibly FMA-contracted). Within ONE process every engine —
+// sequential, two-pass parallel, fused, distributed, streamed — calls the
+// same active table, so cross-engine bit-exactness guarantees (the
+// `fuse_parallel` oracle contract) are preserved; ACROSS tiers (runtime or
+// compile-time), results agree within the documented tolerance contract
+// (composite bytes within one quantisation level — see
+// tests/kernels_test.cc). Because tier TUs carry pinned ISA flags, the
+// same tier produces byte-identical results whether the build was
+// -march=native or portable.
 #pragma once
 
 #include <cstddef>
+#include <string>
+#include <vector>
 
 namespace rif::linalg::kernels {
 
@@ -33,12 +47,32 @@ namespace rif::linalg::kernels {
 /// products.
 inline constexpr int kScreenLanes = 8;
 
-/// Compile-time backend of the dispatched kernels:
+/// ACTIVE tier of the dispatched kernels — the one runtime selection (env
+/// override, cpuid/HWCAP, compile-time fallback) landed on:
 /// "avx2" | "sse2" | "neon" | "scalar".
 const char* backend();
 
 /// True when the dispatched kernels are vectorized (backend != "scalar").
 bool simd_enabled();
+
+/// Tier the compile-time fallback path of this TU was built for — what
+/// backend() used to mean before runtime dispatch.
+const char* compiled_backend();
+
+/// Tier names this binary can run on this CPU, widest first; always ends
+/// with "scalar".
+std::vector<std::string> available_backends();
+
+/// Force a tier by name. Returns false — and leaves the active tier
+/// unchanged — when the name is unknown, the tier is not compiled into
+/// this binary, or the CPU lacks it. Not meant for concurrent use with
+/// running engines (tests and startup only).
+bool set_backend(const char* name);
+
+/// Re-run startup selection (RIF_SIMD override, detection, fallback) and
+/// return the resulting active tier name. Tests use this to exercise the
+/// env override in-process.
+const char* reset_backend();
 
 // --- scalar reference implementations (always available) --------------------
 

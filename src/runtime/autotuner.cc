@@ -1,0 +1,227 @@
+#include "runtime/autotuner.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "runtime/chunk_geometry.h"
+#include "support/check.h"
+
+namespace rif::runtime {
+
+ChunkAutotuner::ChunkAutotuner(const AutotuneConfig& config, int chunk_lines,
+                               int queue_depth, std::uint64_t bytes_per_line)
+    : config_(config), bytes_per_line_(std::max<std::uint64_t>(1, bytes_per_line)) {
+  RIF_CHECK(config_.grow_factor > 1.0);
+  RIF_CHECK(config_.epoch_chunks >= 1);
+  RIF_CHECK(config_.dead_band >= 0.0);
+  config_.min_chunk_lines = std::max(config_.min_chunk_lines, kMinChunkLines);
+  config_.max_chunk_lines = std::min(config_.max_chunk_lines, kMaxChunkLines);
+  config_.min_queue_depth = std::max(config_.min_queue_depth, kMinQueueDepth);
+  config_.max_queue_depth = std::min(config_.max_queue_depth, kMaxQueueDepth);
+  RIF_CHECK(config_.min_chunk_lines <= config_.max_chunk_lines);
+  RIF_CHECK(config_.min_queue_depth <= config_.max_queue_depth);
+  queue_depth_ =
+      std::clamp(queue_depth, config_.min_queue_depth, config_.max_queue_depth);
+  chunk_lines_ = clamp_chunk_lines(chunk_lines);
+  initial_chunk_lines_ = chunk_lines_;
+  initial_queue_depth_ = queue_depth_;
+  effective_epoch_ = config_.epoch_chunks;
+}
+
+int ChunkAutotuner::clamp_chunk_lines(int lines) const {
+  int hi = config_.max_chunk_lines;
+  if (config_.memory_budget > 0) {
+    // queue_depth full-size buffers must fit the budget.
+    const std::uint64_t per_buffer =
+        config_.memory_budget / static_cast<std::uint64_t>(queue_depth_);
+    const std::uint64_t budget_lines = per_buffer / bytes_per_line_;
+    hi = static_cast<int>(std::min<std::uint64_t>(
+        hi, std::max<std::uint64_t>(1, budget_lines)));
+  }
+  return std::clamp(lines, std::min(config_.min_chunk_lines, hi), hi);
+}
+
+void ChunkAutotuner::observe(const TuneObservation& obs) {
+  ++chunks_seen_;
+  epoch_.read_seconds += obs.read_seconds;
+  epoch_.reader_stall_seconds += obs.reader_stall_seconds;
+  epoch_.compute_stall_seconds += obs.compute_stall_seconds;
+  epoch_.compute_seconds += obs.compute_seconds;
+  epoch_lines_ += obs.lines;
+  if (++since_decision_ >= effective_epoch_) {
+    since_decision_ = 0;
+    decide();
+  }
+}
+
+void ChunkAutotuner::decide() {
+  if (frozen_) {
+    epoch_ = {};
+    epoch_lines_ = 0;
+    return;
+  }
+  ++epoch_count_;
+  const double total = epoch_.read_seconds + epoch_.reader_stall_seconds +
+                       epoch_.compute_stall_seconds + epoch_.compute_seconds;
+  const double rf =
+      total > 0.0 ? epoch_.reader_stall_seconds / total : 0.0;
+  const double cf =
+      total > 0.0 ? epoch_.compute_stall_seconds / total : 0.0;
+  // Epoch throughput as the consumer sees it: lines retired per second of
+  // consumer wall (compute + waiting for the reader). 0 without line data.
+  const double consumer_wall =
+      epoch_.compute_seconds + epoch_.compute_stall_seconds;
+  const double rate = epoch_lines_ > 0 && consumer_wall > 0.0
+                          ? static_cast<double>(epoch_lines_) / consumer_wall
+                          : 0.0;
+  epoch_ = {};
+  epoch_lines_ = 0;
+
+  // Throughput veto: stall signs propose, measured rate disposes. If the
+  // previous decision moved and this epoch is SLOWER than the one that
+  // triggered the move, the move was wrong no matter what the stalls say
+  // (e.g. tiny chunks starving the consumer on reader overhead reads as
+  // "I/O-bound, shrink more") — undo it and park that direction.
+  const auto park_index = [](int direction) { return direction > 0 ? 1 : 0; };
+  bool vetoed = false;
+  int forced = 0;
+  if (last_applied_ != 0 && rate > 0.0 && rate_before_move_ > 0.0 &&
+      rate < rate_before_move_ * (1.0 - config_.veto_threshold)) {
+    vetoed = true;
+    parked_[park_index(last_applied_)] = true;
+    park_age_[park_index(last_applied_)] = 0;
+    forced = -last_applied_;
+    // Annealing: a contradiction between stalls and rate means we are in
+    // the noise floor around an optimum — observe longer before the next
+    // move, and after freeze_after_vetoes contradictions stop moving at
+    // all (the undo below is this tuner's last word).
+    ++vetoes_;
+    effective_epoch_ =
+        std::min(effective_epoch_ * 2, 8 * config_.epoch_chunks);
+    if (vetoes_ >= config_.freeze_after_vetoes) frozen_ = true;
+  }
+  for (int side = 0; side < 2; ++side) {
+    // Parole: the workload may have changed phase since the veto.
+    if (parked_[side] && ++park_age_[side] >= config_.veto_hold_epochs) {
+      parked_[side] = false;
+    }
+  }
+
+  int signal = 0;
+  if (forced != 0) {
+    // The undo retracts a move, it does not start a trend.
+    signal = forced;
+    last_direction_ = 0;
+    pending_reversal_ = 0;
+  } else {
+    if (rf > cf + config_.dead_band) {
+      signal = +1;  // backpressure: compute-bound, grow chunks
+    } else if (cf > rf + config_.dead_band) {
+      signal = -1;  // starvation: I/O-bound, shrink chunks
+    }
+    // Reversal damping: one epoch pointing against the last acted-on move
+    // is treated as noise; only a second consecutive epoch reverses
+    // course. Balanced epochs clear the pending reversal — "consecutive"
+    // is literal.
+    if (signal != 0 && last_direction_ != 0 && signal == -last_direction_) {
+      if (++pending_reversal_ < 2) signal = 0;
+    } else {
+      pending_reversal_ = 0;
+    }
+    if (signal != 0 && parked_[park_index(signal)]) {
+      // The stalls keep pointing at a direction the rate already refuted:
+      // the stall signature is misattributed (per-chunk overhead reads as
+      // I/O-bound), so PROBE the opposite side — the only unexplored one.
+      // Both sides parked = a bracketed local optimum: hold.
+      signal = parked_[park_index(-signal)] ? 0 : -signal;
+    }
+  }
+
+  int applied = 0;
+  if (signal > 0) {
+    const int grown = clamp_chunk_lines(static_cast<int>(
+        std::ceil(static_cast<double>(chunk_lines_) * config_.grow_factor)));
+    if (grown > chunk_lines_) {
+      chunk_lines_ = grown;
+      applied = +1;
+    } else if (!vetoed && queue_depth_ > config_.min_queue_depth) {
+      // Chunk growth is clamped: when the MEMORY BUDGET is what binds,
+      // trade read-ahead depth for chunk width — compute-bound runs do
+      // not need deep read-ahead, and a shallower queue frees budget for
+      // the next growth step. Revert the depth cut if it bought no width
+      // (growth was clamped by max_chunk_lines, not the budget): a trade
+      // that only drains read-ahead is not a trade, and it would bypass
+      // the veto/trajectory machinery as an invisible applied==0 move.
+      --queue_depth_;
+      const int regrown = clamp_chunk_lines(static_cast<int>(std::ceil(
+          static_cast<double>(chunk_lines_) * config_.grow_factor)));
+      if (regrown > chunk_lines_) {
+        chunk_lines_ = regrown;
+        applied = +1;
+      } else {
+        ++queue_depth_;
+      }
+    }
+  } else if (signal < 0) {
+    const int shrunk = clamp_chunk_lines(static_cast<int>(
+        std::floor(static_cast<double>(chunk_lines_) / config_.grow_factor)));
+    if (shrunk < chunk_lines_) {
+      chunk_lines_ = shrunk;
+      applied = -1;
+    }
+    // I/O-bound: deeper read-ahead helps hide disk latency, budget
+    // allowing. An undo only retraces the chunk step, it leaves depth be.
+    if (!vetoed && queue_depth_ < config_.max_queue_depth) {
+      const std::uint64_t chunk_bytes =
+          static_cast<std::uint64_t>(chunk_lines_) * bytes_per_line_;
+      const std::uint64_t want =
+          static_cast<std::uint64_t>(queue_depth_ + 1) * chunk_bytes;
+      if (config_.memory_budget == 0 || want <= config_.memory_budget) {
+        ++queue_depth_;
+        if (applied == 0) applied = -1;
+      }
+    }
+  }
+  if (applied != 0 && !vetoed) {
+    last_direction_ = applied;
+    pending_reversal_ = 0;
+  }
+  // Judge only deliberate moves next epoch; an undo is never re-judged
+  // (its "before" rate is the degraded one it is escaping).
+  last_applied_ = vetoed ? 0 : applied;
+  if (last_applied_ != 0) rate_before_move_ = rate;
+
+  TuneDecision d;
+  d.chunk_index = chunks_seen_;
+  d.direction = applied;
+  d.vetoed = vetoed;
+  d.chunk_lines = chunk_lines_;
+  d.queue_depth = queue_depth_;
+  d.reader_stall_frac = rf;
+  d.compute_stall_frac = cf;
+  d.lines_per_second = rate;
+  trajectory_.push_back(d);
+}
+
+void ChunkAutotuner::phase_boundary() {
+  epoch_ = {};
+  epoch_lines_ = 0;
+  since_decision_ = 0;
+  last_applied_ = 0;
+  rate_before_move_ = 0.0;
+  last_direction_ = 0;
+  pending_reversal_ = 0;
+}
+
+AutotuneReport ChunkAutotuner::report() const {
+  AutotuneReport r;
+  r.enabled = true;
+  r.initial_chunk_lines = initial_chunk_lines_;
+  r.final_chunk_lines = chunk_lines_;
+  r.initial_queue_depth = initial_queue_depth_;
+  r.final_queue_depth = queue_depth_;
+  r.trajectory = trajectory_;
+  return r;
+}
+
+}  // namespace rif::runtime

@@ -1,0 +1,25 @@
+#include "runtime/chunk_geometry.h"
+
+namespace rif::runtime {
+
+const char* validate_chunk_geometry(int chunk_lines, int queue_depth) {
+  if (chunk_lines < kMinChunkLines) {
+    return "chunk_lines must be >= 1 (zero or negative chunks cannot make "
+           "progress)";
+  }
+  if (chunk_lines > kMaxChunkLines) {
+    return "chunk_lines exceeds 65536: a chunk that large defeats "
+           "bounded-memory streaming (use the in-memory engines instead)";
+  }
+  if (queue_depth < kMinQueueDepth) {
+    return "queue_depth must cover one filling + one draining + one queued "
+           "chunk buffer (>= 3)";
+  }
+  if (queue_depth > kMaxQueueDepth) {
+    return "queue_depth exceeds 256: that much read-ahead is a resident "
+           "cube in disguise";
+  }
+  return nullptr;
+}
+
+}  // namespace rif::runtime

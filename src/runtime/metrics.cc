@@ -1,0 +1,228 @@
+#include "runtime/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace rif::runtime {
+
+namespace {
+
+/// Bucket index for a latency: ceil(log2(seconds)) shifted so that
+/// ~1 microsecond lands in bucket 0; out-of-range clamps to the ends.
+int bucket_index(double seconds) {
+  if (!(seconds > 0.0)) return 0;
+  const int b =
+      static_cast<int>(std::ceil(std::log2(seconds))) + Histogram::kZeroBucket;
+  return std::clamp(b, 0, Histogram::kBuckets - 1);
+}
+
+void atomic_add(std::atomic<double>& a, double delta) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (
+      !a.compare_exchange_weak(cur, cur + delta, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_min(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur > v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+void atomic_max(std::atomic<double>& a, double v) {
+  double cur = a.load(std::memory_order_relaxed);
+  while (cur < v &&
+         !a.compare_exchange_weak(cur, v, std::memory_order_relaxed)) {
+  }
+}
+
+/// Minimal JSON number formatting: finite, shortest-ish representation.
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Series names are repo-chosen identifiers, but escape the JSON-special
+/// characters anyway so a hostile tenant name cannot break the document.
+std::string json_string(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 2);
+  out.push_back('"');
+  for (const char c : s) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) < 0x20) {
+      char buf[8];
+      std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+      out += buf;
+    } else {
+      out.push_back(c);
+    }
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+void Histogram::observe(double seconds) {
+  count_.fetch_add(1, std::memory_order_relaxed);
+  atomic_add(sum_, seconds);
+  atomic_min(min_, seconds);
+  atomic_max(max_, seconds);
+  buckets_[static_cast<std::size_t>(bucket_index(seconds))].fetch_add(
+      1, std::memory_order_relaxed);
+}
+
+double Histogram::min() const {
+  return count() == 0 ? 0.0 : min_.load(std::memory_order_relaxed);
+}
+
+double Histogram::bucket_edge(int b) {
+  return std::ldexp(1.0, b - kZeroBucket);
+}
+
+double Histogram::quantile(double q) const {
+  const std::uint64_t n = count();
+  if (n == 0) return 0.0;
+  const auto rank = static_cast<std::uint64_t>(
+      std::clamp(q, 0.0, 1.0) * static_cast<double>(n - 1));
+  std::uint64_t seen = 0;
+  for (int b = 0; b < kBuckets; ++b) {
+    seen += bucket(b);
+    if (seen > rank) return bucket_edge(b);
+  }
+  return bucket_edge(kBuckets - 1);
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = counters_[name];
+  if (!slot) slot = std::make_unique<Counter>();
+  return *slot;
+}
+
+Gauge& MetricsRegistry::gauge(const std::string& name, GaugeKind kind) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = gauges_[name];
+  if (!slot) slot = std::make_unique<Gauge>(kind);
+  return *slot;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  auto& slot = histograms_[name];
+  if (!slot) slot = std::make_unique<Histogram>();
+  return *slot;
+}
+
+const Counter* MetricsRegistry::find_counter(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = counters_.find(name);
+  return it == counters_.end() ? nullptr : it->second.get();
+}
+
+const Gauge* MetricsRegistry::find_gauge(const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = gauges_.find(name);
+  return it == gauges_.end() ? nullptr : it->second.get();
+}
+
+const Histogram* MetricsRegistry::find_histogram(
+    const std::string& name) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+std::uint64_t MetricsRegistry::counter_value(const std::string& name) const {
+  const Counter* c = find_counter(name);
+  return c == nullptr ? 0 : c->value();
+}
+
+double MetricsRegistry::gauge_value(const std::string& name) const {
+  const Gauge* g = find_gauge(name);
+  return g == nullptr ? 0.0 : g->value();
+}
+
+void MetricsRegistry::merge_into(MetricsRegistry& target,
+                                 const std::string& prefix) const {
+  // Snapshot the series pointers under our lock, update the target outside
+  // of it (target creation takes the target's own lock; series updates are
+  // atomic). Self-merge is not supported and not needed.
+  std::vector<std::pair<std::string, const Counter*>> counters;
+  std::vector<std::pair<std::string, const Gauge*>> gauges;
+  std::vector<std::pair<std::string, const Histogram*>> histograms;
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    for (const auto& [name, c] : counters_) counters.emplace_back(name, c.get());
+    for (const auto& [name, g] : gauges_) gauges.emplace_back(name, g.get());
+    for (const auto& [name, h] : histograms_) {
+      histograms.emplace_back(name, h.get());
+    }
+  }
+  for (const auto& [name, c] : counters) {
+    target.counter(prefix + name).add(c->value());
+  }
+  for (const auto& [name, g] : gauges) {
+    target.gauge(prefix + name, g->kind()).record(g->value());
+  }
+  for (const auto& [name, h] : histograms) {
+    Histogram& t = target.histogram(prefix + name);
+    const std::uint64_t n = h->count();
+    if (n == 0) continue;
+    // Bucket-wise merge preserving count/sum/min/max exactly.
+    for (int b = 0; b < Histogram::kBuckets; ++b) {
+      const std::uint64_t bc = h->bucket(b);
+      if (bc > 0) {
+        t.buckets_[static_cast<std::size_t>(b)].fetch_add(
+            bc, std::memory_order_relaxed);
+      }
+    }
+    t.count_.fetch_add(n, std::memory_order_relaxed);
+    atomic_add(t.sum_, h->sum());
+    atomic_min(t.min_, h->min());
+    atomic_max(t.max_, h->max());
+  }
+}
+
+std::string MetricsRegistry::to_json() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::ostringstream os;
+  os << "{\n  \"counters\": {";
+  bool first = true;
+  for (const auto& [name, c] : counters_) {
+    os << (first ? "\n" : ",\n") << "    " << json_string(name) << ": "
+       << c->value();
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"gauges\": {";
+  first = true;
+  for (const auto& [name, g] : gauges_) {
+    os << (first ? "\n" : ",\n") << "    " << json_string(name) << ": "
+       << json_number(g->value());
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms_) {
+    os << (first ? "\n" : ",\n") << "    " << json_string(name) << ": {"
+       << "\"count\": " << h->count() << ", \"sum\": " << json_number(h->sum())
+       << ", \"min\": " << json_number(h->min())
+       << ", \"max\": " << json_number(h->max())
+       << ", \"p50\": " << json_number(h->quantile(0.50))
+       << ", \"p95\": " << json_number(h->quantile(0.95))
+       << ", \"p99\": " << json_number(h->quantile(0.99)) << "}";
+    first = false;
+  }
+  os << (first ? "" : "\n  ") << "}\n}\n";
+  return os.str();
+}
+
+}  // namespace rif::runtime

@@ -96,17 +96,32 @@ struct JobRequest {
   /// Streaming mode: the cube file (`<path>` + `<path>.hdr`) to fuse
   /// out-of-core. `config.cube` stays null; the job's shape is read from
   /// the header at submission. Requires ServiceConfig::execution_threads.
+  ///
+  /// A FULL-mode request may also set this: it marks the tenant's consent
+  /// to the kAdaptive counter-offer — when the cube outruns the service's
+  /// memory budget, the service converts the job to Streaming over this
+  /// file instead of rejecting it kOverMemoryBudget (see service.h).
   std::string cube_path;
   /// Streaming mode: image lines per chunk (the I/O and fold unit).
+  /// Bounds shared with the engine: runtime/chunk_geometry.h.
   int chunk_lines = 64;
   /// Streaming mode: chunk buffers in flight (>= 3); with chunk_lines this
   /// IS the job's budgeted peak memory.
   int queue_depth = 4;
+  /// Streaming mode: let the runtime's ChunkAutotuner retune
+  /// chunk_lines/queue_depth during the run, clamped to the job's ADMITTED
+  /// memory demand so tuning never outgrows what the Scheduler let in.
+  bool autotune = false;
 };
 
 struct SubmitResult {
   JobId id = kNoJob;
   RejectReason rejected = RejectReason::kNone;
+  /// The service accepted the job by CONVERTING it: a Full-mode request
+  /// whose cube outran the memory budget, admitted as Streaming over its
+  /// cube_path (kAdaptive only). The tenant gets bounded-memory execution
+  /// instead of a rejection.
+  bool counter_offered = false;
   [[nodiscard]] bool accepted() const {
     return rejected == RejectReason::kNone;
   }
@@ -118,6 +133,9 @@ struct JobRecord {
   std::string tenant;
   Priority priority = Priority::kNormal;
   JobMode mode = JobMode::kFull;
+  /// Accepted via the kAdaptive counter-offer: submitted Full, ran
+  /// Streaming (mode above reflects what RAN).
+  bool counter_offered = false;
   int workers = 0;
   /// Peak host memory the Scheduler budgeted for this job (0 when the job
   /// carries no host working set, e.g. CostOnly simulations).

@@ -5,11 +5,12 @@
 namespace rif::service {
 
 void JobQueue::push(JobId id, Priority priority, int workers,
-                    std::uint64_t memory) {
+                    std::uint64_t memory, bool streaming) {
   const int cls = static_cast<int>(priority);
   RIF_CHECK(cls >= 0 && cls < kPriorityClasses);
   RIF_CHECK(workers >= 1);
-  classes_[cls].push_back(Entry{id, priority, next_seq_++, workers, memory});
+  classes_[cls].push_back(
+      Entry{id, priority, next_seq_++, workers, memory, streaming});
 }
 
 bool JobQueue::remove(JobId id) {

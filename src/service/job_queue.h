@@ -24,10 +24,13 @@ class JobQueue {
     /// execution, queue_depth chunk buffers for Streaming, 0 for jobs with
     /// no host working set.
     std::uint64_t memory = 0;
+    /// Streaming-mode job (bounded-memory demand) — what the kAdaptive
+    /// policy prefers under memory pressure.
+    bool streaming = false;
   };
 
   void push(JobId id, Priority priority, int workers,
-            std::uint64_t memory = 0);
+            std::uint64_t memory = 0, bool streaming = false);
 
   /// Remove a queued job (it was admitted or abandoned). Returns false if
   /// the id is not queued.

@@ -3,7 +3,8 @@
 namespace rif::service {
 
 JobId Scheduler::pick(const JobQueue& queue, int free_workers,
-                      std::uint64_t free_memory) const {
+                      std::uint64_t free_memory,
+                      std::uint64_t total_memory) const {
   if (free_workers <= 0) return kNoJob;
   const std::vector<JobQueue::Entry> entries = queue.in_order();
   const auto fits = [&](const JobQueue::Entry& e) {
@@ -16,6 +17,25 @@ JobId Scheduler::pick(const JobQueue& queue, int free_workers,
         if (fits(e)) return e.id;
       }
       return kNoJob;
+
+    case AdmissionPolicy::kAdaptive: {
+      // Memory pressure = spent fraction of the budget. At or past half,
+      // prefer the jobs that barely dent it: first-fit among streaming
+      // entries, falling back to plain first-fit when none fits (an idle
+      // cluster helps nobody). No budget => no signal => kFirstFit.
+      const bool pressured = total_memory != kUnlimitedMemory &&
+                             total_memory > 0 &&
+                             free_memory <= total_memory / 2;
+      if (pressured) {
+        for (const auto& e : entries) {
+          if (e.streaming && fits(e)) return e.id;
+        }
+      }
+      for (const auto& e : entries) {
+        if (fits(e)) return e.id;
+      }
+      return kNoJob;
+    }
 
     case AdmissionPolicy::kSmallestFirst: {
       JobId best = kNoJob;

@@ -16,6 +16,19 @@
 //                      (ties broken priority-then-FIFO). Packs more
 //                      concurrent jobs onto the cluster, trading fairness
 //                      for throughput; big jobs run when the cluster drains.
+//  * kAdaptive       — feedback-driven: behaves like kFirstFit while host
+//                      memory is plentiful, but once the free budget drops
+//                      below half the total it prefers STREAMING jobs
+//                      (first-fit among them) over Full-mode ones. A
+//                      streamed job's demand is queue_depth chunk buffers,
+//                      not a cube, so under pressure it keeps the cluster
+//                      busy with a sliver of the budget while Full jobs
+//                      wait for it to loosen; with no memory budget
+//                      configured there is no pressure signal and kAdaptive
+//                      degenerates to kFirstFit. Paired with the service's
+//                      counter-offer (over-budget Full submissions carrying
+//                      a cube file are converted to Streaming instead of
+//                      rejected kOverMemoryBudget — see service.h).
 #pragma once
 
 #include <cstdint>
@@ -29,12 +42,13 @@ namespace rif::service {
 inline constexpr std::uint64_t kUnlimitedMemory =
     std::numeric_limits<std::uint64_t>::max();
 
-enum class AdmissionPolicy { kFirstFit, kSmallestFirst };
+enum class AdmissionPolicy { kFirstFit, kSmallestFirst, kAdaptive };
 
 inline const char* to_string(AdmissionPolicy p) {
   switch (p) {
     case AdmissionPolicy::kFirstFit: return "first-fit";
     case AdmissionPolicy::kSmallestFirst: return "smallest-first";
+    case AdmissionPolicy::kAdaptive: return "adaptive";
   }
   return "?";
 }
@@ -46,10 +60,13 @@ class Scheduler {
   [[nodiscard]] AdmissionPolicy policy() const { return policy_; }
 
   /// The job to admit with `free_workers` nodes and `free_memory` bytes of
-  /// host budget available, or kNoJob when nothing queued fits both. Does
+  /// host budget available, or kNoJob when nothing queued fits both.
+  /// `total_memory` (the configured budget) gives kAdaptive its pressure
+  /// signal — free/total — and is ignored by the static policies. Does
   /// not mutate the queue.
   [[nodiscard]] JobId pick(const JobQueue& queue, int free_workers,
-                           std::uint64_t free_memory = kUnlimitedMemory)
+                           std::uint64_t free_memory = kUnlimitedMemory,
+                           std::uint64_t total_memory = kUnlimitedMemory)
       const;
 
  private:

@@ -7,6 +7,7 @@
 #include "core/parallel/parallel_pct.h"
 #include "hsi/chunked_reader.h"
 #include "linalg/kernels.h"
+#include "runtime/chunk_geometry.h"
 #include "stream/streaming_engine.h"
 #include "support/check.h"
 #include "support/log.h"
@@ -40,6 +41,7 @@ FusionService::FusionService(ServiceConfig config)
   RIF_CHECK(config_.execution_threads >= 0);
   if (config_.execution_threads > 0) {
     exec_pool_ = std::make_unique<core::ThreadPool>(config_.execution_threads);
+    exec_pool_->bind_metrics(metrics_, "host_pool.");
   }
   cluster_.add_nodes(config_.worker_nodes + 1, config_.node);
   network_ =
@@ -64,11 +66,17 @@ RejectReason FusionService::validate(const JobRequest& request) const {
   if (request.mode == JobMode::kStreaming) {
     // Streaming jobs fuse a FILE on the host pool; the simulated actors
     // only play out timing/placement, so an in-memory cube (or Full-mode
-    // actor execution) alongside is a contradiction.
+    // actor execution) alongside is a contradiction. Chunk-geometry bounds
+    // are the engine's own (runtime/chunk_geometry.h): a request the
+    // engine would refuse mid-run is refused here, at submission.
     if (request.cube_path.empty() || cfg.cube != nullptr ||
         cfg.mode == core::ExecutionMode::kFull ||
-        config_.execution_threads <= 0 || request.chunk_lines < 1 ||
-        request.queue_depth < 3) {
+        config_.execution_threads <= 0) {
+      return RejectReason::kBadConfig;
+    }
+    if (const char* error = runtime::validate_chunk_geometry(
+            request.chunk_lines, request.queue_depth)) {
+      RIF_LOG_WARN("service", "streaming request rejected: " << error);
       return RejectReason::kBadConfig;
     }
   }
@@ -101,6 +109,30 @@ SubmitResult FusionService::submit(JobRequest request) {
   ledger_.record_submitted(request.tenant);
 
   RejectReason reason = validate(request);
+
+  // The kAdaptive counter-offer: a Full-mode cube that can NEVER fit the
+  // memory budget is a guaranteed kOverMemoryBudget — unless the tenant
+  // attached a cube_path, which is consent to run the same scene as a
+  // Streaming job whose demand is queue_depth chunk buffers instead of
+  // the cube. Convert, then let the normal streaming validation/budgeting
+  // below treat it like any other streamed submission.
+  if (reason == RejectReason::kNone && request.mode == JobMode::kFull &&
+      config_.admission == AdmissionPolicy::kAdaptive &&
+      config_.host_memory_budget > 0 && exec_pool_ != nullptr &&
+      request.config.cube != nullptr && !request.cube_path.empty() &&
+      request.config.cube->bytes() > config_.host_memory_budget) {
+    request.mode = JobMode::kStreaming;
+    request.config.cube = nullptr;
+    request.config.mode = core::ExecutionMode::kCostOnly;
+    job->record.mode = JobMode::kStreaming;
+    job->record.counter_offered = true;
+    metrics_.counter("service.counter_offers").add(1);
+    RIF_LOG_DEBUG("service", "job " << id
+                                    << " counter-offered as streaming ("
+                                    << request.cube_path << ")");
+    reason = validate(request);
+  }
+
   if (reason == RejectReason::kNone &&
       request.mode == JobMode::kStreaming) {
     // Structural validation of the file itself: parseable header, data
@@ -129,18 +161,23 @@ SubmitResult FusionService::submit(JobRequest request) {
     reason = RejectReason::kOverMemoryBudget;
   }
 
+  metrics_.counter("service.submitted").add(1);
+  metrics_.counter("tenant." + request.tenant + ".submitted").add(1);
   if (reason != RejectReason::kNone) {
     job->record.rejected = reason;
     ledger_.record_rejected(request.tenant);
+    metrics_.counter("service.rejected").add(1);
+    metrics_.counter("tenant." + request.tenant + ".rejected").add(1);
     jobs_.push_back(std::move(job));
-    return SubmitResult{id, reason};
+    return SubmitResult{id, reason, false};
   }
 
+  const bool counter_offered = job->record.counter_offered;
   ++outstanding_;
   sim_.schedule_at(request.arrival, [this, id] { on_arrival(id); });
   job->request = std::move(request);
   jobs_.push_back(std::move(job));
-  return SubmitResult{id, RejectReason::kNone};
+  return SubmitResult{id, RejectReason::kNone, counter_offered};
 }
 
 void FusionService::on_arrival(JobId id) {
@@ -149,12 +186,15 @@ void FusionService::on_arrival(JobId id) {
       queue_.size() >= config_.max_queue_length) {
     job.record.rejected = RejectReason::kQueueFull;
     ledger_.record_rejected(job.record.tenant);
+    metrics_.counter("service.rejected").add(1);
+    metrics_.counter("tenant." + job.record.tenant + ".rejected").add(1);
     --outstanding_;
     RIF_LOG_WARN("service", "job " << id << " rejected: queue full");
     return;
   }
   queue_.push(id, job.record.priority, job.record.workers,
-              job.record.memory_demand);
+              job.record.memory_demand,
+              job.record.mode == JobMode::kStreaming);
   dispatch();
 }
 
@@ -171,8 +211,11 @@ void FusionService::dispatch() {
         config_.host_memory_budget == 0
             ? kUnlimitedMemory
             : config_.host_memory_budget - memory_in_use_;
-    const JobId id =
-        scheduler_.pick(queue_, leases_.free_nodes(alive), free_memory);
+    const std::uint64_t total_memory = config_.host_memory_budget == 0
+                                           ? kUnlimitedMemory
+                                           : config_.host_memory_budget;
+    const JobId id = scheduler_.pick(queue_, leases_.free_nodes(alive),
+                                     free_memory, total_memory);
     if (id == kNoJob) break;
     const bool removed = queue_.remove(id);
     RIF_CHECK(removed);
@@ -244,6 +287,12 @@ void FusionService::on_job_complete(JobId id) {
   leases_.release(id);
   memory_in_use_ -= job.record.memory_demand;
   ledger_.record_completed(job.record);
+  metrics_.counter("service.completed").add(1);
+  metrics_.counter("tenant." + job.record.tenant + ".completed").add(1);
+  metrics_.histogram("tenant." + job.record.tenant + ".wait_seconds")
+      .observe(job.record.wait_seconds);
+  metrics_.histogram("tenant." + job.record.tenant + ".latency_seconds")
+      .observe(job.record.wait_seconds + job.record.service_seconds);
   --running_;
   --outstanding_;
   dispatch();
@@ -277,6 +326,8 @@ void FusionService::fail_job(JobId id) {
   leases_.release(id);
   memory_in_use_ -= job.record.memory_demand;
   ledger_.record_failed(job.record);
+  metrics_.counter("service.failed").add(1);
+  metrics_.counter("tenant." + job.record.tenant + ".failed").add(1);
   --running_;
   --outstanding_;
   RIF_LOG_WARN("service", "job " << id << " failed (replica group lost)");
@@ -376,6 +427,20 @@ void FusionService::execute_host_jobs() {
             cfg.chunk_lines = job.request.chunk_lines;
             cfg.queue_depth = job.request.queue_depth;
             cfg.tiles_per_chunk = job.record.workers * req.tiles_per_worker;
+            // Every streamed run's registry merges into the service's under
+            // one prefix: concurrent jobs aggregate (counters add, peaks
+            // max), and the report's StreamingTotals reads the result.
+            cfg.metrics = &metrics_;
+            cfg.metrics_prefix = "stream.";
+            if (job.request.autotune) {
+              runtime::AutotuneConfig tune;
+              tune.initial_chunk_lines = 0;  // start from the tenant's value
+              // The clamp the tenant already agreed to: the demand the
+              // Scheduler admitted. Tuning may reshape chunks vs depth but
+              // never outgrow the admitted footprint.
+              tune.memory_budget = job.record.memory_demand;
+              cfg.autotune = tune;
+            }
             auto r = stream::fuse_streaming(job.request.cube_path, *exec_pool_,
                                             cfg);
             if (!r) {
@@ -397,6 +462,7 @@ void FusionService::execute_host_jobs() {
             out.screen_comparisons = r->screen_comparisons;
             out.merge_comparisons = r->merge_comparisons;
             job.record.stream = r->stats;
+            metrics_.counter("stream.jobs").add(1);
           } else {
             core::ParallelPctConfig cfg;
             cfg.pct.screening_threshold = req.screening_threshold;
@@ -438,6 +504,9 @@ void FusionService::execute_host_jobs() {
   host_stats_.busy_seconds = capacity - host_stats_.idle_seconds;
   host_stats_.utilization =
       capacity > 0.0 ? host_stats_.busy_seconds / capacity : 0.0;
+  metrics_.gauge("host_pool.busy_seconds").record(host_stats_.busy_seconds);
+  metrics_.gauge("host_pool.wall_seconds").record(host_stats_.wall_seconds);
+  metrics_.gauge("host_pool.utilization").set(host_stats_.utilization);
 }
 
 ServiceReport FusionService::build_report() {
@@ -461,17 +530,6 @@ ServiceReport FusionService::build_report() {
       service_time.record(r.service_seconds);
       latency.record(r.wait_seconds + r.service_seconds);
       last_finish = std::max(last_finish, r.finish_time);
-      if (r.mode == JobMode::kStreaming) {
-        ++report.streaming.jobs;
-        report.streaming.bytes_read += r.stream.bytes_read;
-        report.streaming.max_peak_buffer_bytes =
-            std::max(report.streaming.max_peak_buffer_bytes,
-                     r.stream.peak_buffer_bytes);
-        report.streaming.reader_stall_seconds +=
-            r.stream.reader_stall_seconds;
-        report.streaming.compute_stall_seconds +=
-            r.stream.compute_stall_seconds;
-      }
     }
     // run() is terminal: hand the records (Full-mode outcomes carry whole
     // composite images) to the report rather than duplicating them.
@@ -496,9 +554,23 @@ ServiceReport FusionService::build_report() {
   report.latency_p95 = latency.quantile(0.95);
   report.latency_p99 = latency.quantile(0.99);
 
+  // Streaming totals are a VIEW over the service registry: every streamed
+  // run merged its series under "stream." in execute_host_jobs, so the
+  // report just reads them back (zeros when no streamed job ran).
+  report.streaming.jobs =
+      static_cast<int>(metrics_.counter_value("stream.jobs"));
+  report.streaming.bytes_read = metrics_.counter_value("stream.bytes_read");
+  report.streaming.max_peak_buffer_bytes = static_cast<std::uint64_t>(
+      metrics_.gauge_value("stream.peak_buffer_bytes"));
+  report.streaming.reader_stall_seconds =
+      metrics_.gauge_value("stream.reader_stall_seconds");
+  report.streaming.compute_stall_seconds =
+      metrics_.gauge_value("stream.compute_stall_seconds");
+
   report.tenants = ledger_.snapshot();
   report.host_pool = host_stats_;
   report.simd_backend = linalg::kernels::backend();
+  report.metrics_json = metrics_.to_json();
   report.protocol = runtime_->stats();
   report.network = network_->stats();
   report.sim_events = sim_.events_executed();

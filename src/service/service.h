@@ -65,6 +65,17 @@
 //   per-job flops attribution stays exact.
 // * Leases are granted on live nodes only; a crashed worker node rejoins
 //   the grantable pool when (if) it is repaired.
+// * With AdmissionPolicy::kAdaptive the service becomes feedback-driven:
+//   under memory pressure (free budget <= half) the Scheduler prefers
+//   streaming jobs, and a Full-mode submission whose cube outruns the
+//   budget is COUNTER-OFFERED as Streaming over its cube_path (consent =
+//   the tenant attached one) instead of rejected kOverMemoryBudget; the
+//   conversion is flagged in SubmitResult/JobRecord::counter_offered.
+// * Observability is registry-backed: one runtime::MetricsRegistry spans
+//   the service (per-tenant admission counters and latency histograms,
+//   host-pool series, every streamed run's merged stage/queue series);
+//   ServiceReport::streaming is a view over it and metrics_json its JSON
+//   snapshot.
 #pragma once
 
 #include <cstdint>
@@ -78,6 +89,7 @@
 #include "core/distributed/fusion_job.h"
 #include "core/parallel/thread_pool.h"
 #include "net/network.h"
+#include "runtime/metrics.h"
 #include "scp/runtime.h"
 #include "service/accounting.h"
 #include "service/job.h"
@@ -182,12 +194,20 @@ struct ServiceReport {
   net::NetworkStats network;
   /// Host-pool busy/idle accounting (ROADMAP: host-pool utilisation).
   HostPoolStats host_pool;
-  /// Streaming-pipeline totals (zeros when no Streaming job ran).
+  /// Streaming-pipeline totals (zeros when no Streaming job ran). A view
+  /// over the service metrics registry — the per-job engines merge their
+  /// run registries into it, and this is the walk of those series.
   StreamingTotals streaming;
-  /// Compile-time SIMD tier of the kernel layer this service executes with
-  /// ("avx2" | "sse2" | "neon" | "scalar") — attributes every perf number
-  /// in this report to the ISA that produced it.
+  /// ACTIVE SIMD tier of the kernel layer this service executed with
+  /// ("avx2" | "sse2" | "neon" | "scalar") — runtime-dispatched (cpuid /
+  /// HWCAP / RIF_SIMD), so it attributes every perf number in this report
+  /// to the ISA that actually produced it even on portable builds.
   std::string simd_backend;
+  /// JSON snapshot of the service metrics registry at report time: every
+  /// named counter/gauge/histogram (per-tenant admission and latency,
+  /// host-pool utilisation, streaming queue/stage series) in the schema of
+  /// runtime::MetricsRegistry::to_json — ready for a dashboard scrape.
+  std::string metrics_json;
   std::uint64_t sim_events = 0;
 };
 
@@ -212,6 +232,10 @@ class FusionService {
   [[nodiscard]] cluster::Cluster& cluster() { return cluster_; }
   [[nodiscard]] scp::Runtime& runtime() { return *runtime_; }
   [[nodiscard]] const cluster::LeaseBook& leases() const { return leases_; }
+  /// The service-lifetime metrics registry (admission, tenants, host pool,
+  /// merged streaming runs). Live during run(); snapshot in
+  /// ServiceReport::metrics_json.
+  [[nodiscard]] runtime::MetricsRegistry& metrics() { return metrics_; }
 
  private:
   struct PendingJob {
@@ -242,6 +266,7 @@ class FusionService {
   [[nodiscard]] ServiceReport build_report();
 
   ServiceConfig config_;
+  runtime::MetricsRegistry metrics_;
   sim::Simulation sim_;
   cluster::Cluster cluster_;
   std::unique_ptr<net::Network> network_;

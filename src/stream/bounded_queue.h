@@ -38,8 +38,10 @@
 #include <deque>
 #include <mutex>
 #include <optional>
+#include <string>
 #include <utility>
 
+#include "runtime/metrics.h"
 #include "support/check.h"
 
 namespace rif::stream {
@@ -53,6 +55,30 @@ class BoundedQueue {
   BoundedQueue(const BoundedQueue&) = delete;
   BoundedQueue& operator=(const BoundedQueue&) = delete;
 
+  /// Wire the queue into a metrics registry. Creates, under `prefix`:
+  ///   <prefix>push_stalls / <prefix>pop_stalls        counters — blocked
+  ///                      entries into push()/pop()
+  ///   <prefix>push_stall_seconds / <prefix>pop_stall_seconds
+  ///                      gauges (sum) — the same stall time the
+  ///                      *_stall_seconds() accessors report
+  ///   <prefix>max_occupancy  gauge (max) — high-water of queued items
+  /// Call before producers/consumers start; the registry must outlive the
+  /// queue. Several queues may share a prefix: their series accumulate,
+  /// which is exactly what a per-run registry wants from the two pipeline
+  /// passes' queue pairs.
+  void bind_metrics(runtime::MetricsRegistry& registry,
+                    const std::string& prefix) {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    push_stalls_metric_ = &registry.counter(prefix + "push_stalls");
+    pop_stalls_metric_ = &registry.counter(prefix + "pop_stalls");
+    push_stall_metric_ = &registry.gauge(prefix + "push_stall_seconds",
+                                         runtime::GaugeKind::kSum);
+    pop_stall_metric_ = &registry.gauge(prefix + "pop_stall_seconds",
+                                        runtime::GaugeKind::kSum);
+    occupancy_metric_ =
+        &registry.gauge(prefix + "max_occupancy", runtime::GaugeKind::kMax);
+  }
+
   /// Block until there is room (or the queue closes), then enqueue.
   /// Returns false — and drops `item` — iff the queue was closed.
   bool push(T item) {
@@ -61,12 +87,18 @@ class BoundedQueue {
       const auto t0 = std::chrono::steady_clock::now();
       not_full_.wait(lock,
                      [this] { return items_.size() < capacity_ || closed_; });
-      push_stall_ += std::chrono::duration<double>(
-                         std::chrono::steady_clock::now() - t0)
-                         .count();
+      const double stalled = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+      push_stall_ += stalled;
+      if (push_stalls_metric_ != nullptr) push_stalls_metric_->add(1);
+      if (push_stall_metric_ != nullptr) push_stall_metric_->record(stalled);
     }
     if (closed_) return false;
     items_.push_back(std::move(item));
+    if (occupancy_metric_ != nullptr) {
+      occupancy_metric_->record(static_cast<double>(items_.size()));
+    }
     lock.unlock();
     not_empty_.notify_one();
     return true;
@@ -79,9 +111,12 @@ class BoundedQueue {
     if (items_.empty() && !closed_) {
       const auto t0 = std::chrono::steady_clock::now();
       not_empty_.wait(lock, [this] { return !items_.empty() || closed_; });
-      pop_stall_ += std::chrono::duration<double>(
-                        std::chrono::steady_clock::now() - t0)
-                        .count();
+      const double stalled = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+      pop_stall_ += stalled;
+      if (pop_stalls_metric_ != nullptr) pop_stalls_metric_->add(1);
+      if (pop_stall_metric_ != nullptr) pop_stall_metric_->record(stalled);
     }
     if (items_.empty()) return std::nullopt;  // closed and drained
     std::optional<T> out(std::move(items_.front()));
@@ -132,6 +167,13 @@ class BoundedQueue {
   bool closed_ = false;
   double push_stall_ = 0.0;
   double pop_stall_ = 0.0;
+
+  // Optional metrics series (bind_metrics); null = unwired.
+  runtime::Counter* push_stalls_metric_ = nullptr;
+  runtime::Counter* pop_stalls_metric_ = nullptr;
+  runtime::Gauge* push_stall_metric_ = nullptr;
+  runtime::Gauge* pop_stall_metric_ = nullptr;
+  runtime::Gauge* occupancy_metric_ = nullptr;
 };
 
 }  // namespace rif::stream

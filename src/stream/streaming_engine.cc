@@ -1,5 +1,6 @@
 #include "stream/streaming_engine.h"
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <thread>
@@ -10,6 +11,7 @@
 #include "hsi/partition.h"
 #include "linalg/jacobi_eig.h"
 #include "linalg/stats.h"
+#include "runtime/chunk_geometry.h"
 #include "stream/bounded_queue.h"
 #include "support/check.h"
 #include "support/log.h"
@@ -33,7 +35,54 @@ struct ChunkBuffer {
   int rows = 0;
   std::vector<float> data;         // rows * samples * bands, BIP
   std::uint64_t alloc_bytes = 0;   // capacity high-water (peak tracking)
+  double read_seconds = 0.0;       // this fill's read_lines time (autotune)
 };
+
+/// Registry series of one streamed run, looked up once. The engine always
+/// records into a run-private registry; StreamingStats is materialized
+/// from it afterwards, and the whole registry merges into an optional
+/// long-lived one (StreamingConfig::metrics).
+struct RunMetrics {
+  runtime::MetricsRegistry& reg;
+  runtime::Counter& chunks = reg.counter("chunks");
+  runtime::Counter& bytes_read = reg.counter("bytes_read");
+  runtime::Gauge& chunk_bytes =
+      reg.gauge("chunk_bytes", runtime::GaugeKind::kMax);
+  runtime::Gauge& peak_buffer_bytes =
+      reg.gauge("peak_buffer_bytes", runtime::GaugeKind::kMax);
+  runtime::Gauge& reader_stall =
+      reg.gauge("reader_stall_seconds", runtime::GaugeKind::kSum);
+  runtime::Gauge& compute_stall =
+      reg.gauge("compute_stall_seconds", runtime::GaugeKind::kSum);
+  runtime::Histogram& read_hist = reg.histogram("chunk_read_seconds");
+  runtime::Histogram& screen_hist = reg.histogram("chunk_screen_seconds");
+  runtime::Histogram& fold_hist = reg.histogram("chunk_fold_seconds");
+  runtime::Histogram& transform_hist =
+      reg.histogram("chunk_transform_seconds");
+};
+
+/// The per-job StreamingStats view over the run's registry.
+StreamingStats stats_view(const runtime::MetricsRegistry& reg) {
+  StreamingStats s;
+  s.chunks = static_cast<int>(reg.counter_value("chunks"));
+  s.bytes_read = reg.counter_value("bytes_read");
+  s.chunk_bytes = static_cast<std::uint64_t>(reg.gauge_value("chunk_bytes"));
+  s.peak_buffer_bytes =
+      static_cast<std::uint64_t>(reg.gauge_value("peak_buffer_bytes"));
+  s.reader_stall_seconds = reg.gauge_value("reader_stall_seconds");
+  s.compute_stall_seconds = reg.gauge_value("compute_stall_seconds");
+  const auto hist_sum = [&reg](const char* name) {
+    const runtime::Histogram* h = reg.find_histogram(name);
+    return h == nullptr ? 0.0 : h->sum();
+  };
+  s.read_seconds = hist_sum("chunk_read_seconds");
+  // screen_seconds keeps its pre-registry meaning: the whole pass-1
+  // compute stage, screening fan-out plus the in-order fold.
+  s.screen_seconds =
+      hist_sum("chunk_screen_seconds") + hist_sum("chunk_fold_seconds");
+  s.transform_seconds = hist_sum("chunk_transform_seconds");
+  return s;
+}
 
 /// Shared state of one reader pass. The reader is a dedicated std::thread:
 /// it must never borrow the compute pool, or a pool blocked in pop() could
@@ -43,38 +92,60 @@ struct ReaderPass {
   std::vector<ChunkBuffer>* buffers = nullptr;
   BoundedQueue<int>* free_q = nullptr;
   BoundedQueue<int>* full_q = nullptr;
-  int chunk_lines = 0;
+  /// Lines of the NEXT chunk — reread every iteration, so the autotuner
+  /// (on the consumer side) retunes a live pass with at most queue_depth
+  /// chunks of lag.
+  const std::atomic<int>* chunk_lines = nullptr;
+  RunMetrics* metrics = nullptr;
+  /// Live chunk-buffer bytes, owned by the engine so it survives (and the
+  /// peak gauge spans) both passes and any pass-boundary depth change.
+  /// Atomic because during an autotuned pass BOTH sides move it: the
+  /// reader grows it as buffers widen while the consumer shrinks it
+  /// retiring/trimming buffers and reads it in the activation guard.
+  std::atomic<std::uint64_t>* live_buffer_bytes = nullptr;
   std::atomic<bool> io_error{false};
-  // Written by the reader thread only; read after join().
-  double read_seconds = 0.0;
-  std::uint64_t bytes_read = 0;
-  std::uint64_t live_buffer_bytes = 0;
-  std::uint64_t peak_buffer_bytes = 0;
 
   void run() {
     const int lines = reader->lines();
-    for (int line0 = 0; line0 < lines; line0 += chunk_lines) {
+    int line0 = 0;
+    while (line0 < lines) {
+      const int want = std::max(
+          1, std::min(chunk_lines->load(std::memory_order_relaxed),
+                      lines - line0));
       const auto idx = free_q->pop();
       if (!idx) return;  // aborted by the consumer
       ChunkBuffer& buf = (*buffers)[static_cast<std::size_t>(*idx)];
       buf.line0 = line0;
-      buf.rows = std::min(chunk_lines, lines - line0);
+      buf.rows = want;
+      // Grow to EXACTLY the needed footprint: resize()'s geometric growth
+      // would otherwise hand a widening (autotuned) chunk up to 2x its
+      // nominal bytes and quietly break the memory clamp.
+      const auto needed = static_cast<std::size_t>(
+          reader->chunk_bytes(buf.rows) / sizeof(float));
+      if (buf.data.capacity() < needed) buf.data.reserve(needed);
       const auto t0 = clock::now();
       const bool ok = reader->read_lines(line0, buf.rows, buf.data);
-      read_seconds += seconds_since(t0);
+      buf.read_seconds = seconds_since(t0);
+      metrics->read_hist.observe(buf.read_seconds);
       if (!ok) {
         io_error.store(true);
         free_q->push(*idx);
         break;
       }
-      bytes_read += reader->chunk_bytes(buf.rows);
+      metrics->bytes_read.add(reader->chunk_bytes(buf.rows));
+      metrics->chunk_bytes.record(
+          static_cast<double>(reader->chunk_bytes(buf.rows)));
       const auto cap_bytes =
           static_cast<std::uint64_t>(buf.data.capacity()) * sizeof(float);
       if (cap_bytes > buf.alloc_bytes) {
-        live_buffer_bytes += cap_bytes - buf.alloc_bytes;
+        const std::uint64_t live =
+            live_buffer_bytes->fetch_add(cap_bytes - buf.alloc_bytes,
+                                         std::memory_order_relaxed) +
+            (cap_bytes - buf.alloc_bytes);
         buf.alloc_bytes = cap_bytes;
-        peak_buffer_bytes = std::max(peak_buffer_bytes, live_buffer_bytes);
+        metrics->peak_buffer_bytes.record(static_cast<double>(live));
       }
+      line0 += want;
       if (!full_q->push(*idx)) return;  // aborted by the consumer
     }
     full_q->close();  // end-of-stream (or I/O error): drain and stop
@@ -106,41 +177,126 @@ class ReaderThread {
 
 /// One full reader pass over the file: owns the queue pair, feeds every
 /// chunk through `consume` (in ascending chunk order, on the calling
-/// thread), joins the reader and merges the pass's counters into `stats`.
-/// Returns false on a mid-pass I/O error. Shared by both pipeline passes
-/// so stall attribution and the error path cannot diverge between them.
+/// thread; returns its compute seconds for that chunk), joins the reader
+/// and merges the pass's stall attribution into the run registry. Returns
+/// false on a mid-pass I/O error. Shared by both pipeline passes so stall
+/// attribution and the error path cannot diverge between them.
+///
+/// `active_depth` buffers of `buffers` circulate (the rest hold no
+/// memory). When `tuner` is set, each consumed chunk's timing deltas feed
+/// the controller and BOTH knobs apply live, consumer-side: the new
+/// chunk_lines is published to the reader (effective from its next fill,
+/// i.e. with at most queue_depth chunks of lag), and a queue-depth move
+/// retires the just-consumed buffer (its memory is freed before the wider
+/// chunk_lines is published, so a width-for-depth trade never transiently
+/// exceeds the memory clamp) or activates an idle one.
 bool run_reader_pass(hsi::ChunkedCubeReader& reader,
-                     std::vector<ChunkBuffer>& buffers, int chunk_lines,
-                     StreamingStats& stats,
-                     const std::function<void(const ChunkBuffer&)>& consume) {
-  // The free queue holds every buffer; the full queue's capacity is what
-  // is left after the slot the reader is filling and the one the compute
-  // stage is draining — with queue_depth buffers total, in-flight memory
-  // can never exceed queue_depth chunks.
+                     std::vector<ChunkBuffer>& buffers,
+                     std::atomic<int>& chunk_lines, RunMetrics& metrics,
+                     std::atomic<std::uint64_t>& live_buffer_bytes,
+                     int& active_depth,
+                     std::uint64_t memory_budget,
+                     runtime::ChunkAutotuner* tuner,
+                     const std::function<double(const ChunkBuffer&)>& consume) {
+  // The free queue can hold every buffer; the full queue's capacity is
+  // what is left after the slot the reader is filling and the one the
+  // compute stage is draining — with active_depth buffers circulating,
+  // in-flight memory can never exceed active_depth chunks.
   BoundedQueue<int> free_q(buffers.size());
   BoundedQueue<int> full_q(buffers.size() - 2);
-  for (int i = 0; i < static_cast<int>(buffers.size()); ++i) free_q.push(i);
+  free_q.bind_metrics(metrics.reg, "free_queue.");
+  full_q.bind_metrics(metrics.reg, "full_queue.");
+  std::vector<int> idle;  // allocated structs not currently circulating
+  for (int i = 0; i < static_cast<int>(buffers.size()); ++i) {
+    if (i < active_depth) {
+      free_q.push(i);
+    } else {
+      // Not part of this pass (depth shrank since the buffer last ran):
+      // release its memory and drop it from the live accounting.
+      ChunkBuffer& buf = buffers[static_cast<std::size_t>(i)];
+      live_buffer_bytes.fetch_sub(buf.alloc_bytes, std::memory_order_relaxed);
+      buf.alloc_bytes = 0;
+      buf.data = {};
+      idle.push_back(i);
+    }
+  }
 
   ReaderPass pass;
   pass.reader = &reader;
   pass.buffers = &buffers;
   pass.free_q = &free_q;
   pass.full_q = &full_q;
-  pass.chunk_lines = chunk_lines;
+  pass.chunk_lines = &chunk_lines;
+  pass.metrics = &metrics;
+  pass.live_buffer_bytes = &live_buffer_bytes;
   ReaderThread reader_thread(pass);
 
+  double reader_stall_seen = 0.0;
+  double compute_stall_seen = 0.0;
   while (const auto idx = full_q.pop()) {
-    consume(buffers[static_cast<std::size_t>(*idx)]);
+    ChunkBuffer& buf = buffers[static_cast<std::size_t>(*idx)];
+    const double compute_seconds = consume(buf);
+    if (tuner != nullptr) {
+      // Timing deltas since the previous chunk; the stall accessors take
+      // the queue mutex, which at one sample per chunk is noise.
+      const double reader_stall =
+          free_q.pop_stall_seconds() + full_q.push_stall_seconds();
+      const double compute_stall = full_q.pop_stall_seconds();
+      runtime::TuneObservation obs;
+      obs.read_seconds = buf.read_seconds;
+      obs.reader_stall_seconds = reader_stall - reader_stall_seen;
+      obs.compute_stall_seconds = compute_stall - compute_stall_seen;
+      obs.compute_seconds = compute_seconds;
+      obs.lines = buf.rows;
+      reader_stall_seen = reader_stall;
+      compute_stall_seen = compute_stall;
+      tuner->observe(obs);
+      if (tuner->queue_depth() < active_depth) {
+        // Retire the buffer we exclusively hold: free its memory FIRST,
+        // then publish the (possibly wider) chunk_lines below.
+        live_buffer_bytes.fetch_sub(buf.alloc_bytes,
+                                    std::memory_order_relaxed);
+        buf.alloc_bytes = 0;
+        buf.data = {};
+        idle.push_back(*idx);
+        --active_depth;
+        chunk_lines.store(tuner->chunk_lines(), std::memory_order_relaxed);
+        continue;  // this index does not rejoin the free queue
+      }
+      // After a shrink decision, recycled buffers still carry their old
+      // wider capacity. Trim the one we hold to the CURRENT nominal
+      // chunk before it recirculates — otherwise the live accounting
+      // stays pinned at the old width and a later depth increase would
+      // stack new buffers on top of stale ones, past the memory clamp.
+      const std::uint64_t nominal =
+          reader.chunk_bytes(chunk_lines.load(std::memory_order_relaxed));
+      if (buf.alloc_bytes > nominal) {
+        live_buffer_bytes.fetch_sub(buf.alloc_bytes - nominal,
+                                    std::memory_order_relaxed);
+        std::vector<float>().swap(buf.data);
+        buf.data.reserve(static_cast<std::size_t>(nominal / sizeof(float)));
+        buf.alloc_bytes = nominal;
+      }
+      if (tuner->queue_depth() > active_depth && !idle.empty() &&
+          (memory_budget == 0 ||
+           live_buffer_bytes.load(std::memory_order_relaxed) + nominal <=
+               memory_budget)) {
+        // Activate read-ahead only when the ACTUAL live bytes (which may
+        // still include not-yet-trimmed wide buffers) leave room for one
+        // more nominal chunk — the tuner's check is against nominal
+        // geometry, this one is against reality.
+        free_q.push(idle.back());
+        idle.pop_back();
+        ++active_depth;
+      }
+      chunk_lines.store(tuner->chunk_lines(), std::memory_order_relaxed);
+    }
     free_q.push(*idx);
   }
   reader_thread.join();
-  stats.compute_stall_seconds += full_q.pop_stall_seconds();
-  stats.reader_stall_seconds +=
-      free_q.pop_stall_seconds() + full_q.push_stall_seconds();
-  stats.read_seconds += pass.read_seconds;
-  stats.bytes_read += pass.bytes_read;
-  stats.peak_buffer_bytes =
-      std::max(stats.peak_buffer_bytes, pass.peak_buffer_bytes);
+  metrics.compute_stall.record(full_q.pop_stall_seconds());
+  metrics.reader_stall.record(free_q.pop_stall_seconds() +
+                              full_q.push_stall_seconds());
   return !pass.io_error.load();
 }
 
@@ -150,26 +306,54 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
                                               core::ThreadPool& pool,
                                               const StreamingConfig& config) {
   RIF_CHECK(config.pct.output_components >= 3);
-  RIF_CHECK(config.chunk_lines >= 1);
-  RIF_CHECK_MSG(config.queue_depth >= 3,
-                "queue_depth must cover one filling + one draining + one "
-                "queued chunk buffer");
+  // Shared bounds with submit-time validation: zero/negative and absurdly
+  // huge geometry fails the same way everywhere — a logged error, not a
+  // crash or a near-cube allocation.
+  if (const char* error = runtime::validate_chunk_geometry(
+          config.chunk_lines, config.queue_depth)) {
+    RIF_LOG_WARN("stream", "rejecting stream of " << cube_path << ": "
+                                                  << error);
+    return std::nullopt;
+  }
   auto reader = hsi::ChunkedCubeReader::open(cube_path);
   if (!reader) return std::nullopt;
 
   const int W = reader->samples();
   const int H = reader->lines();
   const int B = reader->bands();
-  const int chunk_lines = std::min(config.chunk_lines, H);
   const int tiles_per_chunk =
       config.tiles_per_chunk > 0 ? config.tiles_per_chunk : pool.size();
 
-  StreamingResult result;
-  result.stats.chunk_bytes = reader->chunk_bytes(chunk_lines);
-  result.stats.chunks = (H + chunk_lines - 1) / chunk_lines;
+  runtime::MetricsRegistry reg;
+  RunMetrics metrics{reg};
+  std::atomic<std::uint64_t> live_buffer_bytes{0};
 
-  std::vector<ChunkBuffer> buffers(
-      static_cast<std::size_t>(config.queue_depth));
+  // Autotuned runs start from AutotuneConfig::initial_chunk_lines (the
+  // configured chunk_lines when 0); fixed runs keep the configured
+  // geometry for the whole run (the atomic is then never written again).
+  std::optional<runtime::ChunkAutotuner> tuner;
+  if (config.autotune.has_value()) {
+    const int start = config.autotune->initial_chunk_lines > 0
+                          ? config.autotune->initial_chunk_lines
+                          : config.chunk_lines;
+    tuner.emplace(*config.autotune, std::min(start, H), config.queue_depth,
+                  static_cast<std::uint64_t>(W) * B * sizeof(float));
+  }
+  std::atomic<int> chunk_lines{
+      tuner ? tuner->chunk_lines() : std::min(config.chunk_lines, H)};
+  // Autotuned runs allocate buffer STRUCTS up to the depth ceiling (memory
+  // only materializes when a buffer circulates), so depth can move live;
+  // fixed runs circulate exactly queue_depth.
+  int active_depth = tuner ? tuner->queue_depth() : config.queue_depth;
+  // Ceiling from the TUNER's clamped config, never the raw caller value:
+  // an absurd AutotuneConfig::max_queue_depth must not size a real
+  // allocation (the structs are cheap, a billion of them is not).
+  const int max_depth =
+      tuner ? std::max(tuner->max_queue_depth(), active_depth)
+            : config.queue_depth;
+  std::vector<ChunkBuffer> buffers(static_cast<std::size_t>(max_depth));
+
+  StreamingResult result;
 
   // --- pass 1: screen + moment sums, folded in chunk order ------------------
   core::UniqueSet unique(B, config.pct.screening_threshold);
@@ -183,6 +367,7 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
     bool first_tile = true;
     const auto screen_chunk = [&](const ChunkBuffer& buf) {
       const auto t0 = clock::now();
+      metrics.chunks.add(1);
       if (origin.empty()) {
         origin.assign(buf.data.begin(), buf.data.begin() + B);
       }
@@ -225,6 +410,9 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
         comparisons += local;
       });
       screen_comparisons += comparisons.load();
+      const double screen_seconds = seconds_since(t0);
+      metrics.screen_hist.observe(screen_seconds);
+      const auto t1 = clock::now();
       for (int i = 0; i < tile_count; ++i) {
         if (first_tile) {
           unique = std::move(tile_sets[static_cast<std::size_t>(i)]);
@@ -237,10 +425,14 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
                                   tile_moments[static_cast<std::size_t>(i)],
                                   pool, dropped, &result.merge_comparisons);
       }
-      result.stats.screen_seconds += seconds_since(t0);
+      const double fold_seconds = seconds_since(t1);
+      metrics.fold_hist.observe(fold_seconds);
+      return screen_seconds + fold_seconds;
     };
-    if (!run_reader_pass(*reader, buffers, chunk_lines, result.stats,
-                         screen_chunk)) {
+    if (!run_reader_pass(*reader, buffers, chunk_lines, metrics,
+                         live_buffer_bytes, active_depth,
+                         tuner ? config.autotune->memory_budget : 0,
+                         tuner ? &*tuner : nullptr, screen_chunk)) {
       RIF_LOG_WARN("stream", "I/O error streaming " << cube_path);
       return std::nullopt;
     }
@@ -257,6 +449,19 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
   result.eigenvalues = eig.values;
   result.eigenvectors = eig.vectors;
   result.jacobi_sweeps = eig.sweeps;
+
+  // Pass 2 starts at the converged geometry and KEEPS tuning: the
+  // per-pixel transform is indifferent to chunk boundaries, so geometry is
+  // pure throughput there — and its read/compute balance differs from
+  // screening's, so the controller is left in the loop. The boundary is
+  // declared to the tuner so the first transform epoch is never judged
+  // against a screening-phase rate (a cross-kernel comparison that could
+  // veto a perfectly good move).
+  if (tuner) {
+    tuner->phase_boundary();
+    chunk_lines.store(tuner->chunk_lines(), std::memory_order_relaxed);
+    active_depth = tuner->queue_depth();
+  }
 
   // --- pass 2: streamed blocked transform + colour map -----------------------
   const linalg::Matrix t =
@@ -286,13 +491,23 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
       if (config.plane_sink) {
         config.plane_sink(first_flat, count, comps, planes);
       }
-      result.stats.transform_seconds += seconds_since(t0);
+      const double transform_seconds = seconds_since(t0);
+      metrics.transform_hist.observe(transform_seconds);
+      return transform_seconds;
     };
-    if (!run_reader_pass(*reader, buffers, chunk_lines, result.stats,
-                         transform_chunk)) {
+    if (!run_reader_pass(*reader, buffers, chunk_lines, metrics,
+                         live_buffer_bytes, active_depth,
+                         tuner ? config.autotune->memory_budget : 0,
+                         tuner ? &*tuner : nullptr, transform_chunk)) {
       RIF_LOG_WARN("stream", "I/O error streaming " << cube_path);
       return std::nullopt;
     }
+  }
+
+  if (tuner) result.autotune = tuner->report();
+  result.stats = stats_view(reg);
+  if (config.metrics != nullptr) {
+    reg.merge_into(*config.metrics, config.metrics_prefix);
   }
   return result;
 }

@@ -10,11 +10,15 @@
 // tolerance contract.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdlib>
+#include <string>
 #include <vector>
 
 #include "core/spectral_angle.h"
 #include "linalg/kernels.h"
+#include "linalg/kernels_table.h"
 #include "linalg/matrix.h"
 #include "linalg/stats.h"
 #include "support/rng.h"
@@ -187,6 +191,111 @@ TEST(KernelsTest, DispatchedIsBitExactScalarWhenSimdDisabled) {
   const auto x = random_floats(n, 1600);
   const auto y = random_floats(n, 1601);
   EXPECT_EQ(dot(x.data(), y.data(), n), scalar::dot(x.data(), y.data(), n));
+}
+
+// --- runtime dispatch --------------------------------------------------------
+
+/// Restore the startup tier selection when a test returns, however it
+/// exits — dispatch state is process-global.
+struct BackendGuard {
+  ~BackendGuard() { reset_backend(); }
+};
+
+TEST(RuntimeDispatchTest, EveryAvailableTierSwitchesAndAgreesWithScalar) {
+  const BackendGuard guard;
+  const auto tiers = available_backends();
+  ASSERT_FALSE(tiers.empty());
+  EXPECT_EQ(tiers.back(), "scalar");  // the floor is always present
+
+  const int n = 105;
+  const auto x = random_floats(n, 2000);
+  const auto y = random_floats(n, 2001);
+  const double expect = scalar::dot(x.data(), y.data(), n);
+  for (const std::string& tier : tiers) {
+    ASSERT_TRUE(set_backend(tier.c_str())) << tier;
+    EXPECT_STREQ(backend(), tier.c_str());
+    EXPECT_EQ(simd_enabled(), tier != "scalar");
+    EXPECT_NEAR(dot(x.data(), y.data(), n), expect, tol(n)) << tier;
+  }
+}
+
+TEST(RuntimeDispatchTest, ForcedScalarTierIsBitExactReference) {
+  const BackendGuard guard;
+  ASSERT_TRUE(set_backend("scalar"));
+  EXPECT_STREQ(backend(), "scalar");
+  EXPECT_FALSE(simd_enabled());
+  const int n = 41;
+  const auto x = random_floats(n, 2100);
+  const auto y = random_floats(n, 2101);
+  EXPECT_EQ(dot(x.data(), y.data(), n), scalar::dot(x.data(), y.data(), n));
+  const auto t = random_doubles(3 * n, 2102);
+  const auto bias = random_doubles(3, 2103);
+  std::vector<float> a(3), b(3);
+  scalar::project(t.data(), 3, n, bias.data(), x.data(), a.data());
+  project(t.data(), 3, n, bias.data(), x.data(), b.data());
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(b[c], a[c]);
+}
+
+TEST(RuntimeDispatchTest, UnknownOrUnsupportedTierIsRefusedUnchanged) {
+  const BackendGuard guard;
+  const std::string before = backend();
+  EXPECT_FALSE(set_backend("avx512"));
+  EXPECT_FALSE(set_backend(""));
+  EXPECT_FALSE(set_backend(nullptr));
+  EXPECT_EQ(backend(), before);
+}
+
+TEST(RuntimeDispatchTest, EnvOverrideForcesAndFallsBackWhenBogus) {
+  const BackendGuard guard;
+  ASSERT_EQ(setenv("RIF_SIMD", "scalar", 1), 0);
+  EXPECT_STREQ(reset_backend(), "scalar");
+  EXPECT_STREQ(backend(), "scalar");
+
+  // A tier this binary/CPU cannot run falls back to detection (with a
+  // logged warning), never to a crash or a silently wrong table.
+  ASSERT_EQ(setenv("RIF_SIMD", "no-such-isa", 1), 0);
+  const std::string detected = reset_backend();
+  const auto tiers = available_backends();
+  EXPECT_NE(std::find(tiers.begin(), tiers.end(), detected), tiers.end());
+
+  ASSERT_EQ(unsetenv("RIF_SIMD"), 0);
+}
+
+TEST(RuntimeDispatchTest, RuntimeTierIsBitIdenticalToCompileTimeTier) {
+  // The acceptance contract of runtime dispatch: when the build's
+  // compile-time path selected tier X (e.g. -march=native on an AVX2
+  // host), the runtime-dispatched tier X — the one portable builds run —
+  // computes the very same bytes. With pinned per-TU flags both tables
+  // point at functionally identical code; this pins it bit-exactly.
+  const BackendGuard guard;
+  const KernelTable& compiled = compiled_table();
+  if (!set_backend(compiled.name)) {
+    GTEST_SKIP() << "compile-time tier " << compiled.name
+                 << " has no runtime table here";
+  }
+  const int n = 105;
+  const auto x = random_floats(n, 2200);
+  const auto y = random_floats(n, 2201);
+  EXPECT_EQ(dot(x.data(), y.data(), n), compiled.dot(x.data(), y.data(), n));
+  const auto xd = random_doubles(n, 2202);
+  EXPECT_EQ(dot_df(xd.data(), y.data(), n),
+            compiled.dot_df(xd.data(), y.data(), n));
+
+  std::vector<float> pack(static_cast<std::size_t>(n) * kScreenLanes);
+  for (std::size_t i = 0; i < pack.size(); ++i) {
+    pack[i] = static_cast<float>(std::sin(0.1 * static_cast<double>(i)));
+  }
+  double got[kScreenLanes], want[kScreenLanes];
+  dot8(pack.data(), x.data(), n, got);
+  compiled.dot8(pack.data(), x.data(), n, want);
+  for (int m = 0; m < kScreenLanes; ++m) EXPECT_EQ(got[m], want[m]);
+
+  const auto t = random_doubles(3 * n, 2203);
+  const auto bias = random_doubles(3, 2204);
+  std::vector<float> a(3), b(3);
+  project(t.data(), 3, n, bias.data(), x.data(), a.data());
+  compiled.project(t.data(), 3, n, bias.data(), x.data(), b.data());
+  for (int c = 0; c < 3; ++c) EXPECT_EQ(a[c], b[c]);
 }
 
 // --- UniqueSet pack integration ----------------------------------------------

@@ -736,5 +736,270 @@ TEST(ServiceTest, OverBudgetJobRejectedOutright) {
   fs::remove(path + ".hdr");
 }
 
+// --- adaptive runtime control plane ------------------------------------------
+
+TEST(ServiceTest, StreamingGeometryBoundsSharedWithEngine) {
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = 8;
+  scene_cfg.height = 8;
+  scene_cfg.bands = 4;
+  const hsi::Scene scene = hsi::generate_scene(scene_cfg);
+  const std::string path = write_scene_file(scene, "rif_svc_geom.dat");
+
+  ServiceConfig cfg;
+  cfg.worker_nodes = 4;
+  cfg.execution_threads = 1;
+  FusionService service(cfg);
+  // Zero and huge geometry fail at SUBMIT through the same
+  // runtime::validate_chunk_geometry the engine enforces mid-run.
+  EXPECT_EQ(service.submit(streaming_request("t", 2, path, 0)).rejected,
+            RejectReason::kBadConfig);
+  EXPECT_EQ(service.submit(streaming_request("t", 2, path, 70000)).rejected,
+            RejectReason::kBadConfig);
+  JobRequest deep = streaming_request("t", 2, path, 4);
+  deep.queue_depth = 2;
+  EXPECT_EQ(service.submit(deep).rejected, RejectReason::kBadConfig);
+  deep.queue_depth = 1000;
+  EXPECT_EQ(service.submit(deep).rejected, RejectReason::kBadConfig);
+
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
+/// The kAdaptive-vs-kFirstFit preference scenario: a long `base` job holds
+/// most of the memory budget (pressure on) while a short `blocker` holds
+/// every remaining worker, so a Full job and a Streaming job queue up
+/// behind it. When the blocker finishes, exactly one of the two fits the
+/// remaining budget at a time — which one goes first is pure admission
+/// policy.
+struct PressureScenario {
+  SimTime stream_start = -1;
+  SimTime full_start = -1;
+  bool all_completed = false;
+};
+
+PressureScenario run_pressure_scenario(AdmissionPolicy policy,
+                                       const hsi::Scene& base_scene,
+                                       const hsi::Scene& full_scene,
+                                       const std::string& stream_path) {
+  ServiceConfig cfg;
+  cfg.worker_nodes = 4;
+  cfg.execution_threads = 2;
+  cfg.admission = policy;
+  cfg.host_memory_budget = 90000;
+  FusionService service(cfg);
+
+  JobRequest base;  // 50000 B resident, 1 worker, long (big shape)
+  base.tenant = "base";
+  base.config = cost_only_job(1);
+  base.config.mode = core::ExecutionMode::kFull;
+  base.config.shape = {50, 50, 5};
+  base.config.cube = &base_scene.cube;
+  base.arrival = 0;
+  EXPECT_TRUE(service.submit(base).accepted());
+
+  JobRequest blocker;  // no host memory, every remaining worker, short
+  blocker.tenant = "blocker";
+  blocker.config = cost_only_job(3);
+  blocker.config.shape = {8, 8, 2};
+  blocker.arrival = 0;
+  EXPECT_TRUE(service.submit(blocker).accepted());
+
+  JobRequest full;  // 35000 B — fits free budget alone, not with stream
+  full.tenant = "full";
+  full.config = cost_only_job(2);
+  full.config.mode = core::ExecutionMode::kFull;
+  full.config.shape = {35, 25, 10};
+  full.config.cube = &full_scene.cube;
+  full.arrival = 1;  // queued before the stream job (FIFO order)
+  const SubmitResult full_submit = service.submit(full);
+  EXPECT_TRUE(full_submit.accepted());
+
+  JobRequest stream = streaming_request("stream", 2, stream_path, 4);
+  stream.queue_depth = 3;  // demand 3 x 4 x 16 x 8 x 4 = 6144 B
+  stream.arrival = 2;
+  const SubmitResult stream_submit = service.submit(stream);
+  EXPECT_TRUE(stream_submit.accepted());
+
+  const ServiceReport report = service.run();
+  PressureScenario out;
+  out.all_completed = report.all_completed;
+  out.stream_start = record_of(report, stream_submit.id).start_time;
+  out.full_start = record_of(report, full_submit.id).start_time;
+  return out;
+}
+
+TEST(ServiceTest, AdaptivePolicyPrefersStreamingUnderMemoryPressure) {
+  hsi::SceneConfig base_cfg;  // 50 x 50 x 5 floats = 50000 B
+  base_cfg.width = 50;
+  base_cfg.height = 50;
+  base_cfg.bands = 5;
+  const hsi::Scene base_scene = hsi::generate_scene(base_cfg);
+  hsi::SceneConfig full_cfg;  // 35 x 25 x 10 floats = 35000 B
+  full_cfg.width = 35;
+  full_cfg.height = 25;
+  full_cfg.bands = 10;
+  const hsi::Scene full_scene = hsi::generate_scene(full_cfg);
+  hsi::SceneConfig stream_cfg;
+  stream_cfg.width = 16;
+  stream_cfg.height = 16;
+  stream_cfg.bands = 8;
+  const hsi::Scene stream_scene = hsi::generate_scene(stream_cfg);
+  const std::string path =
+      write_scene_file(stream_scene, "rif_svc_adaptive.dat");
+
+  // kFirstFit honors FIFO: the Full job (earlier arrival) is admitted at
+  // the blocker's completion and the streamed job waits for the base job.
+  const PressureScenario first_fit = run_pressure_scenario(
+      AdmissionPolicy::kFirstFit, base_scene, full_scene, path);
+  ASSERT_TRUE(first_fit.all_completed);
+  EXPECT_LT(first_fit.full_start, first_fit.stream_start);
+
+  // kAdaptive under pressure (free 40000 <= 90000/2) jumps the streamed
+  // job — a sliver of the budget — over the queued Full job.
+  const PressureScenario adaptive = run_pressure_scenario(
+      AdmissionPolicy::kAdaptive, base_scene, full_scene, path);
+  ASSERT_TRUE(adaptive.all_completed);
+  EXPECT_LT(adaptive.stream_start, adaptive.full_start);
+
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
+TEST(ServiceTest, CounterOfferConvertsOverBudgetFullToStreaming) {
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = 24;
+  scene_cfg.height = 24;
+  scene_cfg.bands = 8;
+  const hsi::Scene scene = hsi::generate_scene(scene_cfg);
+  const std::string path = write_scene_file(scene, "rif_svc_offer.dat");
+
+  const auto full_with_file = [&] {
+    JobRequest r;
+    r.tenant = "t";
+    r.config = cost_only_job(2);
+    r.config.mode = core::ExecutionMode::kFull;
+    r.config.shape = {scene_cfg.width, scene_cfg.height, scene_cfg.bands};
+    r.config.cube = &scene.cube;
+    r.cube_path = path;  // consent to the counter-offer
+    r.chunk_lines = 4;
+    r.queue_depth = 3;
+    return r;
+  };
+
+  ServiceConfig cfg;
+  cfg.worker_nodes = 4;
+  cfg.execution_threads = 2;
+  cfg.host_memory_budget = scene.cube.bytes() / 2;
+
+  {
+    // Static policies still reject outright...
+    FusionService service(cfg);
+    const auto r = service.submit(full_with_file());
+    EXPECT_EQ(r.rejected, RejectReason::kOverMemoryBudget);
+    EXPECT_FALSE(r.counter_offered);
+  }
+  {
+    // ...and so does kAdaptive when the tenant attached no file.
+    ServiceConfig adaptive = cfg;
+    adaptive.admission = AdmissionPolicy::kAdaptive;
+    FusionService service(adaptive);
+    JobRequest no_file = full_with_file();
+    no_file.cube_path.clear();
+    EXPECT_EQ(service.submit(no_file).rejected,
+              RejectReason::kOverMemoryBudget);
+  }
+  {
+    // kAdaptive + cube_path: admitted as Streaming, runs to completion in
+    // bounded memory, and the conversion is flagged end to end.
+    ServiceConfig adaptive = cfg;
+    adaptive.admission = AdmissionPolicy::kAdaptive;
+    FusionService service(adaptive);
+    const SubmitResult submit = service.submit(full_with_file());
+    ASSERT_TRUE(submit.accepted());
+    EXPECT_TRUE(submit.counter_offered);
+
+    const ServiceReport report = service.run();
+    ASSERT_TRUE(report.all_completed);
+    const JobRecord& rec = record_of(report, submit.id);
+    EXPECT_TRUE(rec.completed);
+    EXPECT_TRUE(rec.counter_offered);
+    EXPECT_EQ(rec.mode, JobMode::kStreaming);
+    EXPECT_EQ(rec.memory_demand, 3ull * 4 * 24 * 8 * sizeof(float));
+    EXPECT_LT(rec.memory_demand, scene.cube.bytes());
+    EXPECT_EQ(rec.outcome.composite.data.size(),
+              static_cast<std::size_t>(scene.cube.pixel_count()) * 3);
+    EXPECT_GT(rec.stream.chunks, 0);
+  }
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
+TEST(ServiceTest, AutotunedStreamingJobStaysWithinAdmittedDemand) {
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = 32;
+  scene_cfg.height = 96;
+  scene_cfg.bands = 8;
+  const hsi::Scene scene = hsi::generate_scene(scene_cfg);
+  const std::string path = write_scene_file(scene, "rif_svc_tuned.dat");
+
+  ServiceConfig cfg;
+  cfg.worker_nodes = 4;
+  cfg.execution_threads = 2;
+  FusionService service(cfg);
+  JobRequest r = streaming_request("tuner", 2, path, 8);
+  r.queue_depth = 4;
+  r.autotune = true;
+  const auto submit = service.submit(r);
+  ASSERT_TRUE(submit.accepted());
+  const ServiceReport report = service.run();
+  ASSERT_TRUE(report.all_completed);
+
+  const JobRecord& rec = record_of(report, submit.id);
+  ASSERT_TRUE(rec.completed);
+  // The tuner's clamp is the ADMITTED demand: however it reshaped the
+  // chunks-vs-depth split, the run never outgrew what admission budgeted.
+  EXPECT_GT(rec.stream.peak_buffer_bytes, 0u);
+  EXPECT_LE(rec.stream.peak_buffer_bytes, rec.memory_demand);
+  EXPECT_EQ(rec.outcome.composite.data.size(),
+            static_cast<std::size_t>(scene.cube.pixel_count()) * 3);
+
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
+TEST(ServiceTest, ReportCarriesRegistryBackedMetricsJson) {
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = 32;
+  scene_cfg.height = 32;
+  scene_cfg.bands = 8;
+  const hsi::Scene scene = hsi::generate_scene(scene_cfg);
+  const std::string path = write_scene_file(scene, "rif_svc_json.dat");
+
+  ServiceConfig cfg;
+  cfg.worker_nodes = 4;
+  cfg.execution_threads = 2;
+  FusionService service(cfg);
+  ASSERT_TRUE(service.submit(streaming_request("ana", 2, path, 8)).accepted());
+  const ServiceReport report = service.run();
+  ASSERT_TRUE(report.all_completed);
+
+  // One snapshot carries the whole control plane: admission counters,
+  // per-tenant latency, host-pool usage, and the merged streamed series
+  // that StreamingTotals is a view of.
+  const std::string& json = report.metrics_json;
+  EXPECT_NE(json.find("\"service.submitted\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"service.completed\": 1"), std::string::npos);
+  EXPECT_NE(json.find("\"tenant.ana.latency_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"stream.chunk_read_seconds\""), std::string::npos);
+  EXPECT_NE(json.find("\"host_pool.tasks_executed\""), std::string::npos);
+  EXPECT_EQ(report.streaming.jobs, 1);
+  EXPECT_EQ(report.streaming.bytes_read,
+            service.metrics().counter_value("stream.bytes_read"));
+
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
 }  // namespace
 }  // namespace rif::service

@@ -19,6 +19,8 @@
 #include "hsi/chunked_reader.h"
 #include "hsi/cube_io.h"
 #include "hsi/scene.h"
+#include "runtime/autotuner.h"
+#include "runtime/metrics.h"
 #include "stream/bounded_queue.h"
 #include "stream/streaming_engine.h"
 
@@ -362,6 +364,111 @@ TEST(StreamingEngineTest, MissingFileReturnsNullopt) {
   EXPECT_FALSE(stream::fuse_streaming(temp_path("rif_stream_no_such.dat"),
                                       pool, {})
                    .has_value());
+}
+
+// Regression for the shared-bounds satellite: zero and absurdly huge
+// chunk geometry used to be caught inconsistently (submit-time clamp vs
+// engine CHECK-abort); both now fail through runtime::validate_chunk_
+// geometry with a clear logged error and a nullopt, before any I/O.
+TEST(StreamingEngineTest, BadChunkGeometryFailsCleanly) {
+  const auto scene = small_scene(16, 12, 4);
+  const std::string path = save_scene(scene, "rif_stream_geom.dat");
+  core::ThreadPool pool(1);
+  const auto run = [&](int chunk_lines, int queue_depth) {
+    stream::StreamingConfig cfg;
+    cfg.chunk_lines = chunk_lines;
+    cfg.queue_depth = queue_depth;
+    return stream::fuse_streaming(path, pool, cfg);
+  };
+  EXPECT_FALSE(run(0, 4).has_value());        // zero chunk
+  EXPECT_FALSE(run(-3, 4).has_value());
+  EXPECT_FALSE(run(70000, 4).has_value());    // over kMaxChunkLines
+  EXPECT_FALSE(run(8, 0).has_value());        // no pipeline slots
+  EXPECT_FALSE(run(8, 2).has_value());        // below the 3-buffer minimum
+  EXPECT_FALSE(run(8, 1000).has_value());     // read-ahead = resident cube
+  EXPECT_TRUE(run(8, 3).has_value());         // bounds are not over-eager
+  remove_cube(path);
+}
+
+// --- adaptive runtime integration --------------------------------------------
+
+TEST(StreamingEngineTest, AutotunedRunConvergesWithinBoundsAndBudget) {
+  const auto scene = small_scene(48, 120, 12);
+  const std::string path = save_scene(scene, "rif_stream_tuned.dat");
+  stream::StreamingConfig cfg;
+  cfg.chunk_lines = 8;
+  cfg.queue_depth = 4;
+  runtime::AutotuneConfig tune;
+  tune.min_chunk_lines = 4;
+  tune.max_chunk_lines = 64;
+  tune.epoch_chunks = 2;
+  // Budget: the configured geometry's footprint — tuning may reshape the
+  // chunks-vs-depth split but must never outgrow it.
+  const std::uint64_t bytes_per_line = 48ull * 12 * sizeof(float);
+  tune.memory_budget = 4 * 8 * bytes_per_line;
+  cfg.autotune = tune;
+
+  core::ThreadPool pool(2);
+  const auto r = stream::fuse_streaming(path, pool, cfg);
+  ASSERT_TRUE(r.has_value());
+  // A valid fusion came out (tuned chunk boundaries match no fixed
+  // tiling, so only structural properties are pinned).
+  EXPECT_EQ(r->composite.data.size(),
+            static_cast<std::size_t>(scene.cube.pixel_count()) * 3);
+  EXPECT_GE(r->unique_set_size, 3u);
+  EXPECT_EQ(r->stats.bytes_read, 2 * scene.cube.bytes());
+
+  const runtime::AutotuneReport& tuned = r->autotune;
+  EXPECT_TRUE(tuned.enabled);
+  EXPECT_EQ(tuned.initial_chunk_lines, 8);
+  EXPECT_FALSE(tuned.trajectory.empty());
+  for (const auto& d : tuned.trajectory) {
+    EXPECT_GE(d.chunk_lines, 4);
+    EXPECT_LE(d.chunk_lines, 64);
+    EXPECT_GE(d.queue_depth, 3);
+    EXPECT_LE(static_cast<std::uint64_t>(d.queue_depth) * d.chunk_lines *
+                  bytes_per_line,
+              tune.memory_budget);
+  }
+  // The engine's own accounting respects the budget end to end.
+  EXPECT_LE(r->stats.peak_buffer_bytes, tune.memory_budget);
+  remove_cube(path);
+}
+
+TEST(StreamingEngineTest, RunMergesRegistryBackedSeriesIntoCallerRegistry) {
+  const auto scene = small_scene(32, 30, 8);
+  const std::string path = save_scene(scene, "rif_stream_metrics.dat");
+  runtime::MetricsRegistry service_reg;
+  stream::StreamingConfig cfg;
+  cfg.chunk_lines = 10;
+  cfg.metrics = &service_reg;
+  cfg.metrics_prefix = "stream.";
+  core::ThreadPool pool(2);
+  const auto r = stream::fuse_streaming(path, pool, cfg);
+  ASSERT_TRUE(r.has_value());
+
+  // StreamingStats is a view over the same series the caller registry
+  // received: the two must agree exactly.
+  EXPECT_EQ(service_reg.counter_value("stream.chunks"),
+            static_cast<std::uint64_t>(r->stats.chunks));
+  EXPECT_EQ(service_reg.counter_value("stream.bytes_read"),
+            r->stats.bytes_read);
+  EXPECT_EQ(static_cast<std::uint64_t>(
+                service_reg.gauge_value("stream.peak_buffer_bytes")),
+            r->stats.peak_buffer_bytes);
+  const runtime::Histogram* reads =
+      service_reg.find_histogram("stream.chunk_read_seconds");
+  ASSERT_NE(reads, nullptr);
+  // Per-chunk latency histograms: one observation per chunk per pass.
+  EXPECT_EQ(reads->count(), 2u * static_cast<std::uint64_t>(r->stats.chunks));
+  EXPECT_NEAR(reads->sum(), r->stats.read_seconds, 1e-12);
+
+  // A second run into the same registry aggregates instead of clobbering.
+  const auto r2 = stream::fuse_streaming(path, pool, cfg);
+  ASSERT_TRUE(r2.has_value());
+  EXPECT_EQ(service_reg.counter_value("stream.bytes_read"),
+            r->stats.bytes_read + r2->stats.bytes_read);
+  remove_cube(path);
 }
 
 }  // namespace
