@@ -12,6 +12,9 @@
 
 #include "hsi/cube_io.h"
 #include "hsi/scene.h"
+#include "obs/chrome_trace.h"
+#include "obs/span_tracer.h"
+#include "obs/trace_check.h"
 #include "service/service.h"
 #include "support/table.h"
 
@@ -57,6 +60,12 @@ int main() {
   // (queue_depth chunk buffers) fits, which is the point.
   cfg.host_memory_budget = scene.cube.bytes() / 2;
   service::FusionService service(cfg);
+
+  // Tracing on for the whole day: every job's lifecycle — submit, queue
+  // wait, admission, execution down to per-chunk stages — lands on one
+  // Perfetto-loadable timeline (load the exported file in
+  // https://ui.perfetto.dev or chrome://tracing).
+  obs::SpanTracer::instance().set_enabled(true);
 
   // A morning of traffic: arrivals staggered over ten virtual minutes.
   int submitted = 0;
@@ -159,7 +168,34 @@ int main() {
                 static_cast<double>(scene.cube.bytes()) / 1e6,
                 report.simd_backend.c_str());
   }
+  // Export the day's trace and prove it is schema-valid with the in-repo
+  // checker. Span COUNTS are deterministic (they follow the virtual
+  // timeline and the fixed chunk geometry); timings inside the file are
+  // wall clock and vary, so stdout sticks to the counts.
+  obs::SpanTracer::instance().set_enabled(false);
+  const std::string trace_path =
+      (std::filesystem::temp_directory_path() / "rif_service_trace.json")
+          .string();
+  bool trace_ok = false;
+  if (obs::write_chrome_trace(trace_path)) {
+    const obs::TraceCheckResult check = obs::check_chrome_trace_file(trace_path);
+    trace_ok = check.ok;
+    const auto count = [&](const char* name) {
+      const auto it = check.span_counts.find(name);
+      return it == check.span_counts.end() ? std::size_t{0} : it->second;
+    };
+    std::printf("\ntrace: %s — %s\n", trace_path.c_str(),
+                check.ok ? "valid Chrome trace" : check.error.c_str());
+    std::printf("trace spans: submit=%zu queue_wait=%zu execute=%zu "
+                "host_execute=%zu chunk_read=%zu\n",
+                count("submit"), count("queue_wait"), count("execute"),
+                count("host_execute"), count("chunk_read"));
+  } else {
+    std::printf("\ntrace: cannot write %s\n", trace_path.c_str());
+  }
+
+  std::filesystem::remove(trace_path);
   std::filesystem::remove(cube_path);
   std::filesystem::remove(cube_path + ".hdr");
-  return report.all_completed ? 0 : 1;
+  return report.all_completed && trace_ok ? 0 : 1;
 }

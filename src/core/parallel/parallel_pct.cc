@@ -4,6 +4,7 @@
 
 #include "hsi/partition.h"
 #include "linalg/stats.h"
+#include "obs/span_tracer.h"
 #include "support/check.h"
 
 namespace rif::core {
@@ -201,6 +202,9 @@ PctResult fuse_parallel(const hsi::ImageCube& cube,
 PctResult fuse_parallel_fused(const hsi::ImageCube& cube, ThreadPool& pool,
                               const ParallelPctConfig& config) {
   RIF_CHECK(config.pct.output_components >= 3);
+  // Per-tile spans execute on pool workers, outside the caller's JobScope;
+  // capture the ambient job once and attribute explicitly.
+  const std::int64_t trace_job = obs::current_job();
   const int bands = cube.bands();
   const int tiles = config.tiles > 0 ? config.tiles : pool.size();
   PctResult result;
@@ -232,7 +236,13 @@ PctResult fuse_parallel_fused(const hsi::ImageCube& cube, ThreadPool& pool,
   }
   constexpr std::size_t kMomentBlock = 32;
   std::atomic<std::uint64_t> comparisons{0};
+  // Manual phase begin/end (one RAII span would blanket the whole engine);
+  // `traced` is captured once so every begun phase also ends.
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  const bool traced = tracer.enabled();
+  if (traced) tracer.begin("fused_screen", trace_job);
   pool.parallel_tasks(tile_count, [&](int i) {
+    RIF_TRACE_SPAN_JOB("tile_screen", trace_job);
     const auto& t = tile_list[i];
     UniqueSet& set = tile_sets[i];
     linalg::MomentAccumulator& mom = tile_moments[i];
@@ -253,6 +263,7 @@ PctResult fuse_parallel_fused(const hsi::ImageCube& cube, ThreadPool& pool,
     comparisons += local;
   });
   result.screen_comparisons = comparisons.load();
+  if (traced) tracer.end("fused_screen", trace_job);
 
   // Merge with the blocked-concurrent fold. The first tile is admitted
   // wholesale: its members are mutually distinct under the same threshold,
@@ -266,11 +277,13 @@ PctResult fuse_parallel_fused(const hsi::ImageCube& cube, ThreadPool& pool,
   UniqueSet unique = std::move(tile_sets.front());
   linalg::MomentAccumulator total = std::move(tile_moments.front());
   std::vector<std::uint8_t> dropped;
+  if (traced) tracer.begin("fused_fold", trace_job);
   for (int i = 1; i < tile_count; ++i) {
     fold_unique_moments(unique, total, tile_sets[static_cast<std::size_t>(i)],
                         tile_moments[static_cast<std::size_t>(i)], pool,
                         dropped, &result.merge_comparisons);
   }
+  if (traced) tracer.end("fused_fold", trace_job);
   result.unique_set_size = unique.size();
   RIF_CHECK_MSG(unique.size() >= 3, "degenerate scene: unique set too small");
   RIF_CHECK(total.count() == unique.size());
@@ -281,7 +294,9 @@ PctResult fuse_parallel_fused(const hsi::ImageCube& cube, ThreadPool& pool,
   const linalg::Matrix cov = total.covariance();
 
   // Eigen-decomposition (sequential, as in every engine).
+  if (traced) tracer.begin("fused_eigen", trace_job);
   linalg::EigenResult eig = linalg::jacobi_eigen(cov, config.pct.jacobi);
+  if (traced) tracer.end("fused_eigen", trace_job);
   result.eigenvalues = eig.values;
   result.eigenvectors = eig.vectors;
   result.jacobi_sweeps = eig.sweeps;
@@ -294,12 +309,15 @@ PctResult fuse_parallel_fused(const hsi::ImageCube& cube, ThreadPool& pool,
   result.component_planes.assign(config.pct.output_components,
                                  std::vector<float>(n));
   result.composite = hsi::RgbImage(cube.width(), cube.height());
+  if (traced) tracer.begin("fused_transform", trace_job);
   pool.parallel_tasks(tile_count, [&](int i) {
+    RIF_TRACE_SPAN_JOB("tile_transform", trace_job);
     transform_and_map_range(cube, t, result.mean, scales,
                             result.component_planes, result.composite,
                             tile_list[i].first_flat_index(),
                             tile_list[i].end_flat_index());
   });
+  if (traced) tracer.end("fused_transform", trace_job);
   return result;
 }
 

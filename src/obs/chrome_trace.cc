@@ -1,0 +1,159 @@
+#include "obs/chrome_trace.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <set>
+#include <sstream>
+
+namespace rif::obs {
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (const char c : s) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+void ChromeTraceWriter::set_process_name(int pid, const std::string& name) {
+  Event e;
+  e.name = "process_name";
+  e.ph = 'M';
+  e.pid = pid;
+  e.tid = 0;
+  e.args_json = "\"name\": \"" + json_escape(name) + "\"";
+  metadata_.push_back(std::move(e));
+}
+
+void ChromeTraceWriter::set_thread_name(int pid, int tid,
+                                        const std::string& name) {
+  Event e;
+  e.name = "thread_name";
+  e.ph = 'M';
+  e.pid = pid;
+  e.tid = tid;
+  e.args_json = "\"name\": \"" + json_escape(name) + "\"";
+  metadata_.push_back(std::move(e));
+}
+
+std::string ChromeTraceWriter::to_json() const {
+  std::vector<const Event*> order;
+  order.reserve(metadata_.size() + events_.size());
+  for (const auto& e : metadata_) order.push_back(&e);
+  // Metadata first, then events sorted stably by (pid, tid, ts): a
+  // same-timestamp E/B sequence on one track keeps its emission order, so
+  // the file replays strictly nested per track.
+  std::vector<const Event*> timed;
+  timed.reserve(events_.size());
+  for (const auto& e : events_) timed.push_back(&e);
+  std::stable_sort(timed.begin(), timed.end(),
+                   [](const Event* a, const Event* b) {
+                     if (a->pid != b->pid) return a->pid < b->pid;
+                     if (a->tid != b->tid) return a->tid < b->tid;
+                     return a->ts_us < b->ts_us;
+                   });
+  order.insert(order.end(), timed.begin(), timed.end());
+
+  std::ostringstream os;
+  os << "{\"displayTimeUnit\": \"ms\", \"traceEvents\": [\n";
+  bool first = true;
+  for (const Event* e : order) {
+    os << (first ? "" : ",\n");
+    first = false;
+    char head[64];
+    std::snprintf(head, sizeof head, "\", \"ph\": \"%c\", \"ts\": %.3f",
+                  e->ph, e->ts_us);
+    os << "{\"name\": \"" << json_escape(e->name) << head;
+    if (e->ph == 'X' && e->dur_us >= 0.0) {
+      char dur[32];
+      std::snprintf(dur, sizeof dur, ", \"dur\": %.3f", e->dur_us);
+      os << dur;
+    }
+    os << ", \"pid\": " << e->pid << ", \"tid\": " << e->tid;
+    if (!e->args_json.empty()) os << ", \"args\": {" << e->args_json << "}";
+    os << "}";
+  }
+  os << "\n]}\n";
+  return os.str();
+}
+
+bool ChromeTraceWriter::write(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = to_json();
+  const bool ok =
+      std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+      std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+void fill_from_tracer(ChromeTraceWriter& writer, const SpanTracer& tracer) {
+  const std::vector<SpanEvent> events = tracer.collect();
+  const auto tenants = tracer.job_tenants();
+  const auto thread_names = tracer.thread_names();
+
+  writer.set_process_name(kWallPid, "rif-host");
+  writer.set_process_name(kVirtualPid, "rif-service");
+
+  std::set<std::int32_t> wall_tids;
+  std::set<std::int32_t> job_tracks;
+  for (const SpanEvent& e : events) {
+    ChromeTraceWriter::Event out;
+    out.name = e.name;
+    out.ph = static_cast<char>(e.phase);
+    out.ts_us = static_cast<double>(e.ts_ns) / 1e3;
+    out.pid = e.timeline == Timeline::kWall ? kWallPid : kVirtualPid;
+    out.tid = e.tid;
+    (e.timeline == Timeline::kWall ? wall_tids : job_tracks).insert(e.tid);
+    std::ostringstream args;
+    if (e.phase == Phase::kCounter) {
+      args << "\"value\": " << e.value;
+    }
+    if (e.job != kNoJob) {
+      if (args.tellp() > 0) args << ", ";
+      args << "\"job\": " << e.job;
+      const auto it = tenants.find(e.job);
+      if (it != tenants.end()) {
+        args << ", \"tenant\": \"" << json_escape(it->second) << "\"";
+      }
+    }
+    out.args_json = args.str();
+    writer.add(std::move(out));
+  }
+
+  for (const std::int32_t tid : wall_tids) {
+    const auto it = thread_names.find(tid);
+    writer.set_thread_name(kWallPid, tid,
+                           it != thread_names.end()
+                               ? it->second
+                               : "thread-" + std::to_string(tid));
+  }
+  for (const std::int32_t track : job_tracks) {
+    writer.set_thread_name(kVirtualPid, track,
+                           "job " + std::to_string(track));
+  }
+}
+
+bool write_chrome_trace(const std::string& path, const SpanTracer& tracer) {
+  ChromeTraceWriter writer;
+  fill_from_tracer(writer, tracer);
+  return writer.write(path);
+}
+
+}  // namespace rif::obs

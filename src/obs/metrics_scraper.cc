@@ -1,0 +1,170 @@
+#include "obs/metrics_scraper.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/chrome_trace.h"
+
+namespace rif::obs {
+
+namespace {
+
+std::string json_number(double v) {
+  if (!std::isfinite(v)) return "0";
+  char buf[32];
+  std::snprintf(buf, sizeof buf, "%.9g", v);
+  return buf;
+}
+
+}  // namespace
+
+MetricsScraper::MetricsScraper(runtime::MetricsRegistry& registry,
+                               Config config)
+    : registry_(registry),
+      config_(config),
+      epoch_(std::chrono::steady_clock::now()) {
+  if (config_.period_seconds <= 0.0) config_.period_seconds = 0.05;
+  if (config_.max_samples == 0) config_.max_samples = 1;
+}
+
+MetricsScraper::~MetricsScraper() { stop(); }
+
+void MetricsScraper::start() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (running_) return;
+    running_ = true;
+  }
+  scrape_now();
+  thread_ = std::thread([this] { loop(); });
+}
+
+void MetricsScraper::stop() {
+  {
+    const std::lock_guard<std::mutex> lock(mutex_);
+    if (!running_ && !thread_.joinable()) return;
+    running_ = false;
+  }
+  cv_.notify_all();
+  if (thread_.joinable()) thread_.join();
+  scrape_now();  // final sample: the end-of-run state is always in the ring
+}
+
+void MetricsScraper::loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  while (running_) {
+    const auto wake = std::chrono::steady_clock::now() +
+                      std::chrono::duration<double>(config_.period_seconds);
+    cv_.wait_until(lock, wake, [this] { return !running_; });
+    if (!running_) break;
+    scrape_locked();
+  }
+}
+
+void MetricsScraper::scrape_now() {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  scrape_locked();
+}
+
+void MetricsScraper::scrape_locked() {
+  // The derive hook publishes gauges computed from live series; writers
+  // are concurrent, so it may only perform atomic series reads/writes.
+  if (derive_) derive_(registry_);
+  MetricsSample sample;
+  sample.t_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - epoch_)
+          .count();
+  sample.values = registry_.snapshot();
+  for (const auto& [name, v] : sample.values.counters) {
+    const auto it = prev_.counters.find(name);
+    const std::uint64_t before = it == prev_.counters.end() ? 0 : it->second;
+    // Counters are monotone; a concurrent merge_into can only grow them.
+    sample.counter_deltas[name] = v >= before ? v - before : 0;
+  }
+  for (const auto& [name, v] : sample.values.gauges) {
+    const auto it = prev_.gauges.find(name);
+    sample.gauge_deltas[name] =
+        v - (it == prev_.gauges.end() ? 0.0 : it->second);
+  }
+  for (const auto& [name, h] : sample.values.histograms) {
+    const auto it = prev_.histograms.find(name);
+    const std::uint64_t count_before =
+        it == prev_.histograms.end() ? 0 : it->second.count;
+    const double sum_before =
+        it == prev_.histograms.end() ? 0.0 : it->second.sum;
+    sample.histogram_count_deltas[name] =
+        h.count >= count_before ? h.count - count_before : 0;
+    sample.histogram_sum_deltas[name] = h.sum - sum_before;
+  }
+  prev_ = sample.values;
+  ring_.push_back(std::move(sample));
+  while (ring_.size() > config_.max_samples) ring_.pop_front();
+}
+
+std::vector<MetricsSample> MetricsScraper::samples() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return {ring_.begin(), ring_.end()};
+}
+
+std::size_t MetricsScraper::sample_count() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::string MetricsScraper::timeline_json() const {
+  const std::vector<MetricsSample> samples = this->samples();
+  std::ostringstream os;
+  os << "{\n  \"period_seconds\": " << json_number(config_.period_seconds)
+     << ",\n  \"samples\": [";
+  bool first_sample = true;
+  for (const MetricsSample& s : samples) {
+    os << (first_sample ? "\n" : ",\n");
+    first_sample = false;
+    os << "    {\"t\": " << json_number(s.t_seconds) << ", \"counters\": {";
+    bool first = true;
+    for (const auto& [name, v] : s.values.counters) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name)
+         << "\": {\"v\": " << v << ", \"d\": " << s.counter_deltas.at(name)
+         << "}";
+      first = false;
+    }
+    os << "}, \"gauges\": {";
+    first = true;
+    for (const auto& [name, v] : s.values.gauges) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name)
+         << "\": {\"v\": " << json_number(v)
+         << ", \"d\": " << json_number(s.gauge_deltas.at(name)) << "}";
+      first = false;
+    }
+    os << "}, \"histograms\": {";
+    first = true;
+    for (const auto& [name, h] : s.values.histograms) {
+      os << (first ? "" : ", ") << "\"" << json_escape(name)
+         << "\": {\"count\": " << h.count
+         << ", \"d_count\": " << s.histogram_count_deltas.at(name)
+         << ", \"sum\": " << json_number(h.sum)
+         << ", \"d_sum\": " << json_number(s.histogram_sum_deltas.at(name))
+         << ", \"mean\": " << json_number(h.mean)
+         << ", \"p50\": " << json_number(h.p50)
+         << ", \"p95\": " << json_number(h.p95)
+         << ", \"p99\": " << json_number(h.p99) << "}";
+      first = false;
+    }
+    os << "}}";
+  }
+  os << "\n  ]\n}\n";
+  return os.str();
+}
+
+bool MetricsScraper::write_timeline(const std::string& path) const {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return false;
+  const std::string doc = timeline_json();
+  const bool ok = std::fwrite(doc.data(), 1, doc.size(), f) == doc.size() &&
+                  std::ferror(f) == 0;
+  std::fclose(f);
+  return ok;
+}
+
+}  // namespace rif::obs

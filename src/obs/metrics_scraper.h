@@ -1,0 +1,115 @@
+// MetricsScraper — periodic time-series sampling of a MetricsRegistry.
+//
+// The registry alone answers "what is the total"; the scraper answers
+// "when did it move". A background thread snapshots the registry every
+// `period_seconds` into an in-memory ring of timestamped samples, each
+// carrying both the raw values and the DELTAS against the previous scrape
+// (computed at scrape time, so they stay correct even after the ring drops
+// old samples). timeline_json() serializes the ring as the
+// METRICS_timeline.json artifact CI uploads — a poor man's Prometheus
+// scrape log, loadable by any JSON tool.
+//
+// A derive hook runs at the start of every scrape ON THE SCRAPER THREAD:
+// the service uses it to publish gauges computed from other series (the
+// admission-pressure signal = queued memory demand vs free budget). The
+// hook must only touch the registry's atomic series — it runs concurrently
+// with every writer.
+//
+// scrape_now() takes a sample synchronously from any thread (start/stop
+// do one automatically), so phase boundaries are always represented even
+// when a phase outruns the period; tests drive the scraper entirely
+// through it for determinism.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "runtime/metrics.h"
+
+namespace rif::obs {
+
+/// One scrape: wall time since scraper construction, raw snapshot, and
+/// per-series deltas vs the previous scrape (counter increments, gauge
+/// movement, histogram count/sum increments). First scrape's deltas equal
+/// its raw values (previous = empty registry).
+struct MetricsSample {
+  double t_seconds = 0.0;
+  runtime::RegistrySnapshot values;
+  std::map<std::string, std::uint64_t> counter_deltas;
+  std::map<std::string, double> gauge_deltas;
+  std::map<std::string, std::uint64_t> histogram_count_deltas;
+  std::map<std::string, double> histogram_sum_deltas;
+};
+
+class MetricsScraper {
+ public:
+  struct Config {
+    double period_seconds = 0.05;
+    /// Ring bound: oldest samples drop past it (deltas stay valid — they
+    /// were computed against the immediately preceding scrape).
+    std::size_t max_samples = 4096;
+  };
+
+  /// Does not start scraping; call start(). The registry must outlive the
+  /// scraper.
+  explicit MetricsScraper(runtime::MetricsRegistry& registry)
+      : MetricsScraper(registry, Config{}) {}
+  MetricsScraper(runtime::MetricsRegistry& registry, Config config);
+  ~MetricsScraper();
+  MetricsScraper(const MetricsScraper&) = delete;
+  MetricsScraper& operator=(const MetricsScraper&) = delete;
+
+  /// Hook run at the start of every scrape (scraper thread!) to publish
+  /// derived gauges. Set before start().
+  void set_derive(std::function<void(runtime::MetricsRegistry&)> derive) {
+    derive_ = std::move(derive);
+  }
+
+  /// Launch the background thread; the first scrape is immediate.
+  void start();
+
+  /// Take one final scrape and stop the thread. Idempotent; the destructor
+  /// calls it.
+  void stop();
+
+  /// Synchronous scrape from any thread (ordered with periodic scrapes by
+  /// the sample mutex).
+  void scrape_now();
+
+  [[nodiscard]] std::vector<MetricsSample> samples() const;
+  [[nodiscard]] std::size_t sample_count() const;
+
+  /// {"period_seconds":..., "samples":[{"t":..., "counters":{name:
+  /// {"v":total,"d":delta}}, "gauges":{name:{"v":..,"d":..}},
+  /// "histograms":{name:{"count":..,"d_count":..,"sum":..,"d_sum":..,
+  /// "mean":..,"p50":..,"p95":..,"p99":..}}}, ...]}
+  [[nodiscard]] std::string timeline_json() const;
+
+  /// timeline_json() to a file; false on I/O error.
+  bool write_timeline(const std::string& path) const;
+
+ private:
+  void scrape_locked();
+  void loop();
+
+  runtime::MetricsRegistry& registry_;
+  Config config_;
+  std::function<void(runtime::MetricsRegistry&)> derive_;
+  std::chrono::steady_clock::time_point epoch_;
+
+  mutable std::mutex mutex_;  ///< guards ring_, prev_, running_
+  std::condition_variable cv_;
+  std::deque<MetricsSample> ring_;
+  runtime::RegistrySnapshot prev_;
+  bool running_ = false;
+  std::thread thread_;
+};
+
+}  // namespace rif::obs

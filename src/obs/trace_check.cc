@@ -1,0 +1,404 @@
+#include "obs/trace_check.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace rif::obs {
+
+namespace {
+
+/// Recursive-descent parser over the full input. Positions are byte
+/// offsets, good enough to locate a violation in a generated file.
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  bool parse(JsonValue& out, std::string& error) {
+    skip_ws();
+    if (!parse_value(out)) {
+      error = error_;
+      return false;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      error = fail("trailing characters after document");
+      return false;
+    }
+    return true;
+  }
+
+ private:
+  std::string fail(const std::string& what) {
+    if (error_.empty()) {
+      error_ = what + " at offset " + std::to_string(pos_);
+    }
+    return error_;
+  }
+
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool literal(const char* word, std::size_t len) {
+    if (text_.compare(pos_, len, word) != 0) {
+      fail("invalid literal");
+      return false;
+    }
+    pos_ += len;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    // Parser depth is bounded to keep adversarial inputs from exhausting
+    // the stack; our generated traces nest 3-4 levels.
+    if (depth_ > 64) {
+      fail("nesting too deep");
+      return false;
+    }
+    if (pos_ >= text_.size()) {
+      fail("unexpected end of input");
+      return false;
+    }
+    const char c = text_[pos_];
+    switch (c) {
+      case '{': return parse_object(out);
+      case '[': return parse_array(out);
+      case '"':
+        out.kind = JsonValue::Kind::kString;
+        return parse_string(out.string);
+      case 't':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = true;
+        return literal("true", 4);
+      case 'f':
+        out.kind = JsonValue::Kind::kBool;
+        out.boolean = false;
+        return literal("false", 5);
+      case 'n':
+        out.kind = JsonValue::Kind::kNull;
+        return literal("null", 4);
+      default: return parse_number(out);
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    out.kind = JsonValue::Kind::kObject;
+    ++pos_;  // '{'
+    ++depth_;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        fail("expected object key");
+        return false;
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != ':') {
+        fail("expected ':'");
+        return false;
+      }
+      ++pos_;
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object.emplace_back(std::move(key), std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        fail("unterminated object");
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == '}') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      fail("expected ',' or '}'");
+      return false;
+    }
+  }
+
+  bool parse_array(JsonValue& out) {
+    out.kind = JsonValue::Kind::kArray;
+    ++pos_;  // '['
+    ++depth_;
+    skip_ws();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      --depth_;
+      return true;
+    }
+    while (true) {
+      skip_ws();
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.array.push_back(std::move(value));
+      skip_ws();
+      if (pos_ >= text_.size()) {
+        fail("unterminated array");
+        return false;
+      }
+      if (text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (text_[pos_] == ']') {
+        ++pos_;
+        --depth_;
+        return true;
+      }
+      fail("expected ',' or ']'");
+      return false;
+    }
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // '"'
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_];
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (static_cast<unsigned char>(c) < 0x20) {
+        fail("raw control character in string");
+        return false;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) break;
+        const char esc = text_[pos_];
+        switch (esc) {
+          case '"': out += '"'; break;
+          case '\\': out += '\\'; break;
+          case '/': out += '/'; break;
+          case 'b': out += '\b'; break;
+          case 'f': out += '\f'; break;
+          case 'n': out += '\n'; break;
+          case 'r': out += '\r'; break;
+          case 't': out += '\t'; break;
+          case 'u': {
+            if (pos_ + 4 >= text_.size()) {
+              fail("truncated \\u escape");
+              return false;
+            }
+            unsigned code = 0;
+            for (int i = 1; i <= 4; ++i) {
+              const char h = text_[pos_ + static_cast<std::size_t>(i)];
+              if (!std::isxdigit(static_cast<unsigned char>(h))) {
+                fail("invalid \\u escape");
+                return false;
+              }
+              code = code * 16 +
+                     static_cast<unsigned>(
+                         std::isdigit(static_cast<unsigned char>(h))
+                             ? h - '0'
+                             : std::tolower(h) - 'a' + 10);
+            }
+            pos_ += 4;
+            // Generated traces only escape control characters; transcode
+            // the BMP code point as UTF-8 without surrogate handling.
+            if (code < 0x80) {
+              out += static_cast<char>(code);
+            } else if (code < 0x800) {
+              out += static_cast<char>(0xC0 | (code >> 6));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              out += static_cast<char>(0xE0 | (code >> 12));
+              out += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              out += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            fail("invalid escape");
+            return false;
+        }
+        ++pos_;
+        continue;
+      }
+      out += c;
+      ++pos_;
+    }
+    fail("unterminated string");
+    return false;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const std::size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+      fail("invalid value");
+      return false;
+    }
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    out.number = std::strtod(token.c_str(), &end);
+    if (end == nullptr || *end != '\0') {
+      pos_ = start;
+      fail("malformed number");
+      return false;
+    }
+    out.kind = JsonValue::Kind::kNumber;
+    return true;
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+};
+
+const JsonValue* require(const JsonValue& event, const std::string& key,
+                         JsonValue::Kind kind) {
+  const JsonValue* v = event.find(key);
+  return (v != nullptr && v->kind == kind) ? v : nullptr;
+}
+
+}  // namespace
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (kind != Kind::kObject) return nullptr;
+  for (const auto& [k, v] : object) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+bool parse_json(const std::string& text, JsonValue& out, std::string& error) {
+  Parser parser(text);
+  return parser.parse(out, error);
+}
+
+TraceCheckResult check_chrome_trace(const std::string& json_text) {
+  TraceCheckResult result;
+  JsonValue doc;
+  if (!parse_json(json_text, doc, result.error)) {
+    result.error = "invalid JSON: " + result.error;
+    return result;
+  }
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    result.error = "document has no traceEvents array";
+    return result;
+  }
+
+  struct OpenSpan {
+    std::string name;
+    double ts = 0.0;
+  };
+  // Track key: pid * 2^32 + tid would collide for negative tids; use a
+  // string key — validation is offline, clarity wins.
+  std::map<std::string, std::vector<OpenSpan>> stacks;
+  std::map<std::string, bool> seen_tracks;
+
+  for (std::size_t i = 0; i < events->array.size(); ++i) {
+    const JsonValue& e = events->array[i];
+    const auto at = [&] { return " (event " + std::to_string(i) + ")"; };
+    if (e.kind != JsonValue::Kind::kObject) {
+      result.error = "trace event is not an object" + at();
+      return result;
+    }
+    const JsonValue* name = require(e, "name", JsonValue::Kind::kString);
+    const JsonValue* ph = require(e, "ph", JsonValue::Kind::kString);
+    const JsonValue* ts = require(e, "ts", JsonValue::Kind::kNumber);
+    const JsonValue* pid = require(e, "pid", JsonValue::Kind::kNumber);
+    const JsonValue* tid = require(e, "tid", JsonValue::Kind::kNumber);
+    if (name == nullptr || ph == nullptr || pid == nullptr ||
+        tid == nullptr || (ts == nullptr && ph->string != "M")) {
+      result.error = "event missing name/ph/ts/pid/tid" + at();
+      return result;
+    }
+    ++result.events;
+    if (ph->string.size() != 1 ||
+        std::string("BEXiICM").find(ph->string[0]) == std::string::npos) {
+      result.error = "unknown ph '" + ph->string + "'" + at();
+      return result;
+    }
+    const char kind = ph->string[0];
+    const std::string track = std::to_string(static_cast<long long>(
+                                  pid->number)) +
+                              ":" +
+                              std::to_string(
+                                  static_cast<long long>(tid->number));
+    if (kind != 'M') seen_tracks[track] = true;
+    if (kind == 'B') {
+      stacks[track].push_back({name->string, ts->number});
+    } else if (kind == 'E') {
+      auto& stack = stacks[track];
+      if (stack.empty()) {
+        result.error =
+            "E '" + name->string + "' with no open span on " + track + at();
+        return result;
+      }
+      if (stack.back().name != name->string) {
+        result.error = "E '" + name->string + "' crosses open '" +
+                       stack.back().name + "' on " + track + at();
+        return result;
+      }
+      if (ts->number + 1e-9 < stack.back().ts) {
+        result.error = "E '" + name->string + "' ends before its B" + at();
+        return result;
+      }
+      stack.pop_back();
+      ++result.spans;
+      ++result.span_counts[name->string];
+    } else if (kind == 'X') {
+      const JsonValue* dur = require(e, "dur", JsonValue::Kind::kNumber);
+      if (dur == nullptr || dur->number < 0.0) {
+        result.error = "X event without non-negative dur" + at();
+        return result;
+      }
+      ++result.spans;
+      ++result.span_counts[name->string];
+    }
+  }
+  for (const auto& [track, stack] : stacks) {
+    if (!stack.empty()) {
+      result.error = "span '" + stack.back().name + "' never closed on " +
+                     track;
+      return result;
+    }
+  }
+  result.tracks = seen_tracks.size();
+  result.ok = true;
+  return result;
+}
+
+TraceCheckResult check_chrome_trace_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    TraceCheckResult result;
+    result.error = "cannot open " + path;
+    return result;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return check_chrome_trace(buf.str());
+}
+
+}  // namespace rif::obs

@@ -1,0 +1,66 @@
+// Minimal in-repo JSON parser + Chrome-trace schema validator.
+//
+// CI and tests must be able to say "this TRACE_*.json will load in
+// Perfetto" without a Python toolchain or a JSON dependency: this is a
+// ~strict recursive-descent parser for the JSON subset our writers emit
+// (objects, arrays, strings with escapes, finite numbers, true/false/null)
+// plus a validator for the trace-event schema of obs/chrome_trace.h:
+//
+//   * document is an object whose "traceEvents" is an array of objects
+//   * every event has string "name"/"ph" and numeric "ts"/"pid"/"tid"
+//   * ph is one of B E X i I C M
+//   * B/E pairs match by name and nest STRICTLY per (pid, tid) track —
+//     an E must close the innermost open B of its track, timestamps
+//     non-decreasing within the pair
+//   * no track has an open B left at end-of-trace
+//
+// The validator also tallies per-name B-span counts so callers can assert
+// coverage ("the trace contains read/screen/fold/transform spans") without
+// re-parsing.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace rif::obs {
+
+/// Parsed JSON value (tree-owning).
+struct JsonValue {
+  enum class Kind { kNull, kBool, kNumber, kString, kArray, kObject };
+  Kind kind = Kind::kNull;
+  bool boolean = false;
+  double number = 0.0;
+  std::string string;
+  std::vector<JsonValue> array;
+  /// Insertion-ordered key/value pairs (duplicate keys preserved).
+  std::vector<std::pair<std::string, JsonValue>> object;
+
+  /// First member named `key`; nullptr when absent or not an object.
+  [[nodiscard]] const JsonValue* find(const std::string& key) const;
+};
+
+/// Parse a complete JSON document. Returns false (with a position-carrying
+/// message in `error`) on any syntax violation or trailing garbage.
+bool parse_json(const std::string& text, JsonValue& out, std::string& error);
+
+struct TraceCheckResult {
+  bool ok = false;
+  std::string error;        ///< first violation, with context
+  std::size_t events = 0;   ///< trace events seen (incl. metadata)
+  std::size_t spans = 0;    ///< matched B/E pairs
+  /// Completed B/E span count per name ("chunk_read" -> 42, ...).
+  std::map<std::string, std::size_t> span_counts;
+  /// Distinct (pid, tid) tracks that carried at least one event.
+  std::size_t tracks = 0;
+};
+
+/// Validate a Chrome-trace JSON document (see file header for the rules).
+TraceCheckResult check_chrome_trace(const std::string& json_text);
+
+/// Load `path` and validate. I/O failure reports ok=false with the reason.
+TraceCheckResult check_chrome_trace_file(const std::string& path);
+
+}  // namespace rif::obs

@@ -192,6 +192,34 @@ void MetricsRegistry::merge_into(MetricsRegistry& target,
   }
 }
 
+namespace {
+
+HistogramSummary summarize(const Histogram& h) {
+  HistogramSummary s;
+  s.count = h.count();
+  s.sum = h.sum();
+  s.mean = s.count > 0 ? s.sum / static_cast<double>(s.count) : 0.0;
+  s.min = h.min();
+  s.max = h.max();
+  s.p50 = h.quantile(0.50);
+  s.p95 = h.quantile(0.95);
+  s.p99 = h.quantile(0.99);
+  return s;
+}
+
+}  // namespace
+
+RegistrySnapshot MetricsRegistry::snapshot() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  RegistrySnapshot snap;
+  for (const auto& [name, c] : counters_) snap.counters[name] = c->value();
+  for (const auto& [name, g] : gauges_) snap.gauges[name] = g->value();
+  for (const auto& [name, h] : histograms_) {
+    snap.histograms[name] = summarize(*h);
+  }
+  return snap;
+}
+
 std::string MetricsRegistry::to_json() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   std::ostringstream os;
@@ -212,13 +240,15 @@ std::string MetricsRegistry::to_json() const {
   os << (first ? "" : "\n  ") << "},\n  \"histograms\": {";
   first = true;
   for (const auto& [name, h] : histograms_) {
+    const HistogramSummary s = summarize(*h);
     os << (first ? "\n" : ",\n") << "    " << json_string(name) << ": {"
-       << "\"count\": " << h->count() << ", \"sum\": " << json_number(h->sum())
-       << ", \"min\": " << json_number(h->min())
-       << ", \"max\": " << json_number(h->max())
-       << ", \"p50\": " << json_number(h->quantile(0.50))
-       << ", \"p95\": " << json_number(h->quantile(0.95))
-       << ", \"p99\": " << json_number(h->quantile(0.99)) << "}";
+       << "\"count\": " << s.count << ", \"sum\": " << json_number(s.sum)
+       << ", \"mean\": " << json_number(s.mean)
+       << ", \"min\": " << json_number(s.min)
+       << ", \"max\": " << json_number(s.max)
+       << ", \"p50\": " << json_number(s.p50)
+       << ", \"p95\": " << json_number(s.p95)
+       << ", \"p99\": " << json_number(s.p99) << "}";
     first = false;
   }
   os << (first ? "" : "\n  ") << "}\n}\n";

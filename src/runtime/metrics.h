@@ -141,6 +141,30 @@ class Histogram {
   std::atomic<std::uint64_t> buckets_[kBuckets] = {};
 };
 
+/// Point-in-time value of one histogram: totals plus the log2-bucket
+/// quantile summary (p50/p95/p99 at bucket resolution) so a snapshot is
+/// readable without access to the live buckets.
+struct HistogramSummary {
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double mean = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  double p99 = 0.0;
+};
+
+/// Consistent-enough point-in-time copy of a whole registry (each series
+/// read atomically; cross-series skew is bounded by the walk). This is
+/// what the MetricsScraper samples on its period — delta computation and
+/// timeline serialization work on plain values, never on live series.
+struct RegistrySnapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, HistogramSummary> histograms;
+};
+
 class MetricsRegistry {
  public:
   MetricsRegistry() = default;
@@ -169,12 +193,17 @@ class MetricsRegistry {
   /// source's gauge kinds.
   void merge_into(MetricsRegistry& target, const std::string& prefix) const;
 
+  /// Every series' current value as plain data (see RegistrySnapshot).
+  [[nodiscard]] RegistrySnapshot snapshot() const;
+
   /// One JSON object for dashboards:
   /// {"counters":{name:value,...},
   ///  "gauges":{name:value,...},
-  ///  "histograms":{name:{"count":..,"sum":..,"min":..,"max":..,
+  ///  "histograms":{name:{"count":..,"sum":..,"mean":..,"min":..,"max":..,
   ///                      "p50":..,"p95":..,"p99":..},...}}
-  /// Series appear sorted by name; values are finite numbers.
+  /// Series appear sorted by name; values are finite numbers. The p50/95/99
+  /// summaries come from the log2 buckets (upper-edge estimates), so the
+  /// report is readable without post-processing the buckets.
   [[nodiscard]] std::string to_json() const;
 
  private:

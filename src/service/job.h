@@ -151,6 +151,12 @@ struct JobRecord {
   double wait_seconds = 0.0;     ///< submit -> start
   double service_seconds = 0.0;  ///< start -> finish (the per-job analog of
                                  ///< FusionReport::elapsed_seconds)
+  /// Virtual seconds spent queued (enqueue -> admission). Sourced from the
+  /// job's "queue_wait" span on the virtual trace timeline when tracing is
+  /// on, from the timestamps otherwise; either way it agrees with
+  /// wait_seconds (arrival is when the request enters the queue) and with
+  /// the Ledger's per-tenant wait histograms.
+  double queue_wait_seconds = 0.0;
   /// Worker nodes leased exclusively to this job while it ran.
   std::vector<cluster::NodeId> leased_nodes;
   /// Flops charged to the leased nodes during the job's tenure.

@@ -35,6 +35,14 @@ std::size_t JobQueue::size(Priority priority) const {
   return classes_[static_cast<int>(priority)].size();
 }
 
+std::uint64_t JobQueue::total_memory_demand() const {
+  std::uint64_t total = 0;
+  for (const auto& cls : classes_) {
+    for (const auto& e : cls) total += e.memory;
+  }
+  return total;
+}
+
 std::vector<JobQueue::Entry> JobQueue::in_order() const {
   std::vector<Entry> out;
   out.reserve(size());

@@ -40,6 +40,11 @@ class JobQueue {
   [[nodiscard]] std::size_t size() const;
   [[nodiscard]] std::size_t size(Priority priority) const;
 
+  /// Summed peak host-memory demand of every queued job — the numerator of
+  /// the service's admission-pressure gauge (demand waiting vs budget
+  /// left).
+  [[nodiscard]] std::uint64_t total_memory_demand() const;
+
   /// Snapshot of all queued entries in admission order: priority class
   /// ascending (kHigh first), FIFO within a class.
   [[nodiscard]] std::vector<Entry> in_order() const;

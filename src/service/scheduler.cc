@@ -3,8 +3,8 @@
 namespace rif::service {
 
 JobId Scheduler::pick(const JobQueue& queue, int free_workers,
-                      std::uint64_t free_memory,
-                      std::uint64_t total_memory) const {
+                      std::uint64_t free_memory, std::uint64_t total_memory,
+                      double admission_pressure) const {
   if (free_workers <= 0) return kNoJob;
   const std::vector<JobQueue::Entry> entries = queue.in_order();
   const auto fits = [&](const JobQueue::Entry& e) {
@@ -19,13 +19,16 @@ JobId Scheduler::pick(const JobQueue& queue, int free_workers,
       return kNoJob;
 
     case AdmissionPolicy::kAdaptive: {
-      // Memory pressure = spent fraction of the budget. At or past half,
-      // prefer the jobs that barely dent it: first-fit among streaming
-      // entries, falling back to plain first-fit when none fits (an idle
-      // cluster helps nobody). No budget => no signal => kFirstFit.
-      const bool pressured = total_memory != kUnlimitedMemory &&
-                             total_memory > 0 &&
-                             free_memory <= total_memory / 2;
+      // Memory pressure = spent fraction of the budget, OR the published
+      // admission-pressure gauge (queued demand / free budget) at or past
+      // 1.0 — demand already outruns what is left, so act early. At either
+      // signal, prefer the jobs that barely dent the budget: first-fit
+      // among streaming entries, falling back to plain first-fit when none
+      // fits (an idle cluster helps nobody). No budget => no signal =>
+      // kFirstFit.
+      const bool pressured =
+          total_memory != kUnlimitedMemory && total_memory > 0 &&
+          (free_memory <= total_memory / 2 || admission_pressure >= 1.0);
       if (pressured) {
         for (const auto& e : entries) {
           if (e.streaming && fits(e)) return e.id;

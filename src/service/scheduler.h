@@ -62,12 +62,17 @@ class Scheduler {
   /// The job to admit with `free_workers` nodes and `free_memory` bytes of
   /// host budget available, or kNoJob when nothing queued fits both.
   /// `total_memory` (the configured budget) gives kAdaptive its pressure
-  /// signal — free/total — and is ignored by the static policies. Does
-  /// not mutate the queue.
+  /// signal — free/total — and is ignored by the static policies.
+  /// `admission_pressure` is the scraper-published demand signal (queued
+  /// memory demand / free budget, see service.h): kAdaptive also treats
+  /// pressure >= 1.0 — more demand waiting than budget left — as pressured
+  /// even while free memory is still above the half-way line, so the
+  /// streaming preference kicks in before the budget actually drains. The
+  /// static policies ignore it. Does not mutate the queue.
   [[nodiscard]] JobId pick(const JobQueue& queue, int free_workers,
                            std::uint64_t free_memory = kUnlimitedMemory,
-                           std::uint64_t total_memory = kUnlimitedMemory)
-      const;
+                           std::uint64_t total_memory = kUnlimitedMemory,
+                           double admission_pressure = 0.0) const;
 
  private:
   AdmissionPolicy policy_;

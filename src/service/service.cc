@@ -7,6 +7,7 @@
 #include "core/parallel/parallel_pct.h"
 #include "hsi/chunked_reader.h"
 #include "linalg/kernels.h"
+#include "obs/span_tracer.h"
 #include "runtime/chunk_geometry.h"
 #include "stream/streaming_engine.h"
 #include "support/check.h"
@@ -28,6 +29,15 @@ std::vector<cluster::NodeId> worker_pool(int worker_nodes) {
   }
   return pool;
 }
+
+/// SimTime is already integral nanoseconds — the virtual-trace timestamp
+/// directly.
+std::uint64_t vt_ns(SimTime t) {
+  return t > 0 ? static_cast<std::uint64_t>(t) : 0;
+}
+
+/// The job's lifecycle lane in the exported trace (tid on kVirtualPid).
+std::int32_t job_track(JobId id) { return static_cast<std::int32_t>(id); }
 
 }  // namespace
 
@@ -98,6 +108,10 @@ RejectReason FusionService::validate(const JobRequest& request) const {
 SubmitResult FusionService::submit(JobRequest request) {
   RIF_CHECK_MSG(!ran_, "submit after run()");
   const JobId id = static_cast<JobId>(jobs_.size());
+  RIF_TRACE_SPAN_JOB("submit", id);
+  if (obs::SpanTracer::instance().enabled()) {
+    obs::SpanTracer::instance().set_job_tenant(id, request.tenant);
+  }
 
   auto job = std::make_unique<PendingJob>();
   job->record.id = id;
@@ -195,6 +209,14 @@ void FusionService::on_arrival(JobId id) {
   queue_.push(id, job.record.priority, job.record.workers,
               job.record.memory_demand,
               job.record.mode == JobMode::kStreaming);
+  job.enqueue_time = sim_.now();
+  metrics_.gauge("service.queued_memory_demand", runtime::GaugeKind::kSum)
+      .set(static_cast<double>(queue_.total_memory_demand()));
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  if (tracer.enabled()) {
+    tracer.virtual_begin("queue_wait", job_track(id), vt_ns(sim_.now()), id);
+    job.queue_span_open = true;
+  }
   dispatch();
 }
 
@@ -205,6 +227,7 @@ void FusionService::dispatch() {
   const cluster::NodeFilter alive = [this](cluster::NodeId n) {
     return cluster_.node(n).alive();
   };
+  RIF_TRACE_SPAN("admission");
   while (true) {
     // Recomputed per admission: start_job below spends budget.
     const std::uint64_t free_memory =
@@ -214,12 +237,32 @@ void FusionService::dispatch() {
     const std::uint64_t total_memory = config_.host_memory_budget == 0
                                            ? kUnlimitedMemory
                                            : config_.host_memory_budget;
+    // The same demand-vs-budget signal the scraper publishes as the
+    // "service.admission_pressure" gauge, computed from the sim thread's
+    // own live values (the gauge itself may be a scrape period stale).
+    const double pressure =
+        config_.host_memory_budget == 0
+            ? 0.0
+            : static_cast<double>(queue_.total_memory_demand()) /
+                  std::max(static_cast<double>(free_memory), 1.0);
     const JobId id = scheduler_.pick(queue_, leases_.free_nodes(alive),
-                                     free_memory, total_memory);
+                                     free_memory, total_memory, pressure);
     if (id == kNoJob) break;
     const bool removed = queue_.remove(id);
     RIF_CHECK(removed);
+    metrics_.gauge("service.queued_memory_demand", runtime::GaugeKind::kSum)
+        .set(static_cast<double>(queue_.total_memory_demand()));
     start_job(id, alive);
+  }
+  // The periodic scraper samples on the WALL clock, but queue pressure
+  // plays out on the virtual timeline — a whole pressured episode can fit
+  // between two wall scrapes and never be seen. When admission leaves
+  // demand queued against a budget, take a synchronous scrape so every
+  // pressured admission decision lands in the timeline (the sample ring
+  // bounds the cost).
+  if (scraper_ != nullptr && config_.host_memory_budget != 0 &&
+      queue_.total_memory_demand() > 0) {
+    scraper_->scrape_now();
   }
 }
 
@@ -253,6 +296,22 @@ void FusionService::start_job(JobId id, const cluster::NodeFilter& alive) {
   // while the pixels stream from disk on the host pool afterwards.
   if (job.request.mode == JobMode::kStreaming) job.stream_execute = true;
   memory_in_use_ += job.record.memory_demand;
+  metrics_.gauge("service.memory_in_use", runtime::GaugeKind::kSum)
+      .set(static_cast<double>(memory_in_use_));
+  // Close the job's queue_wait lane and open its execute lane at the same
+  // virtual instant; queue_wait_seconds is exactly that span's length.
+  if (job.enqueue_time >= 0) {
+    job.record.queue_wait_seconds = to_seconds(sim_.now() - job.enqueue_time);
+  }
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  if (job.queue_span_open) {
+    tracer.virtual_end("queue_wait", job_track(id), vt_ns(sim_.now()), id);
+    job.queue_span_open = false;
+  }
+  if (tracer.enabled()) {
+    tracer.virtual_begin("execute", job_track(id), vt_ns(sim_.now()), id);
+    job.exec_span_open = true;
+  }
   job.instance = std::make_unique<core::FusionJobInstance>(sim_config);
   job.instance->spawn(*runtime_, kHeadNode, job.record.leased_nodes, id,
                       [this, id] { on_job_complete(id); });
@@ -279,6 +338,11 @@ void FusionService::on_job_complete(JobId id) {
         job.flops_at_start[i];
   }
   job.record.outcome = job.instance->take_outcome();
+  if (job.exec_span_open) {
+    obs::SpanTracer::instance().virtual_end("execute", job_track(id),
+                                            vt_ns(sim_.now()), id);
+    job.exec_span_open = false;
+  }
 
   // Tear down the job's (quiescent) actors before the nodes change hands:
   // a retired worker must not heartbeat — or be billed — on a node leased
@@ -286,6 +350,8 @@ void FusionService::on_job_complete(JobId id) {
   runtime_->retire_job(id);
   leases_.release(id);
   memory_in_use_ -= job.record.memory_demand;
+  metrics_.gauge("service.memory_in_use", runtime::GaugeKind::kSum)
+      .set(static_cast<double>(memory_in_use_));
   ledger_.record_completed(job.record);
   metrics_.counter("service.completed").add(1);
   metrics_.counter("tenant." + job.record.tenant + ".completed").add(1);
@@ -319,12 +385,19 @@ void FusionService::fail_job(JobId id) {
       to_seconds(job.record.start_time - job.record.submit_time);
   job.record.service_seconds =
       to_seconds(job.record.finish_time - job.record.start_time);
+  if (job.exec_span_open) {
+    obs::SpanTracer::instance().virtual_end("execute", job_track(id),
+                                            vt_ns(sim_.now()), id);
+    job.exec_span_open = false;
+  }
 
   // Abandon whatever survives of the job (manager, sibling worker groups)
   // so nothing keeps running inside a lease about to be reclaimed.
   runtime_->retire_job(id);
   leases_.release(id);
   memory_in_use_ -= job.record.memory_demand;
+  metrics_.gauge("service.memory_in_use", runtime::GaugeKind::kSum)
+      .set(static_cast<double>(memory_in_use_));
   ledger_.record_failed(job.record);
   metrics_.counter("service.failed").add(1);
   metrics_.counter("tenant." + job.record.tenant + ".failed").add(1);
@@ -337,6 +410,31 @@ void FusionService::fail_job(JobId id) {
 ServiceReport FusionService::run() {
   RIF_CHECK_MSG(!ran_, "run() called twice");
   ran_ = true;
+  RIF_TRACE_SPAN("service_run");
+
+  if (config_.scrape_period_seconds > 0.0) {
+    obs::MetricsScraper::Config sc;
+    sc.period_seconds = config_.scrape_period_seconds;
+    scraper_ = std::make_unique<obs::MetricsScraper>(metrics_, sc);
+    // The derive hook runs on the scraper thread concurrently with the sim
+    // and pool threads, so it reads only the atomic gauges the sim thread
+    // publishes — never queue_/memory_in_use_ directly.
+    scraper_->set_derive(
+        [budget = config_.host_memory_budget](runtime::MetricsRegistry& reg) {
+          double pressure = 0.0;
+          if (budget > 0) {
+            const double queued =
+                reg.gauge_value("service.queued_memory_demand");
+            const double in_use = reg.gauge_value("service.memory_in_use");
+            const double free =
+                std::max(static_cast<double>(budget) - in_use, 0.0);
+            pressure = queued / std::max(free, 1.0);
+          }
+          reg.gauge("service.admission_pressure", runtime::GaugeKind::kSum)
+              .set(pressure);
+        });
+    scraper_->start();
+  }
 
   injector_.schedule(config_.failures);
   // A repair returns capacity the scheduler may be waiting on; re-dispatch
@@ -352,10 +450,18 @@ ServiceReport FusionService::run() {
     }
   }
   runtime_->start();
-  while (outstanding_ > 0 && sim_.now() < config_.deadline) {
-    if (!sim_.step()) break;
+  {
+    RIF_TRACE_SPAN("sim_phase");
+    while (outstanding_ > 0 && sim_.now() < config_.deadline) {
+      if (!sim_.step()) break;
+    }
   }
+  // Phase-boundary scrapes bracket host execution, so even a run that
+  // outraces the scrape period yields a timeline with distinct sim /
+  // host-execution / final intervals.
+  if (scraper_ != nullptr) scraper_->scrape_now();
   execute_host_jobs();
+  if (scraper_ != nullptr) scraper_->stop();  // includes the final scrape
   return build_report();
 }
 
@@ -409,10 +515,17 @@ void FusionService::execute_host_jobs() {
   };
   const double idle_before = exec_pool_->idle_seconds();
   const auto phase_start = clock::now();
+  RIF_TRACE_SPAN("host_execution");
   for (const auto& wave : waves) {
     exec_pool_->parallel_tasks(
         static_cast<int>(wave.size()), [&](int k) {
           PendingJob& job = *wave[static_cast<std::size_t>(k)];
+          // Ambient attribution for the task thread: every span and log
+          // line below — including the engines' per-chunk/per-tile spans,
+          // which capture it at entry and hand it to pool workers and the
+          // reader thread — carries this job's id.
+          obs::JobScope job_scope(job.record.id);
+          RIF_TRACE_SPAN("host_execute");
           const auto job_start = clock::now();
           const core::FusionJobConfig& req = job.request.config;
           core::JobOutcome& out = job.record.outcome;
@@ -514,6 +627,25 @@ ServiceReport FusionService::build_report() {
   report.jobs_submitted = static_cast<int>(jobs_.size());
   report.max_concurrent_jobs = max_concurrent_;
 
+  // Jobs stranded at the deadline still have their virtual lanes open;
+  // close them at now() so the exported trace is always balanced.
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  for (auto& job : jobs_) {
+    const JobId id = job->record.id;
+    if (job->queue_span_open) {
+      tracer.virtual_end("queue_wait", job_track(id), vt_ns(sim_.now()), id);
+      job->queue_span_open = false;
+      if (job->enqueue_time >= 0) {
+        job->record.queue_wait_seconds =
+            to_seconds(sim_.now() - job->enqueue_time);
+      }
+    }
+    if (job->exec_span_open) {
+      tracer.virtual_end("execute", job_track(id), vt_ns(sim_.now()), id);
+      job->exec_span_open = false;
+    }
+  }
+
   LatencyStats wait;
   LatencyStats service_time;
   LatencyStats latency;
@@ -571,6 +703,19 @@ ServiceReport FusionService::build_report() {
   report.host_pool = host_stats_;
   report.simd_backend = linalg::kernels::backend();
   report.metrics_json = metrics_.to_json();
+  if (scraper_ != nullptr) {
+    report.metrics_timeline_json = scraper_->timeline_json();
+    for (const obs::MetricsSample& s : scraper_->samples()) {
+      const auto it = s.values.gauges.find("service.admission_pressure");
+      report.admission_pressure.push_back(
+          {s.t_seconds, it == s.values.gauges.end() ? 0.0 : it->second});
+    }
+    if (!config_.metrics_timeline_path.empty() &&
+        !scraper_->write_timeline(config_.metrics_timeline_path)) {
+      RIF_LOG_WARN("service", "cannot write metrics timeline to "
+                                  << config_.metrics_timeline_path);
+    }
+  }
   report.protocol = runtime_->stats();
   report.network = network_->stats();
   report.sim_events = sim_.events_executed();

@@ -89,6 +89,7 @@
 #include "core/distributed/fusion_job.h"
 #include "core/parallel/thread_pool.h"
 #include "net/network.h"
+#include "obs/metrics_scraper.h"
 #include "runtime/metrics.h"
 #include "scp/runtime.h"
 #include "service/accounting.h"
@@ -142,6 +143,17 @@ struct ServiceConfig {
 
   /// Hard stop for the whole service run (virtual time).
   SimTime deadline = from_seconds(1.0e7);
+
+  /// Wall period of the background MetricsScraper that samples the service
+  /// registry into a time series during run() (obs/metrics_scraper.h).
+  /// Every scrape also derives the admission-pressure gauge the kAdaptive
+  /// scheduler reads. <= 0 disables the scraper (the report's timeline is
+  /// then empty).
+  double scrape_period_seconds = 0.05;
+  /// When non-empty, run() writes the scraped timeline
+  /// (MetricsScraper::timeline_json) to this file as well as embedding it
+  /// in ServiceReport::metrics_timeline_json.
+  std::string metrics_timeline_path;
 };
 
 /// Usage of the shared host execution pool over the host-execution phase
@@ -208,6 +220,20 @@ struct ServiceReport {
   /// host-pool utilisation, streaming queue/stage series) in the schema of
   /// runtime::MetricsRegistry::to_json — ready for a dashboard scrape.
   std::string metrics_json;
+  /// The scraped registry time series (MetricsScraper::timeline_json
+  /// schema), same document run() writes to
+  /// ServiceConfig::metrics_timeline_path. Empty when the scraper was
+  /// disabled.
+  std::string metrics_timeline_json;
+  /// The admission-pressure gauge (queued memory demand / free host
+  /// budget; 0 when unbudgeted) at each scrape, in scrape order — the
+  /// feedback signal kAdaptive reads, as a history a test or dashboard can
+  /// replay. t_seconds is wall time since the scraper started.
+  struct PressureSample {
+    double t_seconds = 0.0;
+    double pressure = 0.0;
+  };
+  std::vector<PressureSample> admission_pressure;
   std::uint64_t sim_events = 0;
 };
 
@@ -251,6 +277,13 @@ class FusionService {
     /// Streaming-mode job: host execution fuses request.cube_path
     /// out-of-core through the StreamingFusionEngine.
     bool stream_execute = false;
+    /// Open virtual spans on the job's trace track ("queue_wait" /
+    /// "execute"), so build_report can close a stranded job's spans at the
+    /// deadline — the exported trace must always be balanced.
+    bool queue_span_open = false;
+    bool exec_span_open = false;
+    /// Virtual enqueue time, for span-sourced queue_wait_seconds.
+    SimTime enqueue_time = -1;
   };
 
   [[nodiscard]] RejectReason validate(const JobRequest& request) const;
@@ -277,6 +310,10 @@ class FusionService {
   Scheduler scheduler_;
   Ledger ledger_;
   std::unique_ptr<core::ThreadPool> exec_pool_;  ///< when execution_threads>0
+  /// Background registry sampler, live during run() (see
+  /// ServiceConfig::scrape_period_seconds). Its derive hook publishes the
+  /// admission-pressure gauge every scrape.
+  std::unique_ptr<obs::MetricsScraper> scraper_;
   HostPoolStats host_stats_;  ///< filled by execute_host_jobs()
   std::vector<std::unique_ptr<PendingJob>> jobs_;
 

@@ -4,33 +4,12 @@
 #include <map>
 #include <sstream>
 
+#include "obs/chrome_trace.h"
 #include "support/time.h"
 
 namespace rif::sim {
 
-namespace {
-
-std::string json_escape(const std::string& s) {
-  std::string out;
-  for (const char c : s) {
-    switch (c) {
-      case '"': out += "\\\""; break;
-      case '\\': out += "\\\\"; break;
-      case '\n': out += "\\n"; break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof buf, "\\u%04x", c);
-          out += buf;
-        } else {
-          out += c;
-        }
-    }
-  }
-  return out;
-}
-
-}  // namespace
+using obs::json_escape;
 
 bool export_trace_jsonl(const TraceRecorder& trace, const std::string& path) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -47,6 +26,50 @@ bool export_trace_jsonl(const TraceRecorder& trace, const std::string& path) {
   const bool ok = std::ferror(f) == 0;
   std::fclose(f);
   return ok;
+}
+
+bool export_trace_chrome(const TraceRecorder& trace, const std::string& path) {
+  obs::ChromeTraceWriter writer;
+  writer.set_process_name(1, "rif-sim");
+  // Pair compute start/end per `a` track into complete slices; everything
+  // else is an instant. Virtual seconds -> microseconds.
+  std::map<std::int64_t, double> open_compute;
+  const auto args_for = [](const TraceRecord& rec) {
+    std::ostringstream os;
+    os << "\"a\": " << rec.a << ", \"b\": " << rec.b
+       << ", \"value\": " << rec.value;
+    if (!rec.note.empty()) {
+      os << ", \"note\": \"" << json_escape(rec.note) << "\"";
+    }
+    return os.str();
+  };
+  for (const auto& rec : trace.records()) {
+    const double ts_us = to_seconds(rec.time) * 1e6;
+    const int tid = rec.a >= 0 ? static_cast<int>(rec.a) : 0;
+    if (rec.kind == TraceKind::kComputeStart) {
+      // A second start on the same track orphans the first; latest wins.
+      open_compute[rec.a] = ts_us;
+      continue;
+    }
+    obs::ChromeTraceWriter::Event e;
+    e.tid = tid;
+    e.args_json = args_for(rec);
+    if (rec.kind == TraceKind::kComputeEnd) {
+      const auto it = open_compute.find(rec.a);
+      if (it == open_compute.end()) continue;  // dangling end: drop
+      e.name = "compute";
+      e.ph = 'X';
+      e.ts_us = it->second;
+      e.dur_us = ts_us >= it->second ? ts_us - it->second : 0.0;
+      open_compute.erase(it);
+    } else {
+      e.name = trace_kind_name(rec.kind);
+      e.ph = 'i';
+      e.ts_us = ts_us;
+    }
+    writer.add(std::move(e));
+  }
+  return writer.write(path);
 }
 
 std::string summarize_trace(const TraceRecorder& trace) {

@@ -13,6 +13,15 @@ namespace rif::sim {
 /// "b":.., "value":.., "note":".."}. Returns false on I/O error.
 bool export_trace_jsonl(const TraceRecorder& trace, const std::string& path);
 
+/// Export the virtual timeline as a Chrome trace-event / Perfetto JSON
+/// file (shared obs::ChromeTraceWriter schema, so it passes
+/// obs::check_chrome_trace). kComputeStart/kComputeEnd pairs on the same
+/// `a` track become "X" complete slices (dangling starts are dropped so
+/// the trace always validates); every other record becomes an instant
+/// carrying a/b/value/note as args. ts is virtual time in microseconds.
+/// Returns false on I/O error.
+bool export_trace_chrome(const TraceRecorder& trace, const std::string& path);
+
 /// Human-readable per-kind counts and byte totals.
 std::string summarize_trace(const TraceRecorder& trace);
 

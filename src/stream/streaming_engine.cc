@@ -11,6 +11,7 @@
 #include "hsi/partition.h"
 #include "linalg/jacobi_eig.h"
 #include "linalg/stats.h"
+#include "obs/span_tracer.h"
 #include "runtime/chunk_geometry.h"
 #include "stream/bounded_queue.h"
 #include "support/check.h"
@@ -103,9 +104,13 @@ struct ReaderPass {
   /// reader grows it as buffers widen while the consumer shrinks it
   /// retiring/trimming buffers and reads it in the activation guard.
   std::atomic<std::uint64_t>* live_buffer_bytes = nullptr;
+  /// Job attribution for the reader thread's spans — the reader runs
+  /// outside the consumer's JobScope, so the id travels explicitly.
+  std::int64_t trace_job = obs::kNoJob;
   std::atomic<bool> io_error{false};
 
   void run() {
+    obs::SpanTracer::instance().set_thread_name("stream-reader");
     const int lines = reader->lines();
     int line0 = 0;
     while (line0 < lines) {
@@ -124,7 +129,11 @@ struct ReaderPass {
           reader->chunk_bytes(buf.rows) / sizeof(float));
       if (buf.data.capacity() < needed) buf.data.reserve(needed);
       const auto t0 = clock::now();
-      const bool ok = reader->read_lines(line0, buf.rows, buf.data);
+      bool ok;
+      {
+        RIF_TRACE_SPAN_JOB("chunk_read", trace_job);
+        ok = reader->read_lines(line0, buf.rows, buf.data);
+      }
       buf.read_seconds = seconds_since(t0);
       metrics->read_hist.observe(buf.read_seconds);
       if (!ok) {
@@ -196,7 +205,7 @@ bool run_reader_pass(hsi::ChunkedCubeReader& reader,
                      std::atomic<std::uint64_t>& live_buffer_bytes,
                      int& active_depth,
                      std::uint64_t memory_budget,
-                     runtime::ChunkAutotuner* tuner,
+                     runtime::ChunkAutotuner* tuner, std::int64_t trace_job,
                      const std::function<double(const ChunkBuffer&)>& consume) {
   // The free queue can hold every buffer; the full queue's capacity is
   // what is left after the slot the reader is filling and the one the
@@ -229,6 +238,7 @@ bool run_reader_pass(hsi::ChunkedCubeReader& reader,
   pass.chunk_lines = &chunk_lines;
   pass.metrics = &metrics;
   pass.live_buffer_bytes = &live_buffer_bytes;
+  pass.trace_job = trace_job;
   ReaderThread reader_thread(pass);
 
   double reader_stall_seen = 0.0;
@@ -318,6 +328,11 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
   auto reader = hsi::ChunkedCubeReader::open(cube_path);
   if (!reader) return std::nullopt;
 
+  // Ambient job id of the submitting task (the service's JobScope),
+  // captured once: per-chunk spans run on pool workers and the reader
+  // thread, outside that scope, so the id travels explicitly.
+  const std::int64_t trace_job = obs::current_job();
+
   const int W = reader->samples();
   const int H = reader->lines();
   const int B = reader->bands();
@@ -366,6 +381,11 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
     std::vector<std::uint8_t> dropped;
     bool first_tile = true;
     const auto screen_chunk = [&](const ChunkBuffer& buf) {
+      // Manual begin/end rather than one RAII span: screening and the
+      // in-order fold are distinct trace stages of the same chunk.
+      obs::SpanTracer& tracer = obs::SpanTracer::instance();
+      const bool traced = tracer.enabled();
+      if (traced) tracer.begin("chunk_screen", trace_job);
       const auto t0 = clock::now();
       metrics.chunks.add(1);
       if (origin.empty()) {
@@ -412,6 +432,8 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
       screen_comparisons += comparisons.load();
       const double screen_seconds = seconds_since(t0);
       metrics.screen_hist.observe(screen_seconds);
+      if (traced) tracer.end("chunk_screen", trace_job);
+      if (traced) tracer.begin("chunk_fold", trace_job);
       const auto t1 = clock::now();
       for (int i = 0; i < tile_count; ++i) {
         if (first_tile) {
@@ -427,12 +449,15 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
       }
       const double fold_seconds = seconds_since(t1);
       metrics.fold_hist.observe(fold_seconds);
+      if (traced) tracer.end("chunk_fold", trace_job);
       return screen_seconds + fold_seconds;
     };
+    RIF_TRACE_SPAN_JOB("stream_pass1", trace_job);
     if (!run_reader_pass(*reader, buffers, chunk_lines, metrics,
                          live_buffer_bytes, active_depth,
                          tuner ? config.autotune->memory_budget : 0,
-                         tuner ? &*tuner : nullptr, screen_chunk)) {
+                         tuner ? &*tuner : nullptr, trace_job,
+                         screen_chunk)) {
       RIF_LOG_WARN("stream", "I/O error streaming " << cube_path);
       return std::nullopt;
     }
@@ -444,8 +469,12 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
 
   // --- barrier: statistics + eigen-solve -------------------------------------
   result.mean = total->mean();
-  const linalg::Matrix cov = total->covariance();
-  linalg::EigenResult eig = linalg::jacobi_eigen(cov, config.pct.jacobi);
+  linalg::EigenResult eig;
+  {
+    RIF_TRACE_SPAN_JOB("stream_eigen", trace_job);
+    const linalg::Matrix cov = total->covariance();
+    eig = linalg::jacobi_eigen(cov, config.pct.jacobi);
+  }
   result.eigenvalues = eig.values;
   result.eigenvectors = eig.vectors;
   result.jacobi_sweeps = eig.sweeps;
@@ -473,6 +502,7 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
   std::vector<float> plane_chunk;  // one chunk of components, when sunk
   {
     const auto transform_chunk = [&](const ChunkBuffer& buf) {
+      obs::ScopedSpan transform_span("chunk_transform", trace_job);
       const auto t0 = clock::now();
       const std::int64_t count = static_cast<std::int64_t>(buf.rows) * W;
       const std::int64_t first_flat =
@@ -495,10 +525,12 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
       metrics.transform_hist.observe(transform_seconds);
       return transform_seconds;
     };
+    RIF_TRACE_SPAN_JOB("stream_pass2", trace_job);
     if (!run_reader_pass(*reader, buffers, chunk_lines, metrics,
                          live_buffer_bytes, active_depth,
                          tuner ? config.autotune->memory_budget : 0,
-                         tuner ? &*tuner : nullptr, transform_chunk)) {
+                         tuner ? &*tuner : nullptr, trace_job,
+                         transform_chunk)) {
       RIF_LOG_WARN("stream", "I/O error streaming " << cube_path);
       return std::nullopt;
     }

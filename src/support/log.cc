@@ -1,8 +1,49 @@
 #include "support/log.h"
 
+#include <cctype>
 #include <cstdio>
+#include <cstdlib>
 
 namespace rif {
+
+namespace {
+
+thread_local std::int64_t t_log_job = kLogNoJob;
+
+}  // namespace
+
+void log_set_job_context(std::int64_t job) { t_log_job = job; }
+
+std::int64_t log_job_context() { return t_log_job; }
+
+bool parse_log_level(const std::string& name, LogLevel* out) {
+  std::string lower;
+  lower.reserve(name.size());
+  for (const char c : name) {
+    lower.push_back(
+        static_cast<char>(std::tolower(static_cast<unsigned char>(c))));
+  }
+  if (lower == "trace") {
+    *out = LogLevel::kTrace;
+  } else if (lower == "debug") {
+    *out = LogLevel::kDebug;
+  } else if (lower == "info") {
+    *out = LogLevel::kInfo;
+  } else if (lower == "warn" || lower == "warning") {
+    *out = LogLevel::kWarn;
+  } else if (lower == "error") {
+    *out = LogLevel::kError;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+Logger::Logger() {
+  if (const char* env = std::getenv("RIF_LOG"); env != nullptr) {
+    parse_log_level(env, &level_);  // unrecognised names keep the default
+  }
+}
 
 Logger& Logger::instance() {
   static Logger logger;
@@ -13,12 +54,18 @@ void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
   static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
   const char* name = kNames[static_cast<int>(level)];
+  std::string line;
+  if (t_log_job != kLogNoJob) {
+    line = "[job " + std::to_string(t_log_job) + "] " + message;
+  } else {
+    line = message;
+  }
   if (clock_) {
     std::fprintf(stderr, "[%12.6fs] %-5s %-12s %s\n", clock_(), name,
-                 component.c_str(), message.c_str());
+                 component.c_str(), line.c_str());
   } else {
     std::fprintf(stderr, "%-5s %-12s %s\n", name, component.c_str(),
-                 message.c_str());
+                 line.c_str());
   }
 }
 

@@ -3,8 +3,18 @@
 // The simulation installs a clock callback so that log lines carry virtual
 // seconds rather than wall time, which makes protocol traces directly
 // comparable across runs.
+//
+// The initial level comes from the RIF_LOG environment variable (one of
+// trace|debug|info|warn|error, case-insensitive; default warn), read once
+// when the logger is first touched. set_level() still overrides it.
+//
+// Job context: worker threads executing on behalf of a job install the job
+// id via log_set_job_context() (the obs::JobScope RAII does this together
+// with trace attribution), and every line logged from that thread gains a
+// "[job N] " message prefix. The line format is otherwise unchanged.
 #pragma once
 
+#include <cstdint>
 #include <functional>
 #include <sstream>
 #include <string>
@@ -12,6 +22,17 @@
 namespace rif {
 
 enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4 };
+
+/// Attach a job id to the calling thread's log lines ("[job N] " prefix).
+/// Pass kLogNoJob to clear. Thread-local; prefer obs::JobScope over calling
+/// this directly so trace attribution stays in sync.
+inline constexpr std::int64_t kLogNoJob = -1;
+void log_set_job_context(std::int64_t job);
+[[nodiscard]] std::int64_t log_job_context();
+
+/// Parse a RIF_LOG-style level name; false (and *out untouched) when the
+/// name is not recognised.
+bool parse_log_level(const std::string& name, LogLevel* out);
 
 class Logger {
  public:
@@ -29,6 +50,7 @@ class Logger {
   [[nodiscard]] bool enabled(LogLevel level) const { return level >= level_; }
 
  private:
+  Logger();
   LogLevel level_ = LogLevel::kWarn;
   std::function<double()> clock_;
 };

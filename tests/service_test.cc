@@ -10,6 +10,9 @@
 #include "hsi/cube_io.h"
 #include "hsi/scene.h"
 #include "linalg/kernels.h"
+#include "obs/chrome_trace.h"
+#include "obs/span_tracer.h"
+#include "obs/trace_check.h"
 #include "service/service.h"
 #include "stream/streaming_engine.h"
 
@@ -996,6 +999,132 @@ TEST(ServiceTest, ReportCarriesRegistryBackedMetricsJson) {
   EXPECT_EQ(report.streaming.jobs, 1);
   EXPECT_EQ(report.streaming.bytes_read,
             service.metrics().counter_value("stream.bytes_read"));
+
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+}
+
+// --- Observability: scheduler pressure signal, spans, scraped timeline -------
+
+TEST(ServiceTest, SchedulerPressureSignalPrefersStreamingBeforeBudgetDrains) {
+  // Free memory is still ABOVE the half-way line, so the static free/total
+  // signal alone says "no pressure" — only the scraper-published demand
+  // signal (queued demand outrunning the remaining budget) can flip
+  // kAdaptive into its streaming preference early.
+  JobQueue queue;
+  queue.push(0, Priority::kNormal, 2, 60000, /*streaming=*/false);
+  queue.push(1, Priority::kNormal, 2, 5000, /*streaming=*/true);
+  const std::uint64_t free_memory = 70000;
+  const std::uint64_t total_memory = 100000;
+
+  const Scheduler adaptive(AdmissionPolicy::kAdaptive);
+  EXPECT_EQ(adaptive.pick(queue, 4, free_memory, total_memory, 0.0), 0);
+  EXPECT_EQ(adaptive.pick(queue, 4, free_memory, total_memory, 1.5), 1);
+  // The static policies ignore the signal entirely.
+  const Scheduler first_fit(AdmissionPolicy::kFirstFit);
+  EXPECT_EQ(first_fit.pick(queue, 4, free_memory, total_memory, 1.5), 0);
+}
+
+TEST(ServiceTest, TracedRunExportsBalancedLifecycleSpans) {
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = 32;
+  scene_cfg.height = 32;
+  scene_cfg.bands = 8;
+  const hsi::Scene scene = hsi::generate_scene(scene_cfg);
+  const std::string path = write_scene_file(scene, "rif_svc_traced.dat");
+
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  tracer.set_enabled(false);
+  tracer.clear();
+  tracer.set_enabled(true);
+  ServiceConfig cfg;
+  cfg.worker_nodes = 4;
+  cfg.execution_threads = 2;
+  FusionService service(cfg);
+  ASSERT_TRUE(service.submit(streaming_request("ana", 2, path, 8)).accepted());
+  ASSERT_TRUE(service.submit(streaming_request("bo", 2, path, 8)).accepted());
+  const ServiceReport report = service.run();
+  tracer.set_enabled(false);
+  ASSERT_TRUE(report.all_completed);
+
+  const std::string trace_path =
+      (fs::temp_directory_path() / "rif_svc_trace.json").string();
+  ASSERT_TRUE(obs::write_chrome_trace(trace_path));
+  const obs::TraceCheckResult check = obs::check_chrome_trace_file(trace_path);
+  EXPECT_TRUE(check.ok) << check.error;
+  // One lifecycle lane per job on the virtual timeline, one host-execution
+  // span per job on the wall timeline, per-chunk stages underneath.
+  EXPECT_EQ(check.span_counts.at("submit"), 2u);
+  EXPECT_EQ(check.span_counts.at("queue_wait"), 2u);
+  EXPECT_EQ(check.span_counts.at("execute"), 2u);
+  EXPECT_EQ(check.span_counts.at("host_execute"), 2u);
+  EXPECT_EQ(check.span_counts.at("service_run"), 1u);
+  EXPECT_GE(check.span_counts.at("admission"), 1u);
+  EXPECT_GT(check.span_counts.at("chunk_read"), 0u);
+  EXPECT_GT(check.span_counts.at("chunk_screen"), 0u);
+  EXPECT_GT(check.span_counts.at("chunk_transform"), 0u);
+
+  fs::remove(trace_path);
+  fs::remove(path);
+  fs::remove(path + ".hdr");
+  tracer.clear();
+}
+
+TEST(ServiceTest, ScrapedTimelineAndPressureHistoryLandInReport) {
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = 32;
+  scene_cfg.height = 32;
+  scene_cfg.bands = 8;
+  const hsi::Scene scene = hsi::generate_scene(scene_cfg);
+  const std::string path = write_scene_file(scene, "rif_svc_timeline.dat");
+
+  // Budget fits ONE streamed working set (4 x 8-line chunks = 32768 B), so
+  // the second job queues and dispatch's pressured-episode scrape puts a
+  // nonzero admission-pressure sample on the timeline deterministically.
+  ServiceConfig cfg;
+  cfg.worker_nodes = 4;
+  cfg.execution_threads = 2;
+  cfg.admission = AdmissionPolicy::kAdaptive;
+  cfg.host_memory_budget = 40000;
+  FusionService service(cfg);
+  ASSERT_TRUE(service.submit(streaming_request("ana", 2, path, 8)).accepted());
+  ASSERT_TRUE(service.submit(streaming_request("ana", 2, path, 8)).accepted());
+  const ServiceReport report = service.run();
+  ASSERT_TRUE(report.all_completed);
+
+  // The embedded timeline parses and carries the guaranteed phase-boundary
+  // scrapes (start, post-sim, stop) at minimum.
+  obs::JsonValue doc;
+  std::string err;
+  ASSERT_TRUE(obs::parse_json(report.metrics_timeline_json, doc, err)) << err;
+  const obs::JsonValue* samples = doc.find("samples");
+  ASSERT_NE(samples, nullptr);
+  EXPECT_GE(samples->array.size(), 3u);
+  // The pressure history mirrors the samples and saw the queued episode.
+  ASSERT_EQ(report.admission_pressure.size(), samples->array.size());
+  double max_pressure = 0.0;
+  for (const auto& p : report.admission_pressure) {
+    max_pressure = std::max(max_pressure, p.pressure);
+  }
+  EXPECT_GT(max_pressure, 0.0);
+
+  // queue_wait_seconds (span-sourced when tracing, timestamps here) agrees
+  // with wait_seconds per job and with the tenant ledger's wait stats.
+  double wait_sum = 0.0;
+  double max_wait = 0.0;
+  int completed = 0;
+  for (const auto& rec : report.jobs) {
+    if (!rec.completed) continue;
+    EXPECT_NEAR(rec.queue_wait_seconds, rec.wait_seconds, 1e-9);
+    wait_sum += rec.queue_wait_seconds;
+    max_wait = std::max(max_wait, rec.queue_wait_seconds);
+    ++completed;
+  }
+  ASSERT_EQ(completed, 2);
+  EXPECT_GT(max_wait, 0.0);  // the second job really queued
+  ASSERT_EQ(report.tenants.size(), 1u);
+  EXPECT_NEAR(report.tenants[0].queue_wait.mean(), wait_sum / completed,
+              1e-9);
 
   fs::remove(path);
   fs::remove(path + ".hdr");
