@@ -1,0 +1,130 @@
+// Microbench: the byte-transport codec path — frame encode + reassembly
+// and wire-envelope encode/decode — plus a live socketpair round-trip.
+//
+// These are the per-hop costs every remote-execution message pays on top
+// of the sim transport's free virtual delivery; the numbers bound how much
+// of a real deployment's wall clock goes to serialization rather than
+// screening arithmetic. `--smoke` shrinks the timing budget for CI.
+#include <sys/socket.h>
+
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket_transport.h"
+#include "scp/wire.h"
+#include "support/table.h"
+
+using namespace rif;
+using Clock = std::chrono::steady_clock;
+
+namespace {
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+/// Frame `payload_bytes`-sized envelopes, feed them through a reassembler,
+/// return MB/s of payload processed.
+double codec_throughput(std::size_t payload_bytes, int repeats) {
+  scp::WireEnvelope env;
+  env.kind = scp::FrameKind::kApp;
+  env.src_node = 1;
+  env.msg_type = 2;
+  env.payload.resize(payload_bytes);
+  std::iota(env.payload.begin(), env.payload.end(), std::uint8_t{0});
+
+  net::FrameAssembler assembler;
+  std::uint64_t decoded = 0;
+  const auto start = Clock::now();
+  for (int i = 0; i < repeats; ++i) {
+    const auto frame = net::encode_frame(env.encode());
+    const bool ok = assembler.feed(
+        frame.data(), frame.size(), [&](std::vector<std::uint8_t> p) {
+          const scp::WireEnvelope back = scp::WireEnvelope::decode(p);
+          decoded += back.payload.size();
+        });
+    if (!ok) {
+      std::fprintf(stderr, "assembler poisoned\n");
+      std::abort();
+    }
+  }
+  const double secs = seconds_since(start);
+  if (decoded != static_cast<std::uint64_t>(repeats) * payload_bytes) {
+    std::fprintf(stderr, "decode mismatch\n");
+    std::abort();
+  }
+  return static_cast<double>(decoded) / 1e6 / secs;
+}
+
+/// Round-trip `payload_bytes` frames over a socketpair between two
+/// threads; returns round-trips per second.
+double socketpair_rtt(std::size_t payload_bytes, int repeats) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    std::perror("socketpair");
+    std::abort();
+  }
+  std::thread echo([fd = sv[1]] {
+    net::SocketClient peer;
+    peer.adopt(fd);
+    std::vector<std::uint8_t> frame;
+    while (peer.read_frame(frame)) {
+      if (!peer.send_frame(frame)) break;
+    }
+    peer.close();
+  });
+
+  net::SocketClient client;
+  client.adopt(sv[0]);
+  std::vector<std::uint8_t> payload(payload_bytes, 0x7E);
+  std::vector<std::uint8_t> reply;
+  const auto start = Clock::now();
+  for (int i = 0; i < repeats; ++i) {
+    if (!client.send_frame(payload) || !client.read_frame(reply)) {
+      std::fprintf(stderr, "socketpair exchange failed\n");
+      std::abort();
+    }
+  }
+  const double secs = seconds_since(start);
+  client.close();
+  echo.join();
+  return repeats / secs;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const bool smoke = argc > 1 && std::string(argv[1]) == "--smoke";
+  std::printf("=== Byte-transport codec microbench%s ===\n\n",
+              smoke ? " (smoke)" : "");
+
+  Table table({"payload", "codec MB/s", "round-trips/s"});
+  struct Case {
+    const char* label;
+    std::size_t bytes;
+  };
+  // A kRequestWork-sized control frame, a covariance-sum-sized reply, and
+  // a full 105-band tile of a 320-wide scene (20 rows).
+  const Case cases[] = {
+      {"64 B", 64},
+      {"45 KB", 45 * 1024},
+      {"2.6 MB", static_cast<std::size_t>(20) * 320 * 105 * 4},
+  };
+  for (const Case& c : cases) {
+    const int codec_reps =
+        smoke ? 20 : (c.bytes < 1024 ? 20000 : c.bytes < 1 << 20 ? 2000 : 100);
+    const int rtt_reps = smoke ? 20 : (c.bytes < 1 << 20 ? 2000 : 100);
+    table.add_row({c.label, strf("%.1f", codec_throughput(c.bytes, codec_reps)),
+                   strf("%.0f", socketpair_rtt(c.bytes, rtt_reps))});
+  }
+  table.print();
+  std::printf("\ncodec = envelope encode + frame + reassemble + decode; "
+              "round-trip = framed echo over a socketpair.\n");
+  return 0;
+}

@@ -1,0 +1,135 @@
+// Demo / CI smoke: a fusion job sharded across REAL worker processes.
+//
+// With no arguments the service spawns its workers as in-process threads
+// over socketpairs (same protocol, one process). With argv[1] = path to the
+// rif_worker binary it goes the whole way: fork/exec two rif_worker
+// processes, point them at a Unix-domain socket, and let the service lease
+// them in over the wire — tiles, covariance shards and colour tiles all
+// travel as length-prefixed frames between processes.
+//
+// Either way the composite must be byte-identical to the two-pass
+// shared-memory engine run with the same shard/tile counts — the socket
+// transport may change WHERE the arithmetic runs, never a single bit of it.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <vector>
+
+#include "core/parallel/parallel_pct.h"
+#include "hsi/scene.h"
+#include "service/service.h"
+
+using namespace rif;
+
+int main(int argc, char** argv) {
+  const bool real_processes = argc > 1;
+  const std::string worker_bin = real_processes ? argv[1] : "";
+
+  std::printf("=== Remote fusion demo (%s workers) ===\n",
+              real_processes ? "separate-process" : "in-process socketpair");
+
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = 48;
+  scene_cfg.height = 48;
+  scene_cfg.bands = 16;
+  scene_cfg.seed = 11;
+  const hsi::Scene scene = hsi::generate_scene(scene_cfg);
+
+  // One host node + two remote workers; a 3-worker job must lease remote
+  // capacity, so its pixels travel the socket protocol.
+  service::ServiceConfig cfg;
+  cfg.worker_nodes = 1;
+  cfg.execution_threads = 2;
+  cfg.remote_workers = 2;
+
+  const std::string sock_path =
+      (std::filesystem::temp_directory_path() /
+       ("rif_remote_" + std::to_string(::getpid()) + ".sock"))
+          .string();
+  std::vector<pid_t> children;
+  if (real_processes) {
+    cfg.remote_socket_path = sock_path;
+    // Launch the workers BEFORE the service binds; their connect loop
+    // retries until the listener appears.
+    for (int i = 0; i < cfg.remote_workers; ++i) {
+      const pid_t pid = ::fork();
+      if (pid == 0) {
+        ::execl(worker_bin.c_str(), worker_bin.c_str(), "--unix",
+                sock_path.c_str(), "--retry-seconds", "15",
+                static_cast<char*>(nullptr));
+        std::perror("execl");
+        _exit(127);
+      }
+      if (pid < 0) {
+        std::perror("fork");
+        return 1;
+      }
+      children.push_back(pid);
+    }
+  } else {
+    cfg.remote_spawn_local = true;
+  }
+
+  service::FusionService service(cfg);
+  service::JobRequest r;
+  r.tenant = "edge";
+  r.config.mode = core::ExecutionMode::kFull;
+  r.config.shape = {scene_cfg.width, scene_cfg.height, scene_cfg.bands};
+  r.config.cube = &scene.cube;
+  r.config.workers = 3;
+  r.config.tiles_per_worker = 2;
+  const service::SubmitResult submitted = service.submit(std::move(r));
+  if (!submitted.accepted()) {
+    std::printf("job rejected: %s\n", service::to_string(submitted.rejected));
+    return 1;
+  }
+
+  const service::ServiceReport report = service.run();
+
+  // Reap the worker processes; a clean kGoodbye shutdown exits 0.
+  bool workers_clean = true;
+  for (const pid_t pid : children) {
+    int status = 0;
+    ::waitpid(pid, &status, 0);
+    const bool clean = WIFEXITED(status) && WEXITSTATUS(status) == 0;
+    std::printf("worker pid %d: %s\n", static_cast<int>(pid),
+                clean ? "clean exit" : "UNCLEAN exit");
+    workers_clean = workers_clean && clean;
+  }
+  std::filesystem::remove(sock_path);
+
+  const service::JobRecord& rec =
+      report.jobs[static_cast<std::size_t>(submitted.id)];
+  std::printf("workers attached: %d, remote jobs: %d, fallbacks: %d, "
+              "disconnects: %d\n",
+              report.remote_workers_attached, report.remote_jobs,
+              report.remote_fallbacks, report.remote_disconnects);
+  std::printf("job: completed=%d remote_executed=%d shards=%d "
+              "requeued_tiles=%d\n",
+              rec.completed ? 1 : 0, rec.remote_executed ? 1 : 0,
+              rec.remote_workers, rec.remote_requeued_tiles);
+
+  if (!rec.completed || !rec.remote_executed || report.remote_jobs < 1) {
+    std::printf("FAIL: job did not execute over the remote plane\n");
+    return 1;
+  }
+
+  // Byte-identity oracle: the two-pass shared-memory engine with the same
+  // shard count (live remote workers) and tile count (workers admitted *
+  // tiles_per_worker).
+  core::ParallelPctConfig expect_cfg;
+  expect_cfg.threads = rec.remote_workers;
+  expect_cfg.tiles = rec.workers * 2;
+  const core::PctResult expected = core::fuse_parallel(scene.cube, expect_cfg);
+  const bool bit_exact =
+      rec.outcome.composite.data == expected.composite.data &&
+      rec.outcome.unique_set_size == expected.unique_set_size &&
+      rec.outcome.eigenvalues == expected.eigenvalues;
+  std::printf("composite vs shared-memory engine: %s\n",
+              bit_exact ? "byte-identical" : "MISMATCH");
+
+  return (bit_exact && workers_clean && report.all_completed) ? 0 : 1;
+}

@@ -13,6 +13,13 @@ LeaseBook::LeaseBook(std::vector<NodeId> pool) {
   total_ = static_cast<int>(free_.size());
 }
 
+void LeaseBook::add_node(NodeId node) {
+  RIF_CHECK_MSG(node != kNoNode, "invalid node in lease pool");
+  const bool inserted = free_.insert(node).second;
+  RIF_CHECK_MSG(inserted, "node already in lease pool");
+  ++total_;
+}
+
 int LeaseBook::free_nodes(const NodeFilter& eligible) const {
   if (!eligible) return free_nodes();
   int n = 0;

@@ -38,6 +38,10 @@ class LeaseBook {
   /// Free nodes passing `eligible` (e.g. alive nodes only).
   [[nodiscard]] int free_nodes(const NodeFilter& eligible) const;
 
+  /// Grow the pool with one more leasable node (a remote worker that just
+  /// completed its handshake). The node starts free.
+  void add_node(NodeId node);
+
   /// Lease `n` nodes exclusively to `owner`; returns the leased node ids in
   /// ascending order, or an empty vector when fewer than `n` free nodes
   /// pass `eligible`. An owner may hold at most one lease at a time.

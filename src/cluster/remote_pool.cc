@@ -1,0 +1,198 @@
+#include "cluster/remote_pool.h"
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "cluster/remote_worker.h"
+#include "support/check.h"
+#include "support/log.h"
+#include "support/serialize.h"
+
+namespace rif::cluster {
+
+bool RemoteWorkerPool::listen_tcp(std::uint16_t port) {
+  return server_.listen_tcp(port);
+}
+
+bool RemoteWorkerPool::listen_unix(const std::string& path) {
+  return server_.listen_unix(path);
+}
+
+void RemoteWorkerPool::start(NodeId first_node_id) {
+  first_node_ = first_node_id;
+  started_ = true;
+  server_.start(
+      [this](net::SessionId s, std::vector<std::uint8_t> f) {
+        on_frame(s, std::move(f));
+      },
+      [this](net::SessionId s) { on_closed(s); });
+}
+
+void RemoteWorkerPool::spawn_local_worker() {
+  RIF_CHECK_MSG(started_, "pool not started");
+  int sv[2];
+  RIF_CHECK_MSG(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) == 0,
+                "socketpair failed");
+  server_.adopt(sv[0]);
+  local_threads_.emplace_back([fd = sv[1]] {
+    net::SocketClient client;
+    client.adopt(fd);
+    serve_remote_worker(client);
+    client.close();
+  });
+}
+
+void RemoteWorkerPool::adopt_fd(int fd) {
+  RIF_CHECK_MSG(started_, "pool not started");
+  server_.adopt(fd);
+}
+
+void RemoteWorkerPool::kick(int worker) {
+  net::SessionId session = net::kNoSession;
+  {
+    std::lock_guard lock(mu_);
+    if (worker < 0 || worker >= static_cast<int>(slots_.size())) return;
+    session = slots_[worker].session;
+  }
+  server_.close_session(session);
+}
+
+void RemoteWorkerPool::on_frame(net::SessionId session,
+                                std::vector<std::uint8_t> frame) {
+  const scp::WireEnvelope env = scp::WireEnvelope::decode(frame);
+  std::unique_lock lock(mu_);
+  auto it = by_session_.find(session);
+  if (it == by_session_.end()) {
+    // First frame on a fresh session must be the handshake.
+    if (env.kind != scp::FrameKind::kHello) return;
+    const int worker = static_cast<int>(slots_.size());
+    Slot slot;
+    slot.session = session;
+    slot.node = first_node_ + worker;
+    slot.alive = std::make_unique<std::atomic<bool>>(true);
+    by_session_[session] = worker;
+    by_node_[slot.node] = worker;
+    scp::WireEnvelope welcome;
+    welcome.kind = scp::FrameKind::kWelcome;
+    welcome.dst_node = slot.node;
+    rif::Writer w;
+    w.put<std::int32_t>(slot.node);
+    welcome.payload = std::move(w).take();
+    const NodeId node = slot.node;
+    slots_.push_back(std::move(slot));
+    lock.unlock();
+    server_.send(session, welcome.encode());
+    RIF_LOG_INFO("remote", "worker " << worker << " leased node " << node);
+    cv_.notify_all();
+    return;
+  }
+  events_.push_back(Event{Event::Kind::kFrame, it->second, env});
+  lock.unlock();
+  cv_.notify_all();
+}
+
+void RemoteWorkerPool::on_closed(net::SessionId session) {
+  std::unique_lock lock(mu_);
+  auto it = by_session_.find(session);
+  if (it == by_session_.end()) return;
+  const int worker = it->second;
+  // Only an UNEXPECTED closure counts as a disconnect — shutdown_workers
+  // marks sessions dead before closing them.
+  if (slots_[worker].alive->exchange(false)) disconnects_.fetch_add(1);
+  events_.push_back(Event{Event::Kind::kClosed, worker, {}});
+  lock.unlock();
+  cv_.notify_all();
+}
+
+int RemoteWorkerPool::wait_for_workers(int n, double timeout_seconds) {
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock,
+               std::chrono::duration<double>(timeout_seconds),
+               [&] { return static_cast<int>(slots_.size()) >= n; });
+  return static_cast<int>(slots_.size());
+}
+
+int RemoteWorkerPool::worker_count() const {
+  std::lock_guard lock(mu_);
+  return static_cast<int>(slots_.size());
+}
+
+bool RemoteWorkerPool::alive(int worker) const {
+  std::lock_guard lock(mu_);
+  return worker >= 0 && worker < static_cast<int>(slots_.size()) &&
+         slots_[worker].alive->load();
+}
+
+bool RemoteWorkerPool::node_alive(NodeId node) const {
+  std::lock_guard lock(mu_);
+  auto it = by_node_.find(node);
+  if (it == by_node_.end()) return true;
+  return slots_[it->second].alive->load();
+}
+
+NodeId RemoteWorkerPool::node_of(int worker) const {
+  std::lock_guard lock(mu_);
+  RIF_CHECK(worker >= 0 && worker < static_cast<int>(slots_.size()));
+  return slots_[worker].node;
+}
+
+int RemoteWorkerPool::worker_of_node(NodeId node) const {
+  std::lock_guard lock(mu_);
+  auto it = by_node_.find(node);
+  return it == by_node_.end() ? -1 : it->second;
+}
+
+bool RemoteWorkerPool::send(int worker, const scp::WireEnvelope& env) {
+  net::SessionId session = net::kNoSession;
+  {
+    std::lock_guard lock(mu_);
+    if (worker < 0 || worker >= static_cast<int>(slots_.size())) return false;
+    if (!slots_[worker].alive->load()) return false;
+    session = slots_[worker].session;
+  }
+  return server_.send(session, env.encode());
+}
+
+std::optional<RemoteWorkerPool::Event> RemoteWorkerPool::poll_event(
+    double timeout_seconds) {
+  std::unique_lock lock(mu_);
+  cv_.wait_for(lock, std::chrono::duration<double>(timeout_seconds),
+               [&] { return !events_.empty(); });
+  if (events_.empty()) return std::nullopt;
+  Event e = std::move(events_.front());
+  events_.pop_front();
+  return e;
+}
+
+void RemoteWorkerPool::shutdown_workers() {
+  scp::WireEnvelope bye;
+  bye.kind = scp::FrameKind::kGoodbye;
+  std::vector<net::SessionId> open;
+  {
+    std::lock_guard lock(mu_);
+    for (const Slot& s : slots_) {
+      if (s.alive->exchange(false)) open.push_back(s.session);
+    }
+  }
+  const std::vector<std::uint8_t> frame = bye.encode();
+  for (net::SessionId s : open) {
+    server_.send(s, frame);
+    server_.close_session(s);
+  }
+}
+
+void RemoteWorkerPool::stop() {
+  if (!started_) return;
+  shutdown_workers();
+  server_.stop();
+  for (std::thread& t : local_threads_) {
+    if (t.joinable()) t.join();
+  }
+  local_threads_.clear();
+  started_ = false;
+}
+
+}  // namespace rif::cluster

@@ -1,0 +1,107 @@
+// Server side of the remote-worker plane: accepts rif_worker connections,
+// runs the kHello -> kWelcome handshake that leases each worker a NodeId,
+// and funnels every inbound frame / disconnect into one event queue the
+// coordinator drains synchronously. Liveness is tracked with atomics so the
+// scheduler's placement filter can consult it without touching the poll
+// thread's locks.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "net/socket_transport.h"
+#include "scp/wire.h"
+
+namespace rif::cluster {
+
+class RemoteWorkerPool {
+ public:
+  struct Event {
+    enum class Kind { kFrame, kClosed };
+    Kind kind = Kind::kFrame;
+    int worker = -1;               ///< pool index, dense from 0
+    scp::WireEnvelope env;         ///< kFrame only
+  };
+
+  RemoteWorkerPool() = default;
+  ~RemoteWorkerPool() { stop(); }
+  RemoteWorkerPool(const RemoteWorkerPool&) = delete;
+  RemoteWorkerPool& operator=(const RemoteWorkerPool&) = delete;
+
+  /// Bind before start(). Port 0 picks an ephemeral port (see port()).
+  [[nodiscard]] bool listen_tcp(std::uint16_t port);
+  [[nodiscard]] bool listen_unix(const std::string& path);
+  [[nodiscard]] std::uint16_t port() const { return server_.port(); }
+
+  /// Begin accepting workers. Welcomed workers are assigned NodeIds
+  /// `first_node_id`, `first_node_id + 1`, ... in connection order.
+  void start(NodeId first_node_id);
+
+  /// Spawn an in-process worker over a socketpair (tests, local fallback
+  /// capacity). Runs serve_remote_worker() on its own thread.
+  void spawn_local_worker();
+
+  /// Adopt an already-connected fd as a worker session (the other end runs
+  /// its own client — e.g. a test worker with scripted failures).
+  void adopt_fd(int fd);
+
+  /// Forcibly drop a worker's connection (crash injection in tests).
+  void kick(int worker);
+
+  /// Block until `n` workers have completed the handshake (or timeout).
+  /// Returns the number welcomed so far.
+  int wait_for_workers(int n, double timeout_seconds);
+
+  [[nodiscard]] int worker_count() const;
+  [[nodiscard]] bool alive(int worker) const;
+  /// Liveness keyed by the leased NodeId; true for ids this pool never
+  /// issued so host nodes pass the filter untouched.
+  [[nodiscard]] bool node_alive(NodeId node) const;
+  [[nodiscard]] NodeId node_of(int worker) const;
+  [[nodiscard]] int worker_of_node(NodeId node) const;
+  [[nodiscard]] int disconnects() const { return disconnects_.load(); }
+
+  /// Frame and queue one envelope to a worker. False if it is gone.
+  bool send(int worker, const scp::WireEnvelope& env);
+
+  /// Wait up to `timeout_seconds` for the next frame or disconnect.
+  std::optional<Event> poll_event(double timeout_seconds);
+
+  /// kGoodbye to every live worker, then drain their sockets.
+  void shutdown_workers();
+
+  void stop();
+
+ private:
+  struct Slot {
+    net::SessionId session = net::kNoSession;
+    NodeId node = kNoNode;
+    std::unique_ptr<std::atomic<bool>> alive;
+  };
+
+  void on_frame(net::SessionId session, std::vector<std::uint8_t> frame);
+  void on_closed(net::SessionId session);
+
+  net::SocketServer server_;
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::vector<Slot> slots_;                  ///< by worker index
+  std::map<net::SessionId, int> by_session_;
+  std::map<NodeId, int> by_node_;
+  std::deque<Event> events_;
+  NodeId first_node_ = kNoNode;
+  std::atomic<int> disconnects_{0};
+  std::vector<std::thread> local_threads_;
+  bool started_ = false;
+};
+
+}  // namespace rif::cluster

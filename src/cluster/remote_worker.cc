@@ -1,0 +1,151 @@
+#include "cluster/remote_worker.h"
+
+#include <map>
+#include <string>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "core/distributed/messages.h"
+#include "core/distributed/shard_ops.h"
+#include "obs/span_tracer.h"
+#include "scp/wire.h"
+#include "support/serialize.h"
+
+namespace rif::cluster {
+namespace {
+
+/// One tile the worker has screened and keeps resident for the colour pass.
+struct HeldTile {
+  core::WireTile tile;
+  std::vector<float> data;
+  bool colored = false;
+};
+
+struct WorkerState {
+  net::SocketClient& client;
+  NodeId node = kNoNode;
+  std::optional<scp::JobStartBody> job;
+  std::map<std::int32_t, HeldTile> tiles;  ///< by tile index
+  std::optional<core::TransformMsg> transform;
+  RemoteWorkerStats stats;
+
+  [[nodiscard]] bool send_app(scp::Message msg) {
+    scp::WireEnvelope env;
+    env.kind = scp::FrameKind::kApp;
+    env.src_node = node;
+    env.dst_node = 0;
+    env.msg_type = msg.type;
+    env.declared = msg.declared_bytes;
+    env.payload = std::move(msg.payload);
+    return client.send_frame(env.encode());
+  }
+
+  [[nodiscard]] bool request_work() {
+    return send_app(scp::Message{core::kRequestWork, {}, 0});
+  }
+
+  [[nodiscard]] bool color_and_send(HeldTile& held) {
+    RIF_TRACE_SPAN("remote.color_shard");
+    core::ColorTileMsg color =
+        core::color_shard(held.tile, held.data.data(), *transform);
+    held.colored = true;
+    ++stats.tiles_colored;
+    return send_app(color.encode(0));
+  }
+
+  [[nodiscard]] bool on_app(const scp::WireEnvelope& env) {
+    const scp::Message msg = env.to_message();
+    switch (msg.type) {
+      case core::kTileAssign: {
+        core::TileAssignMsg assign = core::TileAssignMsg::decode(msg);
+        // Ask for the next tile before computing this one — same
+        // overlap idiom as the sim WorkerActor.
+        if (!request_work()) return false;
+        RIF_TRACE_SPAN("remote.screen_shard");
+        core::ScreenResultMsg result = core::screen_shard(
+            assign.tile, assign.data.data(), job->screening_threshold);
+        ++stats.tiles_screened;
+        HeldTile& held = tiles[assign.tile.index];
+        held.tile = assign.tile;
+        held.data = std::move(assign.data);
+        held.colored = false;
+        if (!send_app(result.encode(0))) return false;
+        // A tile reassigned after the transform went out is coloured
+        // immediately; nobody will send kTransform again.
+        if (transform && !color_and_send(held)) return false;
+        return true;
+      }
+      case core::kNoMoreTiles:
+        return true;
+      case core::kCovShard: {
+        core::CovShardMsg shard = core::CovShardMsg::decode(msg);
+        RIF_TRACE_SPAN("remote.cov_shard_sum");
+        core::CovSumMsg sum = core::cov_shard_sum(shard, job->bands);
+        ++stats.shards_summed;
+        return send_app(sum.encode(0));
+      }
+      case core::kTransform: {
+        transform = core::TransformMsg::decode(msg);
+        for (auto& [index, held] : tiles) {
+          if (!held.colored && !color_and_send(held)) return false;
+        }
+        return true;
+      }
+      default:
+        return true;  // unknown application traffic: ignore
+    }
+  }
+};
+
+}  // namespace
+
+RemoteWorkerStats serve_remote_worker(net::SocketClient& client) {
+  WorkerState st{client};
+  scp::WireEnvelope hello;
+  hello.kind = scp::FrameKind::kHello;
+  hello.payload = scp::HelloBody{}.encode();
+  if (!client.send_frame(hello.encode())) return st.stats;
+
+  std::vector<std::uint8_t> frame;
+  while (client.read_frame(frame)) {
+    const scp::WireEnvelope env = scp::WireEnvelope::decode(frame);
+    switch (env.kind) {
+      case scp::FrameKind::kWelcome: {
+        rif::Reader r(env.payload);
+        st.node = r.get<std::int32_t>();
+        st.stats.node = st.node;
+        // Each worker session gets its own named lane in the trace
+        // export (the serve loop owns this thread).
+        obs::SpanTracer::instance().set_thread_name(
+            "remote-worker-" + std::to_string(st.node));
+        break;
+      }
+      case scp::FrameKind::kJobStart: {
+        st.job = scp::JobStartBody::decode(env.payload);
+        st.tiles.clear();
+        st.transform.reset();
+        ++st.stats.jobs;
+        if (!st.request_work()) return st.stats;
+        break;
+      }
+      case scp::FrameKind::kApp:
+        if (!st.job) break;  // stale traffic outside a job: drop
+        if (!st.on_app(env)) return st.stats;
+        break;
+      case scp::FrameKind::kJobEnd:
+        st.job.reset();
+        st.tiles.clear();
+        st.transform.reset();
+        break;
+      case scp::FrameKind::kGoodbye:
+        st.stats.clean_exit = true;
+        return st.stats;
+      default:
+        break;  // actor-runtime kinds never reach workers
+    }
+  }
+  return st.stats;
+}
+
+}  // namespace rif::cluster

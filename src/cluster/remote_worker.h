@@ -1,0 +1,30 @@
+// The worker side of the remote fusion protocol — the serve loop shared by
+// the `rif_worker` executable and by in-process test workers (which run it
+// on one end of a socketpair). Strictly reactive: the worker sends kHello,
+// then answers whatever the service asks until kGoodbye or disconnect.
+//
+// The shard computations are the exact same kernels the sim's WorkerActor
+// runs (core/distributed/shard_ops.h), so a composite assembled from remote
+// replies is byte-identical to the sim-transport run by construction.
+#pragma once
+
+#include <cstdint>
+
+#include "net/socket_transport.h"
+
+namespace rif::cluster {
+
+struct RemoteWorkerStats {
+  std::int32_t node = -1;  ///< node id the service welcomed us as
+  std::uint64_t jobs = 0;
+  std::uint64_t tiles_screened = 0;
+  std::uint64_t shards_summed = 0;
+  std::uint64_t tiles_colored = 0;
+  bool clean_exit = false;  ///< true when the service said kGoodbye
+};
+
+/// Run the worker protocol on an already-connected client until the service
+/// says goodbye or the connection drops. Blocking; single-threaded.
+RemoteWorkerStats serve_remote_worker(net::SocketClient& client);
+
+}  // namespace rif::cluster

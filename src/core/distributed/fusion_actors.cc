@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "core/distributed/shard_ops.h"
 #include "linalg/jacobi_eig.h"
 #include "support/check.h"
 #include "support/log.h"
@@ -297,23 +298,13 @@ void WorkerActor::on_tile(scp::ActorContext& ctx, const scp::Message& msg) {
   const StoredTile& stored = tiles_.back();
 
   if (params_.mode == ExecutionMode::kFull) {
-    // Step 1 for real: build the per-tile unique set.
-    UniqueSet set(bands, params_.screening_threshold);
-    std::uint64_t comparisons = 0;
-    for (std::int64_t p = 0; p < pixels; ++p) {
-      set.screen({stored.data.data() + p * bands,
-                  static_cast<std::size_t>(bands)},
-                 &comparisons);
-    }
-    ScreenResultMsg result;
-    result.tile = stored.tile;
-    result.unique_count = set.size();
-    result.comparisons = comparisons;
-    result.vectors = set.flat();
-    const double flops =
-        static_cast<double>(comparisons) * model_.flops_per_comparison();
-    const std::uint64_t declared =
-        model_.unique_vectors_bytes(static_cast<double>(set.size()));
+    // Step 1 for real: build the per-tile unique set (shared shard kernel).
+    ScreenResultMsg result = screen_shard(stored.tile, stored.data.data(),
+                                          params_.screening_threshold);
+    const double flops = static_cast<double>(result.comparisons) *
+                         model_.flops_per_comparison();
+    const std::uint64_t declared = model_.unique_vectors_bytes(
+        static_cast<double>(result.unique_count));
     ctx.compute(flops, [&ctx, this, result = std::move(result), declared] {
       ctx.send(params_.manager_tid, result.encode(declared));
     });
@@ -341,14 +332,7 @@ void WorkerActor::on_cov_shard(scp::ActorContext& ctx,
 
   CovSumMsg sum;
   if (params_.mode == ExecutionMode::kFull) {
-    linalg::CovarianceAccumulator acc(params_.shape.bands, shard.mean);
-    const int bands = params_.shape.bands;
-    constexpr std::uint64_t kRows = linalg::CovarianceAccumulator::kBlockRows;
-    for (std::uint64_t i = 0; i < shard.shard_count; i += kRows) {
-      acc.add_block(shard.vectors.data() + i * bands,
-                    static_cast<int>(std::min(kRows, shard.shard_count - i)));
-    }
-    sum.accumulator = acc.encode();
+    sum = cov_shard_sum(shard, params_.shape.bands);
   }
   ctx.compute(flops, [&ctx, this, sum = std::move(sum)] {
     ctx.send(params_.manager_tid, sum.encode(model_.cov_sum_bytes()));
@@ -374,31 +358,11 @@ void WorkerActor::transform_next_tile(scp::ActorContext& ctx,
     const StoredTile& t = tiles_[i];
     const std::int64_t px_count = t.tile.pixels();
     ColorTileMsg color;
-    color.tile = t.tile;
     if (params_.mode == ExecutionMode::kFull) {
-      // Steps 7-8 for real on this tile.
-      const int bands = tm->bands;
-      const int comps = tm->components;
-      linalg::Matrix transform(comps, bands);
-      std::copy(tm->matrix.begin(), tm->matrix.end(), transform.data());
-      std::array<ComponentScale, 3> scales{};
-      for (int c = 0; c < 3; ++c) {
-        scales[c] = ComponentScale{tm->scale_mean[c], tm->scale_gain[c]};
-      }
-      color.rgb.resize(static_cast<std::size_t>(px_count) * 3);
-      // Same blocked SIMD projection as the shared-memory engines — the
-      // shared kernel keeps worker composites bit-identical to the
-      // sequential reference.
-      const std::vector<double> bias = projection_bias(transform, tm->mean);
-      std::vector<float> comp(static_cast<std::size_t>(px_count) * comps);
-      project_pixels(transform, bias, t.data.data(), px_count, comp.data());
-      for (std::int64_t p = 0; p < px_count; ++p) {
-        const float* cp = comp.data() + p * comps;
-        const auto rgb = map_pixel({cp[0], cp[1], cp[2]}, scales);
-        color.rgb[p * 3 + 0] = rgb[0];
-        color.rgb[p * 3 + 1] = rgb[1];
-        color.rgb[p * 3 + 2] = rgb[2];
-      }
+      // Steps 7-8 for real on this tile (shared shard kernel).
+      color = color_shard(t.tile, t.data.data(), *tm);
+    } else {
+      color.tile = t.tile;
     }
     ctx.send(params_.manager_tid,
              color.encode(model_.color_tile_bytes(px_count)));

@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 #include <vector>
 
 #include "hsi/partition.h"
@@ -54,7 +55,7 @@ struct TileAssignMsg {
   [[nodiscard]] scp::Message encode(std::uint64_t declared) const {
     Writer w;
     w.put(tile);
-    w.put_vector(data);
+    w.put_span(std::span<const float>(data));
     return {kTileAssign, std::move(w).take(), declared};
   }
   static TileAssignMsg decode(const scp::Message& m) {
@@ -62,6 +63,7 @@ struct TileAssignMsg {
     TileAssignMsg out;
     out.tile = r.get<WireTile>();
     out.data = r.get_vector<float>();
+    RIF_CHECK_MSG(r.exhausted(), "oversized message");
     return out;
   }
 };
@@ -77,7 +79,7 @@ struct ScreenResultMsg {
     w.put(tile);
     w.put<std::uint64_t>(unique_count);
     w.put<std::uint64_t>(comparisons);
-    w.put_vector(vectors);
+    w.put_span(std::span<const float>(vectors));
     return {kScreenResult, std::move(w).take(), declared};
   }
   static ScreenResultMsg decode(const scp::Message& m) {
@@ -87,6 +89,7 @@ struct ScreenResultMsg {
     out.unique_count = r.get<std::uint64_t>();
     out.comparisons = r.get<std::uint64_t>();
     out.vectors = r.get_vector<float>();
+    RIF_CHECK_MSG(r.exhausted(), "oversized message");
     return out;
   }
 };
@@ -99,8 +102,8 @@ struct CovShardMsg {
   [[nodiscard]] scp::Message encode(std::uint64_t declared) const {
     Writer w;
     w.put<std::uint64_t>(shard_count);
-    w.put_vector(vectors);
-    w.put_vector(mean);
+    w.put_span(std::span<const float>(vectors));
+    w.put_span(std::span<const double>(mean));
     return {kCovShard, std::move(w).take(), declared};
   }
   static CovShardMsg decode(const scp::Message& m) {
@@ -109,6 +112,7 @@ struct CovShardMsg {
     out.shard_count = r.get<std::uint64_t>();
     out.vectors = r.get_vector<float>();
     out.mean = r.get_vector<double>();
+    RIF_CHECK_MSG(r.exhausted(), "oversized message");
     return out;
   }
 };
@@ -118,13 +122,14 @@ struct CovSumMsg {
 
   [[nodiscard]] scp::Message encode(std::uint64_t declared) const {
     Writer w;
-    w.put_vector(accumulator);
+    w.put_span(std::span<const std::uint8_t>(accumulator));
     return {kCovSum, std::move(w).take(), declared};
   }
   static CovSumMsg decode(const scp::Message& m) {
     Reader r(m.payload);
     CovSumMsg out;
     out.accumulator = r.get_vector<std::uint8_t>();
+    RIF_CHECK_MSG(r.exhausted(), "oversized message");
     return out;
   }
 };
@@ -141,10 +146,10 @@ struct TransformMsg {
     Writer w;
     w.put(components);
     w.put(bands);
-    w.put_vector(matrix);
-    w.put_vector(mean);
-    w.put_vector(scale_mean);
-    w.put_vector(scale_gain);
+    w.put_span(std::span<const double>(matrix));
+    w.put_span(std::span<const double>(mean));
+    w.put_span(std::span<const double>(scale_mean));
+    w.put_span(std::span<const double>(scale_gain));
     return {kTransform, std::move(w).take(), declared};
   }
   static TransformMsg decode(const scp::Message& m) {
@@ -156,6 +161,7 @@ struct TransformMsg {
     out.mean = r.get_vector<double>();
     out.scale_mean = r.get_vector<double>();
     out.scale_gain = r.get_vector<double>();
+    RIF_CHECK_MSG(r.exhausted(), "oversized message");
     return out;
   }
 };
@@ -167,7 +173,7 @@ struct ColorTileMsg {
   [[nodiscard]] scp::Message encode(std::uint64_t declared) const {
     Writer w;
     w.put(tile);
-    w.put_vector(rgb);
+    w.put_span(std::span<const std::uint8_t>(rgb));
     return {kColorTile, std::move(w).take(), declared};
   }
   static ColorTileMsg decode(const scp::Message& m) {
@@ -175,6 +181,7 @@ struct ColorTileMsg {
     ColorTileMsg out;
     out.tile = r.get<WireTile>();
     out.rgb = r.get_vector<std::uint8_t>();
+    RIF_CHECK_MSG(r.exhausted(), "oversized message");
     return out;
   }
 };

@@ -1,0 +1,29 @@
+// The three Full-mode shard computations of the distributed protocol,
+// extracted so every executor — the sim's WorkerActor, the rif_worker
+// process, and the service's local fallback — runs literally the same code
+// on the same message types. That sharing is what makes "real-transport
+// composite == sim-transport composite == fuse_parallel composite" true by
+// construction rather than by tolerance.
+#pragma once
+
+#include "core/distributed/messages.h"
+
+namespace rif::core {
+
+/// Step 1: screen one tile's pixels into a per-tile unique set.
+/// `data` holds tile.pixels() contiguous band vectors.
+[[nodiscard]] ScreenResultMsg screen_shard(const WireTile& tile,
+                                           const float* data,
+                                           double screening_threshold);
+
+/// Step 4: accumulate the covariance sum of one unique-set shard, in the
+/// shared kBlockRows blocking so partial sums are bit-identical across
+/// executors.
+[[nodiscard]] CovSumMsg cov_shard_sum(const CovShardMsg& shard, int bands);
+
+/// Steps 7-8: project one stored tile through the transform and colour-map
+/// it (shared blocked SIMD projection kernel).
+[[nodiscard]] ColorTileMsg color_shard(const WireTile& tile, const float* data,
+                                       const TransformMsg& tm);
+
+}  // namespace rif::core

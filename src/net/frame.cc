@@ -1,0 +1,51 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "support/check.h"
+
+namespace rif::net {
+
+std::vector<std::uint8_t> encode_frame(
+    const std::vector<std::uint8_t>& payload) {
+  RIF_CHECK_MSG(payload.size() <= kMaxFramePayload, "frame payload too large");
+  const std::uint32_t magic = kFrameMagic;
+  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
+  std::vector<std::uint8_t> out;
+  out.reserve(framed_size(payload.size()));
+  const auto* pm = reinterpret_cast<const std::uint8_t*>(&magic);
+  const auto* pl = reinterpret_cast<const std::uint8_t*>(&length);
+  out.insert(out.end(), pm, pm + sizeof(magic));
+  out.insert(out.end(), pl, pl + sizeof(length));
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+bool FrameAssembler::feed(const std::uint8_t* data, std::size_t n,
+                          const Sink& sink) {
+  if (corrupt_) return false;
+  buf_.insert(buf_.end(), data, data + n);
+  constexpr std::size_t kHeader = 2 * sizeof(std::uint32_t);
+  std::size_t pos = 0;
+  while (buf_.size() - pos >= kHeader) {
+    std::uint32_t magic = 0;
+    std::uint32_t length = 0;
+    std::memcpy(&magic, buf_.data() + pos, sizeof(magic));
+    std::memcpy(&length, buf_.data() + pos + sizeof(magic), sizeof(length));
+    if (magic != kFrameMagic || length > kMaxFramePayload) {
+      corrupt_ = true;
+      buf_.clear();
+      return false;
+    }
+    if (buf_.size() - pos - kHeader < length) break;
+    std::vector<std::uint8_t> payload(
+        buf_.begin() + static_cast<std::ptrdiff_t>(pos + kHeader),
+        buf_.begin() + static_cast<std::ptrdiff_t>(pos + kHeader + length));
+    pos += kHeader + length;
+    sink(std::move(payload));
+  }
+  buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return true;
+}
+
+}  // namespace rif::net

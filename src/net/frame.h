@@ -1,0 +1,53 @@
+// Length-prefixed framing for the real byte transport.
+//
+// Every frame on a socket is `[magic u32][length u32][payload bytes]`, with
+// the payload being a `scp::WireEnvelope` encoding (see scp/wire.h). The
+// magic guards against a peer speaking the wrong protocol, and the length
+// cap guards against a corrupt prefix allocating unbounded memory. The
+// assembler reconstructs frames from arbitrary read() fragments, so the
+// event loop never needs to block for a full frame.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace rif::net {
+
+inline constexpr std::uint32_t kFrameMagic = 0x52494631;  // "RIF1"
+
+/// Hard ceiling on a single frame payload. Large enough for a full-cube
+/// state transfer, small enough that a corrupt length dies immediately.
+inline constexpr std::uint32_t kMaxFramePayload = 1u << 30;  // 1 GiB
+
+/// Bytes a payload costs on the wire once framed.
+[[nodiscard]] inline std::uint64_t framed_size(std::uint64_t payload_bytes) {
+  return payload_bytes + 2 * sizeof(std::uint32_t);
+}
+
+/// Serialize one frame (header + payload) into a contiguous buffer.
+[[nodiscard]] std::vector<std::uint8_t> encode_frame(
+    const std::vector<std::uint8_t>& payload);
+
+/// Incremental frame reassembler: feed it whatever the socket produced —
+/// one byte or ten frames — and it invokes the sink once per completed
+/// payload. Returns false (and poisons itself) on bad magic or an
+/// oversized length; the connection should then be dropped.
+class FrameAssembler {
+ public:
+  using Sink = std::function<void(std::vector<std::uint8_t> payload)>;
+
+  [[nodiscard]] bool feed(const std::uint8_t* data, std::size_t n,
+                          const Sink& sink);
+
+  [[nodiscard]] bool corrupt() const { return corrupt_; }
+  /// Bytes buffered toward the next (incomplete) frame.
+  [[nodiscard]] std::size_t pending_bytes() const { return buf_.size(); }
+
+ private:
+  std::vector<std::uint8_t> buf_;
+  bool corrupt_ = false;
+};
+
+}  // namespace rif::net

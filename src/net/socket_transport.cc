@@ -1,0 +1,414 @@
+#include "net/socket_transport.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "support/check.h"
+#include "support/log.h"
+
+namespace rif::net {
+
+namespace {
+
+bool set_nonblocking(int fd) {
+  const int flags = fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// SocketServer
+// ---------------------------------------------------------------------------
+
+SocketServer::~SocketServer() { stop(); }
+
+bool SocketServer::listen_tcp(std::uint16_t port) {
+  RIF_CHECK(listen_fd_ < 0);
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  const int one = 1;
+  ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  socklen_t len = sizeof(addr);
+  if (::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &len) == 0) {
+    port_ = ntohs(addr.sin_port);
+  }
+  listen_fd_ = fd;
+  return set_nonblocking(fd);
+}
+
+bool SocketServer::listen_unix(const std::string& path) {
+  RIF_CHECK(listen_fd_ < 0);
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  ::unlink(path.c_str());
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+      ::listen(fd, 16) != 0) {
+    ::close(fd);
+    return false;
+  }
+  unix_path_ = path;
+  listen_fd_ = fd;
+  return set_nonblocking(fd);
+}
+
+void SocketServer::start(FrameFn on_frame, ClosedFn on_closed) {
+  RIF_CHECK_MSG(!running_.load(), "server already started");
+  on_frame_ = std::move(on_frame);
+  on_closed_ = std::move(on_closed);
+  RIF_CHECK(::pipe(wake_pipe_) == 0);
+  RIF_CHECK(set_nonblocking(wake_pipe_[0]) && set_nonblocking(wake_pipe_[1]));
+  running_.store(true);
+  thread_ = std::thread([this] { loop(); });
+}
+
+void SocketServer::wake() {
+  if (wake_pipe_[1] >= 0) {
+    const char b = 1;
+    [[maybe_unused]] const auto n = ::write(wake_pipe_[1], &b, 1);
+  }
+}
+
+bool SocketServer::send(SessionId session,
+                        const std::vector<std::uint8_t>& payload) {
+  const std::vector<std::uint8_t> framed = encode_frame(payload);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end() || it->second.draining) return false;
+    it->second.outbound.insert(it->second.outbound.end(), framed.begin(),
+                               framed.end());
+  }
+  wake();
+  return true;
+}
+
+SessionId SocketServer::adopt(int fd) {
+  RIF_CHECK(set_nonblocking(fd));
+  SessionId id;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    id = next_session_++;
+    sessions_[id].fd = fd;
+  }
+  wake();
+  return id;
+}
+
+void SocketServer::close_session(SessionId session) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) return;
+    it->second.draining = true;
+  }
+  wake();
+}
+
+int SocketServer::session_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int>(sessions_.size());
+}
+
+bool SocketServer::flush(Session& s) {
+  while (s.sent < s.outbound.size()) {
+    const auto n = ::send(s.fd, s.outbound.data() + s.sent,
+                          s.outbound.size() - s.sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      s.sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) return true;
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // peer gone
+  }
+  s.outbound.clear();
+  s.sent = 0;
+  return true;
+}
+
+void SocketServer::destroy_session(SessionId id) {
+  int fd = -1;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(id);
+    if (it == sessions_.end()) return;
+    fd = it->second.fd;
+    sessions_.erase(it);
+  }
+  ::shutdown(fd, SHUT_RDWR);
+  ::close(fd);
+  if (on_closed_) on_closed_(id);
+}
+
+void SocketServer::loop() {
+  std::vector<std::uint8_t> buf(1 << 16);
+  while (running_.load()) {
+    // Snapshot the session set and its write-interest under the lock, then
+    // poll without it so senders are never blocked behind a poll().
+    std::vector<pollfd> fds;
+    std::vector<SessionId> ids;
+    std::vector<SessionId> dead;
+    fds.push_back({wake_pipe_[0], POLLIN, 0});
+    if (listen_fd_ >= 0) fds.push_back({listen_fd_, POLLIN, 0});
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      for (auto& [id, s] : sessions_) {
+        const bool pending = s.sent < s.outbound.size();
+        if (s.draining && !pending) {
+          dead.push_back(id);
+          continue;
+        }
+        short events = POLLIN;
+        if (pending) events |= POLLOUT;
+        ids.push_back(id);
+        fds.push_back({s.fd, events, 0});
+      }
+    }
+    for (const SessionId id : dead) destroy_session(id);
+
+    const int ready = ::poll(fds.data(), fds.size(), 100);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0) continue;
+
+    std::size_t fi = 0;
+    if (fds[fi].revents & POLLIN) {  // wake pipe
+      char drain[64];
+      while (::read(wake_pipe_[0], drain, sizeof(drain)) > 0) {
+      }
+    }
+    ++fi;
+    if (listen_fd_ >= 0) {
+      if (fds[fi].revents & POLLIN) {
+        for (;;) {
+          const int cfd = ::accept(listen_fd_, nullptr, nullptr);
+          if (cfd < 0) break;
+          adopt(cfd);
+        }
+      }
+      ++fi;
+    }
+
+    for (std::size_t i = 0; i < ids.size(); ++i) {
+      const SessionId id = ids[i];
+      const pollfd& p = fds[fi + i];
+      bool close_now = false;
+      if (p.revents & POLLOUT) {
+        std::lock_guard<std::mutex> lock(mu_);
+        auto it = sessions_.find(id);
+        if (it != sessions_.end() && !flush(it->second)) close_now = true;
+      }
+      if (p.revents & (POLLIN | POLLHUP | POLLERR)) {
+        for (;;) {
+          const auto n = ::recv(p.fd, buf.data(), buf.size(), 0);
+          if (n > 0) {
+            // Reassemble and dispatch WITHOUT the lock: the callback may
+            // reentrantly send() on this or another session.
+            bool ok = true;
+            {
+              std::lock_guard<std::mutex> lock(mu_);
+              ok = sessions_.contains(id);
+            }
+            if (!ok) break;
+            FrameAssembler* assembler = nullptr;
+            {
+              std::lock_guard<std::mutex> lock(mu_);
+              assembler = &sessions_[id].assembler;
+            }
+            if (!assembler->feed(buf.data(), static_cast<std::size_t>(n),
+                                 [this, id](std::vector<std::uint8_t> pl) {
+                                   if (on_frame_) on_frame_(id, std::move(pl));
+                                 })) {
+              RIF_LOG_WARN("net", "session " << id
+                                             << ": corrupt frame, closing");
+              close_now = true;
+              break;
+            }
+            continue;
+          }
+          if (n < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+          if (n < 0 && errno == EINTR) continue;
+          close_now = true;  // EOF or hard error
+          break;
+        }
+      }
+      if (close_now) destroy_session(id);
+    }
+  }
+}
+
+void SocketServer::stop() {
+  if (!running_.exchange(false)) {
+    if (listen_fd_ >= 0) {
+      ::close(listen_fd_);
+      listen_fd_ = -1;
+    }
+    return;
+  }
+  wake();
+  if (thread_.joinable()) thread_.join();
+  // Best-effort flush of whatever is still queued, then close everything.
+  std::vector<SessionId> ids;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    for (auto& [id, s] : sessions_) {
+      flush(s);
+      ids.push_back(id);
+    }
+  }
+  for (const SessionId id : ids) destroy_session(id);
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+  if (!unix_path_.empty()) ::unlink(unix_path_.c_str());
+  for (int& fd : wake_pipe_) {
+    if (fd >= 0) {
+      ::close(fd);
+      fd = -1;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SocketClient
+// ---------------------------------------------------------------------------
+
+SocketClient::~SocketClient() { close(); }
+
+bool SocketClient::connect_tcp(const std::string& host, std::uint16_t port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  if (::inet_pton(AF_INET, host.c_str(), &addr.sin_addr) != 1 ||
+      ::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool SocketClient::connect_unix(const std::string& path) {
+  if (path.size() >= sizeof(sockaddr_un{}.sun_path)) return false;
+  const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return false;
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  std::strncpy(addr.sun_path, path.c_str(), sizeof(addr.sun_path) - 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    ::close(fd);
+    return false;
+  }
+  fd_ = fd;
+  return true;
+}
+
+bool SocketClient::send_frame(const std::vector<std::uint8_t>& payload) {
+  if (fd_ < 0) return false;
+  const std::vector<std::uint8_t> framed = encode_frame(payload);
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const auto n =
+        ::send(fd_, framed.data() + sent, framed.size() - sent, MSG_NOSIGNAL);
+    if (n > 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;
+  }
+  return true;
+}
+
+bool SocketClient::read_frame(std::vector<std::uint8_t>& payload) {
+  std::uint8_t buf[1 << 16];
+  while (ready_.empty()) {
+    if (fd_ < 0) return false;
+    const auto n = ::recv(fd_, buf, sizeof(buf), 0);
+    if (n > 0) {
+      if (!assembler_.feed(buf, static_cast<std::size_t>(n),
+                           [this](std::vector<std::uint8_t> pl) {
+                             ready_.push_back(std::move(pl));
+                           })) {
+        return false;  // corrupt stream
+      }
+      continue;
+    }
+    if (n < 0 && errno == EINTR) continue;
+    return false;  // EOF or error
+  }
+  payload = std::move(ready_.front());
+  ready_.erase(ready_.begin());
+  return true;
+}
+
+void SocketClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// SocketTransport
+// ---------------------------------------------------------------------------
+
+void SocketTransport::bind_node(cluster::NodeId node, SessionId session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  routes_[node] = session;
+}
+
+void SocketTransport::unbind_session(SessionId session) {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto it = routes_.begin(); it != routes_.end();) {
+    it = it->second == session ? routes_.erase(it) : std::next(it);
+  }
+}
+
+SessionId SocketTransport::session_of(cluster::NodeId node) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = routes_.find(node);
+  return it == routes_.end() ? kNoSession : it->second;
+}
+
+void SocketTransport::deliver(cluster::NodeId dst_node,
+                              std::vector<std::uint8_t> frame) {
+  if (handler_) handler_(dst_node, std::move(frame));
+}
+
+SimTime SocketTransport::send(cluster::NodeId /*src*/, cluster::NodeId dst,
+                              std::vector<std::uint8_t> frame,
+                              std::uint64_t /*charged_bytes*/) {
+  const SessionId session = session_of(dst);
+  if (session == kNoSession || !server_.send(session, frame)) {
+    RIF_LOG_WARN("net", "frame to node " << dst << " dropped (no session)");
+  }
+  return 0;
+}
+
+}  // namespace rif::net

@@ -1,0 +1,159 @@
+// Real byte-level transport: length-prefixed frames over Unix or TCP
+// sockets, a nonblocking poll() event loop, graceful close.
+//
+// Split into three pieces:
+//
+//   SocketServer — owns the listening socket and all accepted sessions,
+//     runs them on one background poll-loop thread (self-pipe wakeups, no
+//     busy wait). Frames are reassembled per session (net/frame.h) and
+//     handed to the on_frame callback ON THE POLL THREAD; sends from any
+//     thread are queued and flushed when the fd is writable. adopt() lets a
+//     test inject one end of a socketpair as a session.
+//   SocketClient — blocking counterpart for worker processes: connect,
+//     send_frame, read_frame. Single-threaded by design; the worker
+//     protocol is strictly reactive.
+//   SocketTransport — net::Transport over a SocketServer: node ids map to
+//     sessions, send() frames the envelope onto the session's socket and
+//     inbound frames invoke the transport handler. The byte charge is
+//     ignored — real links bill by what actually crosses them.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "cluster/node.h"
+#include "net/frame.h"
+#include "net/transport.h"
+
+namespace rif::net {
+
+/// Opaque id of one accepted connection.
+using SessionId = std::int64_t;
+inline constexpr SessionId kNoSession = -1;
+
+class SocketServer {
+ public:
+  using FrameFn = std::function<void(SessionId, std::vector<std::uint8_t>)>;
+  using ClosedFn = std::function<void(SessionId)>;
+
+  SocketServer() = default;
+  ~SocketServer();
+  SocketServer(const SocketServer&) = delete;
+  SocketServer& operator=(const SocketServer&) = delete;
+
+  /// Bind a TCP listener on 127.0.0.1:`port` (0 = ephemeral; see port()).
+  /// Returns false on bind/listen failure.
+  [[nodiscard]] bool listen_tcp(std::uint16_t port);
+  /// Bind a Unix-domain listener at `path` (unlinked first).
+  [[nodiscard]] bool listen_unix(const std::string& path);
+  [[nodiscard]] std::uint16_t port() const { return port_; }
+
+  /// Install callbacks, then start the poll loop. Both run on the loop
+  /// thread; reentrant send()/close_session() from them is allowed.
+  void start(FrameFn on_frame, ClosedFn on_closed);
+
+  /// Queue one frame for a session. Thread-safe. False if unknown session.
+  bool send(SessionId session, const std::vector<std::uint8_t>& payload);
+
+  /// Adopt an already-connected fd (e.g. one end of a socketpair) as a
+  /// session. Thread-safe. Returns its session id.
+  SessionId adopt(int fd);
+
+  /// Graceful close of one session: pending outbound frames are flushed,
+  /// then the fd is shut down and on_closed fires. Thread-safe.
+  void close_session(SessionId session);
+
+  /// Stop the loop: flush pending writes best-effort, close everything,
+  /// join the thread. on_closed fires for every open session.
+  void stop();
+
+  [[nodiscard]] int session_count() const;
+
+ private:
+  struct Session {
+    int fd = -1;
+    FrameAssembler assembler;
+    std::vector<std::uint8_t> outbound;  ///< unsent framed bytes
+    std::size_t sent = 0;                ///< prefix of outbound already sent
+    bool draining = false;               ///< close once outbound empties
+  };
+
+  void loop();
+  void wake();
+  void destroy_session(SessionId id);
+  [[nodiscard]] bool flush(Session& s);
+
+  mutable std::mutex mu_;
+  std::map<SessionId, Session> sessions_;
+  SessionId next_session_ = 1;
+  std::vector<SessionId> pending_close_;
+  int listen_fd_ = -1;
+  int wake_pipe_[2] = {-1, -1};
+  std::uint16_t port_ = 0;
+  std::string unix_path_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  FrameFn on_frame_;
+  ClosedFn on_closed_;
+};
+
+class SocketClient {
+ public:
+  SocketClient() = default;
+  ~SocketClient();
+  SocketClient(const SocketClient&) = delete;
+  SocketClient& operator=(const SocketClient&) = delete;
+
+  [[nodiscard]] bool connect_tcp(const std::string& host, std::uint16_t port);
+  [[nodiscard]] bool connect_unix(const std::string& path);
+  /// Wrap an already-connected fd (socketpair end).
+  void adopt(int fd) { fd_ = fd; }
+
+  [[nodiscard]] bool connected() const { return fd_ >= 0; }
+
+  /// Frame and send one payload; handles partial writes. False on error.
+  [[nodiscard]] bool send_frame(const std::vector<std::uint8_t>& payload);
+
+  /// Block until one full frame arrives. False on EOF/error/corruption.
+  [[nodiscard]] bool read_frame(std::vector<std::uint8_t>& payload);
+
+  void close();
+
+ private:
+  int fd_ = -1;
+  FrameAssembler assembler_;
+  std::vector<std::vector<std::uint8_t>> ready_;  ///< decoded, undelivered
+};
+
+/// net::Transport over real sockets. Destinations are registered
+/// explicitly: bind_node(node, session) routes frames for `node` onto that
+/// session. Inbound frames are decoded by the poll thread and handed to the
+/// transport handler tagged with the receiving node.
+class SocketTransport final : public Transport {
+ public:
+  explicit SocketTransport(SocketServer& server) : server_(server) {}
+
+  void bind_node(cluster::NodeId node, SessionId session);
+  void unbind_session(SessionId session);
+  [[nodiscard]] SessionId session_of(cluster::NodeId node) const;
+
+  /// Feed an inbound frame (from the server's on_frame) to the handler.
+  void deliver(cluster::NodeId dst_node, std::vector<std::uint8_t> frame);
+
+  SimTime send(cluster::NodeId src, cluster::NodeId dst,
+               std::vector<std::uint8_t> frame,
+               std::uint64_t charged_bytes) override;
+
+ private:
+  SocketServer& server_;
+  mutable std::mutex mu_;
+  std::map<cluster::NodeId, SessionId> routes_;
+};
+
+}  // namespace rif::net

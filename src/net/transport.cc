@@ -1,0 +1,23 @@
+#include "net/transport.h"
+
+#include <memory>
+#include <utility>
+
+#include "support/check.h"
+
+namespace rif::net {
+
+SimTime SimTransport::send(cluster::NodeId src, cluster::NodeId dst,
+                           std::vector<std::uint8_t> frame,
+                           std::uint64_t charged_bytes) {
+  RIF_CHECK_MSG(handler_, "transport has no handler");
+  // The deliver closure owns the frame; shared_ptr because std::function
+  // requires copyable callables.
+  auto carried = std::make_shared<std::vector<std::uint8_t>>(std::move(frame));
+  return network_.send(src, dst, charged_bytes,
+                       [this, dst, carried = std::move(carried)] {
+                         handler_(dst, std::move(*carried));
+                       });
+}
+
+}  // namespace rif::net

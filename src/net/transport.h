@@ -1,0 +1,67 @@
+// Transport abstraction between the actor protocol and its carrier.
+//
+// The scp runtime produces encoded frames (scp::WireEnvelope bytes) and an
+// explicit byte charge; how they move is the transport's business. Two
+// implementations exist:
+//
+//   SimTransport    — wraps the virtual-time net::Network. Frames are moved
+//                     by closure at the simulated arrival time; the charge
+//                     drives serialization/lane modelling, so the timeline
+//                     is byte-for-byte what the pre-refactor runtime saw.
+//                     This is the cheap, already-tested oracle.
+//   SocketTransport — (socket_transport.h) real length-prefixed frames over
+//                     Unix/TCP sockets with a nonblocking poll loop.
+//
+// The charge is separate from the frame size on purpose: the sim models the
+// paper's 64-byte protocol header and CostOnly declared sizes, which a real
+// socket does not replicate.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "cluster/node.h"
+#include "net/network.h"
+#include "support/time.h"
+
+namespace rif::net {
+
+class Transport {
+ public:
+  /// Delivered frames land here, on the receiving side's execution context.
+  using Handler =
+      std::function<void(cluster::NodeId dst, std::vector<std::uint8_t>)>;
+
+  virtual ~Transport() = default;
+
+  /// Ship `frame` from `src` to `dst`, charging `charged_bytes` to whatever
+  /// cost model the transport has. Returns the (virtual) arrival time when
+  /// the transport knows it; real transports return 0.
+  virtual SimTime send(cluster::NodeId src, cluster::NodeId dst,
+                       std::vector<std::uint8_t> frame,
+                       std::uint64_t charged_bytes) = 0;
+
+  void set_handler(Handler h) { handler_ = std::move(h); }
+
+ protected:
+  Handler handler_;
+};
+
+/// The virtual-time oracle: every frame rides the simulated network with
+/// exactly the byte charge the caller declared.
+class SimTransport final : public Transport {
+ public:
+  explicit SimTransport(Network& network) : network_(network) {}
+
+  SimTime send(cluster::NodeId src, cluster::NodeId dst,
+               std::vector<std::uint8_t> frame,
+               std::uint64_t charged_bytes) override;
+
+  [[nodiscard]] Network& network() { return network_; }
+
+ private:
+  Network& network_;
+};
+
+}  // namespace rif::net

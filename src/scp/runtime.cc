@@ -6,6 +6,7 @@
 #include <memory>
 #include <utility>
 
+#include "scp/wire.h"
 #include "sim/trace.h"
 #include "support/log.h"
 #include "support/serialize.h"
@@ -17,6 +18,16 @@ constexpr std::uint64_t kControlBytes = 64;
 }  // namespace
 
 class Shell;
+
+/// Where to send a protocol reply (ack): the sender replica's address as
+/// carried by the incoming envelope. Address-based (not pointer-based) so
+/// the same routing works over any transport; delivery to a replica that
+/// died or was reincarnated since is dropped, exactly as a closure bound to
+/// the dead shell used to be.
+struct ReplyAddr {
+  cluster::NodeId node = cluster::kNoNode;
+  WireAddr addr;
+};
 
 // ---------------------------------------------------------------------------
 // Internal runtime state
@@ -48,7 +59,7 @@ struct Group {
 struct Runtime::Impl {
   Runtime& self;
   cluster::Cluster& cluster;
-  net::Network& network;
+  net::Transport& transport;
   RuntimeConfig& config;
   ProtocolStats& stats;
 
@@ -73,7 +84,7 @@ struct Runtime::Impl {
   explicit Impl(Runtime& rt)
       : self(rt),
         cluster(rt.cluster_),
-        network(rt.network_),
+        transport(rt.transport_),
         config(rt.config_),
         stats(rt.stats_) {
     placement = std::make_unique<cluster::LeastLoadedPlacement>(cluster);
@@ -113,6 +124,24 @@ struct Runtime::Impl {
   void install_replica(ThreadId tid, int slot, std::uint64_t inc,
                        cluster::NodeId node, std::vector<std::uint8_t> state,
                        bool migration);
+
+  /// Resolve a frame's destination address against the current membership
+  /// view. Null if the address no longer names a live-enough replica (slot
+  /// reincarnated, never existed): the frame is dropped, exactly as a
+  /// delivery closure bound to a dead shell was. A killed-but-not-replaced
+  /// shell IS returned — its own dead_ check drops the payload, preserving
+  /// the historical drop point.
+  Shell* route(const WireAddr& addr);
+  /// Transport handler: decode one envelope and dispatch by kind.
+  void deliver(cluster::NodeId dst_node, std::vector<std::uint8_t> frame);
+  void handle_snapshot_request(const WireEnvelope& e);
+  void handle_state_install(WireEnvelope e);
+  /// Serialize a snapshot on the source node, then ship it to `target` as a
+  /// kStateInstall frame (shared tail of regeneration and migration).
+  void ship_state(ThreadId tid, int slot, std::uint64_t new_inc,
+                  cluster::NodeId target, Shell* src_shell,
+                  std::vector<std::uint8_t> state, bool migration);
+
   void start_detector();
   void detector_check();
   void on_heartbeat(ThreadId tid, int slot, std::uint64_t inc);
@@ -204,9 +233,10 @@ class Shell final : public ActorContext {
 
   void restore(const std::vector<std::uint8_t>& bytes);
 
-  /// Arrival of an application message copy (called from a net closure).
+  /// Arrival of an application message copy (routed from the transport).
   void receive_app(ThreadId src, std::uint64_t seq,
-                   std::shared_ptr<const Message> msg, Shell* reply_to);
+                   std::shared_ptr<const Message> msg,
+                   const ReplyAddr& reply_to);
 
  private:
   struct Unacked {
@@ -263,10 +293,12 @@ class Shell final : public ActorContext {
   }
 
   /// Sends one point-to-point copy; returns its expected arrival time.
-  SimTime send_copy(ThreadId /*dst*/, std::uint64_t seq,
+  /// The copy travels as an encoded WireEnvelope — the receiver decodes its
+  /// own Message — while the transport is charged the protocol's modelled
+  /// wire size (64-byte header + declared payload), not the encoding size.
+  SimTime send_copy(ThreadId dst, std::uint64_t seq,
                     const std::shared_ptr<const Message>& msg,
                     Member& member) {
-    Shell* target = member.shell;
     if (rt_.config.resilient) {
       // Group-communication marshalling consumes sender CPU per copy.
       const double marshal =
@@ -275,11 +307,18 @@ class Shell final : public ActorContext {
               static_cast<double>(msg->wire_bytes());
       rt_.cluster.node(node_).submit_compute(marshal, [] {});
     }
-    const SimTime arrival =
-        rt_.network.send(node_, member.node, msg->wire_bytes(),
-                         [target, src = tid_, seq, msg, self = this] {
-                           target->receive_app(src, seq, msg, self);
-                         });
+    WireEnvelope e;
+    e.kind = FrameKind::kApp;
+    e.src_node = node_;
+    e.dst_node = member.node;
+    e.src = {tid_, slot_, inc_};
+    e.dst = {dst, member.slot, member.incarnation};
+    e.seq = seq;
+    e.msg_type = msg->type;
+    e.declared = msg->declared_bytes;
+    e.payload = msg->payload;
+    const SimTime arrival = rt_.transport.send(node_, member.node, e.encode(),
+                                               msg->wire_bytes());
     ++rt_.stats.replica_messages;
     return arrival;
   }
@@ -315,19 +354,26 @@ class Shell final : public ActorContext {
     return any_alive;
   }
 
-  void send_ack(Shell* to, std::uint64_t seq) {
-    rt_.network.send(node_, to->node_, rt_.config.ack_bytes,
-                     [to, seq, dst = tid_, slot = slot_, inc = inc_] {
-                       to->receive_ack(seq, slot, inc, dst);
-                     });
+  void send_ack(const ReplyAddr& to, std::uint64_t seq) {
+    WireEnvelope e;
+    e.kind = FrameKind::kAck;
+    e.src_node = node_;
+    e.dst_node = to.node;
+    e.src = {tid_, slot_, inc_};
+    e.dst = to.addr;
+    e.seq = seq;
+    rt_.transport.send(node_, to.node, e.encode(), rt_.config.ack_bytes);
   }
 
   void heartbeat_loop() {
     if (dead_ || finished_) return;
-    rt_.network.send(node_, rt_.detector_node, rt_.config.heartbeat_bytes,
-                     [&rt = rt_, tid = tid_, slot = slot_, inc = inc_] {
-                       rt.on_heartbeat(tid, slot, inc);
-                     });
+    WireEnvelope hb;
+    hb.kind = FrameKind::kHeartbeat;
+    hb.src_node = node_;
+    hb.dst_node = rt_.detector_node;
+    hb.src = {tid_, slot_, inc_};
+    rt_.transport.send(node_, rt_.detector_node, hb.encode(),
+                       rt_.config.heartbeat_bytes);
     ++rt_.stats.heartbeats;
     // The library's background machinery consumes a fixed CPU share per
     // replica; charge one heartbeat period's worth per beat.
@@ -409,7 +455,7 @@ class Shell final : public ActorContext {
   // Receive-side protocol state (per sender logical thread).
   struct HeldCopy {
     std::shared_ptr<const Message> msg;
-    Shell* from = nullptr;
+    ReplyAddr from;
   };
   std::unordered_map<ThreadId, std::uint64_t> admitted_;  ///< next to admit
   std::unordered_map<ThreadId, std::map<std::uint64_t, HeldCopy>> holdback_;
@@ -446,7 +492,8 @@ void Shell::send(ThreadId dst, Message msg) {
 }
 
 void Shell::receive_app(ThreadId src, std::uint64_t seq,
-                        std::shared_ptr<const Message> msg, Shell* reply_to) {
+                        std::shared_ptr<const Message> msg,
+                        const ReplyAddr& reply_to) {
   if (dead_) return;
   if (!rt_.config.resilient) {
     admit(src, seq, std::move(msg));
@@ -586,6 +633,126 @@ Shell* Runtime::Impl::make_shell(ThreadId tid, int slot, std::uint64_t inc,
   return shells.back().get();
 }
 
+Shell* Runtime::Impl::route(const WireAddr& addr) {
+  if (addr.tid < 0 || static_cast<std::size_t>(addr.tid) >= groups.size()) {
+    return nullptr;
+  }
+  Group& g = groups[addr.tid];
+  if (addr.slot < 0 || addr.slot >= static_cast<int>(g.members.size())) {
+    return nullptr;
+  }
+  Member& m = g.members[addr.slot];
+  // An incarnation mismatch means the slot was reincarnated since the frame
+  // was sent; the frame belongs to the previous (dead) shell and is dropped.
+  if (m.shell == nullptr || m.incarnation != addr.incarnation) return nullptr;
+  return m.shell;
+}
+
+void Runtime::Impl::deliver(cluster::NodeId /*dst_node*/,
+                            std::vector<std::uint8_t> frame) {
+  WireEnvelope e = WireEnvelope::decode(frame);
+  switch (e.kind) {
+    case FrameKind::kApp: {
+      Shell* target = route(e.dst);
+      if (target == nullptr) return;
+      target->receive_app(e.src.tid, e.seq,
+                          std::make_shared<const Message>(e.to_message()),
+                          ReplyAddr{e.src_node, e.src});
+      return;
+    }
+    case FrameKind::kAck: {
+      Shell* target = route(e.dst);
+      if (target == nullptr) return;
+      target->receive_ack(e.seq, e.src.slot, e.src.incarnation, e.src.tid);
+      return;
+    }
+    case FrameKind::kHeartbeat:
+      on_heartbeat(e.src.tid, e.src.slot, e.src.incarnation);
+      return;
+    case FrameKind::kSnapshotRequest:
+      handle_snapshot_request(e);
+      return;
+    case FrameKind::kStateInstall:
+      handle_state_install(std::move(e));
+      return;
+    default:
+      // Worker-plane frames (kHello..) never target the actor runtime.
+      RIF_LOG_WARN("scp", "dropping frame of kind "
+                              << static_cast<std::uint32_t>(e.kind));
+      return;
+  }
+}
+
+void Runtime::Impl::handle_snapshot_request(const WireEnvelope& e) {
+  Shell* src_shell = route(e.dst);
+  if (src_shell == nullptr || src_shell->dead()) return;
+  Reader r(e.payload);
+  const auto repair_slot = r.get<std::int32_t>();
+  const auto new_inc = r.get<std::uint64_t>();
+  const auto target = r.get<cluster::NodeId>();
+  const ThreadId tid = e.dst.tid;
+  src_shell->request_snapshot(
+      [this, tid, repair_slot, new_inc, target,
+       src_shell](std::vector<std::uint8_t> state) {
+        ship_state(tid, repair_slot, new_inc, target, src_shell,
+                   std::move(state), /*migration=*/false);
+      });
+}
+
+void Runtime::Impl::ship_state(ThreadId tid, int slot, std::uint64_t new_inc,
+                               cluster::NodeId target, Shell* src_shell,
+                               std::vector<std::uint8_t> state,
+                               bool migration) {
+  // Serializing the snapshot takes time proportional to its size, but runs
+  // in the library's background machinery (whose CPU share is already
+  // charged by the watchdog model) — it must not queue behind a long
+  // application computation, or recovery would stall for the length of a
+  // work unit.
+  const std::uint64_t wire =
+      std::max<std::uint64_t>(state.size(), src_shell->declared_state_bytes());
+  auto& src_node = cluster.node(src_shell->node());
+  const SimTime serialize_time =
+      src_node.compute_time(static_cast<double>(wire) * 0.5);
+  src_node.run_after(
+      serialize_time,
+      [this, tid, slot, new_inc, target, src_shell, wire, migration,
+       state = std::move(state)]() mutable {
+        if (src_shell->dead()) return;
+        stats.state_transfer_bytes += wire;
+        cluster.trace().record(
+            {sim().now(), sim::TraceKind::kReplicaStateTransferred, tid, slot,
+             static_cast<std::int64_t>(wire), migration ? "migration" : ""});
+        WireEnvelope install;
+        install.kind = FrameKind::kStateInstall;
+        install.src_node = src_shell->node();
+        install.dst_node = target;
+        install.dst = {tid, slot, new_inc};
+        install.flag = migration ? 1 : 0;
+        install.payload = std::move(state);
+        transport.send(src_shell->node(), target, install.encode(), wire);
+      });
+}
+
+void Runtime::Impl::handle_state_install(WireEnvelope e) {
+  const ThreadId tid = e.dst.tid;
+  const int slot = e.dst.slot;
+  const std::uint64_t inc = e.dst.incarnation;
+  if (e.flag == 0) {
+    install_regenerated(tid, slot, inc, e.dst_node, std::move(e.payload));
+    return;
+  }
+  // Migration delivery: same guards the migrate() closure used to apply.
+  Group& g = group(tid);
+  if (g.finished || g.lost) return;
+  if (!cluster.node(e.dst_node).alive()) {
+    g.regenerating[slot] = false;
+    return;
+  }
+  if (g.members[slot].incarnation >= inc) return;
+  install_replica(tid, slot, inc, e.dst_node, std::move(e.payload),
+                  /*migration=*/true);
+}
+
 void Runtime::Impl::start_detector() {
   if (!config.resilient) return;
   cluster.node(detector_node)
@@ -689,43 +856,20 @@ void Runtime::Impl::try_regenerate(ThreadId tid, int slot) {
   const std::uint64_t new_inc = g.members[slot].incarnation + 1;
 
   // Ask the survivor for a quiescent-point snapshot; it ships the state
-  // directly to the target node, where the runtime installs the replica.
+  // directly to the target node, where the runtime installs the replica
+  // (see handle_snapshot_request / ship_state / handle_state_install).
   Shell* src_shell = survivor->shell;
-  network.send(
-      detector_node, survivor->node, kControlBytes,
-      [this, tid, slot, new_inc, target, src_shell] {
-        if (src_shell->dead()) return;
-        src_shell->request_snapshot([this, tid, slot, new_inc, target,
-                                     src_shell](
-                                        std::vector<std::uint8_t> state) {
-          // Serializing the snapshot takes time proportional to its size,
-          // but runs in the library's background machinery (whose CPU share
-          // is already charged by the watchdog model) — it must not queue
-          // behind a long application computation, or recovery would stall
-          // for the length of a work unit.
-          const std::uint64_t wire = std::max<std::uint64_t>(
-              state.size(), src_shell->declared_state_bytes());
-          auto& src_node = cluster.node(src_shell->node());
-          const SimTime serialize_time =
-              src_node.compute_time(static_cast<double>(wire) * 0.5);
-          src_node.run_after(
-              serialize_time,
-              [this, tid, slot, new_inc, target, src_shell, wire,
-               state = std::move(state)]() mutable {
-                if (src_shell->dead()) return;
-                stats.state_transfer_bytes += wire;
-                cluster.trace().record(
-                    {sim().now(), sim::TraceKind::kReplicaStateTransferred,
-                     tid, slot, static_cast<std::int64_t>(wire), {}});
-                network.send(src_shell->node(), target, wire,
-                             [this, tid, slot, new_inc, target,
-                              state = std::move(state)]() mutable {
-                               install_regenerated(tid, slot, new_inc, target,
-                                                   std::move(state));
-                             });
-              });
-        });
-      });
+  WireEnvelope req;
+  req.kind = FrameKind::kSnapshotRequest;
+  req.src_node = detector_node;
+  req.dst_node = survivor->node;
+  req.dst = {tid, survivor->slot, survivor->incarnation};
+  Writer body;
+  body.put<std::int32_t>(slot);
+  body.put<std::uint64_t>(new_inc);
+  body.put<cluster::NodeId>(target);
+  req.payload = std::move(body).take();
+  transport.send(detector_node, survivor->node, req.encode(), kControlBytes);
 
   // The attempt expires if the state never arrives (e.g. the survivor died
   // mid-transfer); the detector loop then retries with another survivor.
@@ -809,8 +953,25 @@ void Runtime::Impl::install_replica(ThreadId tid, int slot, std::uint64_t inc,
 
 Runtime::Runtime(cluster::Cluster& cluster, net::Network& network,
                  RuntimeConfig config)
-    : cluster_(cluster), network_(network), config_(config) {
+    : cluster_(cluster),
+      owned_transport_(std::make_unique<net::SimTransport>(network)),
+      transport_(*owned_transport_),
+      config_(config) {
   impl_ = std::make_unique<Impl>(*this);
+  transport_.set_handler(
+      [this](cluster::NodeId dst, std::vector<std::uint8_t> frame) {
+        impl_->deliver(dst, std::move(frame));
+      });
+}
+
+Runtime::Runtime(cluster::Cluster& cluster, net::Transport& transport,
+                 RuntimeConfig config)
+    : cluster_(cluster), transport_(transport), config_(config) {
+  impl_ = std::make_unique<Impl>(*this);
+  transport_.set_handler(
+      [this](cluster::NodeId dst, std::vector<std::uint8_t> frame) {
+        impl_->deliver(dst, std::move(frame));
+      });
 }
 
 Runtime::~Runtime() = default;
@@ -959,32 +1120,8 @@ bool Runtime::migrate(ThreadId tid, int slot, cluster::NodeId target) {
   const std::uint64_t new_inc = m.incarnation + 1;
   source->request_snapshot([&impl, tid, slot, new_inc, target,
                             source](std::vector<std::uint8_t> state) {
-    const std::uint64_t wire = std::max<std::uint64_t>(
-        state.size(), source->declared_state_bytes());
-    auto& node = impl.cluster.node(source->node());
-    const SimTime serialize_time =
-        node.compute_time(static_cast<double>(wire) * 0.5);
-    node.run_after(serialize_time, [&impl, tid, slot, new_inc, target, wire,
-                                    source, state = std::move(state)]() mutable {
-      if (source->dead()) return;  // became a regeneration problem instead
-      impl.stats.state_transfer_bytes += wire;
-      impl.cluster.trace().record(
-          {impl.sim().now(), sim::TraceKind::kReplicaStateTransferred, tid,
-           slot, static_cast<std::int64_t>(wire), "migration"});
-      impl.network.send(
-          source->node(), target, wire,
-          [&impl, tid, slot, new_inc, target, state = std::move(state)]() mutable {
-            Group& gg = impl.group(tid);
-            if (gg.finished || gg.lost) return;
-            if (!impl.cluster.node(target).alive()) {
-              gg.regenerating[slot] = false;
-              return;
-            }
-            if (gg.members[slot].incarnation >= new_inc) return;
-            impl.install_replica(tid, slot, new_inc, target, std::move(state),
-                                 /*migration=*/true);
-          });
-    });
+    impl.ship_state(tid, slot, new_inc, target, source, std::move(state),
+                    /*migration=*/true);
   });
 
   // Backstop: if the move never lands (source or target died mid-flight),

@@ -1,0 +1,103 @@
+#include "scp/wire.h"
+
+#include <span>
+
+#include "support/serialize.h"
+
+namespace rif::scp {
+
+namespace {
+
+void put_addr(Writer& w, const WireAddr& a) {
+  w.put(a.tid);
+  w.put(a.slot);
+  w.put(a.incarnation);
+}
+
+WireAddr get_addr(Reader& r) {
+  WireAddr a;
+  a.tid = r.get<ThreadId>();
+  a.slot = r.get<std::int32_t>();
+  a.incarnation = r.get<std::uint64_t>();
+  return a;
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> WireEnvelope::encode() const {
+  Writer w;
+  w.put(static_cast<std::uint32_t>(kind));
+  w.put(src_node);
+  w.put(dst_node);
+  put_addr(w, src);
+  put_addr(w, dst);
+  w.put(seq);
+  w.put(msg_type);
+  w.put(declared);
+  w.put(flag);
+  w.put_span(std::span<const std::uint8_t>(payload));
+  return std::move(w).take();
+}
+
+WireEnvelope WireEnvelope::decode(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  WireEnvelope e;
+  const auto kind = r.get<std::uint32_t>();
+  RIF_CHECK_MSG(kind >= static_cast<std::uint32_t>(FrameKind::kApp) &&
+                    kind <= static_cast<std::uint32_t>(FrameKind::kGoodbye),
+                "unknown frame kind");
+  e.kind = static_cast<FrameKind>(kind);
+  e.src_node = r.get<cluster::NodeId>();
+  e.dst_node = r.get<cluster::NodeId>();
+  e.src = get_addr(r);
+  e.dst = get_addr(r);
+  e.seq = r.get<std::uint64_t>();
+  e.msg_type = r.get<std::uint32_t>();
+  e.declared = r.get<std::uint64_t>();
+  e.flag = r.get<std::uint32_t>();
+  e.payload = r.get_vector<std::uint8_t>();
+  RIF_CHECK_MSG(r.exhausted(), "oversized envelope");
+  return e;
+}
+
+std::vector<std::uint8_t> HelloBody::encode() const {
+  Writer w;
+  w.put(protocol_version);
+  w.put(threads);
+  return std::move(w).take();
+}
+
+HelloBody HelloBody::decode(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  HelloBody b;
+  b.protocol_version = r.get<std::uint32_t>();
+  b.threads = r.get<std::uint32_t>();
+  RIF_CHECK_MSG(r.exhausted(), "oversized hello");
+  return b;
+}
+
+std::vector<std::uint8_t> JobStartBody::encode() const {
+  Writer w;
+  w.put(job_id);
+  w.put(width);
+  w.put(height);
+  w.put(bands);
+  w.put(screening_threshold);
+  w.put(output_components);
+  return std::move(w).take();
+}
+
+JobStartBody JobStartBody::decode(const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  JobStartBody b;
+  b.job_id = r.get<std::int64_t>();
+  b.width = r.get<std::int32_t>();
+  b.height = r.get<std::int32_t>();
+  b.bands = r.get<std::int32_t>();
+  b.screening_threshold = r.get<double>();
+  b.output_components = r.get<std::int32_t>();
+  RIF_CHECK_MSG(r.exhausted(), "oversized job start");
+  return b;
+}
+
+}  // namespace rif::scp

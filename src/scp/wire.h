@@ -1,0 +1,93 @@
+// Wire envelope shared by the virtual-time and real-socket transports.
+//
+// Every hop the actor runtime takes — application messages, acks,
+// heartbeats, snapshot requests, state installs — is one WireEnvelope,
+// encoded with the same Writer/Reader discipline as the application
+// messages it carries. The envelope is transport-agnostic: the sim
+// transport hands the encoded bytes across a virtual link and the socket
+// transport frames them onto a file descriptor, so a protocol trace is
+// byte-identical between the two. The worker-plane kinds (kHello..kGoodbye)
+// are used by the remote-execution path, where a `rif_worker` process
+// leases itself into the service's cluster over the same framing.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/node.h"
+#include "scp/types.h"
+
+namespace rif::scp {
+
+enum class FrameKind : std::uint32_t {
+  // Actor-runtime plane.
+  kApp = 1,              ///< application message replica copy
+  kAck = 2,              ///< per-copy acknowledgement
+  kHeartbeat = 3,        ///< replica -> failure detector
+  kSnapshotRequest = 4,  ///< detector/migrator -> source replica
+  kStateInstall = 5,     ///< serialized replica state -> new home
+  // Worker plane (remote execution protocol).
+  kHello = 6,    ///< worker -> service: lease me in
+  kWelcome = 7,  ///< service -> worker: assigned node id
+  kJobStart = 8,
+  kJobEnd = 9,
+  kGoodbye = 10,  ///< graceful close (either direction)
+};
+
+/// Replica address: enough to route a frame to one shell and to drop it if
+/// the shell died or was reincarnated since the frame was sent.
+struct WireAddr {
+  ThreadId tid = kNoThread;
+  std::int32_t slot = -1;
+  std::uint64_t incarnation = 0;
+};
+
+/// The one envelope every transport hop uses. Only the fields a kind needs
+/// are populated; encode() writes them all (fixed layout keeps the decoder
+/// trivial and the header cost constant).
+struct WireEnvelope {
+  FrameKind kind = FrameKind::kApp;
+  cluster::NodeId src_node = cluster::kNoNode;
+  cluster::NodeId dst_node = cluster::kNoNode;
+  WireAddr src;
+  WireAddr dst;
+  std::uint64_t seq = 0;        ///< kApp / kAck: per-destination sequence
+  std::uint32_t msg_type = 0;   ///< kApp: application MsgType
+  std::uint64_t declared = 0;   ///< kApp: Message::declared_bytes
+  std::uint32_t flag = 0;       ///< kStateInstall: 1 = migration semantics
+  std::vector<std::uint8_t> payload;  ///< kApp: message body; kStateInstall:
+                                      ///< serialized state; worker plane:
+                                      ///< kind-specific body
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static WireEnvelope decode(const std::vector<std::uint8_t>& bytes);
+
+  /// Rebuild the application Message carried by a kApp envelope.
+  [[nodiscard]] Message to_message() const {
+    return {msg_type, payload, declared};
+  }
+};
+
+/// kHello payload: what a connecting worker advertises.
+struct HelloBody {
+  std::uint32_t protocol_version = 1;
+  std::uint32_t threads = 1;  ///< compute threads the worker will use
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static HelloBody decode(const std::vector<std::uint8_t>& bytes);
+};
+
+/// kJobStart payload: everything a worker needs before tiles arrive.
+struct JobStartBody {
+  std::int64_t job_id = 0;
+  std::int32_t width = 0;
+  std::int32_t height = 0;
+  std::int32_t bands = 0;
+  double screening_threshold = 0.0;
+  std::int32_t output_components = 0;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  static JobStartBody decode(const std::vector<std::uint8_t>& bytes);
+};
+
+}  // namespace rif::scp

@@ -166,6 +166,13 @@ struct JobRecord {
   /// concurrently on one pool, so these overlap and may sum past the
   /// phase's wall time.
   double host_seconds = 0.0;
+  /// True when the composite was computed by real worker processes over
+  /// the socket transport (service/remote_exec.h) rather than the host
+  /// pool or the simulated actors.
+  bool remote_executed = false;
+  int remote_workers = 0;         ///< covariance shards = workers at start
+  int remote_requeued_tiles = 0;  ///< tiles reassigned after disconnects
+  int remote_disconnects = 0;     ///< workers lost while this job ran
   /// Streaming-mode pipeline counters (zeros for every other job): chunk
   /// count, bytes streamed, per-stage times and stall seconds, peak buffer
   /// footprint. The per-job view of the pipeline's health — reader stall

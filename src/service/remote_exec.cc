@@ -1,0 +1,314 @@
+#include "service/remote_exec.h"
+
+#include <algorithm>
+#include <deque>
+#include <map>
+#include <optional>
+#include <utility>
+
+#include "core/color_map.h"
+#include "core/distributed/messages.h"
+#include "core/pct.h"
+#include "core/spectral_angle.h"
+#include "hsi/partition.h"
+#include "linalg/matrix.h"
+#include "linalg/stats.h"
+#include "scp/wire.h"
+#include "support/check.h"
+#include "support/log.h"
+
+namespace rif::service {
+namespace {
+
+struct Coordinator {
+  Coordinator(cluster::RemoteWorkerPool& pool_in, const RemoteExecParams& p_in)
+      : pool(pool_in), p(p_in) {}
+
+  cluster::RemoteWorkerPool& pool;
+  const RemoteExecParams& p;
+  RemoteExecResult out;
+
+  std::vector<hsi::Tile> tiles;
+  std::vector<int> live;  ///< surviving pool worker indices
+  int bands = 0;
+
+  // Screening state. holder[t] is the worker whose memory holds tile t's
+  // pixels (it will colour it later); merge order is strictly tile index.
+  std::vector<int> holder;
+  std::vector<bool> merge_done;
+  std::vector<bool> colored;
+  std::map<int, core::ScreenResultMsg> pending;
+  std::optional<core::UniqueSet> global;
+  int merged_tiles = 0;
+  int next_tile = 0;
+  int colored_count = 0;
+  int rr = 0;  ///< round-robin cursor for failure reassignment
+
+  // Covariance state. Shard messages are retained so a dead worker's
+  // shards can be re-sent verbatim; sums merge in shard-index order.
+  std::vector<double> mean;
+  std::vector<core::CovShardMsg> shard_msgs;
+  std::vector<std::vector<std::uint8_t>> shard_acc;
+  std::map<int, std::deque<int>> outstanding;  ///< worker -> shard FIFO
+  int shards_received = 0;
+  std::optional<core::TransformMsg> transform;
+
+  [[nodiscard]] bool is_live(int w) const {
+    return std::find(live.begin(), live.end(), w) != live.end();
+  }
+
+  void send_app(int w, const scp::Message& msg) {
+    scp::WireEnvelope env;
+    env.kind = scp::FrameKind::kApp;
+    env.dst_node = pool.node_of(w);
+    env.msg_type = msg.type;
+    env.declared = msg.declared_bytes;
+    env.payload = msg.payload;
+    pool.send(w, env);
+  }
+
+  void send_control(int w, scp::FrameKind kind,
+                    std::vector<std::uint8_t> payload = {}) {
+    scp::WireEnvelope env;
+    env.kind = kind;
+    env.dst_node = pool.node_of(w);
+    env.payload = std::move(payload);
+    pool.send(w, env);
+  }
+
+  void assign_tile(int w, int t) {
+    holder[t] = w;
+    const hsi::Tile& tile = tiles[static_cast<std::size_t>(t)];
+    core::TileAssignMsg assign;
+    assign.tile = core::WireTile::from(tile);
+    assign.data.reserve(tile.pixels() * tile.bands);
+    const std::int64_t first = tile.first_flat_index();
+    for (std::int64_t px = first; px < first + tile.pixels(); ++px) {
+      const auto v = p.cube->pixel(px);
+      assign.data.insert(assign.data.end(), v.begin(), v.end());
+    }
+    send_app(w, assign.encode(0));
+  }
+
+  void on_request_work(int w) {
+    if (next_tile < static_cast<int>(tiles.size())) {
+      assign_tile(w, next_tile++);
+    } else {
+      send_app(w, scp::Message{core::kNoMoreTiles, {}, 0});
+    }
+  }
+
+  void on_screen_result(int w, const scp::Message& msg) {
+    core::ScreenResultMsg result = core::ScreenResultMsg::decode(msg);
+    const int t = result.tile.index;
+    holder[t] = w;
+    if (merge_done[t] || pending.contains(t)) return;  // re-screened tile
+    out.screen_comparisons += result.comparisons;
+    pending.emplace(t, std::move(result));
+
+    // Merge strictly in tile order — same order, same arithmetic, same
+    // composite as the sim ManagerActor.
+    while (true) {
+      auto it = pending.find(merged_tiles);
+      if (it == pending.end()) break;
+      const core::ScreenResultMsg& r = it->second;
+      std::uint64_t comparisons = 0;
+      core::UniqueSet tile_set = core::UniqueSet::from_flat(
+          bands, p.screening_threshold, std::vector<float>(r.vectors));
+      global->merge(tile_set, &comparisons);
+      out.merge_comparisons += comparisons;
+      merge_done[it->first] = true;
+      pending.erase(it);
+      ++merged_tiles;
+    }
+    if (merged_tiles == static_cast<int>(tiles.size())) {
+      start_covariance_phase();
+    }
+  }
+
+  void start_covariance_phase() {
+    const auto unique_count = static_cast<std::int64_t>(global->size());
+    out.unique_set_size = static_cast<std::size_t>(unique_count);
+    linalg::MeanAccumulator acc(bands);
+    for (std::size_t i = 0; i < global->size(); ++i) {
+      acc.add(global->member(i));
+    }
+    mean = acc.mean();
+
+    const auto chunks = hsi::partition_range(unique_count, out.shards);
+    shard_msgs.resize(static_cast<std::size_t>(out.shards));
+    shard_acc.resize(static_cast<std::size_t>(out.shards));
+    for (int s = 0; s < out.shards; ++s) {
+      core::CovShardMsg& shard = shard_msgs[static_cast<std::size_t>(s)];
+      shard.shard_count = static_cast<std::uint64_t>(chunks[s].size());
+      shard.mean = mean;
+      shard.vectors.reserve(chunks[s].size() * bands);
+      for (std::int64_t i = chunks[s].begin; i < chunks[s].end; ++i) {
+        const auto m = global->member(static_cast<std::size_t>(i));
+        shard.vectors.insert(shard.vectors.end(), m.begin(), m.end());
+      }
+      const int w = live[static_cast<std::size_t>(s) % live.size()];
+      outstanding[w].push_back(s);
+      send_app(w, shard.encode(0));
+    }
+  }
+
+  void on_cov_sum(int w, const scp::Message& msg) {
+    auto it = outstanding.find(w);
+    if (it == outstanding.end() || it->second.empty()) return;
+    const int s = it->second.front();
+    it->second.pop_front();
+    core::CovSumMsg sum = core::CovSumMsg::decode(msg);
+    shard_acc[static_cast<std::size_t>(s)] = std::move(sum.accumulator);
+    if (++shards_received == out.shards) broadcast_transform();
+  }
+
+  void broadcast_transform() {
+    // Merge in shard-index order regardless of which worker computed each
+    // sum — this is what keeps the eigenbasis identical across failures.
+    linalg::CovarianceAccumulator total(bands, mean);
+    for (const auto& bytes : shard_acc) {
+      if (!bytes.empty()) {
+        total.merge(linalg::CovarianceAccumulator::decode(bytes));
+      }
+    }
+    const linalg::Matrix cov = total.covariance();
+    const linalg::EigenResult eig = linalg::jacobi_eigen(cov, p.jacobi);
+    out.eigenvalues = eig.values;
+
+    core::TransformMsg tm;
+    tm.components = p.output_components;
+    tm.bands = bands;
+    const linalg::Matrix t =
+        core::transform_matrix(eig.vectors, p.output_components);
+    tm.matrix.assign(t.data(), t.data() + t.rows() * t.cols());
+    tm.mean = mean;
+    const auto scales = core::scales_from_eigenvalues(eig.values);
+    for (const auto& s : scales) {
+      tm.scale_mean.push_back(s.mean);
+      tm.scale_gain.push_back(s.gain);
+    }
+    transform = std::move(tm);
+    for (const int w : live) send_app(w, transform->encode(0));
+  }
+
+  void on_color_tile(const scp::Message& msg) {
+    core::ColorTileMsg color = core::ColorTileMsg::decode(msg);
+    const int t = color.tile.index;
+    if (colored[t]) return;  // duplicate from a re-screened tile
+    const hsi::Tile tile = color.tile.to_tile();
+    RIF_CHECK(color.rgb.size() == static_cast<std::size_t>(tile.pixels()) * 3);
+    const auto dst = static_cast<std::size_t>(tile.first_flat_index()) * 3;
+    std::copy(color.rgb.begin(), color.rgb.end(),
+              out.composite.data.begin() + dst);
+    colored[t] = true;
+    ++colored_count;
+  }
+
+  void on_closed(int w) {
+    if (!is_live(w)) return;
+    live.erase(std::remove(live.begin(), live.end(), w), live.end());
+    ++out.worker_disconnects;
+    RIF_LOG_WARN("remote", "worker " << w << " disconnected mid-job "
+                                    << p.job_id << "; re-queueing its work");
+    if (live.empty()) return;
+
+    // Re-send any covariance shards it had not answered.
+    if (auto it = outstanding.find(w); it != outstanding.end()) {
+      for (const int s : it->second) {
+        const int v = live[static_cast<std::size_t>(rr++) % live.size()];
+        outstanding[v].push_back(s);
+        send_app(v, shard_msgs[static_cast<std::size_t>(s)].encode(0));
+      }
+      outstanding.erase(it);
+    }
+
+    // Re-assign every tile whose only copy lived in its memory. Survivors
+    // re-screen (the duplicate result is dropped) and — once they hold the
+    // transform — colour it; merge/colour order is unaffected.
+    for (int t = 0; t < static_cast<int>(tiles.size()); ++t) {
+      if (holder[t] != w || colored[t]) continue;
+      const int v = live[static_cast<std::size_t>(rr++) % live.size()];
+      ++out.tiles_requeued;
+      assign_tile(v, t);
+    }
+  }
+};
+
+}  // namespace
+
+RemoteExecResult execute_remote_job(cluster::RemoteWorkerPool& pool,
+                                    const std::vector<int>& workers,
+                                    const RemoteExecParams& p) {
+  RIF_CHECK_MSG(p.cube != nullptr, "remote execution requires a cube");
+  Coordinator c{pool, p};
+  c.bands = p.cube->bands();
+  const hsi::CubeShape shape{p.cube->width(), p.cube->height(), c.bands};
+  c.tiles = hsi::partition_rows(shape, p.total_tiles);
+  for (const int w : workers) {
+    if (pool.alive(w)) c.live.push_back(w);
+  }
+  if (c.live.empty()) return std::move(c.out);
+
+  const int total = static_cast<int>(c.tiles.size());
+  c.out.shards = static_cast<int>(c.live.size());
+  c.holder.assign(total, -1);
+  c.merge_done.assign(total, false);
+  c.colored.assign(total, false);
+  c.global.emplace(c.bands, p.screening_threshold);
+  c.out.composite = hsi::RgbImage(shape.width, shape.height);
+
+  const scp::JobStartBody body{p.job_id,
+                               shape.width,
+                               shape.height,
+                               shape.bands,
+                               p.screening_threshold,
+                               p.output_components};
+  for (const int w : c.live) {
+    c.send_control(w, scp::FrameKind::kJobStart, body.encode());
+  }
+
+  double silent = 0.0;
+  while (c.colored_count < total) {
+    auto ev = c.pool.poll_event(p.poll_timeout_seconds);
+    if (!ev) {
+      silent += p.poll_timeout_seconds;
+      if (c.live.empty() || silent >= p.deadline_seconds) {
+        return std::move(c.out);  // completed stays false: host fallback
+      }
+      continue;
+    }
+    silent = 0.0;
+    if (ev->kind == cluster::RemoteWorkerPool::Event::Kind::kClosed) {
+      c.on_closed(ev->worker);
+      if (c.live.empty()) return std::move(c.out);
+      continue;
+    }
+    if (!c.is_live(ev->worker) || ev->env.kind != scp::FrameKind::kApp) {
+      continue;
+    }
+    const scp::Message msg = ev->env.to_message();
+    switch (msg.type) {
+      case core::kRequestWork:
+        c.on_request_work(ev->worker);
+        break;
+      case core::kScreenResult:
+        c.on_screen_result(ev->worker, msg);
+        break;
+      case core::kCovSum:
+        c.on_cov_sum(ev->worker, msg);
+        break;
+      case core::kColorTile:
+        c.on_color_tile(msg);
+        break;
+      default:
+        break;
+    }
+  }
+
+  for (const int w : c.live) c.send_control(w, scp::FrameKind::kJobEnd);
+  c.out.completed = true;
+  return std::move(c.out);
+}
+
+}  // namespace rif::service

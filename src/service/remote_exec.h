@@ -1,0 +1,60 @@
+// Coordinator for running one fusion job across real worker processes.
+//
+// This is the ManagerActor's Full-mode protocol replayed over sockets: the
+// same six messages, the same strictly-in-tile-order unique-set merge, the
+// same fixed shard partition and shard-order covariance merge. Because
+// every arithmetic step happens in the same order on the same shared
+// kernels, the composite is byte-identical to the sim-transport run and to
+// fuse_parallel with the same tile/shard counts — the sim stays the oracle
+// for the real deployment.
+//
+// Fault handling: when a worker disconnects mid-job, every tile or
+// covariance shard it owned is re-queued onto the survivors and the job
+// completes without a restart. Determinism survives because the merge
+// orders are keyed by tile/shard index, never by which worker answered.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "cluster/remote_pool.h"
+#include "hsi/image_cube.h"
+#include "hsi/image_io.h"
+#include "linalg/jacobi_eig.h"
+
+namespace rif::service {
+
+struct RemoteExecParams {
+  const hsi::ImageCube* cube = nullptr;
+  int total_tiles = 1;
+  double screening_threshold = 0.05;
+  int output_components = 3;
+  linalg::JacobiOptions jacobi;
+  std::int64_t job_id = 0;
+  /// Per-poll wait; total idle time past this with no live worker fails.
+  double poll_timeout_seconds = 2.0;
+  /// Give up (caller falls back to the host engine) after this much
+  /// cumulative silence.
+  double deadline_seconds = 300.0;
+};
+
+struct RemoteExecResult {
+  bool completed = false;
+  hsi::RgbImage composite;
+  std::size_t unique_set_size = 0;
+  std::vector<double> eigenvalues;
+  std::uint64_t screen_comparisons = 0;
+  std::uint64_t merge_comparisons = 0;
+  int shards = 0;             ///< fixed covariance shard count used
+  int tiles_requeued = 0;     ///< tiles reassigned after a disconnect
+  int worker_disconnects = 0;
+};
+
+/// Run one job over `workers` (pool indices). The shard count is fixed to
+/// the number of live workers at job start, so the composite matches a sim
+/// run with that worker count even if some workers die mid-job.
+RemoteExecResult execute_remote_job(cluster::RemoteWorkerPool& pool,
+                                    const std::vector<int>& workers,
+                                    const RemoteExecParams& params);
+
+}  // namespace rif::service

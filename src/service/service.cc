@@ -1,5 +1,7 @@
 #include "service/service.h"
 
+#include "service/remote_exec.h"
+
 #include <algorithm>
 #include <chrono>
 #include <utility>
@@ -99,7 +101,9 @@ RejectReason FusionService::validate(const JobRequest& request) const {
   if (cfg.replication > cfg.workers) {
     return RejectReason::kBadConfig;
   }
-  if (cfg.workers > config_.worker_nodes) {
+  // Remote workers attach during run(), after all submissions — size the
+  // bound to the capacity the service EXPECTS, so jobs may target it.
+  if (cfg.workers > config_.worker_nodes + config_.remote_workers) {
     return RejectReason::kTooManyWorkers;
   }
   return RejectReason::kNone;
@@ -212,6 +216,8 @@ void FusionService::on_arrival(JobId id) {
   job.enqueue_time = sim_.now();
   metrics_.gauge("service.queued_memory_demand", runtime::GaugeKind::kSum)
       .set(static_cast<double>(queue_.total_memory_demand()));
+  RIF_TRACE_COUNTER("service.queue_occupancy",
+                    static_cast<double>(queue_.size()));
   obs::SpanTracer& tracer = obs::SpanTracer::instance();
   if (tracer.enabled()) {
     tracer.virtual_begin("queue_wait", job_track(id), vt_ns(sim_.now()), id);
@@ -224,8 +230,12 @@ void FusionService::dispatch() {
   // Leases are only granted on live nodes: a crashed-and-unrepaired worker
   // returns to the free pool when its lease ends but is skipped over until
   // restored, so capacity loss delays jobs instead of dooming them.
+  // A remote worker whose connection dropped is as gone as a crashed sim
+  // node — the pool's atomic liveness keeps it out of new leases without
+  // the sim thread touching the poll thread's locks.
   const cluster::NodeFilter alive = [this](cluster::NodeId n) {
-    return cluster_.node(n).alive();
+    return cluster_.node(n).alive() &&
+           (remote_pool_ == nullptr || remote_pool_->node_alive(n));
   };
   RIF_TRACE_SPAN("admission");
   while (true) {
@@ -252,6 +262,8 @@ void FusionService::dispatch() {
     RIF_CHECK(removed);
     metrics_.gauge("service.queued_memory_demand", runtime::GaugeKind::kSum)
         .set(static_cast<double>(queue_.total_memory_demand()));
+    RIF_TRACE_COUNTER("service.queue_occupancy",
+                      static_cast<double>(queue_.size()));
     start_job(id, alive);
   }
   // The periodic scraper samples on the WALL clock, but queue pressure
@@ -298,6 +310,8 @@ void FusionService::start_job(JobId id, const cluster::NodeFilter& alive) {
   memory_in_use_ += job.record.memory_demand;
   metrics_.gauge("service.memory_in_use", runtime::GaugeKind::kSum)
       .set(static_cast<double>(memory_in_use_));
+  RIF_TRACE_COUNTER("service.memory_in_use",
+                    static_cast<double>(memory_in_use_));
   // Close the job's queue_wait lane and open its execute lane at the same
   // virtual instant; queue_wait_seconds is exactly that span's length.
   if (job.enqueue_time >= 0) {
@@ -352,6 +366,8 @@ void FusionService::on_job_complete(JobId id) {
   memory_in_use_ -= job.record.memory_demand;
   metrics_.gauge("service.memory_in_use", runtime::GaugeKind::kSum)
       .set(static_cast<double>(memory_in_use_));
+  RIF_TRACE_COUNTER("service.memory_in_use",
+                    static_cast<double>(memory_in_use_));
   ledger_.record_completed(job.record);
   metrics_.counter("service.completed").add(1);
   metrics_.counter("tenant." + job.record.tenant + ".completed").add(1);
@@ -398,6 +414,8 @@ void FusionService::fail_job(JobId id) {
   memory_in_use_ -= job.record.memory_demand;
   metrics_.gauge("service.memory_in_use", runtime::GaugeKind::kSum)
       .set(static_cast<double>(memory_in_use_));
+  RIF_TRACE_COUNTER("service.memory_in_use",
+                    static_cast<double>(memory_in_use_));
   ledger_.record_failed(job.record);
   metrics_.counter("service.failed").add(1);
   metrics_.counter("tenant." + job.record.tenant + ".failed").add(1);
@@ -407,10 +425,47 @@ void FusionService::fail_job(JobId id) {
   dispatch();
 }
 
+void FusionService::attach_remote_workers() {
+  if (config_.remote_workers <= 0) return;
+  RIF_CHECK_MSG(exec_pool_ != nullptr,
+                "remote workers require execution_threads > 0 (host fallback)");
+  remote_pool_ = std::make_unique<cluster::RemoteWorkerPool>();
+  // Remote node ids continue the cluster's numbering past the host pool.
+  const cluster::NodeId first = config_.worker_nodes + 1;
+  if (!config_.remote_spawn_local) {
+    if (!config_.remote_socket_path.empty()) {
+      RIF_CHECK_MSG(remote_pool_->listen_unix(config_.remote_socket_path),
+                    "cannot bind remote worker unix socket");
+    } else {
+      RIF_CHECK_MSG(remote_pool_->listen_tcp(config_.remote_port),
+                    "cannot bind remote worker port");
+    }
+  }
+  remote_pool_->start(first);
+  if (config_.remote_spawn_local) {
+    for (int i = 0; i < config_.remote_workers; ++i) {
+      remote_pool_->spawn_local_worker();
+    }
+  }
+  const int attached = remote_pool_->wait_for_workers(
+      config_.remote_workers, config_.remote_wait_seconds);
+  for (int w = 0; w < attached; ++w) {
+    cluster_.add_nodes(1, config_.node);
+    const cluster::NodeId node = remote_pool_->node_of(w);
+    RIF_CHECK_MSG(node == first + w, "remote node numbering out of step");
+    leases_.add_node(node);
+    remote_nodes_.push_back(node);
+  }
+  RIF_LOG_INFO("service", attached << "/" << config_.remote_workers
+                                   << " remote workers leased in as nodes "
+                                   << first << ".." << (first + attached - 1));
+}
+
 ServiceReport FusionService::run() {
   RIF_CHECK_MSG(!ran_, "run() called twice");
   ran_ = true;
   RIF_TRACE_SPAN("service_run");
+  attach_remote_workers();
 
   if (config_.scrape_period_seconds > 0.0) {
     obs::MetricsScraper::Config sc;
@@ -461,8 +516,58 @@ ServiceReport FusionService::run() {
   // host-execution / final intervals.
   if (scraper_ != nullptr) scraper_->scrape_now();
   execute_host_jobs();
+  // Goodbye the remote workers (their processes exit) and quiesce the
+  // poll thread before reporting.
+  if (remote_pool_ != nullptr) remote_pool_->stop();
   if (scraper_ != nullptr) scraper_->stop();  // includes the final scrape
   return build_report();
+}
+
+bool FusionService::execute_remote(PendingJob& job) {
+  // Pool indices of the job's leased remote nodes that are still connected.
+  std::vector<int> workers;
+  for (const cluster::NodeId n : job.record.leased_nodes) {
+    const int w = remote_pool_->worker_of_node(n);
+    if (w >= 0 && remote_pool_->alive(w)) workers.push_back(w);
+  }
+  if (workers.empty()) return false;
+
+  obs::JobScope job_scope(job.record.id);
+  RIF_TRACE_SPAN("remote_execute");
+  const auto start = std::chrono::steady_clock::now();
+  const core::FusionJobConfig& req = job.request.config;
+  RemoteExecParams params;
+  params.cube = req.cube;
+  params.total_tiles = job.record.workers * req.tiles_per_worker;
+  params.screening_threshold = req.screening_threshold;
+  params.output_components = req.output_components;
+  params.jacobi = req.jacobi;
+  params.job_id = job.record.id;
+  RemoteExecResult r = execute_remote_job(*remote_pool_, workers, params);
+  job.record.remote_disconnects += r.worker_disconnects;
+  if (!r.completed) {
+    ++remote_fallbacks_;
+    metrics_.counter("service.remote_fallbacks").add(1);
+    RIF_LOG_WARN("service", "job " << job.record.id
+                                   << " lost its remote workers; falling "
+                                      "back to the host pool");
+    return false;
+  }
+  core::JobOutcome& out = job.record.outcome;
+  out.composite = std::move(r.composite);
+  out.eigenvalues = std::move(r.eigenvalues);
+  out.unique_set_size = r.unique_set_size;
+  out.screen_comparisons = r.screen_comparisons;
+  out.merge_comparisons = r.merge_comparisons;
+  job.record.remote_executed = true;
+  job.record.remote_workers = r.shards;
+  job.record.remote_requeued_tiles = r.tiles_requeued;
+  job.record.host_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+          .count();
+  ++remote_jobs_;
+  metrics_.counter("service.remote_jobs").add(1);
+  return true;
 }
 
 void FusionService::execute_host_jobs() {
@@ -474,6 +579,22 @@ void FusionService::execute_host_jobs() {
     }
   }
   if (ready.empty()) return;
+
+  // Jobs leased onto remote workers execute over the socket protocol
+  // first, serially — the pool's event queue is shared, so two
+  // coordinators cannot drain it at once. A job whose workers all died
+  // stays in `ready` and falls back to the host waves below.
+  if (remote_pool_ != nullptr) {
+    std::vector<PendingJob*> rest;
+    rest.reserve(ready.size());
+    for (PendingJob* job : ready) {
+      if (job->stream_execute || !execute_remote(*job)) {
+        rest.push_back(job);
+      }
+    }
+    ready = std::move(rest);
+    if (ready.empty()) return;
+  }
 
   // Jobs fan out onto the ONE shared pool; each job's engine nests its
   // own parallel stages inside its task. The per-job budget (tiles it can
@@ -719,6 +840,12 @@ ServiceReport FusionService::build_report() {
   report.protocol = runtime_->stats();
   report.network = network_->stats();
   report.sim_events = sim_.events_executed();
+  report.remote_workers_attached = static_cast<int>(remote_nodes_.size());
+  report.remote_jobs = remote_jobs_;
+  report.remote_fallbacks = remote_fallbacks_;
+  if (remote_pool_ != nullptr) {
+    report.remote_disconnects = remote_pool_->disconnects();
+  }
   return report;
 }
 

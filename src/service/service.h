@@ -86,6 +86,7 @@
 #include "cluster/cluster.h"
 #include "cluster/failure_injector.h"
 #include "cluster/lease.h"
+#include "cluster/remote_pool.h"
 #include "core/distributed/fusion_job.h"
 #include "core/parallel/thread_pool.h"
 #include "net/network.h"
@@ -137,6 +138,29 @@ struct ServiceConfig {
   /// budget outright is rejected kOverMemoryBudget at submission.
   /// 0 = unbudgeted (memory is not part of admission).
   std::uint64_t host_memory_budget = 0;
+
+  /// Remote worker plane (requires execution_threads > 0 for the host
+  /// fallback). When remote_workers > 0, run() opens the real socket
+  /// transport and waits up to remote_wait_seconds for that many worker
+  /// processes; each welcomed worker leases itself into the pool as one
+  /// extra node (ids above the host pool). Admitted Full-mode jobs whose
+  /// lease lands on remote nodes execute over the socket protocol
+  /// (service/remote_exec.h); a worker disconnect re-queues its shards
+  /// onto survivors, and a job that loses every remote worker falls back
+  /// to the host pool. validate() sizes the worker bound to host pool +
+  /// expected remote workers, so jobs may target capacity that arrives at
+  /// run() — if fewer workers connect, oversized jobs strand in the queue
+  /// until the deadline.
+  int remote_workers = 0;
+  /// Loopback TCP port to listen on (0 = ephemeral, see remote_port()), or
+  /// a Unix socket path; ignored when remote_spawn_local is set.
+  std::uint16_t remote_port = 0;
+  std::string remote_socket_path;
+  /// Spawn the remote workers as in-process threads over socketpairs
+  /// instead of listening — same protocol, no separate processes (tests,
+  /// single-machine runs).
+  bool remote_spawn_local = false;
+  double remote_wait_seconds = 30.0;
 
   /// Attack script against the shared cluster (virtual timeline).
   std::vector<cluster::FailureEvent> failures;
@@ -235,6 +259,12 @@ struct ServiceReport {
   };
   std::vector<PressureSample> admission_pressure;
   std::uint64_t sim_events = 0;
+
+  // Remote worker plane (zeros when ServiceConfig::remote_workers == 0).
+  int remote_workers_attached = 0;  ///< workers that completed the handshake
+  int remote_jobs = 0;              ///< jobs executed over the socket path
+  int remote_fallbacks = 0;         ///< remote jobs that fell back to host
+  int remote_disconnects = 0;       ///< worker connections lost during run()
 };
 
 class FusionService {
@@ -262,6 +292,11 @@ class FusionService {
   /// merged streaming runs). Live during run(); snapshot in
   /// ServiceReport::metrics_json.
   [[nodiscard]] runtime::MetricsRegistry& metrics() { return metrics_; }
+  /// The remote worker pool, live during run(); nullptr when
+  /// ServiceConfig::remote_workers == 0. Tests use it to inject crashes.
+  [[nodiscard]] cluster::RemoteWorkerPool* remote_pool() {
+    return remote_pool_.get();
+  }
 
  private:
   struct PendingJob {
@@ -296,6 +331,12 @@ class FusionService {
   /// Fuse every completed host_execute job's cube on the shared pool (all
   /// jobs concurrently, each within its admitted worker budget).
   void execute_host_jobs();
+  /// Open the socket transport and lease connected workers into the
+  /// cluster/LeaseBook (run() preamble; no-op when remote_workers == 0).
+  void attach_remote_workers();
+  /// Execute one admitted job over its leased remote workers; false means
+  /// the caller should fall back to the host pool.
+  [[nodiscard]] bool execute_remote(PendingJob& job);
   [[nodiscard]] ServiceReport build_report();
 
   ServiceConfig config_;
@@ -314,6 +355,11 @@ class FusionService {
   /// ServiceConfig::scrape_period_seconds). Its derive hook publishes the
   /// admission-pressure gauge every scrape.
   std::unique_ptr<obs::MetricsScraper> scraper_;
+  /// Real-socket worker plane (see ServiceConfig::remote_workers).
+  std::unique_ptr<cluster::RemoteWorkerPool> remote_pool_;
+  std::vector<cluster::NodeId> remote_nodes_;  ///< leased-in remote node ids
+  int remote_jobs_ = 0;
+  int remote_fallbacks_ = 0;
   HostPoolStats host_stats_;  ///< filled by execute_host_jobs()
   std::vector<std::unique_ptr<PendingJob>> jobs_;
 

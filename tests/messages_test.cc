@@ -163,6 +163,78 @@ TEST(MalformedPayloadTest, TruncatedStringDies) {
   EXPECT_DEATH((void)r.get_string(), "truncated");
 }
 
+// Every protocol decoder must die on a clean bounds check for BOTH failure
+// directions: a payload cut short mid-field ("truncated") and trailing
+// garbage past the last field ("oversized") — bytes a real socket peer
+// could hand us. Exercised here for the six fusion messages; the envelope
+// and worker-plane body decoders get the same treatment in transport_test.
+template <typename Msg, typename DecodeFn>
+void expect_decode_bounds_checked(const Msg& msg, DecodeFn decode) {
+  const scp::Message wire = msg.encode(0);
+  ASSERT_GT(wire.payload.size(), 3u);
+
+  scp::Message truncated = wire;
+  truncated.payload.resize(truncated.payload.size() - 3);
+  EXPECT_DEATH((void)decode(truncated), "truncated");
+
+  scp::Message oversized = wire;
+  oversized.payload.push_back(0xAB);
+  EXPECT_DEATH((void)decode(oversized), "oversized");
+}
+
+TEST(MalformedPayloadTest, TileAssignBoundsChecked) {
+  TileAssignMsg msg;
+  msg.tile = {3, 40, 10, 320, 105};
+  msg.data = {1.0f, 2.0f, 3.0f};
+  expect_decode_bounds_checked(
+      msg, [](const scp::Message& m) { return TileAssignMsg::decode(m); });
+}
+
+TEST(MalformedPayloadTest, ScreenResultBoundsChecked) {
+  ScreenResultMsg msg;
+  msg.tile = {1, 0, 5, 64, 16};
+  msg.unique_count = 9;
+  msg.vectors = {0.5f, 0.25f};
+  expect_decode_bounds_checked(
+      msg, [](const scp::Message& m) { return ScreenResultMsg::decode(m); });
+}
+
+TEST(MalformedPayloadTest, CovShardBoundsChecked) {
+  CovShardMsg msg;
+  msg.shard_count = 2;
+  msg.vectors = {1.0f, 2.0f};
+  msg.mean = {0.5, 0.5};
+  expect_decode_bounds_checked(
+      msg, [](const scp::Message& m) { return CovShardMsg::decode(m); });
+}
+
+TEST(MalformedPayloadTest, CovSumBoundsChecked) {
+  CovSumMsg msg;
+  msg.accumulator = {1, 2, 3, 4, 5, 6, 7, 8};
+  expect_decode_bounds_checked(
+      msg, [](const scp::Message& m) { return CovSumMsg::decode(m); });
+}
+
+TEST(MalformedPayloadTest, TransformBoundsChecked) {
+  TransformMsg msg;
+  msg.components = 1;
+  msg.bands = 2;
+  msg.matrix = {1.0, 2.0};
+  msg.mean = {0.1, 0.2};
+  msg.scale_mean = {0.0};
+  msg.scale_gain = {1.0};
+  expect_decode_bounds_checked(
+      msg, [](const scp::Message& m) { return TransformMsg::decode(m); });
+}
+
+TEST(MalformedPayloadTest, ColorTileBoundsChecked) {
+  ColorTileMsg msg;
+  msg.tile = {7, 8, 2, 4, 16};
+  msg.rgb = {255, 0, 128, 1, 2, 3};
+  expect_decode_bounds_checked(
+      msg, [](const scp::Message& m) { return ColorTileMsg::decode(m); });
+}
+
 TEST(MessagesTest, DeclaredBytesDefaultsToPayload) {
   scp::Message m{kRequestWork, {1, 2, 3, 4}, 0};
   EXPECT_EQ(m.wire_bytes(), 64u + 4u);  // header + payload

@@ -1,0 +1,188 @@
+// Real-transport execution vs the sim oracle: the same job, sharded across
+// in-process workers speaking the socket protocol over socketpairs, must
+// produce the exact bytes of the virtual-time run and of the shared-memory
+// engine — including when a worker dies mid-job and its tiles re-queue.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <thread>
+#include <vector>
+
+#include "cluster/remote_pool.h"
+#include "core/distributed/fusion_job.h"
+#include "core/distributed/messages.h"
+#include "core/distributed/shard_ops.h"
+#include "core/parallel/parallel_pct.h"
+#include "core/pct.h"
+#include "hsi/scene.h"
+#include "scp/wire.h"
+#include "service/remote_exec.h"
+
+namespace rif::service {
+namespace {
+
+hsi::Scene test_scene(int size = 32, int bands = 16, std::uint64_t seed = 77) {
+  hsi::SceneConfig cfg;
+  cfg.width = size;
+  cfg.height = size;
+  cfg.bands = bands;
+  cfg.seed = seed;
+  return hsi::generate_scene(cfg);
+}
+
+core::PctResult reference_result(const hsi::Scene& scene, int shards,
+                                 int tiles) {
+  core::ParallelPctConfig pcfg;
+  pcfg.threads = shards;  // fixes the covariance shard count
+  pcfg.tiles = tiles;
+  return core::fuse_parallel(scene.cube, pcfg);
+}
+
+TEST(RemoteExecTest, MatchesSimOracleAndSharedMemoryBitExact) {
+  const auto scene = test_scene();
+  const int workers = 3;
+  const int total_tiles = 6;
+
+  cluster::RemoteWorkerPool pool;
+  pool.start(/*first_node_id=*/100);
+  for (int i = 0; i < workers; ++i) pool.spawn_local_worker();
+  ASSERT_EQ(pool.wait_for_workers(workers, 10.0), workers);
+
+  RemoteExecParams params;
+  params.cube = &scene.cube;
+  params.total_tiles = total_tiles;
+  params.job_id = 1;
+  const RemoteExecResult real =
+      execute_remote_job(pool, {0, 1, 2}, params);
+  ASSERT_TRUE(real.completed);
+  EXPECT_EQ(real.worker_disconnects, 0);
+
+  // Oracle 1: the shared-memory engine with the same tile/shard counts.
+  const core::PctResult ref = reference_result(scene, workers, total_tiles);
+  EXPECT_EQ(real.composite.data, ref.composite.data);
+  EXPECT_EQ(real.unique_set_size, ref.unique_set_size);
+  ASSERT_EQ(real.eigenvalues.size(), ref.eigenvalues.size());
+  for (std::size_t i = 0; i < ref.eigenvalues.size(); ++i) {
+    EXPECT_DOUBLE_EQ(real.eigenvalues[i], ref.eigenvalues[i]);
+  }
+
+  // Oracle 2: the virtual-time transport running the same actor protocol.
+  core::FusionJobConfig sim;
+  sim.mode = core::ExecutionMode::kFull;
+  sim.cube = &scene.cube;
+  sim.shape = {scene.cube.width(), scene.cube.height(), scene.cube.bands()};
+  sim.workers = workers;
+  sim.tiles_per_worker = total_tiles / workers;
+  sim.deadline = from_seconds(3000);
+  const core::FusionReport simr = core::run_fusion_job(sim);
+  ASSERT_TRUE(simr.completed);
+  EXPECT_EQ(real.composite.data, simr.outcome.composite.data);
+  EXPECT_EQ(real.unique_set_size, simr.outcome.unique_set_size);
+
+  pool.stop();
+}
+
+/// A worker that follows the protocol until it has screened `die_after`
+/// tiles, then drops the connection without a goodbye — a process crash as
+/// the coordinator sees it.
+void crashy_worker(int fd, int die_after) {
+  net::SocketClient client;
+  client.adopt(fd);
+  scp::WireEnvelope hello;
+  hello.kind = scp::FrameKind::kHello;
+  hello.payload = scp::HelloBody{}.encode();
+  ASSERT_TRUE(client.send_frame(hello.encode()));
+
+  scp::JobStartBody job;
+  int screened = 0;
+  std::vector<std::uint8_t> frame;
+  while (client.read_frame(frame)) {
+    const scp::WireEnvelope env = scp::WireEnvelope::decode(frame);
+    if (env.kind == scp::FrameKind::kJobStart) {
+      job = scp::JobStartBody::decode(env.payload);
+      scp::WireEnvelope req;
+      req.kind = scp::FrameKind::kApp;
+      req.msg_type = core::kRequestWork;
+      ASSERT_TRUE(client.send_frame(req.encode()));
+      continue;
+    }
+    if (env.kind != scp::FrameKind::kApp) continue;
+    const scp::Message msg = env.to_message();
+    if (msg.type != core::kTileAssign) continue;
+    const core::TileAssignMsg assign = core::TileAssignMsg::decode(msg);
+    const core::ScreenResultMsg result = core::screen_shard(
+        assign.tile, assign.data.data(), job.screening_threshold);
+    scp::WireEnvelope out;
+    out.kind = scp::FrameKind::kApp;
+    out.msg_type = core::kScreenResult;
+    out.payload = result.encode(0).payload;
+    ASSERT_TRUE(client.send_frame(out.encode()));
+    if (++screened >= die_after) break;  // crash: no goodbye, no colour
+    scp::WireEnvelope req;
+    req.kind = scp::FrameKind::kApp;
+    req.msg_type = core::kRequestWork;
+    ASSERT_TRUE(client.send_frame(req.encode()));
+  }
+  client.close();
+}
+
+TEST(RemoteExecTest, WorkerCrashMidJobRequeuesAndStillMatches) {
+  const auto scene = test_scene();
+  const int total_tiles = 6;
+
+  cluster::RemoteWorkerPool pool;
+  pool.start(/*first_node_id=*/100);
+  pool.spawn_local_worker();
+  pool.spawn_local_worker();
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  pool.adopt_fd(sv[0]);
+  std::thread crashy(crashy_worker, sv[1], /*die_after=*/1);
+  ASSERT_EQ(pool.wait_for_workers(3, 10.0), 3);
+
+  RemoteExecParams params;
+  params.cube = &scene.cube;
+  params.total_tiles = total_tiles;
+  params.job_id = 2;
+  const RemoteExecResult real =
+      execute_remote_job(pool, {0, 1, 2}, params);
+  crashy.join();
+  ASSERT_TRUE(real.completed);
+  EXPECT_EQ(real.worker_disconnects, 1);
+  EXPECT_GE(real.tiles_requeued, 1);
+  EXPECT_EQ(real.shards, 3);  // fixed at job start, despite the crash
+
+  // The kill must not change a single byte: merge orders are keyed by
+  // tile/shard index, not by which worker answered.
+  const core::PctResult ref = reference_result(scene, 3, total_tiles);
+  EXPECT_EQ(real.composite.data, ref.composite.data);
+  EXPECT_EQ(real.unique_set_size, ref.unique_set_size);
+
+  pool.stop();
+}
+
+TEST(RemoteExecTest, AllWorkersDeadReportsFailureForFallback) {
+  const auto scene = test_scene(16, 8);
+  cluster::RemoteWorkerPool pool;
+  pool.start(/*first_node_id=*/100);
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  pool.adopt_fd(sv[0]);
+  std::thread crashy(crashy_worker, sv[1], /*die_after=*/1);
+  ASSERT_EQ(pool.wait_for_workers(1, 10.0), 1);
+
+  RemoteExecParams params;
+  params.cube = &scene.cube;
+  params.total_tiles = 4;
+  params.poll_timeout_seconds = 0.2;
+  params.deadline_seconds = 5.0;
+  const RemoteExecResult real = execute_remote_job(pool, {0}, params);
+  crashy.join();
+  EXPECT_FALSE(real.completed);  // caller falls back to the host engine
+  pool.stop();
+}
+
+}  // namespace
+}  // namespace rif::service

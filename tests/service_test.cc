@@ -1130,5 +1130,96 @@ TEST(ServiceTest, ScrapedTimelineAndPressureHistoryLandInReport) {
   fs::remove(path + ".hdr");
 }
 
+// --- Remote worker plane ----------------------------------------------------
+
+TEST(ServiceTest, RemoteWorkersExecuteFullJobsBitExact) {
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = 32;
+  scene_cfg.height = 32;
+  scene_cfg.bands = 12;
+  scene_cfg.seed = 33;
+  const hsi::Scene scene = hsi::generate_scene(scene_cfg);
+
+  // One host node + two remote workers: a 3-worker job can only run by
+  // leasing remote capacity, so its pixels travel the socket protocol.
+  ServiceConfig cfg;
+  cfg.worker_nodes = 1;
+  cfg.execution_threads = 2;
+  cfg.remote_workers = 2;
+  cfg.remote_spawn_local = true;
+  FusionService service(cfg);
+
+  JobRequest r;
+  r.tenant = "edge";
+  r.config = cost_only_job(/*workers=*/3);
+  r.config.mode = core::ExecutionMode::kFull;
+  r.config.shape = {scene_cfg.width, scene_cfg.height, scene_cfg.bands};
+  r.config.cube = &scene.cube;
+  const JobId id = service.submit(std::move(r)).id;
+  const ServiceReport report = service.run();
+  ASSERT_TRUE(report.all_completed);
+  EXPECT_EQ(report.remote_workers_attached, 2);
+  EXPECT_EQ(report.remote_jobs, 1);
+  EXPECT_EQ(report.remote_fallbacks, 0);
+  EXPECT_EQ(report.remote_disconnects, 0);
+
+  const JobRecord& rec = record_of(report, id);
+  ASSERT_TRUE(rec.completed);
+  EXPECT_TRUE(rec.remote_executed);
+  EXPECT_EQ(rec.remote_workers, 2);  // covariance shards = live remote workers
+  EXPECT_GT(rec.host_seconds, 0.0);
+
+  // Byte-identical to the two-pass shared-memory engine with the same
+  // shard/tile counts — the same oracle chain remote_exec_test pins.
+  core::ParallelPctConfig expect_cfg;
+  expect_cfg.threads = rec.remote_workers;
+  expect_cfg.tiles = rec.workers * 2;  // tiles_per_worker = 2
+  const core::PctResult expected = core::fuse_parallel(scene.cube, expect_cfg);
+  EXPECT_EQ(rec.outcome.composite.data, expected.composite.data);
+  EXPECT_EQ(rec.outcome.unique_set_size, expected.unique_set_size);
+  EXPECT_EQ(rec.outcome.eigenvalues, expected.eigenvalues);
+}
+
+TEST(ServiceTest, NoRemoteWorkersArriveDegradesToHostPool) {
+  hsi::SceneConfig scene_cfg;
+  scene_cfg.width = 16;
+  scene_cfg.height = 16;
+  scene_cfg.bands = 8;
+  scene_cfg.seed = 34;
+  const hsi::Scene scene = hsi::generate_scene(scene_cfg);
+
+  // The service expects two remote workers on an ephemeral port; none
+  // connect before the (short) wait deadline. A job that fits the host
+  // pool must still complete there, with zero remote activity reported.
+  ServiceConfig cfg;
+  cfg.worker_nodes = 2;
+  cfg.execution_threads = 2;
+  cfg.remote_workers = 2;
+  cfg.remote_wait_seconds = 0.1;
+  FusionService service(cfg);
+
+  JobRequest r;
+  r.tenant = "hosty";
+  r.config = cost_only_job(/*workers=*/2);
+  r.config.mode = core::ExecutionMode::kFull;
+  r.config.shape = {scene_cfg.width, scene_cfg.height, scene_cfg.bands};
+  r.config.cube = &scene.cube;
+  const JobId id = service.submit(std::move(r)).id;
+  const ServiceReport report = service.run();
+  ASSERT_TRUE(report.all_completed);
+  EXPECT_EQ(report.remote_workers_attached, 0);
+  EXPECT_EQ(report.remote_jobs, 0);
+
+  const JobRecord& rec = record_of(report, id);
+  ASSERT_TRUE(rec.completed);
+  EXPECT_FALSE(rec.remote_executed);
+  core::ParallelPctConfig expect_cfg;
+  expect_cfg.threads = cfg.execution_threads;
+  expect_cfg.tiles = rec.workers * 2;
+  const core::PctResult expected =
+      core::fuse_parallel_fused(scene.cube, expect_cfg);
+  EXPECT_EQ(rec.outcome.composite.data, expected.composite.data);
+}
+
 }  // namespace
 }  // namespace rif::service

@@ -1,0 +1,342 @@
+// The real byte transport, bottom-up: frame codec round-trips, incremental
+// reassembly from arbitrary read() fragments, corruption poisoning, the
+// wire envelope and worker-plane body codecs (including truncated/oversized
+// death checks), and a live SocketServer/SocketClient exchange over
+// loopback TCP and a socketpair.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+
+#include <chrono>
+#include <condition_variable>
+#include <cstdint>
+#include <cstring>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "net/frame.h"
+#include "net/socket_transport.h"
+#include "scp/wire.h"
+
+namespace rif::net {
+namespace {
+
+std::vector<std::uint8_t> bytes_of(std::initializer_list<int> v) {
+  std::vector<std::uint8_t> out;
+  for (int b : v) out.push_back(static_cast<std::uint8_t>(b));
+  return out;
+}
+
+// --- Frame codec ------------------------------------------------------------
+
+TEST(FrameTest, EncodeRoundTripsThroughAssembler) {
+  const auto payload = bytes_of({1, 2, 3, 250, 255});
+  const auto frame = encode_frame(payload);
+  EXPECT_EQ(frame.size(), framed_size(payload.size()));
+
+  FrameAssembler assembler;
+  std::vector<std::vector<std::uint8_t>> got;
+  ASSERT_TRUE(assembler.feed(frame.data(), frame.size(),
+                             [&](std::vector<std::uint8_t> p) {
+                               got.push_back(std::move(p));
+                             }));
+  ASSERT_EQ(got.size(), 1u);
+  EXPECT_EQ(got[0], payload);
+  EXPECT_EQ(assembler.pending_bytes(), 0u);
+}
+
+TEST(FrameTest, EmptyPayloadIsAValidFrame) {
+  const auto frame = encode_frame({});
+  FrameAssembler assembler;
+  int frames = 0;
+  ASSERT_TRUE(assembler.feed(frame.data(), frame.size(),
+                             [&](std::vector<std::uint8_t> p) {
+                               EXPECT_TRUE(p.empty());
+                               ++frames;
+                             }));
+  EXPECT_EQ(frames, 1);
+}
+
+TEST(FrameTest, ReassemblesFromSingleByteFragments) {
+  // A real socket can return one byte per read(); the assembler must
+  // produce the identical frame sequence regardless of fragmentation.
+  std::vector<std::uint8_t> stream;
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (int i = 0; i < 5; ++i) {
+    std::vector<std::uint8_t> payload(static_cast<std::size_t>(i) * 7 + 1);
+    for (std::size_t j = 0; j < payload.size(); ++j) {
+      payload[j] = static_cast<std::uint8_t>(i * 10 + j);
+    }
+    const auto frame = encode_frame(payload);
+    stream.insert(stream.end(), frame.begin(), frame.end());
+    sent.push_back(std::move(payload));
+  }
+
+  FrameAssembler assembler;
+  std::vector<std::vector<std::uint8_t>> got;
+  for (const std::uint8_t b : stream) {
+    ASSERT_TRUE(assembler.feed(&b, 1, [&](std::vector<std::uint8_t> p) {
+      got.push_back(std::move(p));
+    }));
+  }
+  EXPECT_EQ(got, sent);
+  EXPECT_EQ(assembler.pending_bytes(), 0u);
+}
+
+TEST(FrameTest, ManyFramesInOneFeed) {
+  // The converse: one read() returning several complete frames plus the
+  // start of another.
+  const auto a = bytes_of({1});
+  const auto b = bytes_of({2, 2});
+  const auto c = bytes_of({3, 3, 3});
+  std::vector<std::uint8_t> stream;
+  for (const auto* p : {&a, &b, &c}) {
+    const auto f = encode_frame(*p);
+    stream.insert(stream.end(), f.begin(), f.end());
+  }
+  const auto d = encode_frame(bytes_of({4, 4, 4, 4}));
+  stream.insert(stream.end(), d.begin(), d.begin() + 6);  // partial tail
+
+  FrameAssembler assembler;
+  std::vector<std::vector<std::uint8_t>> got;
+  ASSERT_TRUE(assembler.feed(stream.data(), stream.size(),
+                             [&](std::vector<std::uint8_t> p) {
+                               got.push_back(std::move(p));
+                             }));
+  ASSERT_EQ(got.size(), 3u);
+  EXPECT_EQ(got[0], a);
+  EXPECT_EQ(got[1], b);
+  EXPECT_EQ(got[2], c);
+  EXPECT_EQ(assembler.pending_bytes(), 6u);
+}
+
+TEST(FrameTest, BadMagicPoisonsTheAssembler) {
+  auto frame = encode_frame(bytes_of({1, 2, 3}));
+  frame[0] ^= 0xFF;  // corrupt the magic
+  FrameAssembler assembler;
+  int frames = 0;
+  EXPECT_FALSE(assembler.feed(frame.data(), frame.size(),
+                              [&](std::vector<std::uint8_t>) { ++frames; }));
+  EXPECT_EQ(frames, 0);
+  EXPECT_TRUE(assembler.corrupt());
+  // Poisoned: even a pristine frame is refused until the connection drops.
+  const auto good = encode_frame(bytes_of({9}));
+  EXPECT_FALSE(assembler.feed(good.data(), good.size(),
+                              [&](std::vector<std::uint8_t>) { ++frames; }));
+  EXPECT_EQ(frames, 0);
+}
+
+TEST(FrameTest, OversizedLengthPoisonsTheAssembler) {
+  auto frame = encode_frame(bytes_of({1}));
+  // Rewrite the length word to just past the cap.
+  const std::uint32_t huge = kMaxFramePayload + 1;
+  std::memcpy(frame.data() + 4, &huge, sizeof(huge));
+  FrameAssembler assembler;
+  EXPECT_FALSE(assembler.feed(frame.data(), frame.size(),
+                              [](std::vector<std::uint8_t>) { FAIL(); }));
+  EXPECT_TRUE(assembler.corrupt());
+}
+
+// --- Wire envelope + worker-plane bodies ------------------------------------
+
+TEST(WireEnvelopeTest, FullRoundTrip) {
+  scp::WireEnvelope env;
+  env.kind = scp::FrameKind::kApp;
+  env.src_node = 3;
+  env.dst_node = 0;
+  env.src = {7, 2, 11};
+  env.dst = {1, 0, 4};
+  env.seq = 99;
+  env.msg_type = 4;
+  env.declared = 123456;
+  env.flag = 1;
+  env.payload = bytes_of({10, 20, 30});
+
+  const scp::WireEnvelope back = scp::WireEnvelope::decode(env.encode());
+  EXPECT_EQ(back.kind, env.kind);
+  EXPECT_EQ(back.src_node, env.src_node);
+  EXPECT_EQ(back.dst_node, env.dst_node);
+  EXPECT_EQ(back.src.tid, env.src.tid);
+  EXPECT_EQ(back.src.slot, env.src.slot);
+  EXPECT_EQ(back.src.incarnation, env.src.incarnation);
+  EXPECT_EQ(back.dst.tid, env.dst.tid);
+  EXPECT_EQ(back.seq, env.seq);
+  EXPECT_EQ(back.msg_type, env.msg_type);
+  EXPECT_EQ(back.declared, env.declared);
+  EXPECT_EQ(back.flag, env.flag);
+  EXPECT_EQ(back.payload, env.payload);
+
+  const scp::Message msg = back.to_message();
+  EXPECT_EQ(msg.type, env.msg_type);
+  EXPECT_EQ(msg.payload, env.payload);
+  EXPECT_EQ(msg.declared_bytes, env.declared);
+}
+
+TEST(WireEnvelopeTest, MalformedEnvelopeDies) {
+  scp::WireEnvelope env;
+  env.payload = bytes_of({1, 2, 3, 4});
+  const auto wire = env.encode();
+
+  auto truncated = wire;
+  truncated.resize(truncated.size() - 2);
+  EXPECT_DEATH((void)scp::WireEnvelope::decode(truncated), "truncated");
+
+  auto oversized = wire;
+  oversized.push_back(0);
+  EXPECT_DEATH((void)scp::WireEnvelope::decode(oversized), "oversized");
+
+  auto bad_kind = wire;
+  bad_kind[0] = 0xEE;  // kind word far outside the enum
+  EXPECT_DEATH((void)scp::WireEnvelope::decode(bad_kind),
+               "unknown frame kind");
+}
+
+TEST(WireEnvelopeTest, WorkerPlaneBodiesRoundTripAndBoundsCheck) {
+  scp::HelloBody hello;
+  hello.protocol_version = 2;
+  hello.threads = 8;
+  const scp::HelloBody hback = scp::HelloBody::decode(hello.encode());
+  EXPECT_EQ(hback.protocol_version, 2u);
+  EXPECT_EQ(hback.threads, 8u);
+
+  scp::JobStartBody job;
+  job.job_id = 42;
+  job.width = 320;
+  job.height = 240;
+  job.bands = 105;
+  job.screening_threshold = 0.05;
+  job.output_components = 3;
+  const scp::JobStartBody jback = scp::JobStartBody::decode(job.encode());
+  EXPECT_EQ(jback.job_id, 42);
+  EXPECT_EQ(jback.width, 320);
+  EXPECT_EQ(jback.bands, 105);
+  EXPECT_DOUBLE_EQ(jback.screening_threshold, 0.05);
+
+  auto short_hello = hello.encode();
+  short_hello.resize(short_hello.size() - 1);
+  EXPECT_DEATH((void)scp::HelloBody::decode(short_hello), "truncated");
+  auto long_hello = hello.encode();
+  long_hello.push_back(0);
+  EXPECT_DEATH((void)scp::HelloBody::decode(long_hello), "oversized");
+
+  auto short_job = job.encode();
+  short_job.resize(short_job.size() - 1);
+  EXPECT_DEATH((void)scp::JobStartBody::decode(short_job), "truncated");
+  auto long_job = job.encode();
+  long_job.push_back(0);
+  EXPECT_DEATH((void)scp::JobStartBody::decode(long_job), "oversized");
+}
+
+// --- Live sockets -----------------------------------------------------------
+
+/// Collects server-side frames/closes under a lock so the poll thread and
+/// the test thread can rendezvous.
+struct ServerLog {
+  std::mutex mu;
+  std::condition_variable cv;
+  std::vector<std::pair<SessionId, std::vector<std::uint8_t>>> frames;
+  std::vector<SessionId> closed;
+
+  void on_frame(SessionId s, std::vector<std::uint8_t> f) {
+    std::lock_guard lock(mu);
+    frames.emplace_back(s, std::move(f));
+    cv.notify_all();
+  }
+  void on_closed(SessionId s) {
+    std::lock_guard lock(mu);
+    closed.push_back(s);
+    cv.notify_all();
+  }
+  bool wait_frames(std::size_t n, double seconds = 10.0) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                       [&] { return frames.size() >= n; });
+  }
+  bool wait_closed(std::size_t n, double seconds = 10.0) {
+    std::unique_lock lock(mu);
+    return cv.wait_for(lock, std::chrono::duration<double>(seconds),
+                       [&] { return closed.size() >= n; });
+  }
+};
+
+TEST(SocketTest, LoopbackTcpEchoExchange) {
+  SocketServer server;
+  ASSERT_TRUE(server.listen_tcp(0));  // ephemeral port
+  ASSERT_NE(server.port(), 0);
+
+  ServerLog log;
+  server.start(
+      [&](SessionId s, std::vector<std::uint8_t> f) {
+        // Echo every frame back with a marker byte appended.
+        f.push_back(0x5A);
+        server.send(s, f);
+        log.on_frame(s, std::move(f));
+      },
+      [&](SessionId s) { log.on_closed(s); });
+
+  SocketClient client;
+  ASSERT_TRUE(client.connect_tcp("127.0.0.1", server.port()));
+  const auto payload = bytes_of({1, 2, 3, 4, 5});
+  ASSERT_TRUE(client.send_frame(payload));
+
+  std::vector<std::uint8_t> reply;
+  ASSERT_TRUE(client.read_frame(reply));
+  auto expected = payload;
+  expected.push_back(0x5A);
+  EXPECT_EQ(reply, expected);
+
+  client.close();
+  ASSERT_TRUE(log.wait_closed(1));
+  server.stop();
+}
+
+TEST(SocketTest, AdoptedSocketpairCarriesLargeFrames) {
+  SocketServer server;
+  ServerLog log;
+  server.start(
+      [&](SessionId s, std::vector<std::uint8_t> f) {
+        log.on_frame(s, std::move(f));
+      },
+      [&](SessionId s) { log.on_closed(s); });
+
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  const SessionId session = server.adopt(sv[0]);
+  ASSERT_NE(session, kNoSession);
+
+  SocketClient client;
+  client.adopt(sv[1]);
+
+  // A payload far beyond any single read()/write() quantum, so both the
+  // client's partial-write loop and the server's incremental reassembly
+  // are exercised.
+  std::vector<std::uint8_t> big(4 * 1024 * 1024);
+  for (std::size_t i = 0; i < big.size(); ++i) {
+    big[i] = static_cast<std::uint8_t>(i * 2654435761u >> 24);
+  }
+  ASSERT_TRUE(client.send_frame(big));
+  ASSERT_TRUE(log.wait_frames(1));
+  {
+    std::lock_guard lock(log.mu);
+    ASSERT_EQ(log.frames.size(), 1u);
+    EXPECT_EQ(log.frames[0].first, session);
+    EXPECT_EQ(log.frames[0].second, big);
+  }
+
+  // Server -> client, same size, then a graceful close: the client must
+  // see the frame before EOF.
+  ASSERT_TRUE(server.send(session, big));
+  server.close_session(session);
+  std::vector<std::uint8_t> got;
+  ASSERT_TRUE(client.read_frame(got));
+  EXPECT_EQ(got, big);
+  EXPECT_FALSE(client.read_frame(got));  // EOF after the drain
+
+  ASSERT_TRUE(log.wait_closed(1));
+  client.close();
+  server.stop();
+}
+
+}  // namespace
+}  // namespace rif::net

@@ -1,0 +1,114 @@
+// rif_worker — a real worker process for the remote fusion plane.
+//
+// Connects to a FusionService's socket transport (tools/rif_worker runs the
+// exact serve loop the in-process test workers run: cluster/remote_worker.h),
+// leases itself into the pool with kHello, executes shards with the same
+// kernels as the sim WorkerActor, and exits when the service says kGoodbye.
+//
+// Usage:
+//   rif_worker --tcp <host>:<port>        connect over loopback/LAN TCP
+//   rif_worker --unix <path>              connect over a Unix-domain socket
+//   [--retry-seconds <s>]                 keep retrying the connect for this
+//                                         long (default 10) — workers are
+//                                         typically launched BEFORE the
+//                                         service binds its listener.
+//
+// Exit status: 0 on a clean kGoodbye shutdown, 1 on connect failure or an
+// unexpected disconnect mid-protocol.
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <thread>
+
+#include "cluster/remote_worker.h"
+#include "net/socket_transport.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (--tcp <host>:<port> | --unix <path>) "
+               "[--retry-seconds <s>]\n",
+               argv0);
+}
+
+bool connect_with_retry(rif::net::SocketClient& client, bool use_tcp,
+                        const std::string& host, std::uint16_t port,
+                        const std::string& unix_path, double retry_seconds) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::duration<double>(retry_seconds);
+  for (;;) {
+    const bool ok = use_tcp ? client.connect_tcp(host, port)
+                            : client.connect_unix(unix_path);
+    if (ok) return true;
+    if (std::chrono::steady_clock::now() >= deadline) return false;
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool use_tcp = false;
+  bool have_target = false;
+  std::string host;
+  std::uint16_t port = 0;
+  std::string unix_path;
+  double retry_seconds = 10.0;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--tcp" && i + 1 < argc) {
+      const std::string target = argv[++i];
+      const std::size_t colon = target.rfind(':');
+      if (colon == std::string::npos) {
+        usage(argv[0]);
+        return 1;
+      }
+      host = target.substr(0, colon);
+      port = static_cast<std::uint16_t>(
+          std::strtoul(target.c_str() + colon + 1, nullptr, 10));
+      use_tcp = true;
+      have_target = true;
+    } else if (arg == "--unix" && i + 1 < argc) {
+      unix_path = argv[++i];
+      use_tcp = false;
+      have_target = true;
+    } else if (arg == "--retry-seconds" && i + 1 < argc) {
+      retry_seconds = std::strtod(argv[++i], nullptr);
+    } else {
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (!have_target) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  rif::net::SocketClient client;
+  if (!connect_with_retry(client, use_tcp, host, port, unix_path,
+                          retry_seconds)) {
+    std::fprintf(stderr, "rif_worker: could not connect after %.1fs\n",
+                 retry_seconds);
+    return 1;
+  }
+
+  const rif::cluster::RemoteWorkerStats stats =
+      rif::cluster::serve_remote_worker(client);
+  client.close();
+
+  std::printf(
+      "rif_worker node=%d jobs=%llu tiles_screened=%llu shards_summed=%llu "
+      "tiles_colored=%llu clean_exit=%d\n",
+      stats.node, static_cast<unsigned long long>(stats.jobs),
+      static_cast<unsigned long long>(stats.tiles_screened),
+      static_cast<unsigned long long>(stats.shards_summed),
+      static_cast<unsigned long long>(stats.tiles_colored),
+      stats.clean_exit ? 1 : 0);
+  return stats.clean_exit ? 0 : 1;
+}
