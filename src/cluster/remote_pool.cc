@@ -62,7 +62,17 @@ void RemoteWorkerPool::kick(int worker) {
 
 void RemoteWorkerPool::on_frame(net::SessionId session,
                                 std::vector<std::uint8_t> frame) {
-  const scp::WireEnvelope env = scp::WireEnvelope::decode(frame);
+  // Trust boundary: anything can connect to the listener, so a malformed
+  // envelope drops the session instead of aborting the poll thread.
+  const std::optional<scp::WireEnvelope> decoded =
+      scp::WireEnvelope::try_decode(frame);
+  if (!decoded) {
+    RIF_LOG_WARN("remote", "malformed envelope on session " << session
+                                                            << "; closing");
+    server_.close_session(session);
+    return;
+  }
+  const scp::WireEnvelope& env = *decoded;
   std::unique_lock lock(mu_);
   auto it = by_session_.find(session);
   if (it == by_session_.end()) {

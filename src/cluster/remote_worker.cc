@@ -35,6 +35,7 @@ struct WorkerState {
     env.kind = scp::FrameKind::kApp;
     env.src_node = node;
     env.dst_node = 0;
+    if (job) env.seq = static_cast<std::uint64_t>(job->job_id);  // job tag
     env.msg_type = msg.type;
     env.declared = msg.declared_bytes;
     env.payload = std::move(msg.payload);
@@ -109,9 +110,15 @@ RemoteWorkerStats serve_remote_worker(net::SocketClient& client) {
 
   std::vector<std::uint8_t> frame;
   while (client.read_frame(frame)) {
-    const scp::WireEnvelope env = scp::WireEnvelope::decode(frame);
+    // The service end of this socket is a peer process: a malformed frame
+    // means a broken or hostile peer, so disconnect rather than abort.
+    const std::optional<scp::WireEnvelope> decoded =
+        scp::WireEnvelope::try_decode(frame);
+    if (!decoded) return st.stats;
+    const scp::WireEnvelope& env = *decoded;
     switch (env.kind) {
       case scp::FrameKind::kWelcome: {
+        if (env.payload.size() != sizeof(std::int32_t)) return st.stats;
         rif::Reader r(env.payload);
         st.node = r.get<std::int32_t>();
         st.stats.node = st.node;
@@ -131,6 +138,9 @@ RemoteWorkerStats serve_remote_worker(net::SocketClient& client) {
       }
       case scp::FrameKind::kApp:
         if (!st.job) break;  // stale traffic outside a job: drop
+        // Drop frames tagged with another job's id (coordinator fell back
+        // or moved on while this one was in flight).
+        if (env.seq != static_cast<std::uint64_t>(st.job->job_id)) break;
         if (!st.on_app(env)) return st.stats;
         break;
       case scp::FrameKind::kJobEnd:

@@ -153,6 +153,7 @@ void ManagerActor::start_covariance_phase(scp::ActorContext& ctx) {
         hsi::partition_range(unique_count, params_.workers);
     for (int w = 0; w < params_.workers; ++w) {
       CovShardMsg shard;
+      shard.shard_index = static_cast<std::uint64_t>(w);
       shard.shard_count = static_cast<std::uint64_t>(chunks[w].size());
       shard.mean = mean_;
       if (params_.mode == ExecutionMode::kFull) {
@@ -333,6 +334,8 @@ void WorkerActor::on_cov_shard(scp::ActorContext& ctx,
   CovSumMsg sum;
   if (params_.mode == ExecutionMode::kFull) {
     sum = cov_shard_sum(shard, params_.shape.bands);
+  } else {
+    sum.shard_index = shard.shard_index;
   }
   ctx.compute(flops, [&ctx, this, sum = std::move(sum)] {
     ctx.send(params_.manager_tid, sum.encode(model_.cov_sum_bytes()));

@@ -95,12 +95,14 @@ struct ScreenResultMsg {
 };
 
 struct CovShardMsg {
+  std::uint64_t shard_index = 0;  ///< which shard this is; echoed in CovSum
   std::uint64_t shard_count = 0;  ///< unique vectors in this shard
   std::vector<float> vectors;     ///< empty in CostOnly
   std::vector<double> mean;       ///< unique-set mean (step 3 output)
 
   [[nodiscard]] scp::Message encode(std::uint64_t declared) const {
     Writer w;
+    w.put<std::uint64_t>(shard_index);
     w.put<std::uint64_t>(shard_count);
     w.put_span(std::span<const float>(vectors));
     w.put_span(std::span<const double>(mean));
@@ -109,6 +111,7 @@ struct CovShardMsg {
   static CovShardMsg decode(const scp::Message& m) {
     Reader r(m.payload);
     CovShardMsg out;
+    out.shard_index = r.get<std::uint64_t>();
     out.shard_count = r.get<std::uint64_t>();
     out.vectors = r.get_vector<float>();
     out.mean = r.get_vector<double>();
@@ -118,16 +121,21 @@ struct CovShardMsg {
 };
 
 struct CovSumMsg {
+  std::uint64_t shard_index = 0;  ///< echoed from the CovShard this answers,
+                                  ///< so replies pair with shards explicitly
+                                  ///< rather than by per-worker FIFO position
   std::vector<std::uint8_t> accumulator;  ///< CovarianceAccumulator::encode()
 
   [[nodiscard]] scp::Message encode(std::uint64_t declared) const {
     Writer w;
+    w.put<std::uint64_t>(shard_index);
     w.put_span(std::span<const std::uint8_t>(accumulator));
     return {kCovSum, std::move(w).take(), declared};
   }
   static CovSumMsg decode(const scp::Message& m) {
     Reader r(m.payload);
     CovSumMsg out;
+    out.shard_index = r.get<std::uint64_t>();
     out.accumulator = r.get_vector<std::uint8_t>();
     RIF_CHECK_MSG(r.exhausted(), "oversized message");
     return out;

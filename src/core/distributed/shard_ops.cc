@@ -40,6 +40,7 @@ CovSumMsg cov_shard_sum(const CovShardMsg& shard, int bands) {
                   static_cast<int>(std::min(kRows, shard.shard_count - i)));
   }
   CovSumMsg sum;
+  sum.shard_index = shard.shard_index;
   sum.accumulator = acc.encode();
   return sum;
 }

@@ -1,22 +1,37 @@
 #include "net/frame.h"
 
-#include <cstring>
-
 #include "support/check.h"
 
 namespace rif::net {
 
+namespace {
+
+// The header is explicitly little-endian so the magic/length check behaves
+// identically on any host; a mixed-endian peer then fails fast inside the
+// envelope's bounds checks instead of desyncing the frame stream.
+void put_u32_le(std::vector<std::uint8_t>& out, std::uint32_t v) {
+  out.push_back(static_cast<std::uint8_t>(v & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 8) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 16) & 0xFF));
+  out.push_back(static_cast<std::uint8_t>((v >> 24) & 0xFF));
+}
+
+std::uint32_t get_u32_le(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         static_cast<std::uint32_t>(p[1]) << 8 |
+         static_cast<std::uint32_t>(p[2]) << 16 |
+         static_cast<std::uint32_t>(p[3]) << 24;
+}
+
+}  // namespace
+
 std::vector<std::uint8_t> encode_frame(
     const std::vector<std::uint8_t>& payload) {
   RIF_CHECK_MSG(payload.size() <= kMaxFramePayload, "frame payload too large");
-  const std::uint32_t magic = kFrameMagic;
-  const std::uint32_t length = static_cast<std::uint32_t>(payload.size());
   std::vector<std::uint8_t> out;
   out.reserve(framed_size(payload.size()));
-  const auto* pm = reinterpret_cast<const std::uint8_t*>(&magic);
-  const auto* pl = reinterpret_cast<const std::uint8_t*>(&length);
-  out.insert(out.end(), pm, pm + sizeof(magic));
-  out.insert(out.end(), pl, pl + sizeof(length));
+  put_u32_le(out, kFrameMagic);
+  put_u32_le(out, static_cast<std::uint32_t>(payload.size()));
   out.insert(out.end(), payload.begin(), payload.end());
   return out;
 }
@@ -28,10 +43,9 @@ bool FrameAssembler::feed(const std::uint8_t* data, std::size_t n,
   constexpr std::size_t kHeader = 2 * sizeof(std::uint32_t);
   std::size_t pos = 0;
   while (buf_.size() - pos >= kHeader) {
-    std::uint32_t magic = 0;
-    std::uint32_t length = 0;
-    std::memcpy(&magic, buf_.data() + pos, sizeof(magic));
-    std::memcpy(&length, buf_.data() + pos + sizeof(magic), sizeof(length));
+    const std::uint32_t magic = get_u32_le(buf_.data() + pos);
+    const std::uint32_t length =
+        get_u32_le(buf_.data() + pos + sizeof(std::uint32_t));
     if (magic != kFrameMagic || length > kMaxFramePayload) {
       corrupt_ = true;
       buf_.clear();

@@ -6,6 +6,11 @@
 // cap guards against a corrupt prefix allocating unbounded memory. The
 // assembler reconstructs frames from arbitrary read() fragments, so the
 // event loop never needs to block for a full frame.
+//
+// The header words are little-endian on the wire. The payload keeps the
+// Writer/Reader host format (see support/serialize.h), so deployments must
+// be same-endian end to end; a mixed-endian peer fails the envelope's
+// bounds checks on the first frame rather than desyncing the stream.
 #pragma once
 
 #include <cstddef>

@@ -1,5 +1,6 @@
 #include "scp/wire.h"
 
+#include <cstring>
 #include <span>
 
 #include "support/serialize.h"
@@ -37,6 +38,38 @@ std::vector<std::uint8_t> WireEnvelope::encode() const {
   w.put(flag);
   w.put_span(std::span<const std::uint8_t>(payload));
   return std::move(w).take();
+}
+
+std::optional<WireEnvelope> WireEnvelope::try_decode(
+    const std::vector<std::uint8_t>& bytes) {
+  // Mirror of decode()'s fixed layout: everything before the payload has a
+  // constant size, and the payload's length prefix must account for exactly
+  // the bytes that remain. Verifying that up front makes decode() safe.
+  constexpr std::size_t kAddrBytes =
+      sizeof(ThreadId) + sizeof(std::int32_t) + sizeof(std::uint64_t);
+  constexpr std::size_t kFixedBytes =
+      sizeof(std::uint32_t) +             // kind
+      2 * sizeof(cluster::NodeId) +       // src_node, dst_node
+      2 * kAddrBytes +                    // src, dst
+      sizeof(std::uint64_t) +             // seq
+      sizeof(std::uint32_t) +             // msg_type
+      sizeof(std::uint64_t) +             // declared
+      sizeof(std::uint32_t) +             // flag
+      sizeof(std::uint64_t);              // payload length prefix
+  if (bytes.size() < kFixedBytes) return std::nullopt;
+
+  std::uint32_t kind = 0;
+  std::memcpy(&kind, bytes.data(), sizeof(kind));
+  if (kind < static_cast<std::uint32_t>(FrameKind::kApp) ||
+      kind > static_cast<std::uint32_t>(FrameKind::kGoodbye)) {
+    return std::nullopt;
+  }
+  std::uint64_t payload_len = 0;
+  std::memcpy(&payload_len,
+              bytes.data() + kFixedBytes - sizeof(payload_len),
+              sizeof(payload_len));
+  if (payload_len != bytes.size() - kFixedBytes) return std::nullopt;
+  return decode(bytes);
 }
 
 WireEnvelope WireEnvelope::decode(const std::vector<std::uint8_t>& bytes) {

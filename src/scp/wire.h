@@ -12,6 +12,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <vector>
 
 #include "cluster/node.h"
@@ -51,7 +52,10 @@ struct WireEnvelope {
   cluster::NodeId dst_node = cluster::kNoNode;
   WireAddr src;
   WireAddr dst;
-  std::uint64_t seq = 0;        ///< kApp / kAck: per-destination sequence
+  std::uint64_t seq = 0;        ///< kApp / kAck: per-destination sequence.
+                                ///< Worker plane: job id the frame belongs
+                                ///< to, so a coordinator can drop frames
+                                ///< left over from an earlier job.
   std::uint32_t msg_type = 0;   ///< kApp: application MsgType
   std::uint64_t declared = 0;   ///< kApp: Message::declared_bytes
   std::uint32_t flag = 0;       ///< kStateInstall: 1 = migration semantics
@@ -60,7 +64,17 @@ struct WireEnvelope {
                                       ///< kind-specific body
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
+
+  /// Trusted-path decode: malformed bytes indicate a bug on our side and
+  /// trip a fatal RIF_CHECK. Use only on frames this process produced
+  /// (the sim transport, loopback to our own worker binary under test).
   static WireEnvelope decode(const std::vector<std::uint8_t>& bytes);
+
+  /// Trust-boundary decode: returns nullopt on any malformed input
+  /// (truncated, trailing bytes, unknown kind) instead of aborting. Use on
+  /// every frame that arrives over a socket from a peer process.
+  static std::optional<WireEnvelope> try_decode(
+      const std::vector<std::uint8_t>& bytes);
 
   /// Rebuild the application Message carried by a kApp envelope.
   [[nodiscard]] Message to_message() const {

@@ -61,6 +61,7 @@ struct Coordinator {
     scp::WireEnvelope env;
     env.kind = scp::FrameKind::kApp;
     env.dst_node = pool.node_of(w);
+    env.seq = static_cast<std::uint64_t>(p.job_id);  // job tag (see wire.h)
     env.msg_type = msg.type;
     env.declared = msg.declared_bytes;
     env.payload = msg.payload;
@@ -100,7 +101,9 @@ struct Coordinator {
 
   void on_screen_result(int w, const scp::Message& msg) {
     core::ScreenResultMsg result = core::ScreenResultMsg::decode(msg);
+    // The index came off the wire: bound it before it touches any state.
     const int t = result.tile.index;
+    if (t < 0 || t >= static_cast<int>(tiles.size())) return;
     holder[t] = w;
     if (merge_done[t] || pending.contains(t)) return;  // re-screened tile
     out.screen_comparisons += result.comparisons;
@@ -140,6 +143,7 @@ struct Coordinator {
     shard_acc.resize(static_cast<std::size_t>(out.shards));
     for (int s = 0; s < out.shards; ++s) {
       core::CovShardMsg& shard = shard_msgs[static_cast<std::size_t>(s)];
+      shard.shard_index = static_cast<std::uint64_t>(s);
       shard.shard_count = static_cast<std::uint64_t>(chunks[s].size());
       shard.mean = mean;
       shard.vectors.reserve(chunks[s].size() * bands);
@@ -154,11 +158,17 @@ struct Coordinator {
   }
 
   void on_cov_sum(int w, const scp::Message& msg) {
-    auto it = outstanding.find(w);
-    if (it == outstanding.end() || it->second.empty()) return;
-    const int s = it->second.front();
-    it->second.pop_front();
     core::CovSumMsg sum = core::CovSumMsg::decode(msg);
+    // Pair the reply with its shard by the echoed index, never by FIFO
+    // position: a stale or duplicate reply must not land in another
+    // shard's slot (the sum was computed against a specific mean).
+    if (sum.shard_index >= static_cast<std::uint64_t>(out.shards)) return;
+    const int s = static_cast<int>(sum.shard_index);
+    auto it = outstanding.find(w);
+    if (it == outstanding.end()) return;
+    auto pos = std::find(it->second.begin(), it->second.end(), s);
+    if (pos == it->second.end()) return;  // not this worker's shard: drop
+    it->second.erase(pos);
     shard_acc[static_cast<std::size_t>(s)] = std::move(sum.accumulator);
     if (++shards_received == out.shards) broadcast_transform();
   }
@@ -195,9 +205,14 @@ struct Coordinator {
   void on_color_tile(const scp::Message& msg) {
     core::ColorTileMsg color = core::ColorTileMsg::decode(msg);
     const int t = color.tile.index;
+    if (t < 0 || t >= static_cast<int>(tiles.size())) return;
     if (colored[t]) return;  // duplicate from a re-screened tile
-    const hsi::Tile tile = color.tile.to_tile();
-    RIF_CHECK(color.rgb.size() == static_cast<std::size_t>(tile.pixels()) * 3);
+    // Geometry comes from our own partition, never from the wire; a reply
+    // whose pixel count disagrees with it is dropped, not trusted.
+    const hsi::Tile& tile = tiles[static_cast<std::size_t>(t)];
+    if (color.rgb.size() != static_cast<std::size_t>(tile.pixels()) * 3) {
+      return;
+    }
     const auto dst = static_cast<std::size_t>(tile.first_flat_index()) * 3;
     std::copy(color.rgb.begin(), color.rgb.end(),
               out.composite.data.begin() + dst);
@@ -287,6 +302,10 @@ RemoteExecResult execute_remote_job(cluster::RemoteWorkerPool& pool,
     if (!c.is_live(ev->worker) || ev->env.kind != scp::FrameKind::kApp) {
       continue;
     }
+    // Jobs run serially over a shared pool: a frame still in flight from an
+    // earlier job (requeue or deadline fallback) carries that job's tag and
+    // must not be consumed by this coordinator.
+    if (ev->env.seq != static_cast<std::uint64_t>(p.job_id)) continue;
     const scp::Message msg = ev->env.to_message();
     switch (msg.type) {
       case core::kRequestWork:

@@ -38,18 +38,22 @@ TEST(MessagesTest, ScreenResultRoundTrip) {
 
 TEST(MessagesTest, CovShardRoundTrip) {
   CovShardMsg msg;
+  msg.shard_index = 5;
   msg.shard_count = 17;
   msg.vectors = {1.0f};
   msg.mean = {0.25, 0.75};
   const CovShardMsg back = CovShardMsg::decode(msg.encode(64));
+  EXPECT_EQ(back.shard_index, 5u);
   EXPECT_EQ(back.shard_count, 17u);
   EXPECT_EQ(back.mean, msg.mean);
 }
 
 TEST(MessagesTest, CovSumRoundTrip) {
   CovSumMsg msg;
+  msg.shard_index = 9;
   msg.accumulator = {1, 2, 3, 255};
   const CovSumMsg back = CovSumMsg::decode(msg.encode(0));
+  EXPECT_EQ(back.shard_index, 9u);
   EXPECT_EQ(back.accumulator, msg.accumulator);
 }
 

@@ -84,10 +84,24 @@ TEST(RemoteExecTest, MatchesSimOracleAndSharedMemoryBitExact) {
   pool.stop();
 }
 
+scp::WireEnvelope app_frame(std::uint64_t job_tag, std::uint32_t msg_type,
+                            std::vector<std::uint8_t> payload = {}) {
+  scp::WireEnvelope env;
+  env.kind = scp::FrameKind::kApp;
+  env.seq = job_tag;
+  env.msg_type = msg_type;
+  env.payload = std::move(payload);
+  return env;
+}
+
 /// A worker that follows the protocol until it has screened `die_after`
 /// tiles, then drops the connection without a goodbye — a process crash as
-/// the coordinator sees it.
-void crashy_worker(int fd, int die_after) {
+/// the coordinator sees it. With `hostile`, it first injects the frames a
+/// buggy or malicious peer could produce: out-of-range tile indices, a
+/// colour tile tagged with another job's id, and unsolicited CovSums. All
+/// must be dropped without corrupting the job.
+void crashy_worker(int fd, int die_after, int total_tiles = 0,
+                   bool hostile = false) {
   net::SocketClient client;
   client.adopt(fd);
   scp::WireEnvelope hello;
@@ -102,28 +116,63 @@ void crashy_worker(int fd, int die_after) {
     const scp::WireEnvelope env = scp::WireEnvelope::decode(frame);
     if (env.kind == scp::FrameKind::kJobStart) {
       job = scp::JobStartBody::decode(env.payload);
-      scp::WireEnvelope req;
-      req.kind = scp::FrameKind::kApp;
-      req.msg_type = core::kRequestWork;
-      ASSERT_TRUE(client.send_frame(req.encode()));
+      const auto tag = static_cast<std::uint64_t>(job.job_id);
+      if (hostile) {
+        // Screen result for a tile index far past the job's tile count.
+        core::ScreenResultMsg oob;
+        oob.tile = {999, 0, 1, job.width, job.bands};
+        oob.vectors.assign(static_cast<std::size_t>(job.bands), 0.5f);
+        oob.unique_count = 1;
+        ASSERT_TRUE(client.send_frame(
+            app_frame(tag, core::kScreenResult, oob.encode(0).payload)
+                .encode()));
+        // Colour tiles with out-of-range indices, correctly tagged.
+        for (const int idx : {-3, 999}) {
+          core::ColorTileMsg oob_color;
+          oob_color.tile = {idx, 0, 1, job.width, job.bands};
+          oob_color.rgb.assign(static_cast<std::size_t>(job.width) * 3, 0xAB);
+          ASSERT_TRUE(client.send_frame(
+              app_frame(tag, core::kColorTile, oob_color.encode(0).payload)
+                  .encode()));
+        }
+        // A colour tile with plausible geometry for tile 0 but another
+        // job's tag — garbage pixels that must never reach the composite.
+        const auto tiles = hsi::partition_rows(
+            {job.width, job.height, job.bands}, total_tiles);
+        core::ColorTileMsg stale;
+        stale.tile = core::WireTile::from(tiles[0]);
+        stale.rgb.assign(static_cast<std::size_t>(tiles[0].pixels()) * 3,
+                         0xAB);
+        ASSERT_TRUE(client.send_frame(
+            app_frame(tag + 1000, core::kColorTile, stale.encode(0).payload)
+                .encode()));
+        // Unsolicited covariance sums: one in range, one far out.
+        for (const std::uint64_t s : {std::uint64_t{0}, std::uint64_t{999}}) {
+          core::CovSumMsg bogus;
+          bogus.shard_index = s;
+          bogus.accumulator = {1, 2, 3};
+          ASSERT_TRUE(client.send_frame(
+              app_frame(tag, core::kCovSum, bogus.encode(0).payload)
+                  .encode()));
+        }
+      }
+      ASSERT_TRUE(
+          client.send_frame(app_frame(tag, core::kRequestWork).encode()));
       continue;
     }
     if (env.kind != scp::FrameKind::kApp) continue;
+    const auto tag = static_cast<std::uint64_t>(job.job_id);
     const scp::Message msg = env.to_message();
     if (msg.type != core::kTileAssign) continue;
     const core::TileAssignMsg assign = core::TileAssignMsg::decode(msg);
     const core::ScreenResultMsg result = core::screen_shard(
         assign.tile, assign.data.data(), job.screening_threshold);
-    scp::WireEnvelope out;
-    out.kind = scp::FrameKind::kApp;
-    out.msg_type = core::kScreenResult;
-    out.payload = result.encode(0).payload;
-    ASSERT_TRUE(client.send_frame(out.encode()));
+    ASSERT_TRUE(client.send_frame(
+        app_frame(tag, core::kScreenResult, result.encode(0).payload)
+            .encode()));
     if (++screened >= die_after) break;  // crash: no goodbye, no colour
-    scp::WireEnvelope req;
-    req.kind = scp::FrameKind::kApp;
-    req.msg_type = core::kRequestWork;
-    ASSERT_TRUE(client.send_frame(req.encode()));
+    ASSERT_TRUE(
+        client.send_frame(app_frame(tag, core::kRequestWork).encode()));
   }
   client.close();
 }
@@ -139,7 +188,7 @@ TEST(RemoteExecTest, WorkerCrashMidJobRequeuesAndStillMatches) {
   int sv[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
   pool.adopt_fd(sv[0]);
-  std::thread crashy(crashy_worker, sv[1], /*die_after=*/1);
+  std::thread crashy([fd = sv[1]] { crashy_worker(fd, /*die_after=*/1); });
   ASSERT_EQ(pool.wait_for_workers(3, 10.0), 3);
 
   RemoteExecParams params;
@@ -163,6 +212,67 @@ TEST(RemoteExecTest, WorkerCrashMidJobRequeuesAndStillMatches) {
   pool.stop();
 }
 
+TEST(RemoteExecTest, HostileAndStaleFramesAreDroppedNotTrusted) {
+  const auto scene = test_scene();
+  const int total_tiles = 6;
+
+  cluster::RemoteWorkerPool pool;
+  pool.start(/*first_node_id=*/100);
+  pool.spawn_local_worker();
+  pool.spawn_local_worker();
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  pool.adopt_fd(sv[0]);
+  std::thread hostile([fd = sv[1]] {
+    crashy_worker(fd, /*die_after=*/1, /*total_tiles=*/6, /*hostile=*/true);
+  });
+  ASSERT_EQ(pool.wait_for_workers(3, 10.0), 3);
+
+  RemoteExecParams params;
+  params.cube = &scene.cube;
+  params.total_tiles = total_tiles;
+  params.job_id = 7;
+  const RemoteExecResult real =
+      execute_remote_job(pool, {0, 1, 2}, params);
+  hostile.join();
+  ASSERT_TRUE(real.completed);
+
+  // None of the injected frames may leave a trace: the composite must be
+  // the exact bytes of the clean reference run.
+  const core::PctResult ref = reference_result(scene, 3, total_tiles);
+  EXPECT_EQ(real.composite.data, ref.composite.data);
+  EXPECT_EQ(real.unique_set_size, ref.unique_set_size);
+
+  pool.stop();
+}
+
+TEST(RemoteExecTest, MalformedEnvelopeClosesSessionNotProcess) {
+  cluster::RemoteWorkerPool pool;
+  pool.start(/*first_node_id=*/100);
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  pool.adopt_fd(sv[0]);
+
+  net::SocketClient client;
+  client.adopt(sv[1]);
+  scp::WireEnvelope hello;
+  hello.kind = scp::FrameKind::kHello;
+  hello.payload = scp::HelloBody{}.encode();
+  ASSERT_TRUE(client.send_frame(hello.encode()));
+  ASSERT_EQ(pool.wait_for_workers(1, 10.0), 1);
+
+  // Well-framed but not a decodable envelope: the pool must close this
+  // session (not abort the poll thread, which serves every worker).
+  ASSERT_TRUE(client.send_frame({0xDE, 0xAD, 0xBE}));
+  const auto ev = pool.poll_event(10.0);
+  ASSERT_TRUE(ev.has_value());
+  EXPECT_EQ(ev->kind, cluster::RemoteWorkerPool::Event::Kind::kClosed);
+  EXPECT_EQ(ev->worker, 0);
+  EXPECT_FALSE(pool.alive(0));
+  client.close();
+  pool.stop();
+}
+
 TEST(RemoteExecTest, AllWorkersDeadReportsFailureForFallback) {
   const auto scene = test_scene(16, 8);
   cluster::RemoteWorkerPool pool;
@@ -170,7 +280,7 @@ TEST(RemoteExecTest, AllWorkersDeadReportsFailureForFallback) {
   int sv[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
   pool.adopt_fd(sv[0]);
-  std::thread crashy(crashy_worker, sv[1], /*die_after=*/1);
+  std::thread crashy([fd = sv[1]] { crashy_worker(fd, /*die_after=*/1); });
   ASSERT_EQ(pool.wait_for_workers(1, 10.0), 1);
 
   RemoteExecParams params;

@@ -192,6 +192,38 @@ TEST(WireEnvelopeTest, MalformedEnvelopeDies) {
                "unknown frame kind");
 }
 
+TEST(WireEnvelopeTest, TryDecodeRejectsMalformedWithoutDying) {
+  scp::WireEnvelope env;
+  env.kind = scp::FrameKind::kApp;
+  env.seq = 7;
+  env.payload = bytes_of({1, 2, 3, 4});
+  const auto wire = env.encode();
+
+  // A valid frame decodes to the same envelope the fatal path produces.
+  const auto ok = scp::WireEnvelope::try_decode(wire);
+  ASSERT_TRUE(ok.has_value());
+  EXPECT_EQ(ok->seq, 7u);
+  EXPECT_EQ(ok->payload, env.payload);
+
+  // Every malformation that kills decode() is a clean nullopt here: this
+  // is the entry point for frames from untrusted socket peers.
+  auto truncated = wire;
+  truncated.resize(truncated.size() - 2);
+  EXPECT_FALSE(scp::WireEnvelope::try_decode(truncated).has_value());
+
+  auto oversized = wire;
+  oversized.push_back(0);
+  EXPECT_FALSE(scp::WireEnvelope::try_decode(oversized).has_value());
+
+  auto bad_kind = wire;
+  bad_kind[0] = 0xEE;
+  EXPECT_FALSE(scp::WireEnvelope::try_decode(bad_kind).has_value());
+
+  EXPECT_FALSE(scp::WireEnvelope::try_decode({}).has_value());
+  EXPECT_FALSE(
+      scp::WireEnvelope::try_decode(bytes_of({1, 0, 0, 0})).has_value());
+}
+
 TEST(WireEnvelopeTest, WorkerPlaneBodiesRoundTripAndBoundsCheck) {
   scp::HelloBody hello;
   hello.protocol_version = 2;
