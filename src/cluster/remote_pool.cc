@@ -3,10 +3,12 @@
 #include <sys/socket.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
 #include "cluster/remote_worker.h"
+#include "obs/span_tracer.h"
 #include "support/check.h"
 #include "support/log.h"
 #include "support/serialize.h"
@@ -21,14 +23,119 @@ bool RemoteWorkerPool::listen_unix(const std::string& path) {
   return server_.listen_unix(path);
 }
 
+void RemoteWorkerPool::configure_supervision(const SupervisionConfig& config) {
+  RIF_CHECK_MSG(!started_, "configure_supervision after start");
+  sup_ = config;
+}
+
+void RemoteWorkerPool::install_faults(net::WireFaultPlan plan) {
+  RIF_CHECK_MSG(!started_, "install_faults after start");
+  faults_ =
+      std::make_unique<net::FaultInjectingTransport>(server_, std::move(plan));
+  // install_faults and bind_metrics may arrive in either order.
+  if (metrics_ != nullptr) {
+    faults_->bind_metrics(*metrics_, metrics_prefix_ + "faults.");
+  }
+}
+
+void RemoteWorkerPool::bind_metrics(runtime::MetricsRegistry& registry,
+                                    const std::string& prefix) {
+  RIF_CHECK_MSG(!started_, "bind_metrics after start");
+  metrics_ = &registry;
+  metrics_prefix_ = prefix;
+  if (faults_ != nullptr) {
+    faults_->bind_metrics(registry, prefix + "faults.");
+  }
+}
+
 void RemoteWorkerPool::start(NodeId first_node_id) {
   first_node_ = first_node_id;
   started_ = true;
-  server_.start(
-      [this](net::SessionId s, std::vector<std::uint8_t> f) {
-        on_frame(s, std::move(f));
-      },
-      [this](net::SessionId s) { on_closed(s); });
+  auto frame_cb = [this](net::SessionId s, std::vector<std::uint8_t> f) {
+    on_frame(s, std::move(f));
+  };
+  auto closed_cb = [this](net::SessionId s) { on_closed(s); };
+  if (faults_ != nullptr) {
+    faults_->start(std::move(frame_cb), std::move(closed_cb));
+  } else {
+    server_.start(std::move(frame_cb), std::move(closed_cb));
+  }
+  if (sup_.heartbeat_seconds > 0.0 || sup_.hung_timeout_seconds > 0.0) {
+    {
+      std::lock_guard lock(mu_);
+      sup_running_ = true;
+    }
+    sup_thread_ = std::thread([this] { supervision_loop(); });
+  }
+}
+
+bool RemoteWorkerPool::route_send(net::SessionId session,
+                                  const std::vector<std::uint8_t>& bytes) {
+  if (faults_ != nullptr) return faults_->send(session, bytes);
+  return server_.send(session, bytes);
+}
+
+void RemoteWorkerPool::supervision_loop() {
+  // Tick a few times per period so a deadline is never missed by more
+  // than a fraction of itself.
+  double tick = 0.05;
+  if (sup_.heartbeat_seconds > 0.0) {
+    tick = std::min(tick, sup_.heartbeat_seconds / 4.0);
+  }
+  if (sup_.hung_timeout_seconds > 0.0) {
+    tick = std::min(tick, sup_.hung_timeout_seconds / 4.0);
+  }
+  tick = std::max(tick, 0.002);
+
+  for (;;) {
+    std::vector<net::SessionId> evict;
+    std::vector<std::pair<net::SessionId, NodeId>> ping;
+    {
+      std::unique_lock lock(mu_);
+      sup_cv_.wait_for(lock, std::chrono::duration<double>(tick),
+                       [&] { return !sup_running_; });
+      if (!sup_running_) return;
+      const auto now = Clock::now();
+      for (Slot& s : slots_) {
+        if (!s.alive->load()) continue;
+        const double idle =
+            std::chrono::duration<double>(now - s.last_activity).count();
+        if (sup_.hung_timeout_seconds > 0.0 &&
+            idle >= sup_.hung_timeout_seconds) {
+          evict.push_back(s.session);
+        } else if (sup_.heartbeat_seconds > 0.0 &&
+                   idle >= sup_.heartbeat_seconds &&
+                   std::chrono::duration<double>(now - s.last_ping).count() >=
+                       sup_.heartbeat_seconds) {
+          s.last_ping = now;
+          ping.push_back({s.session, s.node});
+        }
+      }
+    }
+    for (const net::SessionId session : evict) {
+      evictions_.fetch_add(1);
+      if (metrics_ != nullptr) {
+        metrics_->counter(metrics_prefix_ + "evictions").add(1);
+      }
+      RIF_TRACE_INSTANT("remote.evict");
+      RIF_LOG_WARN("remote", "evicting hung worker on session "
+                                 << session << " (silent past "
+                                 << sup_.hung_timeout_seconds << "s)");
+      // abort, not close: a hung peer may have stopped reading, and a
+      // graceful drain would then never finish.
+      server_.abort_session(session);
+    }
+    scp::WireEnvelope env;
+    env.kind = scp::FrameKind::kPing;
+    for (const auto& [session, node] : ping) {
+      env.dst_node = node;
+      pings_.fetch_add(1);
+      if (metrics_ != nullptr) {
+        metrics_->counter(metrics_prefix_ + "pings").add(1);
+      }
+      route_send(session, env.encode());
+    }
+  }
 }
 
 void RemoteWorkerPool::spawn_local_worker() {
@@ -69,6 +176,9 @@ void RemoteWorkerPool::on_frame(net::SessionId session,
   if (!decoded) {
     RIF_LOG_WARN("remote", "malformed envelope on session " << session
                                                             << "; closing");
+    if (metrics_ != nullptr) {
+      metrics_->counter(metrics_prefix_ + "malformed").add(1);
+    }
     server_.close_session(session);
     return;
   }
@@ -83,6 +193,8 @@ void RemoteWorkerPool::on_frame(net::SessionId session,
     slot.session = session;
     slot.node = first_node_ + worker;
     slot.alive = std::make_unique<std::atomic<bool>>(true);
+    slot.last_activity = Clock::now();
+    slot.last_ping = slot.last_activity;
     by_session_[session] = worker;
     by_node_[slot.node] = worker;
     scp::WireEnvelope welcome;
@@ -94,9 +206,21 @@ void RemoteWorkerPool::on_frame(net::SessionId session,
     const NodeId node = slot.node;
     slots_.push_back(std::move(slot));
     lock.unlock();
-    server_.send(session, welcome.encode());
+    route_send(session, welcome.encode());
     RIF_LOG_INFO("remote", "worker " << worker << " leased node " << node);
     cv_.notify_all();
+    return;
+  }
+  // Any decoded frame proves the worker is alive.
+  slots_[static_cast<std::size_t>(it->second)].last_activity = Clock::now();
+  if (env.kind == scp::FrameKind::kPong) {
+    // Liveness echo: refreshed the stamp above, never reaches the
+    // coordinator — a pong mid-job must not look like protocol traffic.
+    pongs_.fetch_add(1);
+    lock.unlock();
+    if (metrics_ != nullptr) {
+      metrics_->counter(metrics_prefix_ + "pongs").add(1);
+    }
     return;
   }
   events_.push_back(Event{Event::Kind::kFrame, it->second, env});
@@ -111,10 +235,24 @@ void RemoteWorkerPool::on_closed(net::SessionId session) {
   const int worker = it->second;
   // Only an UNEXPECTED closure counts as a disconnect — shutdown_workers
   // marks sessions dead before closing them.
-  if (slots_[worker].alive->exchange(false)) disconnects_.fetch_add(1);
+  if (slots_[worker].alive->exchange(false)) {
+    disconnects_.fetch_add(1);
+    if (metrics_ != nullptr) {
+      metrics_->counter(metrics_prefix_ + "disconnects").add(1);
+    }
+  }
   events_.push_back(Event{Event::Kind::kClosed, worker, {}});
   lock.unlock();
   cv_.notify_all();
+}
+
+double RemoteWorkerPool::seconds_since_activity(int worker) const {
+  std::lock_guard lock(mu_);
+  if (worker < 0 || worker >= static_cast<int>(slots_.size())) return -1.0;
+  return std::chrono::duration<double>(
+             Clock::now() - slots_[static_cast<std::size_t>(worker)]
+                                .last_activity)
+      .count();
 }
 
 int RemoteWorkerPool::wait_for_workers(int n, double timeout_seconds) {
@@ -163,7 +301,7 @@ bool RemoteWorkerPool::send(int worker, const scp::WireEnvelope& env) {
     if (!slots_[worker].alive->load()) return false;
     session = slots_[worker].session;
   }
-  return server_.send(session, env.encode());
+  return route_send(session, env.encode());
 }
 
 std::optional<RemoteWorkerPool::Event> RemoteWorkerPool::poll_event(
@@ -196,6 +334,12 @@ void RemoteWorkerPool::shutdown_workers() {
 
 void RemoteWorkerPool::stop() {
   if (!started_) return;
+  {
+    std::lock_guard lock(mu_);
+    sup_running_ = false;
+  }
+  sup_cv_.notify_all();
+  if (sup_thread_.joinable()) sup_thread_.join();
   shutdown_workers();
   server_.stop();
   for (std::thread& t : local_threads_) {

@@ -4,9 +4,28 @@
 // coordinator drains synchronously. Liveness is tracked with atomics so the
 // scheduler's placement filter can consult it without touching the poll
 // thread's locks.
+//
+// Liveness supervision (opt-in via configure_supervision): every decoded
+// frame from a worker refreshes its last-activity stamp; a worker idle past
+// the heartbeat period is sent kPing (the serve loop answers kPong, which
+// refreshes the stamp and is swallowed here — the coordinator never sees
+// it); a worker silent past the hung timeout is EVICTED — its session is
+// aborted, which fires the same on_closed path as a real disconnect, so the
+// coordinator's requeue machinery handles a hang exactly like a crash. The
+// distinction survives in the counters: evictions() counts workers we gave
+// up on, disconnects() counts every unexpected closure (evictions
+// included). A hung timeout must exceed the longest single shard
+// computation — a worker crunching a covariance shard reads no pings until
+// it finishes.
+//
+// Chaos testing (opt-in via install_faults): a net::FaultInjectingTransport
+// is interposed at the frame boundary, so every scripted drop / delay /
+// corruption / partition / kill exercises the exact supervision and
+// requeue paths above.
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -18,10 +37,22 @@
 #include <thread>
 #include <vector>
 
+#include "net/fault_injection.h"
 #include "net/socket_transport.h"
+#include "runtime/metrics.h"
 #include "scp/wire.h"
 
 namespace rif::cluster {
+
+/// Liveness knobs. Zeros disable the corresponding behaviour; with both
+/// zero no supervision thread runs at all (the seed's behaviour).
+struct SupervisionConfig {
+  /// Ping a worker that has been silent this long (seconds). 0 = no pings.
+  double heartbeat_seconds = 0.0;
+  /// Evict a worker silent this long (seconds). 0 = never evict. Must
+  /// comfortably exceed the heartbeat period AND the longest shard compute.
+  double hung_timeout_seconds = 0.0;
+};
 
 class RemoteWorkerPool {
  public:
@@ -46,6 +77,20 @@ class RemoteWorkerPool {
   /// `first_node_id`, `first_node_id + 1`, ... in connection order.
   void start(NodeId first_node_id);
 
+  /// Enable heartbeat/eviction supervision. Call before start().
+  void configure_supervision(const SupervisionConfig& config);
+
+  /// Interpose a fault-injection layer at the frame boundary (chaos
+  /// tests). Call before start(); the plan is fixed for the pool's life.
+  void install_faults(net::WireFaultPlan plan);
+
+  /// Publish supervision counters (`<prefix>pings`, `<prefix>pongs`,
+  /// `<prefix>evictions`, `<prefix>disconnects`, `<prefix>malformed`) and,
+  /// when faults are installed, the fault layer's counters under
+  /// `<prefix>faults.`. Call before start().
+  void bind_metrics(runtime::MetricsRegistry& registry,
+                    const std::string& prefix = "remote.");
+
   /// Spawn an in-process worker over a socketpair (tests, local fallback
   /// capacity). Runs serve_remote_worker() on its own thread.
   void spawn_local_worker();
@@ -69,6 +114,12 @@ class RemoteWorkerPool {
   [[nodiscard]] NodeId node_of(int worker) const;
   [[nodiscard]] int worker_of_node(NodeId node) const;
   [[nodiscard]] int disconnects() const { return disconnects_.load(); }
+  /// Workers evicted by supervision (a subset of disconnects()).
+  [[nodiscard]] int evictions() const { return evictions_.load(); }
+  [[nodiscard]] std::uint64_t pings_sent() const { return pings_.load(); }
+  [[nodiscard]] std::uint64_t pongs_received() const { return pongs_.load(); }
+  /// Seconds since the last decoded frame from `worker` (tests).
+  [[nodiscard]] double seconds_since_activity(int worker) const;
 
   /// Frame and queue one envelope to a worker. False if it is gone.
   bool send(int worker, const scp::WireEnvelope& env);
@@ -82,16 +133,26 @@ class RemoteWorkerPool {
   void stop();
 
  private:
+  using Clock = std::chrono::steady_clock;
+
   struct Slot {
     net::SessionId session = net::kNoSession;
     NodeId node = kNoNode;
     std::unique_ptr<std::atomic<bool>> alive;
+    Clock::time_point last_activity;  ///< last decoded frame (under mu_)
+    Clock::time_point last_ping;      ///< last kPing sent (under mu_)
   };
 
   void on_frame(net::SessionId session, std::vector<std::uint8_t> frame);
   void on_closed(net::SessionId session);
+  void supervision_loop();
+  /// Route one framed envelope to a session — through the fault layer
+  /// when one is installed.
+  bool route_send(net::SessionId session,
+                  const std::vector<std::uint8_t>& bytes);
 
   net::SocketServer server_;
+  std::unique_ptr<net::FaultInjectingTransport> faults_;
   mutable std::mutex mu_;
   std::condition_variable cv_;
   std::vector<Slot> slots_;                  ///< by worker index
@@ -100,8 +161,19 @@ class RemoteWorkerPool {
   std::deque<Event> events_;
   NodeId first_node_ = kNoNode;
   std::atomic<int> disconnects_{0};
+  std::atomic<int> evictions_{0};
+  std::atomic<std::uint64_t> pings_{0};
+  std::atomic<std::uint64_t> pongs_{0};
   std::vector<std::thread> local_threads_;
   bool started_ = false;
+
+  SupervisionConfig sup_;
+  std::thread sup_thread_;
+  std::condition_variable sup_cv_;
+  bool sup_running_ = false;  ///< under mu_
+
+  runtime::MetricsRegistry* metrics_ = nullptr;
+  std::string metrics_prefix_;
 };
 
 }  // namespace rif::cluster

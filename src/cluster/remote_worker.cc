@@ -55,11 +55,18 @@ struct WorkerState {
     return send_app(color.encode(0));
   }
 
+  /// Corrupt body on a well-formed envelope: the frame is garbage but the
+  /// stream is intact. Drop it — the coordinator's per-item deadline
+  /// re-sends whatever it was carrying. (Contrast with an undecodable
+  /// ENVELOPE, where framing itself can no longer be trusted and the serve
+  /// loop disconnects.)
   [[nodiscard]] bool on_app(const scp::WireEnvelope& env) {
     const scp::Message msg = env.to_message();
     switch (msg.type) {
       case core::kTileAssign: {
-        core::TileAssignMsg assign = core::TileAssignMsg::decode(msg);
+        auto decoded = core::TileAssignMsg::try_decode(msg);
+        if (!decoded) return true;
+        core::TileAssignMsg assign = std::move(*decoded);
         // Ask for the next tile before computing this one — same
         // overlap idiom as the sim WorkerActor.
         if (!request_work()) return false;
@@ -80,14 +87,17 @@ struct WorkerState {
       case core::kNoMoreTiles:
         return true;
       case core::kCovShard: {
-        core::CovShardMsg shard = core::CovShardMsg::decode(msg);
+        auto shard = core::CovShardMsg::try_decode(msg);
+        if (!shard) return true;
         RIF_TRACE_SPAN("remote.cov_shard_sum");
-        core::CovSumMsg sum = core::cov_shard_sum(shard, job->bands);
+        core::CovSumMsg sum = core::cov_shard_sum(*shard, job->bands);
         ++stats.shards_summed;
         return send_app(sum.encode(0));
       }
       case core::kTransform: {
-        transform = core::TransformMsg::decode(msg);
+        auto decoded = core::TransformMsg::try_decode(msg);
+        if (!decoded) return true;
+        transform = std::move(*decoded);
         for (auto& [index, held] : tiles) {
           if (!held.colored && !color_and_send(held)) return false;
         }
@@ -129,7 +139,9 @@ RemoteWorkerStats serve_remote_worker(net::SocketClient& client) {
         break;
       }
       case scp::FrameKind::kJobStart: {
-        st.job = scp::JobStartBody::decode(env.payload);
+        auto job = scp::JobStartBody::try_decode(env.payload);
+        if (!job) break;  // corrupt body: per-shard deadlines recover
+        st.job = *job;
         st.tiles.clear();
         st.transform.reset();
         ++st.stats.jobs;
@@ -148,6 +160,17 @@ RemoteWorkerStats serve_remote_worker(net::SocketClient& client) {
         st.tiles.clear();
         st.transform.reset();
         break;
+      case scp::FrameKind::kPing: {
+        // Answer even mid-job: the pool evicts workers that go silent, and
+        // an idle worker blocked in read_frame has nothing else to say.
+        scp::WireEnvelope pong;
+        pong.kind = scp::FrameKind::kPong;
+        pong.src_node = st.node;
+        pong.seq = env.seq;  // echo, so the pool could RTT-match if it cares
+        if (!client.send_frame(pong.encode())) return st.stats;
+        ++st.stats.pings_answered;
+        break;
+      }
       case scp::FrameKind::kGoodbye:
         st.stats.clean_exit = true;
         return st.stats;

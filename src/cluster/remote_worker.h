@@ -20,6 +20,7 @@ struct RemoteWorkerStats {
   std::uint64_t tiles_screened = 0;
   std::uint64_t shards_summed = 0;
   std::uint64_t tiles_colored = 0;
+  std::uint64_t pings_answered = 0;  ///< liveness probes echoed back
   bool clean_exit = false;  ///< true when the service said kGoodbye
 };
 

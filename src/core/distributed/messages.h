@@ -9,6 +9,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -58,13 +59,22 @@ struct TileAssignMsg {
     w.put_span(std::span<const float>(data));
     return {kTileAssign, std::move(w).take(), declared};
   }
-  static TileAssignMsg decode(const scp::Message& m) {
+  /// Non-aborting decode for payloads off the socket plane: nullopt on a
+  /// truncated, corrupt, or oversized body. decode() keeps the aborting
+  /// contract for the sim plane, whose payloads never leave the process.
+  static std::optional<TileAssignMsg> try_decode(const scp::Message& m) {
     Reader r(m.payload);
     TileAssignMsg out;
-    out.tile = r.get<WireTile>();
-    out.data = r.get_vector<float>();
-    RIF_CHECK_MSG(r.exhausted(), "oversized message");
+    if (!r.try_get(out.tile) || !r.try_get_vector(out.data) ||
+        !r.exhausted()) {
+      return std::nullopt;
+    }
     return out;
+  }
+  static TileAssignMsg decode(const scp::Message& m) {
+    auto out = try_decode(m);
+    RIF_CHECK_MSG(out.has_value(), "malformed TileAssignMsg");
+    return std::move(*out);
   }
 };
 
@@ -82,15 +92,20 @@ struct ScreenResultMsg {
     w.put_span(std::span<const float>(vectors));
     return {kScreenResult, std::move(w).take(), declared};
   }
-  static ScreenResultMsg decode(const scp::Message& m) {
+  static std::optional<ScreenResultMsg> try_decode(const scp::Message& m) {
     Reader r(m.payload);
     ScreenResultMsg out;
-    out.tile = r.get<WireTile>();
-    out.unique_count = r.get<std::uint64_t>();
-    out.comparisons = r.get<std::uint64_t>();
-    out.vectors = r.get_vector<float>();
-    RIF_CHECK_MSG(r.exhausted(), "oversized message");
+    if (!r.try_get(out.tile) || !r.try_get(out.unique_count) ||
+        !r.try_get(out.comparisons) || !r.try_get_vector(out.vectors) ||
+        !r.exhausted()) {
+      return std::nullopt;
+    }
     return out;
+  }
+  static ScreenResultMsg decode(const scp::Message& m) {
+    auto out = try_decode(m);
+    RIF_CHECK_MSG(out.has_value(), "malformed ScreenResultMsg");
+    return std::move(*out);
   }
 };
 
@@ -108,15 +123,20 @@ struct CovShardMsg {
     w.put_span(std::span<const double>(mean));
     return {kCovShard, std::move(w).take(), declared};
   }
-  static CovShardMsg decode(const scp::Message& m) {
+  static std::optional<CovShardMsg> try_decode(const scp::Message& m) {
     Reader r(m.payload);
     CovShardMsg out;
-    out.shard_index = r.get<std::uint64_t>();
-    out.shard_count = r.get<std::uint64_t>();
-    out.vectors = r.get_vector<float>();
-    out.mean = r.get_vector<double>();
-    RIF_CHECK_MSG(r.exhausted(), "oversized message");
+    if (!r.try_get(out.shard_index) || !r.try_get(out.shard_count) ||
+        !r.try_get_vector(out.vectors) || !r.try_get_vector(out.mean) ||
+        !r.exhausted()) {
+      return std::nullopt;
+    }
     return out;
+  }
+  static CovShardMsg decode(const scp::Message& m) {
+    auto out = try_decode(m);
+    RIF_CHECK_MSG(out.has_value(), "malformed CovShardMsg");
+    return std::move(*out);
   }
 };
 
@@ -132,13 +152,19 @@ struct CovSumMsg {
     w.put_span(std::span<const std::uint8_t>(accumulator));
     return {kCovSum, std::move(w).take(), declared};
   }
-  static CovSumMsg decode(const scp::Message& m) {
+  static std::optional<CovSumMsg> try_decode(const scp::Message& m) {
     Reader r(m.payload);
     CovSumMsg out;
-    out.shard_index = r.get<std::uint64_t>();
-    out.accumulator = r.get_vector<std::uint8_t>();
-    RIF_CHECK_MSG(r.exhausted(), "oversized message");
+    if (!r.try_get(out.shard_index) || !r.try_get_vector(out.accumulator) ||
+        !r.exhausted()) {
+      return std::nullopt;
+    }
     return out;
+  }
+  static CovSumMsg decode(const scp::Message& m) {
+    auto out = try_decode(m);
+    RIF_CHECK_MSG(out.has_value(), "malformed CovSumMsg");
+    return std::move(*out);
   }
 };
 
@@ -160,17 +186,21 @@ struct TransformMsg {
     w.put_span(std::span<const double>(scale_gain));
     return {kTransform, std::move(w).take(), declared};
   }
-  static TransformMsg decode(const scp::Message& m) {
+  static std::optional<TransformMsg> try_decode(const scp::Message& m) {
     Reader r(m.payload);
     TransformMsg out;
-    out.components = r.get<std::int32_t>();
-    out.bands = r.get<std::int32_t>();
-    out.matrix = r.get_vector<double>();
-    out.mean = r.get_vector<double>();
-    out.scale_mean = r.get_vector<double>();
-    out.scale_gain = r.get_vector<double>();
-    RIF_CHECK_MSG(r.exhausted(), "oversized message");
+    if (!r.try_get(out.components) || !r.try_get(out.bands) ||
+        !r.try_get_vector(out.matrix) || !r.try_get_vector(out.mean) ||
+        !r.try_get_vector(out.scale_mean) ||
+        !r.try_get_vector(out.scale_gain) || !r.exhausted()) {
+      return std::nullopt;
+    }
     return out;
+  }
+  static TransformMsg decode(const scp::Message& m) {
+    auto out = try_decode(m);
+    RIF_CHECK_MSG(out.has_value(), "malformed TransformMsg");
+    return std::move(*out);
   }
 };
 
@@ -184,13 +214,19 @@ struct ColorTileMsg {
     w.put_span(std::span<const std::uint8_t>(rgb));
     return {kColorTile, std::move(w).take(), declared};
   }
-  static ColorTileMsg decode(const scp::Message& m) {
+  static std::optional<ColorTileMsg> try_decode(const scp::Message& m) {
     Reader r(m.payload);
     ColorTileMsg out;
-    out.tile = r.get<WireTile>();
-    out.rgb = r.get_vector<std::uint8_t>();
-    RIF_CHECK_MSG(r.exhausted(), "oversized message");
+    if (!r.try_get(out.tile) || !r.try_get_vector(out.rgb) ||
+        !r.exhausted()) {
+      return std::nullopt;
+    }
     return out;
+  }
+  static ColorTileMsg decode(const scp::Message& m) {
+    auto out = try_decode(m);
+    RIF_CHECK_MSG(out.has_value(), "malformed ColorTileMsg");
+    return std::move(*out);
   }
 };
 

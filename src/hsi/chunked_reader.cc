@@ -68,8 +68,20 @@ ChunkedCubeReader::~ChunkedCubeReader() {
 
 bool ChunkedCubeReader::read_lines(int line0, int count,
                                    std::vector<float>& out) {
-  RIF_CHECK(file_ != nullptr);
-  RIF_CHECK(line0 >= 0 && count > 0 && line0 + count <= header_.lines);
+  // Soft failures, not RIF_CHECK aborts: this runs inside a service job,
+  // and a moved-from reader or an out-of-range request (e.g. a header that
+  // lied about its line count) must fail THAT job, not the whole process.
+  if (file_ == nullptr) {
+    RIF_LOG_WARN("chunked_reader", "read_lines on closed reader for "
+                                       << path_);
+    return false;
+  }
+  if (line0 < 0 || count <= 0 || line0 + count > header_.lines) {
+    RIF_LOG_WARN("chunked_reader", "read_lines range [" << line0 << ", "
+                                   << (line0 + count) << ") outside cube of "
+                                   << header_.lines << " lines: " << path_);
+    return false;
+  }
   const int W = header_.samples;
   const int B = header_.bands;
   const std::size_t line_floats = static_cast<std::size_t>(W) * B;

@@ -196,19 +196,29 @@ std::vector<std::uint8_t> CovarianceAccumulator::encode() const {
 
 CovarianceAccumulator CovarianceAccumulator::decode(
     const std::vector<std::uint8_t>& bytes) {
+  auto acc = try_decode(bytes);
+  RIF_CHECK_MSG(acc.has_value(), "malformed covariance accumulator");
+  return std::move(*acc);
+}
+
+std::optional<CovarianceAccumulator> CovarianceAccumulator::try_decode(
+    const std::vector<std::uint8_t>& bytes) {
   Reader r(bytes);
-  const auto dims = r.get<std::int32_t>();
-  const auto count = r.get<std::uint64_t>();
-  auto mean = r.get_vector<double>();
-  auto upper = r.get_vector<double>();
+  std::int32_t dims = 0;
+  std::uint64_t count = 0;
+  std::vector<double> mean;
+  std::vector<double> upper;
+  if (!r.try_get(dims) || !r.try_get(count) || !r.try_get_vector(mean) ||
+      !r.try_get_vector(upper) || !r.exhausted()) {
+    return std::nullopt;
+  }
   // Validate the wire payload BEFORE trusting it: a negative or mismatched
-  // dims field must trip a clean check, not size arithmetic on garbage.
-  RIF_CHECK_MSG(dims > 0, "covariance accumulator with non-positive dims");
-  RIF_CHECK_MSG(static_cast<std::size_t>(dims) == mean.size(),
-                "covariance accumulator dims/mean mismatch");
+  // dims field must fail cleanly, not drive size arithmetic on garbage.
+  if (dims <= 0 || static_cast<std::size_t>(dims) != mean.size()) {
+    return std::nullopt;
+  }
   CovarianceAccumulator acc(dims, std::move(mean));
-  RIF_CHECK_MSG(upper.size() == acc.upper_.size(),
-                "covariance accumulator dims/triangle mismatch");
+  if (upper.size() != acc.upper_.size()) return std::nullopt;
   acc.upper_ = std::move(upper);
   acc.count_ = count;
   return acc;

@@ -8,6 +8,7 @@
 #pragma once
 
 #include <cstdint>
+#include <optional>
 #include <span>
 #include <vector>
 
@@ -105,6 +106,9 @@ class CovarianceAccumulator {
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static CovarianceAccumulator decode(const std::vector<std::uint8_t>& bytes);
+  /// Non-aborting decode for payloads off the socket plane.
+  static std::optional<CovarianceAccumulator> try_decode(
+      const std::vector<std::uint8_t>& bytes);
 
   /// Flops charged per added pixel of dimension n (upper triangle MACs).
   static double flops_per_pixel(int n) { return 0.5 * n * (n + 3.0); }

@@ -127,6 +127,17 @@ void SocketServer::close_session(SessionId session) {
   wake();
 }
 
+void SocketServer::abort_session(SessionId session) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end()) return;
+    it->second.draining = true;
+    it->second.abort = true;
+  }
+  wake();
+}
+
 int SocketServer::session_count() const {
   std::lock_guard<std::mutex> lock(mu_);
   return static_cast<int>(sessions_.size());
@@ -177,7 +188,7 @@ void SocketServer::loop() {
       std::lock_guard<std::mutex> lock(mu_);
       for (auto& [id, s] : sessions_) {
         const bool pending = s.sent < s.outbound.size();
-        if (s.draining && !pending) {
+        if (s.abort || (s.draining && !pending)) {
           dead.push_back(id);
           continue;
         }

@@ -69,6 +69,13 @@ class SocketServer {
   /// then the fd is shut down and on_closed fires. Thread-safe.
   void close_session(SessionId session);
 
+  /// Immediate close: unsent outbound bytes are discarded and on_closed
+  /// fires without waiting for a drain. close_session() stalls forever on
+  /// a peer that stopped reading while our queue is non-empty — this is
+  /// the hammer liveness supervision (and kill-fault injection) needs.
+  /// Thread-safe.
+  void abort_session(SessionId session);
+
   /// Stop the loop: flush pending writes best-effort, close everything,
   /// join the thread. on_closed fires for every open session.
   void stop();
@@ -82,6 +89,7 @@ class SocketServer {
     std::vector<std::uint8_t> outbound;  ///< unsent framed bytes
     std::size_t sent = 0;                ///< prefix of outbound already sent
     bool draining = false;               ///< close once outbound empties
+    bool abort = false;                  ///< close now, discard outbound
   };
 
   void loop();
@@ -92,7 +100,6 @@ class SocketServer {
   mutable std::mutex mu_;
   std::map<SessionId, Session> sessions_;
   SessionId next_session_ = 1;
-  std::vector<SessionId> pending_close_;
   int listen_fd_ = -1;
   int wake_pipe_[2] = {-1, -1};
   std::uint16_t port_ = 0;

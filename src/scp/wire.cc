@@ -23,6 +23,19 @@ WireAddr get_addr(Reader& r) {
   return a;
 }
 
+/// FNV-1a over everything before the trailer. Not cryptographic — it exists
+/// to catch CORRUPTION (bit rot, a chaos-injected byte flip, a buggy
+/// middlebox), so a frame whose payload was damaged in flight is rejected
+/// as malformed instead of feeding garbage floats into a merge.
+std::uint64_t envelope_checksum(const std::uint8_t* data, std::size_t size) {
+  std::uint64_t h = 1469598103934665603ULL;
+  for (std::size_t i = 0; i < size; ++i) {
+    h ^= data[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
 }  // namespace
 
 std::vector<std::uint8_t> WireEnvelope::encode() const {
@@ -37,14 +50,19 @@ std::vector<std::uint8_t> WireEnvelope::encode() const {
   w.put(declared);
   w.put(flag);
   w.put_span(std::span<const std::uint8_t>(payload));
-  return std::move(w).take();
+  auto bytes = std::move(w).take();
+  const std::uint64_t sum = envelope_checksum(bytes.data(), bytes.size());
+  const auto* p = reinterpret_cast<const std::uint8_t*>(&sum);
+  bytes.insert(bytes.end(), p, p + sizeof(sum));
+  return bytes;
 }
 
 std::optional<WireEnvelope> WireEnvelope::try_decode(
     const std::vector<std::uint8_t>& bytes) {
   // Mirror of decode()'s fixed layout: everything before the payload has a
   // constant size, and the payload's length prefix must account for exactly
-  // the bytes that remain. Verifying that up front makes decode() safe.
+  // the bytes that remain before the checksum trailer. Verifying that up
+  // front — plus the checksum itself — makes decode() safe.
   constexpr std::size_t kAddrBytes =
       sizeof(ThreadId) + sizeof(std::int32_t) + sizeof(std::uint64_t);
   constexpr std::size_t kFixedBytes =
@@ -56,19 +74,28 @@ std::optional<WireEnvelope> WireEnvelope::try_decode(
       sizeof(std::uint64_t) +             // declared
       sizeof(std::uint32_t) +             // flag
       sizeof(std::uint64_t);              // payload length prefix
-  if (bytes.size() < kFixedBytes) return std::nullopt;
+  constexpr std::size_t kTrailerBytes = sizeof(std::uint64_t);  // checksum
+  if (bytes.size() < kFixedBytes + kTrailerBytes) return std::nullopt;
 
   std::uint32_t kind = 0;
   std::memcpy(&kind, bytes.data(), sizeof(kind));
   if (kind < static_cast<std::uint32_t>(FrameKind::kApp) ||
-      kind > static_cast<std::uint32_t>(FrameKind::kGoodbye)) {
+      kind > static_cast<std::uint32_t>(FrameKind::kPong)) {
     return std::nullopt;
   }
   std::uint64_t payload_len = 0;
   std::memcpy(&payload_len,
               bytes.data() + kFixedBytes - sizeof(payload_len),
               sizeof(payload_len));
-  if (payload_len != bytes.size() - kFixedBytes) return std::nullopt;
+  if (payload_len != bytes.size() - kFixedBytes - kTrailerBytes) {
+    return std::nullopt;
+  }
+  std::uint64_t sum = 0;
+  std::memcpy(&sum, bytes.data() + bytes.size() - kTrailerBytes,
+              sizeof(sum));
+  if (sum != envelope_checksum(bytes.data(), bytes.size() - kTrailerBytes)) {
+    return std::nullopt;
+  }
   return decode(bytes);
 }
 
@@ -77,7 +104,7 @@ WireEnvelope WireEnvelope::decode(const std::vector<std::uint8_t>& bytes) {
   WireEnvelope e;
   const auto kind = r.get<std::uint32_t>();
   RIF_CHECK_MSG(kind >= static_cast<std::uint32_t>(FrameKind::kApp) &&
-                    kind <= static_cast<std::uint32_t>(FrameKind::kGoodbye),
+                    kind <= static_cast<std::uint32_t>(FrameKind::kPong),
                 "unknown frame kind");
   e.kind = static_cast<FrameKind>(kind);
   e.src_node = r.get<cluster::NodeId>();
@@ -89,7 +116,11 @@ WireEnvelope WireEnvelope::decode(const std::vector<std::uint8_t>& bytes) {
   e.declared = r.get<std::uint64_t>();
   e.flag = r.get<std::uint32_t>();
   e.payload = r.get_vector<std::uint8_t>();
+  const auto sum = r.get<std::uint64_t>();
   RIF_CHECK_MSG(r.exhausted(), "oversized envelope");
+  RIF_CHECK_MSG(sum == envelope_checksum(bytes.data(),
+                                         bytes.size() - sizeof(sum)),
+                "corrupt envelope");
   return e;
 }
 
@@ -121,15 +152,20 @@ std::vector<std::uint8_t> JobStartBody::encode() const {
 }
 
 JobStartBody JobStartBody::decode(const std::vector<std::uint8_t>& bytes) {
+  auto b = try_decode(bytes);
+  RIF_CHECK_MSG(b.has_value(), "malformed job start");
+  return *b;
+}
+
+std::optional<JobStartBody> JobStartBody::try_decode(
+    const std::vector<std::uint8_t>& bytes) {
   Reader r(bytes);
   JobStartBody b;
-  b.job_id = r.get<std::int64_t>();
-  b.width = r.get<std::int32_t>();
-  b.height = r.get<std::int32_t>();
-  b.bands = r.get<std::int32_t>();
-  b.screening_threshold = r.get<double>();
-  b.output_components = r.get<std::int32_t>();
-  RIF_CHECK_MSG(r.exhausted(), "oversized job start");
+  if (!r.try_get(b.job_id) || !r.try_get(b.width) || !r.try_get(b.height) ||
+      !r.try_get(b.bands) || !r.try_get(b.screening_threshold) ||
+      !r.try_get(b.output_components) || !r.exhausted()) {
+    return std::nullopt;
+  }
   return b;
 }
 

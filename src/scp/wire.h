@@ -33,6 +33,11 @@ enum class FrameKind : std::uint32_t {
   kJobStart = 8,
   kJobEnd = 9,
   kGoodbye = 10,  ///< graceful close (either direction)
+  // Liveness supervision (worker plane). A worker that is computing will
+  // answer pings late — supervision timeouts must exceed the longest
+  // single shard, not the network round trip.
+  kPing = 11,  ///< service -> worker: prove you are alive
+  kPong = 12,  ///< worker -> service: echo; refreshes last-activity
 };
 
 /// Replica address: enough to route a frame to one shell and to drop it if
@@ -45,7 +50,9 @@ struct WireAddr {
 
 /// The one envelope every transport hop uses. Only the fields a kind needs
 /// are populated; encode() writes them all (fixed layout keeps the decoder
-/// trivial and the header cost constant).
+/// trivial and the header cost constant) and appends an FNV-1a checksum
+/// trailer, so a frame corrupted in flight — any byte, header or payload —
+/// is rejected at decode instead of smuggling garbage into a merge.
 struct WireEnvelope {
   FrameKind kind = FrameKind::kApp;
   cluster::NodeId src_node = cluster::kNoNode;
@@ -102,6 +109,9 @@ struct JobStartBody {
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
   static JobStartBody decode(const std::vector<std::uint8_t>& bytes);
+  /// Non-aborting decode for bodies off the socket plane.
+  static std::optional<JobStartBody> try_decode(
+      const std::vector<std::uint8_t>& bytes);
 };
 
 }  // namespace rif::scp

@@ -1,6 +1,8 @@
 #include "service/remote_exec.h"
 
 #include <algorithm>
+#include <cmath>
+#include <chrono>
 #include <deque>
 #include <map>
 #include <optional>
@@ -13,12 +15,15 @@
 #include "hsi/partition.h"
 #include "linalg/matrix.h"
 #include "linalg/stats.h"
+#include "obs/span_tracer.h"
 #include "scp/wire.h"
 #include "support/check.h"
 #include "support/log.h"
 
 namespace rif::service {
 namespace {
+
+using Clock = std::chrono::steady_clock;
 
 struct Coordinator {
   Coordinator(cluster::RemoteWorkerPool& pool_in, const RemoteExecParams& p_in)
@@ -52,6 +57,105 @@ struct Coordinator {
   std::map<int, std::deque<int>> outstanding;  ///< worker -> shard FIFO
   int shards_received = 0;
   std::optional<core::TransformMsg> transform;
+
+  // Per-item supervision. Every assigned-but-unanswered tile and every
+  // outstanding covariance shard carries its own deadline; there is no
+  // global silence clock for one chatty worker to reset on a hung one's
+  // behalf. attempts counts deadline EXPIRIES (disconnect requeues re-arm
+  // without charging the budget — a crash is not the new worker's fault).
+  struct Track {
+    Clock::time_point deadline;
+    int attempts = 0;
+    bool active = false;
+  };
+  std::vector<Track> tile_track;
+  std::vector<Track> shard_track;
+
+  void arm(Track& track) {
+    if (p.shard_deadline_seconds <= 0.0) return;
+    double d = p.shard_deadline_seconds;
+    for (int i = 0; i < track.attempts; ++i) d *= p.resend_backoff;
+    track.deadline =
+        Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                           std::chrono::duration<double>(d));
+    track.active = true;
+  }
+
+  /// Next live worker, preferring one other than `avoid`.
+  [[nodiscard]] int pick_other(int avoid) {
+    int v = live[static_cast<std::size_t>(rr++) % live.size()];
+    if (v == avoid && live.size() > 1) {
+      v = live[static_cast<std::size_t>(rr++) % live.size()];
+    }
+    return v;
+  }
+
+  /// Earliest active per-item deadline, or nullopt when nothing is armed.
+  [[nodiscard]] std::optional<Clock::time_point> next_deadline() const {
+    std::optional<Clock::time_point> next;
+    const auto consider = [&](const Track& t) {
+      if (t.active && (!next || t.deadline < *next)) next = t.deadline;
+    };
+    for (const Track& t : tile_track) consider(t);
+    for (const Track& t : shard_track) consider(t);
+    return next;
+  }
+
+  /// Re-send every overdue item; false when an item's budget ran out and
+  /// the job must fall back.
+  [[nodiscard]] bool check_deadlines() {
+    if (p.shard_deadline_seconds <= 0.0 || live.empty()) return true;
+    const auto now = Clock::now();
+    for (int t = 0; t < static_cast<int>(tile_track.size()); ++t) {
+      Track& track = tile_track[static_cast<std::size_t>(t)];
+      if (!track.active || now < track.deadline) continue;
+      if (++track.attempts > p.resend_limit) return give_up("tile", t);
+      const int v = pick_other(holder[t]);
+      ++out.tiles_resent;
+      if (p.metrics) p.metrics->counter("remote.tile_resends").add(1);
+      RIF_TRACE_INSTANT("remote.resend_tile");
+      RIF_LOG_WARN("remote", "job " << p.job_id << ": tile " << t
+                                    << " overdue (attempt " << track.attempts
+                                    << "); re-sending to worker " << v);
+      assign_tile(v, t);  // re-arms with the backed-off deadline
+    }
+    for (int s = 0; s < static_cast<int>(shard_track.size()); ++s) {
+      Track& track = shard_track[static_cast<std::size_t>(s)];
+      if (!track.active || now < track.deadline) continue;
+      if (++track.attempts > p.resend_limit) return give_up("shard", s);
+      // Move the shard from whichever worker holds it to a fresh one.
+      int owner = -1;
+      for (auto& [w, fifo] : outstanding) {
+        auto pos = std::find(fifo.begin(), fifo.end(), s);
+        if (pos != fifo.end()) {
+          fifo.erase(pos);
+          owner = w;
+          break;
+        }
+      }
+      const int v = pick_other(owner);
+      outstanding[v].push_back(s);
+      ++out.shards_resent;
+      if (p.metrics) p.metrics->counter("remote.shard_resends").add(1);
+      RIF_TRACE_INSTANT("remote.resend_shard");
+      RIF_LOG_WARN("remote", "job " << p.job_id << ": cov shard " << s
+                                    << " overdue (attempt " << track.attempts
+                                    << "); re-sending to worker " << v);
+      send_app(v, shard_msgs[static_cast<std::size_t>(s)].encode(0));
+      arm(track);
+    }
+    return true;
+  }
+
+  bool give_up(const char* what, int index) {
+    ++out.deadline_giveups;
+    if (p.metrics) p.metrics->counter("remote.deadline_giveups").add(1);
+    RIF_TRACE_INSTANT("remote.deadline_giveup");
+    RIF_LOG_WARN("remote", "job " << p.job_id << ": " << what << " " << index
+                                  << " exhausted its resend budget; falling "
+                                     "back to the host pool");
+    return false;
+  }
 
   [[nodiscard]] bool is_live(int w) const {
     return std::find(live.begin(), live.end(), w) != live.end();
@@ -89,6 +193,7 @@ struct Coordinator {
       assign.data.insert(assign.data.end(), v.begin(), v.end());
     }
     send_app(w, assign.encode(0));
+    arm(tile_track[static_cast<std::size_t>(t)]);
   }
 
   void on_request_work(int w) {
@@ -100,11 +205,34 @@ struct Coordinator {
   }
 
   void on_screen_result(int w, const scp::Message& msg) {
-    core::ScreenResultMsg result = core::ScreenResultMsg::decode(msg);
+    // Bodies off the wire are untrusted: a corrupt one is dropped (the
+    // per-item deadline re-sends the work), never decoded with aborts.
+    auto decoded = core::ScreenResultMsg::try_decode(msg);
+    if (!decoded) return;
+    core::ScreenResultMsg result = std::move(*decoded);
     // The index came off the wire: bound it before it touches any state.
     const int t = result.tile.index;
     if (t < 0 || t >= static_cast<int>(tiles.size())) return;
+    // So is the member array: from_flat would abort on a ragged length or
+    // a zero/non-finite member, and a peer that computed a valid checksum
+    // can still have produced garbage. Reject it while the tile can be
+    // re-screened elsewhere.
+    if (result.vectors.size() % static_cast<std::size_t>(bands) != 0) return;
+    for (const float v : result.vectors) {
+      if (!std::isfinite(v)) return;
+    }
+    for (std::size_t m = 0; m < result.vectors.size();
+         m += static_cast<std::size_t>(bands)) {
+      const auto* mem = result.vectors.data() + m;
+      if (std::all_of(mem, mem + bands, [](float v) { return v == 0.0f; })) {
+        return;
+      }
+    }
     holder[t] = w;
+    // Pre-transform, a screen result settles the tile's outstanding work
+    // (nothing more is owed until the transform broadcast re-arms it for
+    // colour). Post-transform the colour reply is still owed: stay armed.
+    if (!transform) tile_track[static_cast<std::size_t>(t)].active = false;
     if (merge_done[t] || pending.contains(t)) return;  // re-screened tile
     out.screen_comparisons += result.comparisons;
     pending.emplace(t, std::move(result));
@@ -141,6 +269,7 @@ struct Coordinator {
     const auto chunks = hsi::partition_range(unique_count, out.shards);
     shard_msgs.resize(static_cast<std::size_t>(out.shards));
     shard_acc.resize(static_cast<std::size_t>(out.shards));
+    shard_track.assign(static_cast<std::size_t>(out.shards), {});
     for (int s = 0; s < out.shards; ++s) {
       core::CovShardMsg& shard = shard_msgs[static_cast<std::size_t>(s)];
       shard.shard_index = static_cast<std::uint64_t>(s);
@@ -154,11 +283,17 @@ struct Coordinator {
       const int w = live[static_cast<std::size_t>(s) % live.size()];
       outstanding[w].push_back(s);
       send_app(w, shard.encode(0));
+      arm(shard_track[static_cast<std::size_t>(s)]);
     }
   }
 
   void on_cov_sum(int w, const scp::Message& msg) {
-    core::CovSumMsg sum = core::CovSumMsg::decode(msg);
+    auto decoded = core::CovSumMsg::try_decode(msg);
+    if (!decoded) return;
+    core::CovSumMsg sum = std::move(*decoded);
+    // The accumulator inside is wire bytes too: reject it here, while the
+    // shard can still be re-sent, not in the shard-order merge later.
+    if (!linalg::CovarianceAccumulator::try_decode(sum.accumulator)) return;
     // Pair the reply with its shard by the echoed index, never by FIFO
     // position: a stale or duplicate reply must not land in another
     // shard's slot (the sum was computed against a specific mean).
@@ -170,6 +305,7 @@ struct Coordinator {
     if (pos == it->second.end()) return;  // not this worker's shard: drop
     it->second.erase(pos);
     shard_acc[static_cast<std::size_t>(s)] = std::move(sum.accumulator);
+    shard_track[static_cast<std::size_t>(s)].active = false;
     if (++shards_received == out.shards) broadcast_transform();
   }
 
@@ -200,10 +336,17 @@ struct Coordinator {
     }
     transform = std::move(tm);
     for (const int w : live) send_app(w, transform->encode(0));
+    // Every uncoloured tile is outstanding again — its holder owes a
+    // colour reply now that the transform is out.
+    for (int t = 0; t < static_cast<int>(tiles.size()); ++t) {
+      if (!colored[t]) arm(tile_track[static_cast<std::size_t>(t)]);
+    }
   }
 
   void on_color_tile(const scp::Message& msg) {
-    core::ColorTileMsg color = core::ColorTileMsg::decode(msg);
+    auto decoded = core::ColorTileMsg::try_decode(msg);
+    if (!decoded) return;
+    core::ColorTileMsg color = std::move(*decoded);
     const int t = color.tile.index;
     if (t < 0 || t >= static_cast<int>(tiles.size())) return;
     if (colored[t]) return;  // duplicate from a re-screened tile
@@ -217,6 +360,7 @@ struct Coordinator {
     std::copy(color.rgb.begin(), color.rgb.end(),
               out.composite.data.begin() + dst);
     colored[t] = true;
+    tile_track[static_cast<std::size_t>(t)].active = false;
     ++colored_count;
   }
 
@@ -234,6 +378,9 @@ struct Coordinator {
         const int v = live[static_cast<std::size_t>(rr++) % live.size()];
         outstanding[v].push_back(s);
         send_app(v, shard_msgs[static_cast<std::size_t>(s)].encode(0));
+        // Fresh clock, same attempt count: a crash does not charge the
+        // item's resend budget.
+        arm(shard_track[static_cast<std::size_t>(s)]);
       }
       outstanding.erase(it);
     }
@@ -270,6 +417,7 @@ RemoteExecResult execute_remote_job(cluster::RemoteWorkerPool& pool,
   c.holder.assign(total, -1);
   c.merge_done.assign(total, false);
   c.colored.assign(total, false);
+  c.tile_track.assign(static_cast<std::size_t>(total), {});
   c.global.emplace(c.bands, p.screening_threshold);
   c.out.composite = hsi::RgbImage(shape.width, shape.height);
 
@@ -283,17 +431,35 @@ RemoteExecResult execute_remote_job(cluster::RemoteWorkerPool& pool,
     c.send_control(w, scp::FrameKind::kJobStart, body.encode());
   }
 
-  double silent = 0.0;
+  // The job deadline is a wall clock from job start — not a silence clock
+  // that activity resets, so a hung item is bounded by its OWN deadline
+  // (check_deadlines) however chatty the rest of the pool is.
+  const auto job_deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(p.deadline_seconds));
   while (c.colored_count < total) {
-    auto ev = c.pool.poll_event(p.poll_timeout_seconds);
+    const auto now = Clock::now();
+    if (now >= job_deadline) {
+      RIF_LOG_WARN("remote", "job " << p.job_id
+                                    << " hit its wall deadline; falling "
+                                       "back to the host pool");
+      return std::move(c.out);  // completed stays false: host fallback
+    }
+    if (!c.check_deadlines()) return std::move(c.out);  // budget exhausted
+    // Wake for whichever comes first: the poll cap, the job deadline, or
+    // the nearest per-item deadline.
+    double wait = std::min(
+        p.poll_timeout_seconds,
+        std::chrono::duration<double>(job_deadline - now).count());
+    if (const auto next = c.next_deadline()) {
+      wait = std::min(wait,
+                      std::chrono::duration<double>(*next - now).count());
+    }
+    auto ev = c.pool.poll_event(std::max(wait, 1e-3));
     if (!ev) {
-      silent += p.poll_timeout_seconds;
-      if (c.live.empty() || silent >= p.deadline_seconds) {
-        return std::move(c.out);  // completed stays false: host fallback
-      }
+      if (c.live.empty()) return std::move(c.out);
       continue;
     }
-    silent = 0.0;
     if (ev->kind == cluster::RemoteWorkerPool::Event::Kind::kClosed) {
       c.on_closed(ev->worker);
       if (c.live.empty()) return std::move(c.out);

@@ -10,8 +10,17 @@
 //
 // Fault handling: when a worker disconnects mid-job, every tile or
 // covariance shard it owned is re-queued onto the survivors and the job
-// completes without a restart. Determinism survives because the merge
-// orders are keyed by tile/shard index, never by which worker answered.
+// completes without a restart. A worker that HANGS (or whose replies a
+// degraded link eats) is caught by per-item deadlines: every assigned tile
+// and every outstanding covariance shard has its own clock, and an item
+// overdue is re-sent to a different live worker with an exponentially
+// backed-off deadline, up to `resend_limit` attempts — then the job gives
+// up and the caller falls back to the host pool. One chatty worker can no
+// longer keep another worker's stalled work alive, because no global
+// silence clock exists to reset. Determinism survives all of this because
+// the merge orders are keyed by tile/shard index, never by which worker
+// answered — a resent item computed twice lands in the same slot with the
+// same bytes.
 #pragma once
 
 #include <cstdint>
@@ -21,6 +30,7 @@
 #include "hsi/image_cube.h"
 #include "hsi/image_io.h"
 #include "linalg/jacobi_eig.h"
+#include "runtime/metrics.h"
 
 namespace rif::service {
 
@@ -31,11 +41,23 @@ struct RemoteExecParams {
   int output_components = 3;
   linalg::JacobiOptions jacobi;
   std::int64_t job_id = 0;
-  /// Per-poll wait; total idle time past this with no live worker fails.
+  /// Upper bound on one poll_event wait (the loop wakes sooner when a
+  /// per-item deadline is nearer).
   double poll_timeout_seconds = 2.0;
-  /// Give up (caller falls back to the host engine) after this much
-  /// cumulative silence.
+  /// Per-JOB wall deadline: give up (caller falls back to the host
+  /// engine) this long after the job starts, whatever else is happening.
   double deadline_seconds = 300.0;
+  /// Per-item clock: an assigned tile or outstanding covariance shard
+  /// unanswered this long is re-sent to another live worker. Grows by
+  /// `resend_backoff` per attempt. <= 0 disables per-item deadlines
+  /// (the job deadline still applies).
+  double shard_deadline_seconds = 10.0;
+  /// Re-send budget per item; exceeding it fails the job to host fallback.
+  int resend_limit = 3;
+  double resend_backoff = 2.0;
+  /// When set, resend/giveup counters are published here
+  /// (remote.tile_resends / remote.shard_resends / remote.deadline_giveups).
+  runtime::MetricsRegistry* metrics = nullptr;
 };
 
 struct RemoteExecResult {
@@ -48,6 +70,9 @@ struct RemoteExecResult {
   int shards = 0;             ///< fixed covariance shard count used
   int tiles_requeued = 0;     ///< tiles reassigned after a disconnect
   int worker_disconnects = 0;
+  int tiles_resent = 0;       ///< tiles re-sent after a per-item deadline
+  int shards_resent = 0;      ///< cov shards re-sent after a deadline
+  int deadline_giveups = 0;   ///< items whose resend budget ran out
 };
 
 /// Run one job over `workers` (pool indices). The shard count is fixed to

@@ -430,6 +430,15 @@ void FusionService::attach_remote_workers() {
   RIF_CHECK_MSG(exec_pool_ != nullptr,
                 "remote workers require execution_threads > 0 (host fallback)");
   remote_pool_ = std::make_unique<cluster::RemoteWorkerPool>();
+  remote_pool_->bind_metrics(metrics_, "remote.");
+  remote_pool_->configure_supervision(
+      {config_.remote_heartbeat_seconds, config_.remote_hung_timeout_seconds});
+  if (!config_.remote_faults.empty()) {
+    RIF_LOG_WARN("service", "wire fault injection ACTIVE on the remote plane ("
+                                << config_.remote_faults.script.size()
+                                << " scripted events)");
+    remote_pool_->install_faults(config_.remote_faults);
+  }
   // Remote node ids continue the cluster's numbering past the host pool.
   const cluster::NodeId first = config_.worker_nodes + 1;
   if (!config_.remote_spawn_local) {
@@ -543,6 +552,11 @@ bool FusionService::execute_remote(PendingJob& job) {
   params.output_components = req.output_components;
   params.jacobi = req.jacobi;
   params.job_id = job.record.id;
+  params.deadline_seconds = config_.remote_job_deadline_seconds;
+  params.shard_deadline_seconds = config_.remote_shard_deadline_seconds;
+  params.resend_limit = config_.remote_resend_limit;
+  params.resend_backoff = config_.remote_resend_backoff;
+  params.metrics = &metrics_;
   RemoteExecResult r = execute_remote_job(*remote_pool_, workers, params);
   job.record.remote_disconnects += r.worker_disconnects;
   if (!r.completed) {
@@ -845,6 +859,7 @@ ServiceReport FusionService::build_report() {
   report.remote_fallbacks = remote_fallbacks_;
   if (remote_pool_ != nullptr) {
     report.remote_disconnects = remote_pool_->disconnects();
+    report.remote_evictions = remote_pool_->evictions();
   }
   return report;
 }

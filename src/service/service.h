@@ -87,6 +87,7 @@
 #include "cluster/failure_injector.h"
 #include "cluster/lease.h"
 #include "cluster/remote_pool.h"
+#include "net/fault_injection.h"
 #include "core/distributed/fusion_job.h"
 #include "core/parallel/thread_pool.h"
 #include "net/network.h"
@@ -161,6 +162,27 @@ struct ServiceConfig {
   /// single-machine runs).
   bool remote_spawn_local = false;
   double remote_wait_seconds = 30.0;
+
+  /// Liveness supervision for the remote plane (cluster/remote_pool.h):
+  /// workers idle past the heartbeat get kPing, workers silent past the
+  /// hung timeout are evicted into the requeue path. Defaults keep a hung
+  /// worker from pinning a job while staying far above any realistic
+  /// shard compute time. Zeros disable.
+  double remote_heartbeat_seconds = 0.25;
+  double remote_hung_timeout_seconds = 5.0;
+  /// Per-item (tile / covariance shard) deadline, resend budget and
+  /// backoff for the remote coordinator (service/remote_exec.h).
+  double remote_shard_deadline_seconds = 10.0;
+  int remote_resend_limit = 3;
+  double remote_resend_backoff = 2.0;
+  /// Per-job wall deadline on the remote path before host fallback.
+  double remote_job_deadline_seconds = 300.0;
+
+  /// Wire-level chaos plan for the remote plane (tests / soak drills):
+  /// when non-empty it is installed as a net::FaultInjectingTransport
+  /// under the worker pool, and its counters appear in the service
+  /// registry under "remote.faults.".
+  net::WireFaultPlan remote_faults;
 
   /// Attack script against the shared cluster (virtual timeline).
   std::vector<cluster::FailureEvent> failures;
@@ -265,6 +287,7 @@ struct ServiceReport {
   int remote_jobs = 0;              ///< jobs executed over the socket path
   int remote_fallbacks = 0;         ///< remote jobs that fell back to host
   int remote_disconnects = 0;       ///< worker connections lost during run()
+  int remote_evictions = 0;         ///< hung workers evicted by supervision
 };
 
 class FusionService {

@@ -464,7 +464,15 @@ std::optional<StreamingResult> fuse_streaming(const std::string& cube_path,
   }
   result.screen_comparisons = screen_comparisons;
   result.unique_set_size = unique.size();
-  RIF_CHECK_MSG(unique.size() >= 3, "degenerate scene: unique set too small");
+  // A degenerate scene is a property of the INPUT, not a program bug: fail
+  // the job (caller sees nullopt and reports it) instead of aborting a
+  // service that may have other jobs in flight.
+  if (unique.size() < 3) {
+    RIF_LOG_WARN("stream", "degenerate scene in "
+                               << cube_path << ": unique set has "
+                               << unique.size() << " pixels (need >= 3)");
+    return std::nullopt;
+  }
   RIF_CHECK(total.has_value() && total->count() == unique.size());
 
   // --- barrier: statistics + eigen-solve -------------------------------------

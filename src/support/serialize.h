@@ -74,6 +74,17 @@ class Reader {
     return v;
   }
 
+  /// Non-aborting variant for payloads that crossed a trust boundary (the
+  /// socket plane): false on truncation, leaving `out` untouched.
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] bool try_get(T& out) {
+    if (sizeof(T) > remaining()) return false;
+    std::memcpy(&out, buf_.data() + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
   std::string get_string() {
     // Length first, then bound it by what is actually left: a hostile or
     // corrupt length must not index (or allocate) past the buffer.
@@ -93,9 +104,25 @@ class Reader {
     const auto n = get<std::uint64_t>();
     RIF_CHECK_MSG(n <= remaining() / sizeof(T), "truncated vector");
     std::vector<T> v(static_cast<std::size_t>(n));
-    std::memcpy(v.data(), buf_.data() + pos_, v.size() * sizeof(T));
+    if (!v.empty()) {
+      std::memcpy(v.data(), buf_.data() + pos_, v.size() * sizeof(T));
+    }
     pos_ += v.size() * sizeof(T);
     return v;
+  }
+
+  template <typename T>
+    requires std::is_trivially_copyable_v<T>
+  [[nodiscard]] bool try_get_vector(std::vector<T>& out) {
+    std::uint64_t n = 0;
+    if (!try_get(n)) return false;
+    if (n > remaining() / sizeof(T)) return false;
+    out.resize(static_cast<std::size_t>(n));
+    if (!out.empty()) {
+      std::memcpy(out.data(), buf_.data() + pos_, out.size() * sizeof(T));
+    }
+    pos_ += out.size() * sizeof(T);
+    return true;
   }
 
   [[nodiscard]] bool exhausted() const { return pos_ == buf_.size(); }

@@ -134,7 +134,7 @@ TEST(MalformedPayloadTest, NegativeCovarianceDimsDies) {
   w.put_vector(std::vector<double>{0.0, 0.0, 0.0, 0.0, 0.0, 0.0});
   auto bytes = std::move(w).take();
   EXPECT_DEATH((void)linalg::CovarianceAccumulator::decode(bytes),
-               "non-positive dims");
+               "malformed covariance accumulator");
 }
 
 TEST(MalformedPayloadTest, MismatchedCovarianceDimsDies) {
@@ -145,7 +145,7 @@ TEST(MalformedPayloadTest, MismatchedCovarianceDimsDies) {
   w.put_vector(std::vector<double>(10, 0.0));
   auto bytes = std::move(w).take();
   EXPECT_DEATH((void)linalg::CovarianceAccumulator::decode(bytes),
-               "dims/mean mismatch");
+               "malformed covariance accumulator");
 }
 
 TEST(MalformedPayloadTest, ShortCovarianceTriangleDies) {
@@ -156,7 +156,7 @@ TEST(MalformedPayloadTest, ShortCovarianceTriangleDies) {
   w.put_vector(std::vector<double>{0.0, 0.0});  // triangle needs 6
   auto bytes = std::move(w).take();
   EXPECT_DEATH((void)linalg::CovarianceAccumulator::decode(bytes),
-               "dims/triangle mismatch");
+               "malformed covariance accumulator");
 }
 
 TEST(MalformedPayloadTest, TruncatedStringDies) {
@@ -167,11 +167,12 @@ TEST(MalformedPayloadTest, TruncatedStringDies) {
   EXPECT_DEATH((void)r.get_string(), "truncated");
 }
 
-// Every protocol decoder must die on a clean bounds check for BOTH failure
-// directions: a payload cut short mid-field ("truncated") and trailing
-// garbage past the last field ("oversized") — bytes a real socket peer
-// could hand us. Exercised here for the six fusion messages; the envelope
-// and worker-plane body decoders get the same treatment in transport_test.
+// Every protocol decoder must die on a clean check for BOTH failure
+// directions: a payload cut short mid-field and trailing garbage past the
+// last field — bytes a real socket peer could hand us. The fatal decode()
+// wrappers report both as a malformed message (try_decode is the
+// non-aborting path the socket plane uses); the envelope and worker-plane
+// body decoders get the same treatment in transport_test.
 template <typename Msg, typename DecodeFn>
 void expect_decode_bounds_checked(const Msg& msg, DecodeFn decode) {
   const scp::Message wire = msg.encode(0);
@@ -179,11 +180,11 @@ void expect_decode_bounds_checked(const Msg& msg, DecodeFn decode) {
 
   scp::Message truncated = wire;
   truncated.payload.resize(truncated.payload.size() - 3);
-  EXPECT_DEATH((void)decode(truncated), "truncated");
+  EXPECT_DEATH((void)decode(truncated), "malformed");
 
   scp::Message oversized = wire;
   oversized.payload.push_back(0xAB);
-  EXPECT_DEATH((void)decode(oversized), "oversized");
+  EXPECT_DEATH((void)decode(oversized), "malformed");
 }
 
 TEST(MalformedPayloadTest, TileAssignBoundsChecked) {

@@ -100,14 +100,28 @@ scp::WireEnvelope app_frame(std::uint64_t job_tag, std::uint32_t msg_type,
 /// buggy or malicious peer could produce: out-of-range tile indices, a
 /// colour tile tagged with another job's id, and unsolicited CovSums. All
 /// must be dropped without corrupting the job.
+///
+/// Tiles are pull-based, so on a loaded machine the other workers can drain
+/// every tile before this thread is ever scheduled — and a crashy worker
+/// that never held a tile has nothing to crash with. `pre_request_job_id`
+/// sends a correctly-tagged kRequestWork right behind the hello, before the
+/// job even starts, so a tile assignment is waiting for it at job start.
+/// Running dry (kNoMoreTiles) is a crash trigger too, never a reason to
+/// keep reading forever.
 void crashy_worker(int fd, int die_after, int total_tiles = 0,
-                   bool hostile = false) {
+                   bool hostile = false, int pre_request_job_id = -1) {
   net::SocketClient client;
   client.adopt(fd);
   scp::WireEnvelope hello;
   hello.kind = scp::FrameKind::kHello;
   hello.payload = scp::HelloBody{}.encode();
   ASSERT_TRUE(client.send_frame(hello.encode()));
+  if (pre_request_job_id >= 0) {
+    ASSERT_TRUE(client.send_frame(
+        app_frame(static_cast<std::uint64_t>(pre_request_job_id),
+                  core::kRequestWork)
+            .encode()));
+  }
 
   scp::JobStartBody job;
   int screened = 0;
@@ -163,6 +177,7 @@ void crashy_worker(int fd, int die_after, int total_tiles = 0,
     if (env.kind != scp::FrameKind::kApp) continue;
     const auto tag = static_cast<std::uint64_t>(job.job_id);
     const scp::Message msg = env.to_message();
+    if (msg.type == core::kNoMoreTiles) break;  // starved: crash empty-handed
     if (msg.type != core::kTileAssign) continue;
     const core::TileAssignMsg assign = core::TileAssignMsg::decode(msg);
     const core::ScreenResultMsg result = core::screen_shard(
@@ -188,7 +203,10 @@ TEST(RemoteExecTest, WorkerCrashMidJobRequeuesAndStillMatches) {
   int sv[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
   pool.adopt_fd(sv[0]);
-  std::thread crashy([fd = sv[1]] { crashy_worker(fd, /*die_after=*/1); });
+  std::thread crashy([fd = sv[1]] {
+    crashy_worker(fd, /*die_after=*/1, /*total_tiles=*/0, /*hostile=*/false,
+                  /*pre_request_job_id=*/2);
+  });
   ASSERT_EQ(pool.wait_for_workers(3, 10.0), 3);
 
   RemoteExecParams params;
@@ -197,7 +215,6 @@ TEST(RemoteExecTest, WorkerCrashMidJobRequeuesAndStillMatches) {
   params.job_id = 2;
   const RemoteExecResult real =
       execute_remote_job(pool, {0, 1, 2}, params);
-  crashy.join();
   ASSERT_TRUE(real.completed);
   EXPECT_EQ(real.worker_disconnects, 1);
   EXPECT_GE(real.tiles_requeued, 1);
@@ -209,7 +226,8 @@ TEST(RemoteExecTest, WorkerCrashMidJobRequeuesAndStillMatches) {
   EXPECT_EQ(real.composite.data, ref.composite.data);
   EXPECT_EQ(real.unique_set_size, ref.unique_set_size);
 
-  pool.stop();
+  pool.stop();  // closes every session, so a blocked worker always unblocks
+  crashy.join();
 }
 
 TEST(RemoteExecTest, HostileAndStaleFramesAreDroppedNotTrusted) {
@@ -224,7 +242,8 @@ TEST(RemoteExecTest, HostileAndStaleFramesAreDroppedNotTrusted) {
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
   pool.adopt_fd(sv[0]);
   std::thread hostile([fd = sv[1]] {
-    crashy_worker(fd, /*die_after=*/1, /*total_tiles=*/6, /*hostile=*/true);
+    crashy_worker(fd, /*die_after=*/1, /*total_tiles=*/6, /*hostile=*/true,
+                  /*pre_request_job_id=*/7);
   });
   ASSERT_EQ(pool.wait_for_workers(3, 10.0), 3);
 
@@ -234,7 +253,6 @@ TEST(RemoteExecTest, HostileAndStaleFramesAreDroppedNotTrusted) {
   params.job_id = 7;
   const RemoteExecResult real =
       execute_remote_job(pool, {0, 1, 2}, params);
-  hostile.join();
   ASSERT_TRUE(real.completed);
 
   // None of the injected frames may leave a trace: the composite must be
@@ -244,6 +262,7 @@ TEST(RemoteExecTest, HostileAndStaleFramesAreDroppedNotTrusted) {
   EXPECT_EQ(real.unique_set_size, ref.unique_set_size);
 
   pool.stop();
+  hostile.join();
 }
 
 TEST(RemoteExecTest, MalformedEnvelopeClosesSessionNotProcess) {
@@ -289,9 +308,9 @@ TEST(RemoteExecTest, AllWorkersDeadReportsFailureForFallback) {
   params.poll_timeout_seconds = 0.2;
   params.deadline_seconds = 5.0;
   const RemoteExecResult real = execute_remote_job(pool, {0}, params);
-  crashy.join();
   EXPECT_FALSE(real.completed);  // caller falls back to the host engine
   pool.stop();
+  crashy.join();
 }
 
 }  // namespace

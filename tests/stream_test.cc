@@ -200,6 +200,35 @@ TEST(ChunkedReaderTest, RejectsSizeMismatchLikeLoadCube) {
   remove_cube(path);
 }
 
+TEST(ChunkedReaderTest, TruncationMidStreamFailsTheReadNotTheProcess) {
+  // A cube that passes open()'s size validation can still shrink while a
+  // job streams it (log rotation, a flaky mount, an overwrite). The reader
+  // must fail THAT read — the engine fails the job — never abort: this is
+  // runtime input, not a programming error.
+  // (Large enough that the lost tail is beyond any stdio read-ahead
+  // buffer, so the truncation is really observed by the next read.)
+  const auto scene = small_scene();  // 64 x 60 x 20 = 300 KiB on disk
+  const std::string path = save_scene(scene, "rif_stream_midtrunc.dat");
+  auto reader = hsi::ChunkedCubeReader::open(path);
+  ASSERT_TRUE(reader.has_value());
+
+  std::vector<float> chunk;
+  ASSERT_TRUE(reader->read_lines(0, 4, chunk));  // healthy first chunk
+
+  // The file loses its second half mid-stream.
+  fs::resize_file(path, hsi::expected_data_bytes(
+                            {64, 60, 20, hsi::Interleave::kBip, {}}) /
+                            2);
+  EXPECT_FALSE(reader->read_lines(40, 8, chunk));  // short read, clean false
+  EXPECT_TRUE(reader->read_lines(0, 4, chunk));    // surviving range still ok
+
+  // Out-of-range requests (a header that lied) fail the same soft way.
+  EXPECT_FALSE(reader->read_lines(-1, 2, chunk));
+  EXPECT_FALSE(reader->read_lines(0, 0, chunk));
+  EXPECT_FALSE(reader->read_lines(58, 4, chunk));
+  remove_cube(path);
+}
+
 // --- StreamingFusionEngine ---------------------------------------------------
 
 /// Chunk/tile geometry chosen so streamed tile boundaries equal
@@ -387,6 +416,29 @@ TEST(StreamingEngineTest, BadChunkGeometryFailsCleanly) {
   EXPECT_FALSE(run(8, 2).has_value());        // below the 3-buffer minimum
   EXPECT_FALSE(run(8, 1000).has_value());     // read-ahead = resident cube
   EXPECT_TRUE(run(8, 3).has_value());         // bounds are not over-eager
+  remove_cube(path);
+}
+
+TEST(StreamingEngineTest, DegenerateSceneFailsTheJobNotTheProcess) {
+  // A constant cube screens down to a single unique member — no basis for
+  // a principal-component transform. That is a property of the INPUT, so
+  // the run must return nullopt (the service fails the one job) instead of
+  // tripping the old RIF_CHECK abort.
+  hsi::ImageCube cube(16, 12, 4);
+  for (int y = 0; y < cube.height(); ++y) {
+    for (int x = 0; x < cube.width(); ++x) {
+      auto px = cube.pixel(x, y);
+      for (int b = 0; b < cube.bands(); ++b) {
+        px[b] = 1.0f + 0.1f * static_cast<float>(b);
+      }
+    }
+  }
+  const std::string path = temp_path("rif_stream_degenerate.dat");
+  ASSERT_TRUE(hsi::save_cube(path, cube));
+  core::ThreadPool pool(2);
+  stream::StreamingConfig cfg;
+  cfg.chunk_lines = 4;
+  EXPECT_FALSE(stream::fuse_streaming(path, pool, cfg).has_value());
   remove_cube(path);
 }
 

@@ -254,10 +254,10 @@ TEST(WireEnvelopeTest, WorkerPlaneBodiesRoundTripAndBoundsCheck) {
 
   auto short_job = job.encode();
   short_job.resize(short_job.size() - 1);
-  EXPECT_DEATH((void)scp::JobStartBody::decode(short_job), "truncated");
+  EXPECT_DEATH((void)scp::JobStartBody::decode(short_job), "malformed");
   auto long_job = job.encode();
   long_job.push_back(0);
-  EXPECT_DEATH((void)scp::JobStartBody::decode(long_job), "oversized");
+  EXPECT_DEATH((void)scp::JobStartBody::decode(long_job), "malformed");
 }
 
 // --- Live sockets -----------------------------------------------------------

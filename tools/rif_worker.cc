@@ -5,16 +5,31 @@
 // leases itself into the pool with kHello, executes shards with the same
 // kernels as the sim WorkerActor, and exits when the service says kGoodbye.
 //
+// Resilience: connect retries use exponential backoff with jitter (seeded
+// by pid, so a fleet launched together de-synchronises its retry storms
+// instead of hammering the listener in lockstep), and an UNEXPECTED
+// disconnect mid-protocol re-enters the connect loop — the worker re-leases
+// itself into a restarted pool with a fresh kHello rather than dying with
+// the old one. Only a clean kGoodbye, an exhausted attempt budget, or an
+// expired retry window end the process.
+//
 // Usage:
 //   rif_worker --tcp <host>:<port>        connect over loopback/LAN TCP
 //   rif_worker --unix <path>              connect over a Unix-domain socket
-//   [--retry-seconds <s>]                 keep retrying the connect for this
-//                                         long (default 10) — workers are
+//   [--retry-seconds <s>]                 per-connect-phase retry window
+//                                         (default 10) — workers are
 //                                         typically launched BEFORE the
 //                                         service binds its listener.
+//   [--max-attempts <n>]                  total connect-attempt budget
+//                                         across all phases (default 0 =
+//                                         bounded by --retry-seconds only)
+//   [--no-reconnect]                      exit 1 on unexpected disconnect
+//                                         instead of re-leasing
 //
 // Exit status: 0 on a clean kGoodbye shutdown, 1 on connect failure or an
-// unexpected disconnect mid-protocol.
+// unexpected disconnect with reconnection disabled/exhausted.
+
+#include <unistd.h>
 
 #include <chrono>
 #include <cstdint>
@@ -25,6 +40,7 @@
 #include <thread>
 
 #include "cluster/remote_worker.h"
+#include "net/backoff.h"
 #include "net/socket_transport.h"
 
 namespace {
@@ -32,54 +48,78 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--tcp <host>:<port> | --unix <path>) "
-               "[--retry-seconds <s>]\n",
+               "[--retry-seconds <s>] [--max-attempts <n>] [--no-reconnect]\n",
                argv0);
 }
 
-bool connect_with_retry(rif::net::SocketClient& client, bool use_tcp,
-                        const std::string& host, std::uint16_t port,
-                        const std::string& unix_path, double retry_seconds) {
+struct ConnectTarget {
+  bool use_tcp = false;
+  std::string host;
+  std::uint16_t port = 0;
+  std::string unix_path;
+};
+
+/// One connect phase: retry with backoff until connected, the window
+/// expires, or the shared attempt budget runs out. `attempts_used` is
+/// cumulative across phases so --max-attempts bounds the process, not
+/// each phase.
+bool connect_with_backoff(rif::net::SocketClient& client,
+                          const ConnectTarget& target, double retry_seconds,
+                          int max_attempts, int& attempts_used,
+                          rif::net::Backoff& backoff) {
   const auto deadline = std::chrono::steady_clock::now() +
                         std::chrono::duration<double>(retry_seconds);
+  backoff.reset();
   for (;;) {
-    const bool ok = use_tcp ? client.connect_tcp(host, port)
-                            : client.connect_unix(unix_path);
+    if (max_attempts > 0 && attempts_used >= max_attempts) return false;
+    ++attempts_used;
+    const bool ok = target.use_tcp
+                        ? client.connect_tcp(target.host, target.port)
+                        : client.connect_unix(target.unix_path);
     if (ok) return true;
-    if (std::chrono::steady_clock::now() >= deadline) return false;
-    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    const double delay = backoff.next_delay_seconds();
+    if (std::chrono::steady_clock::now() +
+            std::chrono::duration<double>(delay) >=
+        deadline) {
+      return false;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(delay));
   }
 }
 
 }  // namespace
 
 int main(int argc, char** argv) {
-  bool use_tcp = false;
+  ConnectTarget target;
   bool have_target = false;
-  std::string host;
-  std::uint16_t port = 0;
-  std::string unix_path;
   double retry_seconds = 10.0;
+  int max_attempts = 0;
+  bool reconnect = true;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg == "--tcp" && i + 1 < argc) {
-      const std::string target = argv[++i];
-      const std::size_t colon = target.rfind(':');
+      const std::string spec = argv[++i];
+      const std::size_t colon = spec.rfind(':');
       if (colon == std::string::npos) {
         usage(argv[0]);
         return 1;
       }
-      host = target.substr(0, colon);
-      port = static_cast<std::uint16_t>(
-          std::strtoul(target.c_str() + colon + 1, nullptr, 10));
-      use_tcp = true;
+      target.host = spec.substr(0, colon);
+      target.port = static_cast<std::uint16_t>(
+          std::strtoul(spec.c_str() + colon + 1, nullptr, 10));
+      target.use_tcp = true;
       have_target = true;
     } else if (arg == "--unix" && i + 1 < argc) {
-      unix_path = argv[++i];
-      use_tcp = false;
+      target.unix_path = argv[++i];
+      target.use_tcp = false;
       have_target = true;
     } else if (arg == "--retry-seconds" && i + 1 < argc) {
       retry_seconds = std::strtod(argv[++i], nullptr);
+    } else if (arg == "--max-attempts" && i + 1 < argc) {
+      max_attempts = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--no-reconnect") {
+      reconnect = false;
     } else {
       usage(argv[0]);
       return 1;
@@ -90,25 +130,47 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  rif::net::SocketClient client;
-  if (!connect_with_retry(client, use_tcp, host, port, unix_path,
-                          retry_seconds)) {
-    std::fprintf(stderr, "rif_worker: could not connect after %.1fs\n",
-                 retry_seconds);
-    return 1;
-  }
+  rif::net::BackoffConfig bcfg;
+  bcfg.seed = static_cast<std::uint64_t>(::getpid());
+  rif::net::Backoff backoff(bcfg);
+  int attempts_used = 0;
 
-  const rif::cluster::RemoteWorkerStats stats =
-      rif::cluster::serve_remote_worker(client);
-  client.close();
+  rif::cluster::RemoteWorkerStats total;
+  for (;;) {
+    rif::net::SocketClient client;
+    if (!connect_with_backoff(client, target, retry_seconds, max_attempts,
+                              attempts_used, backoff)) {
+      std::fprintf(stderr,
+                   "rif_worker: could not connect (%d attempts, %.1fs "
+                   "window)\n",
+                   attempts_used, retry_seconds);
+      return 1;
+    }
+    const rif::cluster::RemoteWorkerStats stats =
+        rif::cluster::serve_remote_worker(client);
+    client.close();
+    total.node = stats.node;
+    total.jobs += stats.jobs;
+    total.tiles_screened += stats.tiles_screened;
+    total.shards_summed += stats.shards_summed;
+    total.tiles_colored += stats.tiles_colored;
+    total.pings_answered += stats.pings_answered;
+    total.clean_exit = stats.clean_exit;
+    if (stats.clean_exit) break;
+    if (!reconnect) break;
+    if (max_attempts > 0 && attempts_used >= max_attempts) break;
+    std::fprintf(stderr,
+                 "rif_worker: connection lost mid-protocol; re-leasing\n");
+  }
 
   std::printf(
       "rif_worker node=%d jobs=%llu tiles_screened=%llu shards_summed=%llu "
-      "tiles_colored=%llu clean_exit=%d\n",
-      stats.node, static_cast<unsigned long long>(stats.jobs),
-      static_cast<unsigned long long>(stats.tiles_screened),
-      static_cast<unsigned long long>(stats.shards_summed),
-      static_cast<unsigned long long>(stats.tiles_colored),
-      stats.clean_exit ? 1 : 0);
-  return stats.clean_exit ? 0 : 1;
+      "tiles_colored=%llu pings_answered=%llu clean_exit=%d\n",
+      total.node, static_cast<unsigned long long>(total.jobs),
+      static_cast<unsigned long long>(total.tiles_screened),
+      static_cast<unsigned long long>(total.shards_summed),
+      static_cast<unsigned long long>(total.tiles_colored),
+      static_cast<unsigned long long>(total.pings_answered),
+      total.clean_exit ? 1 : 0);
+  return total.clean_exit ? 0 : 1;
 }
