@@ -22,11 +22,13 @@
 // BENCH_stream.json; `--smoke` shrinks the scene for CI.
 #include <algorithm>
 #include <chrono>
+#include <cmath>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <fstream>
+#include <map>
 #include <string>
 #include <vector>
 
@@ -35,6 +37,7 @@
 #include "hsi/scene.h"
 #include "linalg/kernels.h"
 #include "obs/chrome_trace.h"
+#include "obs/flamegraph.h"
 #include "obs/span_tracer.h"
 #include "obs/trace_check.h"
 #include "runtime/autotuner.h"
@@ -237,6 +240,7 @@ int main(int argc, char** argv) {
     scfg.host_memory_budget = job_demand * 2 + job_demand / 2;
     scfg.scrape_period_seconds = 0.005;
     scfg.metrics_timeline_path = "METRICS_timeline.json";
+    scfg.metrics_stream_path = "METRICS_stream.ndjson";
     service::FusionService svc(scfg);
     const char* tenants[3] = {"alpha", "beta", "gamma"};
     for (int i = 0; i < 3; ++i) {
@@ -314,12 +318,74 @@ int main(int argc, char** argv) {
     for (const auto& p : sreport.admission_pressure) {
       max_pressure = std::max(max_pressure, p.pressure);
     }
+
+    // The live NDJSON feed must have been written DURING the run (one
+    // parseable sample object per line, at least as many as the timeline
+    // floor) — this is the "tail the run in flight" artifact.
+    {
+      std::ifstream ndjson("METRICS_stream.ndjson");
+      std::size_t lines = 0;
+      for (std::string line; std::getline(ndjson, line);) {
+        if (line.empty()) continue;
+        obs::JsonValue sample;
+        std::string serr;
+        if (!obs::parse_json(line, sample, serr)) {
+          std::printf("METRICS_stream.ndjson line %zu invalid: %s\n",
+                      lines + 1, serr.c_str());
+          return 1;
+        }
+        ++lines;
+      }
+      if (lines < 3) {
+        std::printf("METRICS_stream.ndjson has %zu samples, need >= 3\n",
+                    lines);
+        return 1;
+      }
+    }
+
+    // Flamegraph: the fold must conserve time — each row's total must
+    // agree with the raw per-name span-duration sum within 1%.
+    if (sreport.flamegraph.rows.empty()) {
+      std::printf("service report carries no flamegraph\n");
+      return 1;
+    }
+    {
+      std::map<std::string, double> span_totals_us;
+      for (const obs::FlameSpan& s : obs::tracer_flame_spans(tracer)) {
+        span_totals_us[s.name] += s.dur_us;
+      }
+      for (const obs::FlameRow& row : sreport.flamegraph.rows) {
+        const double expect = span_totals_us[row.name];
+        const double tolerance = std::max(expect * 0.01, 1.0);
+        if (std::abs(row.total_us - expect) > tolerance) {
+          std::printf("flamegraph row \"%s\" total %.1fus disagrees with "
+                      "span sum %.1fus (>1%%)\n",
+                      row.name.c_str(), row.total_us, expect);
+          return 1;
+        }
+        if (row.self_us > row.total_us + 1e-6) {
+          std::printf("flamegraph row \"%s\" self %.1fus exceeds total "
+                      "%.1fus\n",
+                      row.name.c_str(), row.self_us, row.total_us);
+          return 1;
+        }
+      }
+    }
+    if (!obs::write_flamegraph("FLAME_stream.json", sreport.flamegraph)) {
+      std::printf("cannot write FLAME_stream.json\n");
+      return 1;
+    }
+
     std::printf(
         "  traced service run:       %7.1f ms  %d jobs, %zu trace events "
-        "(%zu spans), %zu scrape samples, peak pressure %.2f\n",
+        "(%zu spans), %zu scrape samples, peak pressure %.2f, "
+        "%zu flame rows\n",
         service_ms, sreport.jobs_completed, trace_check.events,
-        trace_check.spans, timeline_samples, max_pressure);
-    std::printf("wrote TRACE_stream.json\nwrote METRICS_timeline.json\n");
+        trace_check.spans, timeline_samples, max_pressure,
+        sreport.flamegraph.rows.size());
+    std::printf(
+        "wrote TRACE_stream.json\nwrote METRICS_timeline.json\n"
+        "wrote METRICS_stream.ndjson\nwrote FLAME_stream.json\n");
   }
 
   // Baseline: sequential load, then the in-memory fused engine.

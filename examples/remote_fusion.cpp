@@ -15,11 +15,16 @@
 
 #include <cstdio>
 #include <filesystem>
+#include <fstream>
 #include <string>
 #include <vector>
 
 #include "core/parallel/parallel_pct.h"
 #include "hsi/scene.h"
+#include "obs/flamegraph.h"
+#include "obs/remote_telemetry.h"
+#include "obs/span_tracer.h"
+#include "obs/trace_check.h"
 #include "service/service.h"
 
 using namespace rif;
@@ -44,6 +49,10 @@ int main(int argc, char** argv) {
   cfg.worker_nodes = 1;
   cfg.execution_threads = 2;
   cfg.remote_workers = 2;
+  // Telemetry-plane artifacts: a live NDJSON metrics feed during the run,
+  // plus (after the run) one unified trace and a flamegraph report.
+  cfg.scrape_period_seconds = 0.05;
+  cfg.metrics_stream_path = "METRICS_remote.ndjson";
 
   const std::string sock_path =
       (std::filesystem::temp_directory_path() /
@@ -73,6 +82,10 @@ int main(int argc, char** argv) {
     cfg.remote_spawn_local = true;
   }
 
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  tracer.clear();
+  tracer.set_enabled(true);
+
   service::FusionService service(cfg);
   service::JobRequest r;
   r.tenant = "edge";
@@ -88,6 +101,7 @@ int main(int argc, char** argv) {
   }
 
   const service::ServiceReport report = service.run();
+  tracer.set_enabled(false);
 
   // Reap the worker processes; a clean kGoodbye shutdown exits 0.
   bool workers_clean = true;
@@ -116,6 +130,128 @@ int main(int argc, char** argv) {
     std::printf("FAIL: job did not execute over the remote plane\n");
     return 1;
   }
+
+  // --- Distributed telemetry plane ---------------------------------------
+  // One unified trace: the coordinator's own wall/virtual lanes plus one
+  // clock-aligned pid lane per worker, validated by the in-repo checker.
+  const obs::RemoteTelemetryCollector* telemetry = service.remote_telemetry();
+  if (telemetry == nullptr || telemetry->spans() == 0) {
+    std::printf("FAIL: no remote telemetry collected (batches=%llu)\n",
+                telemetry == nullptr
+                    ? 0ULL
+                    : static_cast<unsigned long long>(telemetry->batches()));
+    return 1;
+  }
+  std::printf("telemetry: %llu batches, %llu spans, %llu rejected, "
+              "%llu duplicate flushes\n",
+              static_cast<unsigned long long>(telemetry->batches()),
+              static_cast<unsigned long long>(telemetry->spans()),
+              static_cast<unsigned long long>(telemetry->rejected()),
+              static_cast<unsigned long long>(telemetry->duplicates()));
+  if (!obs::write_unified_trace("TRACE_remote.json", tracer, *telemetry)) {
+    std::printf("FAIL: cannot write TRACE_remote.json\n");
+    return 1;
+  }
+  const obs::TraceCheckResult tc =
+      obs::check_chrome_trace_file("TRACE_remote.json");
+  if (!tc.ok) {
+    std::printf("FAIL: TRACE_remote.json invalid: %s\n", tc.error.c_str());
+    return 1;
+  }
+  // Coordinator wall lane + two worker lanes at minimum (the virtual lane
+  // appears too when the sim emitted spans).
+  if (tc.pids < 3) {
+    std::printf("FAIL: unified trace has %zu pid lanes, need >= 3\n", tc.pids);
+    return 1;
+  }
+  std::printf("TRACE_remote.json: %zu events, %zu pid lanes, valid\n",
+              tc.events, tc.pids);
+
+  // Every completed remote job must have its END-of-job telemetry from
+  // >= 1 worker (the service barriers on the flush carrying the whole-job
+  // span — a mid-job periodic batch alone is a half lane).
+  for (const service::JobRecord& jr : report.jobs) {
+    if (!jr.remote_executed) continue;
+    if (telemetry->nodes_with_job_end(jr.id).empty()) {
+      std::printf("FAIL: remote job %d completed with no worker spans\n",
+                  static_cast<int>(jr.id));
+      return 1;
+    }
+  }
+
+  // Clock alignment: every worker's whole-job span must land inside the
+  // coordinator's remote_execute span on the shared wall timeline. The
+  // slack absorbs the ping-echo estimate's error (same-machine: ~RTT/2).
+  const std::vector<obs::FlameSpan> host_spans = obs::tracer_flame_spans(tracer);
+  const std::vector<obs::FlameSpan> worker_spans =
+      telemetry->flame_spans(tracer.epoch_ns());
+  constexpr double kSlackUs = 2000.0;
+  int job_spans_checked = 0;
+  for (const obs::FlameSpan& ws : worker_spans) {
+    if (ws.name != "remote.job") continue;
+    bool nested = false;
+    for (const obs::FlameSpan& hs : host_spans) {
+      if (hs.name != "remote_execute") continue;
+      if (ws.ts_us >= hs.ts_us - kSlackUs &&
+          ws.ts_us + ws.dur_us <= hs.ts_us + hs.dur_us + kSlackUs) {
+        nested = true;
+        break;
+      }
+    }
+    if (!nested) {
+      std::printf("FAIL: worker remote.job span [%.0f, %.0f]us falls outside "
+                  "every coordinator remote_execute span\n",
+                  ws.ts_us, ws.ts_us + ws.dur_us);
+      return 1;
+    }
+    ++job_spans_checked;
+  }
+  if (job_spans_checked == 0) {
+    std::printf("FAIL: no remote.job spans in the worker lanes\n");
+    return 1;
+  }
+  std::printf("clock alignment: %d remote.job span(s) nested inside "
+              "remote_execute\n",
+              job_spans_checked);
+
+  // Flamegraph report: folded from the same spans the trace carries.
+  if (report.flamegraph.rows.empty() ||
+      report.flamegraph.find("remote.job") == nullptr) {
+    std::printf("FAIL: report flamegraph missing remote.job row\n");
+    return 1;
+  }
+  if (!obs::write_flamegraph("FLAME_remote.json", report.flamegraph)) {
+    std::printf("FAIL: cannot write FLAME_remote.json\n");
+    return 1;
+  }
+  std::printf("FLAME_remote.json: %zu rows\n", report.flamegraph.rows.size());
+
+  // Live metrics stream: every line is a standalone JSON sample, and the
+  // remote plane's per-node series appear once telemetry has merged.
+  std::ifstream stream_in("METRICS_remote.ndjson");
+  std::size_t stream_lines = 0;
+  bool saw_remote_series = false;
+  for (std::string line; std::getline(stream_in, line);) {
+    if (line.empty()) continue;
+    obs::JsonValue v;
+    std::string err;
+    if (!obs::parse_json(line, v, err)) {
+      std::printf("FAIL: METRICS_remote.ndjson line %zu invalid: %s\n",
+                  stream_lines + 1, err.c_str());
+      return 1;
+    }
+    if (line.find("remote.worker.") != std::string::npos) {
+      saw_remote_series = true;
+    }
+    ++stream_lines;
+  }
+  if (stream_lines == 0 || !saw_remote_series) {
+    std::printf("FAIL: METRICS_remote.ndjson has %zu lines, remote series %s\n",
+                stream_lines, saw_remote_series ? "present" : "MISSING");
+    return 1;
+  }
+  std::printf("METRICS_remote.ndjson: %zu samples, remote.worker.* present\n",
+              stream_lines);
 
   // Byte-identity oracle: the two-pass shared-memory engine with the same
   // shard count (live remote workers) and tile count (workers admitted *

@@ -48,6 +48,12 @@ void RemoteWorkerPool::bind_metrics(runtime::MetricsRegistry& registry,
   }
 }
 
+void RemoteWorkerPool::set_telemetry_sink(
+    std::function<void(NodeId, const scp::TelemetryBody&)> sink) {
+  RIF_CHECK_MSG(!started_, "set_telemetry_sink after start");
+  telemetry_sink_ = std::move(sink);
+}
+
 void RemoteWorkerPool::start(NodeId first_node_id) {
   first_node_ = first_node_id;
   started_ = true;
@@ -118,24 +124,48 @@ void RemoteWorkerPool::supervision_loop() {
         metrics_->counter(metrics_prefix_ + "evictions").add(1);
       }
       RIF_TRACE_INSTANT("remote.evict");
-      RIF_LOG_WARN("remote", "evicting hung worker on session "
-                                 << session << " (silent past "
-                                 << sup_.hung_timeout_seconds << "s)");
+      // Rate-limited: a chaos soak can evict in bursts, and the eviction
+      // counter already carries the exact tally.
+      RIF_LOG_EVERY(::rif::LogLevel::kWarn, "remote", 1.0,
+                    "evicting hung worker on session "
+                        << session << " (silent past "
+                        << sup_.hung_timeout_seconds << "s)");
       // abort, not close: a hung peer may have stopped reading, and a
       // graceful drain would then never finish.
       server_.abort_session(session);
     }
-    scp::WireEnvelope env;
-    env.kind = scp::FrameKind::kPing;
     for (const auto& [session, node] : ping) {
-      env.dst_node = node;
       pings_.fetch_add(1);
       if (metrics_ != nullptr) {
         metrics_->counter(metrics_prefix_ + "pings").add(1);
       }
-      route_send(session, env.encode());
+      send_timed_ping(session, node);
     }
   }
+}
+
+void RemoteWorkerPool::send_timed_ping(net::SessionId session, NodeId node) {
+  scp::WireEnvelope env;
+  env.kind = scp::FrameKind::kPing;
+  env.dst_node = node;
+  env.seq = ping_seq_.fetch_add(1) + 1;
+  const auto now_ns = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          Clock::now().time_since_epoch())
+          .count());
+  {
+    std::lock_guard lock(mu_);
+    const auto it = by_session_.find(session);
+    if (it != by_session_.end()) {
+      auto& pending =
+          slots_[static_cast<std::size_t>(it->second)].pending_pings;
+      pending[env.seq] = now_ns;
+      // Bound in-flight entries: a worker that never answers must not
+      // grow this map forever.
+      while (pending.size() > 32) pending.erase(pending.begin());
+    }
+  }
+  route_send(session, env.encode());
 }
 
 void RemoteWorkerPool::spawn_local_worker() {
@@ -174,8 +204,9 @@ void RemoteWorkerPool::on_frame(net::SessionId session,
   const std::optional<scp::WireEnvelope> decoded =
       scp::WireEnvelope::try_decode(frame);
   if (!decoded) {
-    RIF_LOG_WARN("remote", "malformed envelope on session " << session
-                                                            << "; closing");
+    RIF_LOG_EVERY(::rif::LogLevel::kWarn, "remote", 1.0,
+                  "malformed envelope on session " << session
+                                                   << "; closing");
     if (metrics_ != nullptr) {
       metrics_->counter(metrics_prefix_ + "malformed").add(1);
     }
@@ -207,25 +238,90 @@ void RemoteWorkerPool::on_frame(net::SessionId session,
     slots_.push_back(std::move(slot));
     lock.unlock();
     route_send(session, welcome.encode());
+    // Clock-alignment burst: a handful of seq-tagged pings right at lease
+    // time, so the median offset estimate exists before the first job's
+    // telemetry arrives (supervision pings keep refining it later).
+    for (int i = 0; i < 5; ++i) send_timed_ping(session, node);
     RIF_LOG_INFO("remote", "worker " << worker << " leased node " << node);
     cv_.notify_all();
     return;
   }
   // Any decoded frame proves the worker is alive.
-  slots_[static_cast<std::size_t>(it->second)].last_activity = Clock::now();
+  Slot& slot = slots_[static_cast<std::size_t>(it->second)];
+  slot.last_activity = Clock::now();
   if (env.kind == scp::FrameKind::kPong) {
     // Liveness echo: refreshed the stamp above, never reaches the
     // coordinator — a pong mid-job must not look like protocol traffic.
+    // A timestamped pong additionally yields one clock-offset sample:
+    // the worker's steady clock minus the midpoint of our send/receive
+    // stamps (the classic ping-echo estimate; the RTT bounds its error).
     pongs_.fetch_add(1);
+    const auto t0 = slot.pending_pings.find(env.seq);
+    if (t0 != slot.pending_pings.end() &&
+        env.payload.size() == sizeof(std::uint64_t)) {
+      rif::Reader r(env.payload);
+      std::uint64_t worker_ns = 0;
+      if (r.try_get(worker_ns) && r.exhausted()) {
+        const auto t1 = static_cast<std::uint64_t>(
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                slot.last_activity.time_since_epoch())
+                .count());
+        const std::uint64_t mid = t0->second + (t1 - t0->second) / 2;
+        slot.clock_offsets.push_back(static_cast<std::int64_t>(worker_ns) -
+                                     static_cast<std::int64_t>(mid));
+        if (slot.clock_offsets.size() > 128) {
+          slot.clock_offsets.erase(slot.clock_offsets.begin());
+        }
+      }
+      slot.pending_pings.erase(t0);
+    }
     lock.unlock();
     if (metrics_ != nullptr) {
       metrics_->counter(metrics_prefix_ + "pongs").add(1);
     }
     return;
   }
+  if (env.kind == scp::FrameKind::kTelemetry) {
+    // Telemetry bypasses the event queue: batches arrive between jobs too,
+    // when nothing drains events, and must never stall or stale-poison the
+    // protocol stream. Decode here (second trust boundary: the envelope
+    // was sound, the body may not be) and hand the batch to the sink.
+    const NodeId node = slot.node;
+    lock.unlock();
+    const std::optional<scp::TelemetryBody> body =
+        scp::TelemetryBody::try_decode(env.payload);
+    if (!body) {
+      telemetry_rejected_.fetch_add(1);
+      if (metrics_ != nullptr) {
+        metrics_->counter(metrics_prefix_ + "telemetry_rejected").add(1);
+      }
+      RIF_LOG_EVERY(::rif::LogLevel::kWarn, "remote", 1.0,
+                    "undecodable telemetry body from node "
+                        << node << "; batch dropped");
+      return;
+    }
+    telemetry_batches_.fetch_add(1);
+    if (metrics_ != nullptr) {
+      metrics_->counter(metrics_prefix_ + "telemetry_batches").add(1);
+    }
+    if (telemetry_sink_) telemetry_sink_(node, *body);
+    return;
+  }
   events_.push_back(Event{Event::Kind::kFrame, it->second, env});
   lock.unlock();
   cv_.notify_all();
+}
+
+std::int64_t RemoteWorkerPool::clock_offset_ns(NodeId node) const {
+  std::lock_guard lock(mu_);
+  const auto it = by_node_.find(node);
+  if (it == by_node_.end()) return 0;
+  const Slot& slot = slots_[static_cast<std::size_t>(it->second)];
+  if (slot.clock_offsets.empty()) return 0;
+  std::vector<std::int64_t> samples = slot.clock_offsets;
+  const std::size_t mid = samples.size() / 2;
+  std::nth_element(samples.begin(), samples.begin() + mid, samples.end());
+  return samples[static_cast<std::size_t>(mid)];
 }
 
 void RemoteWorkerPool::on_closed(net::SessionId session) {

@@ -29,6 +29,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <functional>
 #include <map>
 #include <memory>
 #include <mutex>
@@ -91,6 +92,15 @@ class RemoteWorkerPool {
   void bind_metrics(runtime::MetricsRegistry& registry,
                     const std::string& prefix = "remote.");
 
+  /// Receiver for decoded kTelemetry batches. Called on the poll thread,
+  /// outside the pool lock, with the sender's leased NodeId. Telemetry
+  /// never enters the event queue — it flows whether or not a job is
+  /// draining events. A batch whose BODY fails to decode is counted
+  /// (telemetry_rejected) and dropped with the session kept: degraded
+  /// telemetry must not kill a healthy compute session. Set before start().
+  void set_telemetry_sink(
+      std::function<void(NodeId, const scp::TelemetryBody&)> sink);
+
   /// Spawn an in-process worker over a socketpair (tests, local fallback
   /// capacity). Runs serve_remote_worker() on its own thread.
   void spawn_local_worker();
@@ -118,6 +128,18 @@ class RemoteWorkerPool {
   [[nodiscard]] int evictions() const { return evictions_.load(); }
   [[nodiscard]] std::uint64_t pings_sent() const { return pings_.load(); }
   [[nodiscard]] std::uint64_t pongs_received() const { return pongs_.load(); }
+  /// kTelemetry batches whose body decoded (handed to the sink) / didn't.
+  [[nodiscard]] std::uint64_t telemetry_batches() const {
+    return telemetry_batches_.load();
+  }
+  [[nodiscard]] std::uint64_t telemetry_rejected() const {
+    return telemetry_rejected_.load();
+  }
+  /// Ping-echo clock estimate for a leased node: median over the session's
+  /// samples of (worker steady ns − coordinator steady ns), so a worker
+  /// timestamp t maps onto the coordinator clock as t − offset. 0 until a
+  /// timestamped pong arrives (the same-machine truth).
+  [[nodiscard]] std::int64_t clock_offset_ns(NodeId node) const;
   /// Seconds since the last decoded frame from `worker` (tests).
   [[nodiscard]] double seconds_since_activity(int worker) const;
 
@@ -141,6 +163,11 @@ class RemoteWorkerPool {
     std::unique_ptr<std::atomic<bool>> alive;
     Clock::time_point last_activity;  ///< last decoded frame (under mu_)
     Clock::time_point last_ping;      ///< last kPing sent (under mu_)
+    /// In-flight seq-tagged pings: seq -> coordinator send stamp (ns).
+    /// Bounded; a pong that misses the window contributes no sample.
+    std::map<std::uint64_t, std::uint64_t> pending_pings;
+    /// Ping-echo offset samples (worker ns - coordinator midpoint ns).
+    std::vector<std::int64_t> clock_offsets;
   };
 
   void on_frame(net::SessionId session, std::vector<std::uint8_t> frame);
@@ -150,6 +177,9 @@ class RemoteWorkerPool {
   /// when one is installed.
   bool route_send(net::SessionId session,
                   const std::vector<std::uint8_t>& bytes);
+  /// Send one seq-tagged kPing and record its send stamp for the
+  /// ping-echo clock estimator. Takes mu_ briefly; call unlocked.
+  void send_timed_ping(net::SessionId session, NodeId node);
 
   net::SocketServer server_;
   std::unique_ptr<net::FaultInjectingTransport> faults_;
@@ -164,6 +194,10 @@ class RemoteWorkerPool {
   std::atomic<int> evictions_{0};
   std::atomic<std::uint64_t> pings_{0};
   std::atomic<std::uint64_t> pongs_{0};
+  std::atomic<std::uint64_t> ping_seq_{0};
+  std::atomic<std::uint64_t> telemetry_batches_{0};
+  std::atomic<std::uint64_t> telemetry_rejected_{0};
+  std::function<void(NodeId, const scp::TelemetryBody&)> telemetry_sink_;
   std::vector<std::thread> local_threads_;
   bool started_ = false;
 

@@ -21,11 +21,25 @@ struct RemoteWorkerStats {
   std::uint64_t shards_summed = 0;
   std::uint64_t tiles_colored = 0;
   std::uint64_t pings_answered = 0;  ///< liveness probes echoed back
+  std::uint64_t telemetry_flushes = 0;  ///< kTelemetry batches shipped
   bool clean_exit = false;  ///< true when the service said kGoodbye
+};
+
+struct RemoteWorkerOptions {
+  /// Ship telemetry (spans + local metrics) back to the service. Spans are
+  /// recorded in-process and flushed as kTelemetry batches on job end and
+  /// on the periodic timer — fire-and-forget, the serve loop never blocks
+  /// on telemetry.
+  bool telemetry = true;
+  /// Minimum seconds between periodic flushes (job end always flushes).
+  double telemetry_flush_seconds = 0.25;
+  /// Spans per kTelemetry batch; a longer backlog ships as several batches.
+  std::size_t max_batch_spans = 2048;
 };
 
 /// Run the worker protocol on an already-connected client until the service
 /// says goodbye or the connection drops. Blocking; single-threaded.
-RemoteWorkerStats serve_remote_worker(net::SocketClient& client);
+RemoteWorkerStats serve_remote_worker(net::SocketClient& client,
+                                      const RemoteWorkerOptions& options = {});
 
 }  // namespace rif::cluster

@@ -1,0 +1,223 @@
+#include "obs/flamegraph.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string_view>
+
+#include "obs/chrome_trace.h"
+#include "obs/trace_check.h"
+
+namespace rif::obs {
+
+namespace {
+
+// Tolerance when comparing span boundaries, in microseconds. Timestamps
+// come from ns counters divided by 1000, so anything below 1 ns is noise.
+constexpr double kEpsUs = 1e-6;
+
+struct OpenSpan {
+  double end_us = 0.0;
+  double child_us = 0.0;  ///< time attributed to enclosed spans
+  const FlameSpan* span = nullptr;
+};
+
+void close_top(std::vector<OpenSpan>& stack,
+               std::map<std::string, FlameRow>& acc) {
+  const OpenSpan top = stack.back();
+  stack.pop_back();
+  FlameRow& row = acc[top.span->name];
+  if (row.name.empty()) row.name = top.span->name;
+  row.count += 1;
+  row.total_us += top.span->dur_us;
+  row.self_us += std::max(0.0, top.span->dur_us - top.child_us);
+  if (!stack.empty()) stack.back().child_us += top.span->dur_us;
+}
+
+}  // namespace
+
+const FlameRow* FlameTable::find(const std::string& name) const {
+  for (const FlameRow& row : rows) {
+    if (row.name == name) return &row;
+  }
+  return nullptr;
+}
+
+std::string FlameTable::to_json() const {
+  std::ostringstream out;
+  out << "{\"rows\": [";
+  bool first = true;
+  char buf[64];
+  for (const FlameRow& row : rows) {
+    if (!first) out << ", ";
+    first = false;
+    out << "{\"name\": \"" << json_escape(row.name) << "\", \"count\": "
+        << row.count;
+    std::snprintf(buf, sizeof(buf), "%.3f", row.total_us);
+    out << ", \"total_us\": " << buf;
+    std::snprintf(buf, sizeof(buf), "%.3f", row.self_us);
+    out << ", \"self_us\": " << buf << "}";
+  }
+  out << "]}";
+  return out.str();
+}
+
+FlameTable fold_spans(std::vector<FlameSpan> spans) {
+  // Parent-before-child order within a track: earlier start first; at
+  // equal starts the LONGER span is the parent and must be pushed first.
+  std::sort(spans.begin(), spans.end(),
+            [](const FlameSpan& a, const FlameSpan& b) {
+              if (a.track != b.track) return a.track < b.track;
+              if (a.ts_us != b.ts_us) return a.ts_us < b.ts_us;
+              return a.dur_us > b.dur_us;
+            });
+
+  std::map<std::string, FlameRow> acc;
+  std::vector<OpenSpan> stack;
+  std::uint64_t track = 0;
+  bool have_track = false;
+  for (const FlameSpan& s : spans) {
+    if (!have_track || s.track != track) {
+      while (!stack.empty()) close_top(stack, acc);
+      track = s.track;
+      have_track = true;
+    }
+    // A span stays on the stack only while it can contain s (ends at or
+    // after s's end). This closes both finished spans and — for malformed
+    // input — spans that overlap s without containing it, which are then
+    // siblings; either way every microsecond is attributed exactly once.
+    while (!stack.empty() &&
+           stack.back().end_us < s.ts_us + s.dur_us - kEpsUs) {
+      close_top(stack, acc);
+    }
+    stack.push_back({s.ts_us + s.dur_us, 0.0, &s});
+  }
+  while (!stack.empty()) close_top(stack, acc);
+
+  FlameTable table;
+  table.rows.reserve(acc.size());
+  for (auto& [name, row] : acc) table.rows.push_back(std::move(row));
+  std::sort(table.rows.begin(), table.rows.end(),
+            [](const FlameRow& a, const FlameRow& b) {
+              if (a.self_us != b.self_us) return a.self_us > b.self_us;
+              return a.name < b.name;
+            });
+  return table;
+}
+
+std::vector<FlameSpan> tracer_flame_spans(const SpanTracer& tracer) {
+  struct PendingBegin {
+    const char* name = nullptr;
+    std::uint64_t ts_ns = 0;
+  };
+  std::map<std::int32_t, std::vector<PendingBegin>> stacks;
+  std::vector<FlameSpan> out;
+  for (const SpanEvent& e : tracer.collect()) {
+    if (e.timeline != Timeline::kWall) continue;
+    if (e.phase == Phase::kBegin) {
+      stacks[e.tid].push_back({e.name, e.ts_ns});
+    } else if (e.phase == Phase::kEnd) {
+      auto& stack = stacks[e.tid];
+      // Only a well-matched innermost end closes a span; a stray end
+      // (begin predates the snapshot window) is skipped, never guessed.
+      if (stack.empty() ||
+          std::string_view(stack.back().name) != std::string_view(e.name)) {
+        continue;
+      }
+      FlameSpan s;
+      s.name = e.name;
+      s.ts_us = static_cast<double>(stack.back().ts_ns) / 1000.0;
+      s.dur_us =
+          static_cast<double>(e.ts_ns - stack.back().ts_ns) / 1000.0;
+      s.track = static_cast<std::uint64_t>(
+          static_cast<std::uint32_t>(e.tid));
+      stack.pop_back();
+      out.push_back(std::move(s));
+    }
+  }
+  return out;
+}
+
+FlameTable fold_tracer(const SpanTracer& tracer) {
+  return fold_spans(tracer_flame_spans(tracer));
+}
+
+std::optional<FlameTable> fold_chrome_trace(const std::string& json_text,
+                                            std::string& error) {
+  JsonValue doc;
+  if (!parse_json(json_text, doc, error)) return std::nullopt;
+  const JsonValue* events = doc.find("traceEvents");
+  if (events == nullptr || events->kind != JsonValue::Kind::kArray) {
+    error = "document has no traceEvents array";
+    return std::nullopt;
+  }
+
+  struct PendingBegin {
+    std::string name;
+    double ts_us = 0.0;
+  };
+  std::map<std::string, std::uint64_t> track_ids;
+  std::map<std::string, std::vector<PendingBegin>> stacks;
+  std::vector<FlameSpan> spans;
+  for (const JsonValue& e : events->array) {
+    const JsonValue* name = e.find("name");
+    const JsonValue* ph = e.find("ph");
+    const JsonValue* ts = e.find("ts");
+    const JsonValue* pid = e.find("pid");
+    const JsonValue* tid = e.find("tid");
+    if (name == nullptr || name->kind != JsonValue::Kind::kString ||
+        ph == nullptr || ph->kind != JsonValue::Kind::kString ||
+        ph->string.size() != 1 || ts == nullptr ||
+        ts->kind != JsonValue::Kind::kNumber || pid == nullptr ||
+        pid->kind != JsonValue::Kind::kNumber || tid == nullptr ||
+        tid->kind != JsonValue::Kind::kNumber) {
+      continue;  // metadata / counters / malformed — not foldable spans
+    }
+    const std::string track =
+        std::to_string(static_cast<long long>(pid->number)) + ":" +
+        std::to_string(static_cast<long long>(tid->number));
+    const auto track_id = [&] {
+      auto [it, _] = track_ids.try_emplace(
+          track, static_cast<std::uint64_t>(track_ids.size()));
+      return it->second;
+    };
+    const char kind = ph->string[0];
+    if (kind == 'B') {
+      stacks[track].push_back({name->string, ts->number});
+    } else if (kind == 'E') {
+      auto& stack = stacks[track];
+      if (stack.empty() || stack.back().name != name->string) continue;
+      spans.push_back({name->string, stack.back().ts_us,
+                       ts->number - stack.back().ts_us, track_id()});
+      stack.pop_back();
+    } else if (kind == 'X') {
+      const JsonValue* dur = e.find("dur");
+      if (dur == nullptr || dur->kind != JsonValue::Kind::kNumber) continue;
+      spans.push_back({name->string, ts->number, dur->number, track_id()});
+    }
+  }
+  return fold_spans(std::move(spans));
+}
+
+std::optional<FlameTable> fold_chrome_trace_file(const std::string& path,
+                                                 std::string& error) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    error = "cannot open " + path;
+    return std::nullopt;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return fold_chrome_trace(buf.str(), error);
+}
+
+bool write_flamegraph(const std::string& path, const FlameTable& table) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  if (!out) return false;
+  out << table.to_json() << "\n";
+  return static_cast<bool>(out);
+}
+
+}  // namespace rif::obs

@@ -1,0 +1,85 @@
+// Flamegraph folding — per-stage self-time / total-time tables from span
+// traces.
+//
+// A Chrome trace answers "what happened when"; a flamegraph table answers
+// "where did the time go" in three numbers per stage: how often it ran,
+// how long it was on the stack (total), and how long it was on TOP of the
+// stack (self — total minus time attributed to enclosed child spans).
+// Folding works on any span source: a live SpanTracer snapshot, a list of
+// (start, duration) intervals shipped from remote workers, or a
+// TRACE_*.json file re-parsed offline — host and unified remote traces
+// fold identically, so the report's table and the exported trace can be
+// cross-checked against each other (bench_stream asserts they agree
+// within 1%).
+//
+// Folding is per TRACK (one thread of one process): spans on the same
+// track nest by interval containment, spans on different tracks never
+// shadow each other. Overlapping-but-not-nested spans on one track (a
+// malformed input) are treated as siblings — the earlier span keeps its
+// self time; nothing double-counts.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "obs/span_tracer.h"
+
+namespace rif::obs {
+
+/// One completed span interval, ready for folding. `track` must be unique
+/// per (process, thread) lane — collisions would invent fake nesting.
+struct FlameSpan {
+  std::string name;
+  double ts_us = 0.0;
+  double dur_us = 0.0;
+  std::uint64_t track = 0;
+};
+
+/// One stage's folded totals.
+struct FlameRow {
+  std::string name;
+  std::uint64_t count = 0;  ///< completed spans folded into this row
+  double total_us = 0.0;    ///< sum of span durations (on-stack time)
+  double self_us = 0.0;     ///< total minus time inside child spans
+};
+
+/// Folded table, rows sorted by self time descending.
+struct FlameTable {
+  std::vector<FlameRow> rows;
+
+  [[nodiscard]] const FlameRow* find(const std::string& name) const;
+  /// {"rows":[{"name":...,"count":N,"total_us":...,"self_us":...},...]}
+  [[nodiscard]] std::string to_json() const;
+};
+
+/// Fold completed span intervals into a table. Spans are grouped by track,
+/// sorted by (ts, -dur) so a parent precedes the children it contains, and
+/// swept with an interval stack: a span's self time is its duration minus
+/// the durations of its direct children.
+FlameTable fold_spans(std::vector<FlameSpan> spans);
+
+/// Extract completed wall-timeline spans from a tracer snapshot: B/E pairs
+/// matched per thread (innermost-first, like the trace schema requires).
+/// Unmatched begins/ends are skipped — a snapshot taken mid-span must not
+/// invent durations.
+std::vector<FlameSpan> tracer_flame_spans(const SpanTracer& tracer);
+
+/// fold_spans(tracer_flame_spans(tracer)) — the report-time path.
+FlameTable fold_tracer(const SpanTracer& tracer);
+
+/// Fold a Chrome-trace JSON document (B/E pairs and X events, per
+/// pid:tid track). nullopt (with the reason in `error`) when the document
+/// fails to parse or validate as a trace.
+std::optional<FlameTable> fold_chrome_trace(const std::string& json_text,
+                                            std::string& error);
+
+/// fold_chrome_trace over a file's contents.
+std::optional<FlameTable> fold_chrome_trace_file(const std::string& path,
+                                                 std::string& error);
+
+/// Write `table.to_json()` to `path`. False on I/O error.
+bool write_flamegraph(const std::string& path, const FlameTable& table);
+
+}  // namespace rif::obs

@@ -19,6 +19,42 @@ std::string json_number(double v) {
 
 }  // namespace
 
+std::string metrics_sample_json(const MetricsSample& s) {
+  std::ostringstream os;
+  os << "{\"t\": " << json_number(s.t_seconds) << ", \"counters\": {";
+  bool first = true;
+  for (const auto& [name, v] : s.values.counters) {
+    os << (first ? "" : ", ") << "\"" << json_escape(name)
+       << "\": {\"v\": " << v << ", \"d\": " << s.counter_deltas.at(name)
+       << "}";
+    first = false;
+  }
+  os << "}, \"gauges\": {";
+  first = true;
+  for (const auto& [name, v] : s.values.gauges) {
+    os << (first ? "" : ", ") << "\"" << json_escape(name)
+       << "\": {\"v\": " << json_number(v)
+       << ", \"d\": " << json_number(s.gauge_deltas.at(name)) << "}";
+    first = false;
+  }
+  os << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : s.values.histograms) {
+    os << (first ? "" : ", ") << "\"" << json_escape(name)
+       << "\": {\"count\": " << h.count
+       << ", \"d_count\": " << s.histogram_count_deltas.at(name)
+       << ", \"sum\": " << json_number(h.sum)
+       << ", \"d_sum\": " << json_number(s.histogram_sum_deltas.at(name))
+       << ", \"mean\": " << json_number(h.mean)
+       << ", \"p50\": " << json_number(h.p50)
+       << ", \"p95\": " << json_number(h.p95)
+       << ", \"p99\": " << json_number(h.p99) << "}";
+    first = false;
+  }
+  os << "}}";
+  return os.str();
+}
+
 MetricsScraper::MetricsScraper(runtime::MetricsRegistry& registry,
                                Config config)
     : registry_(registry),
@@ -98,6 +134,7 @@ void MetricsScraper::scrape_locked() {
     sample.histogram_sum_deltas[name] = h.sum - sum_before;
   }
   prev_ = sample.values;
+  if (on_scrape_) on_scrape_(metrics_sample_json(sample));
   ring_.push_back(std::move(sample));
   while (ring_.size() > config_.max_samples) ring_.pop_front();
 }
@@ -121,37 +158,7 @@ std::string MetricsScraper::timeline_json() const {
   for (const MetricsSample& s : samples) {
     os << (first_sample ? "\n" : ",\n");
     first_sample = false;
-    os << "    {\"t\": " << json_number(s.t_seconds) << ", \"counters\": {";
-    bool first = true;
-    for (const auto& [name, v] : s.values.counters) {
-      os << (first ? "" : ", ") << "\"" << json_escape(name)
-         << "\": {\"v\": " << v << ", \"d\": " << s.counter_deltas.at(name)
-         << "}";
-      first = false;
-    }
-    os << "}, \"gauges\": {";
-    first = true;
-    for (const auto& [name, v] : s.values.gauges) {
-      os << (first ? "" : ", ") << "\"" << json_escape(name)
-         << "\": {\"v\": " << json_number(v)
-         << ", \"d\": " << json_number(s.gauge_deltas.at(name)) << "}";
-      first = false;
-    }
-    os << "}, \"histograms\": {";
-    first = true;
-    for (const auto& [name, h] : s.values.histograms) {
-      os << (first ? "" : ", ") << "\"" << json_escape(name)
-         << "\": {\"count\": " << h.count
-         << ", \"d_count\": " << s.histogram_count_deltas.at(name)
-         << ", \"sum\": " << json_number(h.sum)
-         << ", \"d_sum\": " << json_number(s.histogram_sum_deltas.at(name))
-         << ", \"mean\": " << json_number(h.mean)
-         << ", \"p50\": " << json_number(h.p50)
-         << ", \"p95\": " << json_number(h.p95)
-         << ", \"p99\": " << json_number(h.p99) << "}";
-      first = false;
-    }
-    os << "}}";
+    os << "    " << metrics_sample_json(s);
   }
   os << "\n  ]\n}\n";
   return os.str();

@@ -48,6 +48,11 @@ struct MetricsSample {
   std::map<std::string, double> histogram_sum_deltas;
 };
 
+/// One sample as a single-line JSON object — the element shape of
+/// timeline_json()'s "samples" array, and the line format of the NDJSON
+/// live stream (ServiceConfig::metrics_stream_path).
+std::string metrics_sample_json(const MetricsSample& sample);
+
 class MetricsScraper {
  public:
   struct Config {
@@ -70,6 +75,15 @@ class MetricsScraper {
   /// derived gauges. Set before start().
   void set_derive(std::function<void(runtime::MetricsRegistry&)> derive) {
     derive_ = std::move(derive);
+  }
+
+  /// Incremental sink: invoked after EVERY scrape (periodic or
+  /// scrape_now), on the scraping thread, under the sample lock, with the
+  /// sample rendered by metrics_sample_json(). Appending each call to a
+  /// file yields a live NDJSON timeline while the run is still going.
+  /// Set before start(); the sink must not call back into the scraper.
+  void set_on_scrape(std::function<void(const std::string&)> sink) {
+    on_scrape_ = std::move(sink);
   }
 
   /// Launch the background thread; the first scrape is immediate.
@@ -102,6 +116,7 @@ class MetricsScraper {
   runtime::MetricsRegistry& registry_;
   Config config_;
   std::function<void(runtime::MetricsRegistry&)> derive_;
+  std::function<void(const std::string&)> on_scrape_;
   std::chrono::steady_clock::time_point epoch_;
 
   mutable std::mutex mutex_;  ///< guards ring_, prev_, running_

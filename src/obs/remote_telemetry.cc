@@ -1,0 +1,241 @@
+#include "obs/remote_telemetry.h"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "obs/trace_check.h"
+#include "runtime/metrics.h"
+
+namespace rif::obs {
+
+namespace {
+
+// The wire promises exactly runtime-sized histograms; keep the two layers
+// honest at the one point that knows both.
+static_assert(scp::kTelemetryHistogramBuckets ==
+              static_cast<std::size_t>(runtime::Histogram::kBuckets));
+
+std::string fmt_number(double v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.9g", v);
+  return buf;
+}
+
+/// Worker steady timestamp -> microseconds on the coordinator tracer's
+/// axis, clamped at zero (an offset estimate can land a pre-epoch event
+/// fractionally negative; Perfetto rejects negative ts).
+double aligned_us(std::uint64_t worker_ts_ns, std::int64_t offset_ns,
+                  std::uint64_t epoch_ns) {
+  const double coord_ns = static_cast<double>(worker_ts_ns) -
+                          static_cast<double>(offset_ns) -
+                          static_cast<double>(epoch_ns);
+  return std::max(0.0, coord_ns / 1000.0);
+}
+
+}  // namespace
+
+bool RemoteTelemetryCollector::on_batch(cluster::NodeId node,
+                                        const scp::TelemetryBody& body) {
+  // Validate before taking any state: an unbalanced batch (torn flush,
+  // hostile producer) is dropped whole so a half-open span can never leak
+  // into the merged trace.
+  std::vector<std::pair<std::string, char>> events;
+  events.reserve(body.spans.size());
+  for (const scp::TelemetrySpan& s : body.spans) {
+    events.emplace_back(s.name, s.phase);
+  }
+  std::string error;
+  const bool balanced = check_span_batch(events, error);
+
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++batches_;
+  if (!balanced) {
+    ++rejected_;
+    return false;
+  }
+  WorkerLane& lane = lanes_[node];
+  if (lane.seen_flush && body.flush_index <= lane.last_flush_index) {
+    // Re-shipment (duplicate fault) or reordered-older batch: the newer
+    // cumulative state already won. Dropping keeps counters exact.
+    ++duplicates_;
+    return false;
+  }
+  if (lane.spans.size() + body.spans.size() > kMaxSpansPerWorker) {
+    ++rejected_;
+    return false;
+  }
+  lane.seen_flush = true;
+  lane.last_flush_index = body.flush_index;
+
+  // Normalize B/E pairs to X at ingest (the batch is balanced, so a local
+  // stack matches them exactly); storage then holds only X / i / C.
+  std::vector<std::size_t> open;
+  for (const scp::TelemetrySpan& s : body.spans) {
+    if (s.phase == 'B') {
+      open.push_back(lane.spans.size());
+      lane.spans.push_back({s.name, s.ts_ns, 0, s.job, 0.0, 'X'});
+      continue;
+    }
+    if (s.phase == 'E') {
+      StoredSpan& begun = lane.spans[open.back()];
+      begun.dur_ns = s.ts_ns >= begun.ts_ns ? s.ts_ns - begun.ts_ns : 0;
+      open.pop_back();
+      continue;
+    }
+    lane.spans.push_back(
+        {s.name, s.ts_ns, s.phase == 'X' ? s.dur_ns : 0, s.job, s.value,
+         s.phase});
+  }
+  for (const scp::TelemetrySpan& s : body.spans) {
+    if (s.job >= 0 && s.phase != 'C') lane.jobs.insert(s.job);
+    if (s.job >= 0 && s.name == scp::kJobSpanName) {
+      lane.jobs_ended.insert(s.job);
+    }
+  }
+  spans_ += body.spans.size();
+
+  if (!body.counters.empty() || !body.gauges.empty() ||
+      !body.histograms.empty()) {
+    lane.counters = body.counters;
+    lane.gauges = body.gauges;
+    lane.histograms = body.histograms;
+  }
+  return true;
+}
+
+void RemoteTelemetryCollector::set_clock_offset(cluster::NodeId node,
+                                                std::int64_t offset_ns) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  lanes_[node].clock_offset_ns = offset_ns;
+}
+
+std::int64_t RemoteTelemetryCollector::clock_offset_ns(
+    cluster::NodeId node) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = lanes_.find(node);
+  return it == lanes_.end() ? 0 : it->second.clock_offset_ns;
+}
+
+void RemoteTelemetryCollector::fill_trace(
+    ChromeTraceWriter& writer, std::uint64_t coordinator_epoch_ns) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [node, lane] : lanes_) {
+    if (lane.spans.empty()) continue;
+    const int pid = kRemoteWorkerPidBase + static_cast<int>(node);
+    writer.set_process_name(pid,
+                            "rif-worker-" + std::to_string(node));
+    writer.set_thread_name(pid, 1, "serve");
+    for (const StoredSpan& s : lane.spans) {
+      ChromeTraceWriter::Event e;
+      e.name = s.name;
+      e.ph = s.phase;
+      e.ts_us = aligned_us(s.ts_ns, lane.clock_offset_ns,
+                           coordinator_epoch_ns);
+      e.pid = pid;
+      e.tid = 1;
+      if (s.phase == 'X') {
+        e.dur_us = static_cast<double>(s.dur_ns) / 1000.0;
+      }
+      if (s.phase == 'C') {
+        e.args_json = "\"value\": " + fmt_number(s.value);
+      } else if (s.job >= 0) {
+        e.args_json = "\"job\": " + std::to_string(s.job);
+      }
+      writer.add(std::move(e));
+    }
+  }
+}
+
+std::vector<FlameSpan> RemoteTelemetryCollector::flame_spans(
+    std::uint64_t coordinator_epoch_ns) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<FlameSpan> out;
+  for (const auto& [node, lane] : lanes_) {
+    const std::uint64_t track =
+        (static_cast<std::uint64_t>(node) << 32) | 1u;
+    for (const StoredSpan& s : lane.spans) {
+      if (s.phase != 'X') continue;
+      out.push_back({s.name,
+                     aligned_us(s.ts_ns, lane.clock_offset_ns,
+                                coordinator_epoch_ns),
+                     static_cast<double>(s.dur_ns) / 1000.0, track});
+    }
+  }
+  return out;
+}
+
+void RemoteTelemetryCollector::merge_metrics_into(
+    runtime::MetricsRegistry& target) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [node, lane] : lanes_) {
+    const std::string prefix =
+        "remote.worker." + std::to_string(node) + ".";
+    for (const auto& [name, total] : lane.counters) {
+      // Catch the target up to the shipped cumulative total. Never
+      // subtract: a re-install after the worker restarts (fresh, lower
+      // totals under a NEW node id) cannot happen within one lane, and a
+      // stale batch was already dropped by the flush-index gate.
+      runtime::Counter& c = target.counter(prefix + name);
+      const std::uint64_t current = c.value();
+      if (total > current) c.add(total - current);
+    }
+    for (const auto& [name, kind, value] : lane.gauges) {
+      target
+          .gauge(prefix + name, kind == 1 ? runtime::GaugeKind::kMax
+                                          : runtime::GaugeKind::kSum)
+          .set(value);
+    }
+    for (const scp::TelemetryHistogram& h : lane.histograms) {
+      if (h.count == 0) continue;
+      target.install_histogram(prefix + h.name, h.count, h.sum, h.min,
+                               h.max, h.buckets);
+    }
+  }
+}
+
+std::vector<cluster::NodeId> RemoteTelemetryCollector::nodes_with_job(
+    std::int64_t job) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<cluster::NodeId> out;
+  for (const auto& [node, lane] : lanes_) {
+    if (lane.jobs.count(job) > 0) out.push_back(node);
+  }
+  return out;
+}
+
+std::vector<cluster::NodeId> RemoteTelemetryCollector::nodes_with_job_end(
+    std::int64_t job) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<cluster::NodeId> out;
+  for (const auto& [node, lane] : lanes_) {
+    if (lane.jobs_ended.count(job) > 0) out.push_back(node);
+  }
+  return out;
+}
+
+std::uint64_t RemoteTelemetryCollector::batches() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return batches_;
+}
+std::uint64_t RemoteTelemetryCollector::rejected() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return rejected_;
+}
+std::uint64_t RemoteTelemetryCollector::duplicates() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return duplicates_;
+}
+std::uint64_t RemoteTelemetryCollector::spans() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return spans_;
+}
+
+bool write_unified_trace(const std::string& path, const SpanTracer& tracer,
+                         const RemoteTelemetryCollector& collector) {
+  ChromeTraceWriter writer;
+  fill_from_tracer(writer, tracer);
+  collector.fill_trace(writer, tracer.epoch_ns());
+  return writer.write(path);
+}
+
+}  // namespace rif::obs

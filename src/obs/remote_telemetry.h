@@ -1,0 +1,137 @@
+// Remote telemetry ingest — one trace from N processes.
+//
+// Workers record spans and metrics into process-local buffers and ship
+// them back as kTelemetry batches (scp::TelemetryBody) over the same
+// socket the work travels on. This collector is the coordinator-side
+// ingest point: it validates each batch (unbalanced span batches are
+// rejected whole — satellite of the trace_check contract), dedupes
+// re-shipments by per-session flush index, aligns worker steady-clock
+// timestamps onto the coordinator's tracer axis using the ping-echo
+// offset estimate, and serves three consumers:
+//
+//   * ChromeTraceWriter — fill_trace() adds one pid lane per worker
+//     ("rif-worker-<node>") to the coordinator's own trace, producing a
+//     single unified TRACE_remote.json that passes trace_check.
+//   * MetricsRegistry — merge_metrics_into() advances prefixed
+//     `remote.worker.<node>.*` series to the workers' latest cumulative
+//     totals on every scrape (idempotent under re-shipment).
+//   * obs::flamegraph — flame_spans() exports per-worker intervals so the
+//     report's flamegraph folds host and remote stages together.
+//
+// Degradation contract: a malformed, duplicate, or unbalanced batch is
+// counted and dropped — the merge never crashes and never garbles; lost
+// telemetry reads as a missing lane in the trace, nothing more.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <mutex>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "cluster/node.h"
+#include "obs/chrome_trace.h"
+#include "obs/flamegraph.h"
+#include "scp/wire.h"
+
+namespace rif::runtime {
+class MetricsRegistry;
+}
+
+namespace rif::obs {
+
+/// Exported pid of worker `node` in a unified trace: distinct from
+/// kWallPid/kVirtualPid, stable across runs (pid = base + node id).
+inline constexpr int kRemoteWorkerPidBase = 100;
+
+class RemoteTelemetryCollector {
+ public:
+  /// Ingest one decoded batch from `node`. Returns false when the batch is
+  /// dropped (unbalanced spans, stale/duplicate flush index, span-buffer
+  /// cap). Thread-safe; called from the pool's socket thread.
+  bool on_batch(cluster::NodeId node, const scp::TelemetryBody& body);
+
+  /// Record the ping-echo clock estimate for `node`:
+  /// offset_ns = worker_steady_ns - coordinator_steady_ns, so a worker
+  /// timestamp maps onto the coordinator clock as worker_ts - offset.
+  void set_clock_offset(cluster::NodeId node, std::int64_t offset_ns);
+  /// Last recorded offset; 0 when none was measured (same-machine default).
+  [[nodiscard]] std::int64_t clock_offset_ns(cluster::NodeId node) const;
+
+  /// Add every worker's lane to `writer`: pid kRemoteWorkerPidBase+node
+  /// with process/thread metadata, spans as X events, instants and
+  /// counters aligned to the coordinator tracer whose wall epoch (raw
+  /// steady ns at construction) is `coordinator_epoch_ns`.
+  void fill_trace(ChromeTraceWriter& writer,
+                  std::uint64_t coordinator_epoch_ns) const;
+
+  /// Per-worker completed span intervals on the coordinator timeline,
+  /// ready for flamegraph folding (track = node<<32 | 1).
+  [[nodiscard]] std::vector<FlameSpan> flame_spans(
+      std::uint64_t coordinator_epoch_ns) const;
+
+  /// Advance `remote.worker.<node>.*` series in `target` to each worker's
+  /// latest shipped cumulative totals: counters catch up by delta, gauges
+  /// overwrite, histograms install raw buckets. Idempotent — calling twice
+  /// with the same shipped state is a no-op.
+  void merge_metrics_into(runtime::MetricsRegistry& target) const;
+
+  /// Nodes that have shipped at least one span attributed to `job`.
+  [[nodiscard]] std::vector<cluster::NodeId> nodes_with_job(
+      std::int64_t job) const;
+
+  /// Nodes whose end-of-job flush for `job` has landed — the batch
+  /// carrying the worker's scp::kJobSpanName whole-job span. A mid-job
+  /// periodic flush puts a node in nodes_with_job() but NOT here; the
+  /// service's telemetry barrier waits on this so the report never
+  /// snapshots a lane that is still missing its final batch.
+  [[nodiscard]] std::vector<cluster::NodeId> nodes_with_job_end(
+      std::int64_t job) const;
+
+  // Ingest health, for the report and tests.
+  [[nodiscard]] std::uint64_t batches() const;
+  [[nodiscard]] std::uint64_t rejected() const;
+  [[nodiscard]] std::uint64_t duplicates() const;
+  [[nodiscard]] std::uint64_t spans() const;
+
+ private:
+  struct StoredSpan {
+    std::string name;
+    std::uint64_t ts_ns = 0;   ///< worker steady clock, absolute
+    std::uint64_t dur_ns = 0;  ///< X only
+    std::int64_t job = -1;
+    double value = 0.0;  ///< C only
+    char phase = 'i';    ///< X | i | C (B/E normalized to X at ingest)
+  };
+  struct WorkerLane {
+    bool seen_flush = false;
+    std::uint64_t last_flush_index = 0;
+    std::int64_t clock_offset_ns = 0;
+    std::vector<StoredSpan> spans;
+    std::set<std::int64_t> jobs;       ///< jobs with >= 1 span
+    std::set<std::int64_t> jobs_ended;  ///< jobs whose kJobSpanName landed
+    // Latest cumulative metrics snapshot (monotone by flush index).
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::tuple<std::string, std::uint8_t, double>> gauges;
+    std::vector<scp::TelemetryHistogram> histograms;
+  };
+
+  /// Per-worker stored-span cap — bounds coordinator memory against a
+  /// chatty or hostile worker; excess batches are counted rejected.
+  static constexpr std::size_t kMaxSpansPerWorker = 1 << 20;
+
+  mutable std::mutex mutex_;
+  std::map<cluster::NodeId, WorkerLane> lanes_;
+  std::uint64_t batches_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t duplicates_ = 0;
+  std::uint64_t spans_ = 0;
+};
+
+/// Export one unified trace: the coordinator tracer's own wall/virtual
+/// lanes plus every remote worker lane, clock-aligned. False on I/O error.
+bool write_unified_trace(const std::string& path, const SpanTracer& tracer,
+                         const RemoteTelemetryCollector& collector);
+
+}  // namespace rif::obs

@@ -99,6 +99,11 @@ class SpanTracer {
   /// Wall timestamp: steady-clock ns since tracer construction.
   [[nodiscard]] std::uint64_t now_ns() const;
 
+  /// Raw steady-clock ns at construction — the zero point of every kWall
+  /// timestamp. Remote telemetry uses it to map a peer's absolute
+  /// steady-clock timestamps (offset-corrected) onto this tracer's axis.
+  [[nodiscard]] std::uint64_t epoch_ns() const { return epoch_ns_; }
+
   // --- wall-clock emission (tid = calling thread) --------------------------
   // `job` defaults to the thread's JobScope. Emission is a no-op while
   // disabled (the RAII/macro layer additionally pre-checks enabled()) —

@@ -315,6 +315,7 @@ TraceCheckResult check_chrome_trace(const std::string& json_text) {
   // string key — validation is offline, clarity wins.
   std::map<std::string, std::vector<OpenSpan>> stacks;
   std::map<std::string, bool> seen_tracks;
+  std::map<long long, bool> seen_pids;
 
   for (std::size_t i = 0; i < events->array.size(); ++i) {
     const JsonValue& e = events->array[i];
@@ -345,7 +346,10 @@ TraceCheckResult check_chrome_trace(const std::string& json_text) {
                               ":" +
                               std::to_string(
                                   static_cast<long long>(tid->number));
-    if (kind != 'M') seen_tracks[track] = true;
+    if (kind != 'M') {
+      seen_tracks[track] = true;
+      seen_pids[static_cast<long long>(pid->number)] = true;
+    }
     if (kind == 'B') {
       stacks[track].push_back({name->string, ts->number});
     } else if (kind == 'E') {
@@ -375,6 +379,18 @@ TraceCheckResult check_chrome_trace(const std::string& json_text) {
       }
       ++result.spans;
       ++result.span_counts[name->string];
+    } else if (kind == 'C') {
+      // Counter samples must carry a numeric value arg, or Perfetto draws
+      // an empty lane and downstream folds divide by nothing.
+      const JsonValue* args = require(e, "args", JsonValue::Kind::kObject);
+      const JsonValue* value =
+          args == nullptr ? nullptr
+                          : require(*args, "value", JsonValue::Kind::kNumber);
+      if (value == nullptr) {
+        result.error = "C event without numeric args.value" + at();
+        return result;
+      }
+      ++result.counters;
     }
   }
   for (const auto& [track, stack] : stacks) {
@@ -385,8 +401,45 @@ TraceCheckResult check_chrome_trace(const std::string& json_text) {
     }
   }
   result.tracks = seen_tracks.size();
+  result.pids = seen_pids.size();
   result.ok = true;
   return result;
+}
+
+bool check_span_batch(
+    const std::vector<std::pair<std::string, char>>& events,
+    std::string& error) {
+  std::vector<const std::string*> stack;
+  for (const auto& [name, phase] : events) {
+    switch (phase) {
+      case 'X':
+      case 'i':
+      case 'C':
+        break;
+      case 'B':
+        stack.push_back(&name);
+        break;
+      case 'E':
+        if (stack.empty()) {
+          error = "E '" + name + "' with no open span in batch";
+          return false;
+        }
+        if (*stack.back() != name) {
+          error = "E '" + name + "' crosses open '" + *stack.back() + "'";
+          return false;
+        }
+        stack.pop_back();
+        break;
+      default:
+        error = std::string("unknown phase '") + phase + "' in batch";
+        return false;
+    }
+  }
+  if (!stack.empty()) {
+    error = "span '" + *stack.back() + "' left open at batch end";
+    return false;
+  }
+  return true;
 }
 
 TraceCheckResult check_chrome_trace_file(const std::string& path) {

@@ -13,9 +13,11 @@
 //     an E must close the innermost open B of its track, timestamps
 //     non-decreasing within the pair
 //   * no track has an open B left at end-of-trace
+//   * C (counter) events carry a numeric args.value
 //
-// The validator also tallies per-name B-span counts so callers can assert
-// coverage ("the trace contains read/screen/fold/transform spans") without
+// The validator also tallies per-name B-span counts, counter samples, and
+// distinct pids so callers can assert coverage ("the trace contains
+// read/screen/fold/transform spans across 3 process lanes") without
 // re-parsing.
 #pragma once
 
@@ -23,6 +25,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace rif::obs {
@@ -55,6 +58,11 @@ struct TraceCheckResult {
   std::map<std::string, std::size_t> span_counts;
   /// Distinct (pid, tid) tracks that carried at least one event.
   std::size_t tracks = 0;
+  /// Distinct pids that carried at least one non-metadata event. A unified
+  /// remote trace asserts >= 1 coordinator + N worker lanes here.
+  std::size_t pids = 0;
+  /// Counter ("C") samples seen.
+  std::size_t counters = 0;
 };
 
 /// Validate a Chrome-trace JSON document (see file header for the rules).
@@ -62,5 +70,14 @@ TraceCheckResult check_chrome_trace(const std::string& json_text);
 
 /// Load `path` and validate. I/O failure reports ok=false with the reason.
 TraceCheckResult check_chrome_trace_file(const std::string& path);
+
+/// Pre-merge gate for a telemetry span batch: every (name, phase) event in
+/// arrival order, where phase is one of X/i/C/B/E. Returns false (with the
+/// first violation in `error`) if B/E events do not balance — an E with no
+/// open B, an E crossing a different open name, or a B left open at batch
+/// end. A batch that fails must be dropped whole, never merged.
+bool check_span_batch(
+    const std::vector<std::pair<std::string, char>>& events,
+    std::string& error);
 
 }  // namespace rif::obs

@@ -192,6 +192,25 @@ void MetricsRegistry::merge_into(MetricsRegistry& target,
   }
 }
 
+void MetricsRegistry::install_histogram(
+    const std::string& name, std::uint64_t count, double sum, double min,
+    double max, const std::vector<std::uint64_t>& buckets) {
+  Histogram& h = histogram(name);
+  // Plain stores: the installed state is a cumulative snapshot from another
+  // process; nothing observes into this series concurrently with ingest
+  // (the collector serializes installs per worker).
+  for (int b = 0; b < Histogram::kBuckets; ++b) {
+    const auto i = static_cast<std::size_t>(b);
+    h.buckets_[i].store(i < buckets.size() ? buckets[i] : 0,
+                        std::memory_order_relaxed);
+  }
+  h.count_.store(count, std::memory_order_relaxed);
+  h.sum_.store(sum, std::memory_order_relaxed);
+  h.min_.store(count == 0 ? std::numeric_limits<double>::infinity() : min,
+               std::memory_order_relaxed);
+  h.max_.store(max, std::memory_order_relaxed);
+}
+
 namespace {
 
 HistogramSummary summarize(const Histogram& h) {

@@ -193,6 +193,16 @@ class MetricsRegistry {
   /// source's gauge kinds.
   void merge_into(MetricsRegistry& target, const std::string& prefix) const;
 
+  /// Overwrite histogram `name` with an externally shipped cumulative
+  /// state (raw log2 buckets — `buckets` must hold Histogram::kBuckets
+  /// entries, excess ignored, missing read as zero). Used by the remote
+  /// telemetry ingest, where the worker's registry lives in another
+  /// process and batches may be re-shipped: overwriting with the latest
+  /// cumulative state is idempotent where merging would double-count.
+  void install_histogram(const std::string& name, std::uint64_t count,
+                         double sum, double min, double max,
+                         const std::vector<std::uint64_t>& buckets);
+
   /// Every series' current value as plain data (see RegistrySnapshot).
   [[nodiscard]] RegistrySnapshot snapshot() const;
 

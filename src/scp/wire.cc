@@ -80,7 +80,7 @@ std::optional<WireEnvelope> WireEnvelope::try_decode(
   std::uint32_t kind = 0;
   std::memcpy(&kind, bytes.data(), sizeof(kind));
   if (kind < static_cast<std::uint32_t>(FrameKind::kApp) ||
-      kind > static_cast<std::uint32_t>(FrameKind::kPong)) {
+      kind > static_cast<std::uint32_t>(FrameKind::kTelemetry)) {
     return std::nullopt;
   }
   std::uint64_t payload_len = 0;
@@ -104,7 +104,7 @@ WireEnvelope WireEnvelope::decode(const std::vector<std::uint8_t>& bytes) {
   WireEnvelope e;
   const auto kind = r.get<std::uint32_t>();
   RIF_CHECK_MSG(kind >= static_cast<std::uint32_t>(FrameKind::kApp) &&
-                    kind <= static_cast<std::uint32_t>(FrameKind::kPong),
+                    kind <= static_cast<std::uint32_t>(FrameKind::kTelemetry),
                 "unknown frame kind");
   e.kind = static_cast<FrameKind>(kind);
   e.src_node = r.get<cluster::NodeId>();
@@ -166,6 +166,130 @@ std::optional<JobStartBody> JobStartBody::try_decode(
       !r.try_get(b.output_components) || !r.exhausted()) {
     return std::nullopt;
   }
+  return b;
+}
+
+namespace {
+
+// Hard bounds on a TelemetryBody off the wire. A hostile length prefix
+// must neither allocate unboundedly nor index past the buffer; the byte
+// budget is additionally capped by the envelope's own framing.
+constexpr std::uint64_t kMaxTelemetryName = 256;
+constexpr std::uint64_t kMaxTelemetrySpans = 65536;
+constexpr std::uint64_t kMaxTelemetrySeries = 4096;
+
+/// Bounded non-aborting string read (Reader::get_string aborts on
+/// truncation — wrong side of the trust boundary here). Rejects empty and
+/// oversized names outright: no legitimate producer emits either.
+bool try_get_name(Reader& r, std::string& out) {
+  std::vector<char> raw;
+  if (!r.try_get_vector(raw)) return false;
+  if (raw.empty() || raw.size() > kMaxTelemetryName) return false;
+  out.assign(raw.begin(), raw.end());
+  return true;
+}
+
+bool valid_phase(char phase) {
+  return phase == 'X' || phase == 'i' || phase == 'C' || phase == 'B' ||
+         phase == 'E';
+}
+
+}  // namespace
+
+std::vector<std::uint8_t> TelemetryBody::encode() const {
+  Writer w;
+  w.put(job_id);
+  w.put(flush_index);
+  w.put<std::uint64_t>(spans.size());
+  for (const TelemetrySpan& s : spans) {
+    w.put_string(s.name);
+    w.put(s.ts_ns);
+    w.put(s.dur_ns);
+    w.put(s.job);
+    w.put(s.value);
+    w.put<std::uint8_t>(static_cast<std::uint8_t>(s.phase));
+  }
+  w.put<std::uint64_t>(counters.size());
+  for (const auto& [name, value] : counters) {
+    w.put_string(name);
+    w.put(value);
+  }
+  w.put<std::uint64_t>(gauges.size());
+  for (const auto& [name, kind, value] : gauges) {
+    w.put_string(name);
+    w.put(kind);
+    w.put(value);
+  }
+  w.put<std::uint64_t>(histograms.size());
+  for (const TelemetryHistogram& h : histograms) {
+    w.put_string(h.name);
+    w.put(h.count);
+    w.put(h.sum);
+    w.put(h.min);
+    w.put(h.max);
+    w.put_vector(h.buckets);
+  }
+  return std::move(w).take();
+}
+
+std::optional<TelemetryBody> TelemetryBody::try_decode(
+    const std::vector<std::uint8_t>& bytes) {
+  Reader r(bytes);
+  TelemetryBody b;
+  if (!r.try_get(b.job_id) || !r.try_get(b.flush_index)) return std::nullopt;
+
+  std::uint64_t n = 0;
+  if (!r.try_get(n) || n > kMaxTelemetrySpans) return std::nullopt;
+  b.spans.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TelemetrySpan s;
+    std::uint8_t phase = 0;
+    if (!try_get_name(r, s.name) || !r.try_get(s.ts_ns) ||
+        !r.try_get(s.dur_ns) || !r.try_get(s.job) || !r.try_get(s.value) ||
+        !r.try_get(phase)) {
+      return std::nullopt;
+    }
+    s.phase = static_cast<char>(phase);
+    if (!valid_phase(s.phase)) return std::nullopt;
+    b.spans.push_back(std::move(s));
+  }
+
+  if (!r.try_get(n) || n > kMaxTelemetrySeries) return std::nullopt;
+  b.counters.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint64_t value = 0;
+    if (!try_get_name(r, name) || !r.try_get(value)) return std::nullopt;
+    b.counters.emplace_back(std::move(name), value);
+  }
+
+  if (!r.try_get(n) || n > kMaxTelemetrySeries) return std::nullopt;
+  b.gauges.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    std::string name;
+    std::uint8_t kind = 0;
+    double value = 0.0;
+    if (!try_get_name(r, name) || !r.try_get(kind) || !r.try_get(value)) {
+      return std::nullopt;
+    }
+    if (kind > 1) return std::nullopt;  // runtime::GaugeKind has two values
+    b.gauges.emplace_back(std::move(name), kind, value);
+  }
+
+  if (!r.try_get(n) || n > kMaxTelemetrySeries) return std::nullopt;
+  b.histograms.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TelemetryHistogram h;
+    if (!try_get_name(r, h.name) || !r.try_get(h.count) || !r.try_get(h.sum) ||
+        !r.try_get(h.min) || !r.try_get(h.max) ||
+        !r.try_get_vector(h.buckets) ||
+        h.buckets.size() != kTelemetryHistogramBuckets) {
+      return std::nullopt;
+    }
+    b.histograms.push_back(std::move(h));
+  }
+
+  if (!r.exhausted()) return std::nullopt;
   return b;
 }
 

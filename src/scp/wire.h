@@ -13,6 +13,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <tuple>
+#include <utility>
 #include <vector>
 
 #include "cluster/node.h"
@@ -38,6 +41,12 @@ enum class FrameKind : std::uint32_t {
   // single shard, not the network round trip.
   kPing = 11,  ///< service -> worker: prove you are alive
   kPong = 12,  ///< worker -> service: echo; refreshes last-activity
+  // Telemetry plane (worker plane). Spans and metrics recorded inside a
+  // worker process would die with it; kTelemetry ships them back over the
+  // same framing the work travels on, so one job across N processes reads
+  // as one trace. Fire-and-forget: a dropped batch is a missing trace
+  // lane, never a protocol stall.
+  kTelemetry = 13,  ///< worker -> service: TelemetryBody batch
 };
 
 /// Replica address: enough to route a frame to one shell and to drop it if
@@ -111,6 +120,69 @@ struct JobStartBody {
   static JobStartBody decode(const std::vector<std::uint8_t>& bytes);
   /// Non-aborting decode for bodies off the socket plane.
   static std::optional<JobStartBody> try_decode(
+      const std::vector<std::uint8_t>& bytes);
+};
+
+/// One span event shipped in a kTelemetry batch. Names travel as strings —
+/// the worker's string literals live in another address space. Completed
+/// spans ship as 'X' (start + duration, both on the WORKER's raw
+/// steady-clock ns; the coordinator's ping-echo offset estimate maps them
+/// onto its own wall timeline at export); instants 'i' and counters 'C'
+/// carry dur 0. 'B'/'E' are legal on the wire but must balance within a
+/// batch — the ingest side rejects unbalanced batches whole.
+struct TelemetrySpan {
+  std::string name;
+  std::uint64_t ts_ns = 0;   ///< worker steady-clock ns (absolute)
+  std::uint64_t dur_ns = 0;  ///< 'X' only; 0 otherwise
+  std::int64_t job = -1;     ///< job attribution; -1 = none
+  double value = 0.0;        ///< 'C' only
+  char phase = 'i';          ///< X | i | C | B | E
+};
+
+/// One histogram's cumulative state as shipped: raw log2 buckets (not just
+/// moments), so the coordinator can install the worker's distribution under
+/// a prefixed name and quantiles survive the hop.
+struct TelemetryHistogram {
+  std::string name;
+  std::uint64_t count = 0;
+  double sum = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  std::vector<std::uint64_t> buckets;  ///< exactly kTelemetryHistogramBuckets
+};
+
+/// Bucket count every shipped histogram must carry — mirrors
+/// runtime::Histogram::kBuckets (static_asserted at the ingest site; scp
+/// stays independent of the runtime layer).
+inline constexpr std::size_t kTelemetryHistogramBuckets = 27;
+
+/// Whole-job span a worker records at kJobEnd immediately before its
+/// final force-flush for that job. The coordinator keys "this worker's
+/// lane for job J is complete" on seeing it: mid-job periodic flushes
+/// also carry job-tagged spans, so the telemetry barrier must wait for
+/// the batch containing THIS span, not any batch mentioning the job.
+inline constexpr const char* kJobSpanName = "remote.job";
+
+/// kTelemetry payload: a batch of span events plus a cumulative
+/// MetricsRegistry snapshot (counters / gauges / histograms), flushed by
+/// the worker on job end and on a periodic timer. Crosses a trust
+/// boundary: decode ONLY via try_decode, which bounds every count and
+/// string length before allocating.
+struct TelemetryBody {
+  std::int64_t job_id = -1;       ///< job the batch belongs to; -1 = idle
+  std::uint64_t flush_index = 0;  ///< monotone per session (dedupe key)
+  std::vector<TelemetrySpan> spans;
+  /// Cumulative totals — the ingest side advances its prefixed series to
+  /// these values, so re-shipment is idempotent.
+  std::vector<std::pair<std::string, std::uint64_t>> counters;
+  /// (name, gauge kind as u8, value); kind mirrors runtime::GaugeKind.
+  std::vector<std::tuple<std::string, std::uint8_t, double>> gauges;
+  std::vector<TelemetryHistogram> histograms;
+
+  [[nodiscard]] std::vector<std::uint8_t> encode() const;
+  /// Non-aborting decode with hard bounds (span/series counts, name
+  /// lengths, phase alphabet, bucket counts). nullopt = drop the batch.
+  static std::optional<TelemetryBody> try_decode(
       const std::vector<std::uint8_t>& bytes);
 };
 

@@ -114,9 +114,10 @@ struct Coordinator {
       ++out.tiles_resent;
       if (p.metrics) p.metrics->counter("remote.tile_resends").add(1);
       RIF_TRACE_INSTANT("remote.resend_tile");
-      RIF_LOG_WARN("remote", "job " << p.job_id << ": tile " << t
-                                    << " overdue (attempt " << track.attempts
-                                    << "); re-sending to worker " << v);
+      RIF_LOG_EVERY(::rif::LogLevel::kWarn, "remote", 1.0,
+                    "job " << p.job_id << ": tile " << t << " overdue (attempt "
+                           << track.attempts << "); re-sending to worker "
+                           << v);
       assign_tile(v, t);  // re-arms with the backed-off deadline
     }
     for (int s = 0; s < static_cast<int>(shard_track.size()); ++s) {
@@ -138,9 +139,10 @@ struct Coordinator {
       ++out.shards_resent;
       if (p.metrics) p.metrics->counter("remote.shard_resends").add(1);
       RIF_TRACE_INSTANT("remote.resend_shard");
-      RIF_LOG_WARN("remote", "job " << p.job_id << ": cov shard " << s
-                                    << " overdue (attempt " << track.attempts
-                                    << "); re-sending to worker " << v);
+      RIF_LOG_EVERY(::rif::LogLevel::kWarn, "remote", 1.0,
+                    "job " << p.job_id << ": cov shard " << s
+                           << " overdue (attempt " << track.attempts
+                           << "); re-sending to worker " << v);
       send_app(v, shard_msgs[static_cast<std::size_t>(s)].encode(0));
       arm(track);
     }

@@ -4,6 +4,8 @@
 
 #include <algorithm>
 #include <chrono>
+#include <fstream>
+#include <thread>
 #include <utility>
 
 #include "core/parallel/parallel_pct.h"
@@ -450,6 +452,13 @@ void FusionService::attach_remote_workers() {
                     "cannot bind remote worker port");
     }
   }
+  // Telemetry batches arrive on the poll thread from the moment a worker
+  // connects, so the collector and its sink must exist before start().
+  telemetry_ = std::make_unique<obs::RemoteTelemetryCollector>();
+  remote_pool_->set_telemetry_sink(
+      [this](cluster::NodeId node, const scp::TelemetryBody& body) {
+        telemetry_->on_batch(node, body);
+      });
   remote_pool_->start(first);
   if (config_.remote_spawn_local) {
     for (int i = 0; i < config_.remote_workers; ++i) {
@@ -476,6 +485,9 @@ ServiceReport FusionService::run() {
   RIF_TRACE_SPAN("service_run");
   attach_remote_workers();
 
+  // Lives past scraper_->stop() below: the scrape thread writes through
+  // the sink until the join inside stop().
+  std::ofstream metrics_stream;
   if (config_.scrape_period_seconds > 0.0) {
     obs::MetricsScraper::Config sc;
     sc.period_seconds = config_.scrape_period_seconds;
@@ -484,7 +496,8 @@ ServiceReport FusionService::run() {
     // and pool threads, so it reads only the atomic gauges the sim thread
     // publishes — never queue_/memory_in_use_ directly.
     scraper_->set_derive(
-        [budget = config_.host_memory_budget](runtime::MetricsRegistry& reg) {
+        [this,
+         budget = config_.host_memory_budget](runtime::MetricsRegistry& reg) {
           double pressure = 0.0;
           if (budget > 0) {
             const double queued =
@@ -496,7 +509,26 @@ ServiceReport FusionService::run() {
           }
           reg.gauge("service.admission_pressure", runtime::GaugeKind::kSum)
               .set(pressure);
+          // Fold the latest remote-worker shipments in under their
+          // per-node prefixes, so the same scrape that samples host series
+          // samples the remote plane (idempotent between shipments).
+          if (telemetry_ != nullptr) telemetry_->merge_metrics_into(reg);
         });
+    if (!config_.metrics_stream_path.empty()) {
+      metrics_stream.open(config_.metrics_stream_path,
+                          std::ios::out | std::ios::trunc);
+      if (!metrics_stream) {
+        RIF_LOG_WARN("service", "cannot open metrics stream "
+                                    << config_.metrics_stream_path);
+      } else {
+        // Live NDJSON feed: one sample object per line, flushed as it is
+        // scraped, so an observer can tail the run in flight.
+        scraper_->set_on_scrape([&metrics_stream](const std::string& line) {
+          metrics_stream << line << '\n';
+          metrics_stream.flush();
+        });
+      }
+    }
     scraper_->start();
   }
 
@@ -581,6 +613,35 @@ bool FusionService::execute_remote(PendingJob& job) {
           .count();
   ++remote_jobs_;
   metrics_.counter("service.remote_jobs").add(1);
+  // Telemetry barrier: each worker's job-end flush races our completion
+  // (the spans ride the poll thread behind the last result frame). Give
+  // every still-live leased worker a short window to land its lane, then
+  // pin its ping-echo clock offset so the lane aligns onto our timeline.
+  // Best-effort by design: a worker that died or whose telemetry was
+  // dropped just leaves a missing lane.
+  if (telemetry_ != nullptr) {
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::milliseconds(500);
+    for (;;) {
+      const std::vector<cluster::NodeId> seen =
+          telemetry_->nodes_with_job_end(job.record.id);
+      bool covered = true;
+      for (const int w : workers) {
+        if (!remote_pool_->alive(w)) continue;
+        const cluster::NodeId n = remote_pool_->node_of(w);
+        if (std::find(seen.begin(), seen.end(), n) == seen.end()) {
+          covered = false;
+          break;
+        }
+      }
+      if (covered || std::chrono::steady_clock::now() >= deadline) break;
+      std::this_thread::sleep_for(std::chrono::milliseconds(2));
+    }
+    for (const int w : workers) {
+      const cluster::NodeId n = remote_pool_->node_of(w);
+      telemetry_->set_clock_offset(n, remote_pool_->clock_offset_ns(n));
+    }
+  }
   return true;
 }
 
@@ -860,6 +921,23 @@ ServiceReport FusionService::build_report() {
   if (remote_pool_ != nullptr) {
     report.remote_disconnects = remote_pool_->disconnects();
     report.remote_evictions = remote_pool_->evictions();
+  }
+  if (telemetry_ != nullptr) {
+    report.remote_telemetry_batches = telemetry_->batches();
+    report.remote_telemetry_rejected = telemetry_->rejected();
+    report.remote_telemetry_spans = telemetry_->spans();
+  }
+  // Flamegraph: fold the coordinator's own wall spans together with every
+  // clock-aligned remote lane into one self/total-time table.
+  if (tracer.enabled()) {
+    std::vector<obs::FlameSpan> flame = obs::tracer_flame_spans(tracer);
+    if (telemetry_ != nullptr) {
+      std::vector<obs::FlameSpan> remote =
+          telemetry_->flame_spans(tracer.epoch_ns());
+      flame.insert(flame.end(), remote.begin(), remote.end());
+    }
+    report.flamegraph = obs::fold_spans(std::move(flame));
+    report.flamegraph_json = report.flamegraph.to_json();
   }
   return report;
 }

@@ -91,7 +91,9 @@
 #include "core/distributed/fusion_job.h"
 #include "core/parallel/thread_pool.h"
 #include "net/network.h"
+#include "obs/flamegraph.h"
 #include "obs/metrics_scraper.h"
+#include "obs/remote_telemetry.h"
 #include "runtime/metrics.h"
 #include "scp/runtime.h"
 #include "service/accounting.h"
@@ -200,6 +202,12 @@ struct ServiceConfig {
   /// (MetricsScraper::timeline_json) to this file as well as embedding it
   /// in ServiceReport::metrics_timeline_json.
   std::string metrics_timeline_path;
+  /// When non-empty, every scrape is ALSO appended to this file as one
+  /// NDJSON line (obs::metrics_sample_json schema) while the run is still
+  /// going — a live feed, where metrics_timeline_path is a post-run
+  /// artifact. Remote workers' shipped snapshots appear in the same lines
+  /// under "remote.worker.<node>." series.
+  std::string metrics_stream_path;
 };
 
 /// Usage of the shared host execution pool over the host-execution phase
@@ -288,6 +296,19 @@ struct ServiceReport {
   int remote_fallbacks = 0;         ///< remote jobs that fell back to host
   int remote_disconnects = 0;       ///< worker connections lost during run()
   int remote_evictions = 0;         ///< hung workers evicted by supervision
+
+  // Distributed telemetry plane (zeros when no remote workers shipped any).
+  std::uint64_t remote_telemetry_batches = 0;   ///< batches merged
+  std::uint64_t remote_telemetry_rejected = 0;  ///< dropped: bad/unbalanced
+  std::uint64_t remote_telemetry_spans = 0;     ///< span events ingested
+
+  /// Flamegraph fold of the run's wall spans — host tracer lanes plus
+  /// every remote worker's shipped spans on the unified timeline
+  /// (obs/flamegraph.h). Rows sorted by self time; empty when tracing was
+  /// off. `flamegraph_json` is the same table serialized (FLAME_*.json
+  /// schema).
+  obs::FlameTable flamegraph;
+  std::string flamegraph_json;
 };
 
 class FusionService {
@@ -319,6 +340,12 @@ class FusionService {
   /// ServiceConfig::remote_workers == 0. Tests use it to inject crashes.
   [[nodiscard]] cluster::RemoteWorkerPool* remote_pool() {
     return remote_pool_.get();
+  }
+  /// Telemetry shipped back by remote workers (spans, metrics, clock
+  /// offsets); nullptr when ServiceConfig::remote_workers == 0. Outlives
+  /// run() — smokes export the unified trace from it afterwards.
+  [[nodiscard]] obs::RemoteTelemetryCollector* remote_telemetry() {
+    return telemetry_.get();
   }
 
  private:
@@ -380,6 +407,10 @@ class FusionService {
   std::unique_ptr<obs::MetricsScraper> scraper_;
   /// Real-socket worker plane (see ServiceConfig::remote_workers).
   std::unique_ptr<cluster::RemoteWorkerPool> remote_pool_;
+  /// Coordinator-side ingest for the workers' kTelemetry batches; wired as
+  /// the pool's telemetry sink before start (outlives the pool so trace
+  /// export happens after run()).
+  std::unique_ptr<obs::RemoteTelemetryCollector> telemetry_;
   std::vector<cluster::NodeId> remote_nodes_;  ///< leased-in remote node ids
   int remote_jobs_ = 0;
   int remote_fallbacks_ = 0;

@@ -1,6 +1,7 @@
 #include "support/log.h"
 
 #include <cctype>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
@@ -9,6 +10,13 @@ namespace rif {
 namespace {
 
 thread_local std::int64_t t_log_job = kLogNoJob;
+
+std::uint64_t steady_now_ns() {
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
 
 }  // namespace
 
@@ -39,7 +47,7 @@ bool parse_log_level(const std::string& name, LogLevel* out) {
   return true;
 }
 
-Logger::Logger() {
+Logger::Logger() : start_ns_(steady_now_ns()) {
   if (const char* env = std::getenv("RIF_LOG"); env != nullptr) {
     parse_log_level(env, &level_);  // unrecognised names keep the default
   }
@@ -60,13 +68,31 @@ void Logger::write(LogLevel level, const std::string& component,
   } else {
     line = message;
   }
-  if (clock_) {
-    std::fprintf(stderr, "[%12.6fs] %-5s %-12s %s\n", clock_(), name,
-                 component.c_str(), line.c_str());
-  } else {
-    std::fprintf(stderr, "%-5s %-12s %s\n", name, component.c_str(),
-                 line.c_str());
+  // Virtual seconds when the simulation drives the clock; wall seconds
+  // since logger construction otherwise. Either way every line has a
+  // timestamp a timeline tool can align against.
+  const double t = clock_
+                       ? clock_()
+                       : static_cast<double>(steady_now_ns() - start_ns_) /
+                             1e9;
+  std::fprintf(stderr, "[%12.6fs] %-5s %-12s %s\n", t, name,
+               component.c_str(), line.c_str());
+}
+
+bool LogRateLimiter::allow(double period_seconds, std::uint64_t* suppressed) {
+  const std::uint64_t now = steady_now_ns();
+  const auto period_ns = static_cast<std::uint64_t>(
+      period_seconds > 0.0 ? period_seconds * 1e9 : 0.0);
+  std::uint64_t next = next_ns_.load(std::memory_order_relaxed);
+  while (now >= next) {
+    if (next_ns_.compare_exchange_weak(next, now + period_ns,
+                                       std::memory_order_relaxed)) {
+      *suppressed = suppressed_.exchange(0, std::memory_order_relaxed);
+      return true;
+    }
   }
+  suppressed_.fetch_add(1, std::memory_order_relaxed);
+  return false;
 }
 
 }  // namespace rif

@@ -8,12 +8,23 @@
 // trace|debug|info|warn|error, case-insensitive; default warn), read once
 // when the logger is first touched. set_level() still overrides it.
 //
+// Timestamps: every line carries "[%12.6fs]" — virtual seconds when the
+// simulation installed its clock, wall seconds since logger construction
+// otherwise — so a chaos soak log interleaves meaningfully with the
+// metrics timeline.
+//
+// Rate limiting: RIF_LOG_EVERY(level, component, period_seconds, expr)
+// keeps a per-call-site limiter so repetitive chatter (heartbeat misses,
+// eviction retries) emits at most one line per period, with a
+// "(+N suppressed)" suffix accounting for the rest.
+//
 // Job context: worker threads executing on behalf of a job install the job
 // id via log_set_job_context() (the obs::JobScope RAII does this together
 // with trace attribution), and every line logged from that thread gains a
 // "[job N] " message prefix. The line format is otherwise unchanged.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <functional>
 #include <sstream>
@@ -53,6 +64,22 @@ class Logger {
   Logger();
   LogLevel level_ = LogLevel::kWarn;
   std::function<double()> clock_;
+  std::uint64_t start_ns_ = 0;  ///< steady clock at construction (wall axis)
+};
+
+/// Per-site token for RIF_LOG_EVERY: at most one allow() per period, the
+/// rest counted. Lock-free — safe from any thread, including the pool's
+/// socket thread mid-eviction.
+class LogRateLimiter {
+ public:
+  /// True when a line may be emitted now. On true, *suppressed receives
+  /// the number of calls swallowed since the last emitted line (and the
+  /// internal count resets); on false the call is counted instead.
+  bool allow(double period_seconds, std::uint64_t* suppressed);
+
+ private:
+  std::atomic<std::uint64_t> next_ns_{0};
+  std::atomic<std::uint64_t> suppressed_{0};
 };
 
 }  // namespace rif
@@ -64,6 +91,25 @@ class Logger {
       rif_log_os_ << expr;                                               \
       ::rif::Logger::instance().write(level, component, rif_log_os_.str()); \
     }                                                                    \
+  } while (0)
+
+/// RIF_LOG, at most once per `period_seconds` PER CALL SITE; swallowed
+/// repeats are tallied into a "(+N suppressed)" suffix on the next line.
+#define RIF_LOG_EVERY(level, component, period_seconds, expr)                \
+  do {                                                                       \
+    if (::rif::Logger::instance().enabled(level)) {                          \
+      static ::rif::LogRateLimiter rif_log_limiter_;                         \
+      std::uint64_t rif_log_suppressed_ = 0;                                 \
+      if (rif_log_limiter_.allow(period_seconds, &rif_log_suppressed_)) {    \
+        std::ostringstream rif_log_os_;                                      \
+        rif_log_os_ << expr;                                                 \
+        if (rif_log_suppressed_ > 0) {                                       \
+          rif_log_os_ << " (+" << rif_log_suppressed_ << " suppressed)";     \
+        }                                                                    \
+        ::rif::Logger::instance().write(level, component,                    \
+                                        rif_log_os_.str());                  \
+      }                                                                      \
+    }                                                                        \
   } while (0)
 
 #define RIF_LOG_DEBUG(component, expr) \

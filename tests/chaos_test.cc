@@ -19,6 +19,7 @@
 #include <chrono>
 #include <cmath>
 #include <cstdint>
+#include <cstdio>
 #include <fstream>
 #include <map>
 #include <thread>
@@ -33,6 +34,9 @@
 #include "net/backoff.h"
 #include "net/fault_injection.h"
 #include "net/socket_transport.h"
+#include "obs/remote_telemetry.h"
+#include "obs/span_tracer.h"
+#include "obs/trace_check.h"
 #include "runtime/metrics.h"
 #include "scp/wire.h"
 #include "service/remote_exec.h"
@@ -583,6 +587,99 @@ TEST(ChaosSoakTest, EveryJobCompletesBitExactOrFallsBackUnderFaults) {
   // CI uploads this snapshot as the soak's artifact.
   std::ofstream out("METRICS_chaos.json");
   out << report.metrics_json << "\n";
+}
+
+TEST(ChaosSoakTest, TelemetryDegradesToMissingLanesNeverGarbles) {
+  // The telemetry plane rides the same faulted sockets as the work: frames
+  // carrying span batches get dropped, delayed, duplicated, corrupted and
+  // killed along with everything else. The contract under fire is strictly
+  // "degrade, don't garble": the service must complete its jobs (remotely
+  // or by fallback), the unified trace must still VALIDATE — lost batches
+  // read as missing lanes, never as unbalanced or misnested events — and
+  // ingest-side rejections are counted, not fatal.
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  tracer.set_enabled(false);
+  tracer.clear();
+  tracer.set_enabled(true);
+
+  const auto scene = chaos_scene();
+  constexpr int kJobs = 8;
+
+  service::ServiceConfig cfg;
+  cfg.worker_nodes = 1;
+  cfg.execution_threads = 2;
+  cfg.remote_workers = 3;
+  cfg.remote_spawn_local = true;
+  cfg.remote_heartbeat_seconds = 0.05;
+  cfg.remote_hung_timeout_seconds = 0.5;
+  cfg.remote_shard_deadline_seconds = 0.5;
+  cfg.remote_resend_limit = 4;
+  cfg.remote_job_deadline_seconds = 15.0;
+  cfg.scrape_period_seconds = 0.05;
+
+  net::WireFaultPlan plan;
+  plan.seed = 4242;
+  // A corrupted inbound frame (could be a telemetry batch — the checksum
+  // rejects it either way) and one outright kill, plus seeded noise.
+  plan.script.push_back({20, 1, WireDirection::kInbound, WireFault::kCorrupt,
+                         /*arg=*/2});
+  plan.script.push_back({30, 2, WireDirection::kInbound, WireFault::kKill,
+                         0});
+  Rng noise_rng(13);
+  const auto noise = net::poisson_wire_script(
+      noise_rng, /*frame_horizon=*/1500, /*mean_interarrival_frames=*/50.0,
+      {WireFault::kDrop, WireFault::kDelay, WireFault::kDuplicate},
+      /*sessions=*/3);
+  plan.script.insert(plan.script.end(), noise.begin(), noise.end());
+  cfg.remote_faults = std::move(plan);
+
+  service::FusionService service(cfg);
+  for (int i = 0; i < kJobs; ++i) {
+    service::JobRequest r;
+    r.tenant = "chaos";
+    r.config.mode = core::ExecutionMode::kFull;
+    r.config.workers = 3;
+    r.config.tiles_per_worker = 2;
+    r.config.shape = {scene.cube.width(), scene.cube.height(),
+                      scene.cube.bands()};
+    r.config.cube = &scene.cube;
+    ASSERT_TRUE(service.submit(std::move(r)).accepted());
+  }
+  const service::ServiceReport report = service.run();
+  tracer.set_enabled(false);
+
+  // Nothing crashed and nothing wedged.
+  ASSERT_TRUE(report.all_completed);
+
+  // The unified trace is still schema-valid: dropped or rejected batches
+  // may thin the worker lanes but can never unbalance or garble the trace.
+  const obs::RemoteTelemetryCollector* telemetry = service.remote_telemetry();
+  ASSERT_NE(telemetry, nullptr);
+  const std::string trace_path = "TRACE_chaos_telemetry.json";
+  ASSERT_TRUE(obs::write_unified_trace(trace_path, tracer, *telemetry));
+  const obs::TraceCheckResult tc = obs::check_chrome_trace_file(trace_path);
+  EXPECT_TRUE(tc.ok) << tc.error;
+  EXPECT_GE(tc.pids, 1u);  // the coordinator lane survives anything
+
+  // Jobs that DID complete remotely carried live workers to the end; at
+  // least one of their lanes must have landed (the service barriers on the
+  // job-end flush). Jobs that fell back may have none — that is the
+  // "missing lane" degradation, not an error.
+  if (report.remote_jobs > 0) {
+    int jobs_with_lanes = 0;
+    for (const service::JobRecord& rec : report.jobs) {
+      if (!rec.remote_executed) continue;
+      if (!telemetry->nodes_with_job(rec.id).empty()) ++jobs_with_lanes;
+    }
+    EXPECT_GE(jobs_with_lanes, 1);
+  }
+
+  // Ingest health is observable, and the report carries it.
+  EXPECT_EQ(report.remote_telemetry_batches, telemetry->batches());
+  EXPECT_EQ(report.remote_telemetry_rejected, telemetry->rejected());
+
+  std::remove(trace_path.c_str());
+  tracer.clear();
 }
 
 }  // namespace

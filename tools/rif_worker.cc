@@ -48,7 +48,8 @@ namespace {
 void usage(const char* argv0) {
   std::fprintf(stderr,
                "usage: %s (--tcp <host>:<port> | --unix <path>) "
-               "[--retry-seconds <s>] [--max-attempts <n>] [--no-reconnect]\n",
+               "[--retry-seconds <s>] [--max-attempts <n>] [--no-reconnect] "
+               "[--no-telemetry] [--telemetry-flush-seconds <s>]\n",
                argv0);
 }
 
@@ -95,6 +96,7 @@ int main(int argc, char** argv) {
   double retry_seconds = 10.0;
   int max_attempts = 0;
   bool reconnect = true;
+  rif::cluster::RemoteWorkerOptions worker_options;
 
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
@@ -120,6 +122,10 @@ int main(int argc, char** argv) {
       max_attempts = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
     } else if (arg == "--no-reconnect") {
       reconnect = false;
+    } else if (arg == "--no-telemetry") {
+      worker_options.telemetry = false;
+    } else if (arg == "--telemetry-flush-seconds" && i + 1 < argc) {
+      worker_options.telemetry_flush_seconds = std::strtod(argv[++i], nullptr);
     } else {
       usage(argv[0]);
       return 1;
@@ -147,7 +153,7 @@ int main(int argc, char** argv) {
       return 1;
     }
     const rif::cluster::RemoteWorkerStats stats =
-        rif::cluster::serve_remote_worker(client);
+        rif::cluster::serve_remote_worker(client, worker_options);
     client.close();
     total.node = stats.node;
     total.jobs += stats.jobs;
@@ -155,6 +161,7 @@ int main(int argc, char** argv) {
     total.shards_summed += stats.shards_summed;
     total.tiles_colored += stats.tiles_colored;
     total.pings_answered += stats.pings_answered;
+    total.telemetry_flushes += stats.telemetry_flushes;
     total.clean_exit = stats.clean_exit;
     if (stats.clean_exit) break;
     if (!reconnect) break;
@@ -165,12 +172,14 @@ int main(int argc, char** argv) {
 
   std::printf(
       "rif_worker node=%d jobs=%llu tiles_screened=%llu shards_summed=%llu "
-      "tiles_colored=%llu pings_answered=%llu clean_exit=%d\n",
+      "tiles_colored=%llu pings_answered=%llu telemetry_flushes=%llu "
+      "clean_exit=%d\n",
       total.node, static_cast<unsigned long long>(total.jobs),
       static_cast<unsigned long long>(total.tiles_screened),
       static_cast<unsigned long long>(total.shards_summed),
       static_cast<unsigned long long>(total.tiles_colored),
       static_cast<unsigned long long>(total.pings_answered),
+      static_cast<unsigned long long>(total.telemetry_flushes),
       total.clean_exit ? 1 : 0);
   return total.clean_exit ? 0 : 1;
 }
