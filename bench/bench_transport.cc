@@ -1,5 +1,6 @@
 // Microbench: the byte-transport codec path — frame encode + reassembly
-// and wire-envelope encode/decode — plus a live socketpair round-trip.
+// and wire-envelope encode/decode — plus a live socketpair round-trip and
+// an ops-endpoint status probe over loopback TCP.
 //
 // These are the per-hop costs every remote-execution message pays on top
 // of the sim transport's free virtual delivery; the numbers bound how much
@@ -17,6 +18,7 @@
 
 #include "net/frame.h"
 #include "net/socket_transport.h"
+#include "obs/ops_server.h"
 #include "scp/wire.h"
 #include "support/table.h"
 
@@ -97,6 +99,40 @@ double socketpair_rtt(std::size_t payload_bytes, int repeats) {
   return repeats / secs;
 }
 
+/// Ops-request round-trips per second against a live OpsServer over
+/// loopback TCP: the cost a monitoring poller pays per `status` probe
+/// (frame codec + poll-loop dispatch + provider call + reply frame).
+double ops_request_rtt(int repeats) {
+  obs::OpsServerConfig cfg;
+  obs::OpsServer::Providers providers;
+  providers.status_json = [] {
+    return std::string("{\"uptime_seconds\": 1.0, \"jobs\": {}}");
+  };
+  obs::OpsServer server(cfg, providers);
+  if (!server.start()) {
+    std::fprintf(stderr, "ops server bind failed\n");
+    std::abort();
+  }
+  net::SocketClient client;
+  if (!client.connect_tcp("127.0.0.1", server.port())) {
+    std::fprintf(stderr, "ops connect failed\n");
+    std::abort();
+  }
+  const std::vector<std::uint8_t> request = {'s', 't', 'a', 't', 'u', 's'};
+  std::vector<std::uint8_t> reply;
+  const auto start = Clock::now();
+  for (int i = 0; i < repeats; ++i) {
+    if (!client.send_frame(request) || !client.read_frame(reply)) {
+      std::fprintf(stderr, "ops exchange failed\n");
+      std::abort();
+    }
+  }
+  const double secs = seconds_since(start);
+  client.close();
+  server.stop();
+  return repeats / secs;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -126,5 +162,10 @@ int main(int argc, char** argv) {
   table.print();
   std::printf("\ncodec = envelope encode + frame + reassemble + decode; "
               "round-trip = framed echo over a socketpair.\n");
+
+  const int ops_reps = smoke ? 50 : 5000;
+  std::printf("\nops status probe: %.0f requests/s over loopback TCP "
+              "(frame + dispatch + provider + reply)\n",
+              ops_request_rtt(ops_reps));
   return 0;
 }

@@ -7,8 +7,23 @@
 // Streaming mode under a host-memory budget. The service queues, admits
 // against free capacity (and memory), runs jobs concurrently on disjoint
 // leases, and accounts per tenant.
+//
+// Live ops plane (optional):
+//   --ops-unix <path> | --ops-port <port>   expose the introspection
+//                                           endpoint (tools/rif_ops talks
+//                                           to it)
+//   --linger <seconds>                      keep the process (and the ops
+//                                           endpoint) alive after the run
+//                                           so clients can attach and tail
+//                                           the live metrics stream
+// Without flags the demo behaves exactly as before — deterministic stdout,
+// no sockets.
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
+#include <cstring>
 #include <filesystem>
+#include <thread>
 
 #include "hsi/cube_io.h"
 #include "hsi/scene.h"
@@ -33,7 +48,29 @@ core::FusionJobConfig job_config(int workers) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  std::string ops_unix;
+  std::uint16_t ops_port = 0;
+  bool ops_enabled = false;
+  double linger_seconds = 0.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--ops-unix") == 0 && i + 1 < argc) {
+      ops_unix = argv[++i];
+      ops_enabled = true;
+    } else if (std::strcmp(argv[i], "--ops-port") == 0 && i + 1 < argc) {
+      ops_port = static_cast<std::uint16_t>(std::strtoul(argv[++i], nullptr, 10));
+      ops_enabled = true;
+    } else if (std::strcmp(argv[i], "--linger") == 0 && i + 1 < argc) {
+      linger_seconds = std::strtod(argv[++i], nullptr);
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--ops-unix <path> | --ops-port <port>] "
+                   "[--linger <seconds>]\n",
+                   argv[0]);
+      return 1;
+    }
+  }
+
   std::printf("=== Multi-tenant fusion service demo ===\n");
   std::printf("cluster: 1 head + 16 worker nodes, 100BaseT LAN, "
               "first-fit admission\n\n");
@@ -59,7 +96,22 @@ int main() {
   // Budget below the archive cube: only the STREAMED working set
   // (queue_depth chunk buffers) fits, which is the point.
   cfg.host_memory_budget = scene.cube.bytes() / 2;
+  if (ops_enabled) {
+    // The ops plane lives from construction to destruction, so a rif_ops
+    // client can attach before, during, or (with --linger) after the run.
+    cfg.ops_enabled = true;
+    cfg.ops_port = ops_port;
+    cfg.ops_socket_path = ops_unix;
+  }
   service::FusionService service(cfg);
+  if (ops_enabled && service.ops_server() != nullptr) {
+    if (!ops_unix.empty()) {
+      std::fprintf(stderr, "ops endpoint: unix %s\n", ops_unix.c_str());
+    } else {
+      std::fprintf(stderr, "ops endpoint: tcp 127.0.0.1:%u\n",
+                   static_cast<unsigned>(service.ops_server()->port()));
+    }
+  }
 
   // Tracing on for the whole day: every job's lifecycle — submit, queue
   // wait, admission, execution down to per-chunk stages — lands on one
@@ -192,6 +244,16 @@ int main() {
                 count("host_execute"), count("chunk_read"));
   } else {
     std::printf("\ntrace: cannot write %s\n", trace_path.c_str());
+  }
+
+  if (linger_seconds > 0.0) {
+    // The service (and with it the ops endpoint and the metrics scraper)
+    // stays alive so clients can attach now: status, metrics, logs,
+    // flamegraph, and the live subscribe-metrics stream all keep working.
+    std::fprintf(stderr, "lingering %.1fs for ops clients...\n",
+                 linger_seconds);
+    std::this_thread::sleep_for(
+        std::chrono::duration<double>(linger_seconds));
   }
 
   std::filesystem::remove(trace_path);

@@ -14,6 +14,7 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
 #include <fstream>
 #include <string>
@@ -26,6 +27,7 @@
 #include "obs/span_tracer.h"
 #include "obs/trace_check.h"
 #include "service/service.h"
+#include "support/log.h"
 
 using namespace rif;
 
@@ -143,11 +145,26 @@ int main(int argc, char** argv) {
     return 1;
   }
   std::printf("telemetry: %llu batches, %llu spans, %llu rejected, "
-              "%llu duplicate flushes\n",
+              "%llu duplicate flushes, %llu log records\n",
               static_cast<unsigned long long>(telemetry->batches()),
               static_cast<unsigned long long>(telemetry->spans()),
               static_cast<unsigned long long>(telemetry->rejected()),
-              static_cast<unsigned long long>(telemetry->duplicates()));
+              static_cast<unsigned long long>(telemetry->duplicates()),
+              static_cast<unsigned long long>(telemetry->log_records()));
+  // Worker log shipment rides the same telemetry lane. The serve loop logs
+  // its lifecycle at INFO, so records only exist when the fleet ran at
+  // info or chattier — assert exactly then (CI runs with RIF_LOG=info).
+  {
+    const char* env = std::getenv("RIF_LOG");
+    rif::LogLevel env_level = rif::LogLevel::kWarn;
+    const bool verbose = env != nullptr && parse_log_level(env, &env_level) &&
+                         env_level <= rif::LogLevel::kInfo;
+    if (verbose && telemetry->log_records() == 0) {
+      std::printf("FAIL: RIF_LOG=%s but the workers shipped no log records\n",
+                  env);
+      return 1;
+    }
+  }
   if (!obs::write_unified_trace("TRACE_remote.json", tracer, *telemetry)) {
     std::printf("FAIL: cannot write TRACE_remote.json\n");
     return 1;

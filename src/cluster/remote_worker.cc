@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <chrono>
+#include <functional>
 #include <map>
 #include <optional>
 #include <string>
@@ -12,6 +13,7 @@
 #include "core/distributed/shard_ops.h"
 #include "runtime/metrics.h"
 #include "scp/wire.h"
+#include "support/log.h"
 #include "support/serialize.h"
 
 namespace rif::cluster {
@@ -57,9 +59,28 @@ struct WorkerState {
   // "remote.worker.<node>.").
   runtime::MetricsRegistry metrics;
   std::vector<scp::TelemetrySpan> pending_spans;
+  std::vector<scp::TelemetryLog> pending_logs;
   std::uint64_t flush_index = 0;
   std::uint64_t last_flush_ns = 0;
   std::uint64_t job_start_ns = 0;
+
+  /// Per-thread RIF_LOG capture target: the serve thread's own lines land
+  /// here as structured records (bounded; excess dropped and counted) and
+  /// ship on the next flush's final batch. Lines still reach stderr.
+  void capture_log(const LogRecord& record) {
+    if (!options.telemetry) return;
+    if (pending_logs.size() >= options.max_pending_logs) {
+      metrics.counter("logs_dropped").add();
+      return;
+    }
+    scp::TelemetryLog l;
+    l.level = static_cast<std::uint8_t>(record.level);
+    l.component = record.component;
+    l.message = record.message;
+    l.job = record.job >= 0 ? record.job : current_job();
+    l.ts_ns = steady_ns();
+    pending_logs.push_back(std::move(l));
+  }
 
   [[nodiscard]] bool send_app(scp::Message msg) {
     scp::WireEnvelope env;
@@ -112,7 +133,7 @@ struct WorkerState {
             ? options.telemetry_flush_seconds * 1e9
             : 0.0);
     if (!force && now - last_flush_ns < period_ns) return true;
-    if (!force && pending_spans.empty()) return true;
+    if (!force && pending_spans.empty() && pending_logs.empty()) return true;
     last_flush_ns = now;
 
     const std::size_t batch_cap =
@@ -128,8 +149,16 @@ struct WorkerState {
                         pending_spans.begin() + sent + n);
       sent += n;
       if (sent >= pending_spans.size()) {
-        // Metrics ride on the final batch only: they are cumulative
-        // totals, so one copy per flush is enough.
+        // Metrics and buffered log records ride on the final batch only:
+        // metrics are cumulative totals, so one copy per flush is enough;
+        // logs ship once each.
+        stats.logs_shipped += pending_logs.size();
+        if (!pending_logs.empty()) {
+          metrics.counter("logs_shipped")
+              .add(static_cast<std::uint64_t>(pending_logs.size()));
+        }
+        body.logs = std::move(pending_logs);
+        pending_logs.clear();
         const runtime::RegistrySnapshot snap = metrics.snapshot();
         for (const auto& [name, value] : snap.counters) {
           body.counters.emplace_back(name, value);
@@ -239,9 +268,28 @@ struct WorkerState {
 
 }  // namespace
 
+/// Routes the serve thread's RIF_LOG lines into WorkerState::capture_log
+/// for the life of the loop; restores on every exit path. Per-thread, so
+/// in-process workers (spawn_local_worker) never capture each other's or
+/// the coordinator's lines.
+class LogCaptureScope {
+ public:
+  explicit LogCaptureScope(WorkerState& st)
+      : fn_([&st](const LogRecord& record) { st.capture_log(record); }) {
+    log_set_thread_capture(&fn_);
+  }
+  ~LogCaptureScope() { log_set_thread_capture(nullptr); }
+  LogCaptureScope(const LogCaptureScope&) = delete;
+  LogCaptureScope& operator=(const LogCaptureScope&) = delete;
+
+ private:
+  std::function<void(const LogRecord&)> fn_;
+};
+
 RemoteWorkerStats serve_remote_worker(net::SocketClient& client,
                                       const RemoteWorkerOptions& options) {
   WorkerState st{client, options};
+  LogCaptureScope log_capture(st);
   scp::WireEnvelope hello;
   hello.kind = scp::FrameKind::kHello;
   hello.payload = scp::HelloBody{}.encode();
@@ -261,6 +309,7 @@ RemoteWorkerStats serve_remote_worker(net::SocketClient& client,
         rif::Reader r(env.payload);
         st.node = r.get<std::int32_t>();
         st.stats.node = st.node;
+        RIF_LOG_INFO("worker", "leased in as node " << st.node);
         break;
       }
       case scp::FrameKind::kJobStart: {
@@ -272,6 +321,10 @@ RemoteWorkerStats serve_remote_worker(net::SocketClient& client,
         ++st.stats.jobs;
         st.metrics.counter("jobs").add();
         st.job_start_ns = steady_ns();
+        RIF_LOG_INFO("worker", "job " << st.job->job_id << " start ("
+                                      << st.job->width << "x"
+                                      << st.job->height << "x"
+                                      << st.job->bands << ")");
         if (!st.request_work()) return st.stats;
         break;
       }
@@ -286,7 +339,14 @@ RemoteWorkerStats serve_remote_worker(net::SocketClient& client,
         // Record the whole-job span and force-flush before forgetting the
         // job: the coordinator is about to finish the job and wants its
         // lane complete.
-        if (st.job) st.record_span(scp::kJobSpanName, st.job_start_ns);
+        if (st.job) {
+          st.record_span(scp::kJobSpanName, st.job_start_ns);
+          RIF_LOG_INFO("worker",
+                       "job " << st.job->job_id << " end: screened "
+                              << st.stats.tiles_screened << ", summed "
+                              << st.stats.shards_summed << ", colored "
+                              << st.stats.tiles_colored);
+        }
         if (!st.flush_telemetry(/*force=*/true)) return st.stats;
         st.job.reset();
         st.tiles.clear();

@@ -22,6 +22,7 @@ struct RemoteWorkerStats {
   std::uint64_t tiles_colored = 0;
   std::uint64_t pings_answered = 0;  ///< liveness probes echoed back
   std::uint64_t telemetry_flushes = 0;  ///< kTelemetry batches shipped
+  std::uint64_t logs_shipped = 0;  ///< structured log records shipped
   bool clean_exit = false;  ///< true when the service said kGoodbye
 };
 
@@ -35,6 +36,10 @@ struct RemoteWorkerOptions {
   double telemetry_flush_seconds = 0.25;
   /// Spans per kTelemetry batch; a longer backlog ships as several batches.
   std::size_t max_batch_spans = 2048;
+  /// Structured RIF_LOG records buffered between flushes (the serve loop's
+  /// own lines, captured per-thread). The cap rate-limits shipment: excess
+  /// records are dropped and counted (logs_dropped), never queued.
+  std::size_t max_pending_logs = 256;
 };
 
 /// Run the worker protocol on an already-connected client until the service

@@ -105,6 +105,24 @@ bool SocketServer::send(SessionId session,
   return true;
 }
 
+bool SocketServer::send_limited(SessionId session,
+                                const std::vector<std::uint8_t>& payload,
+                                std::size_t max_pending_bytes) {
+  const std::vector<std::uint8_t> framed = encode_frame(payload);
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = sessions_.find(session);
+    if (it == sessions_.end() || it->second.draining) return false;
+    if (it->second.outbound.size() - it->second.sent > max_pending_bytes) {
+      return false;  // consumer is behind: drop, never queue further
+    }
+    it->second.outbound.insert(it->second.outbound.end(), framed.begin(),
+                               framed.end());
+  }
+  wake();
+  return true;
+}
+
 SessionId SocketServer::adopt(int fd) {
   RIF_CHECK(set_nonblocking(fd));
   SessionId id;

@@ -61,6 +61,15 @@ class SocketServer {
   /// Queue one frame for a session. Thread-safe. False if unknown session.
   bool send(SessionId session, const std::vector<std::uint8_t>& payload);
 
+  /// send(), but REFUSE (return false, queue nothing) when the session
+  /// already has more than `max_pending_bytes` of unsent outbound bytes.
+  /// This is the slow-consumer guard for fan-out paths (the ops plane's
+  /// subscribe-metrics push): a subscriber that stops reading loses frames
+  /// instead of growing the queue or backpressuring the producer.
+  bool send_limited(SessionId session,
+                    const std::vector<std::uint8_t>& payload,
+                    std::size_t max_pending_bytes);
+
   /// Adopt an already-connected fd (e.g. one end of a socketpair) as a
   /// session. Thread-safe. Returns its session id.
   SessionId adopt(int fd);

@@ -80,9 +80,13 @@ class MetricsScraper {
   /// Incremental sink: invoked after EVERY scrape (periodic or
   /// scrape_now), on the scraping thread, under the sample lock, with the
   /// sample rendered by metrics_sample_json(). Appending each call to a
-  /// file yields a live NDJSON timeline while the run is still going.
-  /// Set before start(); the sink must not call back into the scraper.
+  /// file yields a live NDJSON timeline while the run is still going; the
+  /// ops plane fans the same line out to subscribe-metrics sessions.
+  /// Installable (or replaceable) at any time, including while the
+  /// periodic thread runs — the swap is ordered against scrapes by the
+  /// sample lock. The sink must not call back into the scraper.
   void set_on_scrape(std::function<void(const std::string&)> sink) {
+    const std::lock_guard<std::mutex> lock(mutex_);
     on_scrape_ = std::move(sink);
   }
 
@@ -119,7 +123,7 @@ class MetricsScraper {
   std::function<void(const std::string&)> on_scrape_;
   std::chrono::steady_clock::time_point epoch_;
 
-  mutable std::mutex mutex_;  ///< guards ring_, prev_, running_
+  mutable std::mutex mutex_;  ///< guards ring_, prev_, running_, on_scrape_
   std::condition_variable cv_;
   std::deque<MetricsSample> ring_;
   runtime::RegistrySnapshot prev_;

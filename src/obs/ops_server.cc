@@ -1,0 +1,201 @@
+#include "obs/ops_server.h"
+
+#include <cctype>
+#include <cstdio>
+#include <cstdlib>
+
+#include "net/frame.h"
+#include "obs/chrome_trace.h"
+
+namespace rif::obs {
+
+namespace {
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+  }
+  return "?";
+}
+
+std::string fmt_seconds(double t) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.6f", t);
+  return buf;
+}
+
+/// Command text is a short ASCII word (plus an optional count) — anything
+/// with control bytes or stray binary is not a client mistake, it is a
+/// different protocol (or an attack) and the session is closed. Plain
+/// whitespace is tolerated so a human driving the socket by hand (trailing
+/// newline from a line-buffered client) is not treated as hostile.
+bool printable_ascii(const std::vector<std::uint8_t>& bytes) {
+  for (std::uint8_t b : bytes) {
+    if ((b < 0x20 || b > 0x7e) && std::isspace(b) == 0) return false;
+  }
+  return true;
+}
+
+std::string trimmed(const std::vector<std::uint8_t>& bytes) {
+  std::size_t begin = 0;
+  std::size_t end = bytes.size();
+  while (begin < end && std::isspace(bytes[begin]) != 0) ++begin;
+  while (end > begin && std::isspace(bytes[end - 1]) != 0) --end;
+  return std::string(bytes.begin() + static_cast<std::ptrdiff_t>(begin),
+                     bytes.begin() + static_cast<std::ptrdiff_t>(end));
+}
+
+}  // namespace
+
+std::string log_record_json(const LogRecord& record) {
+  std::string out = "{\"t\":";
+  out += fmt_seconds(record.t_seconds);
+  out += ",\"level\":\"";
+  out += level_name(record.level);
+  out += "\",\"component\":\"";
+  out += json_escape(record.component);
+  out += "\",\"node\":";
+  out += std::to_string(record.node);
+  out += ",\"job\":";
+  out += std::to_string(record.job);
+  out += ",\"msg\":\"";
+  out += json_escape(record.message);
+  out += "\"}";
+  return out;
+}
+
+OpsServer::OpsServer(OpsServerConfig config, Providers providers)
+    : config_(std::move(config)), providers_(std::move(providers)) {}
+
+OpsServer::~OpsServer() { stop(); }
+
+bool OpsServer::start() {
+  if (started_) return true;
+  const bool bound = config_.unix_path.empty()
+                         ? server_.listen_tcp(config_.port)
+                         : server_.listen_unix(config_.unix_path);
+  if (!bound) return false;
+  server_.start(
+      [this](net::SessionId session, std::vector<std::uint8_t> frame) {
+        on_frame(session, std::move(frame));
+      },
+      [this](net::SessionId session) { on_closed(session); });
+  started_ = true;
+  return true;
+}
+
+void OpsServer::stop() {
+  if (!started_) return;
+  server_.stop();
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    subscribers_.clear();
+  }
+  started_ = false;
+}
+
+void OpsServer::publish_metrics_sample(const std::string& line) {
+  std::vector<net::SessionId> targets;
+  {
+    const std::lock_guard<std::mutex> lock(mu_);
+    targets.assign(subscribers_.begin(), subscribers_.end());
+  }
+  if (targets.empty()) return;
+  const std::vector<std::uint8_t> payload(line.begin(), line.end());
+  for (const net::SessionId session : targets) {
+    if (!server_.send_limited(session, payload,
+                              config_.max_subscriber_backlog_bytes)) {
+      frames_dropped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+std::size_t OpsServer::subscribers() const {
+  const std::lock_guard<std::mutex> lock(mu_);
+  return subscribers_.size();
+}
+
+void OpsServer::reply(net::SessionId session, const std::string& text) {
+  server_.send(session, std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+void OpsServer::reject(net::SessionId session) {
+  bad_requests_.fetch_add(1, std::memory_order_relaxed);
+  server_.abort_session(session);
+}
+
+void OpsServer::on_frame(net::SessionId session,
+                         std::vector<std::uint8_t> frame) {
+  if (frame.size() > config_.max_request_bytes || !printable_ascii(frame)) {
+    reject(session);
+    return;
+  }
+  const std::string command = trimmed(frame);
+  requests_.fetch_add(1, std::memory_order_relaxed);
+
+  if (command == "status") {
+    reply(session, providers_.status_json
+                       ? providers_.status_json()
+                       : std::string("{\"error\":\"status unavailable\"}"));
+    return;
+  }
+  if (command == "metrics") {
+    reply(session, providers_.metrics_json
+                       ? providers_.metrics_json()
+                       : std::string("{\"error\":\"metrics unavailable\"}"));
+    return;
+  }
+  if (command == "flamegraph") {
+    reply(session,
+          providers_.flamegraph_json
+              ? providers_.flamegraph_json()
+              : std::string("{\"error\":\"flamegraph unavailable\"}"));
+    return;
+  }
+  if (command == "subscribe-metrics") {
+    {
+      const std::lock_guard<std::mutex> lock(mu_);
+      subscribers_.insert(session);
+    }
+    reply(session, "{\"subscribed\":true}");
+    return;
+  }
+  if (command == "logs" || command.rfind("logs ", 0) == 0) {
+    if (providers_.log_ring == nullptr) {
+      reply(session, "{\"error\":\"logs unavailable\"}");
+      return;
+    }
+    std::size_t n = config_.default_log_tail;
+    if (command.size() > 5) {
+      char* end = nullptr;
+      const unsigned long parsed =
+          std::strtoul(command.c_str() + 5, &end, 10);
+      if (end == nullptr || *end != '\0' || parsed == 0) {
+        reject(session);
+        return;
+      }
+      n = static_cast<std::size_t>(parsed);
+    }
+    std::string body;
+    for (const LogRecord& record : providers_.log_ring->tail(n)) {
+      body += log_record_json(record);
+      body += '\n';
+    }
+    reply(session, body);
+    return;
+  }
+  // Unknown vocabulary: not a read-only introspection request.
+  requests_.fetch_sub(1, std::memory_order_relaxed);
+  reject(session);
+}
+
+void OpsServer::on_closed(net::SessionId session) {
+  const std::lock_guard<std::mutex> lock(mu_);
+  subscribers_.erase(session);
+}
+
+}  // namespace rif::obs

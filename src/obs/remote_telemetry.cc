@@ -100,7 +100,22 @@ bool RemoteTelemetryCollector::on_batch(cluster::NodeId node,
     lane.gauges = body.gauges;
     lane.histograms = body.histograms;
   }
+
+  // Forward shipped log records only once the batch passed every gate
+  // above — a duplicate or unbalanced batch must not double-log.
+  if (!body.logs.empty()) {
+    log_records_ += body.logs.size();
+    if (log_sink_) {
+      for (const scp::TelemetryLog& l : body.logs) log_sink_(node, l);
+    }
+  }
   return true;
+}
+
+void RemoteTelemetryCollector::set_log_sink(
+    std::function<void(cluster::NodeId, const scp::TelemetryLog&)> sink) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  log_sink_ = std::move(sink);
 }
 
 void RemoteTelemetryCollector::set_clock_offset(cluster::NodeId node,
@@ -191,6 +206,32 @@ void RemoteTelemetryCollector::merge_metrics_into(
                                h.max, h.buckets);
     }
   }
+
+  // Cluster-wide distributions: sum every lane's latest cumulative raw
+  // buckets per series name. Bucket sums commute with the registry's
+  // bucket-edge quantile estimate, so `remote.cluster.<name>` quantiles
+  // equal those recomputed from all workers' observations (at bucket
+  // resolution). Recomputed from scratch each call and installed by
+  // overwrite, so repeats are idempotent like the per-node series.
+  std::map<std::string, scp::TelemetryHistogram> cluster;
+  for (const auto& [node, lane] : lanes_) {
+    for (const scp::TelemetryHistogram& h : lane.histograms) {
+      if (h.count == 0) continue;
+      const auto [it, fresh] = cluster.try_emplace(h.name, h);
+      if (fresh) continue;
+      scp::TelemetryHistogram& c = it->second;
+      c.count += h.count;
+      c.sum += h.sum;
+      c.min = std::min(c.min, h.min);
+      c.max = std::max(c.max, h.max);
+      const std::size_t n = std::min(c.buckets.size(), h.buckets.size());
+      for (std::size_t b = 0; b < n; ++b) c.buckets[b] += h.buckets[b];
+    }
+  }
+  for (const auto& [name, h] : cluster) {
+    target.install_histogram("remote.cluster." + name, h.count, h.sum,
+                             h.min, h.max, h.buckets);
+  }
 }
 
 std::vector<cluster::NodeId> RemoteTelemetryCollector::nodes_with_job(
@@ -228,6 +269,10 @@ std::uint64_t RemoteTelemetryCollector::duplicates() const {
 std::uint64_t RemoteTelemetryCollector::spans() const {
   const std::lock_guard<std::mutex> lock(mutex_);
   return spans_;
+}
+std::uint64_t RemoteTelemetryCollector::log_records() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return log_records_;
 }
 
 bool write_unified_trace(const std::string& path, const SpanTracer& tracer,

@@ -24,6 +24,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <map>
 #include <mutex>
 #include <set>
@@ -73,9 +74,22 @@ class RemoteTelemetryCollector {
 
   /// Advance `remote.worker.<node>.*` series in `target` to each worker's
   /// latest shipped cumulative totals: counters catch up by delta, gauges
-  /// overwrite, histograms install raw buckets. Idempotent — calling twice
-  /// with the same shipped state is a no-op.
+  /// overwrite, histograms install raw buckets. Additionally installs ONE
+  /// cluster-wide distribution per shipped histogram series under
+  /// `remote.cluster.<name>`: the raw log2 buckets of every lane's latest
+  /// cumulative state summed across nodes (counts/sums add, min/max fold),
+  /// so a dashboard reads one `remote.cluster.screen_seconds` instead of N
+  /// per-node copies — the per-node series stay alongside. Idempotent —
+  /// calling twice with the same shipped state is a no-op.
   void merge_metrics_into(runtime::MetricsRegistry& target) const;
+
+  /// Receiver for shipped log records, invoked by on_batch for every log
+  /// in an ACCEPTED batch (rejected/duplicate batches forward nothing, so
+  /// re-shipment cannot double-log). Called with the collector lock held —
+  /// the sink must be fast and must not call back in. The service routes
+  /// these into its LogRing with node attribution.
+  void set_log_sink(
+      std::function<void(cluster::NodeId, const scp::TelemetryLog&)> sink);
 
   /// Nodes that have shipped at least one span attributed to `job`.
   [[nodiscard]] std::vector<cluster::NodeId> nodes_with_job(
@@ -94,6 +108,9 @@ class RemoteTelemetryCollector {
   [[nodiscard]] std::uint64_t rejected() const;
   [[nodiscard]] std::uint64_t duplicates() const;
   [[nodiscard]] std::uint64_t spans() const;
+  /// Shipped log records forwarded to the log sink (or discarded when no
+  /// sink is installed — they are not stored here).
+  [[nodiscard]] std::uint64_t log_records() const;
 
  private:
   struct StoredSpan {
@@ -127,6 +144,8 @@ class RemoteTelemetryCollector {
   std::uint64_t rejected_ = 0;
   std::uint64_t duplicates_ = 0;
   std::uint64_t spans_ = 0;
+  std::uint64_t log_records_ = 0;
+  std::function<void(cluster::NodeId, const scp::TelemetryLog&)> log_sink_;
 };
 
 /// Export one unified trace: the coordinator tracer's own wall/virtual

@@ -177,6 +177,8 @@ namespace {
 constexpr std::uint64_t kMaxTelemetryName = 256;
 constexpr std::uint64_t kMaxTelemetrySpans = 65536;
 constexpr std::uint64_t kMaxTelemetrySeries = 4096;
+constexpr std::uint64_t kMaxTelemetryLogs = 1024;
+constexpr std::uint64_t kMaxTelemetryMessage = 512;
 
 /// Bounded non-aborting string read (Reader::get_string aborts on
 /// truncation — wrong side of the trust boundary here). Rejects empty and
@@ -185,6 +187,16 @@ bool try_get_name(Reader& r, std::string& out) {
   std::vector<char> raw;
   if (!r.try_get_vector(raw)) return false;
   if (raw.empty() || raw.size() > kMaxTelemetryName) return false;
+  out.assign(raw.begin(), raw.end());
+  return true;
+}
+
+/// Like try_get_name but for free text: empty is legal (a log line can be
+/// blank), only the length is bounded.
+bool try_get_text(Reader& r, std::string& out) {
+  std::vector<char> raw;
+  if (!r.try_get_vector(raw)) return false;
+  if (raw.size() > kMaxTelemetryMessage) return false;
   out.assign(raw.begin(), raw.end());
   return true;
 }
@@ -228,6 +240,14 @@ std::vector<std::uint8_t> TelemetryBody::encode() const {
     w.put(h.min);
     w.put(h.max);
     w.put_vector(h.buckets);
+  }
+  w.put<std::uint64_t>(logs.size());
+  for (const TelemetryLog& l : logs) {
+    w.put(l.level);
+    w.put_string(l.component);
+    w.put_string(l.message);
+    w.put(l.job);
+    w.put(l.ts_ns);
   }
   return std::move(w).take();
 }
@@ -287,6 +307,19 @@ std::optional<TelemetryBody> TelemetryBody::try_decode(
       return std::nullopt;
     }
     b.histograms.push_back(std::move(h));
+  }
+
+  if (!r.try_get(n) || n > kMaxTelemetryLogs) return std::nullopt;
+  b.logs.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = 0; i < n; ++i) {
+    TelemetryLog l;
+    if (!r.try_get(l.level) || !try_get_name(r, l.component) ||
+        !try_get_text(r, l.message) || !r.try_get(l.job) ||
+        !r.try_get(l.ts_ns)) {
+      return std::nullopt;
+    }
+    if (l.level > 4) return std::nullopt;  // rif::LogLevel has five values
+    b.logs.push_back(std::move(l));
   }
 
   if (!r.exhausted()) return std::nullopt;

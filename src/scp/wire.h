@@ -156,6 +156,20 @@ struct TelemetryHistogram {
 /// stays independent of the runtime layer).
 inline constexpr std::size_t kTelemetryHistogramBuckets = 27;
 
+/// One structured log record shipped in a kTelemetry batch — the wire
+/// shape of rif::LogRecord (mirrored here so scp/ stays independent of
+/// support/'s logger). `level` mirrors rif::LogLevel (0..4); `ts_ns` is
+/// the worker's raw steady clock at emission (the ingest side stamps the
+/// record with its own arrival time — a log line is an annotation, not a
+/// span, so it does not ride the clock-offset mapping).
+struct TelemetryLog {
+  std::uint8_t level = 2;
+  std::string component;
+  std::string message;
+  std::int64_t job = -1;
+  std::uint64_t ts_ns = 0;
+};
+
 /// Whole-job span a worker records at kJobEnd immediately before its
 /// final force-flush for that job. The coordinator keys "this worker's
 /// lane for job J is complete" on seeing it: mid-job periodic flushes
@@ -178,10 +192,15 @@ struct TelemetryBody {
   /// (name, gauge kind as u8, value); kind mirrors runtime::GaugeKind.
   std::vector<std::tuple<std::string, std::uint8_t, double>> gauges;
   std::vector<TelemetryHistogram> histograms;
+  /// Rate-limited structured log records buffered since the last flush
+  /// (not cumulative — each record ships once, on the final batch of a
+  /// flush alongside the metrics).
+  std::vector<TelemetryLog> logs;
 
   [[nodiscard]] std::vector<std::uint8_t> encode() const;
-  /// Non-aborting decode with hard bounds (span/series counts, name
-  /// lengths, phase alphabet, bucket counts). nullopt = drop the batch.
+  /// Non-aborting decode with hard bounds (span/series/log counts, name
+  /// and message lengths, phase and level alphabets, bucket counts).
+  /// nullopt = drop the batch.
   static std::optional<TelemetryBody> try_decode(
       const std::vector<std::uint8_t>& bytes);
 };

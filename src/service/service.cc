@@ -5,6 +5,7 @@
 #include <algorithm>
 #include <chrono>
 #include <fstream>
+#include <sstream>
 #include <thread>
 #include <utility>
 
@@ -66,6 +67,101 @@ FusionService::FusionService(ServiceConfig config)
     const JobId id = runtime_->job_of(tid);
     if (id != kNoJob) fail_job(id);
   });
+
+  // The remote pool and its telemetry collector exist from construction
+  // (attach_remote_workers only binds/starts them inside run()): the ops
+  // plane's status/flamegraph providers run on their own poll thread and
+  // must never race a mid-run pointer materialization.
+  if (config_.remote_workers > 0) {
+    remote_pool_ = std::make_unique<cluster::RemoteWorkerPool>();
+    remote_pool_->bind_metrics(metrics_, "remote.");
+    remote_pool_->configure_supervision({config_.remote_heartbeat_seconds,
+                                         config_.remote_hung_timeout_seconds});
+    if (!config_.remote_faults.empty()) {
+      RIF_LOG_WARN("service",
+                   "wire fault injection ACTIVE on the remote plane ("
+                       << config_.remote_faults.script.size()
+                       << " scripted events)");
+      remote_pool_->install_faults(config_.remote_faults);
+    }
+    telemetry_ = std::make_unique<obs::RemoteTelemetryCollector>();
+    remote_pool_->set_telemetry_sink(
+        [this](cluster::NodeId node, const scp::TelemetryBody& body) {
+          telemetry_->on_batch(node, body);
+        });
+  }
+
+  if (config_.scrape_period_seconds > 0.0) {
+    obs::MetricsScraper::Config sc;
+    sc.period_seconds = config_.scrape_period_seconds;
+    scraper_ = std::make_unique<obs::MetricsScraper>(metrics_, sc);
+    // The derive hook runs on the scraper thread concurrently with the sim
+    // and pool threads, so it reads only the atomic gauges the sim thread
+    // publishes — never queue_/memory_in_use_ directly.
+    scraper_->set_derive(
+        [this,
+         budget = config_.host_memory_budget](runtime::MetricsRegistry& reg) {
+          double pressure = 0.0;
+          if (budget > 0) {
+            const double queued =
+                reg.gauge_value("service.queued_memory_demand");
+            const double in_use = reg.gauge_value("service.memory_in_use");
+            const double free =
+                std::max(static_cast<double>(budget) - in_use, 0.0);
+            pressure = queued / std::max(free, 1.0);
+          }
+          reg.gauge("service.admission_pressure", runtime::GaugeKind::kSum)
+              .set(pressure);
+          // Fold the latest remote-worker shipments in under their
+          // per-node prefixes, so the same scrape that samples host series
+          // samples the remote plane (idempotent between shipments).
+          if (telemetry_ != nullptr) telemetry_->merge_metrics_into(reg);
+        });
+    scraper_->set_on_scrape(
+        [this](const std::string& line) { on_scrape_sample(line); });
+  }
+
+  if (config_.ops_enabled) {
+    log_ring_ = std::make_unique<LogRing>(config_.ops_log_ring);
+    Logger::instance().set_sink(log_ring_.get());
+    if (telemetry_ != nullptr) {
+      // Shipped worker records land in the same ring as local lines, with
+      // node attribution; the timestamp is the honest local arrival stamp
+      // (worker steady time is a different clock).
+      telemetry_->set_log_sink(
+          [this](cluster::NodeId node, const scp::TelemetryLog& l) {
+            LogRecord record;
+            record.level = static_cast<LogLevel>(l.level);
+            record.component = l.component;
+            record.message = l.message;
+            record.job = l.job;
+            record.t_seconds = Logger::instance().now_seconds();
+            record.node = static_cast<std::int32_t>(node);
+            log_ring_->append(std::move(record));
+          });
+    }
+    obs::OpsServerConfig oc;
+    oc.port = config_.ops_port;
+    oc.unix_path = config_.ops_socket_path;
+    obs::OpsServer::Providers providers;
+    providers.status_json = [this] { return status_json(); };
+    providers.metrics_json = [this] { return metrics_.to_json(); };
+    providers.flamegraph_json = [this] { return flamegraph_json(); };
+    providers.log_ring = log_ring_.get();
+    ops_server_ =
+        std::make_unique<obs::OpsServer>(std::move(oc), std::move(providers));
+    RIF_CHECK_MSG(ops_server_->start(), "cannot bind the ops endpoint");
+    // With a live endpoint the scraper runs from construction too, so a
+    // subscriber attached before (or after) run() still sees samples.
+    if (scraper_ != nullptr) scraper_->start();
+  }
+}
+
+FusionService::~FusionService() {
+  if (scraper_ != nullptr) scraper_->stop();
+  if (ops_server_ != nullptr) ops_server_->stop();
+  if (remote_pool_ != nullptr) remote_pool_->stop();
+  if (log_ring_ != nullptr) Logger::instance().remove_sink(log_ring_.get());
 }
 
 RejectReason FusionService::validate(const JobRequest& request) const {
@@ -216,6 +312,7 @@ void FusionService::on_arrival(JobId id) {
               job.record.memory_demand,
               job.record.mode == JobMode::kStreaming);
   job.enqueue_time = sim_.now();
+  publish_queue_gauges();
   metrics_.gauge("service.queued_memory_demand", runtime::GaugeKind::kSum)
       .set(static_cast<double>(queue_.total_memory_demand()));
   RIF_TRACE_COUNTER("service.queue_occupancy",
@@ -262,6 +359,7 @@ void FusionService::dispatch() {
     if (id == kNoJob) break;
     const bool removed = queue_.remove(id);
     RIF_CHECK(removed);
+    publish_queue_gauges();
     metrics_.gauge("service.queued_memory_demand", runtime::GaugeKind::kSum)
         .set(static_cast<double>(queue_.total_memory_demand()));
     RIF_TRACE_COUNTER("service.queue_occupancy",
@@ -334,6 +432,7 @@ void FusionService::start_job(JobId id, const cluster::NodeFilter& alive) {
 
   ++running_;
   max_concurrent_ = std::max(max_concurrent_, running_);
+  publish_queue_gauges();
   RIF_LOG_DEBUG("service", "job " << id << " admitted on "
                                   << job.record.workers << " nodes at t="
                                   << to_seconds(sim_.now()) << "s");
@@ -379,6 +478,7 @@ void FusionService::on_job_complete(JobId id) {
       .observe(job.record.wait_seconds + job.record.service_seconds);
   --running_;
   --outstanding_;
+  publish_queue_gauges();
   dispatch();
 }
 
@@ -423,6 +523,7 @@ void FusionService::fail_job(JobId id) {
   metrics_.counter("tenant." + job.record.tenant + ".failed").add(1);
   --running_;
   --outstanding_;
+  publish_queue_gauges();
   RIF_LOG_WARN("service", "job " << id << " failed (replica group lost)");
   dispatch();
 }
@@ -431,16 +532,8 @@ void FusionService::attach_remote_workers() {
   if (config_.remote_workers <= 0) return;
   RIF_CHECK_MSG(exec_pool_ != nullptr,
                 "remote workers require execution_threads > 0 (host fallback)");
-  remote_pool_ = std::make_unique<cluster::RemoteWorkerPool>();
-  remote_pool_->bind_metrics(metrics_, "remote.");
-  remote_pool_->configure_supervision(
-      {config_.remote_heartbeat_seconds, config_.remote_hung_timeout_seconds});
-  if (!config_.remote_faults.empty()) {
-    RIF_LOG_WARN("service", "wire fault injection ACTIVE on the remote plane ("
-                                << config_.remote_faults.script.size()
-                                << " scripted events)");
-    remote_pool_->install_faults(config_.remote_faults);
-  }
+  // The pool, its telemetry collector, and both sinks were built in the
+  // constructor; here it binds and goes live.
   // Remote node ids continue the cluster's numbering past the host pool.
   const cluster::NodeId first = config_.worker_nodes + 1;
   if (!config_.remote_spawn_local) {
@@ -452,13 +545,6 @@ void FusionService::attach_remote_workers() {
                     "cannot bind remote worker port");
     }
   }
-  // Telemetry batches arrive on the poll thread from the moment a worker
-  // connects, so the collector and its sink must exist before start().
-  telemetry_ = std::make_unique<obs::RemoteTelemetryCollector>();
-  remote_pool_->set_telemetry_sink(
-      [this](cluster::NodeId node, const scp::TelemetryBody& body) {
-        telemetry_->on_batch(node, body);
-      });
   remote_pool_->start(first);
   if (config_.remote_spawn_local) {
     for (int i = 0; i < config_.remote_workers; ++i) {
@@ -483,53 +569,28 @@ ServiceReport FusionService::run() {
   RIF_CHECK_MSG(!ran_, "run() called twice");
   ran_ = true;
   RIF_TRACE_SPAN("service_run");
+  RIF_LOG_INFO("service", "run started: " << jobs_.size() << " submissions, "
+                                          << config_.worker_nodes
+                                          << " host nodes, "
+                                          << config_.remote_workers
+                                          << " remote workers expected");
   attach_remote_workers();
+  publish_queue_gauges();
 
-  // Lives past scraper_->stop() below: the scrape thread writes through
-  // the sink until the join inside stop().
-  std::ofstream metrics_stream;
-  if (config_.scrape_period_seconds > 0.0) {
-    obs::MetricsScraper::Config sc;
-    sc.period_seconds = config_.scrape_period_seconds;
-    scraper_ = std::make_unique<obs::MetricsScraper>(metrics_, sc);
-    // The derive hook runs on the scraper thread concurrently with the sim
-    // and pool threads, so it reads only the atomic gauges the sim thread
-    // publishes — never queue_/memory_in_use_ directly.
-    scraper_->set_derive(
-        [this,
-         budget = config_.host_memory_budget](runtime::MetricsRegistry& reg) {
-          double pressure = 0.0;
-          if (budget > 0) {
-            const double queued =
-                reg.gauge_value("service.queued_memory_demand");
-            const double in_use = reg.gauge_value("service.memory_in_use");
-            const double free =
-                std::max(static_cast<double>(budget) - in_use, 0.0);
-            pressure = queued / std::max(free, 1.0);
-          }
-          reg.gauge("service.admission_pressure", runtime::GaugeKind::kSum)
-              .set(pressure);
-          // Fold the latest remote-worker shipments in under their
-          // per-node prefixes, so the same scrape that samples host series
-          // samples the remote plane (idempotent between shipments).
-          if (telemetry_ != nullptr) telemetry_->merge_metrics_into(reg);
-        });
+  if (scraper_ != nullptr) {
     if (!config_.metrics_stream_path.empty()) {
-      metrics_stream.open(config_.metrics_stream_path,
-                          std::ios::out | std::ios::trunc);
-      if (!metrics_stream) {
+      // Live NDJSON feed: one sample object per line, flushed as it is
+      // scraped, so an observer can tail the run in flight (the scraper
+      // thread writes through on_scrape_sample under stream_mu_).
+      const std::lock_guard<std::mutex> lock(stream_mu_);
+      metrics_stream_.open(config_.metrics_stream_path,
+                           std::ios::out | std::ios::trunc);
+      if (!metrics_stream_) {
         RIF_LOG_WARN("service", "cannot open metrics stream "
                                     << config_.metrics_stream_path);
-      } else {
-        // Live NDJSON feed: one sample object per line, flushed as it is
-        // scraped, so an observer can tail the run in flight.
-        scraper_->set_on_scrape([&metrics_stream](const std::string& line) {
-          metrics_stream << line << '\n';
-          metrics_stream.flush();
-        });
       }
     }
-    scraper_->start();
+    scraper_->start();  // no-op when the ops plane already started it
   }
 
   injector_.schedule(config_.failures);
@@ -560,8 +621,25 @@ ServiceReport FusionService::run() {
   // Goodbye the remote workers (their processes exit) and quiesce the
   // poll thread before reporting.
   if (remote_pool_ != nullptr) remote_pool_->stop();
-  if (scraper_ != nullptr) scraper_->stop();  // includes the final scrape
-  return build_report();
+  if (scraper_ != nullptr) {
+    if (ops_server_ != nullptr) {
+      // The ops plane outlives run(): keep the scraper streaming so
+      // subscribers (and a rif_ops attaching after the run) still see live
+      // samples; the destructor stops it. Take one synchronous scrape so
+      // the end-of-run state is in the timeline regardless.
+      scraper_->scrape_now();
+    } else {
+      scraper_->stop();  // includes the final scrape
+    }
+  }
+  ServiceReport report = build_report();
+  RIF_LOG_INFO("service", "run complete: " << report.jobs_completed << "/"
+                                           << report.jobs_submitted
+                                           << " jobs completed, "
+                                           << report.jobs_failed << " failed, "
+                                           << report.jobs_rejected
+                                           << " rejected");
+  return report;
 }
 
 bool FusionService::execute_remote(PendingJob& job) {
@@ -818,6 +896,89 @@ void FusionService::execute_host_jobs() {
   metrics_.gauge("host_pool.utilization").set(host_stats_.utilization);
 }
 
+void FusionService::publish_queue_gauges() {
+  metrics_.gauge("service.queue_length", runtime::GaugeKind::kSum)
+      .set(static_cast<double>(queue_.size()));
+  metrics_.gauge("service.running_jobs", runtime::GaugeKind::kSum)
+      .set(static_cast<double>(running_));
+}
+
+void FusionService::on_scrape_sample(const std::string& line) {
+  {
+    const std::lock_guard<std::mutex> lock(stream_mu_);
+    if (metrics_stream_.is_open()) {
+      metrics_stream_ << line << '\n';
+      metrics_stream_.flush();
+    }
+  }
+  if (ops_server_ != nullptr) ops_server_->publish_metrics_sample(line);
+}
+
+std::string FusionService::status_json() {
+  const double uptime =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                    start_time_)
+          .count();
+  std::ostringstream os;
+  os << "{\"uptime_seconds\": " << uptime;
+  os << ", \"jobs\": {\"submitted\": "
+     << metrics_.counter_value("service.submitted")
+     << ", \"completed\": " << metrics_.counter_value("service.completed")
+     << ", \"rejected\": " << metrics_.counter_value("service.rejected")
+     << ", \"failed\": " << metrics_.counter_value("service.failed")
+     << ", \"queued\": "
+     << static_cast<std::int64_t>(
+            metrics_.gauge_value("service.queue_length"))
+     << ", \"running\": "
+     << static_cast<std::int64_t>(
+            metrics_.gauge_value("service.running_jobs"))
+     << "}";
+  os << ", \"workers\": [";
+  if (remote_pool_ != nullptr) {
+    const int n = remote_pool_->worker_count();
+    for (int w = 0; w < n; ++w) {
+      const cluster::NodeId node = remote_pool_->node_of(w);
+      os << (w > 0 ? ", " : "") << "{\"node\": " << node << ", \"alive\": "
+         << (remote_pool_->alive(w) ? "true" : "false")
+         << ", \"clock_offset_ns\": " << remote_pool_->clock_offset_ns(node)
+         << "}";
+    }
+  }
+  os << "]";
+  if (telemetry_ != nullptr) {
+    os << ", \"telemetry\": {\"batches\": " << telemetry_->batches()
+       << ", \"rejected\": " << telemetry_->rejected()
+       << ", \"duplicates\": " << telemetry_->duplicates()
+       << ", \"spans\": " << telemetry_->spans()
+       << ", \"log_records\": " << telemetry_->log_records() << "}";
+  }
+  if (log_ring_ != nullptr) {
+    os << ", \"logs\": {\"held\": " << log_ring_->size()
+       << ", \"total\": " << log_ring_->total()
+       << ", \"dropped\": " << log_ring_->dropped() << "}";
+  }
+  if (ops_server_ != nullptr) {
+    os << ", \"ops\": {\"requests\": " << ops_server_->requests()
+       << ", \"bad_requests\": " << ops_server_->bad_requests()
+       << ", \"subscribers\": " << ops_server_->subscribers()
+       << ", \"frames_dropped\": " << ops_server_->frames_dropped() << "}";
+  }
+  os << "}";
+  return os.str();
+}
+
+std::string FusionService::flamegraph_json() {
+  obs::SpanTracer& tracer = obs::SpanTracer::instance();
+  std::vector<obs::FlameSpan> flame;
+  if (tracer.enabled()) flame = obs::tracer_flame_spans(tracer);
+  if (telemetry_ != nullptr) {
+    std::vector<obs::FlameSpan> remote =
+        telemetry_->flame_spans(tracer.epoch_ns());
+    flame.insert(flame.end(), remote.begin(), remote.end());
+  }
+  return obs::fold_spans(std::move(flame)).to_json();
+}
+
 ServiceReport FusionService::build_report() {
   ServiceReport report;
   report.jobs_submitted = static_cast<int>(jobs_.size());
@@ -926,6 +1087,16 @@ ServiceReport FusionService::build_report() {
     report.remote_telemetry_batches = telemetry_->batches();
     report.remote_telemetry_rejected = telemetry_->rejected();
     report.remote_telemetry_spans = telemetry_->spans();
+    report.remote_log_records = telemetry_->log_records();
+  }
+  if (ops_server_ != nullptr) {
+    report.ops_requests = ops_server_->requests();
+    report.ops_bad_requests = ops_server_->bad_requests();
+    report.ops_dropped_frames = ops_server_->frames_dropped();
+  }
+  if (log_ring_ != nullptr) {
+    report.log_records_captured = log_ring_->total();
+    report.log_records_dropped = log_ring_->dropped();
   }
   // Flamegraph: fold the coordinator's own wall spans together with every
   // clock-aligned remote lane into one self/total-time table.

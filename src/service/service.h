@@ -78,8 +78,11 @@
 //   snapshot.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
+#include <fstream>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -93,6 +96,7 @@
 #include "net/network.h"
 #include "obs/flamegraph.h"
 #include "obs/metrics_scraper.h"
+#include "obs/ops_server.h"
 #include "obs/remote_telemetry.h"
 #include "runtime/metrics.h"
 #include "scp/runtime.h"
@@ -208,6 +212,21 @@ struct ServiceConfig {
   /// artifact. Remote workers' shipped snapshots appear in the same lines
   /// under "remote.worker.<node>." series.
   std::string metrics_stream_path;
+
+  /// Live ops plane (obs/ops_server.h): a read-only introspection endpoint
+  /// answering status / metrics / subscribe-metrics / flamegraph / logs
+  /// over RIF1 frames, live from CONSTRUCTION (not just during run()) so a
+  /// dashboard can attach before the stream starts and keep watching after
+  /// it ends. Enabling it also installs the service's LogRing as the
+  /// process-wide structured log sink and routes remote workers' shipped
+  /// log records into it with node attribution.
+  bool ops_enabled = false;
+  /// Loopback TCP port for the ops endpoint (0 = ephemeral, see
+  /// FusionService::ops_server()->port()), or a Unix socket path.
+  std::uint16_t ops_port = 0;
+  std::string ops_socket_path;
+  /// Capacity of the in-memory log ring the `logs` command tails.
+  std::size_t ops_log_ring = 1024;
 };
 
 /// Usage of the shared host execution pool over the host-execution phase
@@ -302,6 +321,15 @@ struct ServiceReport {
   std::uint64_t remote_telemetry_rejected = 0;  ///< dropped: bad/unbalanced
   std::uint64_t remote_telemetry_spans = 0;     ///< span events ingested
 
+  // Live ops plane (zeros when ServiceConfig::ops_enabled == false).
+  std::uint64_t ops_requests = 0;        ///< introspection requests answered
+  std::uint64_t ops_bad_requests = 0;    ///< hostile/unknown, session closed
+  std::uint64_t ops_dropped_frames = 0;  ///< slow-subscriber pushes dropped
+  std::uint64_t log_records_captured = 0;  ///< records appended to the ring
+  std::uint64_t log_records_dropped = 0;   ///< oldest evicted past capacity
+  std::uint64_t remote_log_records = 0;    ///< worker records shipped over
+                                           ///< kTelemetry into the ring
+
   /// Flamegraph fold of the run's wall spans — host tracer lanes plus
   /// every remote worker's shipped spans on the unified timeline
   /// (obs/flamegraph.h). Rows sorted by self time; empty when tracing was
@@ -314,6 +342,15 @@ struct ServiceReport {
 class FusionService {
  public:
   explicit FusionService(ServiceConfig config = {});
+  /// Teardown order matters with the ops plane attached: the scraper
+  /// thread (whose on-scrape sink fans out to ops subscribers and samples
+  /// the member registry) stops FIRST, then the ops poll thread, then the
+  /// worker pool, then the global log sink is uninstalled — so no
+  /// background thread can touch a member mid-destruction. Member
+  /// destruction order alone gets this wrong: ops_server_ is declared
+  /// after scraper_, so it would die while the scrape thread still
+  /// publishes through it.
+  ~FusionService();
   FusionService(const FusionService&) = delete;
   FusionService& operator=(const FusionService&) = delete;
 
@@ -347,6 +384,13 @@ class FusionService {
   [[nodiscard]] obs::RemoteTelemetryCollector* remote_telemetry() {
     return telemetry_.get();
   }
+  /// The live ops endpoint; nullptr unless ServiceConfig::ops_enabled.
+  /// Running from construction until destruction (outlives run(), so a
+  /// client can still read status/metrics/logs after the stream finished).
+  [[nodiscard]] obs::OpsServer* ops_server() { return ops_server_.get(); }
+  /// The structured log ring the ops `logs` command tails; nullptr unless
+  /// ServiceConfig::ops_enabled.
+  [[nodiscard]] LogRing* log_ring() { return log_ring_.get(); }
 
  private:
   struct PendingJob {
@@ -388,6 +432,20 @@ class FusionService {
   /// the caller should fall back to the host pool.
   [[nodiscard]] bool execute_remote(PendingJob& job);
   [[nodiscard]] ServiceReport build_report();
+  /// Status document for the ops endpoint. Runs on the ops poll thread, so
+  /// it reads only thread-safe state: registry atomics (the sim thread
+  /// publishes service.queue_length / service.running_jobs gauges for it),
+  /// the pool's locked accessors, the collector, and the log ring.
+  [[nodiscard]] std::string status_json();
+  /// Current span fold for the ops endpoint (same composition as the
+  /// report's flamegraph, computed on demand).
+  [[nodiscard]] std::string flamegraph_json();
+  /// on-scrape sink: append to the NDJSON stream file (when open) and fan
+  /// the same line out to ops subscribers. Scraper thread.
+  void on_scrape_sample(const std::string& line);
+  /// Mirror queue_/running_ into atomic gauges after every mutation, so
+  /// the ops thread's status never touches sim-thread state.
+  void publish_queue_gauges();
 
   ServiceConfig config_;
   runtime::MetricsRegistry metrics_;
@@ -411,6 +469,18 @@ class FusionService {
   /// the pool's telemetry sink before start (outlives the pool so trace
   /// export happens after run()).
   std::unique_ptr<obs::RemoteTelemetryCollector> telemetry_;
+  /// Live ops plane (ServiceConfig::ops_enabled): the structured log ring
+  /// (installed as the process-wide Logger sink for this service's
+  /// lifetime) and the introspection endpoint, both up from construction.
+  std::unique_ptr<LogRing> log_ring_;
+  std::unique_ptr<obs::OpsServer> ops_server_;
+  /// Live NDJSON feed (ServiceConfig::metrics_stream_path), written by the
+  /// scraper thread through on_scrape_sample under stream_mu_.
+  std::mutex stream_mu_;
+  std::ofstream metrics_stream_;
+  /// Wall construction instant, the uptime axis of status_json().
+  const std::chrono::steady_clock::time_point start_time_ =
+      std::chrono::steady_clock::now();
   std::vector<cluster::NodeId> remote_nodes_;  ///< leased-in remote node ids
   int remote_jobs_ = 0;
   int remote_fallbacks_ = 0;

@@ -1,15 +1,19 @@
 #include "support/log.h"
 
+#include <algorithm>
 #include <cctype>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace rif {
 
 namespace {
 
 thread_local std::int64_t t_log_job = kLogNoJob;
+thread_local const std::function<void(const LogRecord&)>* t_log_capture =
+    nullptr;
 
 std::uint64_t steady_now_ns() {
   return static_cast<std::uint64_t>(
@@ -23,6 +27,42 @@ std::uint64_t steady_now_ns() {
 void log_set_job_context(std::int64_t job) { t_log_job = job; }
 
 std::int64_t log_job_context() { return t_log_job; }
+
+void log_set_thread_capture(
+    const std::function<void(const LogRecord&)>* fn) {
+  t_log_capture = fn;
+}
+
+void LogRing::append(LogRecord record) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  ++total_;
+  ring_.push_back(std::move(record));
+  while (ring_.size() > capacity_) {
+    ring_.pop_front();
+    ++dropped_;
+  }
+}
+
+std::vector<LogRecord> LogRing::tail(std::size_t n) const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  const std::size_t take = std::min(n, ring_.size());
+  return {ring_.end() - static_cast<std::ptrdiff_t>(take), ring_.end()};
+}
+
+std::size_t LogRing::size() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return ring_.size();
+}
+
+std::uint64_t LogRing::total() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return total_;
+}
+
+std::uint64_t LogRing::dropped() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return dropped_;
+}
 
 bool parse_log_level(const std::string& name, LogLevel* out) {
   std::string lower;
@@ -58,6 +98,23 @@ Logger& Logger::instance() {
   return logger;
 }
 
+double Logger::now_seconds() const {
+  return clock_ ? clock_()
+                : static_cast<double>(steady_now_ns() - start_ns_) / 1e9;
+}
+
+void Logger::set_sink(LogRing* ring) {
+  const std::lock_guard<std::mutex> lock(sink_mu_);
+  sink_.store(ring, std::memory_order_relaxed);
+}
+
+void Logger::remove_sink(LogRing* ring) {
+  const std::lock_guard<std::mutex> lock(sink_mu_);
+  if (sink_.load(std::memory_order_relaxed) == ring) {
+    sink_.store(nullptr, std::memory_order_relaxed);
+  }
+}
+
 void Logger::write(LogLevel level, const std::string& component,
                    const std::string& message) {
   static const char* kNames[] = {"TRACE", "DEBUG", "INFO", "WARN", "ERROR"};
@@ -77,6 +134,31 @@ void Logger::write(LogLevel level, const std::string& component,
                              1e9;
   std::fprintf(stderr, "[%12.6fs] %-5s %-12s %s\n", t, name,
                component.c_str(), line.c_str());
+
+  // Structured capture rides behind the stderr write. A thread-local
+  // capture claims this thread's records (the worker serve loop shipping
+  // its own lines); otherwise a relaxed load gates the global sink so the
+  // common uncaptured path costs one atomic read.
+  if (t_log_capture == nullptr &&
+      sink_.load(std::memory_order_relaxed) == nullptr) {
+    return;
+  }
+  LogRecord record;
+  record.level = level;
+  record.component = component;
+  record.message = message;
+  record.job = t_log_job;
+  record.t_seconds = t;
+  if (t_log_capture != nullptr) {
+    (*t_log_capture)(record);
+    return;
+  }
+  // Re-check under the install mutex: set_sink(nullptr) must be able to
+  // wait out in-flight appends before the caller destroys the ring.
+  const std::lock_guard<std::mutex> lock(sink_mu_);
+  if (LogRing* ring = sink_.load(std::memory_order_relaxed)) {
+    ring->append(std::move(record));
+  }
 }
 
 bool LogRateLimiter::allow(double period_seconds, std::uint64_t* suppressed) {

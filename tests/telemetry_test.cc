@@ -495,6 +495,150 @@ TEST(RemoteTelemetryTest, MergesMetricsIdempotentlyUnderNodePrefix) {
   EXPECT_EQ(reg.counter_value("remote.worker.5.tiles"), 14u);
 }
 
+// --- shipped log records -----------------------------------------------------
+
+TEST(TelemetryCodecTest, RoundTripsLogRecords) {
+  scp::TelemetryBody body = sample_body();
+  body.logs.push_back({2, "worker", "job 7 start (32x32x12)", 7, 5000});
+  body.logs.push_back({3, "serve", "resend requested", -1, 6000});
+  const auto decoded = scp::TelemetryBody::try_decode(body.encode());
+  ASSERT_TRUE(decoded.has_value());
+  ASSERT_EQ(decoded->logs.size(), 2u);
+  EXPECT_EQ(decoded->logs[0].level, 2);
+  EXPECT_EQ(decoded->logs[0].component, "worker");
+  EXPECT_EQ(decoded->logs[0].message, "job 7 start (32x32x12)");
+  EXPECT_EQ(decoded->logs[0].job, 7);
+  EXPECT_EQ(decoded->logs[0].ts_ns, 5000u);
+  EXPECT_EQ(decoded->logs[1].level, 3);
+  EXPECT_EQ(decoded->logs[1].job, -1);
+}
+
+TEST(TelemetryCodecTest, RejectsHostileLogSections) {
+  // Truncation anywhere inside the logs section fails whole, like every
+  // other section.
+  scp::TelemetryBody body = sample_body();
+  body.logs.push_back({2, "worker", "hello", 1, 100});
+  const std::vector<std::uint8_t> bytes = body.encode();
+  const std::vector<std::uint8_t> base = sample_body().encode();
+  for (std::size_t keep = base.size(); keep < bytes.size(); ++keep) {
+    const std::vector<std::uint8_t> cut(
+        bytes.begin(), bytes.begin() + static_cast<long>(keep));
+    EXPECT_FALSE(scp::TelemetryBody::try_decode(cut).has_value())
+        << "decoded at " << keep << " bytes";
+  }
+
+  // A level outside rif::LogLevel's range is hostile.
+  body = sample_body();
+  body.logs.push_back({9, "worker", "bad level", 1, 100});
+  EXPECT_FALSE(scp::TelemetryBody::try_decode(body.encode()).has_value());
+
+  // A message past the wire bound is hostile (memory-bomb defence).
+  body = sample_body();
+  body.logs.push_back({2, "worker", std::string(513, 'x'), 1, 100});
+  EXPECT_FALSE(scp::TelemetryBody::try_decode(body.encode()).has_value());
+
+  // As is a record count past the batch bound.
+  body = sample_body();
+  for (int i = 0; i < 1025; ++i) {
+    body.logs.push_back({2, "worker", "spam", 1, 100});
+  }
+  EXPECT_FALSE(scp::TelemetryBody::try_decode(body.encode()).has_value());
+}
+
+TEST(RemoteTelemetryTest, ForwardsLogsOnlyFromAcceptedBatches) {
+  obs::RemoteTelemetryCollector collector;
+  std::vector<std::pair<cluster::NodeId, std::string>> forwarded;
+  collector.set_log_sink(
+      [&forwarded](cluster::NodeId node, const scp::TelemetryLog& l) {
+        forwarded.emplace_back(node, l.message);
+      });
+
+  scp::TelemetryBody body;
+  body.flush_index = 1;
+  body.logs.push_back({2, "worker", "leased in", -1, 100});
+  ASSERT_TRUE(collector.on_batch(4, body));
+  ASSERT_EQ(forwarded.size(), 1u);
+  EXPECT_EQ(forwarded[0].first, 4);
+  EXPECT_EQ(forwarded[0].second, "leased in");
+  EXPECT_EQ(collector.log_records(), 1u);
+
+  // A re-shipment (duplicate flush index) must not double-log.
+  EXPECT_FALSE(collector.on_batch(4, body));
+  EXPECT_EQ(forwarded.size(), 1u);
+  EXPECT_EQ(collector.log_records(), 1u);
+
+  // An unbalanced span batch is rejected whole — logs riding it included.
+  scp::TelemetryBody bad;
+  bad.flush_index = 2;
+  bad.spans.push_back({"remote.screen_shard", 100, 0, 1, 0.0, 'B'});
+  bad.logs.push_back({2, "worker", "should not appear", -1, 200});
+  EXPECT_FALSE(collector.on_batch(4, bad));
+  EXPECT_EQ(forwarded.size(), 1u);
+  EXPECT_EQ(collector.log_records(), 1u);
+}
+
+// --- cluster-wide histogram aggregation --------------------------------------
+
+scp::TelemetryHistogram histogram_of(const runtime::Histogram& h,
+                                     const std::string& name) {
+  scp::TelemetryHistogram out;
+  out.name = name;
+  out.count = h.count();
+  out.sum = h.sum();
+  out.min = h.min();
+  out.max = h.max();
+  out.buckets.reserve(scp::kTelemetryHistogramBuckets);
+  for (int b = 0; b < runtime::Histogram::kBuckets; ++b) {
+    out.buckets.push_back(h.bucket(b));
+  }
+  return out;
+}
+
+TEST(RemoteTelemetryTest, ClusterHistogramQuantilesMatchAllSamples) {
+  // Three workers observe disjoint latency populations; the merged
+  // remote.cluster series must answer quantiles exactly as a single
+  // histogram that saw every observation (bucket sums commute with the
+  // bucket-edge quantile estimate).
+  runtime::MetricsRegistry ref;
+  runtime::Histogram& all = ref.histogram("all");
+  obs::RemoteTelemetryCollector collector;
+  std::uint64_t seed = 42;
+  for (int worker = 0; worker < 3; ++worker) {
+    runtime::MetricsRegistry local;
+    runtime::Histogram& mine = local.histogram("screen_seconds");
+    for (int i = 0; i < 200; ++i) {
+      seed = seed * 6364136223846793005ull + 1442695040888963407ull;
+      // Spread across several log2 buckets, different range per worker.
+      const double v = (1.0 + static_cast<double>(seed % 997)) * 1e-5 *
+                       static_cast<double>(1 << (2 * worker));
+      mine.observe(v);
+      all.observe(v);
+    }
+    scp::TelemetryBody body;
+    body.flush_index = 1;
+    body.histograms.push_back(histogram_of(mine, "screen_seconds"));
+    ASSERT_TRUE(
+        collector.on_batch(static_cast<cluster::NodeId>(10 + worker), body));
+  }
+
+  runtime::MetricsRegistry target;
+  collector.merge_metrics_into(target);
+  collector.merge_metrics_into(target);  // idempotent like the per-node series
+  const runtime::Histogram* merged =
+      target.find_histogram("remote.cluster.screen_seconds");
+  ASSERT_NE(merged, nullptr);
+  EXPECT_EQ(merged->count(), all.count());
+  EXPECT_DOUBLE_EQ(merged->sum(), all.sum());
+  EXPECT_DOUBLE_EQ(merged->min(), all.min());
+  EXPECT_DOUBLE_EQ(merged->max(), all.max());
+  for (const double q : {0.5, 0.95, 0.99}) {
+    EXPECT_DOUBLE_EQ(merged->quantile(q), all.quantile(q)) << "q=" << q;
+  }
+  // The per-node series stay alongside the cluster roll-up.
+  EXPECT_NE(target.find_histogram("remote.worker.10.screen_seconds"), nullptr);
+  EXPECT_NE(target.find_histogram("remote.worker.12.screen_seconds"), nullptr);
+}
+
 // --- end to end: unified trace from a real service run -----------------------
 
 TEST(TelemetryEndToEndTest, ServiceRunShipsWorkerLanesIntoOneTrace) {

@@ -1,0 +1,162 @@
+// rif_ops — command-line client for a FusionService's live ops endpoint
+// (obs/ops_server.h).
+//
+// Speaks the RIF1 frame codec over TCP or a Unix socket: one plain-text
+// command per request frame, JSON / NDJSON back. Everything prints to
+// stdout, so the natural idiom is piping into jq or wc.
+//
+// Usage:
+//   rif_ops <command> (--connect <host>:<port> | --unix <path>) [options]
+//
+// Commands:
+//   status                 one JSON object: uptime, job counts, workers,
+//                          ops-plane health
+//   metrics                one JSON object: the full registry snapshot
+//   tail [--samples <n>]   subscribe to the live metrics stream and print
+//                          <n> NDJSON samples (default 5), one per line
+//   logs [--n <n>]         the newest <n> structured log records as NDJSON
+//                          (server default when --n is omitted)
+//   flame                  one JSON object: the current flamegraph fold
+//
+// Exit status: 0 on success, 1 on usage/connect/protocol error.
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "net/socket_transport.h"
+
+namespace {
+
+void usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s (status|metrics|tail|logs|flame) "
+               "(--connect <host>:<port> | --unix <path>) "
+               "[--samples <n>] [--n <n>]\n",
+               argv0);
+}
+
+bool send_text(rif::net::SocketClient& client, const std::string& text) {
+  return client.send_frame(
+      std::vector<std::uint8_t>(text.begin(), text.end()));
+}
+
+bool read_text(rif::net::SocketClient& client, std::string& out) {
+  std::vector<std::uint8_t> frame;
+  if (!client.read_frame(frame)) return false;
+  out.assign(frame.begin(), frame.end());
+  return true;
+}
+
+/// One request, one reply, printed. The whole vocabulary except `tail`.
+int request_reply(rif::net::SocketClient& client, const std::string& command) {
+  std::string reply;
+  if (!send_text(client, command) || !read_text(client, reply)) {
+    std::fprintf(stderr, "rif_ops: no reply to '%s'\n", command.c_str());
+    return 1;
+  }
+  std::printf("%s\n", reply.c_str());
+  return 0;
+}
+
+int tail_samples(rif::net::SocketClient& client, int samples) {
+  std::string ack;
+  if (!send_text(client, "subscribe-metrics") || !read_text(client, ack)) {
+    std::fprintf(stderr, "rif_ops: subscribe failed\n");
+    return 1;
+  }
+  if (ack.find("\"subscribed\"") == std::string::npos) {
+    std::fprintf(stderr, "rif_ops: unexpected ack: %s\n", ack.c_str());
+    return 1;
+  }
+  for (int i = 0; i < samples; ++i) {
+    std::string line;
+    if (!read_text(client, line)) {
+      std::fprintf(stderr, "rif_ops: stream ended after %d/%d samples\n", i,
+                   samples);
+      return 1;
+    }
+    std::printf("%s\n", line.c_str());
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    usage(argv[0]);
+    return 1;
+  }
+  const std::string command = argv[1];
+  bool use_tcp = false;
+  bool have_target = false;
+  std::string host;
+  std::uint16_t port = 0;
+  std::string unix_path;
+  int samples = 5;
+  long logs_n = -1;
+
+  for (int i = 2; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--connect" && i + 1 < argc) {
+      const std::string spec = argv[++i];
+      const std::size_t colon = spec.rfind(':');
+      if (colon == std::string::npos) {
+        usage(argv[0]);
+        return 1;
+      }
+      host = spec.substr(0, colon);
+      port = static_cast<std::uint16_t>(
+          std::strtoul(spec.c_str() + colon + 1, nullptr, 10));
+      use_tcp = true;
+      have_target = true;
+    } else if (arg == "--unix" && i + 1 < argc) {
+      unix_path = argv[++i];
+      use_tcp = false;
+      have_target = true;
+    } else if (arg == "--samples" && i + 1 < argc) {
+      samples = static_cast<int>(std::strtol(argv[++i], nullptr, 10));
+    } else if (arg == "--n" && i + 1 < argc) {
+      logs_n = std::strtol(argv[++i], nullptr, 10);
+    } else {
+      usage(argv[0]);
+      return 1;
+    }
+  }
+  if (!have_target || samples < 1) {
+    usage(argv[0]);
+    return 1;
+  }
+
+  rif::net::SocketClient client;
+  const bool connected = use_tcp ? client.connect_tcp(host, port)
+                                 : client.connect_unix(unix_path);
+  if (!connected) {
+    std::fprintf(stderr, "rif_ops: cannot connect\n");
+    return 1;
+  }
+
+  int rc = 1;
+  if (command == "status") {
+    rc = request_reply(client, "status");
+  } else if (command == "metrics") {
+    rc = request_reply(client, "metrics");
+  } else if (command == "flame") {
+    rc = request_reply(client, "flamegraph");
+  } else if (command == "logs") {
+    rc = request_reply(client, logs_n > 0
+                                   ? "logs " + std::to_string(logs_n)
+                                   : std::string("logs"));
+  } else if (command == "tail") {
+    rc = tail_samples(client, samples);
+  } else {
+    usage(argv[0]);
+  }
+  client.close();
+  return rc;
+}

@@ -162,6 +162,7 @@ int main(int argc, char** argv) {
     total.tiles_colored += stats.tiles_colored;
     total.pings_answered += stats.pings_answered;
     total.telemetry_flushes += stats.telemetry_flushes;
+    total.logs_shipped += stats.logs_shipped;
     total.clean_exit = stats.clean_exit;
     if (stats.clean_exit) break;
     if (!reconnect) break;
@@ -173,13 +174,14 @@ int main(int argc, char** argv) {
   std::printf(
       "rif_worker node=%d jobs=%llu tiles_screened=%llu shards_summed=%llu "
       "tiles_colored=%llu pings_answered=%llu telemetry_flushes=%llu "
-      "clean_exit=%d\n",
+      "logs_shipped=%llu clean_exit=%d\n",
       total.node, static_cast<unsigned long long>(total.jobs),
       static_cast<unsigned long long>(total.tiles_screened),
       static_cast<unsigned long long>(total.shards_summed),
       static_cast<unsigned long long>(total.tiles_colored),
       static_cast<unsigned long long>(total.pings_answered),
       static_cast<unsigned long long>(total.telemetry_flushes),
+      static_cast<unsigned long long>(total.logs_shipped),
       total.clean_exit ? 1 : 0);
   return total.clean_exit ? 0 : 1;
 }
